@@ -1,0 +1,32 @@
+//! E1 — Figure 3: single-source shortest path with aggregate selections
+//! on cyclic graphs (§5.5.2: "a single source query … runs in time
+//! O(E·V)").
+
+use coral_bench::{count_answers, programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e01_shortest_path");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for v in [16usize, 32, 64] {
+        let facts = workloads::random_costed_graph(v, 4 * v, 0xE1);
+        g.bench_with_input(BenchmarkId::new("figure3_single_source", v), &v, |b, _| {
+            b.iter(|| {
+                let s = session_with(&facts, &programs::figure_3(true));
+                count_answers(&s, "s_p(0, Y, P, C)")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cost_only_single_source", v), &v, |b, _| {
+            b.iter(|| {
+                let s = session_with(&facts, &programs::shortest_cost(true));
+                count_answers(&s, "sp(0, Y, C)")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

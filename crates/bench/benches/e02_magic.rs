@@ -1,0 +1,28 @@
+//! E2 — magic rewriting propagates query selections (§4.1): a bound
+//! query on a long chain touches only the reachable suffix.
+
+use coral_bench::{count_answers, programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e02_magic_vs_none");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [128usize, 512] {
+        let facts = workloads::chain(n);
+        let src = n - 16;
+        for (label, ann) in [("supplementary", ""), ("none", "@rewrite none.\n")] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let s = session_with(&facts, &programs::tc(ann, "bf"));
+                    count_answers(&s, &format!("path({src}, Y)"))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E3 — Supplementary Magic vs Magic vs GoalId vs Context Factoring
+//! (§4.1: "each technique is superior to the rest for some programs").
+
+use coral_bench::{count_answers, programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03_rewritings");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let chain = workloads::chain(256);
+    let sg = workloads::same_gen(6, 32);
+    for rw in ["supplementary", "magic", "goalid", "factoring"] {
+        let ann = format!("@rewrite {rw}.\n");
+        g.bench_with_input(BenchmarkId::new("right_linear_reach", rw), rw, |b, _| {
+            b.iter(|| {
+                let s = session_with(&chain, &programs::tc(&ann, "bf"));
+                count_answers(&s, "path(448, Y)")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("same_generation", rw), rw, |b, _| {
+            b.iter(|| {
+                let s = session_with(&sg, &programs::same_generation(&ann));
+                count_answers(&s, "sg(0, Y)")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

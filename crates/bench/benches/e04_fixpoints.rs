@@ -1,0 +1,35 @@
+//! E4 — BSN vs PSN on modules with many mutually recursive predicates
+//! (§4.2: PSN "is better for programs with many mutually recursive
+//! predicates").
+
+use coral_bench::{count_answers, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e04_bsn_vs_psn");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let facts = workloads::chain(64);
+    for k in [2usize, 8, 16] {
+        for fix in ["bsn", "psn"] {
+            g.bench_with_input(
+                BenchmarkId::new(fix, k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let s = session_with(
+                            &facts,
+                            &workloads::mutual_recursion_module(k, fix),
+                        );
+                        count_answers(&s, "p0(0, Y)")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E5 — pipelining vs materialization (§5.2): first-answer latency vs
+//! total-answer throughput.
+
+use coral_bench::{count_answers, programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05_pipeline_vs_mat");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let facts = workloads::chain(256);
+    for (label, ann) in [("pipelined", "@pipelining.\n"), ("materialized", "")] {
+        g.bench_with_input(BenchmarkId::new("first_answer", label), label, |b, _| {
+            b.iter(|| {
+                let s = session_with(&facts, &programs::tc(ann, "bf"));
+                let mut a = s.query("path(0, Y)").unwrap();
+                a.next_answer().unwrap().unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("all_answers", label), label, |b, _| {
+            b.iter(|| {
+                let s = session_with(&facts, &programs::tc(ann, "bf"));
+                count_answers(&s, "path(0, Y)")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E6 — the save-module facility (§5.4.2): repeated overlapping
+//! subqueries with and without retained state.
+
+use coral_bench::{count_answers, programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e06_save_module");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let facts = workloads::chain(128);
+    let sources: Vec<usize> = (0..8).map(|i| 128 - 16 * (i + 1)).collect();
+    for (label, ann) in [("save_module", "@save_module.\n"), ("fresh_per_call", "")] {
+        g.bench_with_input(BenchmarkId::new("query_sequence", label), label, |b, _| {
+            b.iter(|| {
+                let s = session_with(&facts, &programs::tc(ann, "bf"));
+                let mut total = 0usize;
+                for &src in &sources {
+                    total += count_answers(&s, &format!("path({src}, Y)"));
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

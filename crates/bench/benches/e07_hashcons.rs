@@ -1,0 +1,40 @@
+//! E7 — hash-consing makes unification of large ground terms cheap
+//! (§3.1): identifier comparison vs structural descent.
+
+use coral_term::{hashcons, unify, EnvSet, Term};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07_hashcons");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for l in [64usize, 512, 4096] {
+        let mk = || Term::list((0..l as i64).map(Term::int).collect::<Vec<_>>());
+        // Fresh (never interned) copies each iteration: structural cost.
+        g.bench_with_input(BenchmarkId::new("structural_unify", l), &l, |b, _| {
+            let (a, bb) = (mk(), mk());
+            b.iter(|| {
+                let mut envs = EnvSet::new();
+                let e = envs.push_frame(0);
+                // Note: interning may have happened lazily; rebuild to
+                // keep the structural path honest.
+                let (a2, b2) = (a.clone(), bb.clone());
+                unify(&mut envs, &a2, e, &b2, e)
+            })
+        });
+        let (a, bb) = (mk(), mk());
+        hashcons::intern(&a);
+        hashcons::intern(&bb);
+        g.bench_with_input(BenchmarkId::new("interned_unify", l), &l, |b, _| {
+            b.iter(|| {
+                let mut envs = EnvSet::new();
+                let e = envs.push_frame(0);
+                unify(&mut envs, &a, e, &bb, e)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E8 — argument-form and pattern-form indices vs scans (§3.3, §5.5.1).
+
+use coral_rel::{HashRelation, IndexSpec, Relation};
+use coral_term::{Term, Tuple, VarId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build(n: usize) -> HashRelation {
+    let r = HashRelation::new(2);
+    for i in 0..n {
+        r.insert(Tuple::ground(vec![
+            Term::str(&format!("name{}", i % (n / 10).max(1))),
+            Term::apps(
+                "addr",
+                vec![
+                    Term::str(&format!("street{i}")),
+                    Term::str(&format!("city{}", i % 100)),
+                ],
+            ),
+        ]))
+        .unwrap();
+    }
+    r
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e08_indexing");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [1_000usize, 10_000] {
+        let scan_rel = build(n);
+        g.bench_with_input(BenchmarkId::new("unindexed_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                scan_rel
+                    .lookup(&[Term::str("name7"), Term::var(0)])
+                    .count()
+            })
+        });
+        let arg_rel = build(n);
+        arg_rel.make_index(IndexSpec::Args(vec![0])).unwrap();
+        g.bench_with_input(BenchmarkId::new("argument_index", n), &n, |b, _| {
+            b.iter(|| arg_rel.lookup(&[Term::str("name7"), Term::var(0)]).count())
+        });
+        let pat_rel = build(n);
+        pat_rel
+            .make_index(IndexSpec::Pattern {
+                pattern: vec![
+                    Term::var(0),
+                    Term::apps("addr", vec![Term::var(1), Term::var(2)]),
+                ],
+                key_vars: vec![VarId(0), VarId(2)],
+            })
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("pattern_index", n), &n, |b, _| {
+            b.iter(|| {
+                pat_rel
+                    .lookup(&[
+                        Term::str("name7"),
+                        Term::apps("addr", vec![Term::var(0), Term::str("city7")]),
+                    ])
+                    .count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E9 — persistent relations page through the buffer pool on demand
+//! (§2, §3.2): cold vs warm scans under varying pool sizes.
+
+use coral_rel::{PersistentRelation, Relation};
+use coral_storage::StorageServer;
+use coral_term::{Term, Tuple};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e09_storage");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for frames in [8usize, 256] {
+        let dir = std::env::temp_dir().join(format!(
+            "coral-bench-e09-{}-{frames}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let srv = StorageServer::open(&dir, frames).unwrap();
+        let rel = PersistentRelation::open(&srv, "big", 2).unwrap();
+        for i in 0..5_000i64 {
+            rel.insert(Tuple::ground(vec![
+                Term::int(i),
+                Term::str(&format!("payload-{i}")),
+            ]))
+            .unwrap();
+        }
+        srv.checkpoint().unwrap();
+        g.bench_with_input(BenchmarkId::new("cold_scan", frames), &frames, |b, _| {
+            b.iter(|| {
+                srv.pool().evict_all().unwrap();
+                rel.scan().count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("warm_scan", frames), &frames, |b, _| {
+            b.iter(|| rel.scan().count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

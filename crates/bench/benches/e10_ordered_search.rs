@@ -1,0 +1,24 @@
+//! E10 — Ordered Search on the win-move game (§5.4.1).
+
+use coral_bench::{count_answers, programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_ordered_search");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [25usize, 50] {
+        let facts = workloads::game_graph(n, 0xE10);
+        g.bench_with_input(BenchmarkId::new("win_move", n), &n, |b, _| {
+            b.iter(|| {
+                let s = session_with(&facts, &programs::win_move());
+                count_answers(&s, "win(0)")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E11 — lazy materialized evaluation returns answers at iteration
+//! boundaries (§5.4.3): time-to-first-answer.
+
+use coral_bench::{programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_lazy");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let facts = workloads::chain(256);
+    for (label, ann) in [("lazy", "@lazy.\n"), ("eager", "")] {
+        g.bench_with_input(BenchmarkId::new("first_answer", label), label, |b, _| {
+            b.iter(|| {
+                let s = session_with(&facts, &programs::tc(ann, "bf"));
+                let mut a = s.query("path(0, Y)").unwrap();
+                a.next_answer().unwrap().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E12 — existential query rewriting pushes projections (§4.1):
+//! don't-care outputs shrink the materialized facts.
+
+use coral_bench::{count_answers, programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_existential");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let facts = workloads::chain(256);
+    for (label, q) in [("dont_care", "path(X, _)"), ("full_output", "path(X, Y)")] {
+        g.bench_with_input(BenchmarkId::new("reach_query", label), label, |b, _| {
+            b.iter(|| {
+                let s = session_with(&facts, &programs::tc("", "ff"));
+                count_answers(&s, q)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E13 — semi-naive vs naive fixpoints (§5.3).
+
+use coral_bench::{count_answers, programs, session_with, workloads};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_seminaive_vs_naive");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [24usize, 48, 96] {
+        let facts = workloads::chain(n);
+        for fix in ["bsn", "naive"] {
+            g.bench_with_input(BenchmarkId::new(fix, n), &n, |b, _| {
+                b.iter(|| {
+                    let s = session_with(
+                        &facts,
+                        &programs::tc_left(&format!("@{fix}.\n"), "ff"),
+                    );
+                    count_answers(&s, "path(X, Y)")
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

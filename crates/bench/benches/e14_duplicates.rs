@@ -1,0 +1,36 @@
+//! E14 — set vs multiset duplicate semantics (§4.2).
+
+use coral_bench::{count_answers, session_with};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_duplicates");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for k in [4usize, 32] {
+        let mut facts = String::new();
+        for y in 0..500 {
+            for x in 0..k {
+                facts.push_str(&format!("e({x}, {y}).\n"));
+            }
+        }
+        for (label, ann) in [("set", ""), ("multiset", "@multiset two/1.\n")] {
+            g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| {
+                    let s = session_with(
+                        &facts,
+                        &format!(
+                            "module m.\nexport two(f).\n{ann}two(Y) :- e(X, Y).\nend_module.\n"
+                        ),
+                    );
+                    count_answers(&s, "two(Y)")
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,504 @@
+//! Adornment: propagate query bindings through a module's rules.
+//!
+//! "The desired selection pattern is specified using a query form, where
+//! a 'bound' argument indicates that any binding in that argument
+//! position of the query is to be propagated" (§4.1). Adornment walks
+//! rules left-to-right (CORAL's default sideways-information-passing
+//! order), computes for every reachable derived predicate the binding
+//! patterns it is called with, and specializes the program: predicate
+//! `p` called with pattern `bf` becomes `p__bf`. The magic rewritings in
+//! [`crate::rewrite`] operate on the adorned program.
+//!
+//! Aggregate head positions (e.g. `min(C)`) never propagate bindings — a
+//! query binding on an aggregate output is a post-selection, and the
+//! engine re-unifies answers with the query anyway.
+
+use crate::depgraph::is_agg_term;
+use coral_lang::{Adornment, Annotation, Binding, BodyItem, CmpOp, Literal, Module, PredRef, Rule};
+use coral_term::{Symbol, Term, VarId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Join-order selection (§4.2): within each run of *positive* literals
+/// (negations and comparisons are barriers — they must observe at least
+/// the bound set they saw in source order), greedily pick the literal
+/// with the fewest argument positions still containing unbound
+/// variables, breaking ties by source position. Applied per adorned rule
+/// so the query form's bound head variables seed the ordering.
+pub(crate) fn reorder_body(rule: &Rule, initial_bound: &HashSet<VarId>) -> Vec<BodyItem> {
+    let mut bound = initial_bound.clone();
+    let mut out: Vec<BodyItem> = Vec::with_capacity(rule.body.len());
+    let bind_item = |item: &BodyItem, bound: &mut HashSet<VarId>| {
+        if let BodyItem::Literal(l) = item {
+            for t in &l.args {
+                let mut vs = Vec::new();
+                t.collect_vars(&mut vs);
+                bound.extend(vs);
+            }
+        }
+        if let BodyItem::Compare {
+            op: CmpOp::Unify,
+            lhs,
+            rhs,
+        } = item
+        {
+            let ground = |t: &Term, bound: &HashSet<VarId>| {
+                let mut vs = Vec::new();
+                t.collect_vars(&mut vs);
+                vs.iter().all(|v| bound.contains(v))
+            };
+            if ground(lhs, bound) || ground(rhs, bound) {
+                for t in [lhs, rhs] {
+                    let mut vs = Vec::new();
+                    t.collect_vars(&mut vs);
+                    bound.extend(vs);
+                }
+            }
+        }
+    };
+    let mut i = 0;
+    while i < rule.body.len() {
+        let mut seg: Vec<(usize, &BodyItem)> = Vec::new();
+        while i < rule.body.len() {
+            match &rule.body[i] {
+                BodyItem::Literal(_) => {
+                    seg.push((i, &rule.body[i]));
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
+        while !seg.is_empty() {
+            let mut best = 0usize;
+            let mut best_score = (usize::MAX, usize::MAX);
+            for (k, (pos, item)) in seg.iter().enumerate() {
+                let BodyItem::Literal(l) = item else { unreachable!() };
+                let free_positions = l
+                    .args
+                    .iter()
+                    .filter(|t| {
+                        let mut vs = Vec::new();
+                        t.collect_vars(&mut vs);
+                        !vs.iter().all(|v| bound.contains(v))
+                    })
+                    .count();
+                let score = (free_positions, *pos);
+                if score < best_score {
+                    best_score = score;
+                    best = k;
+                }
+            }
+            let (_, item) = seg.remove(best);
+            bind_item(item, &mut bound);
+            out.push(item.clone());
+        }
+        if i < rule.body.len() {
+            bind_item(&rule.body[i], &mut bound);
+            out.push(rule.body[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The result of adorning a module for one query form.
+#[derive(Debug)]
+pub struct AdornedModule {
+    /// The specialized module: heads and in-module body literals renamed
+    /// to `name__adornment`.
+    pub module: Module,
+    /// `(original predicate, adornment) → renamed predicate`.
+    pub map: HashMap<(PredRef, Adornment), PredRef>,
+    /// Reverse of `map`.
+    pub original: HashMap<PredRef, (PredRef, Adornment)>,
+    /// The renamed query predicate.
+    pub query_pred: PredRef,
+    /// The query adornment actually used (aggregate positions demoted to
+    /// free).
+    pub query_adornment: Adornment,
+}
+
+fn adorned_name(p: PredRef, a: &Adornment) -> PredRef {
+    PredRef {
+        name: Symbol::intern(&format!("{}__{}", p.name, a)),
+        arity: p.arity,
+    }
+}
+
+fn term_vars(t: &Term) -> Vec<VarId> {
+    let mut vs = Vec::new();
+    t.collect_vars(&mut vs);
+    vs
+}
+
+fn all_bound(t: &Term, bound: &HashSet<VarId>) -> bool {
+    term_vars(t).iter().all(|v| bound.contains(v))
+}
+
+/// Compute the adornment a literal receives from the current bound set.
+fn literal_adornment(lit: &Literal, bound: &HashSet<VarId>) -> Adornment {
+    Adornment(
+        lit.args
+            .iter()
+            .map(|t| {
+                if all_bound(t, bound) {
+                    Binding::Bound
+                } else {
+                    Binding::Free
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The set of variables bound *before* each body item and after the whole
+/// body, given a head adornment. Shared with the magic rewritings.
+pub fn bound_sets(rule: &Rule, head_adorn: &Adornment) -> Vec<HashSet<VarId>> {
+    let mut bound: HashSet<VarId> = HashSet::new();
+    for (i, arg) in rule.head.args.iter().enumerate() {
+        if head_adorn.0[i] == Binding::Bound && !is_agg_term(arg) {
+            for v in term_vars(arg) {
+                bound.insert(v);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(rule.body.len() + 1);
+    for item in &rule.body {
+        out.push(bound.clone());
+        match item {
+            BodyItem::Literal(l) => {
+                for arg in &l.args {
+                    for v in term_vars(arg) {
+                        bound.insert(v);
+                    }
+                }
+            }
+            BodyItem::Negated(_) => {}
+            BodyItem::Compare { op, lhs, rhs } => {
+                if *op == coral_lang::CmpOp::Unify {
+                    if all_bound(lhs, &bound) {
+                        for v in term_vars(rhs) {
+                            bound.insert(v);
+                        }
+                    } else if all_bound(rhs, &bound) {
+                        for v in term_vars(lhs) {
+                            bound.insert(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.push(bound);
+    out
+}
+
+/// Adorn `module` for a query on `query_pred` with `query_adornment`
+/// (binding propagation enabled).
+pub fn adorn_module(
+    module: &Module,
+    query_pred: PredRef,
+    query_adornment: &Adornment,
+) -> AdornedModule {
+    adorn_module_opt(module, query_pred, query_adornment, true)
+}
+
+/// Adorn `module`; with `propagate = false` every derived body literal is
+/// adorned all-free (used by the no-rewriting path, where specializing by
+/// binding pattern would only duplicate rules).
+pub fn adorn_module_opt(
+    module: &Module,
+    query_pred: PredRef,
+    query_adornment: &Adornment,
+    propagate: bool,
+) -> AdornedModule {
+    let defined: HashSet<PredRef> = module.defined_preds().into_iter().collect();
+    // Demote aggregate output positions of the query predicate to free.
+    let mut qa = query_adornment.clone();
+    for rule in &module.rules {
+        if rule.head.pred_ref() == query_pred {
+            for pos in crate::depgraph::head_agg_positions(rule) {
+                qa.0[pos] = Binding::Free;
+            }
+        }
+    }
+
+    let mut out = Module {
+        name: module.name.clone(),
+        exports: Vec::new(),
+        rules: Vec::new(),
+        annotations: module.annotations.clone(),
+    };
+    let mut map: HashMap<(PredRef, Adornment), PredRef> = HashMap::new();
+    let mut original: HashMap<PredRef, (PredRef, Adornment)> = HashMap::new();
+    let mut queue: VecDeque<(PredRef, Adornment)> = VecDeque::new();
+    let enqueue =
+        |p: PredRef,
+         a: Adornment,
+         map: &mut HashMap<(PredRef, Adornment), PredRef>,
+         original: &mut HashMap<PredRef, (PredRef, Adornment)>,
+         queue: &mut VecDeque<(PredRef, Adornment)>| {
+            if let Some(r) = map.get(&(p, a.clone())) {
+                return *r;
+            }
+            let renamed = adorned_name(p, &a);
+            map.insert((p, a.clone()), renamed);
+            original.insert(renamed, (p, a.clone()));
+            queue.push_back((p, a));
+            renamed
+        };
+
+    let query_renamed = enqueue(query_pred, qa.clone(), &mut map, &mut original, &mut queue);
+
+    while let Some((pred, adorn)) = queue.pop_front() {
+        for rule in &module.rules {
+            if rule.head.pred_ref() != pred {
+                continue;
+            }
+            // Demote aggregate positions in this rule's effective head
+            // adornment (binding cannot pass through an aggregate).
+            let mut ha = adorn.clone();
+            for pos in crate::depgraph::head_agg_positions(rule) {
+                ha.0[pos] = Binding::Free;
+            }
+            // Optimizer join-order selection (§4.2), opted in per module:
+            // applied here, before magic splits the body into prefixes,
+            // with the query form's bound head variables as the seed.
+            let reordered_rule;
+            let rule: &Rule = if module
+                .annotations
+                .iter()
+                .any(|a| matches!(a, Annotation::ReorderJoins))
+            {
+                let mut seed: HashSet<VarId> = HashSet::new();
+                for (i, arg) in rule.head.args.iter().enumerate() {
+                    if ha.0[i] == Binding::Bound && !is_agg_term(arg) {
+                        for v in term_vars(arg) {
+                            seed.insert(v);
+                        }
+                    }
+                }
+                reordered_rule = Rule {
+                    head: rule.head.clone(),
+                    body: reorder_body(rule, &seed),
+                    nvars: rule.nvars,
+                    var_names: rule.var_names.clone(),
+                };
+                &reordered_rule
+            } else {
+                rule
+            };
+            let bounds = bound_sets(rule, &ha);
+            let mut new_body = Vec::with_capacity(rule.body.len());
+            for (i, item) in rule.body.iter().enumerate() {
+                match item {
+                    BodyItem::Literal(l) if defined.contains(&l.pred_ref()) => {
+                        let la = if propagate {
+                            literal_adornment(l, &bounds[i])
+                        } else {
+                            Adornment::all_free(l.args.len())
+                        };
+                        let renamed =
+                            enqueue(l.pred_ref(), la, &mut map, &mut original, &mut queue);
+                        new_body.push(BodyItem::Literal(Literal {
+                            pred: renamed.name,
+                            args: l.args.clone(),
+                        }));
+                    }
+                    BodyItem::Negated(l) if defined.contains(&l.pred_ref()) => {
+                        let la = if propagate {
+                            literal_adornment(l, &bounds[i])
+                        } else {
+                            Adornment::all_free(l.args.len())
+                        };
+                        let renamed =
+                            enqueue(l.pred_ref(), la, &mut map, &mut original, &mut queue);
+                        new_body.push(BodyItem::Negated(Literal {
+                            pred: renamed.name,
+                            args: l.args.clone(),
+                        }));
+                    }
+                    other => new_body.push(other.clone()),
+                }
+            }
+            let renamed_head = map[&(pred, adorn.clone())];
+            out.rules.push(Rule {
+                head: Literal {
+                    pred: renamed_head.name,
+                    args: rule.head.args.clone(),
+                },
+                body: new_body,
+                nvars: rule.nvars,
+                var_names: rule.var_names.clone(),
+            });
+        }
+    }
+
+    AdornedModule {
+        module: out,
+        map,
+        original,
+        query_pred: query_renamed,
+        query_adornment: qa,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_lang::parse_program;
+
+    fn module_of(src: &str) -> Module {
+        parse_program(src).unwrap().modules().next().unwrap().clone()
+    }
+
+    #[test]
+    fn ancestor_bf_adornment() {
+        let m = module_of(
+            "module anc. export anc(bf).\n\
+             anc(X, Y) :- par(X, Y).\n\
+             anc(X, Y) :- par(X, Z), anc(Z, Y).\n\
+             end_module.",
+        );
+        let a = adorn_module(&m, PredRef::new("anc", 2), &Adornment::parse("bf").unwrap());
+        assert_eq!(a.query_pred.name.as_str(), "anc__bf");
+        // Binding flows through par: the recursive call is again bf.
+        assert_eq!(a.module.rules.len(), 2);
+        let rec = &a.module.rules[1];
+        let BodyItem::Literal(call) = &rec.body[1] else { panic!() };
+        assert_eq!(call.pred.as_str(), "anc__bf");
+        // Only one adorned version materializes.
+        assert_eq!(a.map.len(), 1);
+    }
+
+    #[test]
+    fn same_generation_creates_multiple_versions() {
+        // sg(bf): the recursive call receives bf as well; but a ff query
+        // keeps everything free.
+        let m = module_of(
+            "module sg. export sg(bf, ff).\n\
+             sg(X, Y) :- flat(X, Y).\n\
+             sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n\
+             end_module.",
+        );
+        let bf = adorn_module(&m, PredRef::new("sg", 2), &Adornment::parse("bf").unwrap());
+        assert_eq!(bf.map.len(), 1);
+        assert!(bf.map.contains_key(&(PredRef::new("sg", 2), Adornment::parse("bf").unwrap())));
+        let ff = adorn_module(&m, PredRef::new("sg", 2), &Adornment::parse("ff").unwrap());
+        assert_eq!(ff.query_pred.name.as_str(), "sg__ff");
+        let rec = &ff.module.rules[1];
+        let BodyItem::Literal(call) = &rec.body[1] else { panic!() };
+        // With a free query, up binds U, so the recursive call is bf.
+        assert_eq!(call.pred.as_str(), "sg__bf");
+        assert_eq!(ff.map.len(), 2);
+    }
+
+    #[test]
+    fn unification_binds_through_equals() {
+        let m = module_of(
+            "module m. export p(bf).\n\
+             p(X, Y) :- Z = X, q(Z, Y).\n\
+             q(X, Y) :- e(X, Y).\n\
+             end_module.",
+        );
+        let a = adorn_module(&m, PredRef::new("p", 2), &Adornment::parse("bf").unwrap());
+        let r = &a.module.rules[0];
+        let BodyItem::Literal(call) = &r.body[1] else { panic!() };
+        assert_eq!(call.pred.as_str(), "q__bf", "Z bound via Z = X");
+    }
+
+    #[test]
+    fn unreachable_rules_dropped() {
+        let m = module_of(
+            "module m. export p(b).\n\
+             p(X) :- q(X).\n\
+             q(X) :- e(X).\n\
+             dead(X) :- q(X).\n\
+             end_module.",
+        );
+        let a = adorn_module(&m, PredRef::new("p", 1), &Adornment::parse("b").unwrap());
+        assert!(a
+            .module
+            .rules
+            .iter()
+            .all(|r| !r.head.pred.as_str().starts_with("dead")));
+    }
+
+    #[test]
+    fn aggregate_positions_demoted_to_free() {
+        let m = module_of(
+            "module m. export s(bb).\n\
+             s(X, min(C)) :- p(X, C).\n\
+             p(X, C) :- e(X, C).\n\
+             end_module.",
+        );
+        let a = adorn_module(&m, PredRef::new("s", 2), &Adornment::parse("bb").unwrap());
+        assert_eq!(a.query_adornment.to_string(), "bf");
+        assert_eq!(a.query_pred.name.as_str(), "s__bf");
+    }
+
+    #[test]
+    fn ground_args_count_as_bound() {
+        let m = module_of(
+            "module m. export p(f).\n\
+             p(X) :- q(a, X).\n\
+             q(X, Y) :- e(X, Y).\n\
+             end_module.",
+        );
+        let a = adorn_module(&m, PredRef::new("p", 1), &Adornment::parse("f").unwrap());
+        let r = &a.module.rules[0];
+        let BodyItem::Literal(call) = &r.body[0] else { panic!() };
+        assert_eq!(call.pred.as_str(), "q__bf", "constant argument is bound");
+    }
+
+    #[test]
+    fn negated_literals_adorned_but_bind_nothing() {
+        let m = module_of(
+            "module m. export p(b).\n\
+             p(X) :- not q(X, Y), r(Y).\n\
+             q(X, Y) :- e(X, Y).\n\
+             r(X) :- f(X).\n\
+             end_module.",
+        );
+        let a = adorn_module(&m, PredRef::new("p", 1), &Adornment::parse("b").unwrap());
+        let r = &a.module.rules[0];
+        let BodyItem::Negated(nq) = &r.body[0] else { panic!() };
+        assert_eq!(nq.pred.as_str(), "q__bf");
+        let BodyItem::Literal(rl) = &r.body[1] else { panic!() };
+        // Y was not bound by the negated literal.
+        assert_eq!(rl.pred.as_str(), "r__f");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use coral_lang::parse_program;
+
+    #[test]
+    fn no_propagation_mode_keeps_one_version() {
+        let m = parse_program(
+            "module m. export p(bf).\n\
+             p(X, Y) :- q(X, Z), p(Z, Y).\n\
+             p(X, Y) :- q(X, Y).\n\
+             q(X, Y) :- e(X, Y).\n\
+             end_module.",
+        )
+        .unwrap()
+        .modules()
+        .next()
+        .unwrap()
+        .clone();
+        let a = adorn_module_opt(
+            &m,
+            PredRef::new("p", 2),
+            &Adornment::all_free(2),
+            false,
+        );
+        // One all-free version per predicate, nothing else.
+        assert_eq!(a.map.len(), 2);
+        assert!(a
+            .map
+            .keys()
+            .all(|(_, ad)| ad.is_all_free()));
+    }
+}

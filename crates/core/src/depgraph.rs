@@ -1,0 +1,330 @@
+//! Predicate dependency analysis: SCCs and stratification.
+//!
+//! "The compilation of a materialized module generates an internal module
+//! structure that consists of a list of structures corresponding to the
+//! strongly connected components (SCCs) of the module" (§5.1). This
+//! module builds the dependency graph among the predicates *defined in*
+//! one module (references to base relations and other modules' exports
+//! are leaves), runs Tarjan's algorithm, and returns the SCCs in
+//! evaluation (topological, callees-first) order.
+//!
+//! Edges through negation or into a rule with head aggregation are marked
+//! *negative*: a negative edge inside one SCC means the module is not
+//! stratified — evaluable only with Ordered Search (§5.4.1).
+
+use coral_lang::{BodyItem, Module, PredRef, Rule};
+use coral_term::Term;
+use std::collections::HashMap;
+
+/// An aggregate term in a rule head (e.g. `min(C)`).
+pub fn head_agg_positions(rule: &Rule) -> Vec<usize> {
+    rule.head
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| is_agg_term(t))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// True iff `t` is an aggregate application `min/max/count/sum/avg/any`
+/// over a single variable.
+pub fn is_agg_term(t: &Term) -> bool {
+    match t.as_app() {
+        Some(a) => {
+            a.arity() == 1
+                && coral_lang::AggFn::from_name(&a.sym().as_str()).is_some()
+                && matches!(a.args()[0], Term::Var(_))
+        }
+        None => false,
+    }
+}
+
+/// One strongly connected component of the predicate dependency graph.
+#[derive(Debug, Clone)]
+pub struct SccInfo {
+    /// The member predicates.
+    pub preds: Vec<PredRef>,
+    /// True iff the component contains a cycle (including self-loops):
+    /// its rules need fixpoint iteration.
+    pub recursive: bool,
+    /// True iff some negative edge (negation or aggregation) stays
+    /// within the component — not stratified.
+    pub unstratified: bool,
+}
+
+/// The analyzed dependency structure of one module.
+#[derive(Debug)]
+pub struct DepGraph {
+    /// SCCs in evaluation order (callees before callers).
+    pub sccs: Vec<SccInfo>,
+    /// Map from defined predicate to its SCC index.
+    pub scc_of: HashMap<PredRef, usize>,
+}
+
+impl DepGraph {
+    /// True iff `p` and `q` are mutually recursive (same SCC).
+    pub fn same_scc(&self, p: PredRef, q: PredRef) -> bool {
+        match (self.scc_of.get(&p), self.scc_of.get(&q)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Analyze the rules of a module.
+pub fn analyze(module: &Module) -> DepGraph {
+    let defined: Vec<PredRef> = module.defined_preds();
+    let index: HashMap<PredRef, usize> = defined
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, i))
+        .collect();
+    // edges[p] = (positive targets, negative targets)
+    let mut pos_edges: Vec<Vec<usize>> = vec![Vec::new(); defined.len()];
+    let mut neg_edges: Vec<Vec<usize>> = vec![Vec::new(); defined.len()];
+    for rule in &module.rules {
+        let head = rule.head.pred_ref();
+        let Some(&h) = index.get(&head) else { continue };
+        let head_is_agg = !head_agg_positions(rule).is_empty();
+        for item in &rule.body {
+            let (lit, negated) = match item {
+                BodyItem::Literal(l) => (l, false),
+                BodyItem::Negated(l) => (l, true),
+                BodyItem::Compare { .. } => continue,
+            };
+            if let Some(&b) = index.get(&lit.pred_ref()) {
+                if negated || head_is_agg {
+                    neg_edges[h].push(b);
+                } else {
+                    pos_edges[h].push(b);
+                }
+            }
+        }
+    }
+
+    // Tarjan SCC. The natural output order (a component is emitted only
+    // after everything it reaches) is exactly evaluation order.
+    struct Tarjan<'a> {
+        pos: &'a [Vec<usize>],
+        neg: &'a [Vec<usize>],
+        idx: Vec<Option<u32>>,
+        low: Vec<u32>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: u32,
+        comps: Vec<Vec<usize>>,
+    }
+    impl Tarjan<'_> {
+        fn visit(&mut self, v: usize) {
+            self.idx[v] = Some(self.next);
+            self.low[v] = self.next;
+            self.next += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            let succs: Vec<usize> = self.pos[v]
+                .iter()
+                .chain(self.neg[v].iter())
+                .copied()
+                .collect();
+            for w in succs {
+                match self.idx[w] {
+                    None => {
+                        self.visit(w);
+                        self.low[v] = self.low[v].min(self.low[w]);
+                    }
+                    Some(wi) => {
+                        if self.on_stack[w] {
+                            self.low[v] = self.low[v].min(wi);
+                        }
+                    }
+                }
+            }
+            if self.low[v] == self.idx[v].unwrap() {
+                let mut comp = Vec::new();
+                loop {
+                    let w = self.stack.pop().unwrap();
+                    self.on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.comps.push(comp);
+            }
+        }
+    }
+    let mut t = Tarjan {
+        pos: &pos_edges,
+        neg: &neg_edges,
+        idx: vec![None; defined.len()],
+        low: vec![0; defined.len()],
+        on_stack: vec![false; defined.len()],
+        stack: Vec::new(),
+        next: 0,
+        comps: Vec::new(),
+    };
+    for v in 0..defined.len() {
+        if t.idx[v].is_none() {
+            t.visit(v);
+        }
+    }
+
+    let mut scc_of: HashMap<PredRef, usize> = HashMap::new();
+    for (ci, comp) in t.comps.iter().enumerate() {
+        for &v in comp {
+            scc_of.insert(defined[v], ci);
+        }
+    }
+    let comps = t.comps;
+    let sccs: Vec<SccInfo> = comps
+        .iter()
+        .enumerate()
+        .map(|(ci, comp)| {
+            let member = |w: usize| scc_of[&defined[w]] == ci;
+            let recursive = comp.len() > 1
+                || comp
+                    .iter()
+                    .any(|&v| pos_edges[v].iter().chain(&neg_edges[v]).any(|&w| w == v));
+            let unstratified = comp
+                .iter()
+                .any(|&v| neg_edges[v].iter().any(|&w| member(w)));
+            SccInfo {
+                preds: comp.iter().map(|&v| defined[v]).collect(),
+                recursive,
+                unstratified,
+            }
+        })
+        .collect();
+
+    DepGraph { sccs, scc_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_lang::parse_program;
+
+    fn module_of(src: &str) -> Module {
+        parse_program(src)
+            .unwrap()
+            .modules()
+            .next()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn transitive_closure_single_scc() {
+        let m = module_of(
+            "module tc. export path(bf).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+             end_module.",
+        );
+        let g = analyze(&m);
+        assert_eq!(g.sccs.len(), 1);
+        assert!(g.sccs[0].recursive);
+        assert!(!g.sccs[0].unstratified);
+    }
+
+    #[test]
+    fn layered_sccs_in_evaluation_order() {
+        let m = module_of(
+            "module m. export top(f).\n\
+             base2(X) :- base1(X).\n\
+             top(X) :- base2(X), base1(X).\n\
+             base1(X) :- src(X).\n\
+             end_module.",
+        );
+        let g = analyze(&m);
+        assert_eq!(g.sccs.len(), 3);
+        let order: Vec<String> = g
+            .sccs
+            .iter()
+            .map(|s| s.preds[0].name.as_str())
+            .collect();
+        assert_eq!(order, vec!["base1", "base2", "top"]);
+        assert!(g.sccs.iter().all(|s| !s.recursive));
+    }
+
+    #[test]
+    fn mutual_recursion_grouped() {
+        let m = module_of(
+            "module m. export p(f).\n\
+             p(X) :- q(X).\n\
+             q(X) :- p(X).\n\
+             q(X) :- base(X).\n\
+             end_module.",
+        );
+        let g = analyze(&m);
+        assert_eq!(g.sccs.len(), 1);
+        assert_eq!(g.sccs[0].preds.len(), 2);
+        assert!(g.sccs[0].recursive);
+        assert!(g.same_scc(PredRef::new("p", 1), PredRef::new("q", 1)));
+    }
+
+    #[test]
+    fn stratified_negation_ok() {
+        let m = module_of(
+            "module m. export good(f).\n\
+             reach(X) :- edge(a, X).\n\
+             reach(X) :- reach(Y), edge(Y, X).\n\
+             good(X) :- node(X), not reach(X).\n\
+             end_module.",
+        );
+        let g = analyze(&m);
+        assert!(g.sccs.iter().all(|s| !s.unstratified));
+        // reach SCC comes before good.
+        let reach_scc = g.scc_of[&PredRef::new("reach", 1)];
+        let good_scc = g.scc_of[&PredRef::new("good", 1)];
+        assert!(reach_scc < good_scc);
+    }
+
+    #[test]
+    fn negation_in_cycle_flagged() {
+        let m = module_of(
+            "module m. export win(f).\n\
+             win(X) :- move(X, Y), not win(Y).\n\
+             end_module.",
+        );
+        let g = analyze(&m);
+        assert_eq!(g.sccs.len(), 1);
+        assert!(g.sccs[0].unstratified);
+    }
+
+    #[test]
+    fn aggregation_in_cycle_flagged() {
+        let m = module_of(
+            "module m. export sp(ff).\n\
+             sp(X, min(C)) :- sp(Y, C), edge(Y, X).\n\
+             end_module.",
+        );
+        let g = analyze(&m);
+        assert!(g.sccs[0].unstratified);
+        // But Figure 3's layering is stratified: s_p_length aggregates
+        // over p, which is in a lower SCC.
+        let m2 = module_of(
+            "module m. export s(fff).\n\
+             p(X, Y, C) :- e(X, Y, C).\n\
+             p(X, Y, C) :- p(X, Z, C1), e(Z, Y, C2), C = C1 + C2.\n\
+             s(X, Y, min(C)) :- p(X, Y, C).\n\
+             end_module.",
+        );
+        let g2 = analyze(&m2);
+        assert!(g2.sccs.iter().all(|s| !s.unstratified));
+    }
+
+    #[test]
+    fn agg_term_detection() {
+        let m = module_of(
+            "module m. export s(ff).\ns(X, min(C)) :- p(X, C).\nend_module.",
+        );
+        assert_eq!(head_agg_positions(&m.rules[0]), vec![1]);
+        // min of a non-variable is not an aggregate position.
+        let m2 = module_of(
+            "module m. export s(ff).\ns(X, min(3)) :- p(X, C).\nend_module.",
+        );
+        assert_eq!(head_agg_positions(&m2.rules[0]), Vec::<usize>::new());
+    }
+}

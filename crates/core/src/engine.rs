@@ -1,0 +1,878 @@
+//! The engine: modules, inter-module calls, base relations, builtins.
+//!
+//! This is the run-time half of Figure 1's "query evaluation system".
+//! The engine owns the base-relation catalog and the loaded program
+//! modules; every literal evaluation goes through
+//! [`Engine::candidates`], which dispatches to a base relation, a
+//! computed (builtin) predicate, or a *module call* — and a module call
+//! honours §5.6's contract: "The calling module will wait until the
+//! called module returns answers to the subquery. The called module
+//! presents a scan-like interface, and returns all answers to the
+//! subquery upon repeated 'get-next-tuple' requests", with the point at
+//! which answers appear depending on the callee's evaluation mode
+//! (eager, lazy, pipelined, saved, ordered search).
+
+use crate::compile::CompiledModule;
+use crate::error::{EvalError, EvalResult};
+use crate::join::ExternalResolver;
+use crate::rewrite::rewrite_module;
+use crate::scan::{scan_to_iter, AnswerScan, IterScan, VecScan};
+use crate::seminaive::{FixpointState, LocalSetup, Strategy};
+use coral_lang::{
+    Adornment, AggFn, Annotation, Binding, FixpointKind, Literal, Module, PredRef, Query,
+    RewriteKind, Rule,
+};
+use coral_rel::{
+    AggSelKind, AggregateSelection, Database, DupSemantics, HashRelation, IndexSpec, Relation,
+    TupleIter,
+};
+use coral_term::{Term, Tuple, VarId};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Evaluation controls for one module, from its annotations (§4, §5.4).
+#[derive(Clone, Debug)]
+pub struct ModuleControls {
+    /// Pipelined (top-down) instead of materialized.
+    pub pipelined: bool,
+    /// Fixpoint variant for materialized evaluation.
+    pub fixpoint: FixpointKind,
+    /// Rewriting technique.
+    pub rewrite: RewriteKind,
+    /// Return answers at iteration boundaries (§5.4.3).
+    pub lazy: bool,
+    /// Retain state between calls (§5.4.2).
+    pub save: bool,
+    /// Ordered Search evaluation (§5.4.1).
+    pub ordered: bool,
+    /// Ablation: disable intelligent backtracking.
+    pub no_intelligent_backtracking: bool,
+    /// Ablation: disable automatic index selection.
+    pub no_auto_index: bool,
+    /// Opt-in: optimizer join-order selection (§4.2).
+    pub reorder_joins: bool,
+}
+
+impl Default for ModuleControls {
+    fn default() -> ModuleControls {
+        ModuleControls {
+            pipelined: false,
+            fixpoint: FixpointKind::Bsn,
+            rewrite: RewriteKind::SupplementaryMagic,
+            lazy: false,
+            save: false,
+            ordered: false,
+            no_intelligent_backtracking: false,
+            no_auto_index: false,
+            reorder_joins: false,
+        }
+    }
+}
+
+type CacheKey = (PredRef, String, Vec<usize>);
+
+/// A loaded module.
+pub struct ModuleDef {
+    /// The source AST.
+    pub ast: Module,
+    /// Evaluation controls.
+    pub controls: ModuleControls,
+    /// Relation setup (multiset/aggregate selections/user indexes).
+    pub setup: LocalSetup,
+    compiled: RefCell<HashMap<CacheKey, Rc<CompiledModule>>>,
+    /// Save-module facility: retained fixpoint states.
+    pub(crate) saved: RefCell<HashMap<CacheKey, FixpointState>>,
+    /// Reentrancy guard (the save-module restriction of §5.4.2, also
+    /// used to detect accidental cross-module recursion cycles).
+    pub(crate) active: Cell<bool>,
+}
+
+struct EngineInner {
+    db: Rc<Database>,
+    modules: RefCell<Vec<Rc<ModuleDef>>>,
+    exports: RefCell<HashMap<PredRef, usize>>,
+    /// Multiset-declared base predicates (applied at relation creation).
+    base_multiset: RefCell<Vec<PredRef>>,
+}
+
+/// The CORAL engine (cheaply cloneable handle).
+#[derive(Clone)]
+pub struct Engine {
+    inner: Rc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with an empty base-relation catalog.
+    pub fn new() -> Engine {
+        Engine {
+            inner: Rc::new(EngineInner {
+                db: Rc::new(Database::new()),
+                modules: RefCell::new(Vec::new()),
+                exports: RefCell::new(HashMap::new()),
+                base_multiset: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The base-relation catalog.
+    pub fn db(&self) -> &Rc<Database> {
+        &self.inner.db
+    }
+
+    /// Insert a fact into a base relation (created on first use).
+    pub fn add_fact(&self, pred: PredRef, tuple: Tuple) -> EvalResult<bool> {
+        let rel = self.base_relation(pred);
+        Ok(rel.insert(tuple)?)
+    }
+
+    fn base_relation(&self, pred: PredRef) -> Rc<dyn Relation> {
+        if let Some(r) = self.inner.db.get(pred.name, pred.arity) {
+            return r;
+        }
+        let dup = if self.inner.base_multiset.borrow().contains(&pred) {
+            DupSemantics::Multiset
+        } else {
+            DupSemantics::SetSubsuming
+        };
+        let r: Rc<dyn Relation> = Rc::new(HashRelation::with_semantics(pred.arity, dup));
+        self.inner.db.register(pred.name, Rc::clone(&r));
+        r
+    }
+
+    /// Register an externally built relation (e.g. a persistent relation
+    /// or a computed relation from the embedding API) as a base relation.
+    pub fn register_relation(&self, name: coral_term::Symbol, rel: Rc<dyn Relation>) {
+        self.inner.db.register(name, rel);
+    }
+
+    /// Load a program module: parse controls from its annotations,
+    /// validate, and register its exports.
+    pub fn load_module(&self, ast: Module) -> EvalResult<()> {
+        let mut controls = ModuleControls::default();
+        let mut setup = LocalSetup::default();
+        for ann in &ast.annotations {
+            match ann {
+                Annotation::Pipelining => controls.pipelined = true,
+                Annotation::Materialize => controls.pipelined = false,
+                Annotation::Fixpoint(k) => controls.fixpoint = *k,
+                Annotation::Rewrite(k) => controls.rewrite = *k,
+                Annotation::OrderedSearch => controls.ordered = true,
+                Annotation::SaveModule => controls.save = true,
+                Annotation::Lazy => controls.lazy = true,
+                Annotation::NoIntelligentBacktracking => {
+                    controls.no_intelligent_backtracking = true
+                }
+                Annotation::NoAutoIndex => controls.no_auto_index = true,
+                Annotation::ReorderJoins => controls.reorder_joins = true,
+                Annotation::Multiset(p) => {
+                    setup.multiset.insert(*p);
+                }
+                Annotation::AggregateSelection { .. } => {
+                    let (pred, sel) = convert_aggsel(ann)?;
+                    setup.aggsels.push((pred, sel));
+                }
+                Annotation::MakeIndex { .. } => {
+                    let (pred, spec) = convert_make_index(ann);
+                    setup.user_indexes.push((pred, spec));
+                }
+            }
+        }
+        let has_agg_heads = ast
+            .rules
+            .iter()
+            .any(|r| !crate::depgraph::head_agg_positions(r).is_empty());
+        if controls.save && has_agg_heads {
+            return Err(EvalError::ModuleProtocol(format!(
+                "module {}: @save_module cannot be combined with head aggregation \
+                 (saved aggregates would go stale across calls)",
+                ast.name
+            )));
+        }
+        if controls.ordered && has_agg_heads {
+            return Err(EvalError::ModuleProtocol(format!(
+                "module {}: this implementation's Ordered Search handles negation; \
+                 aggregate rules must live in stratified modules",
+                ast.name
+            )));
+        }
+        if controls.pipelined && has_agg_heads {
+            return Err(EvalError::ModuleProtocol(format!(
+                "module {}: head aggregation needs materialized evaluation \
+                 (a pipelined rule cannot see the whole group)",
+                ast.name
+            )));
+        }
+        if controls.pipelined && controls.ordered {
+            return Err(EvalError::ModuleProtocol(format!(
+                "module {}: @pipelining and @ordered_search are mutually exclusive",
+                ast.name
+            )));
+        }
+        let def = Rc::new(ModuleDef {
+            ast,
+            controls,
+            setup,
+            compiled: RefCell::new(HashMap::new()),
+            saved: RefCell::new(HashMap::new()),
+            active: Cell::new(false),
+        });
+        let idx = self.inner.modules.borrow().len();
+        for export in &def.ast.exports {
+            self.inner.exports.borrow_mut().insert(export.pred, idx);
+        }
+        // Modules without explicit exports export every defined pred.
+        if def.ast.exports.is_empty() {
+            for pred in def.ast.defined_preds() {
+                self.inner.exports.borrow_mut().insert(pred, idx);
+            }
+        }
+        self.inner.modules.borrow_mut().push(def);
+        Ok(())
+    }
+
+    /// Apply a top-level (base relation) annotation.
+    pub fn apply_annotation(&self, ann: &Annotation) -> EvalResult<()> {
+        match ann {
+            Annotation::MakeIndex { pred, .. } => {
+                let (p, spec) = convert_make_index(ann);
+                debug_assert_eq!(p, *pred);
+                let rel = self.base_relation(*pred);
+                rel.make_index(spec)?;
+                Ok(())
+            }
+            Annotation::AggregateSelection { pred, .. } => {
+                let (_, sel) = convert_aggsel(ann)?;
+                let rel = self.base_relation(*pred);
+                // Only hash relations accept insert-time selections.
+                match self.inner.db.get(pred.name, pred.arity) {
+                    Some(_) => {
+                        let hash = rel_as_hash(&rel).ok_or_else(|| {
+                            EvalError::ModuleProtocol(format!(
+                                "aggregate selections apply to in-memory relations ({pred})"
+                            ))
+                        })?;
+                        hash.add_aggregate_selection(sel)?;
+                        Ok(())
+                    }
+                    None => unreachable!("base_relation registers"),
+                }
+            }
+            Annotation::Multiset(pred) => {
+                if self.inner.db.get(pred.name, pred.arity).is_some() {
+                    return Err(EvalError::ModuleProtocol(format!(
+                        "@multiset must precede facts for {pred}"
+                    )));
+                }
+                self.inner.base_multiset.borrow_mut().push(*pred);
+                Ok(())
+            }
+            other => Err(EvalError::ModuleProtocol(format!(
+                "annotation {other:?} is only meaningful inside a module"
+            ))),
+        }
+    }
+
+    /// The module exporting `pred`, if any.
+    pub fn module_of(&self, pred: PredRef) -> Option<Rc<ModuleDef>> {
+        let idx = *self.inner.exports.borrow().get(&pred)?;
+        Some(Rc::clone(&self.inner.modules.borrow()[idx]))
+    }
+
+    /// Dump the rewritten program the optimizer produced for a query
+    /// form, "stored as a text file — useful as a debugging aid" (§2).
+    pub fn explain(&self, pred: PredRef, adornment: &Adornment) -> EvalResult<String> {
+        let mdef = self
+            .module_of(pred)
+            .ok_or_else(|| EvalError::UnknownPredicate(pred.to_string()))?;
+        let cm = self.compiled_for(&mdef, pred, adornment, &[])?;
+        Ok(coral_lang::pretty::module_to_string(&cm.rewritten.module))
+    }
+
+    fn compiled_for(
+        &self,
+        mdef: &Rc<ModuleDef>,
+        pred: PredRef,
+        adornment: &Adornment,
+        dontcare: &[usize],
+    ) -> EvalResult<Rc<CompiledModule>> {
+        let key: CacheKey = (pred, adornment.to_string(), dontcare.to_vec());
+        if let Some(cm) = mdef.compiled.borrow().get(&key) {
+            return Ok(Rc::clone(cm));
+        }
+        let protected: std::collections::HashSet<PredRef> = mdef
+            .setup
+            .aggsels
+            .iter()
+            .map(|(p, _)| *p)
+            .chain(mdef.setup.user_indexes.iter().map(|(p, _)| *p))
+            .collect();
+        let rewritten = if mdef.controls.ordered {
+            // Ordered Search uses its own always-guarded magic variant
+            // with pending capture and done guards (§5.4.1).
+            crate::ordered_search::rewrite_ordered(&mdef.ast, pred, adornment)
+        } else {
+            rewrite_module(
+                &mdef.ast,
+                pred,
+                adornment,
+                mdef.controls.rewrite,
+                &protected,
+                dontcare,
+            )
+        };
+        // User argument-form indexes feed compile's index table for
+        // renamed local predicates through their origin names; pattern
+        // indexes are applied at relation construction.
+        let opts = crate::compile::CompileOptions {
+            fixpoint: mdef.controls.fixpoint,
+            ordered_search: mdef.controls.ordered,
+            intelligent_backtracking: !mdef.controls.no_intelligent_backtracking,
+            auto_index: !mdef.controls.no_auto_index,
+            reorder_joins: mdef.controls.reorder_joins,
+        };
+        let compiled = crate::compile::compile_with(rewritten, opts, &[]);
+        let cm = match compiled {
+            Ok(cm) => Rc::new(cm),
+            Err(EvalError::Unstratified(_)) if !mdef.controls.ordered => {
+                // Magic rewriting can entangle an aggregate/negation
+                // stratum with the magic predicates of its consumers,
+                // making a stratified module unstratified (the classic
+                // magic-sets/stratification conflict). If the *original*
+                // module is stratified, retreat to evaluating it without
+                // binding propagation — the query selection becomes a
+                // post-filter, exactly the all-free semantics of §4.1.
+                let original = crate::depgraph::analyze(&mdef.ast);
+                if original.sccs.iter().any(|s| s.unstratified) {
+                    return Err(EvalError::Unstratified(format!(
+                        "module {} is not stratified; use @ordered_search",
+                        mdef.ast.name
+                    )));
+                }
+                let rw2 = rewrite_module(
+                    &mdef.ast,
+                    pred,
+                    adornment,
+                    RewriteKind::None,
+                    &protected,
+                    dontcare,
+                );
+                Rc::new(crate::compile::compile_with(
+                    rw2,
+                    crate::compile::CompileOptions {
+                        ordered_search: false,
+                        ..opts
+                    },
+                    &[],
+                )?)
+            }
+            Err(e) => return Err(e),
+        };
+        mdef.compiled.borrow_mut().insert(key, Rc::clone(&cm));
+        Ok(cm)
+    }
+
+    /// Choose the query form for a call: the declared form with the most
+    /// bound positions that only binds what the query actually grounds;
+    /// without declarations, the induced adornment itself.
+    fn choose_adornment(
+        &self,
+        mdef: &ModuleDef,
+        pred: PredRef,
+        pattern: &[Term],
+    ) -> EvalResult<Adornment> {
+        let induced = Adornment(
+            pattern
+                .iter()
+                .map(|t| {
+                    if t.is_ground() {
+                        Binding::Bound
+                    } else {
+                        Binding::Free
+                    }
+                })
+                .collect(),
+        );
+        match mdef.ast.export_of(pred) {
+            None => Ok(induced),
+            Some(export) => {
+                let ground: Vec<usize> = induced.bound_positions();
+                let mut best: Option<&Adornment> = None;
+                for form in &export.forms {
+                    if form.bound_positions().iter().all(|p| ground.contains(p)) {
+                        let better = match best {
+                            None => true,
+                            Some(b) => form.bound_positions().len() > b.bound_positions().len(),
+                        };
+                        if better {
+                            best = Some(form);
+                        }
+                    }
+                }
+                best.cloned().ok_or_else(|| {
+                    EvalError::BadQueryForm(format!(
+                        "query {pred} with pattern {induced} matches none of the declared forms {:?}",
+                        export.forms.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+                    ))
+                })
+            }
+        }
+    }
+
+    /// Apply the optimizer's index recommendations to base relations
+    /// (idempotent; silently skipped for relation implementations that
+    /// do not take indices, e.g. computed relations).
+    fn apply_external_indexes(&self, mdef: &ModuleDef, cm: &CompiledModule) {
+        for (pred, cols) in &cm.external_indexes {
+            if let Some(rel) = self.inner.db.get(pred.name, pred.arity) {
+                let _ = rel.make_index(IndexSpec::Args(cols.clone()));
+            }
+        }
+        // User `@make_index` annotations naming base relations (local
+        // predicates get theirs at relation construction).
+        for (pred, spec) in &mdef.setup.user_indexes {
+            if self.module_of(*pred).is_none() {
+                if let Some(rel) = self.inner.db.get(pred.name, pred.arity) {
+                    let _ = rel.make_index(spec.clone());
+                }
+            }
+        }
+    }
+
+    /// Evaluate a call on an exported predicate, returning the scan of
+    /// its answers (§5.6). `dontcare` marks query positions whose
+    /// bindings the caller discards.
+    pub fn module_call(
+        &self,
+        pred: PredRef,
+        pattern: &[Term],
+        dontcare: &[usize],
+    ) -> EvalResult<Box<dyn AnswerScan>> {
+        let mdef = self
+            .module_of(pred)
+            .ok_or_else(|| EvalError::UnknownPredicate(pred.to_string()))?;
+        if mdef.controls.pipelined {
+            return Ok(Box::new(crate::pipeline::PipelinedScan::new(
+                self.clone(),
+                mdef,
+                Literal {
+                    pred: pred.name,
+                    args: pattern.to_vec(),
+                },
+            )));
+        }
+        let adornment = self.choose_adornment(&mdef, pred, pattern)?;
+        let cm = self.compiled_for(&mdef, pred, &adornment, dontcare)?;
+        self.apply_external_indexes(&mdef, &cm);
+        if mdef.controls.ordered {
+            return crate::ordered_search::evaluate(self, &mdef, cm, pattern);
+        }
+        if mdef.controls.save {
+            return crate::save_module::call(self, &mdef, cm, pred, &adornment, pattern);
+        }
+        // Plain materialized call: fresh state, discarded afterwards
+        // ("CORAL … discards all intermediate facts and subgoals computed
+        // by a module at the end of a call", §5.4.2).
+        let mut state = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
+            .with_strategy(Strategy::from(mdef.controls.fixpoint));
+        state.seed(pattern)?;
+        if mdef.controls.lazy {
+            return Ok(Box::new(crate::save_module::LazyScan::new(
+                self.clone(),
+                state,
+                pattern.to_vec(),
+            )));
+        }
+        state.run(self)?;
+        Ok(Box::new(answers_scan(&state, pattern)))
+    }
+
+    /// Run a top-level query: returns the scan of full-arity answer
+    /// tuples. Query variables whose names begin with `_` are treated as
+    /// existential (projection pushing, §4.1).
+    pub fn query(&self, q: &Query) -> EvalResult<Box<dyn AnswerScan>> {
+        let pred = q.literal.pred_ref();
+        let pattern = Tuple::new(q.literal.args.clone());
+        let dontcare: Vec<usize> = q
+            .literal
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Var(v) => q
+                    .var_names
+                    .get(v.0 as usize)
+                    .is_some_and(|n| n.starts_with('_')),
+                _ => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if self.module_of(pred).is_some() {
+            self.module_call(pred, pattern.args(), &dontcare)
+        } else {
+            // Base relation or builtin: filtered lookup.
+            let iter = self.candidates(&q.literal, pattern.args())?;
+            Ok(Box::new(FilterScan {
+                inner: Box::new(IterScan::new(iter)),
+                pattern: pattern.args().to_vec(),
+            }))
+        }
+    }
+}
+
+/// Expand projected answers back to the query arity and filter to those
+/// unifying with the pattern.
+pub(crate) fn answers_scan(state: &FixpointState, pattern: &[Term]) -> VecScan {
+    let cm = state.compiled();
+    let answers = state.answers();
+    let dontcare = &cm.rewritten.dontcare;
+    let mut out = Vec::new();
+    if dontcare.is_empty() {
+        for t in answers.lookup(pattern).flatten() {
+            out.push(t);
+        }
+    } else {
+        let full_arity = pattern.len();
+        let kept: Vec<usize> = (0..full_arity).filter(|j| !dontcare.contains(j)).collect();
+        for t in answers.scan().flatten() {
+            let mut args = vec![Term::var(0); full_arity];
+            let mut next_var = t.nvars();
+            for (k, &j) in kept.iter().enumerate() {
+                args[j] = t.args()[k].clone();
+            }
+            for &j in dontcare {
+                args[j] = Term::Var(VarId(next_var));
+                next_var += 1;
+            }
+            out.push(Tuple::new(args));
+        }
+    }
+    // Final unification filter (bindings not propagated by the chosen
+    // query form are applied here as a post-selection).
+    out.retain(|t| unifies_with(pattern, t));
+    VecScan::new(out)
+}
+
+pub(crate) fn unifies_with(pattern: &[Term], t: &Tuple) -> bool {
+    let mut envs = coral_term::EnvSet::new();
+    let pv = pattern.iter().map(|x| x.var_bound()).max().unwrap_or(0);
+    let ep = envs.push_frame(pv as usize);
+    let et = envs.push_frame(t.nvars() as usize);
+    pattern
+        .iter()
+        .zip(t.args())
+        .all(|(p, a)| coral_term::unify(&mut envs, p, ep, a, et))
+}
+
+/// A scan filtering candidates by unification with a pattern.
+pub struct FilterScan {
+    inner: Box<dyn AnswerScan>,
+    pattern: Vec<Term>,
+}
+
+impl AnswerScan for FilterScan {
+    fn next_answer(&mut self) -> EvalResult<Option<Tuple>> {
+        while let Some(t) = self.inner.next_answer()? {
+            if unifies_with(&self.pattern, &t) {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl ExternalResolver for Engine {
+    fn candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter> {
+        let pred = lit.pred_ref();
+        // 1. Module exports take precedence (a module may redefine a
+        //    builtin name).
+        if self.module_of(pred).is_some() {
+            let scan = self.module_call(pred, pattern, &[])?;
+            return Ok(scan_to_iter(scan));
+        }
+        // 2. Base relations.
+        if let Some(rel) = self.inner.db.get(pred.name, pred.arity) {
+            return Ok(rel.lookup(pattern));
+        }
+        // 3. Builtins.
+        if let Some(tuples) = builtins::eval(pred, pattern)? {
+            return Ok(Box::new(tuples.into_iter().map(Ok)));
+        }
+        Err(EvalError::UnknownPredicate(format!(
+            "{pred} is neither a base relation, an exported predicate, nor a builtin"
+        )))
+    }
+}
+
+fn rel_as_hash(rel: &Rc<dyn Relation>) -> Option<&HashRelation> {
+    rel.as_any().downcast_ref::<HashRelation>()
+}
+
+fn convert_aggsel(ann: &Annotation) -> EvalResult<(PredRef, AggregateSelection)> {
+    let Annotation::AggregateSelection {
+        pred,
+        group_vars,
+        agg,
+        agg_var,
+        pattern_vars,
+    } = ann
+    else {
+        unreachable!()
+    };
+    let pos_of = |v: &coral_term::Symbol| pattern_vars.iter().position(|p| p == v).unwrap();
+    let kind = match agg {
+        AggFn::Min => AggSelKind::Min,
+        AggFn::Max => AggSelKind::Max,
+        AggFn::Any => AggSelKind::Any,
+        other => {
+            return Err(EvalError::ModuleProtocol(format!(
+                "@aggregate_selection supports min/max/any, not {}",
+                other.name()
+            )))
+        }
+    };
+    Ok((
+        *pred,
+        AggregateSelection {
+            group_cols: group_vars.iter().map(pos_of).collect(),
+            kind,
+            target_col: pos_of(agg_var),
+        },
+    ))
+}
+
+fn convert_make_index(ann: &Annotation) -> (PredRef, IndexSpec) {
+    let Annotation::MakeIndex {
+        pred,
+        pattern,
+        key_vars,
+    } = ann
+    else {
+        unreachable!()
+    };
+    // All-distinct-variable patterns are argument-form indices.
+    let mut simple_positions = Vec::new();
+    let all_plain_vars = pattern.iter().all(|t| matches!(t, Term::Var(_)));
+    if all_plain_vars {
+        for kv in key_vars {
+            if let Some(pos) = pattern.iter().position(|t| matches!(t, Term::Var(v) if v == kv))
+            {
+                simple_positions.push(pos);
+            }
+        }
+        if simple_positions.len() == key_vars.len() {
+            return (*pred, IndexSpec::Args(simple_positions));
+        }
+    }
+    (
+        *pred,
+        IndexSpec::Pattern {
+            pattern: pattern.clone(),
+            key_vars: key_vars.clone(),
+        },
+    )
+}
+
+/// Rules defining a predicate within a module AST (pipelining walks the
+/// original rules).
+pub fn rules_of(ast: &Module, pred: PredRef) -> Vec<Rc<Rule>> {
+    ast.rules
+        .iter()
+        .filter(|r| r.head.pred_ref() == pred)
+        .map(|r| Rc::new(r.clone()))
+        .collect()
+}
+
+/// Built-in computed predicates (list manipulation; the paper's system
+/// libraries).
+pub mod builtins {
+    use super::*;
+
+    /// Evaluate a builtin: `Ok(Some(tuples))` with the candidate tuples,
+    /// `Ok(None)` if `pred` is not a builtin.
+    pub fn eval(pred: PredRef, pattern: &[Term]) -> EvalResult<Option<Vec<Tuple>>> {
+        let name = pred.name.as_str();
+        match (name.as_str(), pred.arity) {
+            ("append", 3) => append3(pattern).map(Some),
+            ("member", 2) => member2(pattern).map(Some),
+            ("length", 2) => length2(pattern).map(Some),
+            ("reverse", 2) => reverse2(pattern).map(Some),
+            ("nth1", 3) => nth1_3(pattern).map(Some),
+            ("between", 3) => between3(pattern).map(Some),
+            ("sum_list", 2) => sum_list2(pattern).map(Some),
+            ("sort", 2) => sort2(pattern).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    fn list_of(t: &Term) -> Option<Vec<Term>> {
+        t.list_elems().map(|v| v.into_iter().cloned().collect())
+    }
+
+    fn append3(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
+        let (a, b, c) = (&pattern[0], &pattern[1], &pattern[2]);
+        if let (Some(xs), Some(ys)) = (list_of(a), list_of(b)) {
+            let zs: Vec<Term> = xs.iter().chain(&ys).cloned().collect();
+            return Ok(vec![Tuple::new(vec![
+                Term::list(xs),
+                Term::list(ys),
+                Term::list(zs),
+            ])]);
+        }
+        if let Some(zs) = list_of(c) {
+            // All splits of zs.
+            let mut out = Vec::with_capacity(zs.len() + 1);
+            for i in 0..=zs.len() {
+                out.push(Tuple::new(vec![
+                    Term::list(zs[..i].to_vec()),
+                    Term::list(zs[i..].to_vec()),
+                    Term::list(zs.clone()),
+                ]));
+            }
+            return Ok(out);
+        }
+        Err(EvalError::Unsafe(
+            "append/3 needs its first two or its last argument to be a proper list".into(),
+        ))
+    }
+
+    fn member2(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
+        match list_of(&pattern[1]) {
+            Some(elems) => Ok(elems
+                .iter()
+                .map(|e| Tuple::new(vec![e.clone(), pattern[1].clone()]))
+                .collect()),
+            None => Err(EvalError::Unsafe(
+                "member/2 needs its second argument to be a proper list".into(),
+            )),
+        }
+    }
+
+    fn reverse2(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
+        if let Some(mut xs) = list_of(&pattern[0]) {
+            xs.reverse();
+            return Ok(vec![Tuple::new(vec![pattern[0].clone(), Term::list(xs)])]);
+        }
+        if let Some(mut ys) = list_of(&pattern[1]) {
+            ys.reverse();
+            return Ok(vec![Tuple::new(vec![Term::list(ys), pattern[1].clone()])]);
+        }
+        Err(EvalError::Unsafe(
+            "reverse/2 needs one argument to be a proper list".into(),
+        ))
+    }
+
+    fn nth1_3(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
+        let Some(xs) = list_of(&pattern[1]) else {
+            return Err(EvalError::Unsafe(
+                "nth1/3 needs its second argument to be a proper list".into(),
+            ));
+        };
+        let mk = |i: usize, e: &Term| {
+            Tuple::new(vec![Term::int(i as i64), pattern[1].clone(), e.clone()])
+        };
+        if let Term::Int(n) = pattern[0] {
+            let idx = n as usize;
+            return Ok(if n >= 1 && idx <= xs.len() {
+                vec![mk(idx, &xs[idx - 1])]
+            } else {
+                Vec::new()
+            });
+        }
+        Ok(xs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| mk(i + 1, e))
+            .collect())
+    }
+
+    fn between3(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
+        let (Term::Int(lo), Term::Int(hi)) = (&pattern[0], &pattern[1]) else {
+            return Err(EvalError::Unsafe(
+                "between/3 needs ground integer bounds".into(),
+            ));
+        };
+        if hi - lo > 10_000_000 {
+            return Err(EvalError::Unsafe(
+                "between/3 range larger than 10^7".into(),
+            ));
+        }
+        Ok((*lo..=*hi)
+            .map(|v| Tuple::new(vec![Term::int(*lo), Term::int(*hi), Term::int(v)]))
+            .collect())
+    }
+
+    fn sum_list2(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
+        let Some(xs) = list_of(&pattern[0]) else {
+            return Err(EvalError::Unsafe(
+                "sum_list/2 needs its first argument to be a proper list".into(),
+            ));
+        };
+        let mut int_sum = 0i64;
+        let mut f_sum = 0.0f64;
+        let mut any_double = false;
+        for x in &xs {
+            match x {
+                Term::Int(v) => {
+                    int_sum = int_sum.checked_add(*v).ok_or_else(|| {
+                        EvalError::Arith("sum_list/2 overflow".into())
+                    })?;
+                    f_sum += *v as f64;
+                }
+                Term::Double(d) => {
+                    any_double = true;
+                    f_sum += d.get();
+                }
+                other => {
+                    return Err(EvalError::Arith(format!(
+                        "sum_list/2: non-numeric element {other}"
+                    )))
+                }
+            }
+        }
+        let total = if any_double {
+            Term::double(f_sum)
+        } else {
+            Term::int(int_sum)
+        };
+        Ok(vec![Tuple::new(vec![pattern[0].clone(), total])])
+    }
+
+    fn sort2(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
+        let Some(mut xs) = list_of(&pattern[0]) else {
+            return Err(EvalError::Unsafe(
+                "sort/2 needs its first argument to be a proper list".into(),
+            ));
+        };
+        xs.sort_by(|a, b| a.order_cmp(b));
+        xs.dedup();
+        Ok(vec![Tuple::new(vec![
+            pattern[0].clone(),
+            Term::list(xs),
+        ])])
+    }
+
+    fn length2(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
+        if let Some(elems) = list_of(&pattern[0]) {
+            return Ok(vec![Tuple::new(vec![
+                pattern[0].clone(),
+                Term::int(elems.len() as i64),
+            ])]);
+        }
+        if let Term::Int(n) = pattern[1] {
+            if n >= 0 {
+                let elems: Vec<Term> = (0..n as u32).map(Term::var).collect();
+                return Ok(vec![Tuple::new(vec![Term::list(elems), Term::int(n)])]);
+            }
+        }
+        Err(EvalError::Unsafe(
+            "length/2 needs a proper list or a non-negative length".into(),
+        ))
+    }
+}

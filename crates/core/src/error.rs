@@ -1,0 +1,84 @@
+//! Engine errors.
+
+use coral_lang::ParseError;
+use coral_rel::RelError;
+use std::fmt;
+
+/// Errors from query compilation and evaluation.
+#[derive(Debug)]
+pub enum EvalError {
+    /// Relation-layer failure.
+    Rel(RelError),
+    /// Parse failure while consulting.
+    Parse(ParseError),
+    /// File I/O while consulting.
+    Io(std::io::Error),
+    /// The query does not match any permitted query form of the export.
+    BadQueryForm(String),
+    /// No module exports (and no base relation provides) the predicate.
+    UnknownPredicate(String),
+    /// The program is not evaluable with the selected strategy
+    /// (e.g. recursion through negation/aggregation without Ordered
+    /// Search, or an unsafe rule).
+    Unstratified(String),
+    /// A rule is unsafe (e.g. a negated literal or arithmetic operand
+    /// not ground at evaluation time).
+    Unsafe(String),
+    /// Arithmetic on non-numeric operands, division by zero, etc.
+    Arith(String),
+    /// Module-structure violation (e.g. recursive invocation of a
+    /// save-module, §5.4.2).
+    ModuleProtocol(String),
+    /// Internal control flow: a consumer asked evaluation to stop early
+    /// (first-solution searches). Never surfaces to users.
+    Interrupted,
+}
+
+/// Result alias for engine operations.
+pub type EvalResult<T> = Result<T, EvalError>;
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Rel(e) => write!(f, "{e}"),
+            EvalError::Parse(e) => write!(f, "parse error: {e}"),
+            EvalError::Io(e) => write!(f, "I/O error: {e}"),
+            EvalError::BadQueryForm(m) => write!(f, "query form not permitted: {m}"),
+            EvalError::UnknownPredicate(m) => write!(f, "unknown predicate: {m}"),
+            EvalError::Unstratified(m) => write!(f, "program not stratified: {m}"),
+            EvalError::Unsafe(m) => write!(f, "unsafe rule: {m}"),
+            EvalError::Arith(m) => write!(f, "arithmetic error: {m}"),
+            EvalError::ModuleProtocol(m) => write!(f, "module protocol violation: {m}"),
+            EvalError::Interrupted => f.write_str("evaluation interrupted"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Rel(e) => Some(e),
+            EvalError::Parse(e) => Some(e),
+            EvalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for EvalError {
+    fn from(e: RelError) -> EvalError {
+        EvalError::Rel(e)
+    }
+}
+
+impl From<ParseError> for EvalError {
+    fn from(e: ParseError) -> EvalError {
+        EvalError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for EvalError {
+    fn from(e: std::io::Error) -> EvalError {
+        EvalError::Io(e)
+    }
+}

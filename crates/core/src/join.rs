@@ -1,0 +1,680 @@
+//! Rule evaluation: nested-loops join with indexing (§5.3, §4.2).
+//!
+//! "The basic join mechanism in CORAL is nested-loops with indexing. In a
+//! manner similar to Prolog, CORAL maintains a trail of variable bindings
+//! when a rule is evaluated; this is used to undo variable bindings when
+//! the nested-loops join considers the next tuple in any loop."
+//!
+//! [`eval_rule`] evaluates one semi-naive version of one compiled rule:
+//! body elements are satisfied left-to-right; literal elements iterate
+//! candidate tuples from their relation (through the best index) and
+//! unify under the shared [`EnvSet`]; comparison and negation elements
+//! are deterministic checks. On exhaustion the join backs up — to the
+//! previous element if this one ever matched, otherwise directly to the
+//! precomputed *intelligent backtracking* point (§4.2), skipping
+//! independent elements that cannot change the outcome.
+
+use crate::arith::{compare_terms, eval_arith};
+use crate::compile::{BodyElem, CompiledRule, SnVersion};
+use crate::error::{EvalError, EvalResult};
+use coral_lang::{CmpOp, Literal, PredRef};
+use coral_rel::{HashRelation, Mark, Relation, TupleIter};
+use coral_term::bindenv::{EnvId, EnvSet, FrameMark, TrailMark};
+use coral_term::{unify, Term, Tuple};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The relations local to one module evaluation.
+#[derive(Default)]
+pub struct LocalRels {
+    map: HashMap<PredRef, Rc<HashRelation>>,
+}
+
+impl LocalRels {
+    /// Empty set.
+    pub fn new() -> LocalRels {
+        LocalRels::default()
+    }
+
+    /// Register the relation for a local predicate.
+    pub fn insert(&mut self, pred: PredRef, rel: Rc<HashRelation>) {
+        self.map.insert(pred, rel);
+    }
+
+    /// The relation for `pred`.
+    pub fn get(&self, pred: PredRef) -> Option<&Rc<HashRelation>> {
+        self.map.get(&pred)
+    }
+
+    /// The relation for `pred`, panicking on unknown locals (compiler
+    /// registers every local predicate up front).
+    pub fn require(&self, pred: PredRef) -> &Rc<HashRelation> {
+        self.map
+            .get(&pred)
+            .unwrap_or_else(|| panic!("unregistered local predicate {pred}"))
+    }
+
+    /// Iterate all `(pred, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&PredRef, &Rc<HashRelation>)> {
+        self.map.iter()
+    }
+}
+
+/// Source of candidate tuples for literals not local to the module:
+/// base relations, other modules' exports, computed predicates. The
+/// engine implements this; tests stub it.
+pub trait ExternalResolver {
+    /// Candidate tuples possibly unifying with `pattern` for `lit`'s
+    /// predicate. `pattern` is self-contained (variables renumbered).
+    fn candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter>;
+}
+
+/// Per-predicate delta boundaries for the current iteration:
+/// `(prev, cur)` — delta is `[prev, cur)`, "old" is `[0, prev)`, and the
+/// iteration-consistent full view is `[0, cur)`.
+pub type Ranges = HashMap<PredRef, (Mark, Mark)>;
+
+/// Everything a rule evaluation needs.
+pub struct JoinCtx<'a> {
+    /// Local relations.
+    pub locals: &'a LocalRels,
+    /// Resolver for external literals.
+    pub external: &'a dyn ExternalResolver,
+    /// Delta boundaries for recursive predicates this iteration.
+    pub ranges: &'a Ranges,
+}
+
+impl JoinCtx<'_> {
+    /// The candidate iterator for a local literal at `pos` under the
+    /// current semi-naive version.
+    fn local_candidates(
+        &self,
+        pred: PredRef,
+        recursive: bool,
+        pos: usize,
+        version: SnVersion,
+        pattern: &[Term],
+    ) -> TupleIter {
+        let rel = self.locals.require(pred);
+        if !recursive {
+            return rel.lookup(pattern);
+        }
+        let (prev, cur) = self
+            .ranges
+            .get(&pred)
+            .copied()
+            .unwrap_or((Mark(0), rel.current_mark()));
+        match version.delta_idx {
+            Some(d) if pos == d => rel.lookup_range(pattern, prev, Some(cur)),
+            Some(d) if pos < d => rel.lookup_range(pattern, Mark(0), Some(prev)),
+            _ => rel.lookup_range(pattern, Mark(0), Some(cur)),
+        }
+    }
+}
+
+/// Build a self-contained lookup pattern for a literal: arguments
+/// resolved under the environment with a shared variable numbering, so
+/// repeated unbound variables stay correlated in the pattern.
+pub fn literal_pattern(envs: &EnvSet, lit: &Literal, env: EnvId) -> Vec<Term> {
+    let mut varmap = Vec::new();
+    let mut next = 0;
+    lit.args
+        .iter()
+        .map(|t| envs.resolve_with(t, env, &mut varmap, &mut next))
+        .collect()
+}
+
+enum SlotState {
+    /// A literal iterating candidates.
+    Candidates {
+        iter: TupleIter,
+        /// Whether any candidate unified since the slot opened.
+        matched: bool,
+    },
+    /// A deterministic check (comparison, negation) that already
+    /// succeeded once.
+    CheckDone,
+}
+
+struct Slot {
+    state: SlotState,
+    trail: TrailMark,
+    frames: FrameMark,
+}
+
+/// Evaluate one semi-naive version of `rule`, calling `emit` for every
+/// solution of the body. `emit` receives the environment and the rule's
+/// frame so it can resolve the head. Returns the number of solutions.
+pub fn eval_rule(
+    ctx: &JoinCtx<'_>,
+    rule: &CompiledRule,
+    version: SnVersion,
+    envs: &mut EnvSet,
+    emit: &mut dyn FnMut(&mut EnvSet, EnvId) -> EvalResult<()>,
+) -> EvalResult<usize> {
+    let base_frames = envs.frame_mark();
+    let base_trail = envs.mark();
+    let env = envs.push_frame(rule.nvars as usize);
+    let n = rule.body.len();
+    let mut solutions = 0usize;
+
+    if n == 0 {
+        emit(envs, env)?;
+        envs.undo(base_trail);
+        envs.pop_frames(base_frames);
+        return Ok(1);
+    }
+
+    let mut slots: Vec<Option<Slot>> = (0..n).map(|_| None).collect();
+    let mut pos = 0usize;
+    'outer: loop {
+        // Open the slot at `pos` if needed.
+        if slots[pos].is_none() {
+            let trail = envs.mark();
+            let frames = envs.frame_mark();
+            let state = match &rule.body[pos] {
+                BodyElem::Local { lit, recursive } => {
+                    let pattern = literal_pattern(envs, lit, env);
+                    SlotState::Candidates {
+                        iter: ctx.local_candidates(
+                            lit.pred_ref(),
+                            *recursive,
+                            pos,
+                            version,
+                            &pattern,
+                        ),
+                        matched: false,
+                    }
+                }
+                BodyElem::External { lit } => {
+                    let pattern = literal_pattern(envs, lit, env);
+                    SlotState::Candidates {
+                        iter: ctx.external.candidates(lit, &pattern)?,
+                        matched: false,
+                    }
+                }
+                BodyElem::Negated { .. } | BodyElem::Compare { .. } => {
+                    // Deterministic: evaluated on first advance.
+                    let ok = advance_check(ctx, rule, pos, envs, env)?;
+                    if ok {
+                        slots[pos] = Some(Slot {
+                            state: SlotState::CheckDone,
+                            trail,
+                            frames,
+                        });
+                        if pos + 1 == n {
+                            solutions += 1;
+                            emit(envs, env)?;
+                            // Retry this check slot: it is deterministic,
+                            // so fall through to backtracking below.
+                        } else {
+                            pos += 1;
+                            continue 'outer;
+                        }
+                    }
+                    // Failed (or solution emitted): backtrack.
+                    envs.undo(trail);
+                    envs.pop_frames(frames);
+                    slots[pos] = None;
+                    match backtrack_from(rule, &mut slots, envs, pos, ok) {
+                        Some(p) => {
+                            pos = p;
+                            continue 'outer;
+                        }
+                        None => break 'outer,
+                    }
+                }
+            };
+            slots[pos] = Some(Slot {
+                state,
+                trail,
+                frames,
+            });
+        }
+
+        // A deterministic check being re-entered has exhausted its
+        // single success: unwind it and backtrack chronologically.
+        if matches!(
+            slots[pos].as_ref().unwrap().state,
+            SlotState::CheckDone
+        ) {
+            let slot = slots[pos].take().unwrap();
+            envs.undo(slot.trail);
+            envs.pop_frames(slot.frames);
+            match backtrack_from(rule, &mut slots, envs, pos, true) {
+                Some(p) => {
+                    pos = p;
+                    continue 'outer;
+                }
+                None => break 'outer,
+            }
+        }
+        // Advance a candidate slot.
+        let slot = slots[pos].as_mut().unwrap();
+        let (lit_args, _) = match &rule.body[pos] {
+            BodyElem::Local { lit, .. } | BodyElem::External { lit } => (&lit.args, ()),
+            _ => unreachable!("check slots handled above"),
+        };
+        let SlotState::Candidates { iter, matched } = &mut slot.state else {
+            unreachable!("check slots handled above")
+        };
+        let mut advanced = false;
+        loop {
+            // Reset to the slot's entry state before trying the next
+            // candidate.
+            envs.undo(slot.trail);
+            envs.pop_frames(slot.frames);
+            match iter.next() {
+                None => break,
+                Some(cand) => {
+                    let t: Tuple = cand?;
+                    let tenv = envs.push_frame(t.nvars() as usize);
+                    let mut ok = true;
+                    for (a, b) in lit_args.iter().zip(t.args()) {
+                        if !unify(envs, a, env, b, tenv) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        *matched = true;
+                        advanced = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if advanced {
+            if pos + 1 == n {
+                solutions += 1;
+                emit(envs, env)?;
+                // Chronological backtrack into this slot for the next
+                // candidate.
+                continue 'outer;
+            }
+            pos += 1;
+            continue 'outer;
+        }
+        // Exhausted.
+        let had_match = match &slots[pos].as_ref().unwrap().state {
+            SlotState::Candidates { matched, .. } => *matched,
+            SlotState::CheckDone => true,
+        };
+        {
+            let slot = slots[pos].as_ref().unwrap();
+            envs.undo(slot.trail);
+            envs.pop_frames(slot.frames);
+        }
+        slots[pos] = None;
+        match backtrack_from(rule, &mut slots, envs, pos, had_match) {
+            Some(p) => {
+                pos = p;
+                continue 'outer;
+            }
+            None => break 'outer,
+        }
+    }
+
+    envs.undo(base_trail);
+    envs.pop_frames(base_frames);
+    Ok(solutions)
+}
+
+/// Choose where to resume after position `pos` exhausts. Chronological
+/// (`pos - 1`) if the element ever matched; otherwise the precomputed
+/// intelligent-backtracking point. Closes the slots in between.
+fn backtrack_from(
+    rule: &CompiledRule,
+    slots: &mut [Option<Slot>],
+    envs: &mut EnvSet,
+    pos: usize,
+    had_match: bool,
+) -> Option<usize> {
+    let target = if had_match {
+        pos.checked_sub(1)
+    } else {
+        rule.backtrack[pos]
+    }?;
+    // Close intervening slots (deeper first) so the trail and frame
+    // stacks unwind in order.
+    for p in (target + 1..pos).rev() {
+        if let Some(slot) = slots[p].take() {
+            envs.undo(slot.trail);
+            envs.pop_frames(slot.frames);
+        }
+    }
+    Some(target)
+}
+
+/// Evaluate a deterministic body element (comparison or negation).
+fn advance_check(
+    ctx: &JoinCtx<'_>,
+    rule: &CompiledRule,
+    pos: usize,
+    envs: &mut EnvSet,
+    env: EnvId,
+) -> EvalResult<bool> {
+    match &rule.body[pos] {
+        BodyElem::Compare { op, lhs, rhs } => match op {
+            CmpOp::Unify => {
+                let l = eval_arith(envs, lhs, env)?;
+                let r = eval_arith(envs, rhs, env)?;
+                let (lt, le) = match l {
+                    Some((t, e)) => (t, e),
+                    None => envs.deref(lhs, env),
+                };
+                let (rt, re) = match r {
+                    Some((t, e)) => (t, e),
+                    None => envs.deref(rhs, env),
+                };
+                Ok(unify(envs, &lt, le, &rt, re))
+            }
+            CmpOp::NotUnify => {
+                let m = envs.mark();
+                let (lt, le) = envs.deref(lhs, env);
+                let (rt, re) = envs.deref(rhs, env);
+                let unified = unify(envs, &lt, le, &rt, re);
+                envs.undo(m);
+                Ok(!unified)
+            }
+            cmp => {
+                let l = eval_arith(envs, lhs, env)?.ok_or_else(|| {
+                    EvalError::Unsafe(format!(
+                        "comparison operand not ground: {} in rule {}",
+                        lhs, rule.head.pred
+                    ))
+                })?;
+                let r = eval_arith(envs, rhs, env)?.ok_or_else(|| {
+                    EvalError::Unsafe(format!(
+                        "comparison operand not ground: {} in rule {}",
+                        rhs, rule.head.pred
+                    ))
+                })?;
+                let lt = envs.resolve(&l.0, l.1);
+                let rt = envs.resolve(&r.0, r.1);
+                if !lt.is_ground() || !rt.is_ground() {
+                    return Err(EvalError::Unsafe(format!(
+                        "comparison operand not ground in rule {}",
+                        rule.head.pred
+                    )));
+                }
+                compare_terms(*cmp, &lt, &rt)
+            }
+        },
+        BodyElem::Negated { lit, local } => {
+            let pattern = literal_pattern(envs, lit, env);
+            let iter = if *local {
+                ctx.locals.require(lit.pred_ref()).lookup(&pattern)
+            } else {
+                ctx.external.candidates(lit, &pattern)?
+            };
+            let m = envs.mark();
+            let fm = envs.frame_mark();
+            for cand in iter {
+                let t = cand?;
+                let tenv = envs.push_frame(t.nvars() as usize);
+                let mut ok = true;
+                for (a, b) in lit.args.iter().zip(t.args()) {
+                    if !unify(envs, a, env, b, tenv) {
+                        ok = false;
+                        break;
+                    }
+                }
+                envs.undo(m);
+                envs.pop_frames(fm);
+                if ok {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Resolve a rule head under a solution environment into a fact.
+pub fn resolve_head(envs: &EnvSet, head: &Literal, env: EnvId) -> Tuple {
+    let mut varmap = Vec::new();
+    let mut next = 0;
+    Tuple::new(
+        head.args
+            .iter()
+            .map(|t| envs.resolve_with(t, env, &mut varmap, &mut next))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{BodyElem, CompiledRule, SnVersion};
+    use coral_lang::parse_program;
+    use coral_rel::Relation;
+    use coral_term::Symbol;
+
+    /// External resolver over a plain map of relations.
+    pub struct MapResolver {
+        pub rels: HashMap<PredRef, Rc<HashRelation>>,
+    }
+
+    impl ExternalResolver for MapResolver {
+        fn candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter> {
+            match self.rels.get(&lit.pred_ref()) {
+                Some(r) => Ok(r.lookup(pattern)),
+                None => Err(EvalError::UnknownPredicate(lit.pred_ref().to_string())),
+            }
+        }
+    }
+
+    fn compile_rule(src: &str) -> CompiledRule {
+        // Parse a one-rule module; treat all body literals as external.
+        let prog = parse_program(&format!("module t. export t(ff).\n{src}\nend_module.")).unwrap();
+        let rule = prog.modules().next().unwrap().rules[0].clone();
+        let body: Vec<BodyElem> = rule
+            .body
+            .iter()
+            .map(|item| match item {
+                coral_lang::BodyItem::Literal(l) => BodyElem::External { lit: l.clone() },
+                coral_lang::BodyItem::Negated(l) => BodyElem::Negated {
+                    lit: l.clone(),
+                    local: false,
+                },
+                coral_lang::BodyItem::Compare { op, lhs, rhs } => BodyElem::Compare {
+                    op: *op,
+                    lhs: lhs.clone(),
+                    rhs: rhs.clone(),
+                },
+            })
+            .collect();
+        let backtrack = (0..body.len()).map(|i| i.checked_sub(1)).collect();
+        CompiledRule {
+            head: rule.head.clone(),
+            agg: None,
+            body,
+            nvars: rule.nvars,
+            var_names: rule.var_names.clone(),
+            versions: vec![SnVersion { delta_idx: None }],
+            backtrack,
+        }
+    }
+
+    fn rel_of(name: &str, tuples: &[Vec<i64>]) -> (PredRef, Rc<HashRelation>) {
+        let arity = tuples.first().map(|t| t.len()).unwrap_or(2);
+        let r = Rc::new(HashRelation::new(arity));
+        for t in tuples {
+            r.insert(Tuple::ground(t.iter().map(|v| Term::int(*v)).collect()))
+                .unwrap();
+        }
+        (PredRef::new(name, arity), r)
+    }
+
+    fn run(rule: &CompiledRule, resolver: &MapResolver) -> Vec<String> {
+        let locals = LocalRels::new();
+        let ranges = Ranges::new();
+        let ctx = JoinCtx {
+            locals: &locals,
+            external: resolver,
+            ranges: &ranges,
+        };
+        let mut envs = EnvSet::new();
+        let mut out = Vec::new();
+        eval_rule(&ctx, rule, SnVersion { delta_idx: None }, &mut envs, &mut |envs, env| {
+            out.push(resolve_head(envs, &rule.head, env).to_string());
+            Ok(())
+        })
+        .unwrap();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn two_way_join() {
+        let rule = compile_rule("t(X, Z) :- e(X, Y), e(Y, Z).");
+        let (p, r) = rel_of("e", &[vec![1, 2], vec![2, 3], vec![2, 4]]);
+        let resolver = MapResolver {
+            rels: [(p, r)].into(),
+        };
+        assert_eq!(run(&rule, &resolver), vec!["(1, 3)", "(1, 4)"]);
+    }
+
+    #[test]
+    fn join_with_arithmetic_and_comparison() {
+        let rule = compile_rule("t(X, C) :- e(X, Y), C = X + Y, C >= 5.");
+        let (p, r) = rel_of("e", &[vec![1, 2], vec![2, 3], vec![4, 4]]);
+        let resolver = MapResolver {
+            rels: [(p, r)].into(),
+        };
+        assert_eq!(run(&rule, &resolver), vec!["(2, 5)", "(4, 8)"]);
+    }
+
+    #[test]
+    fn negation_filters() {
+        let rule = compile_rule("t(X, X) :- e(X, _), not f(X, X).");
+        let (pe, re) = rel_of("e", &[vec![1, 9], vec![2, 9], vec![3, 9]]);
+        let (pf, rf) = rel_of("f", &[vec![2, 2]]);
+        let resolver = MapResolver {
+            rels: [(pe, re), (pf, rf)].into(),
+        };
+        assert_eq!(run(&rule, &resolver), vec!["(1, 1)", "(3, 3)"]);
+    }
+
+    #[test]
+    fn not_unify_builtin() {
+        let rule = compile_rule("t(X, Y) :- e(X, Y), X \\= Y.");
+        let (p, r) = rel_of("e", &[vec![1, 1], vec![1, 2]]);
+        let resolver = MapResolver {
+            rels: [(p, r)].into(),
+        };
+        assert_eq!(run(&rule, &resolver), vec!["(1, 2)"]);
+    }
+
+    #[test]
+    fn unify_binds_either_direction() {
+        let rule = compile_rule("t(X, Y) :- e(X, _), 10 = Y.");
+        let (p, r) = rel_of("e", &[vec![3, 0]]);
+        let resolver = MapResolver {
+            rels: [(p, r)].into(),
+        };
+        assert_eq!(run(&rule, &resolver), vec!["(3, 10)"]);
+    }
+
+    #[test]
+    fn ungrounded_comparison_is_unsafe() {
+        let rule = compile_rule("t(X, Y) :- e(X, _), Y > 3.");
+        let (p, r) = rel_of("e", &[vec![1, 0]]);
+        let resolver = MapResolver {
+            rels: [(p, r)].into(),
+        };
+        let locals = LocalRels::new();
+        let ranges = Ranges::new();
+        let ctx = JoinCtx {
+            locals: &locals,
+            external: &resolver,
+            ranges: &ranges,
+        };
+        let mut envs = EnvSet::new();
+        let err = eval_rule(&ctx, &rule, SnVersion { delta_idx: None }, &mut envs, &mut |_, _| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Unsafe(_)));
+    }
+
+    #[test]
+    fn empty_body_emits_once() {
+        let rule = compile_rule("t(1, 2).");
+        let resolver = MapResolver { rels: [].into() };
+        assert_eq!(run(&rule, &resolver), vec!["(1, 2)"]);
+    }
+
+    #[test]
+    fn cartesian_product_when_independent() {
+        let rule = compile_rule("t(X, Y) :- a(X, X), b(Y, Y).");
+        let (pa, ra) = rel_of("a", &[vec![1, 1], vec![2, 2]]);
+        let (pb, rb) = rel_of("b", &[vec![8, 8], vec![9, 9]]);
+        let resolver = MapResolver {
+            rels: [(pa, ra), (pb, rb)].into(),
+        };
+        assert_eq!(
+            run(&rule, &resolver),
+            vec!["(1, 8)", "(1, 9)", "(2, 8)", "(2, 9)"]
+        );
+    }
+
+    #[test]
+    fn trail_restored_across_candidates() {
+        // Repeated variable in the pattern must not leak bindings from a
+        // failed candidate into the next attempt.
+        let rule = compile_rule("t(X, Y) :- e(X, X), e(X, Y).");
+        let (p, r) = rel_of("e", &[vec![1, 2], vec![2, 2], vec![2, 5]]);
+        let resolver = MapResolver {
+            rels: [(p, r)].into(),
+        };
+        assert_eq!(run(&rule, &resolver), vec!["(2, 2)", "(2, 5)"]);
+    }
+
+    #[test]
+    fn local_literal_reads_delta_range() {
+        let pred = PredRef::new("p", 1);
+        let rel = Rc::new(HashRelation::new(1));
+        rel.insert(Tuple::ground(vec![Term::int(1)])).unwrap();
+        let m1 = rel.mark();
+        rel.insert(Tuple::ground(vec![Term::int(2)])).unwrap();
+        let m2 = rel.mark();
+        let mut locals = LocalRels::new();
+        locals.insert(pred, Rc::clone(&rel));
+        let mut ranges = Ranges::new();
+        ranges.insert(pred, (m1, m2));
+        let resolver = MapResolver { rels: [].into() };
+        let ctx = JoinCtx {
+            locals: &locals,
+            external: &resolver,
+            ranges: &ranges,
+        };
+        // Rule t(X) :- p(X) with p recursive: delta version sees only 2.
+        let rule = CompiledRule {
+            head: Literal {
+                pred: Symbol::intern("t"),
+                args: vec![Term::var(0)],
+            },
+            agg: None,
+            body: vec![BodyElem::Local {
+                lit: Literal {
+                    pred: Symbol::intern("p"),
+                    args: vec![Term::var(0)],
+                },
+                recursive: true,
+            }],
+            nvars: 1,
+            var_names: vec!["X".into()],
+            versions: vec![SnVersion { delta_idx: Some(0) }],
+            backtrack: vec![None],
+        };
+        let mut envs = EnvSet::new();
+        let mut got = Vec::new();
+        eval_rule(&ctx, &rule, SnVersion { delta_idx: Some(0) }, &mut envs, &mut |envs, env| {
+            got.push(resolve_head(envs, &rule.head, env).to_string());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, vec!["(2)"]);
+    }
+}

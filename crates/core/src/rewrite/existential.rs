@@ -1,0 +1,395 @@
+//! Existential Query Rewriting — projection pushing (§4.1, paper ref \[19\]).
+//!
+//! "CORAL also supports Existential Query Rewriting, which seeks to
+//! propagate projections. This is applied by default in conjunction with
+//! a selection-pushing rewriting." Implemented as iterated dead-column
+//! elimination on the rewritten program: an argument position of an
+//! internal predicate is *dead* when every use of the predicate passes a
+//! don't-care variable there (a variable occurring exactly once in its
+//! rule); such columns are projected out of the predicate's definition,
+//! shrinking the facts materialized during evaluation. Dropping one
+//! column can orphan variables elsewhere, so the analysis runs to a
+//! fixpoint.
+//!
+//! Query-level existentials (`?- p(1, _)`) are handled by the engine,
+//! which wraps the query in a projection rule so the don't-care answer
+//! columns become dead here.
+
+use crate::depgraph::head_agg_positions;
+use crate::rewrite::Rewritten;
+use coral_lang::{BodyItem, Literal, Module, PredRef, Rule};
+use coral_term::{Term, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// Like `collect_vars` but counts repeated occurrences.
+fn collect_all_vars(t: &Term, out: &mut Vec<VarId>) {
+    match t {
+        Term::Var(v) => out.push(*v),
+        Term::App(a) => {
+            for arg in a.args() {
+                collect_all_vars(arg, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Wrap the query in a projection rule when the caller marked answer
+/// positions as don't-care (`?- p(1, _)`): the wrapper becomes the new
+/// answer predicate, turning the discarded columns into dead columns
+/// that [`eliminate_dead_columns`] can push into the program.
+pub fn add_query_projection(rw: &mut Rewritten, dontcare: &[usize]) {
+    if dontcare.is_empty() {
+        return;
+    }
+    let p = rw.answer_pred;
+    let keep: Vec<usize> = (0..p.arity).filter(|j| !dontcare.contains(j)).collect();
+    let wrapper = PredRef {
+        name: coral_term::Symbol::intern(&format!("exq_{}", p.name)),
+        arity: keep.len(),
+    };
+    let full_args: Vec<Term> = (0..p.arity as u32).map(Term::var).collect();
+    let kept_args: Vec<Term> = keep.iter().map(|&j| Term::var(j as u32)).collect();
+    rw.module.rules.push(Rule {
+        head: Literal {
+            pred: wrapper.name,
+            args: kept_args,
+        },
+        body: vec![BodyItem::Literal(Literal {
+            pred: p.name,
+            args: full_args,
+        })],
+        nvars: p.arity as u32,
+        var_names: (0..p.arity).map(|i| format!("A{i}")).collect(),
+    });
+    rw.answer_pred = wrapper;
+    rw.dontcare = dontcare.to_vec();
+}
+
+/// Eliminate dead columns in place; returns `(pred, dropped columns)`.
+/// Predicates whose origin is in `protected_origins` (they carry
+/// aggregate selections or other column-indexed annotations) keep their
+/// shape.
+///
+/// Liveness fixpoint: a column of an internal predicate is *live* when
+/// some use needs its value — a non-variable argument occupies it (the
+/// pattern is a selection), or the variable passed there occurs anywhere
+/// else that counts: another body argument (a join), a comparison, a
+/// negation, or a live head position. Everything else is projected away.
+pub fn eliminate_dead_columns(
+    rw: &mut Rewritten,
+    protected_origins: &HashSet<PredRef>,
+) -> Vec<(PredRef, Vec<usize>)> {
+    let module = &rw.module;
+    let mut protected: HashSet<PredRef> = HashSet::new();
+    protected.insert(rw.answer_pred);
+    for (renamed, orig) in &rw.origin {
+        if protected_origins.contains(orig) {
+            protected.insert(*renamed);
+        }
+    }
+    for r in &module.rules {
+        if !head_agg_positions(r).is_empty() {
+            protected.insert(r.head.pred_ref());
+        }
+    }
+    let defined: HashSet<PredRef> = module.rules.iter().map(|r| r.head.pred_ref()).collect();
+
+    // live[p][j]: candidates start dead; protected/external predicates
+    // are implicitly all-live.
+    let mut live: HashMap<PredRef, Vec<bool>> = defined
+        .iter()
+        .filter(|p| !protected.contains(p))
+        .map(|p| (*p, vec![false; p.arity]))
+        .collect();
+
+    let is_live = |live: &HashMap<PredRef, Vec<bool>>, p: PredRef, j: usize| -> bool {
+        live.get(&p).map(|f| f[j]).unwrap_or(true)
+    };
+
+    loop {
+        let mut changed = false;
+        for rule in &module.rules {
+            // Occurrence counts of each variable across the rule, where
+            // head arguments at dead positions do not count (their value
+            // flows into a projected-away column).
+            let head_pred = rule.head.pred_ref();
+            let mut counts: HashMap<VarId, usize> = HashMap::new();
+            let bump = |t: &Term, counts: &mut HashMap<VarId, usize>| {
+                let mut vs = Vec::new();
+                collect_all_vars(t, &mut vs);
+                for v in vs {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            };
+            for (j, t) in rule.head.args.iter().enumerate() {
+                if is_live(&live, head_pred, j) {
+                    bump(t, &mut counts);
+                }
+            }
+            for item in &rule.body {
+                match item {
+                    BodyItem::Literal(l) | BodyItem::Negated(l) => {
+                        for t in &l.args {
+                            bump(t, &mut counts);
+                        }
+                    }
+                    BodyItem::Compare { lhs, rhs, .. } => {
+                        bump(lhs, &mut counts);
+                        // Comparison operands are definite uses.
+                        let mut vs = Vec::new();
+                        collect_all_vars(lhs, &mut vs);
+                        collect_all_vars(rhs, &mut vs);
+                        for v in vs {
+                            *counts.entry(v).or_insert(0) += 2;
+                        }
+                        bump(rhs, &mut counts);
+                    }
+                }
+            }
+            // Mark columns whose occurrence in this rule is a use.
+            for item in &rule.body {
+                let lit = match item {
+                    BodyItem::Literal(l) | BodyItem::Negated(l) => l,
+                    BodyItem::Compare { .. } => continue,
+                };
+                let p = lit.pred_ref();
+                if !live.contains_key(&p) {
+                    continue;
+                }
+                for (j, arg) in lit.args.iter().enumerate() {
+                    if is_live(&live, p, j) {
+                        continue;
+                    }
+                    let needed = match arg {
+                        Term::Var(v) => counts.get(v).copied().unwrap_or(0) >= 2,
+                        _ => true, // non-variable pattern = selection
+                    };
+                    if needed {
+                        live.get_mut(&p).unwrap()[j] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut eliminated: Vec<(PredRef, Vec<usize>)> = Vec::new();
+    let mut keep_map: HashMap<PredRef, Vec<usize>> = HashMap::new();
+    for (p, flags) in &live {
+        if flags.contains(&false) {
+            let keep: Vec<usize> = flags
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l)
+                .map(|(j, _)| j)
+                .collect();
+            let dropped: Vec<usize> = (0..p.arity).filter(|j| !keep.contains(j)).collect();
+            eliminated.push((
+                PredRef {
+                    name: p.name,
+                    arity: keep.len(),
+                },
+                dropped,
+            ));
+            keep_map.insert(*p, keep);
+        }
+    }
+    if keep_map.is_empty() {
+        return eliminated;
+    }
+    let project = |l: &Literal| -> Literal {
+        match keep_map.get(&l.pred_ref()) {
+            Some(keep) => Literal {
+                pred: l.pred,
+                args: keep.iter().map(|&j| l.args[j].clone()).collect(),
+            },
+            None => l.clone(),
+        }
+    };
+    let new_rules: Vec<Rule> = rw
+        .module
+        .rules
+        .iter()
+        .map(|rule| Rule {
+            head: project(&rule.head),
+            body: rule
+                .body
+                .iter()
+                .map(|item| match item {
+                    BodyItem::Literal(l) => BodyItem::Literal(project(l)),
+                    BodyItem::Negated(l) => BodyItem::Negated(project(l)),
+                    other => other.clone(),
+                })
+                .collect(),
+            nvars: rule.nvars,
+            var_names: rule.var_names.clone(),
+        })
+        .collect();
+    rw.module = Module {
+        name: rw.module.name.clone(),
+        exports: Vec::new(),
+        rules: new_rules,
+        annotations: rw.module.annotations.clone(),
+    };
+    for p in keep_map.keys() {
+        if let Some(seed) = &rw.seed {
+            debug_assert_ne!(seed.pred, *p, "seed predicates are never defined");
+        }
+        rw.origin.remove(p);
+    }
+    eliminated.sort_by_key(|a| a.0.name.as_str());
+    eliminated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::{rewrite_module, MagicSeed};
+    use coral_lang::pretty::rule_to_string;
+    use coral_lang::{parse_program, Adornment, RewriteKind};
+
+    fn module_of(src: &str) -> Module {
+        parse_program(src).unwrap().modules().next().unwrap().clone()
+    }
+
+    #[test]
+    fn drops_dont_care_column() {
+        // q's second column is only ever a don't-care in p's rule.
+        let m = module_of(
+            "module m. export p(f).\n\
+             p(X) :- q(X, _).\n\
+             q(X, Y) :- e(X, Y), f(Y).\n\
+             end_module.",
+        );
+        let rw = rewrite_module(
+            &m,
+            PredRef::new("p", 1),
+            &Adornment::parse("f").unwrap(),
+            RewriteKind::SupplementaryMagic,
+            &HashSet::new(),
+            &[],
+        );
+        let texts: Vec<String> = rw.module.rules.iter().map(rule_to_string).collect();
+        assert!(
+            texts.iter().any(|t| t.starts_with("p__f(X) :- q__ff(X).")),
+            "{texts:#?}"
+        );
+        // q's definition keeps the join on Y but projects it away.
+        assert!(
+            texts.iter().any(|t| t.starts_with("q__ff(X) :- e(X, Y), f(Y).")),
+            "{texts:#?}"
+        );
+    }
+
+    #[test]
+    fn cascading_elimination_through_recursion() {
+        // Right-linear reachability: the output column is passed through
+        // untouched, so the projection cascades into the recursion and
+        // the program becomes single-column reachability.
+        let m = module_of(
+            "module m. export p(f).\n\
+             p(X) :- path(X, _).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+             end_module.",
+        );
+        let rw = rewrite_module(
+            &m,
+            PredRef::new("p", 1),
+            &Adornment::parse("f").unwrap(),
+            RewriteKind::SupplementaryMagic,
+            &HashSet::new(),
+            &[],
+        );
+        let texts: Vec<String> = rw.module.rules.iter().map(rule_to_string).collect();
+        // Recursive rule survives with arity-1 path: the Z join column is
+        // still live, only the output column vanished.
+        assert!(
+            texts.iter().any(|t| t.starts_with("path__ff(X) :- edge(X, Y).")),
+            "{texts:#?}"
+        );
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.starts_with("path__ff(X) :- edge(X, Z), path__ff(Z).")),
+            "{texts:#?}"
+        );
+        // The left-linear variant keeps the join column live.
+        let m2 = module_of(
+            "module m. export p(f).\n\
+             p(X) :- path(X, _).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+             end_module.",
+        );
+        let rw2 = rewrite_module(
+            &m2,
+            PredRef::new("p", 1),
+            &Adornment::parse("f").unwrap(),
+            RewriteKind::SupplementaryMagic,
+            &HashSet::new(),
+            &[],
+        );
+        let texts2: Vec<String> = rw2.module.rules.iter().map(rule_to_string).collect();
+        assert!(
+            texts2.iter().any(|t| t.starts_with("path__ff(X, Y) :- path__ff(X, Z), edge(Z, Y).")),
+            "{texts2:#?}"
+        );
+    }
+
+    #[test]
+    fn live_columns_are_kept() {
+        let m = module_of(
+            "module m. export p(ff).\n\
+             p(X, Y) :- q(X, Y).\n\
+             q(X, Y) :- e(X, Y).\n\
+             end_module.",
+        );
+        let rw = rewrite_module(
+            &m,
+            PredRef::new("p", 2),
+            &Adornment::parse("ff").unwrap(),
+            RewriteKind::SupplementaryMagic,
+            &HashSet::new(),
+            &[],
+        );
+        let texts: Vec<String> = rw.module.rules.iter().map(rule_to_string).collect();
+        assert!(texts.iter().any(|t| t.starts_with("q__ff(X, Y)")), "{texts:#?}");
+    }
+
+    #[test]
+    fn aggregate_heads_protected() {
+        let m = module_of(
+            "module m. export p(f).\n\
+             p(X) :- s(X, _).\n\
+             s(X, min(C)) :- q(X, C).\n\
+             q(X, C) :- e(X, C).\n\
+             end_module.",
+        );
+        let rw = rewrite_module(
+            &m,
+            PredRef::new("p", 1),
+            &Adornment::parse("f").unwrap(),
+            RewriteKind::SupplementaryMagic,
+            &HashSet::new(),
+            &[],
+        );
+        let texts: Vec<String> = rw.module.rules.iter().map(rule_to_string).collect();
+        // s keeps both columns (min column must not be projected away).
+        assert!(
+            texts.iter().any(|t| t.starts_with("s__ff(X, min(C))")),
+            "{texts:#?}"
+        );
+    }
+
+    #[test]
+    fn seed_type_is_exported() {
+        // Compile-time check that MagicSeed is visible through the parent
+        // module (used by the engine).
+        fn _takes(_: &MagicSeed) {}
+    }
+}

@@ -1,0 +1,351 @@
+//! Context Factoring for right-linear programs (§4.1, paper refs \[16, 9\]).
+//!
+//! For a right-linear recursive predicate — each recursive rule has its
+//! recursive call as the last literal, with the free (output) arguments
+//! passed through unchanged — per-subgoal answer bookkeeping is
+//! unnecessary: the answers to the query are the union, over all
+//! generated subgoal contexts, of the exit-rule results. The factored
+//! program keeps only a *context* predicate over the bound arguments:
+//!
+//! ```text
+//! ctx(B̄q).                       (seed: the query's bound arguments)
+//! ctx(B̄rec) :- ctx(B̄head), prefix.      per recursive rule
+//! ans(F̄)   :- ctx(B̄exit), exit-body.    per exit rule
+//! p(B̄q ⊎ F̄) :- seed(B̄q), ans(F̄).        (answer reconstruction)
+//! ```
+//!
+//! This is valid for a *single* seed goal — exactly how module calls are
+//! evaluated. Modules that do not match the right-linear class fall back
+//! to Supplementary Magic (the paper: "each technique is superior to the
+//! rest for some programs"; the optimizer picks what applies).
+
+use crate::adorn::adorn_module;
+use crate::rewrite::{magic, MagicSeed, Rewritten};
+use coral_lang::{Adornment, Binding, BodyItem, Literal, Module, PredRef, Rule};
+use coral_term::{Symbol, Term, VarId};
+
+/// Try context factoring; fall back to Supplementary Magic if the module
+/// is not right-linear factorable for this query form.
+pub fn rewrite(module: &Module, pred: PredRef, adorn: &Adornment) -> Rewritten {
+    match try_factor(module, pred, adorn) {
+        Some(r) => r,
+        None => magic::rewrite(module, pred, adorn, magic::Style::Supplementary),
+    }
+}
+
+/// Is `t` the variable `v`?
+fn is_var(t: &Term, v: VarId) -> bool {
+    matches!(t, Term::Var(w) if *w == v)
+}
+
+fn try_factor(module: &Module, pred: PredRef, adorn: &Adornment) -> Option<Rewritten> {
+    if adorn.is_all_free() {
+        return None;
+    }
+    let a = adorn_module(module, pred, adorn);
+    // The factorable class handled here: the query predicate is the only
+    // adorned predicate (self-recursive only), with one adornment.
+    if a.map.len() != 1 {
+        return None;
+    }
+    let qp = a.query_pred;
+    let bound_pos = a.query_adornment.bound_positions();
+    let free_pos: Vec<usize> = (0..qp.arity)
+        .filter(|i| a.query_adornment.0[*i] == Binding::Free)
+        .collect();
+    if bound_pos.is_empty() || free_pos.is_empty() {
+        return None;
+    }
+
+    let mut exit_rules: Vec<&Rule> = Vec::new();
+    let mut rec_rules: Vec<&Rule> = Vec::new();
+    for rule in &a.module.rules {
+        let recursive_positions: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| {
+                item.literal().map(|l| l.pred_ref()) == Some(qp)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match recursive_positions.as_slice() {
+            [] => exit_rules.push(rule),
+            [pos] => {
+                // Must be the last literal, positive, right-linear.
+                if *pos != rule.body.len() - 1 {
+                    return None;
+                }
+                if !matches!(rule.body[*pos], BodyItem::Literal(_)) {
+                    return None;
+                }
+                rec_rules.push(rule);
+            }
+            _ => return None,
+        }
+    }
+    if rec_rules.is_empty() {
+        return None;
+    }
+
+    // Check pass-through of free arguments: for every recursive rule,
+    // head free args and recursive-call free args are the same variables,
+    // and those variables appear nowhere else in the rule.
+    for rule in &rec_rules {
+        let BodyItem::Literal(call) = rule.body.last().unwrap() else {
+            return None;
+        };
+        for &fp in &free_pos {
+            let hv = match &rule.head.args[fp] {
+                Term::Var(v) => *v,
+                _ => return None,
+            };
+            if !is_var(&call.args[fp], hv) {
+                return None;
+            }
+            // The pass-through variable must not occur elsewhere.
+            let mut occurrences = 0usize;
+            let mut count = |t: &Term| {
+                let mut vs = Vec::new();
+                t.collect_vars(&mut vs);
+                if vs.contains(&hv) {
+                    occurrences += 1;
+                }
+            };
+            for (i, arg) in rule.head.args.iter().enumerate() {
+                if i != fp {
+                    count(arg);
+                }
+            }
+            for (bi, item) in rule.body.iter().enumerate() {
+                let last = bi == rule.body.len() - 1;
+                match item {
+                    BodyItem::Literal(l) | BodyItem::Negated(l) => {
+                        for (i, arg) in l.args.iter().enumerate() {
+                            if last && i == fp {
+                                continue;
+                            }
+                            count(arg);
+                        }
+                    }
+                    BodyItem::Compare { lhs, rhs, .. } => {
+                        count(lhs);
+                        count(rhs);
+                    }
+                }
+            }
+            if occurrences != 0 {
+                return None;
+            }
+        }
+    }
+
+    // Build the factored program.
+    let ctx = PredRef {
+        name: Symbol::intern(&format!("ctx_{}", qp.name)),
+        arity: bound_pos.len(),
+    };
+    let ans = PredRef {
+        name: Symbol::intern(&format!("ans_{}", qp.name)),
+        arity: free_pos.len(),
+    };
+    let seed = PredRef {
+        name: Symbol::intern(&format!("seed_{}", qp.name)),
+        arity: bound_pos.len(),
+    };
+    let proj = |lit: &Literal, positions: &[usize]| -> Vec<Term> {
+        positions.iter().map(|&i| lit.args[i].clone()).collect()
+    };
+
+    let mut out = Module {
+        name: a.module.name.clone(),
+        exports: Vec::new(),
+        rules: Vec::new(),
+        annotations: a.module.annotations.clone(),
+    };
+    // ctx(B̄) :- seed(B̄).
+    let seed_vars: Vec<Term> = (0..bound_pos.len() as u32).map(Term::var).collect();
+    out.rules.push(Rule {
+        head: Literal {
+            pred: ctx.name,
+            args: seed_vars.clone(),
+        },
+        body: vec![BodyItem::Literal(Literal {
+            pred: seed.name,
+            args: seed_vars,
+        })],
+        nvars: bound_pos.len() as u32,
+        var_names: (0..bound_pos.len()).map(|i| format!("B{i}")).collect(),
+    });
+    // ctx(B̄rec) :- ctx(B̄head), prefix.
+    for rule in &rec_rules {
+        let BodyItem::Literal(call) = rule.body.last().unwrap() else {
+            unreachable!()
+        };
+        let mut body = vec![BodyItem::Literal(Literal {
+            pred: ctx.name,
+            args: proj(&rule.head, &bound_pos),
+        })];
+        body.extend(rule.body[..rule.body.len() - 1].iter().cloned());
+        out.rules.push(Rule {
+            head: Literal {
+                pred: ctx.name,
+                args: proj(call, &bound_pos),
+            },
+            body,
+            nvars: rule.nvars,
+            var_names: rule.var_names.clone(),
+        });
+    }
+    // ans(F̄) :- ctx(B̄exit), exit-body.
+    for rule in &exit_rules {
+        let mut body = vec![BodyItem::Literal(Literal {
+            pred: ctx.name,
+            args: proj(&rule.head, &bound_pos),
+        })];
+        body.extend(rule.body.iter().cloned());
+        out.rules.push(Rule {
+            head: Literal {
+                pred: ans.name,
+                args: proj(&rule.head, &free_pos),
+            },
+            body,
+            nvars: rule.nvars,
+            var_names: rule.var_names.clone(),
+        });
+    }
+    // p(B̄ ⊎ F̄) :- seed(B̄), ans(F̄).
+    let nb = bound_pos.len() as u32;
+    let nf = free_pos.len() as u32;
+    let mut full_args = vec![Term::int(0); qp.arity];
+    for (k, &bp) in bound_pos.iter().enumerate() {
+        full_args[bp] = Term::var(k as u32);
+    }
+    for (k, &fp) in free_pos.iter().enumerate() {
+        full_args[fp] = Term::var(nb + k as u32);
+    }
+    out.rules.push(Rule {
+        head: Literal {
+            pred: qp.name,
+            args: full_args,
+        },
+        body: vec![
+            BodyItem::Literal(Literal {
+                pred: seed.name,
+                args: (0..nb).map(Term::var).collect(),
+            }),
+            BodyItem::Literal(Literal {
+                pred: ans.name,
+                args: (nb..nb + nf).map(Term::var).collect(),
+            }),
+        ],
+        nvars: nb + nf,
+        var_names: (0..nb)
+            .map(|i| format!("B{i}"))
+            .chain((0..nf).map(|i| format!("F{i}")))
+            .collect(),
+    });
+
+    let origin = a
+        .original
+        .iter()
+        .map(|(r, (o, _))| (*r, *o))
+        .collect();
+    Some(Rewritten {
+        module: out,
+        answer_pred: qp,
+        seed: Some(MagicSeed {
+            pred: seed,
+            bound_positions: bound_pos,
+            goal_id: false,
+        }),
+        adornment: a.query_adornment,
+        origin,
+        extra_local_preds: Vec::new(),
+        dontcare: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_lang::parse_program;
+    use coral_lang::pretty::rule_to_string;
+
+    fn module_of(src: &str) -> Module {
+        parse_program(src).unwrap().modules().next().unwrap().clone()
+    }
+
+    #[test]
+    fn right_linear_reachability_factors() {
+        let m = module_of(
+            "module r. export reach(bf).\n\
+             reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
+             end_module.",
+        );
+        let r = rewrite(&m, PredRef::new("reach", 2), &Adornment::parse("bf").unwrap());
+        let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
+        assert!(
+            texts.contains(&"ctx_reach__bf(Z) :- ctx_reach__bf(X), edge(X, Z).".to_string()),
+            "{texts:#?}"
+        );
+        assert!(
+            texts.contains(&"ans_reach__bf(Y) :- ctx_reach__bf(X), edge(X, Y).".to_string()),
+            "{texts:#?}"
+        );
+        assert!(
+            texts.iter().any(|t| t.starts_with("reach__bf(B0, F0) :- seed_reach__bf(B0)")),
+            "{texts:#?}"
+        );
+        // No per-goal answer bookkeeping: the context carries only the
+        // bound argument.
+        assert!(r.seed.as_ref().unwrap().pred.name.as_str() == "seed_reach__bf");
+    }
+
+    #[test]
+    fn left_linear_falls_back_to_supplementary() {
+        let m = module_of(
+            "module l. export anc(bf).\n\
+             anc(X, Y) :- par(X, Y).\n\
+             anc(X, Y) :- anc(X, Z), par(Z, Y).\n\
+             end_module.",
+        );
+        let r = rewrite(&m, PredRef::new("anc", 2), &Adornment::parse("bf").unwrap());
+        let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
+        assert!(
+            texts.iter().any(|t| t.contains("sup_")),
+            "fell back to supplementary: {texts:#?}"
+        );
+    }
+
+    #[test]
+    fn non_passthrough_output_falls_back() {
+        // The output is transformed on the way up: not factorable.
+        let m = module_of(
+            "module m. export p(bf).\n\
+             p(X, Y) :- e(X, Y).\n\
+             p(X, Y) :- e(X, Z), p(Z, W), f(W, Y).\n\
+             end_module.",
+        );
+        let r = rewrite(&m, PredRef::new("p", 2), &Adornment::parse("bf").unwrap());
+        assert!(r
+            .module
+            .rules
+            .iter()
+            .map(rule_to_string)
+            .any(|t| t.contains("sup_") || t.contains("m_p__bf")));
+    }
+
+    #[test]
+    fn all_free_falls_back() {
+        let m = module_of(
+            "module r. export reach(ff).\n\
+             reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
+             end_module.",
+        );
+        let r = rewrite(&m, PredRef::new("reach", 2), &Adornment::parse("ff").unwrap());
+        assert!(r.seed.is_none());
+    }
+}

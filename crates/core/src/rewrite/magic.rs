@@ -1,0 +1,511 @@
+//! Magic Templates and Supplementary Magic Templates (§4.1).
+//!
+//! Given the adorned program, these rewritings add *magic* predicates
+//! whose facts represent the subqueries generated during evaluation;
+//! every original rule is guarded by the magic fact for its head, so
+//! bottom-up evaluation computes only facts relevant to the query —
+//! "binding propagation similar to Prolog is achieved" when everything
+//! is bound (§4.1).
+//!
+//! The supplementary variant threads the partially-evaluated rule bodies
+//! through `sup_<r>_<i>` predicates so the join prefix shared by the
+//! magic rules and the original rule is computed once.
+//!
+//! The GoalId variant packs a magic fact's bound arguments into a single
+//! `goal(…)` functor term. Ground functor terms are hash-consed
+//! ([`coral_term::hashcons`]), so every supplementary tuple references
+//! the goal by unique identifier rather than by repeating (possibly
+//! large) bound terms — the effect of goal-id indexing in §4.1 / paper ref \[26\].
+
+use crate::adorn::{adorn_module, adorn_module_opt, bound_sets, AdornedModule};
+use crate::rewrite::{MagicSeed, Rewritten};
+use coral_lang::{Adornment, BodyItem, Literal, Module, PredRef, Rule};
+use coral_term::{Symbol, Term, VarId};
+use std::collections::HashSet;
+
+/// Which magic flavour to generate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Style {
+    /// Plain Magic Templates.
+    Plain,
+    /// Supplementary Magic Templates (the CORAL default).
+    Supplementary,
+    /// Supplementary Magic with GoalId indexing.
+    GoalId,
+}
+
+fn magic_pred(p: PredRef, adorn: &Adornment, goal_id: bool) -> PredRef {
+    PredRef {
+        name: Symbol::intern(&format!("m_{}", p.name)),
+        arity: if goal_id {
+            1
+        } else {
+            adorn.bound_positions().len()
+        },
+    }
+}
+
+/// Bound-position argument terms of a literal under an adornment.
+fn bound_args(lit: &Literal, adorn: &Adornment) -> Vec<Term> {
+    adorn
+        .bound_positions()
+        .iter()
+        .map(|&i| lit.args[i].clone())
+        .collect()
+}
+
+fn magic_literal(lit: &Literal, adorn: &Adornment, goal_id: bool) -> Literal {
+    let mp = magic_pred(lit.pred_ref(), adorn, goal_id);
+    let args = bound_args(lit, adorn);
+    Literal {
+        pred: mp.name,
+        args: if goal_id {
+            vec![Term::apps("goal", args)]
+        } else {
+            args
+        },
+    }
+}
+
+
+/// Renamed-to-original predicate map from the adorned module.
+fn origin_map(a: &AdornedModule) -> std::collections::HashMap<PredRef, PredRef> {
+    a.original.iter().map(|(r, (o, _))| (*r, *o)).collect()
+}
+
+/// `@rewrite none` / all-free queries: evaluate the original rules.
+pub fn no_rewriting(module: &Module, pred: PredRef, adorn: &Adornment) -> Rewritten {
+    // Still specialize reachable rules (unreachable predicates drop),
+    // without binding propagation: no magic will consume the patterns.
+    let a = adorn_module_opt(module, pred, &Adornment::all_free(pred.arity), false);
+    let origin = origin_map(&a);
+    Rewritten {
+        module: a.module,
+        answer_pred: a.query_pred,
+        seed: None,
+        adornment: adorn.clone(),
+        origin,
+        extra_local_preds: Vec::new(),
+        dontcare: Vec::new(),
+    }
+}
+
+/// Generate a magic-rewritten module in the given style.
+pub fn rewrite(module: &Module, pred: PredRef, adorn: &Adornment, style: Style) -> Rewritten {
+    let a = adorn_module(module, pred, adorn);
+    if a.query_adornment.is_all_free() {
+        // Nothing to propagate: fall back to unspecialized rules.
+        let a = adorn_module_opt(module, pred, &a.query_adornment, false);
+        let origin = origin_map(&a);
+        return Rewritten {
+            module: a.module,
+            answer_pred: a.query_pred,
+            seed: None,
+            adornment: a.query_adornment,
+            origin,
+            extra_local_preds: Vec::new(),
+            dontcare: Vec::new(),
+        };
+    }
+    match style {
+        Style::Plain => plain_magic(a),
+        Style::Supplementary => supplementary(a, false),
+        Style::GoalId => supplementary(a, true),
+    }
+}
+
+/// The adornment of a renamed predicate (from the adorned module map).
+fn adornment_of(a: &AdornedModule, renamed: PredRef) -> Option<&Adornment> {
+    a.original.get(&renamed).map(|(_, ad)| ad)
+}
+
+fn plain_magic(a: AdornedModule) -> Rewritten {
+    let goal_id = false;
+    let mut out = Module {
+        name: a.module.name.clone(),
+        exports: Vec::new(),
+        rules: Vec::new(),
+        annotations: a.module.annotations.clone(),
+    };
+    for rule in &a.module.rules {
+        let head_pred = rule.head.pred_ref();
+        let head_adorn = adornment_of(&a, head_pred)
+            .expect("adorned rule head")
+            .clone();
+        // Guarded original rule: head :- magic_head, body.
+        let mut guarded = rule.clone();
+        if !head_adorn.bound_positions().is_empty() {
+            guarded.body.insert(
+                0,
+                BodyItem::Literal(magic_literal(&rule.head, &head_adorn, goal_id)),
+            );
+        }
+        // Magic rules for derived body literals (using the original,
+        // unguarded prefix plus the head's magic guard).
+        for (i, item) in rule.body.iter().enumerate() {
+            let lit = match item {
+                BodyItem::Literal(l) | BodyItem::Negated(l) => l,
+                BodyItem::Compare { .. } => continue,
+            };
+            let Some(lit_adorn) = adornment_of(&a, lit.pred_ref()) else {
+                continue;
+            };
+            if lit_adorn.bound_positions().is_empty() {
+                continue;
+            }
+            let mut body = Vec::with_capacity(i + 1);
+            if !head_adorn.bound_positions().is_empty() {
+                body.push(BodyItem::Literal(magic_literal(
+                    &rule.head,
+                    &head_adorn,
+                    goal_id,
+                )));
+            }
+            body.extend(rule.body[0..i].iter().cloned());
+            out.rules.push(Rule {
+                head: magic_literal(lit, lit_adorn, goal_id),
+                body,
+                nvars: rule.nvars,
+                var_names: rule.var_names.clone(),
+            });
+        }
+        out.rules.push(guarded);
+    }
+    let seed_pred = magic_pred(a.query_pred, &a.query_adornment, goal_id);
+    let origin = origin_map(&a);
+    Rewritten {
+        module: out,
+        answer_pred: a.query_pred,
+        seed: Some(MagicSeed {
+            pred: seed_pred,
+            bound_positions: a.query_adornment.bound_positions(),
+            goal_id,
+        }),
+        adornment: a.query_adornment,
+        origin,
+        extra_local_preds: Vec::new(),
+        dontcare: Vec::new(),
+    }
+}
+
+fn item_vars(item: &BodyItem) -> Vec<VarId> {
+    match item {
+        BodyItem::Literal(l) | BodyItem::Negated(l) => {
+            let mut vs = Vec::new();
+            for t in &l.args {
+                t.collect_vars(&mut vs);
+            }
+            vs
+        }
+        BodyItem::Compare { lhs, rhs, .. } => {
+            let mut vs = Vec::new();
+            lhs.collect_vars(&mut vs);
+            rhs.collect_vars(&mut vs);
+            vs
+        }
+    }
+}
+
+fn supplementary(a: AdornedModule, goal_id: bool) -> Rewritten {
+    let mut out = Module {
+        name: a.module.name.clone(),
+        exports: Vec::new(),
+        rules: Vec::new(),
+        annotations: a.module.annotations.clone(),
+    };
+    for (ri, rule) in a.module.rules.iter().enumerate() {
+        let head_pred = rule.head.pred_ref();
+        let head_adorn = adornment_of(&a, head_pred)
+            .expect("adorned rule head")
+            .clone();
+        let has_magic = !head_adorn.bound_positions().is_empty();
+        let bounds = bound_sets(rule, &head_adorn);
+
+        // Variables needed at or after body position i (including the
+        // head).
+        let mut head_vars: Vec<VarId> = Vec::new();
+        for t in &rule.head.args {
+            t.collect_vars(&mut head_vars);
+        }
+        let mut needed_after: Vec<HashSet<VarId>> = vec![HashSet::new(); rule.body.len() + 1];
+        needed_after[rule.body.len()] = head_vars.iter().copied().collect();
+        for i in (0..rule.body.len()).rev() {
+            let mut s = needed_after[i + 1].clone();
+            for v in item_vars(&rule.body[i]) {
+                s.insert(v);
+            }
+            needed_after[i] = s;
+        }
+
+        // sup_{ri,i} carries the bound vars available after consuming
+        // body item i-1 that are still needed.
+        let sup_name = |i: usize| -> Symbol {
+            Symbol::intern(&format!("sup_{}_{}_{}", a.module.name, ri, i))
+        };
+        let sup_vars = |i: usize, bounds_i: &HashSet<VarId>| -> Vec<VarId> {
+            let mut vs: Vec<VarId> = bounds_i
+                .iter()
+                .copied()
+                .filter(|v| needed_after[i].contains(v))
+                .collect();
+            vs.sort_by_key(|v| v.0);
+            vs
+        };
+        let sup_lit = |name: Symbol, vars: &[VarId]| Literal {
+            pred: name,
+            args: vars.iter().map(|v| Term::Var(*v)).collect(),
+        };
+
+        if !has_magic {
+            // No bound head positions: only magic rules for derived body
+            // literals are needed, sourced from the plain body prefix.
+            for (i, item) in rule.body.iter().enumerate() {
+                let lit = match item {
+                    BodyItem::Literal(l) | BodyItem::Negated(l) => l,
+                    BodyItem::Compare { .. } => continue,
+                };
+                let Some(lit_adorn) = adornment_of(&a, lit.pred_ref()) else {
+                    continue;
+                };
+                if lit_adorn.bound_positions().is_empty() {
+                    continue;
+                }
+                out.rules.push(Rule {
+                    head: magic_literal(lit, lit_adorn, goal_id),
+                    body: rule.body[0..i].to_vec(),
+                    nvars: rule.nvars,
+                    var_names: rule.var_names.clone(),
+                });
+            }
+            out.rules.push(rule.clone());
+            continue;
+        }
+
+        // sup_0 :- magic_head.
+        let s0_vars = sup_vars(0, &bounds[0]);
+        out.rules.push(Rule {
+            head: sup_lit(sup_name(0), &s0_vars),
+            body: vec![BodyItem::Literal(magic_literal(
+                &rule.head,
+                &head_adorn,
+                goal_id,
+            ))],
+            nvars: rule.nvars,
+            var_names: rule.var_names.clone(),
+        });
+        let mut prev = (sup_name(0), s0_vars);
+        for (i, item) in rule.body.iter().enumerate() {
+            // Magic rule for a derived literal at position i.
+            if let BodyItem::Literal(lit) | BodyItem::Negated(lit) = item {
+                if let Some(lit_adorn) = adornment_of(&a, lit.pred_ref()) {
+                    if !lit_adorn.bound_positions().is_empty() {
+                        out.rules.push(Rule {
+                            head: magic_literal(lit, lit_adorn, goal_id),
+                            body: vec![BodyItem::Literal(sup_lit(prev.0, &prev.1))],
+                            nvars: rule.nvars,
+                            var_names: rule.var_names.clone(),
+                        });
+                    }
+                }
+            }
+            if i + 1 == rule.body.len() {
+                break;
+            }
+            // sup_{i+1} :- sup_i, body_i.
+            let vars = sup_vars(i + 1, &bounds[i + 1]);
+            out.rules.push(Rule {
+                head: sup_lit(sup_name(i + 1), &vars),
+                body: vec![
+                    BodyItem::Literal(sup_lit(prev.0, &prev.1)),
+                    item.clone(),
+                ],
+                nvars: rule.nvars,
+                var_names: rule.var_names.clone(),
+            });
+            prev = (sup_name(i + 1), vars);
+        }
+        // Final rule: head :- sup_last, last body item (or just sup for
+        // body-less rules).
+        let mut body = vec![BodyItem::Literal(sup_lit(prev.0, &prev.1))];
+        if let Some(last) = rule.body.last() {
+            body.push(last.clone());
+        }
+        out.rules.push(Rule {
+            head: rule.head.clone(),
+            body,
+            nvars: rule.nvars,
+            var_names: rule.var_names.clone(),
+        });
+    }
+    let seed_pred = magic_pred(a.query_pred, &a.query_adornment, goal_id);
+    let origin = origin_map(&a);
+    Rewritten {
+        module: out,
+        answer_pred: a.query_pred,
+        seed: Some(MagicSeed {
+            pred: seed_pred,
+            bound_positions: a.query_adornment.bound_positions(),
+            goal_id,
+        }),
+        adornment: a.query_adornment,
+        origin,
+        extra_local_preds: Vec::new(),
+        dontcare: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_lang::parse_program;
+    use coral_lang::pretty::rule_to_string;
+
+    fn module_of(src: &str) -> Module {
+        parse_program(src).unwrap().modules().next().unwrap().clone()
+    }
+
+    fn ancestor() -> Module {
+        module_of(
+            "module anc. export anc(bf).\n\
+             anc(X, Y) :- par(X, Y).\n\
+             anc(X, Y) :- par(X, Z), anc(Z, Y).\n\
+             end_module.",
+        )
+    }
+
+    #[test]
+    fn plain_magic_on_ancestor() {
+        let r = rewrite(
+            &ancestor(),
+            PredRef::new("anc", 2),
+            &Adornment::parse("bf").unwrap(),
+            Style::Plain,
+        );
+        let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
+        assert!(texts.contains(&"anc__bf(X, Y) :- m_anc__bf(X), par(X, Y).".to_string()));
+        assert!(texts.contains(&"m_anc__bf(Z) :- m_anc__bf(X), par(X, Z).".to_string()));
+        assert!(texts
+            .contains(&"anc__bf(X, Y) :- m_anc__bf(X), par(X, Z), anc__bf(Z, Y).".to_string()));
+        let seed = r.seed.unwrap();
+        assert_eq!(seed.pred.name.as_str(), "m_anc__bf");
+        assert_eq!(seed.bound_positions, vec![0]);
+        let t = seed.seed_tuple(&[Term::str("john"), Term::var(0)]);
+        assert_eq!(t.to_string(), "(john)");
+    }
+
+    #[test]
+    fn supplementary_magic_on_ancestor() {
+        let r = rewrite(
+            &ancestor(),
+            PredRef::new("anc", 2),
+            &Adornment::parse("bf").unwrap(),
+            Style::Supplementary,
+        );
+        let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
+        // sup_0 of the recursive rule feeds both the magic rule and the
+        // join with the recursive literal.
+        assert!(
+            texts.iter().any(|t| t.starts_with("sup_anc_1_0(X)")),
+            "{texts:#?}"
+        );
+        assert!(
+            texts.iter().any(|t| t.starts_with("m_anc__bf(Z) :- sup_anc_1_1")),
+            "{texts:#?}"
+        );
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.starts_with("anc__bf(X, Y) :- sup_anc_1_1(X, Z), anc__bf(Z, Y).")),
+            "{texts:#?}"
+        );
+    }
+
+    #[test]
+    fn goalid_packs_bound_args() {
+        let r = rewrite(
+            &ancestor(),
+            PredRef::new("anc", 2),
+            &Adornment::parse("bf").unwrap(),
+            Style::GoalId,
+        );
+        let seed = r.seed.unwrap();
+        assert!(seed.goal_id);
+        let t = seed.seed_tuple(&[Term::str("john"), Term::var(0)]);
+        assert_eq!(t.to_string(), "(goal(john))");
+        let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
+        assert!(
+            texts.iter().any(|t| t.contains("m_anc__bf(goal(")),
+            "{texts:#?}"
+        );
+    }
+
+    #[test]
+    fn all_free_query_generates_no_magic() {
+        let r = rewrite(
+            &ancestor(),
+            PredRef::new("anc", 2),
+            &Adornment::parse("ff").unwrap(),
+            Style::Supplementary,
+        );
+        assert!(r.seed.is_none());
+        assert_eq!(r.module.rules.len(), 2);
+        assert_eq!(r.answer_pred.name.as_str(), "anc__ff");
+    }
+
+    #[test]
+    fn magic_through_two_levels() {
+        let m = module_of(
+            "module m. export top(bf).\n\
+             top(X, Y) :- mid(X, Z), mid(Z, Y).\n\
+             mid(X, Y) :- edge(X, Y).\n\
+             end_module.",
+        );
+        let r = rewrite(
+            &m,
+            PredRef::new("top", 2),
+            &Adornment::parse("bf").unwrap(),
+            Style::Plain,
+        );
+        let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
+        assert!(texts.contains(&"m_mid__bf(X) :- m_top__bf(X).".to_string()));
+        assert!(texts.contains(&"m_mid__bf(Z) :- m_top__bf(X), mid__bf(X, Z).".to_string()));
+        assert!(texts.contains(&"mid__bf(X, Y) :- m_mid__bf(X), edge(X, Y).".to_string()));
+    }
+
+    #[test]
+    fn supplementary_handles_builtins_in_body() {
+        let m = module_of(
+            "module m. export p(bf).\n\
+             p(X, C1) :- q(X, C), C1 = C + 1.\n\
+             q(X, C) :- e(X, C).\n\
+             end_module.",
+        );
+        let r = rewrite(
+            &m,
+            PredRef::new("p", 2),
+            &Adornment::parse("bf").unwrap(),
+            Style::Supplementary,
+        );
+        let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
+        // Final rule joins sup with the comparison.
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.starts_with("p__bf(X, C1) :- sup_m_0_1(X, C), C1 = (C + 1).")),
+            "{texts:#?}"
+        );
+    }
+
+    #[test]
+    fn no_rewriting_keeps_original_shape() {
+        let r = no_rewriting(
+            &ancestor(),
+            PredRef::new("anc", 2),
+            &Adornment::parse("bf").unwrap(),
+        );
+        assert!(r.seed.is_none());
+        assert_eq!(r.module.rules.len(), 2);
+        // Adornment retained for post-filtering.
+        assert_eq!(r.adornment.to_string(), "bf");
+    }
+}

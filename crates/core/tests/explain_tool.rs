@@ -1,0 +1,116 @@
+//! Tests for the Explanation tool (derivation trees).
+
+use coral_core::session::Session;
+
+fn tc_session() -> Session {
+    let s = Session::new();
+    s.consult_str(
+        "edge(1, 2). edge(2, 3). edge(3, 4).\n\
+         module tc.\n\
+         export path(bf, ff).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.\n",
+    )
+    .unwrap();
+    s
+}
+
+#[test]
+fn base_fact_explains_as_leaf() {
+    let s = tc_session();
+    let d = s.explain_fact("edge(1, 2)").unwrap().unwrap();
+    assert!(d.rule.is_none());
+    assert!(d.children.is_empty());
+    assert_eq!(d.render().trim(), "edge(1, 2)   (base)");
+    assert!(s.explain_fact("edge(2, 1)").unwrap().is_none());
+}
+
+#[test]
+fn recursive_fact_has_well_founded_tree() {
+    let s = tc_session();
+    let d = s.explain_fact("path(1, 4)").unwrap().unwrap();
+    let text = d.render();
+    // The tree bottoms out in the three base edges.
+    assert!(text.contains("edge(1, 2)   (base)"), "{text}");
+    assert!(text.contains("edge(2, 3)   (base)"), "{text}");
+    assert!(text.contains("edge(3, 4)   (base)"), "{text}");
+    // The recursive rule is displayed with original predicate names.
+    assert!(text.contains("path(X, Y) :- edge(X, Z), path(Z, Y)."), "{text}");
+    // Depth: path(1,4) -> path(2,4) -> path(3,4) -> edge.
+    assert!(text.contains("path(2, 4)"), "{text}");
+    assert!(text.contains("path(3, 4)"), "{text}");
+}
+
+#[test]
+fn underivable_fact_returns_none() {
+    let s = tc_session();
+    assert!(s.explain_fact("path(4, 1)").unwrap().is_none());
+    assert!(s.explain_fact("path(1, 99)").unwrap().is_none());
+}
+
+#[test]
+fn cyclic_data_still_yields_well_founded_proof() {
+    let s = Session::new();
+    s.consult_str(
+        "edge(a, b). edge(b, a).\n\
+         module tc.\n\
+         export path(ff).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.\n",
+    )
+    .unwrap();
+    // path(a, a) holds via the cycle; its proof must not cite itself.
+    let d = s.explain_fact("path(a, a)").unwrap().unwrap();
+    let text = d.render();
+    assert!(text.contains("path(a, a)"));
+    // The only well-founded proof: edge(a,b) + path(b,a) via edge(b,a).
+    assert!(text.contains("path(b, a)"), "{text}");
+    assert!(text.contains("edge(b, a)   (base)"), "{text}");
+    // No self-citation below the root.
+    let below_root = text.splitn(2, '\n').nth(1).unwrap();
+    assert!(!below_root.contains("path(a, a)"), "{text}");
+}
+
+#[test]
+fn aggregate_fact_lists_contributors() {
+    let s = Session::new();
+    s.consult_str(
+        "sale(east, 10). sale(east, 20). sale(west, 5).\n\
+         module agg.\n\
+         export total(bf).\n\
+         total(R, sum(V)) :- sale(R, V).\n\
+         end_module.\n",
+    )
+    .unwrap();
+    let d = s.explain_fact("total(east, 30)").unwrap().unwrap();
+    let text = d.render();
+    assert!(text.contains("sale(east, 10)"), "{text}");
+    assert!(text.contains("sale(east, 20)"), "{text}");
+    assert!(!text.contains("sale(west"), "{text}");
+    assert!(s.explain_fact("total(east, 31)").unwrap().is_none());
+}
+
+#[test]
+fn nonground_fact_rejected() {
+    let s = tc_session();
+    assert!(s.explain_fact("path(1, X)").is_err());
+}
+
+#[test]
+fn explanation_crosses_builtins_and_arith() {
+    let s = Session::new();
+    s.consult_str(
+        "n(4).\n\
+         module m.\n\
+         export d(ff).\n\
+         d(X, Y) :- n(X), Y = X * 2.\n\
+         end_module.\n",
+    )
+    .unwrap();
+    let d = s.explain_fact("d(4, 8)").unwrap().unwrap();
+    let text = d.render();
+    assert!(text.contains("n(4)   (base)"), "{text}");
+    assert!(text.contains("d(X, Y) :- n(X), Y = (X * 2)."), "{text}");
+}

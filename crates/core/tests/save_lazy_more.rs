@@ -1,0 +1,103 @@
+//! Additional lifecycle tests: saved states across query forms, lazy
+//! answer ordering, and export-form fallback interplay.
+
+use coral_core::session::Session;
+
+fn answers(s: &Session, q: &str) -> Vec<String> {
+    let mut v: Vec<String> = s
+        .query_all(q)
+        .unwrap_or_else(|e| panic!("query {q}: {e}"))
+        .into_iter()
+        .map(|a| a.to_string())
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn save_module_separates_states_per_query_form() {
+    let s = Session::new();
+    s.consult_str("edge(1, 2). edge(2, 3). edge(9, 2).").unwrap();
+    s.consult_str(
+        "module tc. export path(bf, fb).\n@save_module.\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    // bf then fb then bf again: states are keyed by form and must not
+    // cross-contaminate.
+    assert_eq!(answers(&s, "path(1, Y)"), vec!["Y = 2", "Y = 3"]);
+    assert_eq!(answers(&s, "path(X, 3)"), vec!["X = 1", "X = 2", "X = 9"]);
+    assert_eq!(answers(&s, "path(1, Y)"), vec!["Y = 2", "Y = 3"]);
+    assert_eq!(answers(&s, "path(9, Y)"), vec!["Y = 2", "Y = 3"]);
+}
+
+#[test]
+fn lazy_answers_arrive_in_iteration_order() {
+    // On a chain queried from the head, each fixpoint iteration extends
+    // the frontier by one: lazy answers arrive nearest-first.
+    let s = Session::new();
+    let mut facts = String::new();
+    for i in 0..10 {
+        facts.push_str(&format!("edge({i}, {}).\n", i + 1));
+    }
+    s.consult_str(&facts).unwrap();
+    s.consult_str(
+        "module tc. export path(bf).\n@lazy.\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    let mut scan = s.query("path(0, Y)").unwrap();
+    let mut order = Vec::new();
+    while let Some(a) = scan.next_answer().unwrap() {
+        order.push(a.to_string());
+    }
+    let expect: Vec<String> = (1..=10).map(|i| format!("Y = {i}")).collect();
+    assert_eq!(order, expect, "iteration-boundary ordering");
+}
+
+#[test]
+fn export_form_fallback_with_partial_bindings() {
+    // Query binds both args; only bf is declared: the engine propagates
+    // the first binding and post-filters the second.
+    let s = Session::new();
+    s.consult_str("edge(1, 2). edge(1, 3).").unwrap();
+    s.consult_str(
+        "module tc. export path(bf).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    assert_eq!(answers(&s, "path(1, 3)"), vec!["yes"]);
+    assert!(answers(&s, "path(1, 9)").is_empty());
+}
+
+#[test]
+fn repeated_compilation_is_cached() {
+    // Twenty queries on the same form: compile once, evaluate twenty
+    // times; observable only as "it works and stays fast", asserted
+    // loosely via a time bound generous enough for CI.
+    let s = Session::new();
+    let mut facts = String::new();
+    for i in 0..100 {
+        facts.push_str(&format!("edge({i}, {}).\n", i + 1));
+    }
+    s.consult_str(&facts).unwrap();
+    s.consult_str(
+        "module tc. export path(bf).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    let t0 = std::time::Instant::now();
+    for i in 0..20 {
+        let src = 100 - (i % 10) - 1;
+        assert!(!answers(&s, &format!("path({src}, Y)")).is_empty());
+    }
+    assert!(t0.elapsed().as_secs() < 30, "caching keeps repeat queries cheap");
+}

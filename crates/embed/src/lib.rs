@@ -1,0 +1,459 @@
+//! # coral-embed — the embedding and extensibility API (§6, §7)
+//!
+//! CORAL extends C++ "by providing a collection of new classes
+//! (relations, tuples, args and scan descriptors) and a suite of
+//! associated methods", plus "a construct to embed CORAL commands in C++
+//! code" and a `_coral_export` mechanism for defining new predicates in
+//! the host language. The host language here is Rust; the same four
+//! abstractions are:
+//!
+//! * [`CoralDb`] — the embedding root. [`CoralDb::run`] executes embedded
+//!   CORAL command text (the preprocessor-bracketed blocks of §6.1);
+//!   `main`-program-style usage never touches the interactive interface,
+//!   exactly as the paper describes.
+//! * [`RelHandle`] — the `Relation` class: build relation values "through
+//!   a series of explicit inserts and deletes, or through a call to a
+//!   declarative CORAL module", and manipulate them without breaking the
+//!   relation abstraction.
+//! * Tuples and args — `coral_term::Tuple` and `coral_term::Term`
+//!   re-exported, with the [`args!`] helper macro for construction.
+//! * [`ScanDesc`] — the `C_ScanDesc` cursor over a relation or a query.
+//!   As in §6.1, "variables cannot be returned as answers": the cursor
+//!   yields ground tuples and reports an error on a non-ground answer
+//!   rather than exposing binding environments.
+//!
+//! New predicates are defined in Rust with
+//! [`CoralDb::define_predicate`] — the `_coral_export` analog: the
+//! function receives the call pattern and returns candidate tuples, and
+//! the predicate is immediately usable from declarative rules
+//! ("incrementally loaded", §6.2). §7's data-type extensibility
+//! ([`AdtValue`]) and access-structure extensibility (the [`Relation`]
+//! trait) are re-exported so an embedding application can register both.
+
+use coral_core::error::{EvalError, EvalResult};
+use coral_core::session::{Answer, Session};
+use coral_lang::PredRef;
+use coral_rel::{IndexSpec, RelError, RelResult, Relation, TupleIter};
+use coral_term::{Symbol, Term, Tuple};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub use coral_rel::relation::iter_from_vec;
+pub use coral_term::adt::{registry as adt_registry, AdtValue};
+pub use coral_term::{BigInt, Tuple as CoralTuple};
+
+/// Build an argument list (`Vec<Term>`) from Rust values.
+///
+/// ```
+/// use coral_embed::args;
+/// use coral_term::Term;
+/// let a = args![1, "msn", 2.5];
+/// assert_eq!(a, vec![Term::int(1), Term::str("msn"), Term::double(2.5)]);
+/// ```
+#[macro_export]
+macro_rules! args {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::IntoArg::into_arg($v)),*]
+    };
+}
+
+/// Conversion into a CORAL argument term (the `Arg` constructors of
+/// §6.1).
+pub trait IntoArg {
+    /// Convert into a term.
+    fn into_arg(self) -> Term;
+}
+
+impl IntoArg for i64 {
+    fn into_arg(self) -> Term {
+        Term::int(self)
+    }
+}
+impl IntoArg for i32 {
+    fn into_arg(self) -> Term {
+        Term::int(self as i64)
+    }
+}
+impl IntoArg for f64 {
+    fn into_arg(self) -> Term {
+        Term::double(self)
+    }
+}
+impl IntoArg for &str {
+    fn into_arg(self) -> Term {
+        Term::str(self)
+    }
+}
+impl IntoArg for Term {
+    fn into_arg(self) -> Term {
+        self
+    }
+}
+impl IntoArg for BigInt {
+    fn into_arg(self) -> Term {
+        Term::big(self)
+    }
+}
+
+/// The function type behind a Rust-defined predicate: receives the call
+/// pattern (one term per argument; variables where unbound) and returns
+/// the candidate facts.
+pub type PredicateFn = dyn Fn(&[Term]) -> Result<Vec<Tuple>, String>;
+
+/// A relation computed by a host function (§6.2 / §7.2: "relations
+/// defined by C++ functions").
+pub struct ComputedRelation {
+    name: String,
+    arity: usize,
+    f: Box<PredicateFn>,
+}
+
+impl ComputedRelation {
+    /// Wrap a host function as a relation.
+    pub fn new(
+        name: &str,
+        arity: usize,
+        f: impl Fn(&[Term]) -> Result<Vec<Tuple>, String> + 'static,
+    ) -> ComputedRelation {
+        ComputedRelation {
+            name: name.to_string(),
+            arity,
+            f: Box::new(f),
+        }
+    }
+}
+
+impl Relation for ComputedRelation {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn insert(&self, _tuple: Tuple) -> RelResult<bool> {
+        Err(RelError::BadIndex(format!(
+            "{} is computed by host code; facts cannot be inserted",
+            self.name
+        )))
+    }
+
+    fn delete(&self, _tuple: &Tuple) -> RelResult<bool> {
+        Err(RelError::BadIndex(format!(
+            "{} is computed by host code; facts cannot be deleted",
+            self.name
+        )))
+    }
+
+    fn scan(&self) -> TupleIter {
+        // A scan is a fully open call.
+        let pattern: Vec<Term> = (0..self.arity as u32).map(Term::var).collect();
+        self.lookup(&pattern)
+    }
+
+    fn lookup(&self, pattern: &[Term]) -> TupleIter {
+        match (self.f)(pattern) {
+            Ok(tuples) => iter_from_vec(tuples),
+            Err(msg) => Box::new(std::iter::once(Err(RelError::BadIndex(format!(
+                "host predicate {} failed: {msg}",
+                self.name
+            ))))),
+        }
+    }
+
+    fn make_index(&self, _spec: IndexSpec) -> RelResult<()> {
+        Err(RelError::BadIndex(
+            "computed relations cannot be indexed".into(),
+        ))
+    }
+
+    fn describe(&self) -> String {
+        format!("computed relation {} (host function)", self.name)
+    }
+}
+
+/// A cursor over query answers or a relation scan — the paper's
+/// `C_ScanDesc`.
+pub struct ScanDesc {
+    inner: RefCell<coral_core::session::Answers>,
+}
+
+impl ScanDesc {
+    /// Fetch the next tuple; ground answers only (§6.1's interface
+    /// restriction: non-ground terms are hidden at the interface).
+    pub fn next(&self) -> EvalResult<Option<Tuple>> {
+        match self.inner.borrow_mut().next_answer()? {
+            Some(Answer { tuple, .. }) => {
+                if tuple.is_ground() {
+                    Ok(Some(tuple))
+                } else {
+                    Err(EvalError::ModuleProtocol(
+                        "non-ground answer at the embedding interface; \
+                         variables cannot be returned as answers (§6.1)"
+                            .into(),
+                    ))
+                }
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Drain the remaining tuples.
+    pub fn collect_tuples(&self) -> EvalResult<Vec<Tuple>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+/// A handle to a named relation — the paper's `Relation` class for
+/// embedded code.
+pub struct RelHandle {
+    db: CoralDb,
+    pred: PredRef,
+}
+
+impl RelHandle {
+    /// Insert a fact built from argument terms.
+    pub fn insert(&self, args: Vec<Term>) -> EvalResult<bool> {
+        let rel = self
+            .db
+            .session
+            .engine()
+            .db()
+            .get(self.pred.name, self.pred.arity)
+            .ok_or_else(|| EvalError::UnknownPredicate(self.pred.to_string()))?;
+        Ok(rel.insert(Tuple::new(args))?)
+    }
+
+    /// Delete a fact.
+    pub fn delete(&self, args: Vec<Term>) -> EvalResult<bool> {
+        let rel = self
+            .db
+            .session
+            .engine()
+            .db()
+            .get(self.pred.name, self.pred.arity)
+            .ok_or_else(|| EvalError::UnknownPredicate(self.pred.to_string()))?;
+        Ok(rel.delete(&Tuple::new(args))?)
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.db
+            .session
+            .engine()
+            .db()
+            .get(self.pred.name, self.pred.arity)
+            .map(|r| r.len())
+            .unwrap_or(0)
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Open a cursor over facts matching `pattern` (variables for open
+    /// positions). The relation may be base, module-defined or computed:
+    /// the scan interface is uniform (§5.6).
+    pub fn open_scan(&self, pattern: Vec<Term>) -> EvalResult<ScanDesc> {
+        let lit = coral_lang::pretty::term_to_string(
+            &Term::app(self.pred.name, pattern),
+            &|v| format!("V{}", v.0),
+        );
+        self.db.query(&lit)
+    }
+}
+
+/// The embedding root: a CORAL session plus the §6 conveniences.
+#[derive(Clone)]
+pub struct CoralDb {
+    session: Rc<Session>,
+}
+
+impl Default for CoralDb {
+    fn default() -> CoralDb {
+        CoralDb::new()
+    }
+}
+
+impl CoralDb {
+    /// A fresh embedded CORAL system.
+    pub fn new() -> CoralDb {
+        CoralDb {
+            session: Rc::new(Session::new()),
+        }
+    }
+
+    /// The underlying session (full interactive API).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Execute embedded CORAL commands — "any sequence of commands that
+    /// can be typed in at the CORAL interactive command interface can be
+    /// embedded" (§6.1). Answers of embedded queries are returned in
+    /// order.
+    pub fn run(&self, commands: &str) -> EvalResult<Vec<Vec<Answer>>> {
+        self.session.consult_str(commands)
+    }
+
+    /// A handle to the relation `name/arity` (created empty if absent;
+    /// the handle also reaches module-defined and computed relations).
+    pub fn relation(&self, name: &str, arity: usize) -> RelHandle {
+        let pred = PredRef::new(name, arity);
+        if self.session.engine().db().get(pred.name, arity).is_none()
+            && self.session.engine().module_of(pred).is_none()
+        {
+            self.session.engine().db().get_or_create(pred.name, arity);
+        }
+        RelHandle {
+            db: self.clone(),
+            pred,
+        }
+    }
+
+    /// Open a query cursor, e.g. `db.query("path(1, X)")`.
+    pub fn query(&self, q: &str) -> EvalResult<ScanDesc> {
+        Ok(ScanDesc {
+            inner: RefCell::new(self.session.query(q)?),
+        })
+    }
+
+    /// Define a predicate computed by a Rust function — the
+    /// `_coral_export` mechanism of §6.2. The predicate becomes usable
+    /// from declarative rules immediately ("incrementally loaded").
+    pub fn define_predicate(
+        &self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&[Term]) -> Result<Vec<Tuple>, String> + 'static,
+    ) {
+        let rel = Rc::new(ComputedRelation::new(name, arity, f));
+        self.session
+            .engine()
+            .register_relation(Symbol::intern(name), rel);
+    }
+
+    /// Register a user abstract data type constructor (§7.1's single
+    /// registration command).
+    pub fn register_adt(&self, type_name: &'static str, ctor: coral_term::adt::AdtConstructor) {
+        adt_registry::register(type_name, ctor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_values_through_inserts_and_scans() {
+        let db = CoralDb::new();
+        let flights = db.relation("flight", 3);
+        assert!(flights.is_empty());
+        flights.insert(args!["msn", "ord", 120]).unwrap();
+        flights.insert(args!["ord", "jfk", 250]).unwrap();
+        flights.insert(args!["msn", "atl", 300]).unwrap();
+        assert_eq!(flights.len(), 3);
+        flights.delete(args!["msn", "atl", 300]).unwrap();
+        assert_eq!(flights.len(), 2);
+        let scan = flights
+            .open_scan(args![Term::var(0), "ord", Term::var(1)])
+            .unwrap();
+        let got = scan.collect_tuples().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].args()[0], Term::str("msn"));
+    }
+
+    #[test]
+    fn declarative_module_from_embedded_commands() {
+        let db = CoralDb::new();
+        db.run("edge(1, 2). edge(2, 3).").unwrap();
+        db.run(
+            "module tc. export path(bf).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+             end_module.",
+        )
+        .unwrap();
+        let scan = db.query("path(1, X)").unwrap();
+        assert_eq!(scan.collect_tuples().unwrap().len(), 2);
+        // Module exports are reachable through relation handles too.
+        let h = db.relation("path", 2);
+        let got = h.open_scan(args![1, Term::var(0)]).unwrap();
+        assert_eq!(got.collect_tuples().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rust_defined_predicate_used_from_rules() {
+        let db = CoralDb::new();
+        // double(X, Y): Y = 2 * X, for a bound first argument.
+        db.define_predicate("double", 2, |pattern| match &pattern[0] {
+            Term::Int(v) => Ok(vec![Tuple::new(vec![Term::int(*v), Term::int(v * 2)])]),
+            _ => Err("double/2 needs a bound integer first argument".into()),
+        });
+        db.run("n(3). n(5).").unwrap();
+        db.run(
+            "module m. export d(ff).\n\
+             d(X, Y) :- n(X), double(X, Y).\n\
+             end_module.",
+        )
+        .unwrap();
+        let got = db.query("d(X, Y)").unwrap().collect_tuples().unwrap();
+        let mut strs: Vec<String> = got.iter().map(|t| t.to_string()).collect();
+        strs.sort();
+        assert_eq!(strs, vec!["(3, 6)", "(5, 10)"]);
+    }
+
+    #[test]
+    fn host_predicate_errors_propagate() {
+        let db = CoralDb::new();
+        db.define_predicate("fail", 1, |_| Err("always fails".into()));
+        db.run("module m. export f(f). f(X) :- fail(X). end_module.")
+            .unwrap();
+        let res = db.query("f(X)").and_then(|s| s.collect_tuples());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn computed_relation_rejects_mutation() {
+        let db = CoralDb::new();
+        db.define_predicate("pi", 1, |_| {
+            Ok(vec![Tuple::new(vec![Term::double(3.14)])])
+        });
+        let h = db.relation("pi", 1);
+        assert!(h.insert(args![1]).is_err());
+        assert_eq!(
+            db.query("pi(X)").unwrap().collect_tuples().unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn nonground_answers_hidden_at_interface() {
+        let db = CoralDb::new();
+        db.run("likes(X, pizza).").unwrap();
+        let scan = db.query("likes(P, F)").unwrap();
+        assert!(scan.next().is_err(), "non-ground answers are hidden (§6.1)");
+    }
+
+    #[test]
+    fn args_macro_conversions() {
+        let a = args![1i64, 2i32, "x", 1.5, Term::nil(), BigInt::from_i64(9)];
+        assert_eq!(a.len(), 6);
+        assert_eq!(a[0], Term::int(1));
+        assert_eq!(a[1], Term::int(2));
+        assert_eq!(a[2], Term::str("x"));
+        assert_eq!(a[3], Term::double(1.5));
+        assert!(a[4].is_nil());
+        assert_eq!(a[5], Term::big(BigInt::from_i64(9)));
+    }
+}

@@ -1,0 +1,445 @@
+//! Abstract syntax for CORAL programs.
+
+use coral_term::{Symbol, Term, VarId};
+
+/// A predicate reference: name and arity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PredRef {
+    /// Predicate name.
+    pub name: Symbol,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+impl PredRef {
+    /// Build from a name string and arity.
+    pub fn new(name: &str, arity: usize) -> PredRef {
+        PredRef {
+            name: Symbol::intern(name),
+            arity,
+        }
+    }
+}
+
+impl std::fmt::Display for PredRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// Binding status of one argument position in a query form (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Binding {
+    /// `b`: bindings in this position are propagated.
+    Bound,
+    /// `f`: bindings in this position are ignored (final selection only).
+    Free,
+}
+
+/// An adornment: one [`Binding`] per argument (`bff`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Adornment(pub Vec<Binding>);
+
+impl Adornment {
+    /// Parse `"bfbf"`.
+    pub fn parse(s: &str) -> Option<Adornment> {
+        s.chars()
+            .map(|c| match c {
+                'b' => Some(Binding::Bound),
+                'f' => Some(Binding::Free),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()
+            .map(Adornment)
+    }
+
+    /// All-free adornment of the given arity.
+    pub fn all_free(arity: usize) -> Adornment {
+        Adornment(vec![Binding::Free; arity])
+    }
+
+    /// All-bound adornment of the given arity.
+    pub fn all_bound(arity: usize) -> Adornment {
+        Adornment(vec![Binding::Bound; arity])
+    }
+
+    /// Number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Indices of the bound positions.
+    pub fn bound_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == Binding::Bound)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True iff every position is free.
+    pub fn is_all_free(&self) -> bool {
+        self.0.iter().all(|b| *b == Binding::Free)
+    }
+}
+
+impl std::fmt::Display for Adornment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.0 {
+            f.write_str(match b {
+                Binding::Bound => "b",
+                Binding::Free => "f",
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// A positive atom `p(t1, …, tn)`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Literal {
+    /// Predicate name.
+    pub pred: Symbol,
+    /// Argument terms (variables numbered within the enclosing clause).
+    pub args: Vec<Term>,
+}
+
+impl Literal {
+    /// The predicate reference.
+    pub fn pred_ref(&self) -> PredRef {
+        PredRef {
+            name: self.pred,
+            arity: self.args.len(),
+        }
+    }
+}
+
+/// Comparison / unification built-ins usable in rule bodies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `=` — unification, with arithmetic evaluation of ground
+    /// arithmetic terms on either side (`C1 = C + EC` in Figure 3).
+    Unify,
+    /// `\=` — not unifiable.
+    NotUnify,
+    /// `<`
+    Lt,
+    /// `=<`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CmpOp::Unify => "=",
+            CmpOp::NotUnify => "\\=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "=<",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// One conjunct of a rule body.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BodyItem {
+    /// A positive literal over a base, derived or built-in predicate.
+    Literal(Literal),
+    /// A negated literal `not p(…)` (§5.4.1).
+    Negated(Literal),
+    /// A comparison or unification built-in.
+    Compare {
+        /// The operator.
+        op: CmpOp,
+        /// Left operand (may be an arithmetic term).
+        lhs: Term,
+        /// Right operand (may be an arithmetic term).
+        rhs: Term,
+    },
+}
+
+impl BodyItem {
+    /// The literal, if this item is one (positive or negated).
+    pub fn literal(&self) -> Option<&Literal> {
+        match self {
+            BodyItem::Literal(l) | BodyItem::Negated(l) => Some(l),
+            BodyItem::Compare { .. } => None,
+        }
+    }
+}
+
+/// A rule `head :- body.` — a fact when `body` is empty.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Rule {
+    /// Head atom; its arguments may contain aggregate terms
+    /// (`min(C)`, `count(X)`, …) denoting grouping/aggregation.
+    pub head: Literal,
+    /// Body conjuncts, evaluated left-to-right by default (§4.1).
+    pub body: Vec<BodyItem>,
+    /// Number of distinct variables in the clause.
+    pub nvars: u32,
+    /// Original variable names, indexed by [`VarId`] (for pretty
+    /// printing and explanations).
+    pub var_names: Vec<String>,
+}
+
+impl Rule {
+    /// True iff the rule has no body (it is a fact).
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Name for a variable: the declared name, or `V<n>`.
+    pub fn var_name(&self, v: VarId) -> String {
+        self.var_names
+            .get(v.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("V{}", v.0))
+    }
+}
+
+/// Aggregate functions usable in rule heads and aggregate selections.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFn {
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of tuples in the group.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric average.
+    Avg,
+    /// An arbitrary witness.
+    Any,
+}
+
+impl AggFn {
+    /// Parse an aggregate function name.
+    pub fn from_name(s: &str) -> Option<AggFn> {
+        Some(match s {
+            "min" => AggFn::Min,
+            "max" => AggFn::Max,
+            "count" => AggFn::Count,
+            "sum" => AggFn::Sum,
+            "avg" => AggFn::Avg,
+            "any" => AggFn::Any,
+            _ => return None,
+        })
+    }
+
+    /// The surface name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Count => "count",
+            AggFn::Sum => "sum",
+            AggFn::Avg => "avg",
+            AggFn::Any => "any",
+        }
+    }
+}
+
+/// Which selection-propagating rewriting to use for a module (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RewriteKind {
+    /// Supplementary Magic Templates — CORAL's default.
+    #[default]
+    SupplementaryMagic,
+    /// Plain Magic Templates.
+    Magic,
+    /// Supplementary Magic with goal identifiers (§4.1).
+    SupplementaryMagicGoalId,
+    /// Context factoring for left-/right-linear rules.
+    Factoring,
+    /// No rewriting: evaluate the original rules bottom-up.
+    None,
+}
+
+/// The fixpoint variant for a materialized module (§4.2, §5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FixpointKind {
+    /// Basic Semi-Naive.
+    #[default]
+    Bsn,
+    /// Predicate Semi-Naive.
+    Psn,
+    /// Naive re-evaluation (the baseline semi-naive is measured
+    /// against; §5.3 paper ref \[2\]).
+    Naive,
+}
+
+/// A module-level or relation-level annotation (§4, §5).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Annotation {
+    /// `@pipelining.` — evaluate the module top-down (§5.2).
+    Pipelining,
+    /// `@materialize.` — bottom-up fixpoint (default).
+    Materialize,
+    /// `@bsn.` / `@psn.`
+    Fixpoint(FixpointKind),
+    /// `@rewrite supplementary|magic|goalid|factoring|none.`
+    Rewrite(RewriteKind),
+    /// `@ordered_search.` (§5.4.1).
+    OrderedSearch,
+    /// `@save_module.` (§5.4.2).
+    SaveModule,
+    /// `@lazy.` (§5.4.3).
+    Lazy,
+    /// `@no_intelligent_backtracking.` — ablation: chronological
+    /// backtracking only (§4.2 lists intelligent backtracking as an
+    /// optimizer decision).
+    NoIntelligentBacktracking,
+    /// `@no_auto_index.` — ablation: suppress the optimizer's automatic
+    /// index selection (§4.2); only user `@make_index` indices remain.
+    NoAutoIndex,
+    /// `@reorder_joins.` — opt into the optimizer's join-order selection
+    /// (§4.2): positive body literals are greedily reordered
+    /// most-bound-first; CORAL's default keeps the user's left-to-right
+    /// order ("more generally, in a user specified order", §5.6).
+    ReorderJoins,
+    /// `@multiset p/2.` — multiset semantics for one predicate (§4.2).
+    Multiset(PredRef),
+    /// `@aggregate_selection p(X,Y,P,C) (X,Y) min(C).` (§5.5.2). The
+    /// pattern's arguments must be distinct variables.
+    AggregateSelection {
+        /// The predicate and its variable pattern.
+        pred: PredRef,
+        /// Group-by variables.
+        group_vars: Vec<Symbol>,
+        /// The aggregate function.
+        agg: AggFn,
+        /// Its argument variable.
+        agg_var: Symbol,
+        /// Variable names of the pattern, in argument order.
+        pattern_vars: Vec<Symbol>,
+    },
+    /// `@make_index p(Name, addr(S, C)) (Name, C).` (§5.5.1). When the
+    /// pattern arguments are distinct variables this is an argument-form
+    /// index; otherwise a pattern-form index.
+    MakeIndex {
+        /// The predicate.
+        pred: PredRef,
+        /// The pattern, one term per column.
+        pattern: Vec<Term>,
+        /// Key variables (ids within the pattern's numbering).
+        key_vars: Vec<VarId>,
+    },
+}
+
+/// An exported predicate with its permitted query forms (§2).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Export {
+    /// The predicate.
+    pub pred: PredRef,
+    /// Allowed adornments; a query must match one of them.
+    pub forms: Vec<Adornment>,
+}
+
+/// A program module — the unit of compilation and evaluation (§5).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Exported predicates with query forms.
+    pub exports: Vec<Export>,
+    /// The rules (facts included).
+    pub rules: Vec<Rule>,
+    /// Module and predicate annotations.
+    pub annotations: Vec<Annotation>,
+}
+
+impl Module {
+    /// The export declaration for `pred`, if any.
+    pub fn export_of(&self, pred: PredRef) -> Option<&Export> {
+        self.exports.iter().find(|e| e.pred == pred)
+    }
+
+    /// Predicates defined by rules in this module.
+    pub fn defined_preds(&self) -> Vec<PredRef> {
+        let mut out: Vec<PredRef> = Vec::new();
+        for r in &self.rules {
+            let p = r.head.pred_ref();
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// A query `?- p(X, 5).`
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query {
+    /// The queried literal.
+    pub literal: Literal,
+    /// Number of distinct variables.
+    pub nvars: u32,
+    /// Variable names, indexed by id.
+    pub var_names: Vec<String>,
+}
+
+impl Query {
+    /// The adornment induced by the query's ground arguments.
+    pub fn adornment(&self) -> Adornment {
+        Adornment(
+            self.literal
+                .args
+                .iter()
+                .map(|t| {
+                    if t.is_ground() {
+                        Binding::Bound
+                    } else {
+                        Binding::Free
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One top-level item of a consulted file.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProgramItem {
+    /// A module definition.
+    Module(Module),
+    /// A bare fact for a base relation.
+    Fact(Rule),
+    /// A top-level annotation (applies to base relations).
+    Annotation(Annotation),
+    /// A query.
+    Query(Query),
+}
+
+/// A parsed file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<ProgramItem>,
+}
+
+impl Program {
+    /// The modules, in source order.
+    pub fn modules(&self) -> impl Iterator<Item = &Module> {
+        self.items.iter().filter_map(|i| match i {
+            ProgramItem::Module(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Bare facts, in source order.
+    pub fn facts(&self) -> impl Iterator<Item = &Rule> {
+        self.items.iter().filter_map(|i| match i {
+            ProgramItem::Fact(f) => Some(f),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,520 @@
+//! Tokenizer for the CORAL language.
+//!
+//! Prolog-flavoured lexical syntax: lowercase identifiers are atoms,
+//! capitalized/underscore identifiers are variables, `%` starts a line
+//! comment, `/* … */` nests one level of block comment, `'quoted atoms'`
+//! and `"strings"` are supported, and `.` terminates a clause when
+//! followed by layout (so `1.5` and `[H|T]` lex correctly).
+
+use coral_term::BigInt;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Lowercase or quoted atom.
+    Atom(String),
+    /// Variable name (capitalized or `_`).
+    Var(String),
+    /// Machine-width integer literal.
+    Int(i64),
+    /// Integer literal exceeding `i64`.
+    Big(BigInt),
+    /// Floating literal.
+    Double(f64),
+    /// `"…"` string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// Clause-terminating `.`
+    Dot,
+    /// `|`
+    Bar,
+    /// `:-`
+    If,
+    /// `?-`
+    QueryPrefix,
+    /// `@`
+    At,
+    /// An operator: `= \= < =< > >= + - * / mod`
+    Op(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Atom(s) => write!(f, "{s}"),
+            Tok::Var(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Big(v) => write!(f, "{v}"),
+            Tok::Double(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::Comma => f.write_str(","),
+            Tok::Dot => f.write_str("."),
+            Tok::Bar => f.write_str("|"),
+            Tok::If => f.write_str(":-"),
+            Tok::QueryPrefix => f.write_str("?-"),
+            Tok::At => f.write_str("@"),
+            Tok::Op(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexical error with its source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(SpannedTok { tok: $t, line })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'*') if bytes.get(i + 1) == Some(&b'/') => {
+                            i += 2;
+                            break;
+                        }
+                        Some(b'\n') => {
+                            line += 1;
+                            i += 1;
+                        }
+                        Some(_) => i += 1,
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated block comment".into(),
+                                line,
+                            })
+                        }
+                    }
+                }
+            }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            '|' => {
+                push!(Tok::Bar);
+                i += 1;
+            }
+            '@' => {
+                push!(Tok::At);
+                i += 1;
+            }
+            ':' if bytes.get(i + 1) == Some(&b'-') => {
+                push!(Tok::If);
+                i += 2;
+            }
+            '?' if bytes.get(i + 1) == Some(&b'-') => {
+                push!(Tok::QueryPrefix);
+                i += 2;
+            }
+            '.' => {
+                // Clause terminator iff followed by layout / EOF / comment.
+                match bytes.get(i + 1) {
+                    None | Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b'%') => {
+                        push!(Tok::Dot);
+                        i += 1;
+                    }
+                    _ => {
+                        return Err(LexError {
+                            message: "'.' must be followed by whitespace to end a clause".into(),
+                            line,
+                        })
+                    }
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'<') {
+                    push!(Tok::Op("=<"));
+                    i += 2;
+                } else {
+                    push!(Tok::Op("="));
+                    i += 1;
+                }
+            }
+            '\\' if bytes.get(i + 1) == Some(&b'=') => {
+                push!(Tok::Op("\\="));
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Op("=<"));
+                    i += 2;
+                } else {
+                    push!(Tok::Op("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Op(">="));
+                    i += 2;
+                } else {
+                    push!(Tok::Op(">"));
+                    i += 1;
+                }
+            }
+            '+' => {
+                push!(Tok::Op("+"));
+                i += 1;
+            }
+            '-' => {
+                push!(Tok::Op("-"));
+                i += 1;
+            }
+            '*' => {
+                push!(Tok::Op("*"));
+                i += 1;
+            }
+            '/' => {
+                push!(Tok::Op("/"));
+                i += 1;
+            }
+            '"' => {
+                let (s, ni, nl) = lex_quoted(bytes, i + 1, line, '"')?;
+                push!(Tok::Str(s));
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                let (s, ni, nl) = lex_quoted(bytes, i + 1, line, '\'')?;
+                push!(Tok::Atom(s));
+                i = ni;
+                line = nl;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = bytes.get(i) == Some(&b'.')
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    // Optional exponent.
+                    if bytes.get(i) == Some(&b'e') || bytes.get(i) == Some(&b'E') {
+                        let mut j = i + 1;
+                        if bytes.get(j) == Some(&b'+') || bytes.get(j) == Some(&b'-') {
+                            j += 1;
+                        }
+                        if bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+                            i = j;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    let text = &src[start..i];
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal {text:?}"),
+                        line,
+                    })?;
+                    push!(Tok::Double(v));
+                } else {
+                    let text = &src[start..i];
+                    match text.parse::<i64>() {
+                        Ok(v) => push!(Tok::Int(v)),
+                        Err(_) => {
+                            let b: BigInt = text.parse().map_err(|_| LexError {
+                                message: format!("bad integer literal {text:?}"),
+                                line,
+                            })?;
+                            push!(Tok::Big(b));
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_lowercase() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                if word == "mod" {
+                    push!(Tok::Op("mod"));
+                } else {
+                    push!(Tok::Atom(word.to_string()));
+                }
+            }
+            c if c.is_ascii_uppercase() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push!(Tok::Var(src[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_quoted(
+    bytes: &[u8],
+    mut i: usize,
+    mut line: u32,
+    quote: char,
+) -> Result<(String, usize, u32), LexError> {
+    let mut s = String::new();
+    loop {
+        match bytes.get(i) {
+            None => {
+                return Err(LexError {
+                    message: format!("unterminated {quote} literal"),
+                    line,
+                })
+            }
+            Some(&b) if b as char == quote => return Ok((s, i + 1, line)),
+            Some(b'\\') => {
+                match bytes.get(i + 1) {
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(&q) if q as char == quote => s.push(quote),
+                    other => {
+                        return Err(LexError {
+                            message: format!("bad escape \\{:?}", other.map(|b| *b as char)),
+                            line,
+                        })
+                    }
+                }
+                i += 2;
+            }
+            Some(b'\n') => {
+                line += 1;
+                s.push('\n');
+                i += 1;
+            }
+            Some(&b) => {
+                s.push(b as char);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_fact() {
+        assert_eq!(
+            toks("edge(a, 1)."),
+            vec![
+                Tok::Atom("edge".into()),
+                Tok::LParen,
+                Tok::Atom("a".into()),
+                Tok::Comma,
+                Tok::Int(1),
+                Tok::RParen,
+                Tok::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn rule_with_ops() {
+        assert_eq!(
+            toks("p(X) :- q(X, Y), Y >= 3, X = Y + 1."),
+            vec![
+                Tok::Atom("p".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::If,
+                Tok::Atom("q".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::Comma,
+                Tok::Var("Y".into()),
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Var("Y".into()),
+                Tok::Op(">="),
+                Tok::Int(3),
+                Tok::Comma,
+                Tok::Var("X".into()),
+                Tok::Op("="),
+                Tok::Var("Y".into()),
+                Tok::Op("+"),
+                Tok::Int(1),
+                Tok::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("1 1.5 2.0e3 123456789012345678901234567890"), vec![
+            Tok::Int(1),
+            Tok::Double(1.5),
+            Tok::Double(2000.0),
+            Tok::Big("123456789012345678901234567890".parse().unwrap()),
+        ]);
+    }
+
+    #[test]
+    fn float_vs_clause_dot() {
+        // "1." is a clause-ending dot after the integer 1.
+        assert_eq!(toks("f(1). g(1.5)."), vec![
+            Tok::Atom("f".into()), Tok::LParen, Tok::Int(1), Tok::RParen, Tok::Dot,
+            Tok::Atom("g".into()), Tok::LParen, Tok::Double(1.5), Tok::RParen, Tok::Dot,
+        ]);
+    }
+
+    #[test]
+    fn lists_and_bars() {
+        assert_eq!(toks("[X | T]"), vec![
+            Tok::LBracket, Tok::Var("X".into()), Tok::Bar, Tok::Var("T".into()), Tok::RBracket
+        ]);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        assert_eq!(
+            toks("a. % comment here\n/* block\ncomment */ b."),
+            vec![Tok::Atom("a".into()), Tok::Dot, Tok::Atom("b".into()), Tok::Dot]
+        );
+    }
+
+    #[test]
+    fn strings_and_quoted_atoms() {
+        assert_eq!(
+            toks(r#""hi there" 'Odd Atom' "esc\"q""#),
+            vec![
+                Tok::Str("hi there".into()),
+                Tok::Atom("Odd Atom".into()),
+                Tok::Str("esc\"q".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn query_and_annotations() {
+        assert_eq!(
+            toks("?- p(X). @pipelining."),
+            vec![
+                Tok::QueryPrefix,
+                Tok::Atom("p".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::At,
+                Tok::Atom("pipelining".into()),
+                Tok::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = lex("a.\nb.\n &").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(lex("\"open").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("x.y").is_err(), "dot must end a clause");
+    }
+
+    #[test]
+    fn anonymous_and_named_vars() {
+        assert_eq!(
+            toks("_ _X Abc"),
+            vec![Tok::Var("_".into()), Tok::Var("_X".into()), Tok::Var("Abc".into())]
+        );
+    }
+
+    #[test]
+    fn mod_is_an_operator() {
+        assert_eq!(toks("X mod 2"), vec![Tok::Var("X".into()), Tok::Op("mod"), Tok::Int(2)]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # coral-lang — the CORAL declarative language
+//!
+//! The front end of Figure 1: lexer, parser, AST and pretty-printer for
+//! CORAL's declarative language (described in the paper's companion
+//! reference \[24\], with every construct this paper relies on):
+//!
+//! * program **modules** with `module m.` … `end_module.`, exported
+//!   predicates with **query forms** (`export s_p(bfff, ffff).`);
+//! * Horn rules with complex terms, lists, arithmetic, comparison
+//!   built-ins, negated literals (`not p(X)`), and head aggregation
+//!   (`s_p_length(X, Y, min(C)) :- …`);
+//! * facts — possibly **non-ground** (CORAL facts may contain
+//!   universally quantified variables);
+//! * **annotations**: `@aggregate_selection`, `@make_index`,
+//!   `@pipelining`, `@save_module`, `@lazy`, `@ordered_search`,
+//!   `@bsn`/`@psn`, `@rewrite …`, `@multiset p/n` (§4, §5);
+//! * interactive queries `?- p(X, Y).`
+//!
+//! The pretty-printer regenerates source text from the AST — the
+//! optimizer uses it to dump rewritten programs "as a text file, which is
+//! useful as a debugging aid for the user" (§2).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::*;
+pub use parser::{parse_program, parse_query, parse_term, ParseError};

@@ -1,0 +1,853 @@
+//! Recursive-descent parser for the CORAL language.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, SpannedTok, Tok};
+use coral_term::{Symbol, Term, VarId};
+use std::fmt;
+
+/// A parse error with its source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based source line (0 for end-of-input).
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Per-clause variable numbering (first occurrence order; `_` is always
+/// fresh).
+#[derive(Default)]
+struct VarCtx {
+    names: Vec<String>,
+}
+
+impl VarCtx {
+    fn get(&mut self, name: &str) -> VarId {
+        if name == "_" {
+            let id = VarId(self.names.len() as u32);
+            self.names.push(format!("_G{}", self.names.len()));
+            return id;
+        }
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return VarId(i as u32);
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        id
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected {want}, found {t}"))
+            }
+            None => self.err(format!("expected {want}, found end of input")),
+        }
+    }
+
+    fn expect_atom(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Atom(s)) => Ok(s),
+            Some(t) => {
+                self.pos -= 1;
+                self.err(format!("expected an identifier, found {t}"))
+            }
+            None => self.err("expected an identifier, found end of input"),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Atom(s)) if s == kw)
+    }
+
+    // -----------------------------------------------------------------
+    // Terms and expressions
+    // -----------------------------------------------------------------
+
+    /// expr := mul (('+' | '-') mul)*
+    fn parse_expr(&mut self, ctx: &mut VarCtx) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_mul(ctx)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Op(op @ ("+" | "-"))) => {
+                    let op = *op;
+                    self.pos += 1;
+                    let rhs = self.parse_mul(ctx)?;
+                    lhs = Term::apps(op, vec![lhs, rhs]);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    /// mul := unary (('*' | '/' | 'mod') unary)*
+    fn parse_mul(&mut self, ctx: &mut VarCtx) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_unary(ctx)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Op(op @ ("*" | "/" | "mod"))) => {
+                    let op = *op;
+                    self.pos += 1;
+                    let rhs = self.parse_unary(ctx)?;
+                    lhs = Term::apps(op, vec![lhs, rhs]);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self, ctx: &mut VarCtx) -> Result<Term, ParseError> {
+        if matches!(self.peek(), Some(Tok::Op("-"))) {
+            self.pos += 1;
+            let inner = self.parse_unary(ctx)?;
+            return Ok(match inner {
+                Term::Int(v) => Term::int(-v),
+                Term::Double(d) => Term::double(-d.get()),
+                Term::Big(b) => Term::big(-(*b).clone()),
+                other => Term::apps("-", vec![other]),
+            });
+        }
+        self.parse_primary(ctx)
+    }
+
+    fn parse_primary(&mut self, ctx: &mut VarCtx) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Term::int(v)),
+            Some(Tok::Big(b)) => Ok(Term::big(b)),
+            Some(Tok::Double(v)) => Ok(Term::double(v)),
+            Some(Tok::Str(s)) => Ok(Term::str(&s)),
+            Some(Tok::Var(name)) => Ok(Term::Var(ctx.get(&name))),
+            Some(Tok::Atom(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let args = self.parse_term_list(ctx, Tok::RParen)?;
+                    Ok(Term::app(Symbol::intern(&name), args))
+                } else {
+                    Ok(Term::str(&name))
+                }
+            }
+            Some(Tok::LBracket) => self.parse_list(ctx),
+            Some(Tok::LParen) => {
+                let t = self.parse_expr(ctx)?;
+                self.expect(&Tok::RParen)?;
+                Ok(t)
+            }
+            Some(t) => {
+                self.pos -= 1;
+                self.err(format!("expected a term, found {t}"))
+            }
+            None => self.err("expected a term, found end of input"),
+        }
+    }
+
+    fn parse_term_list(&mut self, ctx: &mut VarCtx, close: Tok) -> Result<Vec<Term>, ParseError> {
+        let mut args = Vec::new();
+        if self.peek() == Some(&close) {
+            self.pos += 1;
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_expr(ctx)?);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(t) if t == close => return Ok(args),
+                Some(t) => {
+                    self.pos -= 1;
+                    return self.err(format!("expected ',' or {close}, found {t}"));
+                }
+                None => return self.err("unterminated argument list"),
+            }
+        }
+    }
+
+    /// `[` already consumed.
+    fn parse_list(&mut self, ctx: &mut VarCtx) -> Result<Term, ParseError> {
+        if self.peek() == Some(&Tok::RBracket) {
+            self.pos += 1;
+            return Ok(Term::nil());
+        }
+        let mut elems = vec![self.parse_expr(ctx)?];
+        loop {
+            match self.next() {
+                Some(Tok::Comma) => elems.push(self.parse_expr(ctx)?),
+                Some(Tok::Bar) => {
+                    let tail = self.parse_expr(ctx)?;
+                    self.expect(&Tok::RBracket)?;
+                    let mut t = tail;
+                    for e in elems.into_iter().rev() {
+                        t = Term::cons(e, t);
+                    }
+                    return Ok(t);
+                }
+                Some(Tok::RBracket) => {
+                    return Ok(Term::list(elems));
+                }
+                Some(t) => {
+                    self.pos -= 1;
+                    return self.err(format!("expected ',', '|' or ']', found {t}"));
+                }
+                None => return self.err("unterminated list"),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Literals, clauses, queries
+    // -----------------------------------------------------------------
+
+    fn term_to_literal(&self, t: Term) -> Result<Literal, ParseError> {
+        match t {
+            Term::App(a) => Ok(Literal {
+                pred: a.sym(),
+                args: a.args().to_vec(),
+            }),
+            Term::Str(s) => Ok(Literal {
+                pred: s,
+                args: Vec::new(),
+            }),
+            other => self.err(format!("expected a predicate literal, found term {other}")),
+        }
+    }
+
+    fn parse_body_item(&mut self, ctx: &mut VarCtx) -> Result<BodyItem, ParseError> {
+        if self.at_keyword("not") {
+            // `not p(...)` — but `not(...)` with parens is a plain functor
+            // term named not; require a following literal.
+            self.pos += 1;
+            let t = self.parse_expr(ctx)?;
+            return Ok(BodyItem::Negated(self.term_to_literal(t)?));
+        }
+        let lhs = self.parse_expr(ctx)?;
+        let op = match self.peek() {
+            Some(Tok::Op("=")) => Some(CmpOp::Unify),
+            Some(Tok::Op("\\=")) => Some(CmpOp::NotUnify),
+            Some(Tok::Op("<")) => Some(CmpOp::Lt),
+            Some(Tok::Op("=<")) => Some(CmpOp::Le),
+            Some(Tok::Op(">")) => Some(CmpOp::Gt),
+            Some(Tok::Op(">=")) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.parse_expr(ctx)?;
+                Ok(BodyItem::Compare { op, lhs, rhs })
+            }
+            None => Ok(BodyItem::Literal(self.term_to_literal(lhs)?)),
+        }
+    }
+
+    /// A clause `head.` or `head :- body.` (terminating `.` consumed).
+    fn parse_clause(&mut self) -> Result<Rule, ParseError> {
+        let mut ctx = VarCtx::default();
+        let head_term = self.parse_expr(&mut ctx)?;
+        let head = self.term_to_literal(head_term)?;
+        let mut body = Vec::new();
+        if self.peek() == Some(&Tok::If) {
+            self.pos += 1;
+            loop {
+                body.push(self.parse_body_item(&mut ctx)?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Tok::Dot)?;
+        Ok(Rule {
+            head,
+            body,
+            nvars: ctx.names.len() as u32,
+            var_names: ctx.names,
+        })
+    }
+
+    fn parse_query_body(&mut self) -> Result<Query, ParseError> {
+        let mut ctx = VarCtx::default();
+        let t = self.parse_expr(&mut ctx)?;
+        let literal = self.term_to_literal(t)?;
+        self.expect(&Tok::Dot)?;
+        Ok(Query {
+            literal,
+            nvars: ctx.names.len() as u32,
+            var_names: ctx.names,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Annotations
+    // -----------------------------------------------------------------
+
+    /// `@` already consumed.
+    fn parse_annotation(&mut self) -> Result<Annotation, ParseError> {
+        let name = self.expect_atom()?;
+        let ann = match name.as_str() {
+            "pipelining" => Annotation::Pipelining,
+            "materialize" => Annotation::Materialize,
+            "bsn" => Annotation::Fixpoint(FixpointKind::Bsn),
+            "psn" => Annotation::Fixpoint(FixpointKind::Psn),
+            "naive" => Annotation::Fixpoint(FixpointKind::Naive),
+            "ordered_search" => Annotation::OrderedSearch,
+            "save_module" => Annotation::SaveModule,
+            "lazy" => Annotation::Lazy,
+            "no_intelligent_backtracking" => Annotation::NoIntelligentBacktracking,
+            "no_auto_index" => Annotation::NoAutoIndex,
+            "reorder_joins" => Annotation::ReorderJoins,
+            "rewrite" => {
+                let which = self.expect_atom()?;
+                let kind = match which.as_str() {
+                    "supplementary" => RewriteKind::SupplementaryMagic,
+                    "magic" => RewriteKind::Magic,
+                    "goalid" => RewriteKind::SupplementaryMagicGoalId,
+                    "factoring" => RewriteKind::Factoring,
+                    "none" => RewriteKind::None,
+                    other => {
+                        return self.err(format!(
+                            "unknown rewriting {other:?} (expected supplementary, magic, goalid, factoring or none)"
+                        ))
+                    }
+                };
+                Annotation::Rewrite(kind)
+            }
+            "multiset" => {
+                let pname = self.expect_atom()?;
+                self.expect(&Tok::Op("/"))?;
+                let arity = match self.next() {
+                    Some(Tok::Int(n)) if n >= 0 => n as usize,
+                    _ => return self.err("expected arity after '/'"),
+                };
+                Annotation::Multiset(PredRef::new(&pname, arity))
+            }
+            "aggregate_selection" => self.parse_aggregate_selection()?,
+            "make_index" => self.parse_make_index()?,
+            other => return self.err(format!("unknown annotation @{other}")),
+        };
+        self.expect(&Tok::Dot)?;
+        Ok(ann)
+    }
+
+    /// `@aggregate_selection p(X,Y,P,C) (X,Y) min(C).`
+    fn parse_aggregate_selection(&mut self) -> Result<Annotation, ParseError> {
+        let pname = self.expect_atom()?;
+        self.expect(&Tok::LParen)?;
+        let mut pattern_vars = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Var(v)) => {
+                    let sym = Symbol::intern(&v);
+                    if pattern_vars.contains(&sym) {
+                        return self.err(format!(
+                            "aggregate_selection pattern variables must be distinct ({v} repeats)"
+                        ));
+                    }
+                    pattern_vars.push(sym);
+                }
+                _ => return self.err("aggregate_selection pattern arguments must be variables"),
+            }
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                _ => return self.err("expected ',' or ')'"),
+            }
+        }
+        self.expect(&Tok::LParen)?;
+        let mut group_vars = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            self.pos += 1;
+        } else {
+            loop {
+                match self.next() {
+                    Some(Tok::Var(v)) => group_vars.push(Symbol::intern(&v)),
+                    _ => return self.err("group-by arguments must be variables"),
+                }
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    _ => return self.err("expected ',' or ')'"),
+                }
+            }
+        }
+        let fname = self.expect_atom()?;
+        let agg = AggFn::from_name(&fname)
+            .ok_or_else(|| ParseError {
+                message: format!("unknown aggregate function {fname:?}"),
+                line: self.line(),
+            })?;
+        self.expect(&Tok::LParen)?;
+        let agg_var = match self.next() {
+            Some(Tok::Var(v)) => Symbol::intern(&v),
+            _ => return self.err("aggregate argument must be a variable"),
+        };
+        self.expect(&Tok::RParen)?;
+        for v in group_vars.iter().chain([&agg_var]) {
+            if !pattern_vars.contains(v) {
+                return self.err(format!("variable {v} does not occur in the pattern"));
+            }
+        }
+        Ok(Annotation::AggregateSelection {
+            pred: PredRef {
+                name: Symbol::intern(&pname),
+                arity: pattern_vars.len(),
+            },
+            group_vars,
+            agg,
+            agg_var,
+            pattern_vars,
+        })
+    }
+
+    /// `@make_index emp(Name, addr(Street, City)) (Name, City).`
+    fn parse_make_index(&mut self) -> Result<Annotation, ParseError> {
+        let pname = self.expect_atom()?;
+        let mut ctx = VarCtx::default();
+        self.expect(&Tok::LParen)?;
+        let pattern = self.parse_term_list(&mut ctx, Tok::RParen)?;
+        self.expect(&Tok::LParen)?;
+        let mut key_vars = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Var(v)) => {
+                    if !ctx.names.contains(&v) {
+                        return self.err(format!("key variable {v} does not occur in the pattern"));
+                    }
+                    key_vars.push(ctx.get(&v));
+                }
+                _ => return self.err("index key arguments must be variables"),
+            }
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                _ => return self.err("expected ',' or ')'"),
+            }
+        }
+        Ok(Annotation::MakeIndex {
+            pred: PredRef {
+                name: Symbol::intern(&pname),
+                arity: pattern.len(),
+            },
+            pattern,
+            key_vars,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Modules and programs
+    // -----------------------------------------------------------------
+
+    /// `export s_p(bfff, ffff).` — keyword already consumed.
+    fn parse_export(&mut self) -> Result<Export, ParseError> {
+        let pname = self.expect_atom()?;
+        self.expect(&Tok::LParen)?;
+        let mut forms = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Atom(s)) => match Adornment::parse(&s) {
+                    Some(a) => forms.push(a),
+                    None => {
+                        return self.err(format!(
+                            "bad query form {s:?} (must be a string of 'b' and 'f')"
+                        ))
+                    }
+                },
+                _ => return self.err("expected a query form such as bf"),
+            }
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                _ => return self.err("expected ',' or ')'"),
+            }
+        }
+        self.expect(&Tok::Dot)?;
+        let arity = forms[0].arity();
+        if forms.iter().any(|f| f.arity() != arity) {
+            return self.err("query forms of one export must have equal arity");
+        }
+        Ok(Export {
+            pred: PredRef {
+                name: Symbol::intern(&pname),
+                arity,
+            },
+            forms,
+        })
+    }
+
+    /// `module name.` already consumed up to the name.
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        let name = self.expect_atom()?;
+        self.expect(&Tok::Dot)?;
+        let mut module = Module {
+            name,
+            ..Module::default()
+        };
+        loop {
+            if self.at_keyword("end_module") {
+                self.pos += 1;
+                self.expect(&Tok::Dot)?;
+                return Ok(module);
+            }
+            match self.peek() {
+                None => return self.err("missing end_module."),
+                Some(Tok::At) => {
+                    self.pos += 1;
+                    module.annotations.push(self.parse_annotation()?);
+                }
+                Some(Tok::Atom(s)) if s == "export" && self.peek2() != Some(&Tok::LParen) => {
+                    self.pos += 1;
+                    module.exports.push(self.parse_export()?);
+                }
+                _ => module.rules.push(self.parse_clause()?),
+            }
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while self.peek().is_some() {
+            match self.peek() {
+                Some(Tok::At) => {
+                    self.pos += 1;
+                    prog.items
+                        .push(ProgramItem::Annotation(self.parse_annotation()?));
+                }
+                Some(Tok::QueryPrefix) => {
+                    self.pos += 1;
+                    prog.items.push(ProgramItem::Query(self.parse_query_body()?));
+                }
+                Some(Tok::Atom(s)) if s == "module" && self.peek2() != Some(&Tok::LParen) => {
+                    self.pos += 1;
+                    prog.items.push(ProgramItem::Module(self.parse_module()?));
+                }
+                _ => {
+                    let clause = self.parse_clause()?;
+                    if !clause.is_fact() {
+                        return self.err(
+                            "rules must appear inside a module (only facts are allowed at top level)",
+                        );
+                    }
+                    prog.items.push(ProgramItem::Fact(clause));
+                }
+            }
+        }
+        Ok(prog)
+    }
+}
+
+/// Parse a whole program file.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.parse_program()
+}
+
+/// Parse a query, with or without the `?-` prefix, e.g.
+/// `"?- path(1, X)."` or `"path(1, X)"` (trailing `.` optional).
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let mut src = src.trim().to_string();
+    if !src.ends_with('.') {
+        src.push('.');
+    }
+    let toks = lex(&src)?;
+    let mut p = Parser { toks, pos: 0 };
+    if p.peek() == Some(&Tok::QueryPrefix) {
+        p.pos += 1;
+    }
+    let q = p.parse_query_body()?;
+    if p.peek().is_some() {
+        return p.err("trailing input after query");
+    }
+    Ok(q)
+}
+
+/// Parse a standalone term; returns the term and the variable names in
+/// id order.
+pub fn parse_term(src: &str) -> Result<(Term, Vec<String>), ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut ctx = VarCtx::default();
+    let t = p.parse_expr(&mut ctx)?;
+    if p.peek().is_some() {
+        return p.err("trailing input after term");
+    }
+    Ok((t, ctx.names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_facts_and_rules() {
+        let prog = parse_program(
+            "edge(1, 2).\n\
+             module tc.\n\
+             export path(bf, ff).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+             end_module.\n",
+        )
+        .unwrap();
+        assert_eq!(prog.facts().count(), 1);
+        let m = prog.modules().next().unwrap();
+        assert_eq!(m.name, "tc");
+        assert_eq!(m.rules.len(), 2);
+        assert_eq!(m.exports.len(), 1);
+        assert_eq!(m.exports[0].forms.len(), 2);
+        assert_eq!(m.exports[0].pred, PredRef::new("path", 2));
+        let r = &m.rules[1];
+        assert_eq!(r.nvars, 3);
+        assert_eq!(r.var_names, vec!["X", "Y", "Z"]);
+    }
+
+    #[test]
+    fn var_numbering_first_occurrence() {
+        let prog = parse_program(
+            "module m. p(Y, X) :- q(X, Y, X). end_module.",
+        )
+        .unwrap();
+        let r = &prog.modules().next().unwrap().rules[0];
+        // Y=V0, X=V1.
+        assert_eq!(r.head.args, vec![Term::var(0), Term::var(1)]);
+        let BodyItem::Literal(q) = &r.body[0] else { panic!() };
+        assert_eq!(q.args, vec![Term::var(1), Term::var(0), Term::var(1)]);
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh() {
+        let prog = parse_program("module m. p(X) :- q(_, _, X). end_module.").unwrap();
+        let r = &prog.modules().next().unwrap().rules[0];
+        assert_eq!(r.nvars, 3);
+    }
+
+    #[test]
+    fn body_builtins() {
+        let prog = parse_program(
+            "module m. p(X, C1) :- q(X, C), C1 = C + 1, C1 < 10, not r(X). end_module.",
+        )
+        .unwrap();
+        let r = &prog.modules().next().unwrap().rules[0];
+        assert_eq!(r.body.len(), 4);
+        assert!(matches!(&r.body[1], BodyItem::Compare { op: CmpOp::Unify, .. }));
+        assert!(matches!(&r.body[2], BodyItem::Compare { op: CmpOp::Lt, .. }));
+        assert!(matches!(&r.body[3], BodyItem::Negated(l) if l.pred == Symbol::intern("r")));
+        // Arithmetic parsed into functor terms.
+        let BodyItem::Compare { rhs, .. } = &r.body[1] else { panic!() };
+        assert_eq!(rhs.to_string(), "\"+\"(V2, 1)");
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let (t, _) = parse_term("1 + 2 * 3 - 4").unwrap();
+        assert_eq!(t.to_string(), "\"-\"(\"+\"(1, \"*\"(2, 3)), 4)");
+        let (t, _) = parse_term("(1 + 2) * 3").unwrap();
+        assert_eq!(t.to_string(), "\"*\"(\"+\"(1, 2), 3)");
+        let (t, _) = parse_term("-X + 3").unwrap();
+        assert_eq!(t.to_string(), "\"+\"(\"-\"(V0), 3)");
+        let (t, _) = parse_term("10 mod 3").unwrap();
+        assert_eq!(t.to_string(), "mod(10, 3)");
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let (t, _) = parse_term("-5").unwrap();
+        assert_eq!(t, Term::int(-5));
+        let (t, _) = parse_term("-2.5").unwrap();
+        assert_eq!(t, Term::double(-2.5));
+    }
+
+    #[test]
+    fn lists_parse() {
+        let (t, _) = parse_term("[1, 2 | T]").unwrap();
+        assert_eq!(t.to_string(), "[1, 2 | V0]");
+        let (t, _) = parse_term("[]").unwrap();
+        assert!(t.is_nil());
+        let (t, _) = parse_term("[edge(Z, Y)]").unwrap();
+        assert_eq!(t.to_string(), "[edge(V0, V1)]");
+    }
+
+    /// The complete Figure 3 program parses.
+    #[test]
+    fn figure_3_shortest_path() {
+        let src = r#"
+module s_p.
+export s_p(bfff, ffff).
+@aggregate_selection p(X, Y, P, C) (X, Y) min(C).
+@aggregate_selection p(X, Y, P, C) (X, Y, C) any(P).
+s_p(X, Y, P, C) :- s_p_length(X, Y, C), p(X, Y, P, C).
+s_p_length(X, Y, min(C)) :- p(X, Y, P, C).
+p(X, Y, P1, C1) :- p(X, Z, P, C), edge(Z, Y, EC),
+                   append([edge(Z, Y)], P, P1), C1 = C + EC.
+p(X, Y, [edge(X, Y)], C) :- edge(X, Y, C).
+end_module.
+"#;
+        let prog = parse_program(src).unwrap();
+        let m = prog.modules().next().unwrap();
+        assert_eq!(m.name, "s_p");
+        assert_eq!(m.rules.len(), 4);
+        assert_eq!(m.annotations.len(), 2);
+        match &m.annotations[0] {
+            Annotation::AggregateSelection {
+                pred,
+                group_vars,
+                agg,
+                agg_var,
+                ..
+            } => {
+                assert_eq!(*pred, PredRef::new("p", 4));
+                assert_eq!(group_vars.len(), 2);
+                assert_eq!(*agg, AggFn::Min);
+                assert_eq!(*agg_var, Symbol::intern("C"));
+            }
+            other => panic!("unexpected annotation {other:?}"),
+        }
+        // Head aggregation term parsed structurally.
+        assert_eq!(m.rules[1].head.args[2].to_string(), "min(V2)");
+    }
+
+    #[test]
+    fn make_index_annotation() {
+        let prog = parse_program(
+            "@make_index emp(Name, addr(Street, City)) (Name, City).",
+        )
+        .unwrap();
+        match &prog.items[0] {
+            ProgramItem::Annotation(Annotation::MakeIndex {
+                pred,
+                pattern,
+                key_vars,
+            }) => {
+                assert_eq!(*pred, PredRef::new("emp", 2));
+                assert_eq!(pattern.len(), 2);
+                assert_eq!(pattern[1].to_string(), "addr(V1, V2)");
+                assert_eq!(key_vars, &vec![VarId(0), VarId(2)]);
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_annotations() {
+        let prog = parse_program(
+            "module m.\n@pipelining.\n@psn.\n@rewrite magic.\n@multiset p/3.\n\
+             @save_module.\n@lazy.\n@ordered_search.\np(1).\nend_module.",
+        )
+        .unwrap();
+        let m = prog.modules().next().unwrap();
+        assert_eq!(m.annotations.len(), 7);
+        assert_eq!(m.annotations[0], Annotation::Pipelining);
+        assert_eq!(m.annotations[1], Annotation::Fixpoint(FixpointKind::Psn));
+        assert_eq!(m.annotations[2], Annotation::Rewrite(RewriteKind::Magic));
+        assert_eq!(m.annotations[3], Annotation::Multiset(PredRef::new("p", 3)));
+    }
+
+    #[test]
+    fn queries_parse() {
+        let q = parse_query("?- path(1, X).").unwrap();
+        assert_eq!(q.literal.pred, Symbol::intern("path"));
+        assert_eq!(q.nvars, 1);
+        assert_eq!(q.adornment().to_string(), "bf");
+        let q2 = parse_query("path(a, X)").unwrap();
+        assert_eq!(q2.adornment().to_string(), "bf");
+        let q3 = parse_query("go").unwrap();
+        assert_eq!(q3.literal.args.len(), 0);
+    }
+
+    #[test]
+    fn propositional_atoms() {
+        let prog = parse_program("module m. win :- move. move. end_module.").unwrap();
+        let m = prog.modules().next().unwrap();
+        assert_eq!(m.rules[0].head.args.len(), 0);
+        assert!(m.rules[1].is_fact());
+    }
+
+    #[test]
+    fn nonground_facts_allowed() {
+        let prog = parse_program("likes(X, pizza).").unwrap();
+        let f = prog.facts().next().unwrap();
+        assert_eq!(f.head.args[0], Term::var(0));
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let err = parse_program("module m.\np(X) :- .\nend_module.").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_program("p(X) :- q(X).").is_err(), "top-level rules rejected");
+        assert!(parse_program("module m. export p(bx). end_module.").is_err());
+        assert!(parse_program("module m. @rewrite bogus. end_module.").is_err());
+        assert!(parse_program("module m. p(1). ").is_err(), "missing end_module");
+        assert!(parse_query("?- p(X), q(X).").is_err(), "conjunctive queries unsupported");
+    }
+
+    #[test]
+    fn module_and_export_usable_as_atoms() {
+        // 'module' followed by '(' is an ordinary predicate.
+        let prog = parse_program("module(a).").unwrap();
+        assert_eq!(prog.facts().count(), 1);
+    }
+
+    #[test]
+    fn aggregate_selection_validation() {
+        assert!(parse_program("@aggregate_selection p(X, X) (X) min(X).").is_err());
+        assert!(parse_program("@aggregate_selection p(X, Y) (Z) min(Y).").is_err());
+        assert!(parse_program("@aggregate_selection p(X, Y) (X) frob(Y).").is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Pretty-printer: AST back to CORAL source text.
+//!
+//! The optimizer dumps rewritten programs "as a text file — which is
+//! useful as a debugging aid for the user" (§2); this module produces
+//! that text. Output re-parses to an equivalent AST (round-trip tested).
+
+use crate::ast::*;
+use coral_term::{Term, VarId};
+use std::fmt::Write;
+
+/// Render a term using a clause's variable names.
+pub fn term_to_string(t: &Term, name_of: &dyn Fn(VarId) -> String) -> String {
+    let mut s = String::new();
+    write_term(&mut s, t, name_of);
+    s
+}
+
+fn needs_quotes(name: &str) -> bool {
+    let mut cs = name.chars();
+    match cs.next() {
+        Some(c) if c.is_ascii_lowercase() => {
+            !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        _ => true,
+    }
+}
+
+fn write_atom(out: &mut String, name: &str) {
+    if needs_quotes(name) {
+        let escaped = name.replace('\\', "\\\\").replace('\'', "\\'");
+        let _ = write!(out, "'{escaped}'");
+    } else {
+        out.push_str(name);
+    }
+}
+
+fn write_term(out: &mut String, t: &Term, name_of: &dyn Fn(VarId) -> String) {
+    match t {
+        Term::Var(v) => out.push_str(&name_of(*v)),
+        Term::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Term::Big(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Term::Double(d) => {
+            let x = d.get();
+            if x == x.trunc() && x.is_finite() {
+                let _ = write!(out, "{x:.1}");
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Term::Str(s) => write_atom(out, &s.as_str()),
+        Term::App(_) if t.is_nil() => out.push_str("[]"),
+        Term::App(_) if t.as_cons().is_some() => {
+            out.push('[');
+            let mut cur = t;
+            let mut first = true;
+            loop {
+                match cur.as_cons() {
+                    Some((h, rest)) => {
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        write_term(out, h, name_of);
+                        first = false;
+                        cur = rest;
+                    }
+                    None => {
+                        if !cur.is_nil() {
+                            out.push_str(" | ");
+                            write_term(out, cur, name_of);
+                        }
+                        break;
+                    }
+                }
+            }
+            out.push(']');
+        }
+        Term::App(a) => {
+            // Binary arithmetic back to infix.
+            let name = a.sym().as_str();
+            if a.args().len() == 2 && matches!(name.as_str(), "+" | "-" | "*" | "/" | "mod") {
+                out.push('(');
+                write_term(out, &a.args()[0], name_of);
+                let _ = write!(out, " {name} ");
+                write_term(out, &a.args()[1], name_of);
+                out.push(')');
+                return;
+            }
+            write_atom(out, &name);
+            if !a.args().is_empty() {
+                out.push('(');
+                for (i, arg) in a.args().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_term(out, arg, name_of);
+                }
+                out.push(')');
+            }
+        }
+        Term::Adt(v) => out.push_str(&v.print()),
+    }
+}
+
+fn write_literal(out: &mut String, l: &Literal, name_of: &dyn Fn(VarId) -> String) {
+    write_atom(out, &l.pred.as_str());
+    if !l.args.is_empty() {
+        out.push('(');
+        for (i, arg) in l.args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_term(out, arg, name_of);
+        }
+        out.push(')');
+    }
+}
+
+/// Render one rule (with terminating period).
+pub fn rule_to_string(r: &Rule) -> String {
+    let name_of = |v: VarId| r.var_name(v);
+    let mut out = String::new();
+    write_literal(&mut out, &r.head, &name_of);
+    if !r.body.is_empty() {
+        out.push_str(" :- ");
+        for (i, item) in r.body.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match item {
+                BodyItem::Literal(l) => write_literal(&mut out, l, &name_of),
+                BodyItem::Negated(l) => {
+                    out.push_str("not ");
+                    write_literal(&mut out, l, &name_of);
+                }
+                BodyItem::Compare { op, lhs, rhs } => {
+                    write_term(&mut out, lhs, &name_of);
+                    let _ = write!(out, " {op} ");
+                    write_term(&mut out, rhs, &name_of);
+                }
+            }
+        }
+    }
+    out.push('.');
+    out
+}
+
+fn annotation_to_string(a: &Annotation) -> String {
+    match a {
+        Annotation::Pipelining => "@pipelining.".into(),
+        Annotation::Materialize => "@materialize.".into(),
+        Annotation::Fixpoint(FixpointKind::Bsn) => "@bsn.".into(),
+        Annotation::Fixpoint(FixpointKind::Psn) => "@psn.".into(),
+        Annotation::Fixpoint(FixpointKind::Naive) => "@naive.".into(),
+        Annotation::Rewrite(k) => format!(
+            "@rewrite {}.",
+            match k {
+                RewriteKind::SupplementaryMagic => "supplementary",
+                RewriteKind::Magic => "magic",
+                RewriteKind::SupplementaryMagicGoalId => "goalid",
+                RewriteKind::Factoring => "factoring",
+                RewriteKind::None => "none",
+            }
+        ),
+        Annotation::OrderedSearch => "@ordered_search.".into(),
+        Annotation::SaveModule => "@save_module.".into(),
+        Annotation::Lazy => "@lazy.".into(),
+        Annotation::NoIntelligentBacktracking => "@no_intelligent_backtracking.".into(),
+        Annotation::NoAutoIndex => "@no_auto_index.".into(),
+        Annotation::ReorderJoins => "@reorder_joins.".into(),
+        Annotation::Multiset(p) => format!("@multiset {}/{}.", p.name, p.arity),
+        Annotation::AggregateSelection {
+            pred,
+            group_vars,
+            agg,
+            agg_var,
+            pattern_vars,
+        } => {
+            let pat: Vec<String> = pattern_vars.iter().map(|s| s.as_str()).collect();
+            let grp: Vec<String> = group_vars.iter().map(|s| s.as_str()).collect();
+            format!(
+                "@aggregate_selection {}({}) ({}) {}({}).",
+                pred.name,
+                pat.join(", "),
+                grp.join(", "),
+                agg.name(),
+                agg_var
+            )
+        }
+        Annotation::MakeIndex {
+            pred,
+            pattern,
+            key_vars,
+        } => {
+            let name_of = |v: VarId| format!("V{}", v.0);
+            let pat: Vec<String> = pattern.iter().map(|t| term_to_string(t, &name_of)).collect();
+            let keys: Vec<String> = key_vars.iter().map(|v| format!("V{}", v.0)).collect();
+            format!(
+                "@make_index {}({}) ({}).",
+                pred.name,
+                pat.join(", "),
+                keys.join(", ")
+            )
+        }
+    }
+}
+
+/// Render a module.
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}.", m.name);
+    for e in &m.exports {
+        let forms: Vec<String> = e.forms.iter().map(|f| f.to_string()).collect();
+        let _ = writeln!(out, "export {}({}).", e.pred.name, forms.join(", "));
+    }
+    for a in &m.annotations {
+        let _ = writeln!(out, "{}", annotation_to_string(a));
+    }
+    for r in &m.rules {
+        let _ = writeln!(out, "{}", rule_to_string(r));
+    }
+    out.push_str("end_module.\n");
+    out
+}
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for item in &p.items {
+        match item {
+            ProgramItem::Module(m) => out.push_str(&module_to_string(m)),
+            ProgramItem::Fact(f) => {
+                let _ = writeln!(out, "{}", rule_to_string(f));
+            }
+            ProgramItem::Annotation(a) => {
+                let _ = writeln!(out, "{}", annotation_to_string(a));
+            }
+            ProgramItem::Query(q) => {
+                let name_of = |v: VarId| {
+                    q.var_names
+                        .get(v.0 as usize)
+                        .cloned()
+                        .unwrap_or_else(|| format!("V{}", v.0))
+                };
+                let mut s = String::new();
+                write_literal(&mut s, &q.literal, &name_of);
+                let _ = writeln!(out, "?- {s}.");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reprinted text failed to parse: {e}\n{printed}"));
+        let reprinted = program_to_string(&p2);
+        assert_eq!(printed, reprinted, "printing is a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("edge(1, 2).\nedge(2, 3).\n");
+    }
+
+    #[test]
+    fn roundtrip_module_with_everything() {
+        roundtrip(
+            r#"
+module s_p.
+export s_p(bfff, ffff).
+@aggregate_selection p(X, Y, P, C) (X, Y) min(C).
+@make_index emp(Name, addr(S, C)) (Name, C).
+@psn.
+s_p(X, Y, P, C) :- s_p_length(X, Y, C), p(X, Y, P, C).
+s_p_length(X, Y, min(C)) :- p(X, Y, P, C).
+p(X, Y, P1, C1) :- p(X, Z, P, C), edge(Z, Y, EC),
+                   append([edge(Z, Y)], P, P1), C1 = C + EC.
+p(X, Y, [edge(X, Y)], C) :- edge(X, Y, C).
+end_module.
+?- s_p(1, X, P, C).
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_builtins_and_negation() {
+        roundtrip(
+            "module m.\nexport p(ff).\np(X, Y) :- q(X), not r(X), Y = X * 2 + 1, Y >= 0, X \\= 3.\nend_module.\n",
+        );
+    }
+
+    #[test]
+    fn quoted_atoms_preserved() {
+        roundtrip("likes('Alice Smith', \"long string\").\n");
+        let p = parse_program("p('odd atom').").unwrap();
+        let text = program_to_string(&p);
+        assert!(text.contains("'odd atom'"), "{text}");
+    }
+
+    #[test]
+    fn rule_rendering_uses_original_names() {
+        let p = parse_program("module m. p(Cost) :- q(Cost, _). end_module.").unwrap();
+        let m = p.modules().next().unwrap();
+        let s = rule_to_string(&m.rules[0]);
+        assert_eq!(s, "p(Cost) :- q(Cost, _G1).");
+    }
+
+    #[test]
+    fn lists_render() {
+        let p = parse_program("f([1, 2], [H | T], []).").unwrap();
+        let s = program_to_string(&p);
+        assert_eq!(s, "f([1, 2], [H | T], []).\n");
+    }
+}

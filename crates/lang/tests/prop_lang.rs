@@ -1,0 +1,151 @@
+//! Property tests: pretty-printing a parsed program re-parses to the
+//! same AST (printing is a retraction of parsing).
+
+use coral_lang::pretty::program_to_string;
+use coral_lang::{parse_program, parse_term, Program};
+use proptest::prelude::*;
+
+/// Random term source text built from a small grammar.
+fn term_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-999i64..999).prop_map(|v| v.to_string()),
+        (0u32..3).prop_map(|v| format!("X{v}")),
+        prop_oneof![Just("a"), Just("b"), Just("foo")].prop_map(str::to_string),
+        Just("\"a string\"".to_string()),
+        Just("[]".to_string()),
+        (1u32..99).prop_map(|v| format!("{v}.5")),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![Just("f"), Just("g"), Just("edge")],
+                proptest::collection::vec(inner.clone(), 1..3),
+            )
+                .prop_map(|(name, args)| format!("{name}({})", args.join(", "))),
+            proptest::collection::vec(inner.clone(), 0..3)
+                .prop_map(|elems| format!("[{}]", elems.join(", "))),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a} + {b})")),
+        ]
+    })
+}
+
+/// Random clause text.
+fn clause_src() -> impl Strategy<Value = String> {
+    let head_args = proptest::collection::vec(term_src(), 1..3);
+    let body_item = prop_oneof![
+        (
+            prop_oneof![Just("p"), Just("q"), Just("r")],
+            proptest::collection::vec(term_src(), 1..3),
+        )
+            .prop_map(|(n, a)| format!("{n}({})", a.join(", "))),
+        (term_src(), prop_oneof![Just("<"), Just(">="), Just("=")], term_src())
+            .prop_map(|(l, op, r)| format!("{l} {op} {r}")),
+        (
+            prop_oneof![Just("p"), Just("q")],
+            proptest::collection::vec(term_src(), 1..2),
+        )
+            .prop_map(|(n, a)| format!("not {n}({})", a.join(", "))),
+    ];
+    (
+        prop_oneof![Just("h"), Just("p")],
+        head_args,
+        proptest::collection::vec(body_item, 0..3),
+    )
+        .prop_map(|(name, args, body)| {
+            let head = format!("{name}({})", args.join(", "));
+            if body.is_empty() {
+                format!("{head}.")
+            } else {
+                format!("{head} :- {}.", body.join(", "))
+            }
+        })
+}
+
+fn program_src() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(clause_src(), 1..5),
+        proptest::collection::vec(term_src(), 0..3),
+    )
+        .prop_map(|(clauses, fact_args)| {
+            let mut src = String::new();
+            for t in &fact_args {
+                src.push_str(&format!("base({t}).\n"));
+            }
+            src.push_str("module m.\nexport h(ff).\n");
+            for c in &clauses {
+                src.push_str(c);
+                src.push('\n');
+            }
+            src.push_str("end_module.\n");
+            src
+        })
+}
+
+/// Compare programs modulo variable *names* (printing uses the stored
+/// names, so ASTs should match exactly here).
+fn assert_roundtrip(src: &str) -> Result<(), TestCaseError> {
+    let p1: Program = match parse_program(src) {
+        Ok(p) => p,
+        // Generated text can be ill-formed (e.g. a comparison as a rule
+        // head); that's a property of the generator, not a bug.
+        Err(_) => return Ok(()),
+    };
+    let printed = program_to_string(&p1);
+    let p2 = parse_program(&printed)
+        .map_err(|e| TestCaseError::fail(format!("reprint failed to parse: {e}\n{printed}")))?;
+    let reprinted = program_to_string(&p2);
+    prop_assert_eq!(printed, reprinted, "printing not a fixpoint for {}", src);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn program_print_parse_fixpoint(src in program_src()) {
+        assert_roundtrip(&src)?;
+    }
+
+    #[test]
+    fn term_print_parse_roundtrip(src in term_src()) {
+        if let Ok((t1, names)) = parse_term(&src) {
+            let name_of = |v: coral_term::VarId| {
+                names.get(v.0 as usize).cloned().unwrap_or_else(|| format!("V{}", v.0))
+            };
+            let printed = coral_lang::pretty::term_to_string(&t1, &name_of);
+            let (t2, _) = parse_term(&printed)
+                .map_err(|e| TestCaseError::fail(format!("{e}: {printed}")))?;
+            prop_assert!(coral_term::variant(&t1, &t2), "{} vs {}", t1, t2);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics, whatever bytes arrive.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "\\PC*") {
+        let _ = parse_program(&src);
+        let _ = parse_term(&src);
+        let _ = coral_lang::parse_query(&src);
+    }
+
+    /// ... including inputs built from the language's own token shards.
+    #[test]
+    fn parser_total_on_token_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("module"), Just("end_module."), Just("export"), Just("p(bf)."),
+                Just(":-"), Just("?-"), Just("."), Just(","), Just("("), Just(")"),
+                Just("["), Just("]"), Just("|"), Just("not"), Just("@psn."),
+                Just("X"), Just("foo"), Just("42"), Just("1.5"), Just("\"s\""),
+                Just("="), Just("<"), Just("+"), Just("'q a'"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = parse_program(&src);
+    }
+}

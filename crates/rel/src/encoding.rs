@@ -1,0 +1,250 @@
+//! Order-preserving encoding of primitive-typed tuples.
+//!
+//! Persistent relations are "restricted to have fields of primitive types
+//! only" and the data "is stored on disk in its machine representation"
+//! (§3.1–§3.2). The encoding here is self-delimiting (tuples decode
+//! without a schema) and order-preserving *within each type*, so B+-tree
+//! prefix scans implement exact-key index lookups. Fields of different
+//! types order by a type tag; cross-type numeric ordering is not needed
+//! by any index operation.
+//!
+//! Layout per field:
+//!
+//! ```text
+//! 0x10 ‖ (i64 big-endian, sign bit flipped)     integer
+//! 0x20 ‖ (f64 order-preserving bits, BE)        double
+//! 0x30 ‖ escaped bytes ‖ 0x00 0x00              string (0x00 → 0x00 0x01)
+//! ```
+
+use crate::error::{RelError, RelResult};
+use coral_term::{Term, Tuple};
+
+const TAG_INT: u8 = 0x10;
+const TAG_DOUBLE: u8 = 0x20;
+const TAG_STR: u8 = 0x30;
+
+/// Append the encoding of one primitive term.
+pub fn encode_term(out: &mut Vec<u8>, t: &Term) -> RelResult<()> {
+    match t {
+        Term::Int(v) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&((*v as u64) ^ (1 << 63)).to_be_bytes());
+            Ok(())
+        }
+        Term::Double(d) => {
+            out.push(TAG_DOUBLE);
+            let bits = d.get().to_bits();
+            // Standard total-order transform: flip all bits of negatives,
+            // flip only the sign bit of non-negatives.
+            let key = if bits & (1 << 63) != 0 {
+                !bits
+            } else {
+                bits ^ (1 << 63)
+            };
+            out.extend_from_slice(&key.to_be_bytes());
+            Ok(())
+        }
+        Term::Str(s) => {
+            out.push(TAG_STR);
+            for b in s.as_str().bytes() {
+                out.push(b);
+                if b == 0 {
+                    out.push(1);
+                }
+            }
+            out.push(0);
+            out.push(0);
+            Ok(())
+        }
+        other => Err(RelError::NonPrimitive(format!(
+            "cannot store {other} persistently"
+        ))),
+    }
+}
+
+/// Encode a whole tuple (all fields primitive).
+pub fn encode_tuple(tuple: &Tuple) -> RelResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(tuple.arity() * 12);
+    for t in tuple.args() {
+        encode_term(&mut out, t)?;
+    }
+    Ok(out)
+}
+
+/// Encode a projection of the tuple (index key).
+pub fn encode_cols(tuple: &Tuple, cols: &[usize]) -> RelResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(cols.len() * 12);
+    for &c in cols {
+        encode_term(&mut out, &tuple.args()[c])?;
+    }
+    Ok(out)
+}
+
+/// Decode one term, returning it and the bytes consumed.
+pub fn decode_term(bytes: &[u8]) -> RelResult<(Term, usize)> {
+    match bytes.first() {
+        Some(&TAG_INT) => {
+            if bytes.len() < 9 {
+                return Err(RelError::Decode("truncated integer".into()));
+            }
+            let raw = u64::from_be_bytes(bytes[1..9].try_into().unwrap());
+            Ok((Term::int((raw ^ (1 << 63)) as i64), 9))
+        }
+        Some(&TAG_DOUBLE) => {
+            if bytes.len() < 9 {
+                return Err(RelError::Decode("truncated double".into()));
+            }
+            let key = u64::from_be_bytes(bytes[1..9].try_into().unwrap());
+            let bits = if key & (1 << 63) != 0 {
+                key ^ (1 << 63)
+            } else {
+                !key
+            };
+            Ok((Term::double(f64::from_bits(bits)), 9))
+        }
+        Some(&TAG_STR) => {
+            let mut s = Vec::new();
+            let mut i = 1;
+            loop {
+                match bytes.get(i) {
+                    Some(0) => match bytes.get(i + 1) {
+                        Some(0) => {
+                            let text = String::from_utf8(s)
+                                .map_err(|_| RelError::Decode("non-UTF8 string".into()))?;
+                            return Ok((Term::str(&text), i + 2));
+                        }
+                        Some(1) => {
+                            s.push(0);
+                            i += 2;
+                        }
+                        _ => return Err(RelError::Decode("bad string escape".into())),
+                    },
+                    Some(&b) => {
+                        s.push(b);
+                        i += 1;
+                    }
+                    None => return Err(RelError::Decode("unterminated string".into())),
+                }
+            }
+        }
+        Some(&t) => Err(RelError::Decode(format!("unknown field tag {t:#x}"))),
+        None => Err(RelError::Decode("empty field".into())),
+    }
+}
+
+/// Decode a whole tuple.
+pub fn decode_tuple(mut bytes: &[u8]) -> RelResult<Tuple> {
+    let mut args = Vec::new();
+    while !bytes.is_empty() {
+        let (t, n) = decode_term(bytes)?;
+        args.push(t);
+        bytes = &bytes[n..];
+    }
+    Ok(Tuple::ground(args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: Term) -> Term {
+        let mut buf = Vec::new();
+        encode_term(&mut buf, &t).unwrap();
+        let (back, n) = decode_term(&buf).unwrap();
+        assert_eq!(n, buf.len());
+        back
+    }
+
+    #[test]
+    fn roundtrips() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42] {
+            assert_eq!(roundtrip(Term::int(v)), Term::int(v));
+        }
+        for v in [0.0, -0.0, 1.5, -2.25, f64::MAX, f64::MIN_POSITIVE, -1e300] {
+            assert_eq!(roundtrip(Term::double(v)), Term::double(v));
+        }
+        for s in ["", "a", "hello world", "with\0nul", "naïve-ütf8"] {
+            assert_eq!(roundtrip(Term::str(s)), Term::str(s));
+        }
+    }
+
+    #[test]
+    fn int_encoding_preserves_order() {
+        let vals = [i64::MIN, -100, -1, 0, 1, 99, i64::MAX];
+        let mut encoded: Vec<Vec<u8>> = vals
+            .iter()
+            .map(|&v| {
+                let mut b = Vec::new();
+                encode_term(&mut b, &Term::int(v)).unwrap();
+                b
+            })
+            .collect();
+        let sorted = encoded.clone();
+        encoded.sort();
+        assert_eq!(encoded, sorted);
+    }
+
+    #[test]
+    fn double_encoding_preserves_order() {
+        let vals = [-1e308, -2.5, -0.0, 0.0, 1e-300, 3.25, 1e308];
+        let encoded: Vec<Vec<u8>> = vals
+            .iter()
+            .map(|&v| {
+                let mut b = Vec::new();
+                encode_term(&mut b, &Term::double(v)).unwrap();
+                b
+            })
+            .collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn string_encoding_preserves_order_and_prefix_freedom() {
+        let vals = ["", "a", "ab", "abc", "b"];
+        let encoded: Vec<Vec<u8>> = vals
+            .iter()
+            .map(|s| {
+                let mut b = Vec::new();
+                encode_term(&mut b, &Term::str(s)).unwrap();
+                b
+            })
+            .collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Embedded NULs do not collide with the terminator.
+        let mut a = Vec::new();
+        encode_term(&mut a, &Term::str("x\0y")).unwrap();
+        let mut b = Vec::new();
+        encode_term(&mut b, &Term::str("x")).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = Tuple::ground(vec![Term::int(-5), Term::str("abc"), Term::double(2.5)]);
+        let enc = encode_tuple(&t).unwrap();
+        assert_eq!(decode_tuple(&enc).unwrap(), t);
+        let empty = Tuple::ground(vec![]);
+        assert_eq!(decode_tuple(&encode_tuple(&empty).unwrap()).unwrap(), empty);
+    }
+
+    #[test]
+    fn non_primitives_rejected() {
+        let mut buf = Vec::new();
+        assert!(encode_term(&mut buf, &Term::var(0)).is_err());
+        assert!(encode_term(&mut buf, &Term::apps("f", vec![])).is_err());
+        assert!(encode_term(&mut buf, &Term::big("9".repeat(30).parse().unwrap())).is_err());
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        assert!(decode_term(&[]).is_err());
+        assert!(decode_term(&[0x99]).is_err());
+        assert!(decode_term(&[TAG_INT, 1, 2]).is_err());
+        assert!(decode_term(&[TAG_STR, b'a']).is_err());
+        assert!(decode_term(&[TAG_STR, 0, 9]).is_err());
+    }
+}

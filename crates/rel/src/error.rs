@@ -1,0 +1,55 @@
+//! Relation-layer errors.
+
+use coral_storage::StorageError;
+use std::fmt;
+
+/// Errors from relation operations.
+#[derive(Debug)]
+pub enum RelError {
+    /// Underlying storage failure (persistent relations only).
+    Storage(StorageError),
+    /// Tuple arity does not match the relation's arity.
+    Arity { expected: usize, got: usize },
+    /// A persistent relation was given a non-primitive field (§3.1:
+    /// "data stored using the EXODUS storage manager \[is\] limited to
+    /// terms of these primitive types").
+    NonPrimitive(String),
+    /// An index specification is invalid for this relation.
+    BadIndex(String),
+    /// An encoded tuple could not be decoded.
+    Decode(String),
+}
+
+/// Result alias for relation operations.
+pub type RelResult<T> = Result<T, RelError>;
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Storage(e) => write!(f, "storage error: {e}"),
+            RelError::Arity { expected, got } => {
+                write!(f, "arity mismatch: relation has {expected} columns, tuple has {got}")
+            }
+            RelError::NonPrimitive(m) => {
+                write!(f, "persistent relations hold primitive types only: {m}")
+            }
+            RelError::BadIndex(m) => write!(f, "invalid index: {m}"),
+            RelError::Decode(m) => write!(f, "corrupt persistent tuple: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for RelError {
+    fn from(e: StorageError) -> RelError {
+        RelError::Storage(e)
+    }
+}

@@ -1,0 +1,121 @@
+//! The generic relation interface (§3, §7.2).
+//!
+//! "The class `Relation` has a number of virtual methods defined on it.
+//! These include `insert(Tuple*)`, `delete(Tuple*)`, and an iterator
+//! interface that allows tuples to be fetched from the relation, one at a
+//! time." The interface "makes no assumptions about the structure of
+//! relations, and is designed to make the task of adding new relation
+//! implementations easy" (§7.2) — list relations, hash relations,
+//! persistent relations and (in `coral-embed`) relations computed by host
+//! functions all implement this trait.
+//!
+//! Scans are snapshot iterators: [`Relation::scan`]/[`Relation::lookup`]
+//! capture the qualifying tuples at open time (tuples are `Arc`-backed,
+//! so this clones pointers, not terms). This matches the paper's multiple
+//! concurrent scans over one relation, and keeps scans well-defined while
+//! the evaluator inserts into the same relation — the semi-naive
+//! machinery only ever reads *closed* subsidiary relations anyway.
+
+use crate::error::RelResult;
+use coral_term::{Term, Tuple};
+
+/// Boxed tuple iterator — the paper's `TupleIterator`.
+pub type TupleIter = Box<dyn Iterator<Item = RelResult<Tuple>>>;
+
+/// Duplicate semantics for a relation (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DupSemantics {
+    /// Set semantics: exact duplicates (variants) are discarded.
+    Set,
+    /// Set semantics with full subsumption checks: a new fact subsumed by
+    /// an existing (possibly non-ground) fact is discarded. This is
+    /// CORAL's default ("the default is to do subsumption checks on all
+    /// relations").
+    SetSubsuming,
+    /// Multiset semantics: "as many copies of a tuple as there are
+    /// derivations for it"; no duplicate checks here (the engine then
+    /// checks duplicates only on the magic predicates).
+    Multiset,
+}
+
+/// An index specification (§3.3, §5.5.1).
+#[derive(Clone, Debug)]
+pub enum IndexSpec {
+    /// Argument-form index: a multi-attribute hash index on a subset of
+    /// argument positions.
+    Args(Vec<usize>),
+    /// Pattern-form index: index on the bindings of `key_vars` after
+    /// matching `pattern` (one term per column, containing variables)
+    /// against each tuple — e.g. `emp(Name, addr(Street, City))` keyed on
+    /// `(Name, City)`.
+    Pattern {
+        /// One pattern term per column.
+        pattern: Vec<Term>,
+        /// Variables of `pattern` forming the key, in key order.
+        key_vars: Vec<coral_term::VarId>,
+    },
+}
+
+/// The generic relation interface.
+pub trait Relation {
+    /// Downcast support (the engine recovers concrete types to apply
+    /// implementation-specific annotations such as aggregate selections).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Number of columns.
+    fn arity(&self) -> usize;
+
+    /// Number of stored tuples.
+    fn len(&self) -> usize;
+
+    /// True iff no tuples are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a tuple. Returns `true` if the relation changed (the tuple
+    /// was not a duplicate, was not subsumed, and survived any aggregate
+    /// selections).
+    fn insert(&self, tuple: Tuple) -> RelResult<bool>;
+
+    /// Delete a tuple (by variant equality). Returns `true` if present.
+    fn delete(&self, tuple: &Tuple) -> RelResult<bool>;
+
+    /// Scan all tuples.
+    fn scan(&self) -> TupleIter;
+
+    /// Candidate tuples that may unify with `pattern` (one term per
+    /// column; variables match anything). Implementations use their best
+    /// index; the result may be a superset of the unifying tuples — the
+    /// caller unifies anyway, as the nested-loops join must bind the
+    /// pattern's variables (§5.3).
+    fn lookup(&self, pattern: &[Term]) -> TupleIter;
+
+    /// Create an index (also valid on a non-empty relation: "indices can
+    /// also be created at a later time", §2).
+    fn make_index(&self, spec: IndexSpec) -> RelResult<()>;
+
+    /// A human-readable description of the implementation, for the
+    /// interactive interface and EXPLAIN-style output.
+    fn describe(&self) -> String;
+}
+
+/// Convenience: wrap an eager tuple vector as a [`TupleIter`].
+pub fn iter_from_vec(tuples: Vec<Tuple>) -> TupleIter {
+    Box::new(tuples.into_iter().map(Ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_from_vec_yields_all() {
+        let ts = vec![
+            Tuple::new(vec![Term::int(1)]),
+            Tuple::new(vec![Term::int(2)]),
+        ];
+        let got: Vec<Tuple> = iter_from_vec(ts.clone()).map(|r| r.unwrap()).collect();
+        assert_eq!(got, ts);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: HashRelation against ListRelation as a model, index
+//! lookups against filtered scans, and mark/range invariants.
+
+use coral_rel::{DupSemantics, HashRelation, IndexSpec, ListRelation, Relation};
+use coral_term::{match_args, unify, EnvSet, Term, Tuple};
+use proptest::prelude::*;
+
+fn small_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0i64..5).prop_map(Term::int),
+        (0u32..2).prop_map(Term::var),
+        prop_oneof![Just("a"), Just("b")].prop_map(Term::str),
+        ((0i64..3), (0i64..3))
+            .prop_map(|(x, y)| Term::apps("f", vec![Term::int(x), Term::int(y)])),
+    ]
+}
+
+fn tuple3() -> impl Strategy<Value = Vec<Term>> {
+    proptest::collection::vec(small_term(), 3)
+}
+
+/// Does `pattern` unify with `fact` (independent frames)?
+fn unifies(pattern: &[Term], fact: &Tuple) -> bool {
+    let mut envs = EnvSet::new();
+    let pv = pattern.iter().map(|t| t.var_bound()).max().unwrap_or(0);
+    let ep = envs.push_frame(pv as usize);
+    let ef = envs.push_frame(fact.nvars() as usize);
+    pattern
+        .iter()
+        .zip(fact.args())
+        .all(|(p, f)| unify(&mut envs, p, ep, f, ef))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_matches_list_model(tuples in proptest::collection::vec(tuple3(), 0..40)) {
+        let h = HashRelation::new(3);
+        let l = ListRelation::new(3);
+        for args in &tuples {
+            let hres = h.insert(Tuple::new(args.clone())).unwrap();
+            let lres = l.insert(Tuple::new(args.clone())).unwrap();
+            prop_assert_eq!(hres, lres, "insert outcome for {:?}", args);
+        }
+        prop_assert_eq!(h.len(), l.len());
+        let mut hs: Vec<String> = h.scan().map(|t| t.unwrap().to_string()).collect();
+        let mut ls: Vec<String> = l.scan().map(|t| t.unwrap().to_string()).collect();
+        hs.sort();
+        ls.sort();
+        prop_assert_eq!(hs, ls);
+    }
+
+    #[test]
+    fn indexed_lookup_is_complete(
+        tuples in proptest::collection::vec(tuple3(), 0..40),
+        pattern in tuple3(),
+    ) {
+        // Candidates from an indexed lookup must include every tuple that
+        // unifies with the pattern (the index may over-approximate).
+        let h = HashRelation::new(3);
+        h.make_index(IndexSpec::Args(vec![0])).unwrap();
+        h.make_index(IndexSpec::Args(vec![1, 2])).unwrap();
+        for args in &tuples {
+            h.insert(Tuple::new(args.clone())).unwrap();
+        }
+        let candidates: Vec<Tuple> = h.lookup(&pattern).map(|t| t.unwrap()).collect();
+        for t in h.scan().map(|t| t.unwrap()) {
+            if unifies(&pattern, &t) {
+                prop_assert!(
+                    candidates.contains(&t),
+                    "tuple {:?} unifies with {:?} but was not a candidate",
+                    t, pattern
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ground_pattern_lookup_is_exact_without_var_facts(
+        vals in proptest::collection::vec(((0i64..4), (0i64..4), (0i64..4)), 0..40),
+        probe in ((0i64..4), (0i64..4)),
+    ) {
+        // With only ground facts and a pattern binding column 0, every
+        // candidate surfaced through the index actually matches.
+        let h = HashRelation::new(3);
+        h.make_index(IndexSpec::Args(vec![0])).unwrap();
+        for (a, b, c) in &vals {
+            h.insert(Tuple::ground(vec![Term::int(*a), Term::int(*b), Term::int(*c)])).unwrap();
+        }
+        let pattern = [Term::int(probe.0), Term::var(0), Term::var(1)];
+        for t in h.lookup(&pattern).map(|t| t.unwrap()) {
+            prop_assert!(match_args(&pattern, t.args()).is_some());
+        }
+    }
+
+    #[test]
+    fn mark_ranges_partition_the_relation(
+        batches in proptest::collection::vec(proptest::collection::vec(tuple3(), 0..10), 1..5),
+    ) {
+        let h = HashRelation::with_semantics(3, DupSemantics::Set);
+        let mut marks = vec![h.current_mark()];
+        for batch in &batches {
+            for args in batch {
+                h.insert(Tuple::new(args.clone())).unwrap();
+            }
+            marks.push(h.mark());
+        }
+        // The union of the per-batch ranges equals the full scan.
+        let mut from_ranges = 0usize;
+        for w in marks.windows(2) {
+            from_ranges += h.scan_range(w[0], Some(w[1])).count();
+        }
+        prop_assert_eq!(from_ranges, h.scan().count());
+        prop_assert_eq!(h.len_range(marks[0], None), h.len());
+    }
+
+    #[test]
+    fn delete_then_reinsert_is_identity(tuples in proptest::collection::vec(tuple3(), 1..20)) {
+        let h = HashRelation::new(3);
+        let mut inserted = Vec::new();
+        for args in &tuples {
+            if h.insert(Tuple::new(args.clone())).unwrap() {
+                inserted.push(Tuple::new(args.clone()));
+            }
+        }
+        for t in &inserted {
+            prop_assert!(h.delete(t).unwrap());
+        }
+        prop_assert_eq!(h.len(), 0);
+        for t in &inserted {
+            prop_assert!(h.insert(t.clone()).unwrap(), "reinsert after delete");
+        }
+        prop_assert_eq!(h.len(), inserted.len());
+    }
+}

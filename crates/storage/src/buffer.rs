@@ -1,0 +1,553 @@
+//! The buffer pool.
+//!
+//! "Data stored using the EXODUS storage manager is paged into EXODUS
+//! buffers on demand … the data can be accessed purely out of pages in
+//! the EXODUS buffer pool" (§2). This pool caches pages of registered
+//! [`PageFile`]s in a fixed number of frames with CLOCK (second-chance)
+//! eviction, write-back of dirty frames, pin counts, and hit/miss
+//! statistics — the statistics are what experiment E9 observes.
+//!
+//! Access is closure-scoped: [`BufferPool::with_page`] pins the frame for
+//! the duration of the closure. Calls must not nest (the pool is behind a
+//! single mutex); callers copy what they need out of the page instead of
+//! holding two pages at once. Explicit [`BufferPool::pin`]/
+//! [`BufferPool::unpin`] exist for transactions, which pin the pages they
+//! dirty until commit (a no-steal policy that keeps the write-ahead log
+//! redo-only).
+
+use crate::error::{StorageError, StorageResult};
+use crate::file::{FileId, PageFile, PageId};
+use crate::page::PAGE_SIZE;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Buffer pool counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that required a disk read.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Physical page reads.
+    pub page_reads: u64,
+    /// Physical page writes.
+    pub page_writes: u64,
+}
+
+/// A page's address and contents, as returned by [`BufferPool::commit_txn`].
+pub type PageImage = ((FileId, PageId), Box<[u8]>);
+
+/// Before-images of the pages dirtied by the open transaction.
+type TxnImages = HashMap<(FileId, PageId), Box<[u8]>>;
+
+struct Frame {
+    key: Option<(FileId, PageId)>,
+    data: Box<[u8]>,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+struct Inner {
+    frames: Vec<Frame>,
+    map: HashMap<(FileId, PageId), usize>,
+    files: HashMap<FileId, PageFile>,
+    hand: usize,
+    stats: BufferStats,
+    /// Before-images of pages dirtied by the active transaction, if one
+    /// is open (`None` = no transaction). The single-slot design matches
+    /// the paper's single-user client (§2).
+    txn: Option<TxnImages>,
+}
+
+/// A fixed-capacity page cache over a set of registered files.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// Create a pool with `capacity` frames (at least 1).
+    pub fn new(capacity: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                key: None,
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+                dirty: false,
+                pins: 0,
+                referenced: false,
+            })
+            .collect();
+        BufferPool {
+            inner: Mutex::new(Inner {
+                frames,
+                map: HashMap::new(),
+                files: HashMap::new(),
+                hand: 0,
+                stats: BufferStats::default(),
+                txn: None,
+            }),
+            capacity,
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Register an open file under `fid`.
+    pub fn register_file(&self, fid: FileId, file: PageFile) {
+        let mut inner = self.inner.lock();
+        inner.files.insert(fid, file);
+    }
+
+    /// Flush and forget all cached pages of `fid`, returning the file.
+    pub fn unregister_file(&self, fid: FileId) -> StorageResult<Option<PageFile>> {
+        let mut inner = self.inner.lock();
+        self.flush_file_locked(&mut inner, fid)?;
+        for f in inner.frames.iter_mut() {
+            if matches!(f.key, Some((k, _)) if k == fid) {
+                f.key = None;
+                f.dirty = false;
+                f.pins = 0;
+            }
+        }
+        inner.map.retain(|(k, _), _| *k != fid);
+        Ok(inner.files.remove(&fid))
+    }
+
+    /// Number of pages in a registered file.
+    pub fn num_pages(&self, fid: FileId) -> StorageResult<u64> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .get(&fid)
+            .map(|f| f.num_pages())
+            .ok_or(StorageError::BadFileId)
+    }
+
+    /// Append a fresh zeroed page to `fid` and cache it.
+    pub fn allocate_page(&self, fid: FileId) -> StorageResult<PageId> {
+        let mut inner = self.inner.lock();
+        let pid = inner
+            .files
+            .get_mut(&fid)
+            .ok_or(StorageError::BadFileId)?
+            .allocate()?;
+        inner.stats.page_writes += 1; // the zero-fill write
+        let frame = self.find_frame(&mut inner, fid, pid, false)?;
+        inner.frames[frame].data.fill(0);
+        inner.frames[frame].dirty = false;
+        Ok(pid)
+    }
+
+    fn find_frame(
+        &self,
+        inner: &mut Inner,
+        fid: FileId,
+        pid: PageId,
+        load: bool,
+    ) -> StorageResult<usize> {
+        if let Some(&idx) = inner.map.get(&(fid, pid)) {
+            inner.stats.hits += 1;
+            inner.frames[idx].referenced = true;
+            return Ok(idx);
+        }
+        inner.stats.misses += 1;
+        // CLOCK sweep for a victim (unpinned frame; clear ref bits as we
+        // pass). Two full sweeps guarantee progress unless all pinned.
+        let cap = inner.frames.len();
+        let mut victim = None;
+        for _ in 0..2 * cap {
+            let i = inner.hand;
+            inner.hand = (inner.hand + 1) % cap;
+            let f = &mut inner.frames[i];
+            if f.pins > 0 {
+                continue;
+            }
+            if f.key.is_none() || !f.referenced {
+                victim = Some(i);
+                break;
+            }
+            f.referenced = false;
+        }
+        let idx = victim.ok_or_else(|| {
+            StorageError::Corrupt("buffer pool exhausted: all frames pinned".into())
+        })?;
+        // Write back the evicted page if dirty.
+        if let Some((efid, epid)) = inner.frames[idx].key {
+            if inner.frames[idx].dirty {
+                let data = std::mem::take(&mut inner.frames[idx].data);
+                inner
+                    .files
+                    .get_mut(&efid)
+                    .ok_or(StorageError::BadFileId)?
+                    .write_page(epid, &data)?;
+                inner.frames[idx].data = data;
+                inner.stats.page_writes += 1;
+            }
+            inner.map.remove(&(efid, epid));
+            inner.stats.evictions += 1;
+        }
+        if load {
+            let mut data = std::mem::take(&mut inner.frames[idx].data);
+            inner
+                .files
+                .get_mut(&fid)
+                .ok_or(StorageError::BadFileId)?
+                .read_page(pid, &mut data)?;
+            inner.frames[idx].data = data;
+            inner.stats.page_reads += 1;
+        }
+        let f = &mut inner.frames[idx];
+        f.key = Some((fid, pid));
+        f.dirty = false;
+        f.pins = 0;
+        f.referenced = true;
+        inner.map.insert((fid, pid), idx);
+        Ok(idx)
+    }
+
+    /// Run `body` with read access to the page. Do not nest `with_page*`
+    /// calls.
+    pub fn with_page<R>(
+        &self,
+        fid: FileId,
+        pid: PageId,
+        body: impl FnOnce(&[u8]) -> R,
+    ) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.find_frame(&mut inner, fid, pid, true)?;
+        Ok(body(&inner.frames[idx].data))
+    }
+
+    /// Run `body` with write access to the page; the frame is marked
+    /// dirty. Do not nest `with_page*` calls.
+    pub fn with_page_mut<R>(
+        &self,
+        fid: FileId,
+        pid: PageId,
+        body: impl FnOnce(&mut [u8]) -> R,
+    ) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.find_frame(&mut inner, fid, pid, true)?;
+        // First write under an open transaction: save the before-image and
+        // pin the frame until commit/abort (no-steal).
+        if let Some(txn) = inner.txn.take() {
+            let mut txn = txn;
+            if let std::collections::hash_map::Entry::Vacant(e) = txn.entry((fid, pid)) {
+                e.insert(inner.frames[idx].data.clone());
+                inner.frames[idx].pins += 1;
+            }
+            inner.txn = Some(txn);
+        }
+        inner.frames[idx].dirty = true;
+        Ok(body(&mut inner.frames[idx].data))
+    }
+
+    /// Open a transaction: subsequent page writes save before-images and
+    /// pin their frames until [`Self::commit_txn`] or [`Self::abort_txn`].
+    /// Only one transaction may be open (the single-user model of §2).
+    pub fn begin_txn(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.txn.is_some() {
+            return Err(StorageError::Corrupt("transaction already open".into()));
+        }
+        inner.txn = Some(HashMap::new());
+        Ok(())
+    }
+
+    /// True iff a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.inner.lock().txn.is_some()
+    }
+
+    /// Page images as `(location, bytes)` pairs.
+    pub fn commit_txn(&self) -> StorageResult<Vec<PageImage>> {
+        let mut inner = self.inner.lock();
+        let txn = inner
+            .txn
+            .take()
+            .ok_or_else(|| StorageError::Corrupt("commit without open transaction".into()))?;
+        let mut images = Vec::with_capacity(txn.len());
+        for ((fid, pid), _) in txn {
+            let idx = *inner
+                .map
+                .get(&(fid, pid))
+                .expect("transaction page evicted despite pin");
+            images.push(((fid, pid), inner.frames[idx].data.clone()));
+            inner.frames[idx].pins -= 1;
+        }
+        images.sort_by_key(|(k, _)| *k);
+        Ok(images)
+    }
+
+    /// Roll the transaction back: restore before-images and unpin.
+    pub fn abort_txn(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let txn = inner
+            .txn
+            .take()
+            .ok_or_else(|| StorageError::Corrupt("abort without open transaction".into()))?;
+        for ((fid, pid), before) in txn {
+            let idx = *inner
+                .map
+                .get(&(fid, pid))
+                .expect("transaction page evicted despite pin");
+            inner.frames[idx].data = before;
+            inner.frames[idx].pins -= 1;
+            inner.frames[idx].dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Pin a page so it cannot be evicted (loads it if absent).
+    pub fn pin(&self, fid: FileId, pid: PageId) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let idx = self.find_frame(&mut inner, fid, pid, true)?;
+        inner.frames[idx].pins += 1;
+        Ok(())
+    }
+
+    /// Release one pin.
+    pub fn unpin(&self, fid: FileId, pid: PageId) {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.map.get(&(fid, pid)) {
+            let f = &mut inner.frames[idx];
+            debug_assert!(f.pins > 0, "unpin without pin");
+            f.pins = f.pins.saturating_sub(1);
+        }
+    }
+
+    fn flush_file_locked(&self, inner: &mut Inner, fid: FileId) -> StorageResult<()> {
+        for i in 0..inner.frames.len() {
+            if let Some((k, pid)) = inner.frames[i].key {
+                if k == fid && inner.frames[i].dirty {
+                    let data = std::mem::take(&mut inner.frames[i].data);
+                    inner
+                        .files
+                        .get_mut(&fid)
+                        .ok_or(StorageError::BadFileId)?
+                        .write_page(pid, &data)?;
+                    inner.frames[i].data = data;
+                    inner.frames[i].dirty = false;
+                    inner.stats.page_writes += 1;
+                }
+            }
+        }
+        if let Some(f) = inner.files.get_mut(&fid) {
+            f.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Write back all dirty frames of `fid` and sync it.
+    pub fn flush_file(&self, fid: FileId) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        self.flush_file_locked(&mut inner, fid)
+    }
+
+    /// Write back every dirty frame and sync all files.
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let fids: Vec<FileId> = {
+            let inner = self.inner.lock();
+            inner.files.keys().copied().collect()
+        };
+        for fid in fids {
+            self.flush_file(fid)?;
+        }
+        Ok(())
+    }
+
+    /// Flush and drop every unpinned frame (cold-cache experiment setup).
+    pub fn evict_all(&self) -> StorageResult<()> {
+        self.flush_all()?;
+        let mut inner = self.inner.lock();
+        for f in inner.frames.iter_mut() {
+            if f.pins == 0 {
+                f.key = None;
+                f.dirty = false;
+                f.referenced = false;
+            }
+        }
+        let keep: Vec<(FileId, PageId)> = inner
+            .frames
+            .iter()
+            .filter(|f| f.pins > 0)
+            .filter_map(|f| f.key)
+            .collect();
+        inner.map.retain(|k, _| keep.contains(k));
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    /// Zero the counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = BufferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("coral-buffer-test-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn pool_with_file(name: &str, frames: usize, pages: u64) -> (BufferPool, FileId) {
+        let pool = BufferPool::new(frames);
+        let fid = FileId(0);
+        pool.register_file(fid, PageFile::open(&tmpfile(name)).unwrap());
+        for _ in 0..pages {
+            pool.allocate_page(fid).unwrap();
+        }
+        pool.evict_all().unwrap();
+        pool.reset_stats();
+        (pool, fid)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (pool, fid) = pool_with_file("hits.pages", 4, 2);
+        pool.with_page(fid, PageId(0), |_| ()).unwrap();
+        pool.with_page(fid, PageId(0), |_| ()).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn writes_survive_eviction() {
+        let (pool, fid) = pool_with_file("evict.pages", 2, 8);
+        for i in 0..8u64 {
+            pool.with_page_mut(fid, PageId(i), |d| d[0] = i as u8 + 1).unwrap();
+        }
+        // Working set exceeds capacity: pages 0..6 were evicted.
+        for i in 0..8u64 {
+            let v = pool.with_page(fid, PageId(i), |d| d[0]).unwrap();
+            assert_eq!(v, i as u8 + 1);
+        }
+        assert!(pool.stats().evictions >= 6);
+    }
+
+    #[test]
+    fn small_working_set_all_hits() {
+        let (pool, fid) = pool_with_file("wset.pages", 8, 4);
+        for _ in 0..10 {
+            for i in 0..4u64 {
+                pool.with_page(fid, PageId(i), |_| ()).unwrap();
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 4, "one miss per page");
+        assert_eq!(s.hits, 36);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let (pool, fid) = pool_with_file("pin.pages", 2, 4);
+        pool.pin(fid, PageId(0)).unwrap();
+        pool.with_page_mut(fid, PageId(0), |d| d[1] = 99).unwrap();
+        // Touch the other pages, forcing eviction pressure on frame 2.
+        for i in 1..4u64 {
+            pool.with_page(fid, PageId(i), |_| ()).unwrap();
+        }
+        // Page 0 must still be resident: reading it is a hit.
+        let before = pool.stats().hits;
+        let v = pool.with_page(fid, PageId(0), |d| d[1]).unwrap();
+        assert_eq!(v, 99);
+        assert_eq!(pool.stats().hits, before + 1);
+        pool.unpin(fid, PageId(0));
+    }
+
+    #[test]
+    fn all_pinned_pool_errors() {
+        let (pool, fid) = pool_with_file("full.pages", 2, 3);
+        pool.pin(fid, PageId(0)).unwrap();
+        pool.pin(fid, PageId(1)).unwrap();
+        assert!(pool.with_page(fid, PageId(2), |_| ()).is_err());
+        pool.unpin(fid, PageId(1));
+        assert!(pool.with_page(fid, PageId(2), |_| ()).is_ok());
+    }
+
+    #[test]
+    fn flush_writes_dirty_pages() {
+        let path = tmpfile("flush.pages");
+        let pool = BufferPool::new(4);
+        let fid = FileId(3);
+        pool.register_file(fid, PageFile::open(&path).unwrap());
+        let pid = pool.allocate_page(fid).unwrap();
+        pool.with_page_mut(fid, pid, |d| d[7] = 77).unwrap();
+        pool.flush_file(fid).unwrap();
+        // Read the file directly, bypassing the pool.
+        let mut f = PageFile::open(&path).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        f.read_page(pid, &mut buf).unwrap();
+        assert_eq!(buf[7], 77);
+    }
+
+    #[test]
+    fn txn_abort_restores_before_images() {
+        let (pool, fid) = pool_with_file("txn.pages", 4, 2);
+        pool.with_page_mut(fid, PageId(0), |d| d[0] = 1).unwrap();
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(fid, PageId(0), |d| d[0] = 2).unwrap();
+        pool.with_page_mut(fid, PageId(1), |d| d[0] = 3).unwrap();
+        pool.abort_txn().unwrap();
+        assert_eq!(pool.with_page(fid, PageId(0), |d| d[0]).unwrap(), 1);
+        assert_eq!(pool.with_page(fid, PageId(1), |d| d[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn txn_commit_returns_after_images() {
+        let (pool, fid) = pool_with_file("txn2.pages", 4, 2);
+        pool.begin_txn().unwrap();
+        assert!(pool.in_txn());
+        pool.with_page_mut(fid, PageId(1), |d| d[9] = 9).unwrap();
+        pool.with_page_mut(fid, PageId(1), |d| d[10] = 10).unwrap();
+        let images = pool.commit_txn().unwrap();
+        assert!(!pool.in_txn());
+        assert_eq!(images.len(), 1, "one touched page, logged once");
+        assert_eq!(images[0].0, (fid, PageId(1)));
+        assert_eq!(images[0].1[9], 9);
+        assert_eq!(images[0].1[10], 10);
+    }
+
+    #[test]
+    fn nested_txn_rejected() {
+        let (pool, _) = pool_with_file("txn3.pages", 4, 1);
+        pool.begin_txn().unwrap();
+        assert!(pool.begin_txn().is_err());
+        pool.commit_txn().unwrap();
+        assert!(pool.commit_txn().is_err());
+        assert!(pool.abort_txn().is_err());
+    }
+
+    #[test]
+    fn unknown_file_is_an_error() {
+        let pool = BufferPool::new(2);
+        assert!(matches!(
+            pool.with_page(FileId(9), PageId(0), |_| ()),
+            Err(StorageError::BadFileId)
+        ));
+        assert!(matches!(
+            pool.allocate_page(FileId(9)),
+            Err(StorageError::BadFileId)
+        ));
+    }
+}

@@ -1,0 +1,173 @@
+//! Page files: the on-disk unit managed by the server.
+//!
+//! A [`PageFile`] is a flat file of [`PAGE_SIZE`] pages addressed by
+//! [`PageId`]. All reads and writes go through the buffer pool; this
+//! module only provides the raw page I/O.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::PAGE_SIZE;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Identifies an open file within the storage server.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Identifies a page within a file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// An open page file.
+pub struct PageFile {
+    file: File,
+    path: PathBuf,
+    pages: u64,
+}
+
+impl PageFile {
+    /// Open (creating if necessary) the page file at `path`.
+    pub fn open(path: &Path) -> StorageResult<PageFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "{} has length {} not a multiple of the page size",
+                path.display(),
+                len
+            )));
+        }
+        Ok(PageFile {
+            file,
+            path: path.to_path_buf(),
+            pages: len / PAGE_SIZE as u64,
+        })
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Append a zeroed page, returning its id.
+    pub fn allocate(&mut self) -> StorageResult<PageId> {
+        let id = PageId(self.pages);
+        self.file.seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
+        self.file.write_all(&[0u8; PAGE_SIZE])?;
+        self.pages += 1;
+        Ok(id)
+    }
+
+    /// Read page `id` into `buf`.
+    pub fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        if id.0 >= self.pages {
+            return Err(StorageError::BadPageId);
+        }
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    /// Write `buf` to page `id`.
+    pub fn write_page(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        if id.0 >= self.pages {
+            return Err(StorageError::BadPageId);
+        }
+        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    /// Flush file contents to stable storage.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "coral-storage-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn allocate_write_read() {
+        let path = tmpdir().join("t1.pages");
+        let _ = std::fs::remove_file(&path);
+        let mut f = PageFile::open(&path).unwrap();
+        assert_eq!(f.num_pages(), 0);
+        let p0 = f.allocate().unwrap();
+        let p1 = f.allocate().unwrap();
+        assert_eq!((p0, p1), (PageId(0), PageId(1)));
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        f.write_page(p1, &page).unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        f.read_page(p1, &mut back).unwrap();
+        assert_eq!(back, page);
+        f.read_page(p0, &mut back).unwrap();
+        assert_eq!(back, vec![0u8; PAGE_SIZE]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmpdir().join("t2.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut f = PageFile::open(&path).unwrap();
+            let p = f.allocate().unwrap();
+            let mut page = vec![7u8; PAGE_SIZE];
+            page[42] = 42;
+            f.write_page(p, &page).unwrap();
+            f.sync().unwrap();
+        }
+        {
+            let mut f = PageFile::open(&path).unwrap();
+            assert_eq!(f.num_pages(), 1);
+            let mut back = vec![0u8; PAGE_SIZE];
+            f.read_page(PageId(0), &mut back).unwrap();
+            assert_eq!(back[42], 42);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_page_rejected() {
+        let path = tmpdir().join("t3.pages");
+        let _ = std::fs::remove_file(&path);
+        let mut f = PageFile::open(&path).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            f.read_page(PageId(5), &mut buf),
+            Err(StorageError::BadPageId)
+        ));
+        assert!(matches!(
+            f.write_page(PageId(0), &buf),
+            Err(StorageError::BadPageId)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,354 @@
+//! Slotted pages.
+//!
+//! The unit of transfer between disk and the buffer pool is a fixed-size
+//! page holding variable-length records behind a slot directory, so
+//! records can move within the page (compaction) without changing their
+//! externally visible `(page, slot)` address.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0..2    n_slots: u16          number of slot directory entries
+//! 2..4    heap_start: u16       lowest offset used by record data
+//! 4..4+4n slot directory        (offset: u16, len: u16) per slot;
+//!                               offset == 0xFFFF marks a dead slot
+//! heap_start..PAGE_SIZE         record data, growing downward
+//! ```
+
+use crate::error::{StorageError, StorageResult};
+
+/// Size of a disk page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Index of a record within its page.
+pub type SlotId = u16;
+
+const HDR: usize = 4;
+const SLOT_BYTES: usize = 4;
+const DEAD: u16 = 0xFFFF;
+
+/// Maximum record payload a single page can hold.
+pub const MAX_RECORD: usize = PAGE_SIZE - HDR - SLOT_BYTES;
+
+/// A typed view over one page's bytes.
+///
+/// The view borrows the frame owned by the buffer pool; all multi-byte
+/// fields are little-endian so pages are portable across runs.
+pub struct SlottedPage<'a> {
+    data: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap an existing, already-formatted page.
+    pub fn attach(data: &'a mut [u8]) -> SlottedPage<'a> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        SlottedPage { data }
+    }
+
+    /// Format a fresh page in place and wrap it.
+    pub fn format(data: &'a mut [u8]) -> SlottedPage<'a> {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        data[0..2].copy_from_slice(&0u16.to_le_bytes());
+        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        SlottedPage { data }
+    }
+
+    fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.data[off], self.data[off + 1]])
+    }
+
+    fn put_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots (including dead ones).
+    pub fn n_slots(&self) -> u16 {
+        self.get_u16(0)
+    }
+
+    fn heap_start(&self) -> u16 {
+        self.get_u16(2)
+    }
+
+    fn slot(&self, s: SlotId) -> (u16, u16) {
+        let base = HDR + s as usize * SLOT_BYTES;
+        (self.get_u16(base), self.get_u16(base + 2))
+    }
+
+    fn set_slot(&mut self, s: SlotId, off: u16, len: u16) {
+        let base = HDR + s as usize * SLOT_BYTES;
+        self.put_u16(base, off);
+        self.put_u16(base + 2, len);
+    }
+
+    /// Contiguous free space available for one more record (slot entry
+    /// included).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HDR + self.n_slots() as usize * SLOT_BYTES;
+        let heap = self.heap_start() as usize;
+        (heap - dir_end).saturating_sub(SLOT_BYTES)
+    }
+
+    /// Number of live records.
+    pub fn live_count(&self) -> usize {
+        (0..self.n_slots()).filter(|&s| self.slot(s).0 != DEAD).count()
+    }
+
+    /// Insert a record, returning its slot. Reuses dead slots. Fails with
+    /// `RecordTooLarge` if the record can never fit in a page, `None`-like
+    /// `Ok(None)` if this page is merely full.
+    pub fn insert(&mut self, rec: &[u8]) -> StorageResult<Option<SlotId>> {
+        if rec.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                size: rec.len(),
+                max: MAX_RECORD,
+            });
+        }
+        // Prefer reusing a dead slot (no directory growth).
+        let dead = (0..self.n_slots()).find(|&s| self.slot(s).0 == DEAD);
+        let dir_end = HDR + self.n_slots() as usize * SLOT_BYTES;
+        let need_dir = if dead.is_some() { 0 } else { SLOT_BYTES };
+        let heap = self.heap_start() as usize;
+        if heap < dir_end + need_dir + rec.len() {
+            return Ok(None);
+        }
+        let new_heap = heap - rec.len();
+        self.data[new_heap..heap].copy_from_slice(rec);
+        self.put_u16(2, new_heap as u16);
+        let slot = match dead {
+            Some(s) => s,
+            None => {
+                let s = self.n_slots();
+                self.put_u16(0, s + 1);
+                s
+            }
+        };
+        self.set_slot(slot, new_heap as u16, rec.len() as u16);
+        Ok(Some(slot))
+    }
+
+    /// Read the record in `slot`, if live.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot >= self.n_slots() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == DEAD {
+            return None;
+        }
+        Some(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Delete the record in `slot`. Space is reclaimed by [`Self::compact`].
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        if slot >= self.n_slots() || self.slot(slot).0 == DEAD {
+            return false;
+        }
+        self.set_slot(slot, DEAD, 0);
+        true
+    }
+
+    /// Iterate `(slot, record)` pairs over live records.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
+        (0..self.n_slots()).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+
+    /// Rewrite the data heap to squeeze out dead space, preserving slot
+    /// ids. Returns bytes reclaimed.
+    pub fn compact(&mut self) -> usize {
+        let before = self.heap_start() as usize;
+        let live: Vec<(SlotId, Vec<u8>)> = self
+            .iter()
+            .map(|(s, r)| (s, r.to_vec()))
+            .collect();
+        let mut heap = PAGE_SIZE;
+        for (s, rec) in &live {
+            heap -= rec.len();
+            self.data[heap..heap + rec.len()].copy_from_slice(rec);
+            self.set_slot(*s, heap as u16, rec.len() as u16);
+        }
+        // Trim trailing dead slots from the directory.
+        let mut n = self.n_slots();
+        while n > 0 && self.slot(n - 1).0 == DEAD {
+            n -= 1;
+        }
+        self.put_u16(0, n);
+        self.put_u16(2, heap as u16);
+        heap - before
+    }
+
+    /// Insert a record *at* directory position `idx`, shifting later slot
+    /// entries right. Used by the B+-tree, which keeps entries ordered by
+    /// key. Unlike [`Self::insert`], dead slots are not reused (the tree
+    /// deletes by shifting, so none exist).
+    pub fn insert_at(&mut self, idx: u16, rec: &[u8]) -> StorageResult<bool> {
+        if rec.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge {
+                size: rec.len(),
+                max: MAX_RECORD,
+            });
+        }
+        let n = self.n_slots();
+        debug_assert!(idx <= n);
+        let dir_end = HDR + n as usize * SLOT_BYTES;
+        let heap = self.heap_start() as usize;
+        if heap < dir_end + SLOT_BYTES + rec.len() {
+            return Ok(false);
+        }
+        let new_heap = heap - rec.len();
+        self.data[new_heap..heap].copy_from_slice(rec);
+        self.put_u16(2, new_heap as u16);
+        // Shift slot entries [idx..n) right by one.
+        let src = HDR + idx as usize * SLOT_BYTES;
+        self.data.copy_within(src..dir_end, src + SLOT_BYTES);
+        self.put_u16(0, n + 1);
+        self.set_slot(idx, new_heap as u16, rec.len() as u16);
+        Ok(true)
+    }
+
+    /// Remove the record at directory position `idx`, shifting later slot
+    /// entries left (B+-tree style ordered delete).
+    pub fn remove_at(&mut self, idx: u16) {
+        let n = self.n_slots();
+        debug_assert!(idx < n);
+        let src = HDR + (idx as usize + 1) * SLOT_BYTES;
+        let dir_end = HDR + n as usize * SLOT_BYTES;
+        self.data.copy_within(src..dir_end, src - SLOT_BYTES);
+        self.put_u16(0, n - 1);
+    }
+
+    /// Replace the record at directory position `idx` (must fit without
+    /// compaction if larger; returns false when full).
+    pub fn replace_at(&mut self, idx: u16, rec: &[u8]) -> StorageResult<bool> {
+        let (_, old_len) = self.slot(idx);
+        if rec.len() as u16 <= old_len {
+            let (off, _) = self.slot(idx);
+            self.data[off as usize..off as usize + rec.len()].copy_from_slice(rec);
+            self.set_slot(idx, off, rec.len() as u16);
+            return Ok(true);
+        }
+        self.remove_at(idx);
+        if self.insert_at(idx, rec)? {
+            Ok(true)
+        } else {
+            // Try again after compaction.
+            self.compact();
+            self.insert_at(idx, rec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        vec![0u8; PAGE_SIZE]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let a = p.insert(b"hello").unwrap().unwrap();
+        let b = p.insert(b"world!").unwrap().unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_ne!(a, b);
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn delete_and_slot_reuse() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let a = p.insert(b"one").unwrap().unwrap();
+        let _b = p.insert(b"two").unwrap().unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a), "double delete");
+        assert_eq!(p.get(a), None);
+        let c = p.insert(b"three").unwrap().unwrap();
+        assert_eq!(c, a, "dead slot reused");
+        assert_eq!(p.get(c), Some(&b"three"[..]));
+    }
+
+    #[test]
+    fn fills_up_then_rejects() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.insert(&rec).unwrap().is_some() {
+            n += 1;
+        }
+        assert!(n >= 38, "expected ~39 100-byte records, got {n}");
+        assert!(p.free_space() < rec.len() + 4);
+    }
+
+    #[test]
+    fn oversized_record_is_an_error() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            p.insert(&huge),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let slots: Vec<_> = (0..20)
+            .map(|i| p.insert(&[i as u8; 150]).unwrap().unwrap())
+            .collect();
+        for s in slots.iter().step_by(2) {
+            p.delete(*s);
+        }
+        let live_before: Vec<_> = p.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        let reclaimed = p.compact();
+        assert!(reclaimed >= 10 * 150, "reclaimed {reclaimed}");
+        let live_after: Vec<_> = p.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(live_before, live_after, "slot ids and data preserved");
+    }
+
+    #[test]
+    fn ordered_insert_and_remove() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        assert!(p.insert_at(0, b"b").unwrap());
+        assert!(p.insert_at(0, b"a").unwrap());
+        assert!(p.insert_at(2, b"d").unwrap());
+        assert!(p.insert_at(2, b"c").unwrap());
+        let all: Vec<_> = (0..p.n_slots()).map(|i| p.get(i).unwrap().to_vec()).collect();
+        assert_eq!(all, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        p.remove_at(1);
+        let all: Vec<_> = (0..p.n_slots()).map(|i| p.get(i).unwrap().to_vec()).collect();
+        assert_eq!(all, vec![b"a".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn replace_at_grows_and_shrinks() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        assert!(p.insert_at(0, b"aaaa").unwrap());
+        assert!(p.insert_at(1, b"bbbb").unwrap());
+        assert!(p.replace_at(0, b"xy").unwrap());
+        assert_eq!(p.get(0), Some(&b"xy"[..]));
+        assert!(p.replace_at(0, b"longer-than-before").unwrap());
+        assert_eq!(p.get(0), Some(&b"longer-than-before"[..]));
+        assert_eq!(p.get(1), Some(&b"bbbb"[..]));
+    }
+
+    #[test]
+    fn iter_skips_dead() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        let a = p.insert(b"a").unwrap().unwrap();
+        let _ = p.insert(b"b").unwrap().unwrap();
+        p.delete(a);
+        let recs: Vec<_> = p.iter().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(recs, vec![b"b".to_vec()]);
+    }
+}

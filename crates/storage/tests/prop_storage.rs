@@ -1,0 +1,126 @@
+//! Property tests: the B+-tree and heap file against in-memory models.
+
+use coral_storage::buffer::BufferPool;
+use coral_storage::btree::BTree;
+use coral_storage::file::{FileId, PageFile};
+use coral_storage::heap::HeapFile;
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_file(prefix: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("coral-prop-storage-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let p = d.join(format!("{prefix}-{n}"));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn fresh_tree(frames: usize) -> BTree {
+    let pool = Arc::new(BufferPool::new(frames));
+    pool.register_file(FileId(0), PageFile::open(&fresh_file("bt")).unwrap());
+    BTree::open(pool, FileId(0)).unwrap()
+}
+
+fn fresh_heap(frames: usize) -> HeapFile {
+    let pool = Arc::new(BufferPool::new(frames));
+    pool.register_file(FileId(0), PageFile::open(&fresh_file("heap")).unwrap());
+    HeapFile::new(pool, FileId(0))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>),
+    Delete(Vec<u8>),
+    Contains(Vec<u8>),
+}
+
+fn item_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..8, 1..6)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => item_strategy().prop_map(Op::Insert),
+        1 => item_strategy().prop_map(Op::Delete),
+        1 => item_strategy().prop_map(Op::Contains),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_btreeset_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let tree = fresh_tree(8); // tiny pool to exercise eviction
+        let mut model: BTreeSet<Vec<u8>> = BTreeSet::new();
+        for op in &ops {
+            match op {
+                Op::Insert(item) => {
+                    let fresh = tree.insert(item).unwrap();
+                    prop_assert_eq!(fresh, model.insert(item.clone()));
+                }
+                Op::Delete(item) => {
+                    let was = tree.delete(item).unwrap();
+                    prop_assert_eq!(was, model.remove(item));
+                }
+                Op::Contains(item) => {
+                    prop_assert_eq!(tree.contains(item).unwrap(), model.contains(item));
+                }
+            }
+        }
+        prop_assert_eq!(tree.len().unwrap(), model.len() as u64);
+        let scanned: Vec<Vec<u8>> = tree.scan_all().unwrap().map(|r| r.unwrap()).collect();
+        let expect: Vec<Vec<u8>> = model.iter().cloned().collect();
+        prop_assert_eq!(scanned, expect);
+    }
+
+    #[test]
+    fn btree_range_matches_model(
+        items in proptest::collection::btree_set(item_strategy(), 0..80),
+        lo in item_strategy(),
+        hi in item_strategy(),
+    ) {
+        let tree = fresh_tree(8);
+        for item in &items {
+            tree.insert(item).unwrap();
+        }
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let got: Vec<Vec<u8>> = tree.range(&lo, Some(&hi)).unwrap().map(|r| r.unwrap()).collect();
+        let expect: Vec<Vec<u8>> = items.range(lo.clone()..hi.clone()).cloned().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn heap_matches_map_model(
+        records in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..60),
+        delete_mask in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let heap = fresh_heap(4);
+        let mut model: HashMap<_, Vec<u8>> = HashMap::new();
+        let mut rids = Vec::new();
+        for rec in &records {
+            let rid = heap.insert(rec).unwrap();
+            model.insert(rid, rec.clone());
+            rids.push(rid);
+        }
+        for (rid, del) in rids.iter().zip(&delete_mask) {
+            if *del && model.remove(rid).is_some() {
+                heap.delete(*rid).unwrap();
+            }
+        }
+        for (rid, rec) in &model {
+            prop_assert_eq!(&heap.get(*rid).unwrap(), rec);
+        }
+        let mut scanned: Vec<(_, Vec<u8>)> = heap.scan().map(|r| r.unwrap()).collect();
+        scanned.sort();
+        let mut expect: Vec<(_, Vec<u8>)> = model.into_iter().collect();
+        expect.sort();
+        prop_assert_eq!(scanned, expect);
+    }
+}

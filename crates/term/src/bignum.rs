@@ -1,0 +1,481 @@
+//! Arbitrary-precision integers.
+//!
+//! CORAL's primitive types include "arbitrary precision integers …
+//! supported using the BigNum package provided by DEC France" (§3.1).
+//! That package is long gone; this module is a from-scratch sign-magnitude
+//! implementation sufficient for the same role: a primitive constant type
+//! with arithmetic, total ordering, hashing and text I/O.
+//!
+//! Representation: little-endian `u32` limbs, normalized (no trailing zero
+//! limbs; zero is the empty limb vector with a positive sign).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// A sign-magnitude arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    /// `false` = non-negative, `true` = negative. Zero is never negative.
+    neg: bool,
+    /// Little-endian base-2^32 limbs, normalized.
+    limbs: Vec<u32>,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> BigInt {
+        BigInt {
+            neg: false,
+            limbs: Vec::new(),
+        }
+    }
+
+    /// True iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// Construct from a machine integer.
+    pub fn from_i64(v: i64) -> BigInt {
+        let neg = v < 0;
+        let mag = v.unsigned_abs();
+        let mut limbs = vec![(mag & 0xffff_ffff) as u32, (mag >> 32) as u32];
+        normalize(&mut limbs);
+        BigInt { neg: neg && !limbs.is_empty(), limbs }
+    }
+
+    /// Convert back to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let mut mag: u64 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            mag |= (l as u64) << (32 * i);
+        }
+        if self.neg {
+            if mag > (i64::MAX as u64) + 1 {
+                None
+            } else {
+                Some((mag as i64).wrapping_neg())
+            }
+        } else if mag > i64::MAX as u64 {
+            None
+        } else {
+            Some(mag as i64)
+        }
+    }
+
+    fn from_parts(neg: bool, mut limbs: Vec<u32>) -> BigInt {
+        normalize(&mut limbs);
+        BigInt { neg: neg && !limbs.is_empty(), limbs }
+    }
+
+    /// Magnitude comparison.
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let s = l as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push((s & 0xffff_ffff) as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// `a - b`, requires `|a| >= |b|`.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for (i, &ai) in a.iter().enumerate() {
+            let d = ai as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        normalize(&mut out);
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+                out[i + j] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        normalize(&mut out);
+        out
+    }
+
+    /// Binary long division of magnitudes: returns (quotient, remainder).
+    fn divmod_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "BigInt division by zero");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        // Single-limb divisor fast path.
+        if b.len() == 1 {
+            let d = b[0] as u64;
+            let mut q = vec![0u32; a.len()];
+            let mut rem = 0u64;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 32) | a[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            normalize(&mut q);
+            let mut r = vec![(rem & 0xffff_ffff) as u32];
+            normalize(&mut r);
+            return (q, r);
+        }
+        // General case: bit-at-a-time restoring division.
+        let total_bits = a.len() * 32;
+        let mut quot = vec![0u32; a.len()];
+        let mut rem: Vec<u32> = Vec::with_capacity(b.len() + 1);
+        for bit in (0..total_bits).rev() {
+            // rem = rem << 1 | a.bit(bit)
+            shl1(&mut rem);
+            if a[bit / 32] >> (bit % 32) & 1 == 1 {
+                if rem.is_empty() {
+                    rem.push(1);
+                } else {
+                    rem[0] |= 1;
+                }
+            }
+            if Self::cmp_mag(&rem, b) != Ordering::Less {
+                rem = Self::sub_mag(&rem, b);
+                quot[bit / 32] |= 1 << (bit % 32);
+            }
+        }
+        normalize(&mut quot);
+        (quot, rem)
+    }
+
+    /// Truncated division with remainder; remainder takes the dividend's
+    /// sign (the same convention as Rust's `%` on machine integers).
+    pub fn divmod(&self, other: &BigInt) -> (BigInt, BigInt) {
+        let (q, r) = Self::divmod_mag(&self.limbs, &other.limbs);
+        (
+            BigInt::from_parts(self.neg != other.neg, q),
+            BigInt::from_parts(self.neg, r),
+        )
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            neg: false,
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    /// Number of significant bits in the magnitude.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Raise to a small power (used by workload generators and tests).
+    pub fn pow(&self, mut e: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::from_i64(1);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+fn normalize(limbs: &mut Vec<u32>) {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+}
+
+fn shl1(limbs: &mut Vec<u32>) {
+    let mut carry = 0u32;
+    for l in limbs.iter_mut() {
+        let nc = *l >> 31;
+        *l = (*l << 1) | carry;
+        carry = nc;
+    }
+    if carry != 0 {
+        limbs.push(carry);
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &BigInt) -> Ordering {
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => Self::cmp_mag(&self.limbs, &other.limbs),
+            (true, true) => Self::cmp_mag(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &BigInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.neg == rhs.neg {
+            BigInt::from_parts(self.neg, BigInt::add_mag(&self.limbs, &rhs.limbs))
+        } else {
+            match BigInt::cmp_mag(&self.limbs, &rhs.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_parts(self.neg, BigInt::sub_mag(&self.limbs, &rhs.limbs))
+                }
+                Ordering::Less => {
+                    BigInt::from_parts(rhs.neg, BigInt::sub_mag(&rhs.limbs, &self.limbs))
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_parts(self.neg != rhs.neg, BigInt::mul_mag(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        if self.is_zero() {
+            self
+        } else {
+            BigInt {
+                neg: !self.neg,
+                limbs: self.limbs,
+            }
+        }
+    }
+}
+
+/// Error from [`BigInt::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError(pub String);
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<BigInt, ParseBigIntError> {
+        let (neg, digits) = match s.as_bytes() {
+            [b'-', rest @ ..] if !rest.is_empty() => (true, rest),
+            [b'+', rest @ ..] if !rest.is_empty() => (false, rest),
+            rest if !rest.is_empty() => (false, rest),
+            _ => return Err(ParseBigIntError(s.to_string())),
+        };
+        let mut limbs: Vec<u32> = Vec::new();
+        for &d in digits {
+            if !d.is_ascii_digit() {
+                return Err(ParseBigIntError(s.to_string()));
+            }
+            // limbs = limbs * 10 + d
+            let mut carry = (d - b'0') as u64;
+            for l in limbs.iter_mut() {
+                let cur = *l as u64 * 10 + carry;
+                *l = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+            }
+            if carry != 0 {
+                limbs.push(carry as u32);
+            }
+        }
+        Ok(BigInt::from_parts(neg, limbs))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.limbs.clone();
+        while !cur.is_empty() {
+            // divide magnitude by 10, collect remainder
+            let mut rem = 0u64;
+            for i in (0..cur.len()).rev() {
+                let v = (rem << 32) | cur[i] as u64;
+                cur[i] = (v / 10) as u32;
+                rem = v % 10;
+            }
+            normalize(&mut cur);
+            digits.push(b'0' + rem as u8);
+        }
+        if self.neg {
+            f.write_str("-")?;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).unwrap())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigInt {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_i64() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 40] {
+            let b = BigInt::from_i64(v);
+            assert_eq!(b.to_i64(), Some(v), "roundtrip {v}");
+            assert_eq!(b.to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_and_print() {
+        for s in ["0", "7", "-7", "123456789012345678901234567890"] {
+            assert_eq!(big(s).to_string(), s);
+        }
+        assert_eq!(big("+5").to_string(), "5");
+        assert_eq!(big("-0").to_string(), "0");
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn addition_subtraction() {
+        assert_eq!((&big("999999999999999999") + &big("1")).to_string(), "1000000000000000000");
+        assert_eq!((&big("5") + &big("-8")).to_string(), "-3");
+        assert_eq!((&big("-5") - &big("-8")).to_string(), "3");
+        assert_eq!((&big("100") - &big("100")).to_string(), "0");
+    }
+
+    #[test]
+    fn multiplication() {
+        assert_eq!(
+            (&big("123456789012345678901234567890") * &big("987654321098765432109876543210")).to_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+        assert_eq!((&big("-3") * &big("4")).to_string(), "-12");
+        assert_eq!((&big("0") * &big("12345678901234567890")).to_string(), "0");
+    }
+
+    #[test]
+    fn division() {
+        let (q, r) = big("1000000000000000000000").divmod(&big("7"));
+        assert_eq!(q.to_string(), "142857142857142857142");
+        assert_eq!(r.to_string(), "6");
+        let (q, r) = big("123456789012345678901234567890").divmod(&big("987654321098765"));
+        assert_eq!(&(&q * &big("987654321098765")) + &r, big("123456789012345678901234567890"));
+        // Signs follow truncated division.
+        let (q, r) = big("-7").divmod(&big("2"));
+        assert_eq!((q.to_string(), r.to_string()), ("-3".into(), "-1".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = big("1").divmod(&BigInt::zero());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("-10") < big("-9"));
+        assert!(big("-1") < big("0"));
+        assert!(big("99999999999999999999") > big("99999999999999999998"));
+        assert!(big("100000000000000000000") > big("99999999999999999999"));
+    }
+
+    #[test]
+    fn pow_and_bit_len() {
+        assert_eq!(big("2").pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(big("2").pow(100).bit_len(), 101);
+        assert_eq!(BigInt::zero().bit_len(), 0);
+        assert_eq!(big("1").bit_len(), 1);
+    }
+
+    #[test]
+    fn negation_of_zero_stays_positive() {
+        let z = -BigInt::zero();
+        assert!(!z.is_negative());
+        assert_eq!(z, BigInt::zero());
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the term layer: bignum arithmetic laws,
+//! unification invariants, hash-consing soundness, tuple normalization.
+
+use coral_term::bignum::BigInt;
+use coral_term::bindenv::EnvSet;
+use coral_term::term::Term;
+use coral_term::tuple::Tuple;
+use coral_term::{hashcons, match_one_way, subsumes, unify, variant};
+use proptest::prelude::*;
+
+fn bigint_strategy() -> impl Strategy<Value = BigInt> {
+    proptest::collection::vec(any::<u32>(), 0..6)
+        .prop_flat_map(|limbs| {
+            any::<bool>().prop_map(move |neg| {
+                let mut b = BigInt::zero();
+                for l in &limbs {
+                    b = &(&b * &BigInt::from_i64(1i64 << 32)) + &BigInt::from_i64(*l as i64);
+                }
+                if neg {
+                    -b
+                } else {
+                    b
+                }
+            })
+        })
+}
+
+proptest! {
+    #[test]
+    fn bignum_add_commutes(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn bignum_add_sub_roundtrip(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn bignum_mul_distributes(a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn bignum_divmod_identity(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divmod(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        // |r| < |b|
+        prop_assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn bignum_parse_print_roundtrip(a in bigint_strategy()) {
+        let s = a.to_string();
+        let back: BigInt = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn bignum_i64_arith_agrees(a in any::<i32>(), b in any::<i32>()) {
+        let (ba, bb) = (BigInt::from_i64(a as i64), BigInt::from_i64(b as i64));
+        prop_assert_eq!((&ba + &bb).to_i64(), Some(a as i64 + b as i64));
+        prop_assert_eq!((&ba * &bb).to_i64(), Some(a as i64 * b as i64));
+        prop_assert_eq!((&ba - &bb).to_i64(), Some(a as i64 - b as i64));
+        prop_assert_eq!(ba.cmp(&bb), (a as i64).cmp(&(b as i64)));
+    }
+}
+
+/// A strategy over terms with variables drawn from 0..4.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Term::int),
+        (0u32..4).prop_map(Term::var),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Term::str),
+        (-5.0f64..5.0).prop_map(Term::double),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (
+            prop_oneof![Just("f"), Just("g"), Just("h")],
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(name, args)| Term::apps(name, args))
+    })
+}
+
+fn ground_term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Term::int),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Term::str),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (
+            prop_oneof![Just("f"), Just("g")],
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(name, args)| Term::apps(name, args))
+    })
+}
+
+proptest! {
+    #[test]
+    fn unify_term_with_itself_succeeds(t in term_strategy()) {
+        let mut envs = EnvSet::new();
+        let e = envs.push_frame(4);
+        prop_assert!(unify(&mut envs, &t, e, &t, e));
+    }
+
+    #[test]
+    fn unify_renamed_copies_succeeds(t in term_strategy()) {
+        // A term and a variable-renamed copy always unify (distinct frames).
+        let mut envs = EnvSet::new();
+        let e1 = envs.push_frame(4);
+        let e2 = envs.push_frame(4);
+        prop_assert!(unify(&mut envs, &t, e1, &t, e2));
+    }
+
+    #[test]
+    fn unify_is_symmetric(a in term_strategy(), b in term_strategy()) {
+        let mut envs1 = EnvSet::new();
+        let ea1 = envs1.push_frame(4);
+        let eb1 = envs1.push_frame(4);
+        let fwd = unify(&mut envs1, &a, ea1, &b, eb1);
+        let mut envs2 = EnvSet::new();
+        let ea2 = envs2.push_frame(4);
+        let eb2 = envs2.push_frame(4);
+        let bwd = unify(&mut envs2, &b, eb2, &a, ea2);
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn unify_ground_agrees_with_equality(a in ground_term_strategy(), b in ground_term_strategy()) {
+        let mut envs = EnvSet::new();
+        let e = envs.push_frame(0);
+        prop_assert_eq!(unify(&mut envs, &a, e, &b, e), a == b);
+    }
+
+    #[test]
+    fn hashcons_ids_agree_with_equality(a in ground_term_strategy(), b in ground_term_strategy()) {
+        let ia = hashcons::intern(&a).unwrap();
+        let ib = hashcons::intern(&b).unwrap();
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    #[test]
+    fn unify_failure_restores_trail(a in term_strategy(), b in term_strategy()) {
+        let mut envs = EnvSet::new();
+        let ea = envs.push_frame(4);
+        let eb = envs.push_frame(4);
+        let m = envs.mark();
+        if !unify(&mut envs, &a, ea, &b, eb) {
+            envs.undo(m);
+            prop_assert_eq!(envs.mark(), m);
+            // After undo the same unification attempt behaves identically.
+            prop_assert!(!unify(&mut envs, &a, ea, &b, eb));
+        }
+    }
+
+    #[test]
+    fn match_implies_unify(p in term_strategy(), t in ground_term_strategy()) {
+        if match_one_way(&p, &t).is_some() {
+            let mut envs = EnvSet::new();
+            let ep = envs.push_frame(4);
+            let et = envs.push_frame(0);
+            prop_assert!(unify(&mut envs, &p, ep, &t, et));
+        }
+    }
+
+    #[test]
+    fn variant_is_reflexive_and_symmetric(a in term_strategy(), b in term_strategy()) {
+        prop_assert!(variant(&a, &a));
+        prop_assert_eq!(variant(&a, &b), variant(&b, &a));
+    }
+
+    #[test]
+    fn resolved_term_is_variant_of_itself(t in term_strategy()) {
+        let mut envs = EnvSet::new();
+        let e = envs.push_frame(4);
+        let r = envs.resolve(&t, e);
+        prop_assert!(variant(&t, &r));
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_transitive_on_samples(
+        a in proptest::collection::vec(term_strategy(), 1..3),
+    ) {
+        prop_assert!(subsumes(&a, &a));
+        // A fully general tuple subsumes everything of the same arity.
+        let gen: Vec<Term> = (0..a.len() as u32).map(Term::var).collect();
+        prop_assert!(subsumes(&gen, &a));
+    }
+
+    #[test]
+    fn tuple_normalization_idempotent(a in proptest::collection::vec(term_strategy(), 0..4)) {
+        let t1 = Tuple::new(a);
+        let t2 = Tuple::new(t1.args().to_vec());
+        prop_assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn order_cmp_total_and_antisymmetric(a in term_strategy(), b in term_strategy()) {
+        use std::cmp::Ordering;
+        let ab = a.order_cmp(&b);
+        let ba = b.order_cmp(&a);
+        prop_assert_eq!(ab.reverse(), ba);
+        if ab == Ordering::Equal {
+            prop_assert_eq!(a.order_cmp(&a), Ordering::Equal);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The embedding API (§6) and extensibility (§7).
+//!
+//! "Relations can be computed in a declarative style using declarative
+//! modules, and then manipulated in imperative fashion … without
+//! breaking the relation abstraction", and "new predicates can be
+//! defined using extended C++" — here, extended Rust: a geographic
+//! distance predicate written as a closure, a user abstract data type
+//! (a 2-D point) flowing through unification, and cursors (`C_ScanDesc`)
+//! over both.
+//!
+//! Run with `cargo run --example embed_api`.
+
+use coral::embed::{args, AdtValue, CoralDb};
+use coral::{Term, Tuple};
+use std::any::Any;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A user-defined abstract data type (§7.1): a 2-D point with the
+/// required virtual methods (equals / hash / print) as a trait impl.
+#[derive(Debug, PartialEq)]
+struct Point {
+    x: i64,
+    y: i64,
+}
+
+impl AdtValue for Point {
+    fn type_name(&self) -> &'static str {
+        "point"
+    }
+    fn equals(&self, other: &dyn AdtValue) -> bool {
+        other.as_any().downcast_ref::<Point>().is_some_and(|p| p == self)
+    }
+    fn hash_value(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (self.x, self.y).hash(&mut h);
+        h.finish()
+    }
+    fn print(&self) -> String {
+        format!("point({}, {})", self.x, self.y)
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn main() -> coral::EvalResult<()> {
+    let db = CoralDb::new();
+
+    // Imperative relation construction (§6.1: "through a series of
+    // explicit inserts and deletes").
+    let cities = db.relation("city", 2);
+    for (name, (x, y)) in [
+        ("madison", (0, 0)),
+        ("chicago", (3, -2)),
+        ("minneapolis", (-4, 5)),
+        ("milwaukee", (2, 1)),
+    ] {
+        cities.insert(vec![
+            Term::str(name),
+            Term::Adt(Arc::new(Point { x, y })),
+        ])?;
+    }
+    println!("loaded {} cities (positions are a user ADT)", cities.len());
+
+    // A Rust-defined predicate (§6.2's _coral_export): squared Euclidean
+    // distance between two points.
+    db.define_predicate("dist2", 3, |pattern| {
+        let p = pattern[0]
+            .as_adt::<Point>()
+            .ok_or("dist2/3 needs a bound point")?;
+        let q = pattern[1]
+            .as_adt::<Point>()
+            .ok_or("dist2/3 needs a bound point")?;
+        let d = (p.x - q.x).pow(2) + (p.y - q.y).pow(2);
+        Ok(vec![Tuple::new(vec![
+            pattern[0].clone(),
+            pattern[1].clone(),
+            Term::int(d),
+        ])])
+    });
+
+    // Declarative rules calling the Rust predicate over ADT values.
+    db.run(
+        "module near.\n\
+         export nearby(bf).\n\
+         nearby(A, B) :- city(A, P), city(B, Q), A \\= B, dist2(P, Q, D), D =< 10.\n\
+         end_module.\n",
+    )?;
+
+    println!("\n?- nearby(madison, B).");
+    let scan = db.query("nearby(madison, B)")?;
+    while let Some(t) = scan.next()? {
+        println!("  B = {}", t.args()[1]);
+    }
+
+    // Cursor over a base relation through the uniform scan interface.
+    let scan = cities.open_scan(args![Term::var(0), Term::var(1)])?;
+    println!("\nall cities via C_ScanDesc:");
+    for t in scan.collect_tuples()? {
+        println!("  {t}");
+    }
+    Ok(())
+}
+
+/// Downcast helper used by the example's host predicate.
+trait AsAdt {
+    fn as_adt<T: 'static>(&self) -> Option<&T>;
+}
+
+impl AsAdt for Term {
+    fn as_adt<T: 'static>(&self) -> Option<&T> {
+        match self {
+            Term::Adt(v) => v.as_any().downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: consult facts and a module, pose queries.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use coral::Session;
+
+fn main() -> coral::EvalResult<()> {
+    let session = Session::new();
+
+    // Base facts — in CORAL these live in consulted text files (§2).
+    session.consult_str(
+        "parent(ann, bob). parent(bob, carol). parent(carol, dave).\n\
+         parent(ann, erin). parent(erin, frank).\n",
+    )?;
+
+    // A declarative program module with a query form: anc(bf) says
+    // queries bind the first argument, and the optimizer specializes the
+    // program for that pattern (Supplementary Magic by default, §4.1).
+    session.consult_str(
+        "module ancestry.\n\
+         export anc(bf, ff).\n\
+         anc(X, Y) :- parent(X, Y).\n\
+         anc(X, Y) :- parent(X, Z), anc(Z, Y).\n\
+         end_module.\n",
+    )?;
+
+    println!("?- anc(ann, X).");
+    for answer in session.query_all("anc(ann, X)")? {
+        println!("  {answer}");
+    }
+
+    println!("?- anc(carol, X).");
+    for answer in session.query_all("anc(carol, X)")? {
+        println!("  {answer}");
+    }
+
+    // The optimizer's rewritten program can be dumped as text, "useful
+    // as a debugging aid for the user" (§2).
+    let explain = session.engine().explain(
+        coral::lang::PredRef::new("anc", 2),
+        &coral::lang::Adornment::parse("bf").unwrap(),
+    )?;
+    println!("\nrewritten program for anc(bf):\n{explain}");
+
+    // Queries can stream answers one at a time through the
+    // get-next-tuple interface (§2).
+    let mut answers = session.query("anc(X, Y)")?;
+    let first = answers.next_answer()?.expect("at least one ancestor pair");
+    println!("first streamed answer: {first}");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! The win-move game under Ordered Search (§5.4.1).
+//!
+//! `win(X) :- move(X, Y), not win(Y)` is not stratified — `win` depends
+//! negatively on itself — but on an acyclic move graph it is
+//! left-to-right modularly stratified, exactly the class Ordered Search
+//! evaluates: subgoals are held in a context, and a negation is only
+//! reduced to a set difference once its subgoal is marked done.
+//!
+//! Run with `cargo run --example win_move`.
+
+use coral::Session;
+
+fn main() -> coral::EvalResult<()> {
+    let session = Session::new();
+
+    // A small game tree (acyclic).
+    session.consult_str(
+        "move(a, b). move(a, c).\n\
+         move(b, d). move(b, e).\n\
+         move(c, f).\n\
+         move(d, g). move(f, g).\n\
+         move(e, h). move(g, h).\n",
+    )?;
+
+    session.consult_str(
+        "module game.\n\
+         export win(b).\n\
+         @ordered_search.\n\
+         win(X) :- move(X, Y), not win(Y).\n\
+         end_module.\n",
+    )?;
+
+    // h has no moves: lost. g -> h: won. e -> h: won. d -> g(won): lost.
+    // f -> g(won): lost. b -> d(lost): won. c -> f(lost): won.
+    // a -> b(won), c(won): lost.
+    for pos in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+        let won = !session.query_all(&format!("win({pos})"))?.is_empty();
+        println!("{pos}: {}", if won { "winning" } else { "losing" });
+    }
+
+    // Without @ordered_search the same module is rejected as
+    // unstratified.
+    let plain = Session::new();
+    plain.consult_str("move(a, b).")?;
+    plain.consult_str(
+        "module game.\nexport win(b).\n\
+         win(X) :- move(X, Y), not win(Y).\nend_module.\n",
+    )?;
+    match plain.query_all("win(a)") {
+        Err(e) => println!("\nwithout @ordered_search: {e}"),
+        Ok(_) => unreachable!("unstratified program must be rejected"),
+    }
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! The CORAL interactive interface.
+//!
+//! "Simple queries … can be typed in at the user interface" (§2);
+//! programs and data are consulted from files; the rewritten program can
+//! be inspected as text. Input is ordinary CORAL syntax (facts, modules,
+//! annotations, `?- queries.`), plus `:`-prefixed meta commands:
+//!
+//! ```text
+//! :help                         this summary
+//! :consult <file>               consult a program/data file
+//! :list                         list base relations and loaded modules
+//! :explain <fact>               derivation tree for a ground fact
+//! :rewritten <pred>/<n> <form>  dump the optimizer's rewritten program
+//! :quit                         leave
+//! ```
+//!
+//! Run with `cargo run --bin coral`, or pipe a script through stdin.
+
+use coral::lang::{Adornment, PredRef};
+use coral::Session;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let session = Session::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("CORAL deductive database (Rust reproduction of SIGMOD '93).");
+        println!("Type :help for meta commands; clauses end with '.'");
+    }
+    let mut buffer = String::new();
+    let mut prompt = "coral> ";
+    loop {
+        if interactive {
+            print!("{prompt}");
+            let _ = stdout.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(':') {
+            if !meta_command(&session, trimmed) {
+                break;
+            }
+            continue;
+        }
+        if trimmed.is_empty() && buffer.is_empty() {
+            continue;
+        }
+        buffer.push_str(&line);
+        if !input_complete(&buffer) {
+            prompt = "  ...> ";
+            continue;
+        }
+        prompt = "coral> ";
+        let chunk = std::mem::take(&mut buffer);
+        match session.consult_str(&chunk) {
+            Ok(query_results) => {
+                for answers in query_results {
+                    if answers.is_empty() {
+                        println!("no");
+                    } else {
+                        for a in answers {
+                            println!("{a}");
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// A chunk is complete when it ends with a clause terminator and any
+/// `module …` block in it is closed by `end_module.`
+fn input_complete(buffer: &str) -> bool {
+    let t = buffer.trim_end();
+    if !t.ends_with('.') {
+        return false;
+    }
+    let opens = t.split_whitespace().filter(|w| *w == "module").count();
+    let closes = t.matches("end_module").count();
+    opens <= closes
+}
+
+/// Handle a `:` meta command; returns `false` to quit.
+fn meta_command(session: &Session, cmd: &str) -> bool {
+    let mut parts = cmd.splitn(2, ' ');
+    let head = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    match head {
+        ":quit" | ":q" | ":exit" => return false,
+        ":help" | ":h" => {
+            println!(
+                ":consult <file>                consult a program/data file\n\
+                 :list                          base relations and modules\n\
+                 :explain <fact>                derivation tree for a ground fact\n\
+                 :rewritten <pred>/<n> <form>   dump the rewritten program\n\
+                 :quit                          leave"
+            );
+        }
+        ":consult" => match session.consult_file(std::path::Path::new(rest)) {
+            Ok(results) => {
+                println!("consulted {rest} ({} embedded queries)", results.len())
+            }
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":list" => {
+            for (name, arity) in session.engine().db().list() {
+                if let Some(rel) = session.engine().db().get(name, arity) {
+                    println!("{name}/{arity}: {}", rel.describe());
+                }
+            }
+        }
+        ":explain" => match session.explain_fact(rest) {
+            Ok(Some(d)) => print!("{}", d.render()),
+            Ok(None) => println!("{rest} is not derivable"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":rewritten" => {
+            // :rewritten path/2 bf
+            let mut ps = rest.split_whitespace();
+            let spec = ps.next().unwrap_or("");
+            let form = ps.next().unwrap_or("");
+            let Some((name, arity)) = spec.split_once('/') else {
+                eprintln!("usage: :rewritten <pred>/<arity> <form>");
+                return true;
+            };
+            let Ok(arity) = arity.parse::<usize>() else {
+                eprintln!("bad arity in {spec}");
+                return true;
+            };
+            let Some(adorn) = Adornment::parse(form) else {
+                eprintln!("bad query form {form:?} (use e.g. bf)");
+                return true;
+            };
+            match session
+                .engine()
+                .explain(PredRef::new(name, arity), &adorn)
+            {
+                Ok(text) => print!("{text}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        other => eprintln!("unknown command {other}; try :help"),
+    }
+    true
+}
+
+/// Rough interactivity check without extra dependencies: honor an
+/// environment override, otherwise assume non-interactive when stdin is
+/// redirected (heuristic: CI and tests pipe input).
+fn atty_stdin() -> bool {
+    if std::env::var_os("CORAL_FORCE_PROMPT").is_some() {
+        return true;
+    }
+    // Portable-enough heuristic via /dev/tty availability on Unix.
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileTypeExt;
+        if let Ok(meta) = std::fs::metadata("/dev/stdin") {
+            let ft = meta.file_type();
+            return ft.is_char_device();
+        }
+    }
+    false
+}

@@ -1,0 +1,91 @@
+//! Drive the interactive binary end-to-end through a pipe.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_coral"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn coral binary");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn consult_query_explain() {
+    let (stdout, stderr) = run_script(
+        "edge(1, 2). edge(2, 3).\n\
+         module tc.\n\
+         export path(bf).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.\n\
+         ?- path(1, X).\n\
+         :explain path(1, 3)\n\
+         :quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("X = 2"), "{stdout}");
+    assert!(stdout.contains("X = 3"), "{stdout}");
+    assert!(stdout.contains("edge(2, 3)   (base)"), "{stdout}");
+}
+
+#[test]
+fn failing_query_prints_no() {
+    let (stdout, _) = run_script("edge(1, 2).\n?- edge(2, 9).\n:quit\n");
+    assert!(stdout.contains("no"), "{stdout}");
+}
+
+#[test]
+fn errors_are_reported_not_fatal() {
+    let (stdout, stderr) = run_script(
+        "p(X) :- junk syntax here.\n\
+         edge(5, 6).\n\
+         ?- edge(5, X).\n\
+         :quit\n",
+    );
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stdout.contains("X = 6"), "session continues: {stdout}");
+}
+
+#[test]
+fn multiline_module_input() {
+    let (stdout, stderr) = run_script(
+        "edge(1, 2).\n\
+         module m.\n\
+         export p(f).\n\
+         p(X) :- edge(X, _).\n\
+         end_module.\n\
+         ?- p(X).\n\
+         :quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("X = 1"), "{stdout}");
+}
+
+#[test]
+fn meta_list_and_rewritten() {
+    let (stdout, _) = run_script(
+        "edge(1, 2).\n\
+         module tc.\nexport path(bf).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         end_module.\n\
+         :list\n\
+         :rewritten path/2 bf\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("edge/2"), "{stdout}");
+    assert!(stdout.contains("m_path__bf"), "{stdout}");
+}

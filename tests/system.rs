@@ -1,0 +1,224 @@
+//! Cross-crate system tests: the full stack from storage to session.
+
+use coral::rel::{IndexSpec, Relation};
+use coral::{Session, Term, Tuple};
+use std::path::PathBuf;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("coral-system-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn recursion_over_persistent_relation() {
+    let dir = fresh_dir("recursion");
+    let session = Session::new();
+    session.attach_storage(&dir, 32).unwrap();
+    let edges = session.create_persistent("edge", 2).unwrap();
+    edges.make_index(IndexSpec::Args(vec![0])).unwrap();
+    for i in 0..100i64 {
+        edges
+            .insert(Tuple::ground(vec![Term::int(i), Term::int(i + 1)]))
+            .unwrap();
+    }
+    session
+        .consult_str(
+            "module tc. export path(bf).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+             end_module.",
+        )
+        .unwrap();
+    assert_eq!(session.query_all("path(90, Y)").unwrap().len(), 10);
+    session.checkpoint().unwrap();
+
+    // The data (and the derived results) survive a restart.
+    drop(session);
+    let session2 = Session::new();
+    session2.attach_storage(&dir, 32).unwrap();
+    session2.create_persistent("edge", 2).unwrap();
+    session2
+        .consult_str(
+            "module tc. export path(bf).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+             end_module.",
+        )
+        .unwrap();
+    assert_eq!(session2.query_all("path(95, Y)").unwrap().len(), 5);
+}
+
+#[test]
+fn all_rewritings_agree_on_random_graphs() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xC0DAu64 + 1);
+    for trial in 0..5 {
+        let n = 12 + trial * 3;
+        let mut facts = String::new();
+        for _ in 0..(n * 2) {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            facts.push_str(&format!("edge({a}, {b}).\n"));
+        }
+        let mut per_rewrite: Vec<Vec<String>> = Vec::new();
+        for rw in ["supplementary", "magic", "goalid", "factoring", "none"] {
+            let s = Session::new();
+            s.consult_str(&facts).unwrap();
+            s.consult_str(&format!(
+                "module tc. export path(bf).\n\
+                 @rewrite {rw}.\n\
+                 path(X, Y) :- edge(X, Y).\n\
+                 path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+                 end_module."
+            ))
+            .unwrap();
+            let mut got: Vec<String> = s
+                .query_all("path(0, Y)")
+                .unwrap()
+                .into_iter()
+                .map(|a| a.to_string())
+                .collect();
+            got.sort();
+            got.dedup();
+            per_rewrite.push(got);
+        }
+        for w in per_rewrite.windows(2) {
+            assert_eq!(w[0], w[1], "strategies disagree on trial {trial}");
+        }
+    }
+}
+
+#[test]
+fn pipelined_matches_materialized_on_random_dags() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..5 {
+        let n = 10;
+        let mut facts = String::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(0.3) {
+                    facts.push_str(&format!("edge({a}, {b}).\n"));
+                }
+            }
+        }
+        let program = |mode: &str| {
+            format!(
+                "module tc. export path(bf).\n{mode}\
+                 path(X, Y) :- edge(X, Y).\n\
+                 path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+                 end_module."
+            )
+        };
+        let run = |mode: &str| -> Vec<String> {
+            let s = Session::new();
+            s.consult_str(&facts).unwrap();
+            s.consult_str(&program(mode)).unwrap();
+            let mut got: Vec<String> = s
+                .query_all("path(0, Y)")
+                .unwrap()
+                .into_iter()
+                .map(|a| a.to_string())
+                .collect();
+            got.sort();
+            got.dedup();
+            got
+        };
+        assert_eq!(run(""), run("@pipelining.\n"));
+        assert_eq!(run(""), run("@lazy.\n"));
+        assert_eq!(run(""), run("@save_module.\n"));
+    }
+}
+
+#[test]
+fn embedding_and_declarative_stack() {
+    use coral::CoralDb;
+    let db = CoralDb::new();
+    let inv = db.relation("stock", 2);
+    inv.insert(vec![Term::str("widget"), Term::int(12)]).unwrap();
+    inv.insert(vec![Term::str("gadget"), Term::int(3)]).unwrap();
+    db.define_predicate("reorder_point", 1, |_| {
+        Ok(vec![Tuple::new(vec![Term::int(5)])])
+    });
+    db.run(
+        "module inv. export low(f).\n\
+         low(P) :- stock(P, N), reorder_point(T), N < T.\n\
+         end_module.",
+    )
+    .unwrap();
+    let low = db.query("low(P)").unwrap().collect_tuples().unwrap();
+    assert_eq!(low.len(), 1);
+    assert_eq!(low[0].args()[0], Term::str("gadget"));
+}
+
+#[test]
+fn figure_2_term_representation_roundtrip() {
+    // The paper's Figure 2 term f(X, 10, Y) with bindings through two
+    // binding environments, driven through the full public API: store a
+    // non-ground fact, query with a partially bound pattern.
+    let session = Session::new();
+    session.consult_str("shape(f(X, 10, Y)).").unwrap();
+    let got = session.query_all("shape(f(25, Q, 50))").unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].to_string(), "Q = 10");
+    assert!(session.query_all("shape(g(25, 10, 50))").unwrap().is_empty());
+}
+
+#[test]
+fn deep_lists_hash_cons_through_engine() {
+    // Two modules independently build the same long list; hash-consing
+    // makes the equality check on answers cheap, and the results unify.
+    let session = Session::new();
+    let n = 200;
+    session.consult_str("seed(0).").unwrap();
+    session
+        .consult_str(&format!(
+            "module build. export grow(bff).\n\
+             grow(0, [], 0).\n\
+             grow(N, [N | T], S) :- N > 0, M = N - 1, grow(M, T, S1), S = S1 + N.\n\
+             end_module.\n\
+             module check. export same(b).\n\
+             same(N) :- grow(N, L, _), grow(N, L, _).\n\
+             end_module.\n"
+        ))
+        .unwrap();
+    let got = session.query_all(&format!("same({n})")).unwrap();
+    assert_eq!(got.len(), 1);
+    let built = session.query_all(&format!("grow({n}, L, S)")).unwrap();
+    assert_eq!(built.len(), 1);
+    assert!(built[0].to_string().contains(&format!("S = {}", n * (n + 1) / 2)));
+}
+
+#[test]
+fn wal_recovery_with_derived_data() {
+    let dir = fresh_dir("wal");
+    {
+        let session = Session::new();
+        let storage = session.attach_storage(&dir, 16).unwrap();
+        let rel = session.create_persistent("account", 2).unwrap();
+        let txn = storage.begin().map_err(coral::rel::RelError::from).unwrap();
+        rel.insert(Tuple::ground(vec![Term::str("alice"), Term::int(100)]))
+            .unwrap();
+        rel.insert(Tuple::ground(vec![Term::str("bob"), Term::int(50)]))
+            .unwrap();
+        storage.commit(txn).map_err(coral::rel::RelError::from).unwrap();
+        // Crash: no checkpoint.
+    }
+    {
+        let session = Session::new();
+        session.attach_storage(&dir, 16).unwrap();
+        let rel = session.create_persistent("account", 2).unwrap();
+        assert_eq!(rel.len(), 2, "committed data recovered from the WAL");
+        session
+            .consult_str(
+                "module m. export rich(f).\n\
+                 rich(X) :- account(X, N), N >= 100.\n\
+                 end_module.",
+            )
+            .unwrap();
+        let rich = session.query_all("rich(X)").unwrap();
+        assert_eq!(rich.len(), 1);
+        assert_eq!(rich[0].to_string(), "X = alice");
+    }
+}
