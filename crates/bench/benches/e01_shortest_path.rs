@@ -2,8 +2,8 @@
 //! on cyclic graphs (§5.5.2: "a single source query … runs in time
 //! O(E·V)").
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, programs, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e01_shortest_path");
@@ -18,12 +18,16 @@ fn bench(c: &mut Criterion) {
                 count_answers(&s, "s_p(0, Y, P, C)")
             })
         });
-        g.bench_with_input(BenchmarkId::new("cost_only_single_source", v), &v, |b, _| {
-            b.iter(|| {
-                let s = session_with(&facts, &programs::shortest_cost(true));
-                count_answers(&s, "sp(0, Y, C)")
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cost_only_single_source", v),
+            &v,
+            |b, _| {
+                b.iter(|| {
+                    let s = session_with(&facts, &programs::shortest_cost(true));
+                    count_answers(&s, "sp(0, Y, C)")
+                })
+            },
+        );
     }
     g.finish();
 }

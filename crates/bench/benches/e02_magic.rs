@@ -1,8 +1,8 @@
 //! E2 — magic rewriting propagates query selections (§4.1): a bound
 //! query on a long chain touches only the reachable suffix.
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, programs, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e02_magic_vs_none");

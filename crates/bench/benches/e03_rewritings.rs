@@ -1,8 +1,8 @@
 //! E3 — Supplementary Magic vs Magic vs GoalId vs Context Factoring
 //! (§4.1: "each technique is superior to the rest for some programs").
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, programs, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e03_rewritings");

@@ -2,8 +2,8 @@
 //! (§4.2: PSN "is better for programs with many mutually recursive
 //! predicates").
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e04_bsn_vs_psn");
@@ -13,19 +13,12 @@ fn bench(c: &mut Criterion) {
     let facts = workloads::chain(64);
     for k in [2usize, 8, 16] {
         for fix in ["bsn", "psn"] {
-            g.bench_with_input(
-                BenchmarkId::new(fix, k),
-                &k,
-                |b, _| {
-                    b.iter(|| {
-                        let s = session_with(
-                            &facts,
-                            &workloads::mutual_recursion_module(k, fix),
-                        );
-                        count_answers(&s, "p0(0, Y)")
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(fix, k), &k, |b, _| {
+                b.iter(|| {
+                    let s = session_with(&facts, &workloads::mutual_recursion_module(k, fix));
+                    count_answers(&s, "p0(0, Y)")
+                })
+            });
         }
     }
     g.finish();

@@ -1,8 +1,8 @@
 //! E5 — pipelining vs materialization (§5.2): first-answer latency vs
 //! total-answer throughput.
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, programs, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e05_pipeline_vs_mat");

@@ -1,8 +1,8 @@
 //! E6 — the save-module facility (§5.4.2): repeated overlapping
 //! subqueries with and without retained state.
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, programs, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e06_save_module");

@@ -1,8 +1,8 @@
 //! E7 — hash-consing makes unification of large ground terms cheap
 //! (§3.1): identifier comparison vs structural descent.
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_term::{hashcons, unify, EnvSet, Term};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e07_hashcons");

@@ -1,8 +1,8 @@
 //! E8 — argument-form and pattern-form indices vs scans (§3.3, §5.5.1).
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_rel::{HashRelation, IndexSpec, Relation};
 use coral_term::{Term, Tuple, VarId};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn build(n: usize) -> HashRelation {
     let r = HashRelation::new(2);
@@ -30,11 +30,7 @@ fn bench(c: &mut Criterion) {
     for n in [1_000usize, 10_000] {
         let scan_rel = build(n);
         g.bench_with_input(BenchmarkId::new("unindexed_lookup", n), &n, |b, _| {
-            b.iter(|| {
-                scan_rel
-                    .lookup(&[Term::str("name7"), Term::var(0)])
-                    .count()
-            })
+            b.iter(|| scan_rel.lookup(&[Term::str("name7"), Term::var(0)]).count())
         });
         let arg_rel = build(n);
         arg_rel.make_index(IndexSpec::Args(vec![0])).unwrap();

@@ -1,10 +1,10 @@
 //! E9 — persistent relations page through the buffer pool on demand
 //! (§2, §3.2): cold vs warm scans under varying pool sizes.
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_rel::{PersistentRelation, Relation};
 use coral_storage::StorageServer;
 use coral_term::{Term, Tuple};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e09_storage");
@@ -12,10 +12,8 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(1200));
     for frames in [8usize, 256] {
-        let dir = std::env::temp_dir().join(format!(
-            "coral-bench-e09-{}-{frames}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("coral-bench-e09-{}-{frames}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let srv = StorageServer::open(&dir, frames).unwrap();
         let rel = PersistentRelation::open(&srv, "big", 2).unwrap();

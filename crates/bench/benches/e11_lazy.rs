@@ -1,8 +1,8 @@
 //! E11 — lazy materialized evaluation returns answers at iteration
 //! boundaries (§5.4.3): time-to-first-answer.
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{programs, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e11_lazy");

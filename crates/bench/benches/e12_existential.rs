@@ -1,8 +1,8 @@
 //! E12 — existential query rewriting pushes projections (§4.1):
 //! don't-care outputs shrink the materialized facts.
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, programs, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e12_existential");

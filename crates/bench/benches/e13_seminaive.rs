@@ -1,7 +1,7 @@
 //! E13 — semi-naive vs naive fixpoints (§5.3).
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, programs, session_with, workloads};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e13_seminaive_vs_naive");
@@ -13,10 +13,7 @@ fn bench(c: &mut Criterion) {
         for fix in ["bsn", "naive"] {
             g.bench_with_input(BenchmarkId::new(fix, n), &n, |b, _| {
                 b.iter(|| {
-                    let s = session_with(
-                        &facts,
-                        &programs::tc_left(&format!("@{fix}.\n"), "ff"),
-                    );
+                    let s = session_with(&facts, &programs::tc_left(&format!("@{fix}.\n"), "ff"));
                     count_answers(&s, "path(X, Y)")
                 })
             });

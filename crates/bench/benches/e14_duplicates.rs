@@ -1,7 +1,7 @@
 //! E14 — set vs multiset duplicate semantics (§4.2).
 
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_bench::{count_answers, session_with};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e14_duplicates");

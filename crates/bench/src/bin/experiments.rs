@@ -31,7 +31,6 @@ fn derivations(s: &Session, pred: &str, arity: usize) -> (u64, u64, u64) {
     (iters, firings, facts)
 }
 
-
 /// Cost-only recursive path module with optional min-selection; no
 /// aggregate heads, so it can carry @save_module for fact counting.
 fn pcost_module(with_selection: bool) -> String {
@@ -273,7 +272,9 @@ fn e07_hashcons() {
 fn e08_indexing() {
     println!("## E8 — argument- and pattern-form indices beat scans (§3.3, §5.5.1)\n");
     println!("1000 point lookups on an N-tuple `emp(Name, addr(Street, City))` relation.\n");
-    println!("| N | no index (ms) | argument index on Name (ms) | pattern index on (Name, City) (ms) |");
+    println!(
+        "| N | no index (ms) | argument index on Name (ms) | pattern index on (Name, City) (ms) |"
+    );
     println!("|---|---------------|------------------------------|-------------------------------------|");
     for n in [1_000usize, 10_000, 100_000] {
         let build = || {
@@ -343,16 +344,16 @@ fn e09_storage() {
     println!("| pool frames | cold scan (ms) | cold misses | warm scan (ms) | warm hit rate |");
     println!("|-------------|----------------|-------------|----------------|---------------|");
     for frames in [8usize, 64, 1024] {
-        let dir = std::env::temp_dir().join(format!(
-            "coral-e09-{}-{frames}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("coral-e09-{}-{frames}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let srv = StorageServer::open(&dir, frames).unwrap();
         let rel = PersistentRelation::open(&srv, "big", 2).unwrap();
         for i in 0..20_000i64 {
-            rel.insert(Tuple::ground(vec![Term::int(i), Term::str(&format!("payload-{i}"))]))
-                .unwrap();
+            rel.insert(Tuple::ground(vec![
+                Term::int(i),
+                Term::str(&format!("payload-{i}")),
+            ]))
+            .unwrap();
         }
         srv.checkpoint().unwrap();
         srv.pool().evict_all().unwrap();
@@ -364,8 +365,7 @@ fn e09_storage() {
         let warm_stats = srv.stats();
         assert_eq!(c1, 20_000);
         assert_eq!(c2, 20_000);
-        let hit_rate =
-            warm_stats.hits as f64 / (warm_stats.hits + warm_stats.misses).max(1) as f64;
+        let hit_rate = warm_stats.hits as f64 / (warm_stats.hits + warm_stats.misses).max(1) as f64;
         println!(
             "| {frames} | {} | {} | {} | {:.0}% |",
             ms(cold),
@@ -393,8 +393,12 @@ fn e10_ordered_search() {
 fn e11_lazy() {
     println!("## E11 — lazy evaluation returns answers at iteration boundaries (§5.4.3)\n");
     println!("`path(bf)` on a chain of N; time until the first answer is in hand.\n");
-    println!("| N | lazy 1st answer (µs) | eager 1st answer (ms) | lazy all (ms) | eager all (ms) |");
-    println!("|---|----------------------|------------------------|---------------|----------------|");
+    println!(
+        "| N | lazy 1st answer (µs) | eager 1st answer (ms) | lazy all (ms) | eager all (ms) |"
+    );
+    println!(
+        "|---|----------------------|------------------------|---------------|----------------|"
+    );
     for n in [250usize, 500, 1000] {
         let facts = workloads::chain(n);
         let sl = session_with(&facts, &programs::tc("@lazy.\n", "bf"));
@@ -471,8 +475,12 @@ fn e13_seminaive_vs_naive() {
 fn e14_duplicates() {
     println!("## E14 — set vs multiset semantics (§4.2)\n");
     println!("Projection `two(Y) :- e(X, Y)` where every Y has K derivations.\n");
-    println!("| K (copies) | set answers | set time (ms) | multiset answers | multiset time (ms) |");
-    println!("|------------|-------------|----------------|-------------------|---------------------|");
+    println!(
+        "| K (copies) | set answers | set time (ms) | multiset answers | multiset time (ms) |"
+    );
+    println!(
+        "|------------|-------------|----------------|-------------------|---------------------|"
+    );
     for k in [4usize, 16, 64] {
         let mut facts = String::new();
         let groups = 2000;
@@ -485,9 +493,7 @@ fn e14_duplicates() {
             let ann = if multiset { "@multiset two/1.\n" } else { "" };
             let s = session_with(
                 &facts,
-                &format!(
-                    "module m.\nexport two(f).\n{ann}two(Y) :- e(X, Y).\nend_module.\n"
-                ),
+                &format!("module m.\nexport two(f).\n{ann}two(Y) :- e(X, Y).\nend_module.\n"),
             );
             time(|| count_answers(&s, "two(Y)"))
         };
@@ -497,7 +503,6 @@ fn e14_duplicates() {
     }
     println!();
 }
-
 
 fn e15_intelligent_backtracking() {
     println!("## E15 — ablation: intelligent backtracking (§4.2)\n");
@@ -564,7 +569,6 @@ fn e16_auto_index() {
     println!();
 }
 
-
 fn e17_consult_speed() {
     println!("## E17 — consulting is fast (§2)\n");
     println!("\"'Consulting' a program takes very little time, and is comparable to");
@@ -583,7 +587,6 @@ fn e17_consult_speed() {
     }
     println!();
 }
-
 
 fn e18_join_order() {
     println!("## E18 — optimizer join-order selection (§4.2)\n");

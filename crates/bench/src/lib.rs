@@ -12,9 +12,10 @@
 //! EXPERIMENTS.md tables.
 
 use coral_core::session::Session;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use coral_term::testutil::TestRng;
 use std::fmt::Write as _;
+
+pub mod harness;
 
 /// Deterministic workload generators.
 pub mod workloads {
@@ -32,11 +33,11 @@ pub mod workloads {
     /// A random directed graph with `v` nodes and `e` edges (may be
     /// cyclic).
     pub fn random_graph(v: usize, e: usize, seed: u64) -> String {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::new(seed);
         let mut s = String::with_capacity(e * 16);
         for _ in 0..e {
-            let a = rng.gen_range(0..v);
-            let b = rng.gen_range(0..v);
+            let a = rng.gen_range(0, v);
+            let b = rng.gen_range(0, v);
             let _ = writeln!(s, "edge({a}, {b}).");
         }
         s
@@ -45,17 +46,17 @@ pub mod workloads {
     /// A random *costed* directed graph `edge(A, B, C)` with cycles —
     /// the Figure 3 workload.
     pub fn random_costed_graph(v: usize, e: usize, seed: u64) -> String {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::new(seed);
         let mut s = String::with_capacity(e * 20);
         // A spine so everything is reachable from node 0.
         for i in 0..v - 1 {
-            let _ = writeln!(s, "edge({i}, {}, {}).", i + 1, rng.gen_range(1..20));
+            let _ = writeln!(s, "edge({i}, {}, {}).", i + 1, rng.gen_range(1, 20));
         }
         for _ in 0..e.saturating_sub(v - 1) {
-            let a = rng.gen_range(0..v);
-            let b = rng.gen_range(0..v);
+            let a = rng.gen_range(0, v);
+            let b = rng.gen_range(0, v);
             if a != b {
-                let _ = writeln!(s, "edge({a}, {b}, {}).", rng.gen_range(1..20));
+                let _ = writeln!(s, "edge({a}, {b}, {}).", rng.gen_range(1, 20));
             }
         }
         s
@@ -96,7 +97,7 @@ pub mod workloads {
 
     /// An acyclic win-move game graph: a chain with some shortcuts.
     pub fn game_graph(n: usize, seed: u64) -> String {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::new(seed);
         let mut s = String::new();
         for i in 0..n {
             let _ = writeln!(s, "move({i}, {}).", i + 1);
@@ -252,10 +253,7 @@ mod tests {
 
     #[test]
     fn same_gen_workload() {
-        let s = session_with(
-            &workloads::same_gen(4, 8),
-            &programs::same_generation(""),
-        );
+        let s = session_with(&workloads::same_gen(4, 8), &programs::same_generation(""));
         assert!(count_answers(&s, "sg(0, Y)") > 0);
     }
 

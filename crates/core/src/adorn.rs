@@ -71,7 +71,9 @@ pub(crate) fn reorder_body(rule: &Rule, initial_bound: &HashSet<VarId>) -> Vec<B
             let mut best = 0usize;
             let mut best_score = (usize::MAX, usize::MAX);
             for (k, (pos, item)) in seg.iter().enumerate() {
-                let BodyItem::Literal(l) = item else { unreachable!() };
+                let BodyItem::Literal(l) = item else {
+                    unreachable!()
+                };
                 let free_positions = l
                     .args
                     .iter()
@@ -231,21 +233,20 @@ pub fn adorn_module_opt(
     let mut map: HashMap<(PredRef, Adornment), PredRef> = HashMap::new();
     let mut original: HashMap<PredRef, (PredRef, Adornment)> = HashMap::new();
     let mut queue: VecDeque<(PredRef, Adornment)> = VecDeque::new();
-    let enqueue =
-        |p: PredRef,
-         a: Adornment,
-         map: &mut HashMap<(PredRef, Adornment), PredRef>,
-         original: &mut HashMap<PredRef, (PredRef, Adornment)>,
-         queue: &mut VecDeque<(PredRef, Adornment)>| {
-            if let Some(r) = map.get(&(p, a.clone())) {
-                return *r;
-            }
-            let renamed = adorned_name(p, &a);
-            map.insert((p, a.clone()), renamed);
-            original.insert(renamed, (p, a.clone()));
-            queue.push_back((p, a));
-            renamed
-        };
+    let enqueue = |p: PredRef,
+                   a: Adornment,
+                   map: &mut HashMap<(PredRef, Adornment), PredRef>,
+                   original: &mut HashMap<PredRef, (PredRef, Adornment)>,
+                   queue: &mut VecDeque<(PredRef, Adornment)>| {
+        if let Some(r) = map.get(&(p, a.clone())) {
+            return *r;
+        }
+        let renamed = adorned_name(p, &a);
+        map.insert((p, a.clone()), renamed);
+        original.insert(renamed, (p, a.clone()));
+        queue.push_back((p, a));
+        renamed
+    };
 
     let query_renamed = enqueue(query_pred, qa.clone(), &mut map, &mut original, &mut queue);
 
@@ -348,7 +349,12 @@ mod tests {
     use coral_lang::parse_program;
 
     fn module_of(src: &str) -> Module {
-        parse_program(src).unwrap().modules().next().unwrap().clone()
+        parse_program(src)
+            .unwrap()
+            .modules()
+            .next()
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -364,7 +370,9 @@ mod tests {
         // Binding flows through par: the recursive call is again bf.
         assert_eq!(a.module.rules.len(), 2);
         let rec = &a.module.rules[1];
-        let BodyItem::Literal(call) = &rec.body[1] else { panic!() };
+        let BodyItem::Literal(call) = &rec.body[1] else {
+            panic!()
+        };
         assert_eq!(call.pred.as_str(), "anc__bf");
         // Only one adorned version materializes.
         assert_eq!(a.map.len(), 1);
@@ -382,11 +390,15 @@ mod tests {
         );
         let bf = adorn_module(&m, PredRef::new("sg", 2), &Adornment::parse("bf").unwrap());
         assert_eq!(bf.map.len(), 1);
-        assert!(bf.map.contains_key(&(PredRef::new("sg", 2), Adornment::parse("bf").unwrap())));
+        assert!(bf
+            .map
+            .contains_key(&(PredRef::new("sg", 2), Adornment::parse("bf").unwrap())));
         let ff = adorn_module(&m, PredRef::new("sg", 2), &Adornment::parse("ff").unwrap());
         assert_eq!(ff.query_pred.name.as_str(), "sg__ff");
         let rec = &ff.module.rules[1];
-        let BodyItem::Literal(call) = &rec.body[1] else { panic!() };
+        let BodyItem::Literal(call) = &rec.body[1] else {
+            panic!()
+        };
         // With a free query, up binds U, so the recursive call is bf.
         assert_eq!(call.pred.as_str(), "sg__bf");
         assert_eq!(ff.map.len(), 2);
@@ -402,7 +414,9 @@ mod tests {
         );
         let a = adorn_module(&m, PredRef::new("p", 2), &Adornment::parse("bf").unwrap());
         let r = &a.module.rules[0];
-        let BodyItem::Literal(call) = &r.body[1] else { panic!() };
+        let BodyItem::Literal(call) = &r.body[1] else {
+            panic!()
+        };
         assert_eq!(call.pred.as_str(), "q__bf", "Z bound via Z = X");
     }
 
@@ -446,7 +460,9 @@ mod tests {
         );
         let a = adorn_module(&m, PredRef::new("p", 1), &Adornment::parse("f").unwrap());
         let r = &a.module.rules[0];
-        let BodyItem::Literal(call) = &r.body[0] else { panic!() };
+        let BodyItem::Literal(call) = &r.body[0] else {
+            panic!()
+        };
         assert_eq!(call.pred.as_str(), "q__bf", "constant argument is bound");
     }
 
@@ -461,9 +477,13 @@ mod tests {
         );
         let a = adorn_module(&m, PredRef::new("p", 1), &Adornment::parse("b").unwrap());
         let r = &a.module.rules[0];
-        let BodyItem::Negated(nq) = &r.body[0] else { panic!() };
+        let BodyItem::Negated(nq) = &r.body[0] else {
+            panic!()
+        };
         assert_eq!(nq.pred.as_str(), "q__bf");
-        let BodyItem::Literal(rl) = &r.body[1] else { panic!() };
+        let BodyItem::Literal(rl) = &r.body[1] else {
+            panic!()
+        };
         // Y was not bound by the negated literal.
         assert_eq!(rl.pred.as_str(), "r__f");
     }
@@ -488,17 +508,9 @@ mod more_tests {
         .next()
         .unwrap()
         .clone();
-        let a = adorn_module_opt(
-            &m,
-            PredRef::new("p", 2),
-            &Adornment::all_free(2),
-            false,
-        );
+        let a = adorn_module_opt(&m, PredRef::new("p", 2), &Adornment::all_free(2), false);
         // One all-free version per predicate, nothing else.
         assert_eq!(a.map.len(), 2);
-        assert!(a
-            .map
-            .keys()
-            .all(|(_, ad)| ad.is_all_free()));
+        assert!(a.map.keys().all(|(_, ad)| ad.is_all_free()));
     }
 }

@@ -137,9 +137,7 @@ pub fn eval_agg_rule(
             let vals = Tuple::new(
                 agg.aggs
                     .iter()
-                    .map(|(_, _, v)| {
-                        envs.resolve_with(&Term::Var(*v), env, &mut varmap, &mut next)
-                    })
+                    .map(|(_, _, v)| envs.resolve_with(&Term::Var(*v), env, &mut varmap, &mut next))
                     .collect(),
             );
             if !vals.is_ground() {
@@ -151,9 +149,9 @@ pub fn eval_agg_rule(
             if !seen.insert((key.clone(), vals.clone())) {
                 return Ok(());
             }
-            let accs = groups.entry(key).or_insert_with(|| {
-                agg.aggs.iter().map(|(_, f, _)| Acc::new(*f)).collect()
-            });
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| agg.aggs.iter().map(|(_, f, _)| Acc::new(*f)).collect());
             for (acc, v) in accs.iter_mut().zip(vals.args()) {
                 acc.add(v.clone());
             }
@@ -208,10 +206,7 @@ mod tests {
         CompiledRule {
             head: Literal {
                 pred: Symbol::intern("s"),
-                args: vec![
-                    Term::var(0),
-                    Term::apps(f.name(), vec![Term::var(1)]),
-                ],
+                args: vec![Term::var(0), Term::apps(f.name(), vec![Term::var(1)])],
             },
             agg: Some(crate::compile::AggHead {
                 group_positions: vec![0],
@@ -289,6 +284,9 @@ mod tests {
     #[test]
     fn empty_body_produces_no_groups() {
         assert!(run(AggFn::Min, &[]).is_empty());
-        assert!(run(AggFn::Count, &[]).is_empty(), "no group, no count-0 row");
+        assert!(
+            run(AggFn::Count, &[]).is_empty(),
+            "no group, no count-0 row"
+        );
     }
 }

@@ -134,11 +134,7 @@ fn apply_binop(op: &str, a: &Term, b: &Term) -> EvalResult<Term> {
 /// Returns `Ok(None)` if the term contains an unbound variable inside an
 /// arithmetic operator (the caller decides whether that is an unsafe
 /// rule or a residual unification).
-pub fn eval_arith(
-    envs: &EnvSet,
-    term: &Term,
-    env: EnvId,
-) -> EvalResult<Option<(Term, EnvId)>> {
+pub fn eval_arith(envs: &EnvSet, term: &Term, env: EnvId) -> EvalResult<Option<(Term, EnvId)>> {
     let (t, e) = envs.deref(term, env);
     match &t {
         Term::App(a) if is_arith_op(&a.sym().as_str(), a.arity()) => {
@@ -154,7 +150,9 @@ pub fn eval_arith(
                     Term::Double(d) => Term::double(-d.get()),
                     Term::Big(b) => norm_big(-(*b).clone()),
                     other => {
-                        return Err(EvalError::Arith(format!("non-numeric operand in -({other})")))
+                        return Err(EvalError::Arith(format!(
+                            "non-numeric operand in -({other})"
+                        )))
                     }
                 };
                 return Ok(Some((r, e)));
@@ -232,7 +230,9 @@ mod tests {
         let r = eval(&format!("{} * {}", i64::MAX, 2)).unwrap().unwrap();
         assert_eq!(r.to_string(), "18446744073709551614");
         // And bigint results that fit come back as Int.
-        let r = eval("123456789012345678901234567890 mod 7").unwrap().unwrap();
+        let r = eval("123456789012345678901234567890 mod 7")
+            .unwrap()
+            .unwrap();
         assert!(matches!(r, Term::Int(_)));
     }
 
@@ -266,12 +266,12 @@ mod tests {
 
     #[test]
     fn non_arith_structure_passes_through() {
-        assert_eq!(
-            eval("f(1, 2)").unwrap().unwrap().to_string(),
-            "f(1, 2)"
-        );
+        assert_eq!(eval("f(1, 2)").unwrap().unwrap().to_string(), "f(1, 2)");
         // Evaluation is not deep inside non-arith functors.
-        assert_eq!(eval("g(1 + 2)").unwrap().unwrap().to_string(), "g(\"+\"(1, 2))");
+        assert_eq!(
+            eval("g(1 + 2)").unwrap().unwrap().to_string(),
+            "g(\"+\"(1, 2))"
+        );
     }
 
     #[test]

@@ -220,7 +220,15 @@ fn versions_for(body: &[BodyElem]) -> Vec<SnVersion> {
     let rec_positions: Vec<usize> = body
         .iter()
         .enumerate()
-        .filter(|(_, e)| matches!(e, BodyElem::Local { recursive: true, .. }))
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                BodyElem::Local {
+                    recursive: true,
+                    ..
+                }
+            )
+        })
         .map(|(i, _)| i)
         .collect();
     if rec_positions.is_empty() {
@@ -344,10 +352,7 @@ pub fn compile_with(
         if info.unstratified && !ordered_search {
             return Err(EvalError::Unstratified(format!(
                 "recursion through negation or aggregation among {:?}; use @ordered_search",
-                info.preds
-                    .iter()
-                    .map(|p| p.to_string())
-                    .collect::<Vec<_>>()
+                info.preds.iter().map(|p| p.to_string()).collect::<Vec<_>>()
             )));
         }
         let scc_preds: HashSet<PredRef> = info.preds.iter().copied().collect();
@@ -488,7 +493,12 @@ mod tests {
     use coral_lang::{parse_program, Module, RewriteKind};
 
     fn module_of(src: &str) -> Module {
-        parse_program(src).unwrap().modules().next().unwrap().clone()
+        parse_program(src)
+            .unwrap()
+            .modules()
+            .next()
+            .unwrap()
+            .clone()
     }
 
     fn compile_src(src: &str, pred: &str, arity: usize, adorn: &str) -> CompiledModule {
@@ -535,7 +545,15 @@ mod tests {
             let rec_lits = r
                 .body
                 .iter()
-                .filter(|e| matches!(e, BodyElem::Local { recursive: true, .. }))
+                .filter(|e| {
+                    matches!(
+                        e,
+                        BodyElem::Local {
+                            recursive: true,
+                            ..
+                        }
+                    )
+                })
                 .count();
             if rec_lits == 0 {
                 assert_eq!(r.versions, vec![SnVersion { delta_idx: None }]);
@@ -544,10 +562,7 @@ mod tests {
             }
         }
         // Seed predicate tracked as local.
-        assert!(c
-            .local_preds
-            .iter()
-            .any(|p| p.name.as_str() == "m_anc__bf"));
+        assert!(c.local_preds.iter().any(|p| p.name.as_str() == "m_anc__bf"));
     }
 
     #[test]

@@ -75,11 +75,7 @@ impl DepGraph {
 /// Analyze the rules of a module.
 pub fn analyze(module: &Module) -> DepGraph {
     let defined: Vec<PredRef> = module.defined_preds();
-    let index: HashMap<PredRef, usize> = defined
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (*p, i))
-        .collect();
+    let index: HashMap<PredRef, usize> = defined.iter().enumerate().map(|(i, p)| (*p, i)).collect();
     // edges[p] = (positive targets, negative targets)
     let mut pos_edges: Vec<Vec<usize>> = vec![Vec::new(); defined.len()];
     let mut neg_edges: Vec<Vec<usize>> = vec![Vec::new(); defined.len()];
@@ -239,11 +235,7 @@ mod tests {
         );
         let g = analyze(&m);
         assert_eq!(g.sccs.len(), 3);
-        let order: Vec<String> = g
-            .sccs
-            .iter()
-            .map(|s| s.preds[0].name.as_str())
-            .collect();
+        let order: Vec<String> = g.sccs.iter().map(|s| s.preds[0].name.as_str()).collect();
         assert_eq!(order, vec!["base1", "base2", "top"]);
         assert!(g.sccs.iter().all(|s| !s.recursive));
     }
@@ -317,14 +309,10 @@ mod tests {
 
     #[test]
     fn agg_term_detection() {
-        let m = module_of(
-            "module m. export s(ff).\ns(X, min(C)) :- p(X, C).\nend_module.",
-        );
+        let m = module_of("module m. export s(ff).\ns(X, min(C)) :- p(X, C).\nend_module.");
         assert_eq!(head_agg_positions(&m.rules[0]), vec![1]);
         // min of a non-variable is not an aggregate position.
-        let m2 = module_of(
-            "module m. export s(ff).\ns(X, min(3)) :- p(X, C).\nend_module.",
-        );
+        let m2 = module_of("module m. export s(ff).\ns(X, min(3)) :- p(X, C).\nend_module.");
         assert_eq!(head_agg_positions(&m2.rules[0]), Vec::<usize>::new());
     }
 }

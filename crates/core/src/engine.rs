@@ -52,6 +52,9 @@ pub struct ModuleControls {
     pub no_auto_index: bool,
     /// Opt-in: optimizer join-order selection (§4.2).
     pub reorder_joins: bool,
+    /// Collect an [`crate::profile::EngineProfile`] for calls into this
+    /// module (`@profile`).
+    pub profile: bool,
 }
 
 impl Default for ModuleControls {
@@ -66,6 +69,7 @@ impl Default for ModuleControls {
             no_intelligent_backtracking: false,
             no_auto_index: false,
             reorder_joins: false,
+            profile: false,
         }
     }
 }
@@ -94,6 +98,10 @@ struct EngineInner {
     exports: RefCell<HashMap<PredRef, usize>>,
     /// Multiset-declared base predicates (applied at relation creation).
     base_multiset: RefCell<Vec<PredRef>>,
+    /// Engine-level runtime profiling flag (profiles every module call).
+    profiling: Cell<bool>,
+    /// Profile of the most recently completed profiled call.
+    last_profile: RefCell<Option<crate::profile::EngineProfile>>,
 }
 
 /// The CORAL engine (cheaply cloneable handle).
@@ -117,8 +125,30 @@ impl Engine {
                 modules: RefCell::new(Vec::new()),
                 exports: RefCell::new(HashMap::new()),
                 base_multiset: RefCell::new(Vec::new()),
+                profiling: Cell::new(false),
+                last_profile: RefCell::new(None),
             }),
         }
+    }
+
+    /// Enable or disable profiling for every subsequent module call (the
+    /// runtime flag; counters are a no-op unless the `profile` cargo
+    /// feature is compiled in). When on, each top-level call leaves its
+    /// [`crate::profile::EngineProfile`] in [`Engine::last_profile`].
+    pub fn set_profiling(&self, on: bool) {
+        self.inner.profiling.set(on);
+        crate::profile::set_profiling(on);
+    }
+
+    /// Whether the engine-level runtime profiling flag is on.
+    pub fn profiling(&self) -> bool {
+        self.inner.profiling.get()
+    }
+
+    /// The profile of the most recently completed profiled call
+    /// (`@profile` module or [`Engine::set_profiling`]).
+    pub fn last_profile(&self) -> Option<crate::profile::EngineProfile> {
+        self.inner.last_profile.borrow().clone()
     }
 
     /// The base-relation catalog.
@@ -171,6 +201,7 @@ impl Engine {
                 }
                 Annotation::NoAutoIndex => controls.no_auto_index = true,
                 Annotation::ReorderJoins => controls.reorder_joins = true,
+                Annotation::Profile => controls.profile = true,
                 Annotation::Multiset(p) => {
                     setup.multiset.insert(*p);
                 }
@@ -457,6 +488,50 @@ impl Engine {
         let mdef = self
             .module_of(pred)
             .ok_or_else(|| EvalError::UnknownPredicate(pred.to_string()))?;
+        let want_profile = mdef.controls.profile || self.inner.profiling.get();
+        if !want_profile && !crate::profile::enabled() {
+            return self.module_call_inner(&mdef, pred, pattern, dontcare);
+        }
+        // Outermost profiled call: diff all counters and gather per-SCC
+        // sections around the call; nested calls fold into it (begin
+        // returns None) but still count module-boundary pulls.
+        let collector = if want_profile {
+            crate::profile::Collector::begin()
+        } else {
+            None
+        };
+        let query = format!(
+            "{}({})",
+            pred.name,
+            pattern
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        match self.module_call_inner(&mdef, pred, pattern, dontcare) {
+            Ok(scan) => Ok(Box::new(ProfiledScan {
+                inner: scan,
+                engine: self.clone(),
+                collector,
+                query,
+                answers: 0,
+            })),
+            Err(e) => {
+                drop(collector); // restores the runtime flag
+                Err(e)
+            }
+        }
+    }
+
+    fn module_call_inner(
+        &self,
+        mdef: &Rc<ModuleDef>,
+        pred: PredRef,
+        pattern: &[Term],
+        dontcare: &[usize],
+    ) -> EvalResult<Box<dyn AnswerScan>> {
+        let mdef = Rc::clone(mdef);
         if mdef.controls.pipelined {
             return Ok(Box::new(crate::pipeline::PipelinedScan::new(
                 self.clone(),
@@ -587,6 +662,46 @@ impl AnswerScan for FilterScan {
     }
 }
 
+/// Wraps a module call's answer scan: counts the §5.6 get-next-tuple
+/// requests and, for the outermost profiled call, finalizes the
+/// [`crate::profile::EngineProfile`] when the scan is exhausted (or
+/// dropped early).
+struct ProfiledScan {
+    inner: Box<dyn AnswerScan>,
+    engine: Engine,
+    collector: Option<crate::profile::Collector>,
+    query: String,
+    answers: u64,
+}
+
+impl ProfiledScan {
+    fn finalize(&mut self) {
+        if let Some(c) = self.collector.take() {
+            let profile = c.finish(std::mem::take(&mut self.query), self.answers);
+            *self.engine.inner.last_profile.borrow_mut() = Some(profile);
+        }
+    }
+}
+
+impl AnswerScan for ProfiledScan {
+    fn next_answer(&mut self) -> EvalResult<Option<Tuple>> {
+        let r = self.inner.next_answer();
+        crate::profile::bump(|c| c.get_next_tuple += 1);
+        match &r {
+            Ok(Some(_)) => self.answers += 1,
+            // Exhausted or failed: the call is over either way.
+            Ok(None) | Err(_) => self.finalize(),
+        }
+        r
+    }
+}
+
+impl Drop for ProfiledScan {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
 impl ExternalResolver for Engine {
     fn candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter> {
         let pred = lit.pred_ref();
@@ -661,7 +776,9 @@ fn convert_make_index(ann: &Annotation) -> (PredRef, IndexSpec) {
     let all_plain_vars = pattern.iter().all(|t| matches!(t, Term::Var(_)));
     if all_plain_vars {
         for kv in key_vars {
-            if let Some(pos) = pattern.iter().position(|t| matches!(t, Term::Var(v) if v == kv))
+            if let Some(pos) = pattern
+                .iter()
+                .position(|t| matches!(t, Term::Var(v) if v == kv))
             {
                 simple_positions.push(pos);
             }
@@ -785,11 +902,7 @@ pub mod builtins {
                 Vec::new()
             });
         }
-        Ok(xs
-            .iter()
-            .enumerate()
-            .map(|(i, e)| mk(i + 1, e))
-            .collect())
+        Ok(xs.iter().enumerate().map(|(i, e)| mk(i + 1, e)).collect())
     }
 
     fn between3(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {
@@ -799,9 +912,7 @@ pub mod builtins {
             ));
         };
         if hi - lo > 10_000_000 {
-            return Err(EvalError::Unsafe(
-                "between/3 range larger than 10^7".into(),
-            ));
+            return Err(EvalError::Unsafe("between/3 range larger than 10^7".into()));
         }
         Ok((*lo..=*hi)
             .map(|v| Tuple::new(vec![Term::int(*lo), Term::int(*hi), Term::int(v)]))
@@ -820,9 +931,9 @@ pub mod builtins {
         for x in &xs {
             match x {
                 Term::Int(v) => {
-                    int_sum = int_sum.checked_add(*v).ok_or_else(|| {
-                        EvalError::Arith("sum_list/2 overflow".into())
-                    })?;
+                    int_sum = int_sum
+                        .checked_add(*v)
+                        .ok_or_else(|| EvalError::Arith("sum_list/2 overflow".into()))?;
                     f_sum += *v as f64;
                 }
                 Term::Double(d) => {
@@ -852,10 +963,7 @@ pub mod builtins {
         };
         xs.sort_by(|a, b| a.order_cmp(b));
         xs.dedup();
-        Ok(vec![Tuple::new(vec![
-            pattern[0].clone(),
-            Term::list(xs),
-        ])])
+        Ok(vec![Tuple::new(vec![pattern[0].clone(), Term::list(xs)])])
     }
 
     fn length2(pattern: &[Term]) -> EvalResult<Vec<Tuple>> {

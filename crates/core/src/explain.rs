@@ -200,12 +200,8 @@ impl Explainer<'_> {
                             BodyElem::External { lit } => (lit, false),
                             BodyElem::Negated { .. } | BodyElem::Compare { .. } => continue,
                         };
-                        let used = Tuple::new(
-                            lit.args
-                                .iter()
-                                .map(|t| envs.resolve(t, env))
-                                .collect(),
-                        );
+                        let used =
+                            Tuple::new(lit.args.iter().map(|t| envs.resolve(t, env)).collect());
                         let upred = lit.pred_ref();
                         if local && path.contains(&(upred, used.clone())) {
                             acyclic = false;
@@ -297,9 +293,7 @@ impl Explainer<'_> {
                         BodyElem::External { lit } => (lit, false),
                         _ => continue,
                     };
-                    let used = Tuple::new(
-                        lit.args.iter().map(|t| envs.resolve(t, env)).collect(),
-                    );
+                    let used = Tuple::new(lit.args.iter().map(|t| envs.resolve(t, env)).collect());
                     if !uses
                         .iter()
                         .any(|u| u.pred == lit.pred_ref() && u.fact == used)
@@ -413,8 +407,7 @@ impl Explainer<'_> {
                     rule.head.pred = self.original(rule.head.pred_ref()).name;
                     for item in &mut rule.body {
                         match item {
-                            coral_lang::BodyItem::Literal(l)
-                            | coral_lang::BodyItem::Negated(l) => {
+                            coral_lang::BodyItem::Literal(l) | coral_lang::BodyItem::Negated(l) => {
                                 l.pred = self.original(l.pred_ref()).name;
                             }
                             _ => {}
@@ -431,10 +424,7 @@ impl Explainer<'_> {
 /// Explain a ground fact over an exported predicate: evaluate its module
 /// (without magic, so the user's rule structure is preserved) and return
 /// a well-founded derivation tree, or `None` if the fact does not hold.
-pub fn explain_fact(
-    engine: &Engine,
-    literal: &Literal,
-) -> EvalResult<Option<Derivation>> {
+pub fn explain_fact(engine: &Engine, literal: &Literal) -> EvalResult<Option<Derivation>> {
     let pred = literal.pred_ref();
     let fact = Tuple::new(literal.args.clone());
     if !fact.is_ground() {
@@ -470,8 +460,7 @@ pub fn explain_fact(
         &[],
         false,
     )?);
-    let mut state = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
-        .with_strategy(Strategy::Bsn);
+    let mut state = FixpointState::new(Rc::clone(&cm), &mdef.setup)?.with_strategy(Strategy::Bsn);
     state.run(engine)?;
     let rp = cm.rewritten.answer_pred;
     // Does the fact hold at all?
@@ -484,12 +473,8 @@ pub fn explain_fact(
     if !holds {
         return Ok(None);
     }
-    let origin_rev: Vec<(PredRef, PredRef)> = cm
-        .rewritten
-        .origin
-        .iter()
-        .map(|(r, o)| (*r, *o))
-        .collect();
+    let origin_rev: Vec<(PredRef, PredRef)> =
+        cm.rewritten.origin.iter().map(|(r, o)| (*r, *o)).collect();
     let mut explainer = Explainer {
         engine,
         state,

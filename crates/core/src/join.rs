@@ -234,10 +234,7 @@ pub fn eval_rule(
 
         // A deterministic check being re-entered has exhausted its
         // single success: unwind it and backtrack chronologically.
-        if matches!(
-            slots[pos].as_ref().unwrap().state,
-            SlotState::CheckDone
-        ) {
+        if matches!(slots[pos].as_ref().unwrap().state, SlotState::CheckDone) {
             let slot = slots[pos].take().unwrap();
             envs.undo(slot.trail);
             envs.pop_frames(slot.frames);
@@ -267,6 +264,7 @@ pub fn eval_rule(
             match iter.next() {
                 None => break,
                 Some(cand) => {
+                    crate::profile::bump(|c| c.join_probes += 1);
                     let t: Tuple = cand?;
                     let tenv = envs.push_frame(t.nvars() as usize);
                     let mut ok = true;
@@ -518,10 +516,16 @@ mod tests {
         };
         let mut envs = EnvSet::new();
         let mut out = Vec::new();
-        eval_rule(&ctx, rule, SnVersion { delta_idx: None }, &mut envs, &mut |envs, env| {
-            out.push(resolve_head(envs, &rule.head, env).to_string());
-            Ok(())
-        })
+        eval_rule(
+            &ctx,
+            rule,
+            SnVersion { delta_idx: None },
+            &mut envs,
+            &mut |envs, env| {
+                out.push(resolve_head(envs, &rule.head, env).to_string());
+                Ok(())
+            },
+        )
         .unwrap();
         out.sort();
         out
@@ -593,8 +597,14 @@ mod tests {
             ranges: &ranges,
         };
         let mut envs = EnvSet::new();
-        let err = eval_rule(&ctx, &rule, SnVersion { delta_idx: None }, &mut envs, &mut |_, _| Ok(()))
-            .unwrap_err();
+        let err = eval_rule(
+            &ctx,
+            &rule,
+            SnVersion { delta_idx: None },
+            &mut envs,
+            &mut |_, _| Ok(()),
+        )
+        .unwrap_err();
         assert!(matches!(err, EvalError::Unsafe(_)));
     }
 
@@ -670,10 +680,16 @@ mod tests {
         };
         let mut envs = EnvSet::new();
         let mut got = Vec::new();
-        eval_rule(&ctx, &rule, SnVersion { delta_idx: Some(0) }, &mut envs, &mut |envs, env| {
-            got.push(resolve_head(envs, &rule.head, env).to_string());
-            Ok(())
-        })
+        eval_rule(
+            &ctx,
+            &rule,
+            SnVersion { delta_idx: Some(0) },
+            &mut envs,
+            &mut |envs, env| {
+                got.push(resolve_head(envs, &rule.head, env).to_string());
+                Ok(())
+            },
+        )
         .unwrap();
         assert_eq!(got, vec!["(2)"]);
     }

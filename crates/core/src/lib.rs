@@ -47,6 +47,7 @@ pub mod explain;
 pub mod join;
 pub mod ordered_search;
 pub mod pipeline;
+pub mod profile;
 pub mod rewrite;
 pub mod save_module;
 pub mod scan;

@@ -240,6 +240,10 @@ pub fn evaluate(
         goals: vec![(seed.pred, root_goal.clone(), false)],
         released: false,
     }];
+    crate::profile::bump(|c| {
+        c.os_context_pushes += 1;
+        c.os_max_context_depth = c.os_max_context_depth.max(1);
+    });
     let mut seen: Vec<(PredRef, Tuple)> = vec![(seed.pred, root_goal)];
     // Pending-drain watermarks.
     let pending_preds: Vec<PredRef> = cm
@@ -283,8 +287,7 @@ pub fn evaluate(
                     for (ni, node) in context.iter().enumerate() {
                         if node.goals.iter().any(|(p, t, _)| (*p, t) == (mp, &fact)) {
                             if ni < top_idx {
-                                collapse_to =
-                                    Some(collapse_to.map_or(ni, |c: usize| c.min(ni)));
+                                collapse_to = Some(collapse_to.map_or(ni, |c: usize| c.min(ni)));
                                 neg_involved |= negated;
                             }
                             break;
@@ -325,6 +328,11 @@ pub fn evaluate(
                     goals: vec![goal],
                     released: false,
                 });
+                let depth = context.len() as u64;
+                crate::profile::bump(|c| {
+                    c.os_context_pushes += 1;
+                    c.os_max_context_depth = c.os_max_context_depth.max(depth);
+                });
             }
             continue;
         }
@@ -352,7 +360,12 @@ mod tests {
     use coral_lang::pretty::rule_to_string;
 
     fn module_of(src: &str) -> Module {
-        parse_program(src).unwrap().modules().next().unwrap().clone()
+        parse_program(src)
+            .unwrap()
+            .modules()
+            .next()
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -366,7 +379,9 @@ mod tests {
         let texts: Vec<String> = rw.module.rules.iter().map(rule_to_string).collect();
         // The guarded rule carries the done guard before the negation.
         assert!(
-            texts.iter().any(|t| t.contains("done_m_win__b(Y), not win__b(Y)")),
+            texts
+                .iter()
+                .any(|t| t.contains("done_m_win__b(Y), not win__b(Y)")),
             "{texts:#?}"
         );
         // Subgoal generation is captured into the pending predicate (the
@@ -379,7 +394,10 @@ mod tests {
         );
         // The real magic predicate has no defining rules: it is fed by
         // the context.
-        assert!(!texts.iter().any(|t| t.starts_with("m_win__b(")), "{texts:#?}");
+        assert!(
+            !texts.iter().any(|t| t.starts_with("m_win__b(")),
+            "{texts:#?}"
+        );
         // Feed predicates are declared local.
         assert!(rw
             .extra_local_preds
@@ -412,12 +430,19 @@ mod tests {
              reach(X) :- sink(X).\n\
              end_module.",
         );
-        let rw = rewrite_ordered(&m, PredRef::new("reach", 1), &Adornment::parse("b").unwrap());
+        let rw = rewrite_ordered(
+            &m,
+            PredRef::new("reach", 1),
+            &Adornment::parse("b").unwrap(),
+        );
         let texts: Vec<String> = rw.module.rules.iter().map(rule_to_string).collect();
         assert!(
             texts.iter().any(|t| t.starts_with("pending_m_reach__b(Y)")),
             "{texts:#?}"
         );
-        assert!(!texts.iter().any(|t| t.contains("pendingneg_")), "{texts:#?}");
+        assert!(
+            !texts.iter().any(|t| t.contains("pendingneg_")),
+            "{texts:#?}"
+        );
     }
 }

@@ -46,12 +46,7 @@ impl PipelinedScan {
     /// Open the scan; `query.args` are the caller's pattern terms.
     pub fn new(engine: Engine, mdef: Rc<ModuleDef>, query: Literal) -> PipelinedScan {
         let mut envs = EnvSet::new();
-        let nvars = query
-            .args
-            .iter()
-            .map(|t| t.var_bound())
-            .max()
-            .unwrap_or(0);
+        let nvars = query.args.iter().map(|t| t.var_bound()).max().unwrap_or(0);
         let qenv = envs.push_frame(nvars as usize);
         PipelinedScan {
             engine,
@@ -183,10 +178,7 @@ enum ItemState {
         frames: FrameMark,
     },
     /// A deterministic check that succeeded (fails on retry).
-    CheckDone {
-        trail: TrailMark,
-        frames: FrameMark,
-    },
+    CheckDone { trail: TrailMark, frames: FrameMark },
 }
 
 /// An AND node: one rule activation.
@@ -222,8 +214,7 @@ impl RuleAttempt {
                     envs.undo(g.trail0);
                     envs.pop_frames(g.frames0);
                 }
-                ItemState::Scan { trail, frames, .. }
-                | ItemState::CheckDone { trail, frames } => {
+                ItemState::Scan { trail, frames, .. } | ItemState::CheckDone { trail, frames } => {
                     envs.undo(trail);
                     envs.pop_frames(frames);
                 }
@@ -434,9 +425,7 @@ impl RuleAttempt {
                     let lt = envs.resolve(&l.0, l.1);
                     let rt = envs.resolve(&r.0, r.1);
                     if !lt.is_ground() || !rt.is_ground() {
-                        return Err(EvalError::Unsafe(
-                            "comparison operand not ground".into(),
-                        ));
+                        return Err(EvalError::Unsafe("comparison operand not ground".into()));
                     }
                     compare_terms(*cmp, &lt, &rt)
                 }
@@ -479,11 +468,7 @@ impl RuleAttempt {
 impl Engine {
     /// Candidate lookup used by the pipelined machine (same dispatch as
     /// [`crate::join::ExternalResolver`], exposed for this module).
-    pub(crate) fn candidates_for(
-        &self,
-        lit: &Literal,
-        pattern: &[Term],
-    ) -> EvalResult<TupleIter> {
+    pub(crate) fn candidates_for(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter> {
         use crate::join::ExternalResolver;
         self.candidates(lit, pattern)
     }

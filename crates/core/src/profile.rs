@@ -1,0 +1,1084 @@
+//! Engine-wide profiling: the [`EngineProfile`] tree and its collector.
+//!
+//! The paper's performance story (§4.2, §5.3, §6) depends on seeing where
+//! evaluation time goes. This module promotes the per-fixpoint
+//! `FixpointStats` into a structured profile spanning every layer:
+//!
+//! * `coral-term` — hashcons hits/misses, unification attempts/failures,
+//!   binding-environment allocations;
+//! * `coral-rel` — index probes vs full scans, subsidiary mark advances;
+//! * `coral-storage` — buffer-pool hits/misses/evictions, WAL appends;
+//! * `coral-core` — join probes (per rule version), module-boundary
+//!   get-next-tuple calls (§5.6), Ordered Search context-stack depth;
+//! * per-SCC fixpoint sections — iterations, rule firings, facts
+//!   derived/duplicates, wall time, with per-rule-version breakdowns.
+//!
+//! Every layer keeps its counters in a thread-local `Cell` behind the
+//! `profile` cargo feature plus a runtime flag: no atomics touch the hot
+//! path, and the disabled cost is one thread-local load and a branch.
+//! [`set_profiling`] flips all layers at once; a [`Collector`] (started
+//! by the engine for `@profile` modules) additionally diffs the counters
+//! around one module call and gathers the per-SCC sections into an
+//! [`EngineProfile`], which pretty-prints ([`EngineProfile::render`]) and
+//! round-trips through JSON ([`EngineProfile::to_json`] /
+//! [`EngineProfile::from_json`]) without any external dependency.
+
+use std::fmt::Write as _;
+
+/// Whether counters are compiled in (`profile` cargo feature).
+pub const AVAILABLE: bool = cfg!(feature = "profile");
+
+/// Core-layer counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Counters {
+    /// Candidate tuples pulled by the nested-loops join.
+    pub join_probes: u64,
+    /// Module-boundary get-next-tuple requests (§5.6).
+    pub get_next_tuple: u64,
+    /// Ordered Search context-stack pushes (§5.4.1).
+    pub os_context_pushes: u64,
+    /// Ordered Search context-stack high-water mark.
+    pub os_max_context_depth: u64,
+}
+
+impl Counters {
+    /// All-zero counters (usable in const-initialized thread-locals).
+    pub const ZERO: Counters = Counters {
+        join_probes: 0,
+        get_next_tuple: 0,
+        os_context_pushes: 0,
+        os_max_context_depth: 0,
+    };
+}
+
+/// One thread's totals across every layer.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct LayerTotals {
+    pub term: coral_term::profile::Counters,
+    pub rel: coral_rel::profile::Counters,
+    pub storage: coral_storage::profile::Counters,
+    pub core: Counters,
+}
+
+/// Per-rule-version statistics within an SCC section.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleVersionStats {
+    /// `head_pred` plus the semi-naive version (delta literal index).
+    pub label: String,
+    /// Times this version was evaluated.
+    pub firings: u64,
+    /// Solutions its body produced (before duplicate elimination).
+    pub solutions: u64,
+    /// New facts it inserted.
+    pub facts_derived: u64,
+    /// Join candidate tuples it pulled.
+    pub join_probes: u64,
+}
+
+/// One SCC's fixpoint section.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SccSection {
+    /// SCC index in evaluation order.
+    pub scc: usize,
+    /// Member predicates.
+    pub preds: Vec<String>,
+    /// Fixpoint iterations executed.
+    pub iterations: u64,
+    /// Rule-version evaluations.
+    pub rule_firings: u64,
+    /// Solutions produced by rule bodies.
+    pub solutions: u64,
+    /// New facts inserted.
+    pub facts_derived: u64,
+    /// Solutions rejected as duplicates.
+    pub duplicates: u64,
+    /// Wall time spent iterating this SCC.
+    pub wall_ns: u64,
+    /// Per-rule-version breakdown.
+    pub rules: Vec<RuleVersionStats>,
+}
+
+/// The structured profile of one module call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// The profiled call, e.g. `path(0, Y)`.
+    pub query: String,
+    /// End-to-end wall time (seeding through last answer).
+    pub wall_ns: u64,
+    /// Answers returned through the scan.
+    pub answers: u64,
+    /// Counter deltas for the call, per layer.
+    pub totals: LayerTotals,
+    /// Per-SCC fixpoint sections, in evaluation order.
+    pub sccs: Vec<SccSection>,
+}
+
+// ---------------------------------------------------------------------
+// Thread-local state: the core counter block and the section collector.
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "profile")]
+mod imp {
+    use super::{Counters, SccSection};
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        // Const-initialized, Drop-free cells: access is a direct TLS
+        // load with no lazy-init branch, and the disabled path never
+        // copies the counter block.
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+        static COUNTERS: Cell<Counters> = const { Cell::new(Counters::ZERO) };
+        static NEXT_STATE_ID: Cell<u64> = const { Cell::new(1) };
+        // (fixpoint-state id, scc index) -> section; Some while a
+        // Collector is live.
+        static SECTIONS: RefCell<Option<Vec<(u64, usize, SccSection)>>> =
+            const { RefCell::new(None) };
+    }
+
+    #[inline]
+    pub(crate) fn bump(f: impl FnOnce(&mut Counters)) {
+        if ENABLED.with(|e| e.get()) {
+            COUNTERS.with(|c| {
+                let mut v = c.get();
+                f(&mut v);
+                c.set(v);
+            });
+        }
+    }
+
+    pub fn set_enabled(on: bool) {
+        ENABLED.with(|e| e.set(on));
+    }
+
+    pub fn enabled() -> bool {
+        ENABLED.with(|e| e.get())
+    }
+
+    pub fn reset() {
+        COUNTERS.with(|c| c.set(Counters::ZERO));
+    }
+
+    pub fn snapshot() -> Counters {
+        COUNTERS.with(|c| c.get())
+    }
+
+    /// A fresh identity for one `FixpointState` (distinguishes sections
+    /// of nested module calls).
+    pub fn new_state_id() -> u64 {
+        NEXT_STATE_ID.with(|c| {
+            let id = c.get();
+            c.set(id + 1);
+            id
+        })
+    }
+
+    /// Whether a Collector is gathering sections on this thread.
+    pub fn collecting() -> bool {
+        SECTIONS.with(|s| s.borrow().is_some())
+    }
+
+    pub(super) fn begin_sections() -> bool {
+        SECTIONS.with(|s| {
+            let mut b = s.borrow_mut();
+            if b.is_some() {
+                return false;
+            }
+            *b = Some(Vec::new());
+            true
+        })
+    }
+
+    pub(super) fn take_sections() -> Vec<SccSection> {
+        SECTIONS.with(|s| {
+            s.borrow_mut()
+                .take()
+                .map(|v| v.into_iter().map(|(_, _, sec)| sec).collect())
+                .unwrap_or_default()
+        })
+    }
+
+    pub(crate) fn with_section(state: u64, scc: usize, f: impl FnOnce(&mut SccSection)) {
+        SECTIONS.with(|s| {
+            let mut b = s.borrow_mut();
+            if let Some(list) = b.as_mut() {
+                let idx = match list
+                    .iter()
+                    .position(|(st, sc, _)| *st == state && *sc == scc)
+                {
+                    Some(i) => i,
+                    None => {
+                        list.push((
+                            state,
+                            scc,
+                            SccSection {
+                                scc,
+                                ..SccSection::default()
+                            },
+                        ));
+                        list.len() - 1
+                    }
+                };
+                f(&mut list[idx].2);
+            }
+        });
+    }
+}
+
+#[cfg(feature = "profile")]
+pub(crate) use imp::{bump, with_section};
+#[cfg(feature = "profile")]
+pub use imp::{collecting, enabled, new_state_id, reset, set_enabled, snapshot};
+
+#[cfg(not(feature = "profile"))]
+mod imp_off {
+    use super::{Counters, SccSection};
+
+    #[inline(always)]
+    pub(crate) fn bump(_f: impl FnOnce(&mut Counters)) {}
+
+    pub fn set_enabled(_on: bool) {}
+
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn reset() {}
+
+    pub fn snapshot() -> Counters {
+        Counters::default()
+    }
+
+    pub fn new_state_id() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn collecting() -> bool {
+        false
+    }
+
+    pub(super) fn begin_sections() -> bool {
+        false
+    }
+
+    pub(super) fn take_sections() -> Vec<SccSection> {
+        Vec::new()
+    }
+
+    #[inline(always)]
+    pub(crate) fn with_section(_state: u64, _scc: usize, _f: impl FnOnce(&mut SccSection)) {}
+}
+
+#[cfg(not(feature = "profile"))]
+pub(crate) use imp_off::{bump, with_section};
+#[cfg(not(feature = "profile"))]
+pub use imp_off::{collecting, enabled, new_state_id, reset, set_enabled, snapshot};
+
+/// Enable or disable counter collection in every layer at once (the
+/// runtime flag; a no-op without the `profile` feature).
+pub fn set_profiling(on: bool) {
+    coral_term::profile::set_enabled(on);
+    coral_rel::profile::set_enabled(on);
+    coral_storage::profile::set_enabled(on);
+    set_enabled(on);
+}
+
+/// Whether the runtime flag is on (for this thread).
+pub fn profiling() -> bool {
+    enabled()
+}
+
+/// Snapshot every layer's counters.
+pub fn snapshot_totals() -> LayerTotals {
+    LayerTotals {
+        term: coral_term::profile::snapshot(),
+        rel: coral_rel::profile::snapshot(),
+        storage: coral_storage::profile::snapshot(),
+        core: snapshot(),
+    }
+}
+
+/// Reset every layer's counters.
+pub fn reset_all() {
+    coral_term::profile::reset();
+    coral_rel::profile::reset();
+    coral_storage::profile::reset();
+    reset();
+}
+
+/// Flat `(name, value)` view of every layer's counters — what the bench
+/// harness embeds in BENCH_*.json.
+pub fn all_counters() -> Vec<(String, u64)> {
+    let t = snapshot_totals();
+    flatten_totals(&t)
+}
+
+fn flatten_totals(t: &LayerTotals) -> Vec<(String, u64)> {
+    vec![
+        ("term.hashcons_hits".into(), t.term.hashcons_hits),
+        ("term.hashcons_misses".into(), t.term.hashcons_misses),
+        ("term.unify_attempts".into(), t.term.unify_attempts),
+        ("term.unify_failures".into(), t.term.unify_failures),
+        ("term.bindenv_allocs".into(), t.term.bindenv_allocs),
+        ("rel.index_probes".into(), t.rel.index_probes),
+        ("rel.full_scans".into(), t.rel.full_scans),
+        ("rel.mark_advances".into(), t.rel.mark_advances),
+        ("storage.pool_hits".into(), t.storage.pool_hits),
+        ("storage.pool_misses".into(), t.storage.pool_misses),
+        ("storage.pool_evictions".into(), t.storage.pool_evictions),
+        ("storage.wal_appends".into(), t.storage.wal_appends),
+        ("core.join_probes".into(), t.core.join_probes),
+        ("core.get_next_tuple".into(), t.core.get_next_tuple),
+        ("core.os_context_pushes".into(), t.core.os_context_pushes),
+        (
+            "core.os_max_context_depth".into(),
+            t.core.os_max_context_depth,
+        ),
+    ]
+}
+
+fn diff_totals(before: &LayerTotals, after: &LayerTotals) -> LayerTotals {
+    let d = |a: u64, b: u64| a.saturating_sub(b);
+    LayerTotals {
+        term: coral_term::profile::Counters {
+            hashcons_hits: d(after.term.hashcons_hits, before.term.hashcons_hits),
+            hashcons_misses: d(after.term.hashcons_misses, before.term.hashcons_misses),
+            unify_attempts: d(after.term.unify_attempts, before.term.unify_attempts),
+            unify_failures: d(after.term.unify_failures, before.term.unify_failures),
+            bindenv_allocs: d(after.term.bindenv_allocs, before.term.bindenv_allocs),
+        },
+        rel: coral_rel::profile::Counters {
+            index_probes: d(after.rel.index_probes, before.rel.index_probes),
+            full_scans: d(after.rel.full_scans, before.rel.full_scans),
+            mark_advances: d(after.rel.mark_advances, before.rel.mark_advances),
+        },
+        storage: coral_storage::profile::Counters {
+            pool_hits: d(after.storage.pool_hits, before.storage.pool_hits),
+            pool_misses: d(after.storage.pool_misses, before.storage.pool_misses),
+            pool_evictions: d(after.storage.pool_evictions, before.storage.pool_evictions),
+            wal_appends: d(after.storage.wal_appends, before.storage.wal_appends),
+        },
+        core: Counters {
+            join_probes: d(after.core.join_probes, before.core.join_probes),
+            get_next_tuple: d(after.core.get_next_tuple, before.core.get_next_tuple),
+            os_context_pushes: d(after.core.os_context_pushes, before.core.os_context_pushes),
+            // The high-water mark is not a sum; report the call's maximum.
+            os_max_context_depth: after.core.os_max_context_depth,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// The collector: brackets one module call.
+// ---------------------------------------------------------------------
+
+/// Diffs all counters around one module call and gathers per-SCC
+/// sections. At most one per thread — nested module calls fold into the
+/// outermost collector's profile.
+pub struct Collector {
+    prior_enabled: bool,
+    before: LayerTotals,
+    start: std::time::Instant,
+    finished: bool,
+}
+
+impl Collector {
+    /// Start collecting; `None` when profiling is compiled out or a
+    /// collector is already active on this thread.
+    pub fn begin() -> Option<Collector> {
+        if !AVAILABLE || !imp_begin_sections() {
+            return None;
+        }
+        let prior_enabled = enabled();
+        if !prior_enabled {
+            set_profiling(true);
+        }
+        Some(Collector {
+            prior_enabled,
+            before: snapshot_totals(),
+            start: std::time::Instant::now(),
+            finished: false,
+        })
+    }
+
+    /// Finish: build the profile and restore the runtime flag.
+    pub fn finish(mut self, query: String, answers: u64) -> EngineProfile {
+        self.finished = true;
+        let wall_ns = self.start.elapsed().as_nanos() as u64;
+        let totals = diff_totals(&self.before, &snapshot_totals());
+        let sccs = imp_take_sections();
+        if !self.prior_enabled {
+            set_profiling(false);
+        }
+        EngineProfile {
+            query,
+            wall_ns,
+            answers,
+            totals,
+            sccs,
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abandoned (an evaluation error): discard sections, restore
+            // the flag.
+            let _ = imp_take_sections();
+            if !self.prior_enabled {
+                set_profiling(false);
+            }
+        }
+    }
+}
+
+#[cfg(feature = "profile")]
+fn imp_begin_sections() -> bool {
+    imp::begin_sections()
+}
+#[cfg(feature = "profile")]
+fn imp_take_sections() -> Vec<SccSection> {
+    imp::take_sections()
+}
+#[cfg(not(feature = "profile"))]
+fn imp_begin_sections() -> bool {
+    imp_off::begin_sections()
+}
+#[cfg(not(feature = "profile"))]
+fn imp_take_sections() -> Vec<SccSection> {
+    imp_off::take_sections()
+}
+
+// ---------------------------------------------------------------------
+// Hooks used by the evaluator (all no-ops unless a collector is active).
+// ---------------------------------------------------------------------
+
+/// Record one fixpoint iteration of `(state, scc)`.
+pub(crate) fn scc_iteration(state: u64, scc: usize, preds: impl FnOnce() -> Vec<String>) {
+    with_section(state, scc, |sec| {
+        sec.iterations += 1;
+        if sec.preds.is_empty() {
+            sec.preds = preds();
+        }
+    });
+}
+
+/// Record wall time spent in one iteration of `(state, scc)`.
+pub(crate) fn scc_time(state: u64, scc: usize, ns: u64) {
+    with_section(state, scc, |sec| sec.wall_ns += ns);
+}
+
+/// Record one rule-version evaluation within `(state, scc)`.
+pub(crate) fn scc_rule(
+    state: u64,
+    scc: usize,
+    label: impl FnOnce() -> String,
+    solutions: u64,
+    derived: u64,
+    join_probes: u64,
+) {
+    with_section(state, scc, |sec| {
+        sec.rule_firings += 1;
+        sec.solutions += solutions;
+        sec.facts_derived += derived;
+        sec.duplicates += solutions.saturating_sub(derived);
+        let label = label();
+        match sec.rules.iter_mut().find(|r| r.label == label) {
+            Some(r) => {
+                r.firings += 1;
+                r.solutions += solutions;
+                r.facts_derived += derived;
+                r.join_probes += join_probes;
+            }
+            None => sec.rules.push(RuleVersionStats {
+                label,
+                firings: 1,
+                solutions,
+                facts_derived: derived,
+                join_probes,
+            }),
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Rendering and JSON.
+// ---------------------------------------------------------------------
+
+impl EngineProfile {
+    /// Total fixpoint iterations across all sections.
+    pub fn iterations(&self) -> u64 {
+        self.sccs.iter().map(|s| s.iterations).sum()
+    }
+
+    /// The layer totals as `("layer.counter", value)` pairs, in the
+    /// same order as the JSON emitter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        flatten_totals(&self.totals)
+    }
+
+    /// Pretty-print the profile tree (the `.profile` REPL command).
+    pub fn render(&self) -> String {
+        let t = &self.totals;
+        let mut s = String::new();
+        let _ = writeln!(s, "profile: {}", self.query);
+        let _ = writeln!(
+            s,
+            "  wall: {}  answers: {}",
+            fmt_ns(self.wall_ns),
+            self.answers
+        );
+        let _ = writeln!(
+            s,
+            "  term: hashcons {} hits / {} misses, unify {} attempts ({} failed), bindenv {} frames",
+            t.term.hashcons_hits,
+            t.term.hashcons_misses,
+            t.term.unify_attempts,
+            t.term.unify_failures,
+            t.term.bindenv_allocs
+        );
+        let _ = writeln!(
+            s,
+            "  rel: {} index probes, {} full scans, {} mark advances",
+            t.rel.index_probes, t.rel.full_scans, t.rel.mark_advances
+        );
+        let _ = writeln!(
+            s,
+            "  storage: pool {} hits / {} misses / {} evictions, wal {} appends",
+            t.storage.pool_hits,
+            t.storage.pool_misses,
+            t.storage.pool_evictions,
+            t.storage.wal_appends
+        );
+        let _ = writeln!(
+            s,
+            "  core: {} join probes, {} get-next-tuple, os {} pushes (max depth {})",
+            t.core.join_probes,
+            t.core.get_next_tuple,
+            t.core.os_context_pushes,
+            t.core.os_max_context_depth
+        );
+        for sec in &self.sccs {
+            let _ = writeln!(
+                s,
+                "  scc {} [{}]: {} iterations, {} firings, {} derived (+{} dup), {}",
+                sec.scc,
+                sec.preds.join(", "),
+                sec.iterations,
+                sec.rule_firings,
+                sec.facts_derived,
+                sec.duplicates,
+                fmt_ns(sec.wall_ns)
+            );
+            for r in &sec.rules {
+                let _ = writeln!(
+                    s,
+                    "    rule {}: {} firings, {} solutions, {} derived, {} probes",
+                    r.label, r.firings, r.solutions, r.facts_derived, r.join_probes
+                );
+            }
+        }
+        s
+    }
+
+    /// Machine-readable JSON (no external dependency; see DESIGN.md for
+    /// the schema).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"query\": {},", json_string(&self.query));
+        let _ = writeln!(s, "  \"wall_ns\": {},", self.wall_ns);
+        let _ = writeln!(s, "  \"answers\": {},", self.answers);
+        s.push_str("  \"totals\": {");
+        for (i, (k, v)) in flatten_totals(&self.totals).iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {v}", json_string(k));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"sccs\": [");
+        for (i, sec) in self.sccs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            let _ = write!(s, "\"scc\": {}, \"preds\": [", sec.scc);
+            for (j, p) in sec.preds.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&json_string(p));
+            }
+            let _ = write!(
+                s,
+                "], \"iterations\": {}, \"rule_firings\": {}, \"solutions\": {}, \
+                 \"facts_derived\": {}, \"duplicates\": {}, \"wall_ns\": {}, \"rules\": [",
+                sec.iterations,
+                sec.rule_firings,
+                sec.solutions,
+                sec.facts_derived,
+                sec.duplicates,
+                sec.wall_ns
+            );
+            for (j, r) in sec.rules.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "\n      {{\"label\": {}, \"firings\": {}, \"solutions\": {}, \
+                     \"facts_derived\": {}, \"join_probes\": {}}}",
+                    json_string(&r.label),
+                    r.firings,
+                    r.solutions,
+                    r.facts_derived,
+                    r.join_probes
+                );
+            }
+            if !sec.rules.is_empty() {
+                s.push_str("\n    ");
+            }
+            s.push_str("]}");
+        }
+        if !self.sccs.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parse a profile back from [`EngineProfile::to_json`] output.
+    pub fn from_json(input: &str) -> Result<EngineProfile, String> {
+        let v = json::parse(input)?;
+        let obj = v.as_obj().ok_or("profile: expected an object")?;
+        let mut p = EngineProfile {
+            query: json::get_str(obj, "query")?,
+            wall_ns: json::get_u64(obj, "wall_ns")?,
+            answers: json::get_u64(obj, "answers")?,
+            ..EngineProfile::default()
+        };
+        let totals = json::get(obj, "totals")?
+            .as_obj()
+            .ok_or("totals: expected an object")?;
+        let mut flat: Vec<(String, u64)> = Vec::new();
+        for (k, v) in totals {
+            flat.push((k.clone(), v.as_u64().ok_or("totals: expected a number")?));
+        }
+        p.totals = unflatten_totals(&flat);
+        for sec_v in json::get(obj, "sccs")?
+            .as_arr()
+            .ok_or("sccs: expected an array")?
+        {
+            let so = sec_v.as_obj().ok_or("scc: expected an object")?;
+            let mut sec = SccSection {
+                scc: json::get_u64(so, "scc")? as usize,
+                iterations: json::get_u64(so, "iterations")?,
+                rule_firings: json::get_u64(so, "rule_firings")?,
+                solutions: json::get_u64(so, "solutions")?,
+                facts_derived: json::get_u64(so, "facts_derived")?,
+                duplicates: json::get_u64(so, "duplicates")?,
+                wall_ns: json::get_u64(so, "wall_ns")?,
+                ..SccSection::default()
+            };
+            for pv in json::get(so, "preds")?.as_arr().ok_or("preds: array")? {
+                sec.preds
+                    .push(pv.as_str().ok_or("pred: expected a string")?.to_string());
+            }
+            for rv in json::get(so, "rules")?.as_arr().ok_or("rules: array")? {
+                let ro = rv.as_obj().ok_or("rule: expected an object")?;
+                sec.rules.push(RuleVersionStats {
+                    label: json::get_str(ro, "label")?,
+                    firings: json::get_u64(ro, "firings")?,
+                    solutions: json::get_u64(ro, "solutions")?,
+                    facts_derived: json::get_u64(ro, "facts_derived")?,
+                    join_probes: json::get_u64(ro, "join_probes")?,
+                });
+            }
+            p.sccs.push(sec);
+        }
+        Ok(p)
+    }
+}
+
+fn unflatten_totals(flat: &[(String, u64)]) -> LayerTotals {
+    let get = |name: &str| {
+        flat.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    LayerTotals {
+        term: coral_term::profile::Counters {
+            hashcons_hits: get("term.hashcons_hits"),
+            hashcons_misses: get("term.hashcons_misses"),
+            unify_attempts: get("term.unify_attempts"),
+            unify_failures: get("term.unify_failures"),
+            bindenv_allocs: get("term.bindenv_allocs"),
+        },
+        rel: coral_rel::profile::Counters {
+            index_probes: get("rel.index_probes"),
+            full_scans: get("rel.full_scans"),
+            mark_advances: get("rel.mark_advances"),
+        },
+        storage: coral_storage::profile::Counters {
+            pool_hits: get("storage.pool_hits"),
+            pool_misses: get("storage.pool_misses"),
+            pool_evictions: get("storage.pool_evictions"),
+            wal_appends: get("storage.wal_appends"),
+        },
+        core: Counters {
+            join_probes: get("core.join_probes"),
+            get_next_tuple: get("core.get_next_tuple"),
+            os_context_pushes: get("core.os_context_pushes"),
+            os_max_context_depth: get("core.os_max_context_depth"),
+        },
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON reader — just enough to round-trip the profile (the
+/// workspace builds offline, so no serde).
+mod json {
+    pub enum Val {
+        Num(u64),
+        Str(String),
+        Arr(Vec<Val>),
+        Obj(Vec<(String, Val)>),
+    }
+
+    impl Val {
+        pub fn as_obj(&self) -> Option<&[(String, Val)]> {
+            match self {
+                Val::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Val]> {
+            match self {
+                Val::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Val::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Val::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, Val)], key: &str) -> Result<&'a Val, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    pub fn get_u64(obj: &[(String, Val)], key: &str) -> Result<u64, String> {
+        get(obj, key)?
+            .as_u64()
+            .ok_or_else(|| format!("{key}: expected a number"))
+    }
+
+    pub fn get_str(obj: &[(String, Val)], key: &str) -> Result<String, String> {
+        Ok(get(obj, key)?
+            .as_str()
+            .ok_or_else(|| format!("{key}: expected a string"))?
+            .to_string())
+    }
+
+    pub fn parse(input: &str) -> Result<Val, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b" \t\r\n".contains(b))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Val, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Val::Str(self.string()?)),
+                b'0'..=b'9' => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other as char, self.pos
+                )),
+            }
+        }
+
+        fn object(&mut self) -> Result<Val, String> {
+            self.expect(b'{')?;
+            let mut out = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Val::Obj(out));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                out.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Val::Obj(out));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}', got {:?} at byte {}",
+                            other as char, self.pos
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Val, String> {
+            self.expect(b'[')?;
+            let mut out = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Val::Arr(out));
+            }
+            loop {
+                out.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Val::Arr(out));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ']', got {:?} at byte {}",
+                            other as char, self.pos
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let e = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("bad \\u escape")?;
+                                self.pos += 4;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            }
+                            other => return Err(format!("bad escape \\{}", other as char)),
+                        }
+                    }
+                    _ => {
+                        // Re-walk UTF-8 from the byte position.
+                        let start = self.pos - 1;
+                        let rest = std::str::from_utf8(&self.bytes[start..])
+                            .map_err(|_| "invalid utf-8")?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos = start + c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Val, String> {
+            self.skip_ws();
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Val::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineProfile {
+        EngineProfile {
+            query: "path(0, Y)".into(),
+            wall_ns: 1_234_567,
+            answers: 42,
+            totals: LayerTotals {
+                term: coral_term::profile::Counters {
+                    hashcons_hits: 10,
+                    hashcons_misses: 5,
+                    unify_attempts: 100,
+                    unify_failures: 20,
+                    bindenv_allocs: 30,
+                },
+                rel: coral_rel::profile::Counters {
+                    index_probes: 50,
+                    full_scans: 2,
+                    mark_advances: 12,
+                },
+                storage: coral_storage::profile::Counters::default(),
+                core: Counters {
+                    join_probes: 200,
+                    get_next_tuple: 43,
+                    os_context_pushes: 0,
+                    os_max_context_depth: 0,
+                },
+            },
+            sccs: vec![SccSection {
+                scc: 0,
+                preds: vec!["path_bf".into(), "m_path_bf".into()],
+                iterations: 5,
+                rule_firings: 10,
+                solutions: 33,
+                facts_derived: 30,
+                duplicates: 3,
+                wall_ns: 500_000,
+                rules: vec![RuleVersionStats {
+                    label: "path_bf \"δ0\"".into(),
+                    firings: 5,
+                    solutions: 33,
+                    facts_derived: 30,
+                    join_probes: 120,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let p = sample();
+        let back = EngineProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn empty_profile_round_trips() {
+        let p = EngineProfile::default();
+        let back = EngineProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn render_shows_all_layers() {
+        let r = sample().render();
+        for needle in [
+            "profile:", "term:", "rel:", "storage:", "core:", "scc 0", "rule ",
+        ] {
+            assert!(r.contains(needle), "render missing {needle:?}:\n{r}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(EngineProfile::from_json("").is_err());
+        assert!(EngineProfile::from_json("{").is_err());
+        assert!(EngineProfile::from_json("[1, 2]").is_err());
+        assert!(EngineProfile::from_json("{\"query\": 3}").is_err());
+    }
+}

@@ -253,7 +253,12 @@ mod tests {
     use coral_lang::{parse_program, Adornment, RewriteKind};
 
     fn module_of(src: &str) -> Module {
-        parse_program(src).unwrap().modules().next().unwrap().clone()
+        parse_program(src)
+            .unwrap()
+            .modules()
+            .next()
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -280,7 +285,9 @@ mod tests {
         );
         // q's definition keeps the join on Y but projects it away.
         assert!(
-            texts.iter().any(|t| t.starts_with("q__ff(X) :- e(X, Y), f(Y).")),
+            texts
+                .iter()
+                .any(|t| t.starts_with("q__ff(X) :- e(X, Y), f(Y).")),
             "{texts:#?}"
         );
     }
@@ -309,7 +316,9 @@ mod tests {
         // Recursive rule survives with arity-1 path: the Z join column is
         // still live, only the output column vanished.
         assert!(
-            texts.iter().any(|t| t.starts_with("path__ff(X) :- edge(X, Y).")),
+            texts
+                .iter()
+                .any(|t| t.starts_with("path__ff(X) :- edge(X, Y).")),
             "{texts:#?}"
         );
         assert!(
@@ -336,7 +345,9 @@ mod tests {
         );
         let texts2: Vec<String> = rw2.module.rules.iter().map(rule_to_string).collect();
         assert!(
-            texts2.iter().any(|t| t.starts_with("path__ff(X, Y) :- path__ff(X, Z), edge(Z, Y).")),
+            texts2
+                .iter()
+                .any(|t| t.starts_with("path__ff(X, Y) :- path__ff(X, Z), edge(Z, Y).")),
             "{texts2:#?}"
         );
     }
@@ -358,7 +369,10 @@ mod tests {
             &[],
         );
         let texts: Vec<String> = rw.module.rules.iter().map(rule_to_string).collect();
-        assert!(texts.iter().any(|t| t.starts_with("q__ff(X, Y)")), "{texts:#?}");
+        assert!(
+            texts.iter().any(|t| t.starts_with("q__ff(X, Y)")),
+            "{texts:#?}"
+        );
     }
 
     #[test]

@@ -64,9 +64,7 @@ fn try_factor(module: &Module, pred: PredRef, adorn: &Adornment) -> Option<Rewri
             .body
             .iter()
             .enumerate()
-            .filter(|(_, item)| {
-                item.literal().map(|l| l.pred_ref()) == Some(qp)
-            })
+            .filter(|(_, item)| item.literal().map(|l| l.pred_ref()) == Some(qp))
             .map(|(i, _)| i)
             .collect();
         match recursive_positions.as_slice() {
@@ -246,11 +244,7 @@ fn try_factor(module: &Module, pred: PredRef, adorn: &Adornment) -> Option<Rewri
             .collect(),
     });
 
-    let origin = a
-        .original
-        .iter()
-        .map(|(r, (o, _))| (*r, *o))
-        .collect();
+    let origin = a.original.iter().map(|(r, (o, _))| (*r, *o)).collect();
     Some(Rewritten {
         module: out,
         answer_pred: qp,
@@ -273,7 +267,12 @@ mod tests {
     use coral_lang::pretty::rule_to_string;
 
     fn module_of(src: &str) -> Module {
-        parse_program(src).unwrap().modules().next().unwrap().clone()
+        parse_program(src)
+            .unwrap()
+            .modules()
+            .next()
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -284,7 +283,11 @@ mod tests {
              reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
              end_module.",
         );
-        let r = rewrite(&m, PredRef::new("reach", 2), &Adornment::parse("bf").unwrap());
+        let r = rewrite(
+            &m,
+            PredRef::new("reach", 2),
+            &Adornment::parse("bf").unwrap(),
+        );
         let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
         assert!(
             texts.contains(&"ctx_reach__bf(Z) :- ctx_reach__bf(X), edge(X, Z).".to_string()),
@@ -295,7 +298,9 @@ mod tests {
             "{texts:#?}"
         );
         assert!(
-            texts.iter().any(|t| t.starts_with("reach__bf(B0, F0) :- seed_reach__bf(B0)")),
+            texts
+                .iter()
+                .any(|t| t.starts_with("reach__bf(B0, F0) :- seed_reach__bf(B0)")),
             "{texts:#?}"
         );
         // No per-goal answer bookkeeping: the context carries only the
@@ -345,7 +350,11 @@ mod tests {
              reach(X, Y) :- edge(X, Z), reach(Z, Y).\n\
              end_module.",
         );
-        let r = rewrite(&m, PredRef::new("reach", 2), &Adornment::parse("ff").unwrap());
+        let r = rewrite(
+            &m,
+            PredRef::new("reach", 2),
+            &Adornment::parse("ff").unwrap(),
+        );
         assert!(r.seed.is_none());
     }
 }

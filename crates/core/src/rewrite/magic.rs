@@ -67,7 +67,6 @@ fn magic_literal(lit: &Literal, adorn: &Adornment, goal_id: bool) -> Literal {
     }
 }
 
-
 /// Renamed-to-original predicate map from the adorned module.
 fn origin_map(a: &AdornedModule) -> std::collections::HashMap<PredRef, PredRef> {
     a.original.iter().map(|(r, (o, _))| (*r, *o)).collect()
@@ -239,9 +238,8 @@ fn supplementary(a: AdornedModule, goal_id: bool) -> Rewritten {
 
         // sup_{ri,i} carries the bound vars available after consuming
         // body item i-1 that are still needed.
-        let sup_name = |i: usize| -> Symbol {
-            Symbol::intern(&format!("sup_{}_{}_{}", a.module.name, ri, i))
-        };
+        let sup_name =
+            |i: usize| -> Symbol { Symbol::intern(&format!("sup_{}_{}_{}", a.module.name, ri, i)) };
         let sup_vars = |i: usize, bounds_i: &HashSet<VarId>| -> Vec<VarId> {
             let mut vs: Vec<VarId> = bounds_i
                 .iter()
@@ -315,10 +313,7 @@ fn supplementary(a: AdornedModule, goal_id: bool) -> Rewritten {
             let vars = sup_vars(i + 1, &bounds[i + 1]);
             out.rules.push(Rule {
                 head: sup_lit(sup_name(i + 1), &vars),
-                body: vec![
-                    BodyItem::Literal(sup_lit(prev.0, &prev.1)),
-                    item.clone(),
-                ],
+                body: vec![BodyItem::Literal(sup_lit(prev.0, &prev.1)), item.clone()],
                 nvars: rule.nvars,
                 var_names: rule.var_names.clone(),
             });
@@ -361,7 +356,12 @@ mod tests {
     use coral_lang::pretty::rule_to_string;
 
     fn module_of(src: &str) -> Module {
-        parse_program(src).unwrap().modules().next().unwrap().clone()
+        parse_program(src)
+            .unwrap()
+            .modules()
+            .next()
+            .unwrap()
+            .clone()
     }
 
     fn ancestor() -> Module {
@@ -384,8 +384,9 @@ mod tests {
         let texts: Vec<String> = r.module.rules.iter().map(rule_to_string).collect();
         assert!(texts.contains(&"anc__bf(X, Y) :- m_anc__bf(X), par(X, Y).".to_string()));
         assert!(texts.contains(&"m_anc__bf(Z) :- m_anc__bf(X), par(X, Z).".to_string()));
-        assert!(texts
-            .contains(&"anc__bf(X, Y) :- m_anc__bf(X), par(X, Z), anc__bf(Z, Y).".to_string()));
+        assert!(
+            texts.contains(&"anc__bf(X, Y) :- m_anc__bf(X), par(X, Z), anc__bf(Z, Y).".to_string())
+        );
         let seed = r.seed.unwrap();
         assert_eq!(seed.pred.name.as_str(), "m_anc__bf");
         assert_eq!(seed.bound_positions, vec![0]);
@@ -409,7 +410,9 @@ mod tests {
             "{texts:#?}"
         );
         assert!(
-            texts.iter().any(|t| t.starts_with("m_anc__bf(Z) :- sup_anc_1_1")),
+            texts
+                .iter()
+                .any(|t| t.starts_with("m_anc__bf(Z) :- sup_anc_1_1")),
             "{texts:#?}"
         );
         assert!(

@@ -90,7 +90,10 @@ pub fn scan_to_iter(scan: Box<dyn AnswerScan>) -> TupleIter {
             }
         }
     }
-    Box::new(Adapter { scan, failed: false })
+    Box::new(Adapter {
+        scan,
+        failed: false,
+    })
 }
 
 /// Drain a scan into a vector (tests and small callers).

@@ -29,9 +29,7 @@ use crate::compile::{CompiledModule, CompiledScc, SnVersion};
 use crate::error::{EvalError, EvalResult};
 use crate::join::{eval_rule, resolve_head, ExternalResolver, JoinCtx, LocalRels, Ranges};
 use coral_lang::{FixpointKind, PredRef};
-use coral_rel::{
-    AggregateSelection, DupSemantics, HashRelation, IndexSpec, Mark, Relation,
-};
+use coral_rel::{AggregateSelection, DupSemantics, HashRelation, IndexSpec, Mark, Relation};
 use coral_term::bindenv::EnvSet;
 use coral_term::Tuple;
 use std::collections::{HashMap, HashSet};
@@ -99,7 +97,18 @@ pub struct FixpointState {
     naive_done: Vec<bool>,
     /// Statistics.
     pub stats: FixpointStats,
+    /// Identity for the profiler's per-SCC sections (distinguishes
+    /// nested module calls within one collected profile).
+    profile_id: u64,
     envs: EnvSet,
+}
+
+/// Label of one semi-naive rule version for the profile's per-rule rows.
+fn rule_version_label(rule: &crate::compile::CompiledRule, version: &SnVersion) -> String {
+    match version.delta_idx {
+        Some(d) => format!("{} δ{d}", rule.head.pred_ref()),
+        None => format!("{} (non-delta)", rule.head.pred_ref()),
+    }
 }
 
 impl FixpointState {
@@ -145,6 +154,7 @@ impl FixpointState {
             agg_done,
             naive_done,
             stats: FixpointStats::default(),
+            profile_id: crate::profile::new_state_id(),
             envs: EnvSet::new(),
         })
     }
@@ -299,11 +309,22 @@ impl FixpointState {
         external: &dyn ExternalResolver,
     ) -> EvalResult<()> {
         self.stats.iterations += 1;
-        match self.strategy {
+        let timed = crate::profile::collecting();
+        if timed {
+            crate::profile::scc_iteration(self.profile_id, scc_idx, || {
+                scc.preds.iter().map(|p| p.to_string()).collect()
+            });
+        }
+        let t0 = timed.then(std::time::Instant::now);
+        let r = match self.strategy {
             Strategy::Naive => self.iterate_naive(scc_idx, scc, external),
             Strategy::Bsn => self.iterate_bsn(scc_idx, scc, external),
             Strategy::Psn => self.iterate_psn(scc_idx, scc, external),
+        };
+        if let Some(t0) = t0 {
+            crate::profile::scc_time(self.profile_id, scc_idx, t0.elapsed().as_nanos() as u64);
         }
+        r
     }
 
     fn eval_rule_versions(
@@ -341,6 +362,12 @@ impl FixpointState {
                     }
                 }
                 self.stats.rule_firings += 1;
+                let collecting = crate::profile::collecting();
+                let probes_before = if collecting {
+                    crate::profile::snapshot().join_probes
+                } else {
+                    0
+                };
                 let head_rel = Rc::clone(self.locals.require(rule.head.pred_ref()));
                 let ctx = JoinCtx {
                     locals: &self.locals,
@@ -360,6 +387,19 @@ impl FixpointState {
                 })?;
                 self.stats.facts_derived += derived;
                 self.stats.solutions += solutions;
+                if collecting {
+                    let probes = crate::profile::snapshot()
+                        .join_probes
+                        .saturating_sub(probes_before);
+                    crate::profile::scc_rule(
+                        self.profile_id,
+                        scc_idx,
+                        || rule_version_label(rule, &version),
+                        solutions,
+                        derived,
+                        probes,
+                    );
+                }
             }
         }
         Ok(())
@@ -467,10 +507,26 @@ impl FixpointState {
                 Ok(())
             })?;
             self.stats.facts_derived += derived;
+            if crate::profile::collecting() {
+                crate::profile::scc_rule(
+                    self.profile_id,
+                    scc_idx,
+                    || format!("{} (aggregate)", rule.head.pred_ref()),
+                    derived,
+                    derived,
+                    0,
+                );
+            }
         }
         // Aggregates may feed later rules of *this* SCC only in
         // unstratified programs, which compile rejected; nothing to redo.
         Ok(())
+    }
+
+    /// The profiler identity of this state (sections of nested module
+    /// calls stay separate in one collected profile).
+    pub fn profile_id(&self) -> u64 {
+        self.profile_id
     }
 
     /// Reset aggregate bookkeeping for re-entrant runs that must not

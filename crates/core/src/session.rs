@@ -122,6 +122,26 @@ impl Session {
         &self.engine
     }
 
+    /// Enable or disable engine-wide profiling: every subsequent
+    /// module call collects an [`crate::profile::EngineProfile`]
+    /// retrievable via [`Session::last_profile`]. Equivalent to the
+    /// `@profile` module annotation, but session-wide.
+    pub fn set_profiling(&self, on: bool) {
+        self.engine.set_profiling(on);
+    }
+
+    /// Whether session-wide profiling is on.
+    pub fn profiling(&self) -> bool {
+        self.engine.profiling()
+    }
+
+    /// The profile of the most recently completed profiled query, if
+    /// any. Profiles are collected when session-wide profiling is on or
+    /// the queried module carries `@profile`.
+    pub fn last_profile(&self) -> Option<crate::profile::EngineProfile> {
+        self.engine.last_profile()
+    }
+
     /// Consult program text: load facts, modules and annotations in
     /// order; embedded queries are evaluated eagerly and their answers
     /// returned in order of appearance.
@@ -182,7 +202,11 @@ impl Session {
 
     /// Open (creating if needed) a persistent base relation and register
     /// it under `name/arity`.
-    pub fn create_persistent(&self, name: &str, arity: usize) -> EvalResult<Rc<PersistentRelation>> {
+    pub fn create_persistent(
+        &self,
+        name: &str,
+        arity: usize,
+    ) -> EvalResult<Rc<PersistentRelation>> {
         let storage = self.storage.borrow().clone().ok_or_else(|| {
             EvalError::ModuleProtocol("no storage attached; call attach_storage first".into())
         })?;
@@ -195,10 +219,7 @@ impl Session {
     /// Explain why a ground fact holds: returns a well-founded
     /// derivation tree (the paper's Explanation tool), or `None` if the
     /// fact is not derivable. E.g. `session.explain_fact("path(1, 3)")`.
-    pub fn explain_fact(
-        &self,
-        fact: &str,
-    ) -> EvalResult<Option<crate::explain::Derivation>> {
+    pub fn explain_fact(&self, fact: &str) -> EvalResult<Option<crate::explain::Derivation>> {
         let q = coral_lang::parse_query(fact)?;
         crate::explain::explain_fact(&self.engine, &q.literal)
     }

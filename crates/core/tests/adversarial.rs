@@ -39,16 +39,14 @@ fn deep_recursion_materialized() {
 fn zero_arity_exports() {
     let s = Session::new();
     s.consult_str("raining.").unwrap();
-    s.consult_str(
-        "module w.\nexport umbrella(). \numbrella :- raining.\nend_module.",
-    )
-    .unwrap_or_else(|_| {
-        // Zero-arity export syntax may be spelled without parens; accept
-        // the module via implicit exports instead.
-        s.consult_str("module w2.\numbrella :- raining.\nend_module.")
-            .unwrap();
-        Vec::new()
-    });
+    s.consult_str("module w.\nexport umbrella(). \numbrella :- raining.\nend_module.")
+        .unwrap_or_else(|_| {
+            // Zero-arity export syntax may be spelled without parens; accept
+            // the module via implicit exports instead.
+            s.consult_str("module w2.\numbrella :- raining.\nend_module.")
+                .unwrap();
+            Vec::new()
+        });
     assert_eq!(answers(&s, "umbrella"), vec!["yes"]);
 }
 
@@ -114,10 +112,8 @@ fn self_join_heavy_dedup() {
 fn query_on_agg_output_is_post_filtered() {
     let s = Session::new();
     s.consult_str("v(g1, 5). v(g1, 9). v(g2, 3).").unwrap();
-    s.consult_str(
-        "module m.\nexport top(bb).\ntop(G, max(X)) :- v(G, X).\nend_module.",
-    )
-    .unwrap();
+    s.consult_str("module m.\nexport top(bb).\ntop(G, max(X)) :- v(G, X).\nend_module.")
+        .unwrap();
     // Binding the aggregate output column is a post-selection (the
     // adornment demotes it to free internally).
     assert_eq!(answers(&s, "top(g1, 9)"), vec!["yes"]);
@@ -171,10 +167,8 @@ fn duplicate_rule_definitions_are_idempotent() {
 fn arith_division_errors_surface() {
     let s = Session::new();
     s.consult_str("n(0). n(2).").unwrap();
-    s.consult_str(
-        "module m.\nexport inv(ff).\ninv(X, Y) :- n(X), Y = 10 / X.\nend_module.",
-    )
-    .unwrap();
+    s.consult_str("module m.\nexport inv(ff).\ninv(X, Y) :- n(X), Y = 10 / X.\nend_module.")
+        .unwrap();
     assert!(matches!(
         s.query_all("inv(X, Y)").unwrap_err(),
         EvalError::Arith(_)

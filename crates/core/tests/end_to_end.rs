@@ -18,7 +18,8 @@ fn answers(session: &Session, q: &str) -> Vec<String> {
 #[test]
 fn base_relation_queries() {
     let s = Session::new();
-    s.consult_str("edge(1, 2). edge(2, 3). edge(1, 3).").unwrap();
+    s.consult_str("edge(1, 2). edge(2, 3). edge(1, 3).")
+        .unwrap();
     assert_eq!(answers(&s, "edge(1, X)"), vec!["X = 2", "X = 3"]);
     assert_eq!(answers(&s, "edge(X, 3)"), vec!["X = 1", "X = 2"]);
     assert_eq!(answers(&s, "edge(1, 2)"), vec!["yes"]);
@@ -46,7 +47,11 @@ fn transitive_closure_all_strategies() {
             "rewrite={rewrite}"
         );
         assert_eq!(answers(&s, "path(X, Y)").len(), 8, "rewrite={rewrite}");
-        assert_eq!(answers(&s, "path(3, Y)"), vec!["Y = 4"], "rewrite={rewrite}");
+        assert_eq!(
+            answers(&s, "path(3, Y)"),
+            vec!["Y = 4"],
+            "rewrite={rewrite}"
+        );
     }
 }
 
@@ -147,15 +152,27 @@ end_module.
     let got = answers(&s, "s_p(a, Y, P, C)");
     // Shortest costs from a: b=2, c=5 (a-b-c), d=7 (a-b-c-d).
     assert_eq!(got.len(), 4, "{got:?}"); // b, c, d, and a itself via cycle a-b-c-a cost 6
-    assert!(got.iter().any(|a| a.contains("Y = b") && a.contains("C = 2")), "{got:?}");
+    assert!(
+        got.iter()
+            .any(|a| a.contains("Y = b") && a.contains("C = 2")),
+        "{got:?}"
+    );
     assert!(
         got.iter().any(|a| a.contains("Y = c")
             && a.contains("C = 5")
             && a.contains("P = [edge(b, c), edge(a, b)]")),
         "{got:?}"
     );
-    assert!(got.iter().any(|a| a.contains("Y = d") && a.contains("C = 7")), "{got:?}");
-    assert!(got.iter().any(|a| a.contains("Y = a") && a.contains("C = 6")), "{got:?}");
+    assert!(
+        got.iter()
+            .any(|a| a.contains("Y = d") && a.contains("C = 7")),
+        "{got:?}"
+    );
+    assert!(
+        got.iter()
+            .any(|a| a.contains("Y = a") && a.contains("C = 6")),
+        "{got:?}"
+    );
 }
 
 #[test]
@@ -310,7 +327,11 @@ fn save_module_retains_state_and_rejects_recursion() {
     let after_first = derived(&mdef);
     // Repeat: answered from the saved state, nothing new derived.
     assert_eq!(answers(&s, "path(20, Y)").len(), 10);
-    assert_eq!(derived(&mdef), after_first, "repeat call derived nothing new");
+    assert_eq!(
+        derived(&mdef),
+        after_first,
+        "repeat call derived nothing new"
+    );
     // A wider query adds only the missing subgoals' work; the shared
     // suffix 20..30 is reused, and the earlier answers remain available.
     assert_eq!(answers(&s, "path(0, Y)").len(), 30);
@@ -318,7 +339,11 @@ fn save_module_retains_state_and_rejects_recursion() {
     assert!(after_second > after_first, "new subquery adds some work");
     // Covered subquery: everything already derived.
     assert_eq!(answers(&s, "path(10, Y)").len(), 20);
-    assert_eq!(derived(&mdef), after_second, "covered subquery fully reused");
+    assert_eq!(
+        derived(&mdef),
+        after_second,
+        "covered subquery fully reused"
+    );
 }
 
 #[test]
@@ -466,7 +491,8 @@ fn builtins_in_rules() {
 fn nonground_facts_unify_with_queries() {
     let s = Session::new();
     // likes(X, pizza): everyone likes pizza.
-    s.consult_str("likes(X, pizza). likes(mary, fish).").unwrap();
+    s.consult_str("likes(X, pizza). likes(mary, fish).")
+        .unwrap();
     let got = answers(&s, "likes(mary, W)");
     assert_eq!(got, vec!["W = fish", "W = pizza"]);
     // The universal fact answers for any first argument.
@@ -598,10 +624,8 @@ fn builtin_library_predicates() {
 #[test]
 fn builtin_misuse_reports_unsafe() {
     let s = Session::new();
-    s.consult_str(
-        "module lib.\nexport bad(f).\nbad(X) :- between(X, 5, 3).\nend_module.\n",
-    )
-    .unwrap();
+    s.consult_str("module lib.\nexport bad(f).\nbad(X) :- between(X, 5, 3).\nend_module.\n")
+        .unwrap();
     assert!(matches!(
         s.query_all("bad(X)").unwrap_err(),
         EvalError::Unsafe(_)
@@ -722,7 +746,8 @@ fn top_level_annotations_on_base_relations() {
 #[test]
 fn lazy_save_and_psn_compose_with_negation() {
     let s = Session::new();
-    s.consult_str("node(1). node(2). node(3). edge(1, 2).").unwrap();
+    s.consult_str("node(1). node(2). node(3). edge(1, 2).")
+        .unwrap();
     s.consult_str(
         "module m.\nexport lonely(f).\n@psn.\n@lazy.\n\
          linked(X) :- edge(X, _).\n\
@@ -738,16 +763,12 @@ fn lazy_save_and_psn_compose_with_negation() {
 fn module_redefinition_takes_effect() {
     let s = Session::new();
     s.consult_str("e(1, 2).").unwrap();
-    s.consult_str(
-        "module v1. export p(f).\np(X) :- e(X, _).\nend_module.",
-    )
-    .unwrap();
+    s.consult_str("module v1. export p(f).\np(X) :- e(X, _).\nend_module.")
+        .unwrap();
     assert_eq!(answers(&s, "p(X)"), vec!["X = 1"]);
     // Reload with a different definition: the newest export wins.
-    s.consult_str(
-        "module v2. export p(f).\np(X) :- e(_, X).\nend_module.",
-    )
-    .unwrap();
+    s.consult_str("module v2. export p(f).\np(X) :- e(_, X).\nend_module.")
+        .unwrap();
     assert_eq!(answers(&s, "p(X)"), vec!["X = 2"]);
 }
 
@@ -770,10 +791,8 @@ fn bignum_arithmetic_in_programs() {
 #[test]
 fn string_and_double_comparisons_in_rules() {
     let s = Session::new();
-    s.consult_str(
-        "city(madison, 0.27). city(chicago, 2.7). city(aurora, 0.18).\n",
-    )
-    .unwrap();
+    s.consult_str("city(madison, 0.27). city(chicago, 2.7). city(aurora, 0.18).\n")
+        .unwrap();
     s.consult_str(
         "module m.\nexport big_city(ff).\nexport after(bf).\n\
          big_city(C, P) :- city(C, P), P >= 0.25.\n\
@@ -785,7 +804,10 @@ fn string_and_double_comparisons_in_rules() {
         answers(&s, "big_city(C, P)"),
         vec!["C = chicago, P = 2.7", "C = madison, P = 0.27"]
     );
-    assert_eq!(answers(&s, "after(aurora, C)"), vec!["C = chicago", "C = madison"]);
+    assert_eq!(
+        answers(&s, "after(aurora, C)"),
+        vec!["C = chicago", "C = madison"]
+    );
 }
 
 #[test]
@@ -826,10 +848,8 @@ fn derived_nonground_heads() {
     let s = Session::new();
     // t(X) holds for every X (via the non-ground base fact).
     s.consult_str("u(X, X).").unwrap();
-    s.consult_str(
-        "module m.\nexport t(f).\nt(Y) :- u(Y, _).\nend_module.\n",
-    )
-    .unwrap();
+    s.consult_str("module m.\nexport t(f).\nt(Y) :- u(Y, _).\nend_module.\n")
+        .unwrap();
     // The derived relation contains the non-ground fact t(V0); a ground
     // query instantiates it.
     assert_eq!(answers(&s, "t(42)"), vec!["yes"]);
@@ -858,11 +878,7 @@ fn complex_terms_propagate_through_magic() {
         .unwrap();
         assert_eq!(
             answers(&s, "route(point(0, 0), B)"),
-            vec![
-                "B = point(0, 1)",
-                "B = point(1, 1)",
-                "B = point(2, 1)"
-            ],
+            vec!["B = point(0, 1)", "B = point(1, 1)", "B = point(2, 1)"],
             "rewrite={rw}"
         );
     }
@@ -873,7 +889,11 @@ fn user_index_annotations_inside_modules() {
     let s = Session::new();
     let mut facts = String::new();
     for i in 0..50 {
-        facts.push_str(&format!("emp(name{}, addr(street{i}, city{})).\n", i % 10, i % 5));
+        facts.push_str(&format!(
+            "emp(name{}, addr(street{i}, city{})).\n",
+            i % 10,
+            i % 5
+        ));
     }
     s.consult_str(&facts).unwrap();
     // §5.5.1's pattern index, declared inside a module on a base
@@ -929,7 +949,8 @@ fn reorder_joins_preserves_results_and_helps() {
 #[test]
 fn reorder_joins_respects_negation_barriers() {
     let s = Session::new();
-    s.consult_str("a(1). a(2). blocked(2). b(1). b(2).").unwrap();
+    s.consult_str("a(1). a(2). blocked(2). b(1). b(2).")
+        .unwrap();
     s.consult_str(
         "module m.\nexport ok(f).\n@reorder_joins.\n\
          ok(X) :- a(X), not blocked(X), b(X).\n\
@@ -961,7 +982,8 @@ fn ordered_search_rejects_cyclic_negation() {
 fn ordered_search_shared_subgoals() {
     // Two parents share a losing child: its done-mark must serve both.
     let s = Session::new();
-    s.consult_str("move(a, c). move(b, c). move(c, d).").unwrap();
+    s.consult_str("move(a, c). move(b, c). move(c, d).")
+        .unwrap();
     s.consult_str(
         "module game.\nexport win(b).\n@ordered_search.\n\
          win(X) :- move(X, Y), not win(Y).\nend_module.\n",

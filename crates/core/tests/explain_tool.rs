@@ -36,7 +36,10 @@ fn recursive_fact_has_well_founded_tree() {
     assert!(text.contains("edge(2, 3)   (base)"), "{text}");
     assert!(text.contains("edge(3, 4)   (base)"), "{text}");
     // The recursive rule is displayed with original predicate names.
-    assert!(text.contains("path(X, Y) :- edge(X, Z), path(Z, Y)."), "{text}");
+    assert!(
+        text.contains("path(X, Y) :- edge(X, Z), path(Z, Y)."),
+        "{text}"
+    );
     // Depth: path(1,4) -> path(2,4) -> path(3,4) -> edge.
     assert!(text.contains("path(2, 4)"), "{text}");
     assert!(text.contains("path(3, 4)"), "{text}");
@@ -69,7 +72,7 @@ fn cyclic_data_still_yields_well_founded_proof() {
     assert!(text.contains("path(b, a)"), "{text}");
     assert!(text.contains("edge(b, a)   (base)"), "{text}");
     // No self-citation below the root.
-    let below_root = text.splitn(2, '\n').nth(1).unwrap();
+    let below_root = text.split_once('\n').unwrap().1;
     assert!(!below_root.contains("path(a, a)"), "{text}");
 }
 

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Differential property tests for the engine: every evaluation strategy
 //! must agree, and declarative results must match straight-line Rust.
 

@@ -18,7 +18,8 @@ fn answers(s: &Session, q: &str) -> Vec<String> {
 #[test]
 fn save_module_separates_states_per_query_form() {
     let s = Session::new();
-    s.consult_str("edge(1, 2). edge(2, 3). edge(9, 2).").unwrap();
+    s.consult_str("edge(1, 2). edge(2, 3). edge(9, 2).")
+        .unwrap();
     s.consult_str(
         "module tc. export path(bf, fb).\n@save_module.\n\
          path(X, Y) :- edge(X, Y).\n\
@@ -99,5 +100,8 @@ fn repeated_compilation_is_cached() {
         let src = 100 - (i % 10) - 1;
         assert!(!answers(&s, &format!("path({src}, Y)")).is_empty());
     }
-    assert!(t0.elapsed().as_secs() < 30, "caching keeps repeat queries cheap");
+    assert!(
+        t0.elapsed().as_secs() < 30,
+        "caching keeps repeat queries cheap"
+    );
 }

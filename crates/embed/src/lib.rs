@@ -265,10 +265,9 @@ impl RelHandle {
     /// positions). The relation may be base, module-defined or computed:
     /// the scan interface is uniform (§5.6).
     pub fn open_scan(&self, pattern: Vec<Term>) -> EvalResult<ScanDesc> {
-        let lit = coral_lang::pretty::term_to_string(
-            &Term::app(self.pred.name, pattern),
-            &|v| format!("V{}", v.0),
-        );
+        let lit = coral_lang::pretty::term_to_string(&Term::app(self.pred.name, pattern), &|v| {
+            format!("V{}", v.0)
+        });
         self.db.query(&lit)
     }
 }
@@ -427,7 +426,7 @@ mod tests {
     fn computed_relation_rejects_mutation() {
         let db = CoralDb::new();
         db.define_predicate("pi", 1, |_| {
-            Ok(vec![Tuple::new(vec![Term::double(3.14)])])
+            Ok(vec![Tuple::new(vec![Term::double(std::f64::consts::PI)])])
         });
         let h = db.relation("pi", 1);
         assert!(h.insert(args![1]).is_err());

@@ -306,6 +306,9 @@ pub enum Annotation {
     /// most-bound-first; CORAL's default keeps the user's left-to-right
     /// order ("more generally, in a user specified order", §5.6).
     ReorderJoins,
+    /// `@profile.` — collect an `EngineProfile` (per-layer counters and
+    /// per-SCC fixpoint sections) for every call into this module.
+    Profile,
     /// `@multiset p/2.` — multiset semantics for one predicate (§4.2).
     Multiset(PredRef),
     /// `@aggregate_selection p(X,Y,P,C) (X,Y) min(C).` (§5.5.2). The

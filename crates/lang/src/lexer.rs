@@ -301,9 +301,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
             }
             c if c.is_ascii_lowercase() => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -315,9 +313,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
             }
             c if c.is_ascii_uppercase() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 push!(Tok::Var(src[start..i].to_string()));
@@ -434,35 +430,61 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("1 1.5 2.0e3 123456789012345678901234567890"), vec![
-            Tok::Int(1),
-            Tok::Double(1.5),
-            Tok::Double(2000.0),
-            Tok::Big("123456789012345678901234567890".parse().unwrap()),
-        ]);
+        assert_eq!(
+            toks("1 1.5 2.0e3 123456789012345678901234567890"),
+            vec![
+                Tok::Int(1),
+                Tok::Double(1.5),
+                Tok::Double(2000.0),
+                Tok::Big("123456789012345678901234567890".parse().unwrap()),
+            ]
+        );
     }
 
     #[test]
     fn float_vs_clause_dot() {
         // "1." is a clause-ending dot after the integer 1.
-        assert_eq!(toks("f(1). g(1.5)."), vec![
-            Tok::Atom("f".into()), Tok::LParen, Tok::Int(1), Tok::RParen, Tok::Dot,
-            Tok::Atom("g".into()), Tok::LParen, Tok::Double(1.5), Tok::RParen, Tok::Dot,
-        ]);
+        assert_eq!(
+            toks("f(1). g(1.5)."),
+            vec![
+                Tok::Atom("f".into()),
+                Tok::LParen,
+                Tok::Int(1),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Atom("g".into()),
+                Tok::LParen,
+                Tok::Double(1.5),
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
     }
 
     #[test]
     fn lists_and_bars() {
-        assert_eq!(toks("[X | T]"), vec![
-            Tok::LBracket, Tok::Var("X".into()), Tok::Bar, Tok::Var("T".into()), Tok::RBracket
-        ]);
+        assert_eq!(
+            toks("[X | T]"),
+            vec![
+                Tok::LBracket,
+                Tok::Var("X".into()),
+                Tok::Bar,
+                Tok::Var("T".into()),
+                Tok::RBracket
+            ]
+        );
     }
 
     #[test]
     fn comments_ignored() {
         assert_eq!(
             toks("a. % comment here\n/* block\ncomment */ b."),
-            vec![Tok::Atom("a".into()), Tok::Dot, Tok::Atom("b".into()), Tok::Dot]
+            vec![
+                Tok::Atom("a".into()),
+                Tok::Dot,
+                Tok::Atom("b".into()),
+                Tok::Dot
+            ]
         );
     }
 
@@ -509,12 +531,19 @@ mod tests {
     fn anonymous_and_named_vars() {
         assert_eq!(
             toks("_ _X Abc"),
-            vec![Tok::Var("_".into()), Tok::Var("_X".into()), Tok::Var("Abc".into())]
+            vec![
+                Tok::Var("_".into()),
+                Tok::Var("_X".into()),
+                Tok::Var("Abc".into())
+            ]
         );
     }
 
     #[test]
     fn mod_is_an_operator() {
-        assert_eq!(toks("X mod 2"), vec![Tok::Var("X".into()), Tok::Op("mod"), Tok::Int(2)]);
+        assert_eq!(
+            toks("X mod 2"),
+            vec![Tok::Var("X".into()), Tok::Op("mod"), Tok::Int(2)]
+        );
     }
 }

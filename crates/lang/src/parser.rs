@@ -353,6 +353,7 @@ impl Parser {
             "no_intelligent_backtracking" => Annotation::NoIntelligentBacktracking,
             "no_auto_index" => Annotation::NoAutoIndex,
             "reorder_joins" => Annotation::ReorderJoins,
+            "profile" => Annotation::Profile,
             "rewrite" => {
                 let which = self.expect_atom()?;
                 let kind = match which.as_str() {
@@ -428,11 +429,10 @@ impl Parser {
             }
         }
         let fname = self.expect_atom()?;
-        let agg = AggFn::from_name(&fname)
-            .ok_or_else(|| ParseError {
-                message: format!("unknown aggregate function {fname:?}"),
-                line: self.line(),
-            })?;
+        let agg = AggFn::from_name(&fname).ok_or_else(|| ParseError {
+            message: format!("unknown aggregate function {fname:?}"),
+            line: self.line(),
+        })?;
         self.expect(&Tok::LParen)?;
         let agg_var = match self.next() {
             Some(Tok::Var(v)) => Symbol::intern(&v),
@@ -571,7 +571,8 @@ impl Parser {
                 }
                 Some(Tok::QueryPrefix) => {
                     self.pos += 1;
-                    prog.items.push(ProgramItem::Query(self.parse_query_body()?));
+                    prog.items
+                        .push(ProgramItem::Query(self.parse_query_body()?));
                 }
                 Some(Tok::Atom(s)) if s == "module" && self.peek2() != Some(&Tok::LParen) => {
                     self.pos += 1;
@@ -660,14 +661,13 @@ mod tests {
 
     #[test]
     fn var_numbering_first_occurrence() {
-        let prog = parse_program(
-            "module m. p(Y, X) :- q(X, Y, X). end_module.",
-        )
-        .unwrap();
+        let prog = parse_program("module m. p(Y, X) :- q(X, Y, X). end_module.").unwrap();
         let r = &prog.modules().next().unwrap().rules[0];
         // Y=V0, X=V1.
         assert_eq!(r.head.args, vec![Term::var(0), Term::var(1)]);
-        let BodyItem::Literal(q) = &r.body[0] else { panic!() };
+        let BodyItem::Literal(q) = &r.body[0] else {
+            panic!()
+        };
         assert_eq!(q.args, vec![Term::var(1), Term::var(0), Term::var(1)]);
     }
 
@@ -686,11 +686,22 @@ mod tests {
         .unwrap();
         let r = &prog.modules().next().unwrap().rules[0];
         assert_eq!(r.body.len(), 4);
-        assert!(matches!(&r.body[1], BodyItem::Compare { op: CmpOp::Unify, .. }));
-        assert!(matches!(&r.body[2], BodyItem::Compare { op: CmpOp::Lt, .. }));
+        assert!(matches!(
+            &r.body[1],
+            BodyItem::Compare {
+                op: CmpOp::Unify,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &r.body[2],
+            BodyItem::Compare { op: CmpOp::Lt, .. }
+        ));
         assert!(matches!(&r.body[3], BodyItem::Negated(l) if l.pred == Symbol::intern("r")));
         // Arithmetic parsed into functor terms.
-        let BodyItem::Compare { rhs, .. } = &r.body[1] else { panic!() };
+        let BodyItem::Compare { rhs, .. } = &r.body[1] else {
+            panic!()
+        };
         assert_eq!(rhs.to_string(), "\"+\"(V2, 1)");
     }
 
@@ -765,10 +776,8 @@ end_module.
 
     #[test]
     fn make_index_annotation() {
-        let prog = parse_program(
-            "@make_index emp(Name, addr(Street, City)) (Name, City).",
-        )
-        .unwrap();
+        let prog =
+            parse_program("@make_index emp(Name, addr(Street, City)) (Name, City).").unwrap();
         match &prog.items[0] {
             ProgramItem::Annotation(Annotation::MakeIndex {
                 pred,
@@ -830,11 +839,20 @@ end_module.
     fn errors_are_reported_with_lines() {
         let err = parse_program("module m.\np(X) :- .\nend_module.").unwrap_err();
         assert_eq!(err.line, 2);
-        assert!(parse_program("p(X) :- q(X).").is_err(), "top-level rules rejected");
+        assert!(
+            parse_program("p(X) :- q(X).").is_err(),
+            "top-level rules rejected"
+        );
         assert!(parse_program("module m. export p(bx). end_module.").is_err());
         assert!(parse_program("module m. @rewrite bogus. end_module.").is_err());
-        assert!(parse_program("module m. p(1). ").is_err(), "missing end_module");
-        assert!(parse_query("?- p(X), q(X).").is_err(), "conjunctive queries unsupported");
+        assert!(
+            parse_program("module m. p(1). ").is_err(),
+            "missing end_module"
+        );
+        assert!(
+            parse_query("?- p(X), q(X).").is_err(),
+            "conjunctive queries unsupported"
+        );
     }
 
     #[test]

@@ -171,6 +171,7 @@ fn annotation_to_string(a: &Annotation) -> String {
         Annotation::NoIntelligentBacktracking => "@no_intelligent_backtracking.".into(),
         Annotation::NoAutoIndex => "@no_auto_index.".into(),
         Annotation::ReorderJoins => "@reorder_joins.".into(),
+        Annotation::Profile => "@profile.".into(),
         Annotation::Multiset(p) => format!("@multiset {}/{}.", p.name, p.arity),
         Annotation::AggregateSelection {
             pred,
@@ -196,7 +197,10 @@ fn annotation_to_string(a: &Annotation) -> String {
             key_vars,
         } => {
             let name_of = |v: VarId| format!("V{}", v.0);
-            let pat: Vec<String> = pattern.iter().map(|t| term_to_string(t, &name_of)).collect();
+            let pat: Vec<String> = pattern
+                .iter()
+                .map(|t| term_to_string(t, &name_of))
+                .collect();
             let keys: Vec<String> = key_vars.iter().map(|v| format!("V{}", v.0)).collect();
             format!(
                 "@make_index {}({}) ({}).",

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property tests: pretty-printing a parsed program re-parses to the
 //! same AST (printing is a retraction of parsing).
 
@@ -38,7 +40,11 @@ fn clause_src() -> impl Strategy<Value = String> {
             proptest::collection::vec(term_src(), 1..3),
         )
             .prop_map(|(n, a)| format!("{n}({})", a.join(", "))),
-        (term_src(), prop_oneof![Just("<"), Just(">="), Just("=")], term_src())
+        (
+            term_src(),
+            prop_oneof![Just("<"), Just(">="), Just("=")],
+            term_src()
+        )
             .prop_map(|(l, op, r)| format!("{l} {op} {r}")),
         (
             prop_oneof![Just("p"), Just("q")],

@@ -53,9 +53,8 @@ impl Database {
 
     /// Look up `name/arity` or fail.
     pub fn require(&self, name: Symbol, arity: usize) -> RelResult<Rc<dyn Relation>> {
-        self.get(name, arity).ok_or_else(|| {
-            RelError::BadIndex(format!("unknown relation {}/{arity}", name))
-        })
+        self.get(name, arity)
+            .ok_or_else(|| RelError::BadIndex(format!("unknown relation {}/{arity}", name)))
     }
 
     /// Remove a relation; returns it if present.
@@ -81,7 +80,8 @@ mod tests {
         let db = Database::new();
         let edge = Symbol::intern("edge");
         let r = db.get_or_create(edge, 2);
-        r.insert(Tuple::new(vec![Term::int(1), Term::int(2)])).unwrap();
+        r.insert(Tuple::new(vec![Term::int(1), Term::int(2)]))
+            .unwrap();
         let again = db.get(edge, 2).unwrap();
         assert_eq!(again.len(), 1);
         assert!(db.get(edge, 3).is_none(), "arity is part of identity");

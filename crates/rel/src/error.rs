@@ -28,7 +28,10 @@ impl fmt::Display for RelError {
         match self {
             RelError::Storage(e) => write!(f, "storage error: {e}"),
             RelError::Arity { expected, got } => {
-                write!(f, "arity mismatch: relation has {expected} columns, tuple has {got}")
+                write!(
+                    f,
+                    "arity mismatch: relation has {expected} columns, tuple has {got}"
+                )
             }
             RelError::NonPrimitive(m) => {
                 write!(f, "persistent relations hold primitive types only: {m}")

@@ -356,6 +356,7 @@ impl HashRelation {
         if inner.subs.last().map(|s| s.tuples.is_empty()) == Some(true) {
             return Mark(inner.subs.len() - 1);
         }
+        crate::profile::bump(|c| c.mark_advances += 1);
         let ndefs = inner.defs.len();
         inner.subs.push(Subsidiary {
             tuples: Vec::new(),
@@ -402,7 +403,10 @@ impl HashRelation {
     /// `[from, to)`.
     pub fn lookup_range(&self, pattern: &[Term], from: Mark, to: Option<Mark>) -> TupleIter {
         let inner = self.inner.borrow();
-        let end = to.map(|m| m.0).unwrap_or(inner.subs.len()).min(inner.subs.len());
+        let end = to
+            .map(|m| m.0)
+            .unwrap_or(inner.subs.len())
+            .min(inner.subs.len());
         let start = from.0.min(end);
         iter_from_vec(Self::lookup_in(&inner, pattern, start, end))
     }
@@ -421,6 +425,13 @@ impl HashRelation {
                 }
             }
         }
+        crate::profile::bump(|c| {
+            if best.is_some() {
+                c.index_probes += 1;
+            } else {
+                c.full_scans += 1;
+            }
+        });
         let mut out = Vec::new();
         match best {
             Some((idx, components)) => {
@@ -541,8 +552,7 @@ impl Relation for HashRelation {
                     return Ok(false);
                 }
                 for addr in &inner.nonground {
-                    if let Some(existing) =
-                        &inner.subs[addr.sub as usize].tuples[addr.pos as usize]
+                    if let Some(existing) = &inner.subs[addr.sub as usize].tuples[addr.pos as usize]
                     {
                         if existing.subsumes(&tuple) {
                             return Ok(false);
@@ -595,7 +605,10 @@ impl Relation for HashRelation {
             if let Some(components) = def.components_for_tuple(&tuple) {
                 let has_var = components.contains(&VAR_COMPONENT);
                 let data = &mut subs[sub_idx].indexes[i];
-                data.buckets.entry(combine(&components)).or_default().push(pos);
+                data.buckets
+                    .entry(combine(&components))
+                    .or_default()
+                    .push(pos);
                 data.has_var_keys |= has_var;
             }
         }
@@ -776,7 +789,10 @@ mod tests {
         let m2 = r.mark();
         r.insert(t2(4, 4)).unwrap();
 
-        let old: Vec<Tuple> = r.scan_range(Mark(0), Some(m1)).map(|x| x.unwrap()).collect();
+        let old: Vec<Tuple> = r
+            .scan_range(Mark(0), Some(m1))
+            .map(|x| x.unwrap())
+            .collect();
         assert_eq!(old, vec![t2(1, 1)]);
         let delta: Vec<Tuple> = r.scan_range(m1, Some(m2)).map(|x| x.unwrap()).collect();
         assert_eq!(delta, vec![t2(2, 2), t2(3, 3)]);
@@ -852,7 +868,8 @@ mod tests {
     fn var_bucket_keeps_nonground_reachable() {
         let r = HashRelation::new(2);
         r.make_index(IndexSpec::Args(vec![0])).unwrap();
-        r.insert(Tuple::new(vec![Term::var(0), Term::int(9)])).unwrap();
+        r.insert(Tuple::new(vec![Term::var(0), Term::int(9)]))
+            .unwrap();
         r.insert(t2(5, 5)).unwrap();
         // Query bound on column 0 must still surface the var fact.
         let hits = r.lookup(&[Term::int(5), Term::var(0)]).count();
@@ -922,8 +939,11 @@ mod tests {
             key_vars: vec![VarId(0)],
         })
         .unwrap();
-        r.insert(Tuple::new(vec![Term::list(vec![Term::int(5), Term::int(1)])]))
-            .unwrap();
+        r.insert(Tuple::new(vec![Term::list(vec![
+            Term::int(5),
+            Term::int(1),
+        ])]))
+        .unwrap();
         r.insert(Tuple::new(vec![Term::str("not-a-list")])).unwrap();
         let q = vec![Term::cons(Term::int(5), Term::var(0))];
         let hits = r.lookup(&q).count();
@@ -933,12 +953,14 @@ mod tests {
     #[test]
     fn subsumption_semantics() {
         let r = HashRelation::new(2);
-        r.insert(Tuple::new(vec![Term::var(0), Term::int(1)])).unwrap();
+        r.insert(Tuple::new(vec![Term::var(0), Term::int(1)]))
+            .unwrap();
         assert!(!r.insert(t2(9, 1)).unwrap(), "subsumed by p(X, 1)");
         assert!(r.insert(t2(9, 2)).unwrap());
         // Plain Set semantics admits the instance.
         let r2 = HashRelation::with_semantics(2, DupSemantics::Set);
-        r2.insert(Tuple::new(vec![Term::var(0), Term::int(1)])).unwrap();
+        r2.insert(Tuple::new(vec![Term::var(0), Term::int(1)]))
+            .unwrap();
         assert!(r2.insert(t2(9, 1)).unwrap());
     }
 

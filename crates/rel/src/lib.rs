@@ -25,6 +25,7 @@ pub mod error;
 pub mod hash_rel;
 pub mod list_rel;
 pub mod persistent;
+pub mod profile;
 pub mod relation;
 
 pub use database::Database;

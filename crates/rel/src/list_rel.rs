@@ -147,7 +147,9 @@ mod tests {
     fn subsumption_rejects_instances() {
         let r = ListRelation::new(2);
         // p(X, X) then p(5, 5): the latter is subsumed.
-        assert!(r.insert(Tuple::new(vec![Term::var(0), Term::var(0)])).unwrap());
+        assert!(r
+            .insert(Tuple::new(vec![Term::var(0), Term::var(0)]))
+            .unwrap());
         assert!(!r.insert(t2(5, 5)).unwrap());
         assert!(r.insert(t2(5, 6)).unwrap());
         assert_eq!(r.len(), 2);
@@ -191,7 +193,8 @@ mod tests {
     #[test]
     fn lookup_keeps_nonground_candidates() {
         let r = ListRelation::new(2);
-        r.insert(Tuple::new(vec![Term::var(0), Term::int(9)])).unwrap();
+        r.insert(Tuple::new(vec![Term::var(0), Term::int(9)]))
+            .unwrap();
         let hits = r.lookup(&[Term::int(4), Term::var(0)]).count();
         assert_eq!(hits, 1, "non-ground fact must remain a candidate");
     }

@@ -33,7 +33,9 @@ fn rid_bytes(rid: RecordId) -> [u8; 10] {
 
 fn rid_from_bytes(b: &[u8]) -> RelResult<RecordId> {
     if b.len() != 10 {
-        return Err(RelError::Decode("bad record-id suffix in index item".into()));
+        return Err(RelError::Decode(
+            "bad record-id suffix in index item".into(),
+        ));
     }
     Ok(RecordId {
         page: PageId(u64::from_be_bytes(b[0..8].try_into().unwrap())),
@@ -78,8 +80,7 @@ impl PersistentRelation {
             schema,
         };
         // Load or initialize the schema record.
-        let existing: Vec<(RecordId, Vec<u8>)> =
-            rel.schema.scan().collect::<Result<_, _>>()?;
+        let existing: Vec<(RecordId, Vec<u8>)> = rel.schema.scan().collect::<Result<_, _>>()?;
         match existing.first() {
             Some((_, bytes)) => {
                 let (stored_arity, col_lists) = decode_schema(bytes)?;
@@ -320,9 +321,7 @@ impl Relation for PersistentRelation {
             )));
         }
         let ordinal = self.indices.borrow().len();
-        let tree = self
-            .server
-            .btree(&format!("{}.idx{ordinal}", self.name))?;
+        let tree = self.server.btree(&format!("{}.idx{ordinal}", self.name))?;
         // Retrofit over existing tuples.
         for rec in self.heap.scan() {
             let (rid, bytes) = rec?;
@@ -331,7 +330,9 @@ impl Relation for PersistentRelation {
             key.extend_from_slice(&rid_bytes(rid));
             tree.insert(&key)?;
         }
-        self.indices.borrow_mut().push(SecondaryIndex { cols, tree });
+        self.indices
+            .borrow_mut()
+            .push(SecondaryIndex { cols, tree });
         self.persist_schema()?;
         Ok(())
     }
@@ -376,7 +377,10 @@ mod tests {
         assert_eq!(r.len(), 2);
         let mut all: Vec<Tuple> = r.scan().map(|x| x.unwrap()).collect();
         all.sort_by(|a, b| a.args()[0].order_cmp(&b.args()[0]));
-        assert_eq!(all, vec![flight("msn", "ord", 120), flight("ord", "jfk", 250)]);
+        assert_eq!(
+            all,
+            vec![flight("msn", "ord", 120), flight("ord", "jfk", 250)]
+        );
     }
 
     #[test]
@@ -410,7 +414,9 @@ mod tests {
         r.insert(flight("a", "c", 2)).unwrap();
         assert!(r.delete(&flight("a", "b", 1)).unwrap());
         assert!(!r.delete(&flight("a", "b", 1)).unwrap());
-        let hits = r.lookup(&[Term::str("a"), Term::var(0), Term::var(1)]).count();
+        let hits = r
+            .lookup(&[Term::str("a"), Term::var(0), Term::var(1)])
+            .count();
         assert_eq!(hits, 1);
         assert_eq!(r.len(), 1);
     }
@@ -475,8 +481,11 @@ mod tests {
         let srv = server("paging");
         let r = PersistentRelation::open(&srv, "big", 2).unwrap();
         for i in 0..2000i64 {
-            r.insert(Tuple::ground(vec![Term::int(i), Term::str(&format!("row-{i}"))]))
-                .unwrap();
+            r.insert(Tuple::ground(vec![
+                Term::int(i),
+                Term::str(&format!("row-{i}")),
+            ]))
+            .unwrap();
         }
         srv.checkpoint().unwrap();
         srv.pool().evict_all().unwrap();

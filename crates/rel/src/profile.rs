@@ -1,0 +1,100 @@
+//! Relation-layer profiling counters.
+//!
+//! Same design as `coral_term::profile`: a thread-local `Cell` holding a
+//! `Copy` counter block, compiled out without the `profile` feature, and
+//! costing one thread-local load and a branch when compiled in but not
+//! collecting.
+
+/// Whether counters are compiled in (`profile` cargo feature).
+pub const AVAILABLE: bool = cfg!(feature = "profile");
+
+/// Relation-layer counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Counters {
+    /// Lookups answered through an argument/pattern index.
+    pub index_probes: u64,
+    /// Lookups that fell back to a full filtered scan.
+    pub full_scans: u64,
+    /// Subsidiary-relation mark advances (new delta generations, §3.2).
+    pub mark_advances: u64,
+}
+
+impl Counters {
+    /// All-zero counters (usable in const-initialized thread-locals).
+    pub const ZERO: Counters = Counters {
+        index_probes: 0,
+        full_scans: 0,
+        mark_advances: 0,
+    };
+}
+
+#[cfg(feature = "profile")]
+mod imp {
+    use super::Counters;
+    use std::cell::Cell;
+
+    // Const-initialized, Drop-free cells: access is a direct TLS load
+    // with no lazy-init branch, and the disabled path never copies the
+    // counter block.
+    thread_local! {
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+        static COUNTERS: Cell<Counters> = const { Cell::new(Counters::ZERO) };
+    }
+
+    #[inline]
+    pub(crate) fn bump(f: impl FnOnce(&mut Counters)) {
+        if ENABLED.with(|e| e.get()) {
+            COUNTERS.with(|c| {
+                let mut v = c.get();
+                f(&mut v);
+                c.set(v);
+            });
+        }
+    }
+
+    pub fn set_enabled(on: bool) {
+        ENABLED.with(|e| e.set(on));
+    }
+
+    pub fn enabled() -> bool {
+        ENABLED.with(|e| e.get())
+    }
+
+    pub fn reset() {
+        COUNTERS.with(|c| c.set(Counters::ZERO));
+    }
+
+    pub fn snapshot() -> Counters {
+        COUNTERS.with(|c| c.get())
+    }
+}
+
+#[cfg(feature = "profile")]
+pub(crate) use imp::bump;
+#[cfg(feature = "profile")]
+pub use imp::{enabled, reset, set_enabled, snapshot};
+
+#[cfg(not(feature = "profile"))]
+mod imp_off {
+    use super::Counters;
+
+    #[inline(always)]
+    pub(crate) fn bump(_f: impl FnOnce(&mut Counters)) {}
+
+    pub fn set_enabled(_on: bool) {}
+
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn reset() {}
+
+    pub fn snapshot() -> Counters {
+        Counters::default()
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+pub(crate) use imp_off::bump;
+#[cfg(not(feature = "profile"))]
+pub use imp_off::{enabled, reset, set_enabled, snapshot};

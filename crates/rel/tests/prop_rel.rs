@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property tests: HashRelation against ListRelation as a model, index
 //! lookups against filtered scans, and mark/range invariants.
 
@@ -10,8 +12,7 @@ fn small_term() -> impl Strategy<Value = Term> {
         (0i64..5).prop_map(Term::int),
         (0u32..2).prop_map(Term::var),
         prop_oneof![Just("a"), Just("b")].prop_map(Term::str),
-        ((0i64..3), (0i64..3))
-            .prop_map(|(x, y)| Term::apps("f", vec![Term::int(x), Term::int(y)])),
+        ((0i64..3), (0i64..3)).prop_map(|(x, y)| Term::apps("f", vec![Term::int(x), Term::int(y)])),
     ]
 }
 

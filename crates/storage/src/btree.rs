@@ -81,7 +81,9 @@ impl BTree {
                 d[16..24].copy_from_slice(&0u64.to_le_bytes());
             })?;
         } else {
-            let ok = t.pool.with_page(fid, PageId(0), |d| &d[0..8] == META_MAGIC)?;
+            let ok = t
+                .pool
+                .with_page(fid, PageId(0), |d| &d[0..8] == META_MAGIC)?;
             if !ok {
                 return Err(StorageError::Corrupt("bad B-tree meta page".into()));
             }
@@ -282,9 +284,7 @@ impl BTree {
     /// which a promoted sibling would be inserted), and the child pid.
     fn choose_child(node: &Node, item: &[u8]) -> (usize, u64) {
         // Last entry with separator <= item; if none, leftmost child.
-        let pos = node
-            .entries
-            .partition_point(|e| Node::entry_sep(e) <= item);
+        let pos = node.entries.partition_point(|e| Node::entry_sep(e) <= item);
         if pos == 0 {
             (0, node.extra)
         } else {
@@ -414,7 +414,9 @@ impl BTreeRange {
     /// Drop buffered entries at/after `hi` and mark done if we hit it.
     fn clip(&mut self) {
         if let Some(hi) = &self.hi {
-            let end = self.buffered.partition_point(|e| e.as_slice() < hi.as_slice());
+            let end = self
+                .buffered
+                .partition_point(|e| e.as_slice() < hi.as_slice());
             if end < self.buffered.len() {
                 self.buffered.truncate(end);
                 self.done = true;
@@ -442,8 +444,9 @@ impl Iterator for BTreeRange {
                 let p = SlottedPage::attach(&mut copy);
                 let hdr = p.get(0).expect("leaf missing header");
                 let sibling = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
-                let entries: Vec<Vec<u8>> =
-                    (1..p.n_slots()).map(|i| p.get(i).unwrap().to_vec()).collect();
+                let entries: Vec<Vec<u8>> = (1..p.n_slots())
+                    .map(|i| p.get(i).unwrap().to_vec())
+                    .collect();
                 (sibling, entries)
             });
             match res {
@@ -579,7 +582,10 @@ mod tests {
         assert!(!t.delete(&key(0)).unwrap(), "double delete");
         assert_eq!(t.len().unwrap(), 250);
         let left: Vec<Vec<u8>> = t.scan_all().unwrap().map(|r| r.unwrap()).collect();
-        assert_eq!(left, (0..500).filter(|i| i % 2 == 1).map(key).collect::<Vec<_>>());
+        assert_eq!(
+            left,
+            (0..500).filter(|i| i % 2 == 1).map(key).collect::<Vec<_>>()
+        );
         for i in 0..500u32 {
             assert_eq!(t.contains(&key(i)).unwrap(), i % 2 == 1);
         }

@@ -18,8 +18,8 @@
 use crate::error::{StorageError, StorageResult};
 use crate::file::{FileId, PageFile, PageId};
 use crate::page::PAGE_SIZE;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Buffer pool counters.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -101,13 +101,13 @@ impl BufferPool {
 
     /// Register an open file under `fid`.
     pub fn register_file(&self, fid: FileId, file: PageFile) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.files.insert(fid, file);
     }
 
     /// Flush and forget all cached pages of `fid`, returning the file.
     pub fn unregister_file(&self, fid: FileId) -> StorageResult<Option<PageFile>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         self.flush_file_locked(&mut inner, fid)?;
         for f in inner.frames.iter_mut() {
             if matches!(f.key, Some((k, _)) if k == fid) {
@@ -122,7 +122,7 @@ impl BufferPool {
 
     /// Number of pages in a registered file.
     pub fn num_pages(&self, fid: FileId) -> StorageResult<u64> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         inner
             .files
             .get(&fid)
@@ -132,7 +132,7 @@ impl BufferPool {
 
     /// Append a fresh zeroed page to `fid` and cache it.
     pub fn allocate_page(&self, fid: FileId) -> StorageResult<PageId> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let pid = inner
             .files
             .get_mut(&fid)
@@ -154,10 +154,12 @@ impl BufferPool {
     ) -> StorageResult<usize> {
         if let Some(&idx) = inner.map.get(&(fid, pid)) {
             inner.stats.hits += 1;
+            crate::profile::bump(|c| c.pool_hits += 1);
             inner.frames[idx].referenced = true;
             return Ok(idx);
         }
         inner.stats.misses += 1;
+        crate::profile::bump(|c| c.pool_misses += 1);
         // CLOCK sweep for a victim (unpinned frame; clear ref bits as we
         // pass). Two full sweeps guarantee progress unless all pinned.
         let cap = inner.frames.len();
@@ -192,6 +194,7 @@ impl BufferPool {
             }
             inner.map.remove(&(efid, epid));
             inner.stats.evictions += 1;
+            crate::profile::bump(|c| c.pool_evictions += 1);
         }
         if load {
             let mut data = std::mem::take(&mut inner.frames[idx].data);
@@ -220,7 +223,7 @@ impl BufferPool {
         pid: PageId,
         body: impl FnOnce(&[u8]) -> R,
     ) -> StorageResult<R> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let idx = self.find_frame(&mut inner, fid, pid, true)?;
         Ok(body(&inner.frames[idx].data))
     }
@@ -233,7 +236,7 @@ impl BufferPool {
         pid: PageId,
         body: impl FnOnce(&mut [u8]) -> R,
     ) -> StorageResult<R> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let idx = self.find_frame(&mut inner, fid, pid, true)?;
         // First write under an open transaction: save the before-image and
         // pin the frame until commit/abort (no-steal).
@@ -253,7 +256,7 @@ impl BufferPool {
     /// pin their frames until [`Self::commit_txn`] or [`Self::abort_txn`].
     /// Only one transaction may be open (the single-user model of §2).
     pub fn begin_txn(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if inner.txn.is_some() {
             return Err(StorageError::Corrupt("transaction already open".into()));
         }
@@ -263,12 +266,12 @@ impl BufferPool {
 
     /// True iff a transaction is open.
     pub fn in_txn(&self) -> bool {
-        self.inner.lock().txn.is_some()
+        self.inner.lock().unwrap().txn.is_some()
     }
 
     /// Page images as `(location, bytes)` pairs.
     pub fn commit_txn(&self) -> StorageResult<Vec<PageImage>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let txn = inner
             .txn
             .take()
@@ -288,7 +291,7 @@ impl BufferPool {
 
     /// Roll the transaction back: restore before-images and unpin.
     pub fn abort_txn(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let txn = inner
             .txn
             .take()
@@ -307,7 +310,7 @@ impl BufferPool {
 
     /// Pin a page so it cannot be evicted (loads it if absent).
     pub fn pin(&self, fid: FileId, pid: PageId) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let idx = self.find_frame(&mut inner, fid, pid, true)?;
         inner.frames[idx].pins += 1;
         Ok(())
@@ -315,7 +318,7 @@ impl BufferPool {
 
     /// Release one pin.
     pub fn unpin(&self, fid: FileId, pid: PageId) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if let Some(&idx) = inner.map.get(&(fid, pid)) {
             let f = &mut inner.frames[idx];
             debug_assert!(f.pins > 0, "unpin without pin");
@@ -347,14 +350,14 @@ impl BufferPool {
 
     /// Write back all dirty frames of `fid` and sync it.
     pub fn flush_file(&self, fid: FileId) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         self.flush_file_locked(&mut inner, fid)
     }
 
     /// Write back every dirty frame and sync all files.
     pub fn flush_all(&self) -> StorageResult<()> {
         let fids: Vec<FileId> = {
-            let inner = self.inner.lock();
+            let inner = self.inner.lock().unwrap();
             inner.files.keys().copied().collect()
         };
         for fid in fids {
@@ -366,7 +369,7 @@ impl BufferPool {
     /// Flush and drop every unpinned frame (cold-cache experiment setup).
     pub fn evict_all(&self) -> StorageResult<()> {
         self.flush_all()?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         for f in inner.frames.iter_mut() {
             if f.pins == 0 {
                 f.key = None;
@@ -386,12 +389,12 @@ impl BufferPool {
 
     /// Current counters.
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats
+        self.inner.lock().unwrap().stats
     }
 
     /// Zero the counters (between experiment phases).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = BufferStats::default();
+        self.inner.lock().unwrap().stats = BufferStats::default();
     }
 }
 
@@ -434,7 +437,8 @@ mod tests {
     fn writes_survive_eviction() {
         let (pool, fid) = pool_with_file("evict.pages", 2, 8);
         for i in 0..8u64 {
-            pool.with_page_mut(fid, PageId(i), |d| d[0] = i as u8 + 1).unwrap();
+            pool.with_page_mut(fid, PageId(i), |d| d[0] = i as u8 + 1)
+                .unwrap();
         }
         // Working set exceeds capacity: pages 0..6 were evicted.
         for i in 0..8u64 {

@@ -62,7 +62,8 @@ impl PageFile {
     /// Append a zeroed page, returning its id.
     pub fn allocate(&mut self) -> StorageResult<PageId> {
         let id = PageId(self.pages);
-        self.file.seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
         self.file.write_all(&[0u8; PAGE_SIZE])?;
         self.pages += 1;
         Ok(id)

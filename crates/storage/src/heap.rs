@@ -54,7 +54,10 @@ impl HeapFile {
     /// Insert a record, returning its id.
     pub fn insert(&self, rec: &[u8]) -> StorageResult<RecordId> {
         let pages = self.pool.num_pages(self.fid)?;
-        let hint = self.hint.load(Ordering::Relaxed).min(pages.saturating_sub(1));
+        let hint = self
+            .hint
+            .load(Ordering::Relaxed)
+            .min(pages.saturating_sub(1));
         // Try the hint page, then the last page, then allocate.
         let mut candidates = vec![];
         if pages > 0 {
@@ -64,18 +67,18 @@ impl HeapFile {
             }
         }
         for pid in candidates {
-            let slot = self.pool.with_page_mut(self.fid, pid, |data| {
-                SlottedPage::attach(data).insert(rec)
-            })??;
+            let slot = self
+                .pool
+                .with_page_mut(self.fid, pid, |data| SlottedPage::attach(data).insert(rec))??;
             if let Some(slot) = slot {
                 self.hint.store(pid.0, Ordering::Relaxed);
                 return Ok(RecordId { page: pid, slot });
             }
         }
         let pid = self.pool.allocate_page(self.fid)?;
-        let slot = self.pool.with_page_mut(self.fid, pid, |data| {
-            SlottedPage::format(data).insert(rec)
-        })??;
+        let slot = self
+            .pool
+            .with_page_mut(self.fid, pid, |data| SlottedPage::format(data).insert(rec))??;
         match slot {
             Some(slot) => {
                 self.hint.store(pid.0, Ordering::Relaxed);

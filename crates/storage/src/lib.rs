@@ -34,6 +34,7 @@ pub mod error;
 pub mod file;
 pub mod heap;
 pub mod page;
+pub mod profile;
 pub mod server;
 pub mod wal;
 

@@ -91,7 +91,9 @@ impl<'a> SlottedPage<'a> {
 
     /// Number of live records.
     pub fn live_count(&self) -> usize {
-        (0..self.n_slots()).filter(|&s| self.slot(s).0 != DEAD).count()
+        (0..self.n_slots())
+            .filter(|&s| self.slot(s).0 != DEAD)
+            .count()
     }
 
     /// Insert a record, returning its slot. Reuses dead slots. Fails with
@@ -157,10 +159,7 @@ impl<'a> SlottedPage<'a> {
     /// ids. Returns bytes reclaimed.
     pub fn compact(&mut self) -> usize {
         let before = self.heap_start() as usize;
-        let live: Vec<(SlotId, Vec<u8>)> = self
-            .iter()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let live: Vec<(SlotId, Vec<u8>)> = self.iter().map(|(s, r)| (s, r.to_vec())).collect();
         let mut heap = PAGE_SIZE;
         for (s, rec) in &live {
             heap -= rec.len();
@@ -321,10 +320,17 @@ mod tests {
         assert!(p.insert_at(0, b"a").unwrap());
         assert!(p.insert_at(2, b"d").unwrap());
         assert!(p.insert_at(2, b"c").unwrap());
-        let all: Vec<_> = (0..p.n_slots()).map(|i| p.get(i).unwrap().to_vec()).collect();
-        assert_eq!(all, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        let all: Vec<_> = (0..p.n_slots())
+            .map(|i| p.get(i).unwrap().to_vec())
+            .collect();
+        assert_eq!(
+            all,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
         p.remove_at(1);
-        let all: Vec<_> = (0..p.n_slots()).map(|i| p.get(i).unwrap().to_vec()).collect();
+        let all: Vec<_> = (0..p.n_slots())
+            .map(|i| p.get(i).unwrap().to_vec())
+            .collect();
         assert_eq!(all, vec![b"a".to_vec(), b"c".to_vec(), b"d".to_vec()]);
     }
 

@@ -1,0 +1,104 @@
+//! Storage-layer profiling counters.
+//!
+//! Mirrors the per-pool [`crate::buffer::BufferStats`] into the engine's
+//! thread-local profiling stream so `EngineProfile` can report buffer
+//! traffic alongside the term/relation/core counters. Same design as the
+//! other layers' `profile` modules: a thread-local `Cell`, compiled out
+//! without the `profile` feature.
+
+/// Whether counters are compiled in (`profile` cargo feature).
+pub const AVAILABLE: bool = cfg!(feature = "profile");
+
+/// Storage-layer counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Counters {
+    /// Buffer-pool fixes satisfied from memory.
+    pub pool_hits: u64,
+    /// Buffer-pool fixes that read from disk.
+    pub pool_misses: u64,
+    /// Pages evicted to make room.
+    pub pool_evictions: u64,
+    /// Write-ahead-log records appended.
+    pub wal_appends: u64,
+}
+
+impl Counters {
+    /// All-zero counters (usable in const-initialized thread-locals).
+    pub const ZERO: Counters = Counters {
+        pool_hits: 0,
+        pool_misses: 0,
+        pool_evictions: 0,
+        wal_appends: 0,
+    };
+}
+
+#[cfg(feature = "profile")]
+mod imp {
+    use super::Counters;
+    use std::cell::Cell;
+
+    // Const-initialized, Drop-free cells: access is a direct TLS load
+    // with no lazy-init branch, and the disabled path never copies the
+    // counter block.
+    thread_local! {
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+        static COUNTERS: Cell<Counters> = const { Cell::new(Counters::ZERO) };
+    }
+
+    #[inline]
+    pub(crate) fn bump(f: impl FnOnce(&mut Counters)) {
+        if ENABLED.with(|e| e.get()) {
+            COUNTERS.with(|c| {
+                let mut v = c.get();
+                f(&mut v);
+                c.set(v);
+            });
+        }
+    }
+
+    pub fn set_enabled(on: bool) {
+        ENABLED.with(|e| e.set(on));
+    }
+
+    pub fn enabled() -> bool {
+        ENABLED.with(|e| e.get())
+    }
+
+    pub fn reset() {
+        COUNTERS.with(|c| c.set(Counters::ZERO));
+    }
+
+    pub fn snapshot() -> Counters {
+        COUNTERS.with(|c| c.get())
+    }
+}
+
+#[cfg(feature = "profile")]
+pub(crate) use imp::bump;
+#[cfg(feature = "profile")]
+pub use imp::{enabled, reset, set_enabled, snapshot};
+
+#[cfg(not(feature = "profile"))]
+mod imp_off {
+    use super::Counters;
+
+    #[inline(always)]
+    pub(crate) fn bump(_f: impl FnOnce(&mut Counters)) {}
+
+    pub fn set_enabled(_on: bool) {}
+
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn reset() {}
+
+    pub fn snapshot() -> Counters {
+        Counters::default()
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+pub(crate) use imp_off::bump;
+#[cfg(not(feature = "profile"))]
+pub use imp_off::{enabled, reset, set_enabled, snapshot};

@@ -13,17 +13,17 @@
 //! On open, the server recovers: committed transactions found in the log
 //! are replayed into the data files before anything is cached.
 
-use crate::buffer::{BufferPool, BufferStats};
 use crate::btree::BTree;
+use crate::buffer::{BufferPool, BufferStats};
 use crate::error::{StorageError, StorageResult};
 use crate::file::{FileId, PageFile, PageId};
 use crate::heap::HeapFile;
 use crate::page::PAGE_SIZE;
 use crate::wal::Wal;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Shared handle to a storage server.
 pub type StorageClient = Arc<StorageServer>;
@@ -154,7 +154,7 @@ impl StorageServer {
                 "file names may not contain spaces or newlines: {name:?}"
             )));
         }
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().unwrap();
         if let Some(&no) = state.catalog.get(name) {
             return Ok(FileId(no));
         }
@@ -169,12 +169,12 @@ impl StorageServer {
 
     /// True iff a file with this name exists.
     pub fn file_exists(&self, name: &str) -> bool {
-        self.state.lock().catalog.contains_key(name)
+        self.state.lock().unwrap().catalog.contains_key(name)
     }
 
     /// Named files in the catalog.
     pub fn list_files(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.state.lock().catalog.keys().cloned().collect();
+        let mut names: Vec<String> = self.state.lock().unwrap().catalog.keys().cloned().collect();
         names.sort();
         names
     }
@@ -194,7 +194,7 @@ impl StorageServer {
     /// Begin a transaction (single-user: at most one open).
     pub fn begin(&self) -> StorageResult<u64> {
         self.pool.begin_txn()?;
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().unwrap();
         let id = state.next_txn;
         state.next_txn += 1;
         Ok(id)
@@ -203,7 +203,7 @@ impl StorageServer {
     /// Commit the open transaction: log after-images, fsync.
     pub fn commit(&self, txn: u64) -> StorageResult<()> {
         let images = self.pool.commit_txn()?;
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().unwrap();
         let refs: Vec<(u32, PageId, &[u8])> = images
             .iter()
             .map(|((fid, pid), img)| (fid.0, *pid, img.as_ref()))
@@ -220,7 +220,7 @@ impl StorageServer {
     /// Flush all data files and truncate the log.
     pub fn checkpoint(&self) -> StorageResult<()> {
         self.pool.flush_all()?;
-        self.state.lock().wal.checkpoint()
+        self.state.lock().unwrap().wal.checkpoint()
     }
 
     /// Buffer pool counters.
@@ -239,10 +239,8 @@ mod tests {
     use super::*;
 
     fn fresh_dir(name: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "coral-server-test-{}-{name}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("coral-server-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -364,10 +362,7 @@ mod concurrency_tests {
     use std::sync::Arc;
 
     fn fresh_dir(name: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "coral-server-mt-{}-{name}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("coral-server-mt-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

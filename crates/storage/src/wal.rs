@@ -75,6 +75,7 @@ impl Wal {
     }
 
     fn append(&mut self, kind: u8, payload: &[u8]) -> StorageResult<()> {
+        crate::profile::bump(|c| c.wal_appends += 1);
         self.file.seek(SeekFrom::End(0))?;
         let len = 1 + payload.len();
         let mut buf = Vec::with_capacity(4 + len + 8);
@@ -88,11 +89,7 @@ impl Wal {
     }
 
     /// Append and fsync a commit record.
-    pub fn log_commit(
-        &mut self,
-        txn: u64,
-        pages: &[(u32, PageId, &[u8])],
-    ) -> StorageResult<()> {
+    pub fn log_commit(&mut self, txn: u64, pages: &[(u32, PageId, &[u8])]) -> StorageResult<()> {
         let mut payload = Vec::with_capacity(12 + pages.len() * (12 + PAGE_SIZE));
         payload.extend_from_slice(&txn.to_le_bytes());
         payload.extend_from_slice(&(pages.len() as u32).to_le_bytes());
@@ -150,8 +147,7 @@ impl Wal {
                             ));
                         }
                         let file_no = u32::from_le_bytes(payload[p..p + 4].try_into().unwrap());
-                        let pid =
-                            u64::from_le_bytes(payload[p + 4..p + 12].try_into().unwrap());
+                        let pid = u64::from_le_bytes(payload[p + 4..p + 12].try_into().unwrap());
                         let image = payload[p + 12..p + 12 + PAGE_SIZE].to_vec();
                         pages.push((file_no, PageId(pid), image));
                         p += 12 + PAGE_SIZE;
@@ -256,6 +252,9 @@ mod tests {
             w.log_commit(t, &[(0, PageId(t), &image(t as u8))]).unwrap();
         }
         let txns = w.recover().unwrap();
-        assert_eq!(txns.iter().map(|t| t.txn).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            txns.iter().map(|t| t.txn).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 }

@@ -1,7 +1,9 @@
+#![cfg(feature = "proptest")]
+
 //! Property tests: the B+-tree and heap file against in-memory models.
 
-use coral_storage::buffer::BufferPool;
 use coral_storage::btree::BTree;
+use coral_storage::buffer::BufferPool;
 use coral_storage::file::{FileId, PageFile};
 use coral_storage::heap::HeapFile;
 use proptest::prelude::*;

@@ -40,8 +40,7 @@ pub trait AdtValue: Send + Sync + fmt::Debug {
 
 /// A constructor re-creating a value from argument terms (the paper's
 /// `construct` method, given a printed representation).
-pub type AdtConstructor =
-    Arc<dyn Fn(&[Term]) -> Result<Arc<dyn AdtValue>, String> + Send + Sync>;
+pub type AdtConstructor = Arc<dyn Fn(&[Term]) -> Result<Arc<dyn AdtValue>, String> + Send + Sync>;
 
 fn constructors() -> &'static RwLock<HashMap<&'static str, AdtConstructor>> {
     static REG: OnceLock<RwLock<HashMap<&'static str, AdtConstructor>>> = OnceLock::new();

@@ -48,7 +48,10 @@ impl BigInt {
         let mag = v.unsigned_abs();
         let mut limbs = vec![(mag & 0xffff_ffff) as u32, (mag >> 32) as u32];
         normalize(&mut limbs);
-        BigInt { neg: neg && !limbs.is_empty(), limbs }
+        BigInt {
+            neg: neg && !limbs.is_empty(),
+            limbs,
+        }
     }
 
     /// Convert back to `i64` if it fits.
@@ -75,7 +78,10 @@ impl BigInt {
 
     fn from_parts(neg: bool, mut limbs: Vec<u32>) -> BigInt {
         normalize(&mut limbs);
-        BigInt { neg: neg && !limbs.is_empty(), limbs }
+        BigInt {
+            neg: neg && !limbs.is_empty(),
+            limbs,
+        }
     }
 
     /// Magnitude comparison.
@@ -299,7 +305,10 @@ impl Sub for &BigInt {
 impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
-        BigInt::from_parts(self.neg != rhs.neg, BigInt::mul_mag(&self.limbs, &rhs.limbs))
+        BigInt::from_parts(
+            self.neg != rhs.neg,
+            BigInt::mul_mag(&self.limbs, &rhs.limbs),
+        )
     }
 }
 
@@ -422,7 +431,10 @@ mod tests {
 
     #[test]
     fn addition_subtraction() {
-        assert_eq!((&big("999999999999999999") + &big("1")).to_string(), "1000000000000000000");
+        assert_eq!(
+            (&big("999999999999999999") + &big("1")).to_string(),
+            "1000000000000000000"
+        );
         assert_eq!((&big("5") + &big("-8")).to_string(), "-3");
         assert_eq!((&big("-5") - &big("-8")).to_string(), "3");
         assert_eq!((&big("100") - &big("100")).to_string(), "0");
@@ -431,7 +443,8 @@ mod tests {
     #[test]
     fn multiplication() {
         assert_eq!(
-            (&big("123456789012345678901234567890") * &big("987654321098765432109876543210")).to_string(),
+            (&big("123456789012345678901234567890") * &big("987654321098765432109876543210"))
+                .to_string(),
             "121932631137021795226185032733622923332237463801111263526900"
         );
         assert_eq!((&big("-3") * &big("4")).to_string(), "-12");
@@ -444,7 +457,10 @@ mod tests {
         assert_eq!(q.to_string(), "142857142857142857142");
         assert_eq!(r.to_string(), "6");
         let (q, r) = big("123456789012345678901234567890").divmod(&big("987654321098765"));
-        assert_eq!(&(&q * &big("987654321098765")) + &r, big("123456789012345678901234567890"));
+        assert_eq!(
+            &(&q * &big("987654321098765")) + &r,
+            big("123456789012345678901234567890")
+        );
         // Signs follow truncated division.
         let (q, r) = big("-7").divmod(&big("2"));
         assert_eq!((q.to_string(), r.to_string()), ("-3".into(), "-1".into()));
@@ -466,7 +482,10 @@ mod tests {
 
     #[test]
     fn pow_and_bit_len() {
-        assert_eq!(big("2").pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(
+            big("2").pow(100).to_string(),
+            "1267650600228229401496703205376"
+        );
         assert_eq!(big("2").pow(100).bit_len(), 101);
         assert_eq!(BigInt::zero().bit_len(), 0);
         assert_eq!(big("1").bit_len(), 1);

@@ -50,6 +50,7 @@ impl EnvSet {
 
     /// Allocate a fresh frame with `nvars` unbound variables.
     pub fn push_frame(&mut self, nvars: usize) -> EnvId {
+        crate::profile::bump(|c| c.bindenv_allocs += 1);
         let id = EnvId(u32::try_from(self.frames.len()).expect("env overflow"));
         self.frames.push(Frame {
             slots: vec![None; nvars],
@@ -66,10 +67,7 @@ impl EnvSet {
     /// any trail entries made since the frames were pushed; this is
     /// checked in debug builds.
     pub fn pop_frames(&mut self, mark: FrameMark) {
-        debug_assert!(self
-            .trail
-            .iter()
-            .all(|(e, _)| (e.0 as usize) < mark.0));
+        debug_assert!(self.trail.iter().all(|(e, _)| (e.0 as usize) < mark.0));
         self.frames.truncate(mark.0);
     }
 

@@ -73,7 +73,12 @@ pub(crate) fn app_is_ground(app: &Arc<App>) -> bool {
         UNKNOWN => {
             let ground = app.args().iter().all(|t| t.is_ground());
             app.hc
-                .compare_exchange(UNKNOWN, if ground { GROUND_NOID } else { NONGROUND }, Release, Acquire)
+                .compare_exchange(
+                    UNKNOWN,
+                    if ground { GROUND_NOID } else { NONGROUND },
+                    Release,
+                    Acquire,
+                )
                 .ok();
             ground
         }
@@ -95,16 +100,19 @@ fn intern_key(key: HcKey) -> HcId {
     {
         let t = table().read().unwrap();
         if let Some(&id) = t.map.get(&key) {
+            crate::profile::bump(|c| c.hashcons_hits += 1);
             return id;
         }
     }
     let mut t = table().write().unwrap();
     if let Some(&id) = t.map.get(&key) {
+        crate::profile::bump(|c| c.hashcons_hits += 1);
         return id;
     }
     let id = HcId(t.next);
     t.next += 1;
     t.map.insert(key, id);
+    crate::profile::bump(|c| c.hashcons_misses += 1);
     id
 }
 
@@ -122,6 +130,7 @@ pub fn intern(term: &Term) -> Option<HcId> {
         Term::Adt(_) => None,
         Term::App(app) => {
             if let Some(id) = cached_id(app) {
+                crate::profile::bump(|c| c.hashcons_hits += 1);
                 return Some(id);
             }
             if !app_is_ground(app) {
@@ -151,8 +160,14 @@ mod tests {
 
     #[test]
     fn equal_structures_get_equal_ids() {
-        let a = Term::apps("f", vec![Term::int(1), Term::list(vec![Term::int(2), Term::int(3)])]);
-        let b = Term::apps("f", vec![Term::int(1), Term::list(vec![Term::int(2), Term::int(3)])]);
+        let a = Term::apps(
+            "f",
+            vec![Term::int(1), Term::list(vec![Term::int(2), Term::int(3)])],
+        );
+        let b = Term::apps(
+            "f",
+            vec![Term::int(1), Term::list(vec![Term::int(2), Term::int(3)])],
+        );
         assert_eq!(intern(&a), intern(&b));
         assert!(intern(&a).is_some());
     }
@@ -193,8 +208,8 @@ mod tests {
         let c = Term::apps("pair", vec![Term::str("y"), Term::int(9)]);
         assert_eq!(id_eq(&a, &b), Some(true));
         assert_eq!(id_eq(&a, &c), Some(false));
-        assert_eq!(a == b, true);
-        assert_eq!(a == c, false);
+        assert!(a == b);
+        assert!(a != c);
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod adt;
 pub mod bignum;
 pub mod bindenv;
 pub mod hashcons;
+pub mod profile;
 pub mod symbol;
 pub mod term;
+pub mod testutil;
 pub mod tuple;
 pub mod unify;
 

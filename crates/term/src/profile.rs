@@ -1,0 +1,110 @@
+//! Term-layer profiling counters.
+//!
+//! Part of the engine-wide profiling subsystem (see `coral-core`'s
+//! `profile` module for the aggregate `EngineProfile`). Counters live in
+//! a thread-local `Cell` — no atomics touch the hot path — and are
+//! compiled out entirely without the `profile` cargo feature. With the
+//! feature on but collection disabled (the default), each hook costs one
+//! thread-local load and a branch.
+
+/// Whether counters are compiled in (`profile` cargo feature).
+pub const AVAILABLE: bool = cfg!(feature = "profile");
+
+/// Term-layer counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Counters {
+    /// Ground-term interning requests satisfied by an existing id.
+    pub hashcons_hits: u64,
+    /// Ground-term interning requests that allocated a new id.
+    pub hashcons_misses: u64,
+    /// Top-level unification attempts.
+    pub unify_attempts: u64,
+    /// Top-level unification attempts that failed.
+    pub unify_failures: u64,
+    /// Binding-environment frames allocated.
+    pub bindenv_allocs: u64,
+}
+
+impl Counters {
+    /// All-zero counters (usable in const-initialized thread-locals).
+    pub const ZERO: Counters = Counters {
+        hashcons_hits: 0,
+        hashcons_misses: 0,
+        unify_attempts: 0,
+        unify_failures: 0,
+        bindenv_allocs: 0,
+    };
+}
+
+#[cfg(feature = "profile")]
+mod imp {
+    use super::Counters;
+    use std::cell::Cell;
+
+    // Both cells are const-initialized and droppable-free, so access
+    // compiles to a direct TLS load with no lazy-init branch; the
+    // enabled flag is separate from the counter block so the disabled
+    // path never copies the counters.
+    thread_local! {
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+        static COUNTERS: Cell<Counters> = const { Cell::new(Counters::ZERO) };
+    }
+
+    /// Bump counters iff collection is enabled on this thread.
+    #[inline]
+    pub(crate) fn bump(f: impl FnOnce(&mut Counters)) {
+        if ENABLED.with(|e| e.get()) {
+            COUNTERS.with(|c| {
+                let mut v = c.get();
+                f(&mut v);
+                c.set(v);
+            });
+        }
+    }
+
+    pub fn set_enabled(on: bool) {
+        ENABLED.with(|e| e.set(on));
+    }
+
+    pub fn enabled() -> bool {
+        ENABLED.with(|e| e.get())
+    }
+
+    pub fn reset() {
+        COUNTERS.with(|c| c.set(Counters::ZERO));
+    }
+
+    pub fn snapshot() -> Counters {
+        COUNTERS.with(|c| c.get())
+    }
+}
+
+#[cfg(feature = "profile")]
+pub(crate) use imp::bump;
+#[cfg(feature = "profile")]
+pub use imp::{enabled, reset, set_enabled, snapshot};
+
+#[cfg(not(feature = "profile"))]
+mod imp_off {
+    use super::Counters;
+
+    #[inline(always)]
+    pub(crate) fn bump(_f: impl FnOnce(&mut Counters)) {}
+
+    pub fn set_enabled(_on: bool) {}
+
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn reset() {}
+
+    pub fn snapshot() -> Counters {
+        Counters::default()
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+pub(crate) use imp_off::bump;
+#[cfg(not(feature = "profile"))]
+pub use imp_off::{enabled, reset, set_enabled, snapshot};

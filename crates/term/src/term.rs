@@ -251,10 +251,9 @@ impl Term {
     /// occurrence order.
     pub fn collect_vars(&self, out: &mut Vec<VarId>) {
         match self {
-            Term::Var(v)
-                if !out.contains(v) => {
-                    out.push(*v);
-                }
+            Term::Var(v) if !out.contains(v) => {
+                out.push(*v);
+            }
             Term::App(a) => {
                 for t in a.args() {
                     t.collect_vars(out);
@@ -512,9 +511,7 @@ impl fmt::Debug for Term {
 fn is_atom_like(s: &str) -> bool {
     let mut chars = s.chars();
     match chars.next() {
-        Some(c) if c.is_ascii_lowercase() => {
-            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
-        }
+        Some(c) if c.is_ascii_lowercase() => chars.all(|c| c.is_ascii_alphanumeric() || c == '_'),
         _ => false,
     }
 }
@@ -576,7 +573,13 @@ mod tests {
 
     #[test]
     fn var_collection_and_shifting() {
-        let t = Term::apps("f", vec![Term::var(1), Term::apps("g", vec![Term::var(0), Term::var(1)])]);
+        let t = Term::apps(
+            "f",
+            vec![
+                Term::var(1),
+                Term::apps("g", vec![Term::var(0), Term::var(1)]),
+            ],
+        );
         let mut vars = Vec::new();
         t.collect_vars(&mut vars);
         assert_eq!(vars, vec![VarId(1), VarId(0)]);
@@ -593,10 +596,12 @@ mod tests {
         use std::cmp::Ordering::*;
         assert_eq!(Term::int(1).order_cmp(&Term::double(1.5)), Less);
         assert_eq!(Term::double(2.5).order_cmp(&Term::int(2)), Greater);
-        assert_eq!(Term::int(3).order_cmp(&Term::big(BigInt::from_i64(3))), Equal);
         assert_eq!(
-            Term::big("99999999999999999999999".parse().unwrap())
-                .order_cmp(&Term::int(5)),
+            Term::int(3).order_cmp(&Term::big(BigInt::from_i64(3))),
+            Equal
+        );
+        assert_eq!(
+            Term::big("99999999999999999999999".parse().unwrap()).order_cmp(&Term::int(5)),
             Greater
         );
         // Non-numeric ranks: numbers < strings < vars < apps.

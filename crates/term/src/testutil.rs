@@ -1,0 +1,104 @@
+//! Deterministic pseudo-random numbers for tests and benchmarks.
+//!
+//! The tier-1 suite must build with no network access, so instead of the
+//! `rand` crate the workspace uses this tiny in-repo generator: a
+//! splitmix64 seed expander feeding an xorshift64* stream. The sequences
+//! are stable across platforms and releases — tests that derive workloads
+//! from a fixed seed stay reproducible forever.
+
+/// One round of splitmix64 (Steele, Lea & Flood; public domain).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small deterministic RNG (xorshift64* seeded via splitmix64).
+///
+/// Not cryptographic; for generating test workloads only.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the generator. Any seed (including 0) is fine: splitmix64
+    /// expands it into a well-mixed nonzero xorshift state.
+    pub fn new(seed: u64) -> TestRng {
+        let mut s = seed;
+        let mut state = splitmix64(&mut s);
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        TestRng { state }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        // Multiply-shift range reduction; the tiny modulo bias of plain
+        // `% span` would be harmless here, but this is just as cheap.
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        self.next_u64() <= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respected_and_covers() {
+        let mut r = TestRng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(3, 13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range should occur");
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = TestRng::new(1);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&heads), "p=0.3 gave {heads}/10000");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = TestRng::new(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+}

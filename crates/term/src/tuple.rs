@@ -53,9 +53,7 @@ impl Tuple {
                 }
             }
             Some(order) => {
-                let remap = |v: VarId| {
-                    VarId(order.iter().position(|x| *x == v).unwrap() as u32)
-                };
+                let remap = |v: VarId| VarId(order.iter().position(|x| *x == v).unwrap() as u32);
                 let args: Vec<Term> = args.iter().map(|t| t.map_vars(&remap)).collect();
                 Tuple {
                     args: args.into(),
@@ -182,7 +180,10 @@ mod tests {
     #[test]
     fn projection() {
         let t = Tuple::new(vec![Term::int(1), Term::int(2), Term::int(3)]);
-        assert_eq!(t.project(&[2, 0]), Tuple::new(vec![Term::int(3), Term::int(1)]));
+        assert_eq!(
+            t.project(&[2, 0]),
+            Tuple::new(vec![Term::int(3), Term::int(1)])
+        );
         let nv = Tuple::new(vec![Term::var(3), Term::int(2), Term::var(3)]);
         assert_eq!(nv.project(&[0, 2]).nvars(), 1);
     }

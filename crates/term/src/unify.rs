@@ -25,6 +25,19 @@ use crate::term::{Term, VarId};
 /// caller brackets attempts with [`EnvSet::mark`]/[`EnvSet::undo`], which
 /// is what the nested-loops join does for every candidate tuple.
 pub fn unify(envs: &mut EnvSet, t1: &Term, e1: EnvId, t2: &Term, e2: EnvId) -> bool {
+    let ok = unify_inner(envs, t1, e1, t2, e2);
+    crate::profile::bump(|c| {
+        c.unify_attempts += 1;
+        if !ok {
+            c.unify_failures += 1;
+        }
+    });
+    ok
+}
+
+// The recursive worker: counted once per top-level attempt, not per
+// subterm visited.
+fn unify_inner(envs: &mut EnvSet, t1: &Term, e1: EnvId, t2: &Term, e2: EnvId) -> bool {
     let (t1, e1) = envs.deref(t1, e1);
     let (t2, e2) = envs.deref(t2, e2);
     match (&t1, &t2) {
@@ -54,7 +67,7 @@ pub fn unify(envs: &mut EnvSet, t1: &Term, e1: EnvId, t2: &Term, e2: EnvId) -> b
                 return false;
             }
             for (x, y) in a1.args().iter().zip(a2.args()) {
-                if !unify(envs, x, e1, y, e2) {
+                if !unify_inner(envs, x, e1, y, e2) {
                     return false;
                 }
             }
@@ -66,17 +79,9 @@ pub fn unify(envs: &mut EnvSet, t1: &Term, e1: EnvId, t2: &Term, e2: EnvId) -> b
 
 /// Unify a whole argument list pairwise (rule head against a subquery,
 /// body literal against a fact).
-pub fn unify_all(
-    envs: &mut EnvSet,
-    ts1: &[Term],
-    e1: EnvId,
-    ts2: &[Term],
-    e2: EnvId,
-) -> bool {
+pub fn unify_all(envs: &mut EnvSet, ts1: &[Term], e1: EnvId, ts2: &[Term], e2: EnvId) -> bool {
     debug_assert_eq!(ts1.len(), ts2.len());
-    ts1.iter()
-        .zip(ts2)
-        .all(|(a, b)| unify(envs, a, e1, b, e2))
+    ts1.iter().zip(ts2).all(|(a, b)| unify(envs, a, e1, b, e2))
 }
 
 /// A substitution for one-way matching over self-contained terms.
@@ -230,7 +235,13 @@ mod tests {
         let t1 = Term::apps("f", vec![Term::int(1)]);
         let t2 = Term::apps("f", vec![Term::int(2)]);
         assert!(!unify(&mut envs, &t1, e, &t2, e));
-        assert!(!unify(&mut envs, &Term::apps("f", vec![]), e, &Term::apps("g", vec![]), e));
+        assert!(!unify(
+            &mut envs,
+            &Term::apps("f", vec![]),
+            e,
+            &Term::apps("g", vec![]),
+            e
+        ));
         assert!(!unify(&mut envs, &Term::int(1), e, &Term::str("1"), e));
     }
 

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the term layer: bignum arithmetic laws,
 //! unification invariants, hash-consing soundness, tuple normalization.
 
@@ -9,20 +11,19 @@ use coral_term::{hashcons, match_one_way, subsumes, unify, variant};
 use proptest::prelude::*;
 
 fn bigint_strategy() -> impl Strategy<Value = BigInt> {
-    proptest::collection::vec(any::<u32>(), 0..6)
-        .prop_flat_map(|limbs| {
-            any::<bool>().prop_map(move |neg| {
-                let mut b = BigInt::zero();
-                for l in &limbs {
-                    b = &(&b * &BigInt::from_i64(1i64 << 32)) + &BigInt::from_i64(*l as i64);
-                }
-                if neg {
-                    -b
-                } else {
-                    b
-                }
-            })
+    proptest::collection::vec(any::<u32>(), 0..6).prop_flat_map(|limbs| {
+        any::<bool>().prop_map(move |neg| {
+            let mut b = BigInt::zero();
+            for l in &limbs {
+                b = &(&b * &BigInt::from_i64(1i64 << 32)) + &BigInt::from_i64(*l as i64);
+            }
+            if neg {
+                -b
+            } else {
+                b
+            }
         })
+    })
 }
 
 proptest! {

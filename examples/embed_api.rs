@@ -29,7 +29,10 @@ impl AdtValue for Point {
         "point"
     }
     fn equals(&self, other: &dyn AdtValue) -> bool {
-        other.as_any().downcast_ref::<Point>().is_some_and(|p| p == self)
+        other
+            .as_any()
+            .downcast_ref::<Point>()
+            .is_some_and(|p| p == self)
     }
     fn hash_value(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -56,10 +59,7 @@ fn main() -> coral::EvalResult<()> {
         ("minneapolis", (-4, 5)),
         ("milwaukee", (2, 1)),
     ] {
-        cities.insert(vec![
-            Term::str(name),
-            Term::Adt(Arc::new(Point { x, y })),
-        ])?;
+        cities.insert(vec![Term::str(name), Term::Adt(Arc::new(Point { x, y }))])?;
     }
     println!("loaded {} cities (positions are a user ADT)", cities.len());
 

@@ -49,7 +49,10 @@ fn main() -> coral::EvalResult<()> {
 
     // Cold cache: drop every frame so the query's page requests are
     // visible as misses (the on-demand paging of §2).
-    storage.pool().evict_all().map_err(coral::rel::RelError::from)?;
+    storage
+        .pool()
+        .evict_all()
+        .map_err(coral::rel::RelError::from)?;
     storage.reset_stats();
     let answers = session.query_all("reachable(msn, Y)")?;
     println!("\n?- reachable(msn, Y).");

@@ -57,10 +57,9 @@ fn main() -> coral::EvalResult<()> {
              path(X, Y) :- edge(X, Z), path(Z, Y).\n\
              end_module.\n"
         ))?;
-        let text = session.engine().explain(
-            PredRef::new("path", 2),
-            &Adornment::parse("bf").unwrap(),
-        )?;
+        let text = session
+            .engine()
+            .explain(PredRef::new("path", 2), &Adornment::parse("bf").unwrap())?;
         println!("\n--- rewritten with {rewrite} ---\n{text}");
     }
     Ok(())

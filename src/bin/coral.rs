@@ -11,8 +11,13 @@
 //! :list                         list base relations and loaded modules
 //! :explain <fact>               derivation tree for a ground fact
 //! :rewritten <pred>/<n> <form>  dump the optimizer's rewritten program
+//! :profile [on|off|json]        toggle profiling / show the last profile
 //! :quit                         leave
 //! ```
+//!
+//! `.profile` is accepted as an alias for `:profile`, matching the
+//! original CORAL interface's dot commands. Setting `CORAL_PROFILE=1`
+//! in the environment turns profiling on at startup.
 //!
 //! Run with `cargo run --bin coral`, or pipe a script through stdin.
 
@@ -22,6 +27,9 @@ use std::io::{BufRead, Write};
 
 fn main() {
     let session = Session::new();
+    if std::env::var_os("CORAL_PROFILE").is_some_and(|v| v != "0" && !v.is_empty()) {
+        session.set_profiling(true);
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let interactive = atty_stdin();
@@ -46,7 +54,7 @@ fn main() {
             }
         }
         let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with(':') {
+        if buffer.is_empty() && (trimmed.starts_with(':') || trimmed.starts_with(".profile")) {
             if !meta_command(&session, trimmed) {
                 break;
             }
@@ -104,9 +112,36 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                  :list                          base relations and modules\n\
                  :explain <fact>                derivation tree for a ground fact\n\
                  :rewritten <pred>/<n> <form>   dump the rewritten program\n\
+                 :profile [on|off|json]         toggle profiling / last profile\n\
                  :quit                          leave"
             );
         }
+        ":profile" | ".profile" => match rest {
+            "on" => {
+                session.set_profiling(true);
+                if coral::core::profile::AVAILABLE {
+                    println!("profiling on");
+                } else {
+                    println!(
+                        "profiling on (but counters compiled out; \
+                         rebuild with the `profile` feature)"
+                    );
+                }
+            }
+            "off" => {
+                session.set_profiling(false);
+                println!("profiling off");
+            }
+            "json" => match session.last_profile() {
+                Some(p) => println!("{}", p.to_json()),
+                None => println!("no profile collected (try `:profile on` then a query)"),
+            },
+            "" => match session.last_profile() {
+                Some(p) => print!("{}", p.render()),
+                None => println!("no profile collected (try `:profile on` then a query)"),
+            },
+            other => eprintln!("usage: :profile [on|off|json] (got {other:?})"),
+        },
         ":consult" => match session.consult_file(std::path::Path::new(rest)) {
             Ok(results) => {
                 println!("consulted {rest} ({} embedded queries)", results.len())
@@ -142,10 +177,7 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                 eprintln!("bad query form {form:?} (use e.g. bf)");
                 return true;
             };
-            match session
-                .engine()
-                .explain(PredRef::new(name, arity), &adorn)
-            {
+            match session.engine().explain(PredRef::new(name, arity), &adorn) {
                 Ok(text) => print!("{text}"),
                 Err(e) => eprintln!("error: {e}"),
             }

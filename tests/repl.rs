@@ -89,3 +89,81 @@ fn meta_list_and_rewritten() {
     assert!(stdout.contains("edge/2"), "{stdout}");
     assert!(stdout.contains("m_path__bf"), "{stdout}");
 }
+
+#[test]
+fn profile_command_golden_shape() {
+    let (stdout, stderr) = run_script(
+        "edge(1, 2). edge(2, 3). edge(2, 4).\n\
+         module tc.\n\
+         export path(bf).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.\n\
+         :profile on\n\
+         ?- path(1, X).\n\
+         .profile\n\
+         :profile json\n\
+         :profile off\n\
+         :quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("profiling on"), "{stdout}");
+    assert!(stdout.contains("profiling off"), "{stdout}");
+    // The spawned binary shares this test's feature set; without the
+    // `profile` feature the golden shape is the compiled-out warning
+    // plus an empty profile.
+    if !coral::core::profile::AVAILABLE {
+        assert!(stdout.contains("counters compiled out"), "{stdout}");
+        assert!(stdout.contains("no profile collected"), "{stdout}");
+        assert!(stdout.contains("X = 2"), "{stdout}");
+        return;
+    }
+    // Golden shape of the rendered tree: one header line per layer.
+    // Counts must parse as integers; timings are deliberately not
+    // asserted (they vary run to run).
+    assert!(stdout.contains("profile: path(1, "), "{stdout}");
+    for header in ["  term: ", "  rel: ", "  storage: ", "  core: "] {
+        assert!(stdout.contains(header), "missing {header:?} in {stdout}");
+    }
+    assert!(
+        stdout.contains("  scc "),
+        "per-SCC sections present: {stdout}"
+    );
+    assert!(
+        stdout.contains("    rule "),
+        "per-rule lines present: {stdout}"
+    );
+    let answers_line = stdout
+        .lines()
+        .find(|l| l.contains("answers: "))
+        .unwrap_or_else(|| panic!("no answers line in {stdout}"));
+    let n: u64 = answers_line
+        .rsplit("answers: ")
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("answers count is not an integer: {e} in {answers_line}"));
+    assert_eq!(n, 3, "{stdout}");
+    // The unify counter renders as "unify <N> attempts".
+    let term_line = stdout.lines().find(|l| l.starts_with("  term: ")).unwrap();
+    let attempts: u64 = term_line
+        .split("unify ")
+        .nth(1)
+        .and_then(|s| s.split(' ').next())
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|e| panic!("unify count is not an integer: {e} in {term_line}"));
+    assert!(attempts > 0, "{term_line}");
+    // The JSON emitter output is present and structurally sane.
+    assert!(stdout.contains("\"query\": \"path(1, "), "{stdout}");
+    assert!(stdout.contains("\"totals\": {"), "{stdout}");
+    assert!(stdout.contains("\"sccs\": ["), "{stdout}");
+}
+
+#[test]
+fn profile_without_collection_reports_nothing() {
+    let (stdout, stderr) = run_script("edge(1, 2).\n:profile\n:quit\n");
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("no profile collected"), "{stdout}");
+}

@@ -51,14 +51,14 @@ fn recursion_over_persistent_relation() {
 
 #[test]
 fn all_rewritings_agree_on_random_graphs() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(0xC0DAu64 + 1);
+    use coral::term::testutil::TestRng;
+    let mut rng = TestRng::new(0xC0DAu64 + 1);
     for trial in 0..5 {
         let n = 12 + trial * 3;
         let mut facts = String::new();
         for _ in 0..(n * 2) {
-            let a = rng.gen_range(0..n);
-            let b = rng.gen_range(0..n);
+            let a = rng.gen_range(0, n);
+            let b = rng.gen_range(0, n);
             facts.push_str(&format!("edge({a}, {b}).\n"));
         }
         let mut per_rewrite: Vec<Vec<String>> = Vec::new();
@@ -91,8 +91,8 @@ fn all_rewritings_agree_on_random_graphs() {
 
 #[test]
 fn pipelined_matches_materialized_on_random_dags() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(42);
+    use coral::term::testutil::TestRng;
+    let mut rng = TestRng::new(42);
     for _ in 0..5 {
         let n = 10;
         let mut facts = String::new();
@@ -136,7 +136,8 @@ fn embedding_and_declarative_stack() {
     use coral::CoralDb;
     let db = CoralDb::new();
     let inv = db.relation("stock", 2);
-    inv.insert(vec![Term::str("widget"), Term::int(12)]).unwrap();
+    inv.insert(vec![Term::str("widget"), Term::int(12)])
+        .unwrap();
     inv.insert(vec![Term::str("gadget"), Term::int(3)]).unwrap();
     db.define_predicate("reorder_point", 1, |_| {
         Ok(vec![Tuple::new(vec![Term::int(5)])])
@@ -162,7 +163,10 @@ fn figure_2_term_representation_roundtrip() {
     let got = session.query_all("shape(f(25, Q, 50))").unwrap();
     assert_eq!(got.len(), 1);
     assert_eq!(got[0].to_string(), "Q = 10");
-    assert!(session.query_all("shape(g(25, 10, 50))").unwrap().is_empty());
+    assert!(session
+        .query_all("shape(g(25, 10, 50))")
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -173,21 +177,23 @@ fn deep_lists_hash_cons_through_engine() {
     let n = 200;
     session.consult_str("seed(0).").unwrap();
     session
-        .consult_str(&format!(
+        .consult_str(
             "module build. export grow(bff).\n\
              grow(0, [], 0).\n\
              grow(N, [N | T], S) :- N > 0, M = N - 1, grow(M, T, S1), S = S1 + N.\n\
              end_module.\n\
              module check. export same(b).\n\
              same(N) :- grow(N, L, _), grow(N, L, _).\n\
-             end_module.\n"
-        ))
+             end_module.\n",
+        )
         .unwrap();
     let got = session.query_all(&format!("same({n})")).unwrap();
     assert_eq!(got.len(), 1);
     let built = session.query_all(&format!("grow({n}, L, S)")).unwrap();
     assert_eq!(built.len(), 1);
-    assert!(built[0].to_string().contains(&format!("S = {}", n * (n + 1) / 2)));
+    assert!(built[0]
+        .to_string()
+        .contains(&format!("S = {}", n * (n + 1) / 2)));
 }
 
 #[test]
@@ -202,7 +208,10 @@ fn wal_recovery_with_derived_data() {
             .unwrap();
         rel.insert(Tuple::ground(vec![Term::str("bob"), Term::int(50)]))
             .unwrap();
-        storage.commit(txn).map_err(coral::rel::RelError::from).unwrap();
+        storage
+            .commit(txn)
+            .map_err(coral::rel::RelError::from)
+            .unwrap();
         // Crash: no checkpoint.
     }
     {
