@@ -30,6 +30,44 @@ use coral_term::{Term, Tuple, VarId};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe handle that cancels in-flight evaluation on the engine
+/// it was taken from. Cloneable and `Send`: a watchdog thread (or a
+/// signal handler) can trigger it while the owning thread is inside a
+/// fixpoint; the semi-naive, Ordered Search and pipelining inner loops
+/// poll the flag and abort with [`EvalError::Cancelled`].
+#[derive(Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Request cancellation of whatever the engine is evaluating.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested and not yet cleared.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Clear the flag so the engine can evaluate again.
+    pub fn clear(&self) {
+        self.flag.store(false, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of the engine's module catalog, used to roll back a failed
+/// consult so it cannot leave modules (or their export entries)
+/// partially registered.
+pub struct CatalogSnapshot {
+    n_modules: usize,
+    exports: HashMap<PredRef, usize>,
+    n_base_multiset: usize,
+}
 
 /// Evaluation controls for one module, from its annotations (§4, §5.4).
 #[derive(Clone, Debug)]
@@ -102,6 +140,8 @@ struct EngineInner {
     profiling: Cell<bool>,
     /// Profile of the most recently completed profiled call.
     last_profile: RefCell<Option<crate::profile::EngineProfile>>,
+    /// Cooperative cancellation flag (shared with [`CancelToken`]s).
+    cancel: Arc<AtomicBool>,
 }
 
 /// The CORAL engine (cheaply cloneable handle).
@@ -127,8 +167,48 @@ impl Engine {
                 base_multiset: RefCell::new(Vec::new()),
                 profiling: Cell::new(false),
                 last_profile: RefCell::new(None),
+                cancel: Arc::new(AtomicBool::new(false)),
             }),
         }
+    }
+
+    /// A [`CancelToken`] for this engine. Tokens are `Send`: hand one to
+    /// another thread to interrupt a runaway evaluation on this one.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::clone(&self.inner.cancel),
+        }
+    }
+
+    /// Clear a pending cancellation request (servers call this before
+    /// each request so a stale flag cannot cancel fresh work).
+    pub fn clear_cancel(&self) {
+        self.inner.cancel.store(false, Ordering::Relaxed);
+    }
+
+    /// Snapshot the module catalog (loaded modules, export table,
+    /// multiset declarations) for rollback via
+    /// [`Engine::restore_catalog`].
+    pub fn catalog_snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            n_modules: self.inner.modules.borrow().len(),
+            exports: self.inner.exports.borrow().clone(),
+            n_base_multiset: self.inner.base_multiset.borrow().len(),
+        }
+    }
+
+    /// Restore the module catalog to a snapshot taken before a failed
+    /// consult: modules loaded since are dropped and the export table is
+    /// put back exactly, so no export can dangle into a rolled-back
+    /// module. Base-relation *facts* are not rolled back (consulted data
+    /// is append-only, and set semantics absorb re-consulted facts).
+    pub fn restore_catalog(&self, snapshot: CatalogSnapshot) {
+        self.inner.modules.borrow_mut().truncate(snapshot.n_modules);
+        *self.inner.exports.borrow_mut() = snapshot.exports;
+        self.inner
+            .base_multiset
+            .borrow_mut()
+            .truncate(snapshot.n_base_multiset);
     }
 
     /// Enable or disable profiling for every subsequent module call (the
@@ -703,6 +783,10 @@ impl Drop for ProfiledScan {
 }
 
 impl ExternalResolver for Engine {
+    fn cancelled(&self) -> bool {
+        self.inner.cancel.load(Ordering::Relaxed)
+    }
+
     fn candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter> {
         let pred = lit.pred_ref();
         // 1. Module exports take precedence (a module may redefine a

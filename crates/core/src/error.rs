@@ -32,6 +32,11 @@ pub enum EvalError {
     /// Internal control flow: a consumer asked evaluation to stop early
     /// (first-solution searches). Never surfaces to users.
     Interrupted,
+    /// Evaluation was cancelled cooperatively (a [`crate::CancelToken`]
+    /// was triggered — REPL interrupt, network CancelQuery, or a server
+    /// request timeout). Unlike [`EvalError::Interrupted`] this *does*
+    /// surface to users.
+    Cancelled,
 }
 
 /// Result alias for engine operations.
@@ -50,6 +55,7 @@ impl fmt::Display for EvalError {
             EvalError::Arith(m) => write!(f, "arithmetic error: {m}"),
             EvalError::ModuleProtocol(m) => write!(f, "module protocol violation: {m}"),
             EvalError::Interrupted => f.write_str("evaluation interrupted"),
+            EvalError::Cancelled => f.write_str("evaluation cancelled"),
         }
     }
 }

@@ -67,6 +67,14 @@ pub trait ExternalResolver {
     /// Candidate tuples possibly unifying with `pattern` for `lit`'s
     /// predicate. `pattern` is self-contained (variables renumbered).
     fn candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter>;
+
+    /// Cooperative cancellation: the fixpoint, Ordered Search and
+    /// pipelining inner loops poll this between rule evaluations and
+    /// abort with [`crate::EvalError::Cancelled`] when it returns `true`.
+    /// The default (no cancellation source) never cancels.
+    fn cancelled(&self) -> bool {
+        false
+    }
 }
 
 /// Per-predicate delta boundaries for the current iteration:

@@ -54,7 +54,7 @@ pub mod scan;
 pub mod seminaive;
 pub mod session;
 
-pub use engine::Engine;
+pub use engine::{CancelToken, Engine};
 pub use error::{EvalError, EvalResult};
 pub use scan::AnswerScan;
-pub use session::Session;
+pub use session::{Answer, Answers, Session};

@@ -256,6 +256,10 @@ pub fn evaluate(
         pending_preds.iter().map(|p| (*p, Mark(0))).collect();
 
     while let Some(top_idx) = context.len().checked_sub(1) {
+        use crate::join::ExternalResolver as _;
+        if engine.cancelled() {
+            return Err(EvalError::Cancelled);
+        }
         // Release the top node's goals into their magic relations.
         if !context[top_idx].released {
             for (mp, fact, _) in &context[top_idx].goals {

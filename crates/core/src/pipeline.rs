@@ -139,7 +139,11 @@ impl GoalNode {
 
     /// Produce the next solution (bindings live in `envs` on success).
     fn next(&mut self, ctx: &PipeCtx<'_>, envs: &mut EnvSet) -> EvalResult<bool> {
+        use crate::join::ExternalResolver as _;
         loop {
+            if ctx.engine.cancelled() {
+                return Err(crate::error::EvalError::Cancelled);
+            }
             if let Some(att) = &mut self.cur {
                 if att.next(ctx, envs)? {
                     return Ok(true);

@@ -308,6 +308,9 @@ impl FixpointState {
         scc: &CompiledScc,
         external: &dyn ExternalResolver,
     ) -> EvalResult<()> {
+        if external.cancelled() {
+            return Err(EvalError::Cancelled);
+        }
         self.stats.iterations += 1;
         let timed = crate::profile::collecting();
         if timed {
@@ -344,6 +347,9 @@ impl FixpointState {
                 rule.versions.clone()
             };
             for version in versions {
+                if external.cancelled() {
+                    return Err(EvalError::Cancelled);
+                }
                 if !naive && version.delta_idx.is_none() {
                     if self.none_done.contains(&(scc_idx, ri)) {
                         continue;

@@ -145,8 +145,24 @@ impl Session {
     /// Consult program text: load facts, modules and annotations in
     /// order; embedded queries are evaluated eagerly and their answers
     /// returned in order of appearance.
+    ///
+    /// A failed consult rolls the *module catalog* back to its state
+    /// before the call: a module loaded by the failing text (whose later
+    /// items then errored) cannot linger half-registered, so consulting
+    /// a corrected version of the same text afterwards behaves as if the
+    /// failed attempt never happened. Facts already inserted stay (data
+    /// loading is append-only; set semantics absorb re-consulted facts).
     pub fn consult_str(&self, src: &str) -> EvalResult<Vec<Vec<Answer>>> {
         let program = parse_program(src)?;
+        let snapshot = self.engine.catalog_snapshot();
+        let result = self.consult_items(&program);
+        if result.is_err() {
+            self.engine.restore_catalog(snapshot);
+        }
+        result
+    }
+
+    fn consult_items(&self, program: &coral_lang::Program) -> EvalResult<Vec<Vec<Answer>>> {
         let mut query_results = Vec::new();
         for item in &program.items {
             match item {
@@ -193,6 +209,21 @@ impl Session {
         let client = StorageServer::open(dir, frames).map_err(coral_rel::RelError::from)?;
         *self.storage.borrow_mut() = Some(std::sync::Arc::clone(&client));
         Ok(client)
+    }
+
+    /// Attach an already-open storage server through a shared client
+    /// handle. This is how multiple sessions (e.g. one per network
+    /// connection) share one buffer pool and WAL, the paper's "multiple
+    /// CORAL processes … accessing persistent data stored using the
+    /// EXODUS storage manager" (§3.2).
+    pub fn attach_storage_client(&self, client: StorageClient) {
+        *self.storage.borrow_mut() = Some(client);
+    }
+
+    /// A [`crate::CancelToken`] interrupting this session's engine from
+    /// another thread; see [`crate::engine::Engine::cancel_token`].
+    pub fn cancel_token(&self) -> crate::engine::CancelToken {
+        self.engine.cancel_token()
     }
 
     /// The attached storage server, if any.

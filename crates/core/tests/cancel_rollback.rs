@@ -1,0 +1,141 @@
+//! Cooperative cancellation (semi-naive, Ordered Search, pipelined)
+//! and consult rollback.
+//!
+//! The cancellation tests use never-terminating programs — `nat`
+//! over the successor function has an infinite fixpoint — so the only
+//! way they finish is the [`coral_core::CancelToken`] actually
+//! interrupting the evaluator's inner loop from another thread.
+
+use coral_core::{EvalError, Session};
+use std::time::Duration;
+
+/// Infinite bottom-up fixpoint for the default (materialized,
+/// semi-naive) strategy.
+const INF_SEMINAIVE: &str = "zero(z).\n\
+     module inf.\n\
+     export nat(f).\n\
+     nat(X) :- zero(X).\n\
+     nat(s(X)) :- nat(X).\n\
+     end_module.\n";
+
+/// The same program under Ordered Search.
+const INF_ORDERED: &str = "zero(z).\n\
+     module infos.\n\
+     export reach(f).\n\
+     @ordered_search.\n\
+     reach(X) :- zero(X).\n\
+     reach(s(X)) :- reach(X).\n\
+     end_module.\n";
+
+/// The same program pipelined: lazily enumerable, never exhausted.
+const INF_PIPELINED: &str = "zero(z).\n\
+     module infp.\n\
+     export pnat(f).\n\
+     @pipelining.\n\
+     pnat(X) :- zero(X).\n\
+     pnat(s(X)) :- pnat(X).\n\
+     end_module.\n";
+
+const FINITE_TC: &str = "edge(1, 2). edge(2, 3). edge(2, 4).\n\
+     module tc.\n\
+     export path(bf).\n\
+     path(X, Y) :- edge(X, Y).\n\
+     path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+     end_module.\n";
+
+fn cancel_after(s: &Session, delay: Duration) -> std::thread::JoinHandle<()> {
+    let token = s.cancel_token();
+    std::thread::spawn(move || {
+        std::thread::sleep(delay);
+        token.cancel();
+    })
+}
+
+#[test]
+fn seminaive_infinite_fixpoint_cancelled_by_timer() {
+    let s = Session::new();
+    s.consult_str(INF_SEMINAIVE).unwrap();
+    let timer = cancel_after(&s, Duration::from_millis(50));
+    let err = s.query_all("nat(X)").unwrap_err();
+    assert!(matches!(err, EvalError::Cancelled), "got: {err}");
+    timer.join().unwrap();
+    // The session recovers once the flag is cleared.
+    s.engine().clear_cancel();
+    assert_eq!(s.query_all("zero(Z)").unwrap().len(), 1);
+}
+
+#[test]
+fn ordered_search_infinite_evaluation_cancelled_by_timer() {
+    let s = Session::new();
+    s.consult_str(INF_ORDERED).unwrap();
+    let timer = cancel_after(&s, Duration::from_millis(50));
+    let err = s.query_all("reach(X)").unwrap_err();
+    assert!(matches!(err, EvalError::Cancelled), "got: {err}");
+    timer.join().unwrap();
+}
+
+#[test]
+fn pipelined_scan_observes_cancellation_between_answers() {
+    let s = Session::new();
+    s.consult_str(INF_PIPELINED).unwrap();
+    let mut answers = s.query("pnat(X)").unwrap();
+    // Pull a couple of real answers first: the stream works...
+    assert!(answers.next_answer().unwrap().is_some());
+    assert!(answers.next_answer().unwrap().is_some());
+    // ...then cancel mid-stream; the next pull must fail, not hang.
+    s.cancel_token().cancel();
+    let err = answers.next_answer().unwrap_err();
+    assert!(matches!(err, EvalError::Cancelled), "got: {err}");
+}
+
+#[test]
+fn preset_cancel_fails_fast_and_clears() {
+    let s = Session::new();
+    s.consult_str(FINITE_TC).unwrap();
+    s.cancel_token().cancel();
+    assert!(s.cancel_token().is_cancelled());
+    let err = s.query_all("path(1, X)").unwrap_err();
+    assert!(matches!(err, EvalError::Cancelled), "got: {err}");
+    s.engine().clear_cancel();
+    assert_eq!(s.query_all("path(1, X)").unwrap().len(), 3);
+}
+
+#[test]
+fn failed_consult_rolls_back_module_catalog() {
+    let s = Session::new();
+    s.consult_str("edge(1, 2). edge(2, 3). edge(2, 4).")
+        .unwrap();
+    // The module loads, then the embedded query fails: without
+    // rollback, `tc` would linger half-registered.
+    let bad = "module tc.\n\
+         export path(bf).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.\n\
+         ?- nosuch(1).\n";
+    assert!(s.consult_str(bad).is_err());
+    match s.query_all("path(1, X)") {
+        Err(EvalError::UnknownPredicate(_)) => {}
+        other => panic!("expected UnknownPredicate after rollback, got {other:?}"),
+    }
+    // A corrected consult of the same module then behaves as if the
+    // failed attempt never happened.
+    let good = "module tc.\n\
+         export path(bf).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.\n";
+    s.consult_str(good).unwrap();
+    assert_eq!(s.query_all("path(1, X)").unwrap().len(), 3);
+}
+
+#[test]
+fn facts_from_failed_consult_survive_by_design() {
+    let s = Session::new();
+    assert!(s.consult_str("edge(1, 2). ?- nosuch(1).").is_err());
+    // Data loading is append-only: only the module catalog rolls back,
+    // and set semantics absorb any re-consulted facts.
+    assert_eq!(s.query_all("edge(X, Y)").unwrap().len(), 1);
+    assert!(s.consult_str("edge(1, 2). edge(5, 6).").is_ok());
+    assert_eq!(s.query_all("edge(X, Y)").unwrap().len(), 2);
+}

@@ -1,0 +1,193 @@
+//! The blocking CORAL client: typed methods mirroring the
+//! [`Session`](coral_core::Session) API over a TCP connection, with a
+//! streaming answer iterator that preserves the engine's pipelined
+//! get-next-tuple laziness (§5.6) across the wire — only the batch in
+//! flight is ever materialised on either side.
+
+use crate::error::{NetError, NetResult};
+use crate::proto::{self, Request, Response, DEFAULT_MAX_FRAME};
+use coral_core::Answer;
+use std::collections::VecDeque;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Default number of answers pulled per `NextAnswer` round trip.
+pub const DEFAULT_BATCH: u32 = 32;
+
+/// A blocking connection to a CORAL server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+fn unexpected(resp: Response) -> NetError {
+    NetError::Protocol(format!("unexpected response: {resp:?}"))
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> NetResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Raise or lower the response-frame size this client accepts.
+    pub fn set_max_frame(&mut self, max_frame: u32) {
+        self.max_frame = max_frame;
+    }
+
+    /// One request/response round trip; a remote `Error` frame becomes
+    /// [`NetError::Remote`].
+    fn call(&mut self, req: &Request) -> NetResult<Response> {
+        proto::write_frame(&mut self.stream, &req.encode())?;
+        let payload = proto::read_frame(&mut self.stream, self.max_frame)?;
+        Response::decode(&payload)?.into_result()
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> NetResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Consult program text in the remote session; returns the answers
+    /// of embedded queries, mirroring
+    /// [`Session::consult_str`](coral_core::Session::consult_str).
+    pub fn consult_str(&mut self, src: &str) -> NetResult<Vec<Vec<Answer>>> {
+        match self.call(&Request::Consult(src.into()))? {
+            Response::ConsultOk(queries) => Ok(queries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Open a query (e.g. `"?- path(1, X)."`) and stream its answers
+    /// with the default batch size.
+    pub fn query(&mut self, src: &str) -> NetResult<RemoteAnswers<'_>> {
+        self.query_batched(src, DEFAULT_BATCH)
+    }
+
+    /// Open a query pulling `batch_size` answers per round trip.
+    pub fn query_batched(&mut self, src: &str, batch_size: u32) -> NetResult<RemoteAnswers<'_>> {
+        match self.call(&Request::Query(src.into()))? {
+            Response::Ok => Ok(RemoteAnswers {
+                client: self,
+                batch_size: batch_size.max(1),
+                buffered: VecDeque::new(),
+                done: false,
+                failed: false,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Convenience: all answers of a query, mirroring
+    /// [`Session::query_all`](coral_core::Session::query_all).
+    pub fn query_all(&mut self, src: &str) -> NetResult<Vec<Answer>> {
+        let mut out = Vec::new();
+        for answer in self.query(src)? {
+            out.push(answer?);
+        }
+        Ok(out)
+    }
+
+    /// Close the connection's open query, if any (idempotent).
+    pub fn cancel_query(&mut self) -> NetResult<()> {
+        match self.call(&Request::CancelQuery)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Toggle session-wide profiling on the server.
+    pub fn set_profiling(&mut self, on: bool) -> NetResult<()> {
+        match self.call(&Request::SetProfiling(on))? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The profile of the last profiled remote query as JSON, if any;
+    /// parseable with `coral_core::profile::EngineProfile::from_json`.
+    pub fn profile_json(&mut self) -> NetResult<Option<String>> {
+        match self.call(&Request::GetProfile)? {
+            Response::Profile(json) => Ok(json),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Checkpoint the server's storage (flush + truncate the WAL).
+    pub fn checkpoint(&mut self) -> NetResult<()> {
+        match self.call(&Request::Checkpoint)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Politely close the connection.
+    pub fn quit(mut self) -> NetResult<()> {
+        match self.call(&Request::Quit)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// A stream of answers from an open remote query; the network-side
+/// counterpart of [`Answers`](coral_core::Answers). Dropping it before
+/// exhaustion cancels the query on the server, so the connection is
+/// immediately reusable.
+pub struct RemoteAnswers<'a> {
+    client: &'a mut Client,
+    batch_size: u32,
+    buffered: VecDeque<Answer>,
+    done: bool,
+    failed: bool,
+}
+
+impl Iterator for RemoteAnswers<'_> {
+    type Item = NetResult<Answer>;
+
+    fn next(&mut self) -> Option<NetResult<Answer>> {
+        loop {
+            if let Some(a) = self.buffered.pop_front() {
+                return Some(Ok(a));
+            }
+            if self.done || self.failed {
+                return None;
+            }
+            match self.client.call(&Request::NextAnswer(self.batch_size)) {
+                Ok(Response::Batch { answers, done }) => {
+                    self.done = done;
+                    self.buffered.extend(answers);
+                    // Loop: either yield from the refilled buffer or,
+                    // on a final empty batch, report exhaustion.
+                }
+                Ok(other) => {
+                    self.failed = true;
+                    return Some(Err(unexpected(other)));
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for RemoteAnswers<'_> {
+    fn drop(&mut self) {
+        // After an error the server already closed the query; after
+        // exhaustion there is nothing to close. Otherwise cancel — and
+        // read the acknowledgement, keeping the request/response
+        // stream in lockstep for the connection's next user.
+        if !self.done && !self.failed {
+            let _ = self.client.call(&Request::CancelQuery);
+        }
+    }
+}

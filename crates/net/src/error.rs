@@ -1,0 +1,165 @@
+//! Network-layer errors and the engine error codes shipped in Error
+//! frames.
+
+use std::fmt;
+
+/// Stable numeric codes for engine errors crossing the wire. The server
+/// maps [`coral_core::EvalError`] variants onto these; clients match on
+/// them without parsing message text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Parse failure while consulting or posing a query.
+    Parse = 1,
+    /// I/O error inside the engine (consulted file, storage).
+    Io = 2,
+    /// Relation-layer failure (encoding, arity, storage).
+    Rel = 3,
+    /// Query form not permitted by the export declaration.
+    BadQueryForm = 4,
+    /// Unknown predicate.
+    UnknownPredicate = 5,
+    /// Program not stratified for the selected strategy.
+    Unstratified = 6,
+    /// Unsafe rule.
+    Unsafe = 7,
+    /// Arithmetic error.
+    Arith = 8,
+    /// Module protocol violation.
+    ModuleProtocol = 9,
+    /// Evaluation interrupted (internal control flow; rarely surfaces).
+    Interrupted = 10,
+    /// Evaluation cancelled (client CancelQuery or server timeout).
+    Cancelled = 11,
+    /// NextAnswer with no open query on this connection.
+    NoOpenQuery = 20,
+    /// Malformed request frame.
+    Protocol = 21,
+    /// Frame exceeded the server's size limit.
+    FrameTooLarge = 22,
+    /// The server is shutting down.
+    Shutdown = 23,
+}
+
+impl ErrorCode {
+    /// Decode a wire code.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            1 => Parse,
+            2 => Io,
+            3 => Rel,
+            4 => BadQueryForm,
+            5 => UnknownPredicate,
+            6 => Unstratified,
+            7 => Unsafe,
+            8 => Arith,
+            9 => ModuleProtocol,
+            10 => Interrupted,
+            11 => Cancelled,
+            20 => NoOpenQuery,
+            21 => Protocol,
+            22 => FrameTooLarge,
+            23 => Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// The code for an engine error.
+    pub fn of(e: &coral_core::EvalError) -> ErrorCode {
+        use coral_core::EvalError::*;
+        match e {
+            Rel(_) => ErrorCode::Rel,
+            Parse(_) => ErrorCode::Parse,
+            Io(_) => ErrorCode::Io,
+            BadQueryForm(_) => ErrorCode::BadQueryForm,
+            UnknownPredicate(_) => ErrorCode::UnknownPredicate,
+            Unstratified(_) => ErrorCode::Unstratified,
+            Unsafe(_) => ErrorCode::Unsafe,
+            Arith(_) => ErrorCode::Arith,
+            ModuleProtocol(_) => ErrorCode::ModuleProtocol,
+            Interrupted => ErrorCode::Interrupted,
+            Cancelled => ErrorCode::Cancelled,
+        }
+    }
+}
+
+/// Client- and server-side network errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (includes the peer hanging up).
+    Io(std::io::Error),
+    /// Malformed or unexpected frame.
+    Protocol(String),
+    /// A frame announced a payload larger than the negotiated limit.
+    FrameTooLarge {
+        /// Announced payload length.
+        len: u32,
+        /// The enforced limit.
+        max: u32,
+    },
+    /// The server answered with an Error frame.
+    Remote {
+        /// The engine error code.
+        code: ErrorCode,
+        /// The rendered error message.
+        msg: String,
+    },
+}
+
+/// Result alias for network operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network I/O error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            NetError::Remote { code, msg } => write!(f, "server error ({code:?}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for v in [1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 20, 21, 22, 23] {
+            let c = ErrorCode::from_u16(v).unwrap();
+            assert_eq!(c as u16, v);
+        }
+        assert!(ErrorCode::from_u16(999).is_none());
+    }
+
+    #[test]
+    fn eval_errors_map() {
+        assert_eq!(
+            ErrorCode::of(&coral_core::EvalError::Cancelled),
+            ErrorCode::Cancelled
+        );
+        assert_eq!(
+            ErrorCode::of(&coral_core::EvalError::Unsafe("x".into())),
+            ErrorCode::Unsafe
+        );
+    }
+}

@@ -1,0 +1,527 @@
+//! The CORAL server: a TCP front end multiplexing concurrent client
+//! connections onto per-connection [`Session`]s that share one
+//! persistent [`StorageServer`](coral_storage::StorageServer) — the
+//! paper's "multiple CORAL processes … accessing persistent data
+//! stored using the EXODUS storage manager" (§3.2), with threads
+//! standing in for processes.
+//!
+//! Design notes:
+//!
+//! * **Bounded worker pool.** `workers` threads share the listener and
+//!   each serves one connection at a time, so the pool size bounds both
+//!   concurrency and memory. A `Session` is `!Send` (it is built from
+//!   `Rc`/`RefCell`), so each is created and dropped on the worker
+//!   thread that owns the connection; only the storage client handle
+//!   (`Arc`) crosses threads.
+//! * **Shutdown.** A shared flag plus short socket read timeouts: idle
+//!   connections poll the flag between frames, workers blocked in
+//!   `accept` are woken by loopback connects, and in-flight
+//!   evaluations are interrupted through their session's
+//!   [`CancelToken`].
+//! * **Request timeouts.** A watchdog thread cancels the session of
+//!   any request that outlives `request_timeout`; the evaluation
+//!   surfaces [`EvalError::Cancelled`] and the client gets an `Error`
+//!   frame with code `Cancelled` while the connection stays usable.
+
+use crate::error::{ErrorCode, NetError, NetResult};
+use crate::proto::{self, Request, Response, DEFAULT_MAX_FRAME};
+use crate::stats::{NetStats, NetStatsSnapshot};
+use coral_core::{Answers, CancelToken, EvalError, Session};
+use coral_rel::PersistentRelation;
+use coral_storage::{StorageClient, StorageServer};
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often an idle connection wakes up to check the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// How often the watchdog scans for expired requests.
+const WATCHDOG_TICK: Duration = Duration::from_millis(5);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; also the maximum number of concurrent
+    /// connections.
+    pub workers: usize,
+    /// Storage directory for persistent relations; `None` serves
+    /// purely in-memory sessions.
+    pub data_dir: Option<PathBuf>,
+    /// Buffer pool size (pages) when `data_dir` is set.
+    pub frames: usize,
+    /// Maximum accepted request payload size in bytes.
+    pub max_frame: u32,
+    /// Wall-clock budget per engine-evaluating request (consult,
+    /// query, next-answer); `None` means unlimited.
+    pub request_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            data_dir: None,
+            frames: 256,
+            max_frame: DEFAULT_MAX_FRAME,
+            request_timeout: None,
+        }
+    }
+}
+
+struct WatchEntry {
+    id: u64,
+    deadline: Instant,
+    token: CancelToken,
+}
+
+struct Shared {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    stats: NetStats,
+    storage: Option<StorageClient>,
+    config: ServerConfig,
+    next_id: AtomicU64,
+    /// Requests currently under a timeout, scanned by the watchdog.
+    watch: Mutex<Vec<WatchEntry>>,
+    /// Cancel tokens of all live connections, cancelled on shutdown.
+    active: Mutex<Vec<(u64, CancelToken)>>,
+}
+
+/// Removes its watch entry when the request finishes before the
+/// deadline.
+struct TimeoutGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for TimeoutGuard<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .watch
+            .lock()
+            .unwrap()
+            .retain(|e| e.id != self.id);
+    }
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn timeout_guard(&self, token: CancelToken) -> Option<TimeoutGuard<'_>> {
+        let timeout = self.config.request_timeout?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.watch.lock().unwrap().push(WatchEntry {
+            id,
+            deadline: Instant::now() + timeout,
+            token,
+        });
+        Some(TimeoutGuard { shared: self, id })
+    }
+}
+
+/// A running CORAL server. Dropping it without calling
+/// [`Server::shutdown`] detaches the worker threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:7061"`, or port 0 for an
+    /// ephemeral port) and start serving. Opens the storage directory
+    /// first when one is configured, so WAL recovery happens before
+    /// the first connection is accepted.
+    pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> NetResult<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let storage = match &config.data_dir {
+            Some(dir) => Some(
+                StorageServer::open(dir, config.frames)
+                    .map_err(|e| NetError::Protocol(format!("failed to open storage: {e}")))?,
+            ),
+            None => None,
+        };
+        let n_workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            listener,
+            addr,
+            shutdown: AtomicBool::new(false),
+            stats: NetStats::default(),
+            storage,
+            config,
+            next_id: AtomicU64::new(0),
+            watch: Mutex::new(Vec::new()),
+            active: Mutex::new(Vec::new()),
+        });
+        let workers = (0..n_workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("coral-net-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let watchdog = shared.config.request_timeout.map(|_| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("coral-net-watchdog".into())
+                .spawn(move || watchdog_loop(&sh))
+                .expect("spawn watchdog thread")
+        });
+        Ok(Server {
+            shared,
+            workers,
+            watchdog,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, cancel in-flight
+    /// evaluations, let live connections observe the flag and close
+    /// (clients see EOF), join all threads, and checkpoint storage.
+    /// Returns the final counter snapshot.
+    pub fn shutdown(self) -> NetStatsSnapshot {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for (_, token) in self.shared.active.lock().unwrap().iter() {
+            token.cancel();
+        }
+        // Wake workers blocked in accept(); extras queue in the
+        // backlog and die with the listener.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.shared.addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watchdog {
+            let _ = w.join();
+        }
+        if let Some(s) = &self.shared.storage {
+            let _ = s.checkpoint();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match shared.listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutting_down() {
+                    return; // the stream was a shutdown wakeup
+                }
+                serve_connection(shared, stream);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) => {}
+            Err(_) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn watchdog_loop(shared: &Shared) {
+    while !shared.shutting_down() {
+        {
+            let mut watch = shared.watch.lock().unwrap();
+            let now = Instant::now();
+            watch.retain(|e| {
+                if e.deadline <= now {
+                    e.token.cancel();
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        std::thread::sleep(WATCHDOG_TICK);
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    NetStats::add(&shared.stats.connections_accepted, 1);
+    NetStats::add(&shared.stats.connections_active, 1);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+
+    let session = Session::new();
+    if let Some(storage) = &shared.storage {
+        session.attach_storage_client(Arc::clone(storage));
+        // Register every on-disk relation so all sessions see the same
+        // persistent database without per-client declarations.
+        for name in PersistentRelation::list(storage) {
+            if let Ok(Some(arity)) = PersistentRelation::stored_arity(storage, &name) {
+                let _ = session.create_persistent(&name, arity);
+            }
+        }
+    }
+
+    let conn_id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    shared
+        .active
+        .lock()
+        .unwrap()
+        .push((conn_id, session.cancel_token()));
+
+    let mut conn = Conn {
+        shared,
+        stream,
+        session,
+        open: None,
+    };
+    conn.run();
+
+    shared
+        .active
+        .lock()
+        .unwrap()
+        .retain(|(id, _)| *id != conn_id);
+    shared.stats.connection_closed();
+}
+
+struct Conn<'a> {
+    shared: &'a Shared,
+    stream: TcpStream,
+    session: Session,
+    /// The connection's open query, if any; answers are pulled from it
+    /// batch by batch so pipelined evaluation stays lazy end to end.
+    open: Option<Answers>,
+}
+
+enum ReadOutcome {
+    Data,
+    Closed,
+}
+
+/// `read_exact` against a socket with a short read timeout: partial
+/// reads are preserved across timeouts (a plain `read_exact` would
+/// lose them), and the shutdown flag is polled between attempts.
+fn read_exact_poll(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+) -> NetResult<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutting_down() {
+            return Ok(ReadOutcome::Closed);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(ReadOutcome::Closed);
+                }
+                return Err(NetError::Protocol("connection closed mid-frame".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Data)
+}
+
+fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> NetResult<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    if let ReadOutcome::Closed = read_exact_poll(stream, &mut len_buf, shared)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf);
+    let max = shared.config.max_frame;
+    if len > max {
+        return Err(NetError::FrameTooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_poll(stream, &mut payload, shared)? {
+        ReadOutcome::Closed => Ok(None),
+        ReadOutcome::Data => Ok(Some(payload)),
+    }
+}
+
+fn eval_error_response(e: &EvalError) -> Response {
+    Response::Error {
+        code: ErrorCode::of(e) as u16,
+        msg: e.to_string(),
+    }
+}
+
+fn net_error_response(code: ErrorCode, msg: impl Into<String>) -> Response {
+    Response::Error {
+        code: code as u16,
+        msg: msg.into(),
+    }
+}
+
+impl Conn<'_> {
+    fn run(&mut self) {
+        loop {
+            let payload = match read_request_frame(&mut self.stream, self.shared) {
+                Ok(Some(p)) => p,
+                Ok(None) => return,
+                Err(NetError::FrameTooLarge { len, max }) => {
+                    // The payload was never read, so the stream cannot
+                    // be resynchronised: report and drop the connection.
+                    NetStats::add(&self.shared.stats.errors, 1);
+                    let _ = self.write_response(&net_error_response(
+                        ErrorCode::FrameTooLarge,
+                        format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                    ));
+                    return;
+                }
+                Err(_) => return,
+            };
+            NetStats::add(&self.shared.stats.requests, 1);
+            NetStats::add(&self.shared.stats.bytes_in, payload.len() as u64);
+            let (resp, close) = match Request::decode(&payload) {
+                Ok(req) => self.dispatch(req),
+                Err(e) => (net_error_response(ErrorCode::Protocol, e.to_string()), true),
+            };
+            if matches!(resp, Response::Error { .. }) {
+                NetStats::add(&self.shared.stats.errors, 1);
+            }
+            if self.write_response(&resp).is_err() {
+                return;
+            }
+            if close {
+                return;
+            }
+        }
+    }
+
+    fn write_response(&mut self, resp: &Response) -> NetResult<()> {
+        let payload = match resp.encode() {
+            Ok(p) => p,
+            // An answer term the wire format cannot carry (e.g. an
+            // internal ADT value): degrade to an error frame.
+            Err(e) => net_error_response(ErrorCode::Protocol, e.to_string())
+                .encode()
+                .expect("error frames always encode"),
+        };
+        NetStats::add(&self.shared.stats.bytes_out, payload.len() as u64);
+        proto::write_frame(&mut self.stream, &payload)
+    }
+
+    /// Run engine work under the configured request timeout. The
+    /// cancel flag is cleared first so a previous cancellation cannot
+    /// leak into this request.
+    fn timed<T>(&self, f: impl FnOnce(&Session) -> Result<T, EvalError>) -> Result<T, EvalError> {
+        self.session.engine().clear_cancel();
+        let _guard = self.shared.timeout_guard(self.session.cancel_token());
+        f(&self.session)
+    }
+
+    fn dispatch(&mut self, req: Request) -> (Response, bool) {
+        if self.shared.shutting_down() {
+            return (
+                net_error_response(ErrorCode::Shutdown, "server is shutting down"),
+                true,
+            );
+        }
+        match req {
+            Request::Ping => (Response::Pong, false),
+            Request::Quit => (Response::Ok, true),
+            Request::CancelQuery => {
+                // Idempotent so clients can cancel defensively.
+                self.open = None;
+                (Response::Ok, false)
+            }
+            Request::SetProfiling(on) => {
+                self.session.set_profiling(on);
+                (Response::Ok, false)
+            }
+            Request::GetProfile => (
+                Response::Profile(self.session.last_profile().map(|p| p.to_json())),
+                false,
+            ),
+            Request::Checkpoint => match self.session.checkpoint() {
+                Ok(()) => (Response::Ok, false),
+                Err(e) => (eval_error_response(&e), false),
+            },
+            Request::Consult(src) => {
+                self.open = None;
+                match self.timed(|s| s.consult_str(&src)) {
+                    Ok(queries) => (Response::ConsultOk(queries), false),
+                    Err(e) => (eval_error_response(&e), false),
+                }
+            }
+            Request::Query(src) => {
+                self.open = None;
+                match self.timed(|s| s.query(&src)) {
+                    Ok(answers) => {
+                        self.open = Some(answers);
+                        (Response::Ok, false)
+                    }
+                    Err(e) => (eval_error_response(&e), false),
+                }
+            }
+            Request::NextAnswer(k) => {
+                let Some(mut answers) = self.open.take() else {
+                    return (
+                        net_error_response(ErrorCode::NoOpenQuery, "no open query"),
+                        false,
+                    );
+                };
+                let k = k.max(1) as usize;
+                let mut batch = Vec::new();
+                let mut done = false;
+                let pulled = self.timed(|_| {
+                    for _ in 0..k {
+                        match answers.next_answer()? {
+                            Some(a) => batch.push(a),
+                            None => {
+                                done = true;
+                                break;
+                            }
+                        }
+                    }
+                    Ok(())
+                });
+                match pulled {
+                    Ok(()) => {
+                        if !done {
+                            self.open = Some(answers);
+                        }
+                        (
+                            Response::Batch {
+                                answers: batch,
+                                done,
+                            },
+                            false,
+                        )
+                    }
+                    // The scan's state is undefined after an error
+                    // (including a timeout cancellation): close it.
+                    Err(e) => (eval_error_response(&e), false),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-server counters, following the coral-profile pattern of cheap
+//! always-on counters with an explicit snapshot type — but using
+//! atomics rather than thread-local cells, since connections are
+//! served from many worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared by all workers of one [`crate::Server`].
+#[derive(Default)]
+pub struct NetStats {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_active: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+}
+
+/// A point-in-time copy of a server's [`NetStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Request frames handled (including ones answered with an error).
+    pub requests: u64,
+    /// Requests answered with an `Error` frame.
+    pub errors: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+}
+
+impl NetStats {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Display for NetStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "connections: {} accepted, {} active; requests: {} ({} errors); bytes: {} in, {} out",
+            self.connections_accepted,
+            self.connections_active,
+            self.requests,
+            self.errors,
+            self.bytes_in,
+            self.bytes_out
+        )
+    }
+}

@@ -15,6 +15,23 @@
 //! 0x20 ‖ (f64 order-preserving bits, BE)        double
 //! 0x30 ‖ escaped bytes ‖ 0x00 0x00              string (0x00 → 0x00 0x01)
 //! ```
+//!
+//! The **wire** variants ([`encode_term_wire`] / [`decode_term_wire`] /
+//! [`encode_tuple_wire`] / [`decode_tuple_wire`]) extend the storage
+//! encoding with tags for every transportable term the network layer
+//! (`coral-net`) must ship — arbitrary-precision integers, variables,
+//! and nested functor/list terms. These tags are *not* order-preserving
+//! and never reach a B+-tree; primitives keep the storage layout, so a
+//! primitive-only wire tuple is byte-compatible field-by-field:
+//!
+//! ```text
+//! 0x40 ‖ u32 len ‖ decimal ASCII                bignum
+//! 0x41 ‖ u32 var id (BE)                        variable
+//! 0x42 ‖ u32 len ‖ functor name ‖ u32 arity ‖ args…   functor/list
+//! ```
+//!
+//! ADT values are process-local (their behaviour lives in registered
+//! Rust code) and are rejected on the wire like they are on disk.
 
 use crate::error::{RelError, RelResult};
 use coral_term::{Term, Tuple};
@@ -22,6 +39,9 @@ use coral_term::{Term, Tuple};
 const TAG_INT: u8 = 0x10;
 const TAG_DOUBLE: u8 = 0x20;
 const TAG_STR: u8 = 0x30;
+const TAG_BIG: u8 = 0x40;
+const TAG_VAR: u8 = 0x41;
+const TAG_APP: u8 = 0x42;
 
 /// Append the encoding of one primitive term.
 pub fn encode_term(out: &mut Vec<u8>, t: &Term) -> RelResult<()> {
@@ -130,6 +150,116 @@ pub fn decode_term(bytes: &[u8]) -> RelResult<(Term, usize)> {
         Some(&t) => Err(RelError::Decode(format!("unknown field tag {t:#x}"))),
         None => Err(RelError::Decode("empty field".into())),
     }
+}
+
+fn push_len_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> RelResult<u32> {
+    bytes
+        .get(at..at + 4)
+        .map(|b| u32::from_be_bytes(b.try_into().unwrap()))
+        .ok_or_else(|| RelError::Decode("truncated length".into()))
+}
+
+fn read_len_str(bytes: &[u8], at: usize) -> RelResult<(&str, usize)> {
+    let len = read_u32(bytes, at)? as usize;
+    let raw = bytes
+        .get(at + 4..at + 4 + len)
+        .ok_or_else(|| RelError::Decode("truncated string body".into()))?;
+    let s = std::str::from_utf8(raw).map_err(|_| RelError::Decode("non-UTF8 string".into()))?;
+    Ok((s, at + 4 + len))
+}
+
+/// Append the wire encoding of one term (any transportable kind).
+pub fn encode_term_wire(out: &mut Vec<u8>, t: &Term) -> RelResult<()> {
+    match t {
+        Term::Int(_) | Term::Double(_) | Term::Str(_) => encode_term(out, t),
+        Term::Big(b) => {
+            out.push(TAG_BIG);
+            push_len_bytes(out, b.to_string().as_bytes());
+            Ok(())
+        }
+        Term::Var(v) => {
+            out.push(TAG_VAR);
+            out.extend_from_slice(&v.0.to_be_bytes());
+            Ok(())
+        }
+        Term::App(a) => {
+            out.push(TAG_APP);
+            push_len_bytes(out, a.sym().as_str().as_bytes());
+            out.extend_from_slice(&(a.arity() as u32).to_be_bytes());
+            for arg in a.args() {
+                encode_term_wire(out, arg)?;
+            }
+            Ok(())
+        }
+        Term::Adt(a) => Err(RelError::NonPrimitive(format!(
+            "ADT value {} is process-local and cannot be sent over the wire",
+            a.print()
+        ))),
+    }
+}
+
+/// Decode one wire term, returning it and the bytes consumed.
+pub fn decode_term_wire(bytes: &[u8]) -> RelResult<(Term, usize)> {
+    match bytes.first() {
+        Some(&TAG_BIG) => {
+            let (s, end) = read_len_str(bytes, 1)?;
+            let big = s
+                .parse()
+                .map_err(|_| RelError::Decode(format!("bad bignum literal {s:?}")))?;
+            Ok((Term::big(big), end))
+        }
+        Some(&TAG_VAR) => {
+            let id = read_u32(bytes, 1)?;
+            Ok((Term::var(id), 5))
+        }
+        Some(&TAG_APP) => {
+            let (name, mut at) = read_len_str(bytes, 1)?;
+            let sym = coral_term::Symbol::intern(name);
+            let arity = read_u32(bytes, at)? as usize;
+            at += 4;
+            let mut args = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let (arg, n) = decode_term_wire(&bytes[at..])?;
+                args.push(arg);
+                at += n;
+            }
+            Ok((Term::app(sym, args), at))
+        }
+        _ => decode_term(bytes),
+    }
+}
+
+/// Encode a whole tuple for the wire: arity prefix, then self-delimiting
+/// wire terms. Unlike [`encode_tuple`], the arity prefix makes the
+/// encoding self-delimiting *as a whole*, so tuples can be concatenated
+/// in one network frame (and the empty tuple is representable).
+pub fn encode_tuple_wire(tuple: &Tuple) -> RelResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(4 + tuple.arity() * 12);
+    out.extend_from_slice(&(tuple.arity() as u32).to_be_bytes());
+    for t in tuple.args() {
+        encode_term_wire(&mut out, t)?;
+    }
+    Ok(out)
+}
+
+/// Decode one wire tuple, returning it and the bytes consumed. Variable
+/// identity is preserved: `p(X, X)` and `p(X, Y)` decode to distinct
+/// tuples.
+pub fn decode_tuple_wire(bytes: &[u8]) -> RelResult<(Tuple, usize)> {
+    let arity = read_u32(bytes, 0)? as usize;
+    let mut at = 4;
+    let mut args = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let (t, n) = decode_term_wire(&bytes[at..])?;
+        args.push(t);
+        at += n;
+    }
+    Ok((Tuple::new(args), at))
 }
 
 /// Decode a whole tuple.
@@ -246,5 +376,117 @@ mod tests {
         assert!(decode_term(&[TAG_INT, 1, 2]).is_err());
         assert!(decode_term(&[TAG_STR, b'a']).is_err());
         assert!(decode_term(&[TAG_STR, 0, 9]).is_err());
+    }
+
+    // ----------------------------------------------------------------
+    // Wire-path round-trips (the coral-net transport encoding).
+    // ----------------------------------------------------------------
+
+    fn wire_roundtrip(t: &Term) -> Term {
+        let mut buf = Vec::new();
+        encode_term_wire(&mut buf, t).unwrap();
+        let (back, n) = decode_term_wire(&buf).unwrap();
+        assert_eq!(n, buf.len(), "wire term must consume all its bytes");
+        back
+    }
+
+    fn wire_tuple_roundtrip(t: &Tuple) -> Tuple {
+        let enc = encode_tuple_wire(t).unwrap();
+        let (back, n) = decode_tuple_wire(&enc).unwrap();
+        assert_eq!(n, enc.len());
+        back
+    }
+
+    #[test]
+    fn wire_roundtrips_primitives_same_as_storage() {
+        for t in [
+            Term::int(i64::MIN),
+            Term::int(42),
+            Term::double(-2.25),
+            Term::str("with\0nul"),
+            Term::str(""),
+        ] {
+            assert_eq!(wire_roundtrip(&t), t);
+            // Primitive wire bytes are exactly the storage bytes.
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            encode_term(&mut a, &t).unwrap();
+            encode_term_wire(&mut b, &t).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrips_bignums() {
+        for s in [
+            "99999999999999999999999999999999999999",
+            "-12345678901234567890123456789",
+            "0",
+        ] {
+            let t = Term::big(s.parse().unwrap());
+            assert_eq!(wire_roundtrip(&t), t);
+        }
+        // A bignum the storage encoding rejects still travels the wire.
+        let big = Term::big("7".repeat(50).parse().unwrap());
+        let mut buf = Vec::new();
+        assert!(encode_term(&mut buf, &big).is_err());
+        assert_eq!(wire_roundtrip(&big), big);
+    }
+
+    #[test]
+    fn wire_roundtrips_non_ground_terms() {
+        let t = Term::apps("f", vec![Term::var(0), Term::int(1), Term::var(3)]);
+        let back = wire_roundtrip(&t);
+        assert_eq!(back, t);
+        assert!(!back.is_ground());
+        assert_eq!(wire_roundtrip(&Term::var(7)), Term::var(7));
+    }
+
+    #[test]
+    fn wire_roundtrips_nested_functors_and_lists() {
+        let nested = Term::apps(
+            "edge",
+            vec![
+                Term::apps("node", vec![Term::int(1), Term::str("a b")]),
+                Term::list(vec![
+                    Term::int(1),
+                    Term::list(vec![Term::str("x"), Term::var(0)]),
+                    Term::big("88888888888888888888".parse().unwrap()),
+                ]),
+            ],
+        );
+        assert_eq!(wire_roundtrip(&nested), nested);
+        // Improper list (open tail).
+        let open = Term::cons(Term::var(0), Term::var(1));
+        assert_eq!(wire_roundtrip(&open), open);
+        assert_eq!(wire_roundtrip(&Term::nil()), Term::nil());
+    }
+
+    #[test]
+    fn wire_tuple_roundtrips_incl_empty_and_variable_sharing() {
+        let empty = Tuple::new(vec![]);
+        assert_eq!(wire_tuple_roundtrip(&empty), empty);
+        let shared = Tuple::new(vec![Term::var(0), Term::var(0)]);
+        let distinct = Tuple::new(vec![Term::var(0), Term::var(1)]);
+        assert_eq!(wire_tuple_roundtrip(&shared), shared);
+        assert_eq!(wire_tuple_roundtrip(&distinct), distinct);
+        assert_ne!(wire_tuple_roundtrip(&shared), distinct);
+        // Tuples concatenate in a frame: decoding reports consumption.
+        let mut frame = encode_tuple_wire(&shared).unwrap();
+        let first_len = frame.len();
+        frame.extend(encode_tuple_wire(&distinct).unwrap());
+        let (a, n) = decode_tuple_wire(&frame).unwrap();
+        assert_eq!((a, n), (shared, first_len));
+        let (b, _) = decode_tuple_wire(&frame[first_len..]).unwrap();
+        assert_eq!(b, distinct);
+    }
+
+    #[test]
+    fn wire_corrupt_input_rejected() {
+        assert!(decode_term_wire(&[TAG_BIG, 0, 0, 0, 4, b'a']).is_err());
+        assert!(decode_term_wire(&[TAG_BIG, 0, 0, 0, 2, b'x', b'y']).is_err());
+        assert!(decode_term_wire(&[TAG_VAR, 0, 0]).is_err());
+        assert!(decode_term_wire(&[TAG_APP, 0, 0, 0, 1, b'f', 0, 0, 0, 2]).is_err());
+        assert!(decode_tuple_wire(&[0, 0, 0, 1]).is_err());
+        assert!(decode_tuple_wire(&[]).is_err());
     }
 }

@@ -108,6 +108,34 @@ impl PersistentRelation {
         &self.name
     }
 
+    /// The stored arity of the named relation in this store, or `None`
+    /// if no relation of that name exists. Lets a server enumerate and
+    /// reopen existing relations without knowing their schemas up front.
+    pub fn stored_arity(server: &StorageClient, name: &str) -> RelResult<Option<usize>> {
+        let schema_file = format!("{name}.schema");
+        if !server.file_exists(&schema_file) {
+            return Ok(None);
+        }
+        let schema = server.heap(&schema_file)?;
+        match schema.scan().next() {
+            Some(rec) => {
+                let (_, bytes) = rec?;
+                Ok(Some(decode_schema(&bytes)?.0))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Names of the persistent relations present in a store (derived
+    /// from the catalog's `<name>.schema` entries).
+    pub fn list(server: &StorageClient) -> Vec<String> {
+        server
+            .list_files()
+            .into_iter()
+            .filter_map(|f| f.strip_suffix(".schema").map(str::to_string))
+            .collect()
+    }
+
     fn persist_schema(&self) -> RelResult<()> {
         let col_lists: Vec<Vec<usize>> = self
             .indices

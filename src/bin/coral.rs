@@ -20,12 +20,272 @@
 //! in the environment turns profiling on at startup.
 //!
 //! Run with `cargo run --bin coral`, or pipe a script through stdin.
+//!
+//! Two subcommands expose the network layer (see DESIGN.md "Network
+//! layer"):
+//!
+//! ```text
+//! coral serve   [--addr A] [--workers N] [--data-dir DIR] [--frames N]
+//!               [--timeout-ms MS] [--max-frame BYTES]
+//! coral connect [--addr A]
+//! ```
+//!
+//! `serve` runs a server until stdin closes (or a line is entered);
+//! `connect` drops into the same REPL loop backed by a remote session.
 
 use coral::lang::{Adornment, PredRef};
+use coral::net::{Client, Server, ServerConfig};
 use coral::Session;
 use std::io::{BufRead, Write};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => std::process::exit(serve_main(&args[1..])),
+        Some("connect") => std::process::exit(connect_main(&args[1..])),
+        Some("help") | Some("--help") | Some("-h") => print_usage(),
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}; try `coral --help`");
+            std::process::exit(2);
+        }
+        None => repl_main(),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage:\n\
+         \x20 coral                      interactive session (or pipe a script)\n\
+         \x20 coral serve [options]      serve concurrent sessions over TCP\n\
+         \x20     --addr A               listen address (default 127.0.0.1:7061)\n\
+         \x20     --workers N            worker threads = max connections (default 4)\n\
+         \x20     --data-dir DIR         persistent storage directory\n\
+         \x20     --frames N             buffer pool pages (default 256)\n\
+         \x20     --timeout-ms MS        per-request evaluation timeout\n\
+         \x20     --max-frame BYTES      request size limit (default 16 MiB)\n\
+         \x20 coral connect [--addr A]   REPL against a running server"
+    );
+}
+
+/// `--name value` or `--name=value`.
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match flag_value(args, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad value {v:?} for {name}")),
+    }
+}
+
+fn serve_main(args: &[String]) -> i32 {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7061".into());
+    let mut config = ServerConfig::default();
+    let parsed = (|| -> Result<(), String> {
+        if let Some(w) = parse_flag(args, "--workers")? {
+            config.workers = w;
+        }
+        if let Some(f) = parse_flag(args, "--frames")? {
+            config.frames = f;
+        }
+        if let Some(m) = parse_flag(args, "--max-frame")? {
+            config.max_frame = m;
+        }
+        if let Some(ms) = parse_flag::<u64>(args, "--timeout-ms")? {
+            config.request_timeout = Some(std::time::Duration::from_millis(ms));
+        }
+        config.data_dir = flag_value(args, "--data-dir").map(std::path::PathBuf::from);
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    let server = match Server::start(addr.as_str(), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!("coral server listening on {}", server.addr());
+    println!("press Enter to stop");
+    let mut line = String::new();
+    match std::io::stdin().read_line(&mut line) {
+        // Stdin is closed (e.g. the server was backgrounded with no
+        // controlling terminal): run as a daemon until killed. An
+        // unclean kill is safe — WAL recovery covers it on reopen.
+        Ok(0) => loop {
+            std::thread::park();
+        },
+        _ => {
+            let stats = server.shutdown();
+            println!("server stopped; {stats}");
+            0
+        }
+    }
+}
+
+fn connect_main(args: &[String]) -> i32 {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7061".into());
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("connected to coral server at {addr}.");
+        println!("Type :help for meta commands; clauses end with '.'");
+    }
+    let mut buffer = String::new();
+    let mut prompt = "coral> ";
+    loop {
+        if interactive {
+            print!("{prompt}");
+            let _ = stdout.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && (trimmed.starts_with(':') || trimmed.starts_with(".profile")) {
+            if !remote_meta(&mut client, trimmed) {
+                return match client.quit() {
+                    Ok(()) => 0,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        1
+                    }
+                };
+            }
+            continue;
+        }
+        if trimmed.is_empty() && buffer.is_empty() {
+            continue;
+        }
+        buffer.push_str(&line);
+        if !input_complete(&buffer) {
+            prompt = "  ...> ";
+            continue;
+        }
+        prompt = "coral> ";
+        let chunk = std::mem::take(&mut buffer);
+        if chunk.trim_start().starts_with("?-") {
+            // Stream the answers: each batch is printed as it arrives,
+            // so a pipelined query shows answers before the fixpoint of
+            // a huge relation would complete.
+            match client.query(&chunk) {
+                Ok(answers) => {
+                    let mut n = 0usize;
+                    let mut failed = false;
+                    for answer in answers {
+                        match answer {
+                            Ok(a) => {
+                                println!("{a}");
+                                n += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if n == 0 && !failed {
+                        println!("no");
+                    }
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+        } else {
+            match client.consult_str(&chunk) {
+                Ok(query_results) => print_query_results(query_results),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+    }
+    let _ = client.quit();
+    0
+}
+
+/// Handle a `:` meta command against a remote session; returns `false`
+/// to quit.
+fn remote_meta(client: &mut Client, cmd: &str) -> bool {
+    let mut parts = cmd.splitn(2, ' ');
+    let head = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    match head {
+        ":quit" | ":q" | ":exit" => return false,
+        ":help" | ":h" => {
+            println!(
+                ":profile [on|off|json]         toggle remote profiling / last profile\n\
+                 :checkpoint                    checkpoint the server's storage\n\
+                 :ping                          liveness check\n\
+                 :quit                          leave"
+            );
+        }
+        ":profile" | ".profile" => match rest {
+            "on" | "off" => match client.set_profiling(rest == "on") {
+                Ok(()) => println!("profiling {rest}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            "json" | "" => match client.profile_json() {
+                Ok(Some(j)) => println!("{j}"),
+                Ok(None) => println!("no profile collected (try `:profile on` then a query)"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            other => eprintln!("usage: :profile [on|off|json] (got {other:?})"),
+        },
+        ":checkpoint" => match client.checkpoint() {
+            Ok(()) => println!("checkpointed"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":ping" => match client.ping() {
+            Ok(()) => println!("pong"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        other => eprintln!("unknown command {other}; try :help"),
+    }
+    true
+}
+
+fn print_query_results(query_results: Vec<Vec<coral::Answer>>) {
+    for answers in query_results {
+        if answers.is_empty() {
+            println!("no");
+        } else {
+            for a in answers {
+                println!("{a}");
+            }
+        }
+    }
+}
+
+fn repl_main() {
     let session = Session::new();
     if std::env::var_os("CORAL_PROFILE").is_some_and(|v| v != "0" && !v.is_empty()) {
         session.set_profiling(true);
@@ -71,17 +331,7 @@ fn main() {
         prompt = "coral> ";
         let chunk = std::mem::take(&mut buffer);
         match session.consult_str(&chunk) {
-            Ok(query_results) => {
-                for answers in query_results {
-                    if answers.is_empty() {
-                        println!("no");
-                    } else {
-                        for a in answers {
-                            println!("{a}");
-                        }
-                    }
-                }
-            }
+            Ok(query_results) => print_query_results(query_results),
             Err(e) => eprintln!("error: {e}"),
         }
     }

@@ -38,10 +38,12 @@
 //! | [`lang`] | The declarative language front end |
 //! | [`core`] | Optimizer (rewritings) + evaluator (semi-naive, pipelining, ordered search) |
 //! | [`embed`] | The C++-interface analog: embedding + extensibility |
+//! | [`net`] | Client-server network layer: `coral serve` / `coral connect` |
 
 pub use coral_core as core;
 pub use coral_embed as embed;
 pub use coral_lang as lang;
+pub use coral_net as net;
 pub use coral_rel as rel;
 pub use coral_storage as storage;
 pub use coral_term as term;
