@@ -101,10 +101,12 @@ struct TimeoutGuard<'a> {
 
 impl Drop for TimeoutGuard<'_> {
     fn drop(&mut self) {
+        // Runs during unwinding too (the request may have panicked), so
+        // tolerate a poisoned mutex instead of double-panicking.
         self.shared
             .watch
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .retain(|e| e.id != self.id);
     }
 }
@@ -231,7 +233,18 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutting_down() {
                     return; // the stream was a shutdown wakeup
                 }
-                serve_connection(shared, stream);
+                // A panic in session/engine code must cost one
+                // connection, not this worker: an unwinding worker would
+                // permanently shrink the pool (and the max-connection
+                // capacity) for the server's lifetime. Connection
+                // bookkeeping is restored by `ConnCleanup`'s Drop.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(shared, stream)
+                }))
+                .is_err()
+                {
+                    NetStats::add(&shared.stats.errors, 1);
+                }
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) => {}
             Err(_) => {
@@ -262,9 +275,35 @@ fn watchdog_loop(shared: &Shared) {
     }
 }
 
+/// Restores a connection's bookkeeping when it finishes — by returning
+/// *or by unwinding*: the active counter is decremented and the cancel
+/// token deregistered even when session code panics mid-request, so a
+/// panicking connection cannot leak capacity.
+struct ConnCleanup<'a> {
+    shared: &'a Shared,
+    conn_id: Option<u64>,
+}
+
+impl Drop for ConnCleanup<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.conn_id {
+            self.shared
+                .active
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .retain(|(i, _)| *i != id);
+        }
+        self.shared.stats.connection_closed();
+    }
+}
+
 fn serve_connection(shared: &Shared, stream: TcpStream) {
     NetStats::add(&shared.stats.connections_accepted, 1);
     NetStats::add(&shared.stats.connections_active, 1);
+    let mut cleanup = ConnCleanup {
+        shared,
+        conn_id: None,
+    };
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
 
@@ -286,6 +325,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         .lock()
         .unwrap()
         .push((conn_id, session.cancel_token()));
+    cleanup.conn_id = Some(conn_id);
 
     let mut conn = Conn {
         shared,
@@ -294,13 +334,6 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         open: None,
     };
     conn.run();
-
-    shared
-        .active
-        .lock()
-        .unwrap()
-        .retain(|(id, _)| *id != conn_id);
-    shared.stats.connection_closed();
 }
 
 struct Conn<'a> {
@@ -467,6 +500,10 @@ impl Conn<'_> {
             },
             Request::Consult(src) => {
                 self.open = None;
+                #[cfg(test)]
+                if src == tests::PANIC_PROBE {
+                    panic!("test-injected connection panic");
+                }
                 match self.timed(|s| s.consult_str(&src)) {
                     Ok(queries) => (Response::ConsultOk(queries), false),
                     Err(e) => (eval_error_response(&e), false),
@@ -523,5 +560,45 @@ impl Conn<'_> {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Client;
+
+    /// A magic consult source that makes `dispatch` panic, simulating a
+    /// bug in session/engine code. Test builds only.
+    pub(super) const PANIC_PROBE: &str = "__coral_net_test_panic__";
+
+    /// A panicking request must cost one connection, not a worker: with
+    /// a single-worker pool the server keeps serving fresh connections
+    /// afterwards, and the active-connection bookkeeping returns to
+    /// zero instead of leaking.
+    #[test]
+    fn panicking_connection_does_not_kill_worker() {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        for _ in 0..3 {
+            let mut victim = Client::connect(addr).unwrap();
+            // The injected panic tears the connection down mid-request
+            // (the client sees EOF instead of a response)…
+            assert!(victim.consult_str(PANIC_PROBE).is_err());
+            // …but the worker survives to serve the next connection.
+            let mut fresh = Client::connect(addr).unwrap();
+            fresh.ping().unwrap();
+            fresh.quit().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.connections_active, 0, "leaked active count: {stats}");
+        assert!(stats.errors >= 3, "{stats}");
     }
 }

@@ -278,7 +278,7 @@ fn concurrent_writers_share_persistent_state() {
         .map(|i| {
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
-                for j in 0..5 {
+                for j in 0..25 {
                     client
                         .consult_str(&format!("pfact({}).", i * 100 + j))
                         .unwrap();
@@ -291,7 +291,7 @@ fn concurrent_writers_share_persistent_state() {
         w.join().unwrap();
     }
     let mut reader = Client::connect(addr).unwrap();
-    assert_eq!(reader.query_all("?- pfact(X).").unwrap().len(), 20);
+    assert_eq!(reader.query_all("?- pfact(X).").unwrap().len(), 100);
     reader.checkpoint().unwrap();
     reader.quit().unwrap();
     server.shutdown();
@@ -302,6 +302,6 @@ fn concurrent_writers_share_persistent_state() {
     let check = Session::new();
     check.attach_storage(&dir, 16).unwrap();
     check.create_persistent("pfact", 1).unwrap();
-    assert_eq!(check.query_all("pfact(X)").unwrap().len(), 20);
+    assert_eq!(check.query_all("pfact(X)").unwrap().len(), 100);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -203,8 +203,24 @@ pub fn encode_term_wire(out: &mut Vec<u8>, t: &Term) -> RelResult<()> {
     }
 }
 
+/// Maximum functor-nesting depth accepted by the wire decoder. Deeper
+/// terms in a frame are a protocol error: decoding recurses per level,
+/// so without a limit a corrupt or malicious frame of nested functor
+/// headers would overflow the decoder's stack and abort the process
+/// instead of surfacing [`RelError::Decode`].
+pub const MAX_WIRE_DEPTH: usize = 128;
+
 /// Decode one wire term, returning it and the bytes consumed.
 pub fn decode_term_wire(bytes: &[u8]) -> RelResult<(Term, usize)> {
+    decode_term_wire_depth(bytes, 0)
+}
+
+fn decode_term_wire_depth(bytes: &[u8], depth: usize) -> RelResult<(Term, usize)> {
+    if depth > MAX_WIRE_DEPTH {
+        return Err(RelError::Decode(format!(
+            "term nesting exceeds the wire limit of {MAX_WIRE_DEPTH}"
+        )));
+    }
     match bytes.first() {
         Some(&TAG_BIG) => {
             let (s, end) = read_len_str(bytes, 1)?;
@@ -222,9 +238,12 @@ pub fn decode_term_wire(bytes: &[u8]) -> RelResult<(Term, usize)> {
             let sym = coral_term::Symbol::intern(name);
             let arity = read_u32(bytes, at)? as usize;
             at += 4;
-            let mut args = Vec::with_capacity(arity);
+            // The arity is untrusted: every argument takes ≥ 1 byte, so
+            // the remaining input bounds any honest arity and a huge
+            // declared value cannot reserve more than the frame's size.
+            let mut args = Vec::with_capacity(arity.min(bytes.len() - at));
             for _ in 0..arity {
-                let (arg, n) = decode_term_wire(&bytes[at..])?;
+                let (arg, n) = decode_term_wire_depth(&bytes[at..], depth + 1)?;
                 args.push(arg);
                 at += n;
             }
@@ -253,7 +272,9 @@ pub fn encode_tuple_wire(tuple: &Tuple) -> RelResult<Vec<u8>> {
 pub fn decode_tuple_wire(bytes: &[u8]) -> RelResult<(Tuple, usize)> {
     let arity = read_u32(bytes, 0)? as usize;
     let mut at = 4;
-    let mut args = Vec::with_capacity(arity);
+    // Untrusted arity: bound the reservation by the bytes actually
+    // present (each field encodes to ≥ 1 byte).
+    let mut args = Vec::with_capacity(arity.min(bytes.len() - at));
     for _ in 0..arity {
         let (t, n) = decode_term_wire(&bytes[at..])?;
         args.push(t);
@@ -488,5 +509,57 @@ mod tests {
         assert!(decode_term_wire(&[TAG_APP, 0, 0, 0, 1, b'f', 0, 0, 0, 2]).is_err());
         assert!(decode_tuple_wire(&[0, 0, 0, 1]).is_err());
         assert!(decode_tuple_wire(&[]).is_err());
+    }
+
+    /// A unary functor header: `f(` … with one pending argument.
+    fn nested_app_header(buf: &mut Vec<u8>) {
+        buf.push(TAG_APP);
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(b'f');
+        buf.extend_from_slice(&1u32.to_be_bytes());
+    }
+
+    #[test]
+    fn wire_nesting_depth_is_bounded_not_a_stack_overflow() {
+        // Just inside the limit: decodes fine.
+        let mut ok = Vec::new();
+        for _ in 0..MAX_WIRE_DEPTH {
+            nested_app_header(&mut ok);
+        }
+        encode_term_wire(&mut ok, &Term::int(7)).unwrap();
+        let (t, n) = decode_term_wire(&ok).unwrap();
+        assert_eq!(n, ok.len());
+        let mut depth = 0;
+        let mut cur = &t;
+        while let Term::App(a) = cur {
+            depth += 1;
+            cur = &a.args()[0];
+        }
+        assert_eq!(depth, MAX_WIRE_DEPTH);
+
+        // A frame nesting far past the limit must surface a Decode
+        // error, not blow the decoder's stack (a 100k-level frame would
+        // abort the process if decoding recursed unbounded).
+        let mut evil = Vec::new();
+        for _ in 0..100_000 {
+            nested_app_header(&mut evil);
+        }
+        encode_term_wire(&mut evil, &Term::int(7)).unwrap();
+        assert!(matches!(
+            decode_term_wire(&evil),
+            Err(RelError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn wire_huge_declared_arity_does_not_preallocate() {
+        // A functor claiming u32::MAX args in a tiny frame: must error
+        // on the missing arguments without reserving gigabytes first.
+        let mut term = vec![TAG_APP, 0, 0, 0, 1, b'f'];
+        term.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_term_wire(&term).is_err());
+        // Same for the tuple arity prefix.
+        let tuple = u32::MAX.to_be_bytes().to_vec();
+        assert!(decode_tuple_wire(&tuple).is_err());
     }
 }

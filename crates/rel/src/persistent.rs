@@ -23,6 +23,7 @@ use crate::relation::{IndexSpec, Relation, TupleIter};
 use coral_storage::{BTree, HeapFile, PageId, RecordId, StorageClient};
 use coral_term::{match_args, Term, Tuple};
 use std::cell::RefCell;
+use std::sync::{Arc, RwLock};
 
 fn rid_bytes(rid: RecordId) -> [u8; 10] {
     let mut b = [0u8; 10];
@@ -59,6 +60,14 @@ pub struct PersistentRelation {
     primary: BTree,
     indices: RefCell<Vec<SecondaryIndex>>,
     schema: HeapFile,
+    /// Relation-wide readers-writer lock shared (via the storage
+    /// server's registry) by every handle open on this relation name,
+    /// across threads and sessions. The buffer pool only locks per
+    /// page, while insert/delete/make_index are multi-page
+    /// read-copy-modify-write sequences over heap + B+-trees; holding
+    /// the write side across each mutation keeps concurrent server
+    /// sessions from interleaving mid-split and corrupting the tree.
+    lock: Arc<RwLock<()>>,
 }
 
 impl PersistentRelation {
@@ -67,6 +76,11 @@ impl PersistentRelation {
     /// If the relation exists, its stored schema must agree on `arity`;
     /// previously created indices are reattached.
     pub fn open(server: &StorageClient, name: &str, arity: usize) -> RelResult<PersistentRelation> {
+        let lock = server.named_lock(name);
+        // Exclusive while opening: B+-tree meta-page initialization and
+        // the first schema write are themselves multi-page mutations, so
+        // two sessions opening a brand-new relation must not interleave.
+        let guard = lock.write().unwrap();
         let heap = server.heap(&format!("{name}.data"))?;
         let primary = server.btree(&format!("{name}.pk"))?;
         let schema = server.heap(&format!("{name}.schema"))?;
@@ -78,6 +92,7 @@ impl PersistentRelation {
             primary,
             indices: RefCell::new(Vec::new()),
             schema,
+            lock: Arc::clone(&lock),
         };
         // Load or initialize the schema record.
         let existing: Vec<(RecordId, Vec<u8>)> = rel.schema.scan().collect::<Result<_, _>>()?;
@@ -100,6 +115,7 @@ impl PersistentRelation {
                 rel.schema.insert(&encode_schema(arity, &[]))?;
             }
         }
+        drop(guard);
         Ok(rel)
     }
 
@@ -116,6 +132,8 @@ impl PersistentRelation {
         if !server.file_exists(&schema_file) {
             return Ok(None);
         }
+        let lock = server.named_lock(name);
+        let _read = lock.read().unwrap();
         let schema = server.heap(&schema_file)?;
         match schema.scan().next() {
             Some(rec) => {
@@ -228,6 +246,7 @@ impl Relation for PersistentRelation {
     fn insert(&self, tuple: Tuple) -> RelResult<bool> {
         self.check_arity(&tuple)?;
         let encoded = encode_tuple(&tuple)?; // rejects non-primitives
+        let _write = self.lock.write().unwrap();
         if self.find_rid(&encoded)?.is_some() {
             return Ok(false);
         }
@@ -246,6 +265,7 @@ impl Relation for PersistentRelation {
     fn delete(&self, tuple: &Tuple) -> RelResult<bool> {
         self.check_arity(tuple)?;
         let encoded = encode_tuple(tuple)?;
+        let _write = self.lock.write().unwrap();
         let Some(rid) = self.find_rid(&encoded)? else {
             return Ok(false);
         };
@@ -270,6 +290,11 @@ impl Relation for PersistentRelation {
     }
 
     fn lookup(&self, pattern: &[Term]) -> TupleIter {
+        // Shared lock while the indexed path walks tree + heap pages, so
+        // a concurrent writer cannot split a node out from under the
+        // descent. (The unindexed fallback returns a lazy heap scan that
+        // outlives this call; it relies on per-page atomicity only.)
+        let _read = self.lock.read().unwrap();
         // Choose the secondary index with the most columns bound to
         // ground primitives by the pattern; else fall back to a filtered
         // heap scan.
@@ -348,6 +373,7 @@ impl Relation for PersistentRelation {
                 self.arity
             )));
         }
+        let _write = self.lock.write().unwrap();
         let ordinal = self.indices.borrow().len();
         let tree = self.server.btree(&format!("{}.idx{ordinal}", self.name))?;
         // Retrofit over existing tuples.
@@ -502,6 +528,59 @@ mod tests {
                 key_vars: vec![coral_term::VarId(0)],
             })
             .is_err());
+    }
+
+    /// Many threads hammering ONE relation through their own handles —
+    /// the shape of concurrent server sessions writing the same
+    /// persistent relation. Without the relation-wide write lock the
+    /// interleaved B+-tree splits lose tuples or corrupt the tree.
+    #[test]
+    fn high_contention_same_relation_inserts() {
+        let srv = server("contend");
+        {
+            let r = PersistentRelation::open(&srv, "shared", 2).unwrap();
+            r.make_index(IndexSpec::Args(vec![0])).unwrap();
+        }
+        let threads: Vec<_> = (0..4i64)
+            .map(|w| {
+                let client = srv.clone();
+                std::thread::spawn(move || {
+                    // One handle per worker, as server sessions have.
+                    let r = PersistentRelation::open(&client, "shared", 2).unwrap();
+                    for i in 0..500i64 {
+                        let t = Tuple::ground(vec![
+                            Term::int(w * 10_000 + i),
+                            Term::str(&format!("w{w}-row{i}")),
+                        ]);
+                        assert!(r.insert(t).unwrap());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let r = PersistentRelation::open(&srv, "shared", 2).unwrap();
+        assert_eq!(r.len(), 2000, "no tuple lost to an interleaved split");
+        let all: Vec<Tuple> = r.scan().collect::<RelResult<_>>().unwrap();
+        assert_eq!(all.len(), 2000);
+        for w in 0..4i64 {
+            // Every sampled tuple is still findable through the primary
+            // tree (the duplicate probe walks it)…
+            for i in (0..500i64).step_by(53) {
+                let t = Tuple::ground(vec![
+                    Term::int(w * 10_000 + i),
+                    Term::str(&format!("w{w}-row{i}")),
+                ]);
+                assert!(!r.insert(t).unwrap(), "tuple lost or tree corrupt");
+            }
+            // …and the secondary index agrees with the heap.
+            let hits: Vec<Tuple> = r
+                .lookup(&[Term::int(w * 10_000 + 7), Term::var(0)])
+                .collect::<RelResult<_>>()
+                .unwrap();
+            assert_eq!(hits.len(), 1);
+        }
     }
 
     #[test]

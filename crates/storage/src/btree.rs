@@ -11,9 +11,15 @@
 //! items and are chained left-to-right for range scans. All node access
 //! goes through the buffer pool, node content is copied out before
 //! descending (the pool's closure API must not nest), deletes do not
-//! rebalance (empty leaves stay in the sibling chain) — adequate for a
-//! single-user deductive database whose persistent base relations are
-//! loaded once and queried many times.
+//! rebalance (empty leaves stay in the sibling chain).
+//!
+//! **Concurrency contract:** the buffer pool serializes access *per
+//! page* only, while inserts (splits especially) are multi-page
+//! read-copy-modify-write sequences. Callers with concurrent mutators
+//! of the same tree must serialize them externally — the relation layer
+//! does so by holding the write side of
+//! [`StorageServer::named_lock`](crate::StorageServer::named_lock)
+//! across every mutation of a persistent relation.
 
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};

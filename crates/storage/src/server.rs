@@ -23,7 +23,7 @@ use crate::wal::Wal;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 /// Shared handle to a storage server.
 pub type StorageClient = Arc<StorageServer>;
@@ -41,6 +41,9 @@ pub struct StorageServer {
     dir: PathBuf,
     pool: Arc<BufferPool>,
     state: Mutex<ServerState>,
+    /// Named readers-writer locks handed out to storage structures whose
+    /// operations span multiple pages (see [`StorageServer::named_lock`]).
+    locks: Mutex<HashMap<String, Arc<RwLock<()>>>>,
 }
 
 impl StorageServer {
@@ -93,6 +96,7 @@ impl StorageServer {
                 wal,
                 next_txn: 1,
             }),
+            locks: Mutex::new(HashMap::new()),
         }))
     }
 
@@ -145,6 +149,25 @@ impl StorageServer {
     /// The shared buffer pool.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The readers-writer lock registered under `name` (created on first
+    /// use). The buffer pool only serializes access *per page*, so any
+    /// structure whose mutations are multi-page read-copy-modify-write
+    /// sequences (B+-tree splits, heap + index updates of one relation)
+    /// must hold the write side of a shared lock across the whole
+    /// mutation. All clients asking for the same name — e.g. every
+    /// server session touching one persistent relation — get the same
+    /// lock, because each session opens its own structure handles over
+    /// the shared pool.
+    pub fn named_lock(&self, name: &str) -> Arc<RwLock<()>> {
+        Arc::clone(
+            self.locks
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
     }
 
     /// Look up or create the named page file.
