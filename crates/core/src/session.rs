@@ -262,4 +262,41 @@ impl Session {
         }
         Ok(())
     }
+
+    /// Integrity-check the attached storage (the `:check` command):
+    /// every cataloged file's structural check (page layout, B+-tree
+    /// shape, counts), plus the heap/index cross-check of every
+    /// persistent relation registered in this session. Returns the
+    /// rendered report; storage that cannot even be read yields `Err`.
+    pub fn check_storage(&self) -> EvalResult<String> {
+        let storage = self.storage.borrow().clone().ok_or_else(|| {
+            EvalError::ModuleProtocol("no storage attached; call attach_storage first".into())
+        })?;
+        let report = storage.check().map_err(coral_rel::RelError::from)?;
+        let mut out = report.render();
+        let mut rels = 0usize;
+        let mut problems = Vec::new();
+        for (name, arity) in self.engine.db().list() {
+            if let Some(rel) = self.engine.db().get(name, arity) {
+                if let Some(p) = rel.as_any().downcast_ref::<PersistentRelation>() {
+                    rels += 1;
+                    problems.extend(p.check().map_err(EvalError::from)?);
+                }
+            }
+        }
+        if problems.is_empty() {
+            out.push_str(&format!(
+                "cross-checked {rels} persistent relation(s), no problems\n"
+            ));
+        } else {
+            for p in &problems {
+                out.push_str(&format!("PROBLEM: {p}\n"));
+            }
+            out.push_str(&format!(
+                "FAILED: {} relation cross-check problem(s)\n",
+                problems.len()
+            ));
+        }
+        Ok(out)
+    }
 }

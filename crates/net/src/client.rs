@@ -128,6 +128,16 @@ impl Client {
         }
     }
 
+    /// Integrity-check the server's storage and persistent relations;
+    /// returns the rendered report (see DESIGN.md "Fault model &
+    /// recovery contract").
+    pub fn check(&mut self) -> NetResult<String> {
+        match self.call(&Request::Check)? {
+            Response::Report(text) => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Politely close the connection.
     pub fn quit(mut self) -> NetResult<()> {
         match self.call(&Request::Quit)? {

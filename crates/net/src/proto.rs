@@ -20,6 +20,7 @@
 //! | 0x07   | Checkpoint     | —                               |
 //! | 0x08   | Ping           | —                               |
 //! | 0x09   | Quit           | —                               |
+//! | 0x0A   | Check          | —                               |
 //!
 //! Responses (server → client):
 //!
@@ -31,6 +32,7 @@
 //! | 0x84   | Error          | u16 code, message               |
 //! | 0x85   | Profile        | u8 present, JSON text           |
 //! | 0x86   | Pong           | —                               |
+//! | 0x87   | Report         | report text                     |
 //!
 //! A `Query` is acknowledged with `Ok`; answers are then pulled with
 //! `NextAnswer`, preserving the engine's pipelined get-next-tuple
@@ -66,6 +68,9 @@ pub enum Request {
     GetProfile,
     /// Checkpoint the server's storage (flush + truncate the WAL).
     Checkpoint,
+    /// Integrity-check the server's storage and the session's
+    /// persistent relations; answered with [`Response::Report`].
+    Check,
     /// Liveness check.
     Ping,
     /// Close the connection after acknowledging.
@@ -98,6 +103,8 @@ pub enum Response {
     Profile(Option<String>),
     /// Reply to [`Request::Ping`].
     Pong,
+    /// Rendered report text (reply to [`Request::Check`]).
+    Report(String),
 }
 
 const OP_CONSULT: u8 = 0x01;
@@ -109,6 +116,7 @@ const OP_GET_PROFILE: u8 = 0x06;
 const OP_CHECKPOINT: u8 = 0x07;
 const OP_PING: u8 = 0x08;
 const OP_QUIT: u8 = 0x09;
+const OP_CHECK: u8 = 0x0A;
 
 const OP_OK: u8 = 0x81;
 const OP_CONSULT_OK: u8 = 0x82;
@@ -116,6 +124,7 @@ const OP_BATCH: u8 = 0x83;
 const OP_ERROR: u8 = 0x84;
 const OP_PROFILE: u8 = 0x85;
 const OP_PONG: u8 = 0x86;
+const OP_REPORT: u8 = 0x87;
 
 fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_be_bytes());
@@ -260,6 +269,7 @@ impl Request {
             Request::Checkpoint => out.push(OP_CHECKPOINT),
             Request::Ping => out.push(OP_PING),
             Request::Quit => out.push(OP_QUIT),
+            Request::Check => out.push(OP_CHECK),
         }
         out
     }
@@ -277,6 +287,7 @@ impl Request {
             OP_CHECKPOINT => Request::Checkpoint,
             OP_PING => Request::Ping,
             OP_QUIT => Request::Quit,
+            OP_CHECK => Request::Check,
             op => {
                 return Err(NetError::Protocol(format!(
                     "unknown request opcode {op:#04x}"
@@ -322,6 +333,10 @@ impl Response {
                 }
             }
             Response::Pong => out.push(OP_PONG),
+            Response::Report(text) => {
+                out.push(OP_REPORT);
+                push_str(&mut out, text);
+            }
         }
         Ok(out)
     }
@@ -355,6 +370,7 @@ impl Response {
                 Response::Profile(json)
             }
             OP_PONG => Response::Pong,
+            OP_REPORT => Response::Report(c.str()?),
             op => {
                 return Err(NetError::Protocol(format!(
                     "unknown response opcode {op:#04x}"
@@ -429,6 +445,7 @@ mod tests {
         rt_req(Request::SetProfiling(false));
         rt_req(Request::GetProfile);
         rt_req(Request::Checkpoint);
+        rt_req(Request::Check);
         rt_req(Request::Ping);
         rt_req(Request::Quit);
     }
@@ -439,6 +456,8 @@ mod tests {
         rt_resp(Response::Pong);
         rt_resp(Response::Profile(None));
         rt_resp(Response::Profile(Some("{\"a\":1}".into())));
+        rt_resp(Response::Report(String::new()));
+        rt_resp(Response::Report("ok: 3 files, no problems\n".into()));
         rt_resp(Response::Error {
             code: ErrorCode::UnknownPredicate as u16,
             msg: "unknown predicate q/1".into(),

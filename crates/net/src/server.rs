@@ -142,8 +142,6 @@ impl Server {
     /// first when one is configured, so WAL recovery happens before
     /// the first connection is accepted.
     pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> NetResult<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
         let storage = match &config.data_dir {
             Some(dir) => Some(
                 StorageServer::open(dir, config.frames)
@@ -151,6 +149,29 @@ impl Server {
             ),
             None => None,
         };
+        Self::start_inner(addr, config, storage)
+    }
+
+    /// Like [`Server::start`], but serve an already-open storage client
+    /// instead of opening `config.data_dir`. This is how tests inject a
+    /// fault-injecting storage stack (`coral-sim`) under the network
+    /// layer; it also lets an embedding share one storage server between
+    /// a network listener and local sessions.
+    pub fn start_with_storage(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        storage: coral_storage::StorageClient,
+    ) -> NetResult<Server> {
+        Self::start_inner(addr, config, Some(storage))
+    }
+
+    fn start_inner(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        storage: Option<coral_storage::StorageClient>,
+    ) -> NetResult<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
         let n_workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             listener,
@@ -496,6 +517,10 @@ impl Conn<'_> {
             ),
             Request::Checkpoint => match self.session.checkpoint() {
                 Ok(()) => (Response::Ok, false),
+                Err(e) => (eval_error_response(&e), false),
+            },
+            Request::Check => match self.session.check_storage() {
+                Ok(text) => (Response::Report(text), false),
                 Err(e) => (eval_error_response(&e), false),
             },
             Request::Consult(src) => {

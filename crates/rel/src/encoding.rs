@@ -545,10 +545,7 @@ mod tests {
             nested_app_header(&mut evil);
         }
         encode_term_wire(&mut evil, &Term::int(7)).unwrap();
-        assert!(matches!(
-            decode_term_wire(&evil),
-            Err(RelError::Decode(_))
-        ));
+        assert!(matches!(decode_term_wire(&evil), Err(RelError::Decode(_))));
     }
 
     #[test]

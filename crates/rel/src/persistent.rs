@@ -180,6 +180,86 @@ impl PersistentRelation {
         Ok(())
     }
 
+    /// Cross-structure integrity check: every live heap record must
+    /// decode and be indexed exactly once by the primary tree and each
+    /// secondary index, and every index entry must point back at a live
+    /// heap record with matching bytes. Complements the per-structure
+    /// checks in `coral-storage::check` (which verify tree/page shape);
+    /// this verifies the structures agree with each other. Read-only;
+    /// returns the violations found (empty = clean).
+    pub fn check(&self) -> RelResult<Vec<String>> {
+        let _read = self.lock.read().unwrap();
+        let name = &self.name;
+        let mut problems = Vec::new();
+        let mut heap_count = 0u64;
+        for rec in self.heap.scan() {
+            let (rid, bytes) = rec?;
+            heap_count += 1;
+            let tuple = match crate::encoding::decode_tuple(&bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    problems.push(format!("{name}: heap record {rid:?} does not decode: {e}"));
+                    continue;
+                }
+            };
+            let mut item = bytes.clone();
+            item.extend_from_slice(&rid_bytes(rid));
+            if !self.primary.contains(&item)? {
+                problems.push(format!(
+                    "{name}: heap record {rid:?} missing from primary index"
+                ));
+            }
+            for (i, ix) in self.indices.borrow().iter().enumerate() {
+                let mut key = encode_cols(&tuple, &ix.cols)?;
+                key.extend_from_slice(&rid_bytes(rid));
+                if !ix.tree.contains(&key)? {
+                    problems.push(format!(
+                        "{name}: heap record {rid:?} missing from secondary index {i}"
+                    ));
+                }
+            }
+        }
+        let mut pk_count = 0u64;
+        for item in self.primary.scan_all()? {
+            let item = item?;
+            pk_count += 1;
+            if item.len() < 10 {
+                problems.push(format!("{name}: primary entry shorter than a record id"));
+                continue;
+            }
+            let rid = match rid_from_bytes(&item[item.len() - 10..]) {
+                Ok(rid) => rid,
+                Err(e) => {
+                    problems.push(format!("{name}: primary entry has a bad record id: {e}"));
+                    continue;
+                }
+            };
+            match self.heap.get(rid) {
+                Ok(bytes) if bytes == item[..item.len() - 10] => {}
+                Ok(_) => problems.push(format!(
+                    "{name}: primary entry for {rid:?} disagrees with heap bytes"
+                )),
+                Err(_) => problems.push(format!(
+                    "{name}: primary entry points at dead heap record {rid:?}"
+                )),
+            }
+        }
+        if pk_count != heap_count {
+            problems.push(format!(
+                "{name}: primary index has {pk_count} entries but heap has {heap_count} records"
+            ));
+        }
+        for (i, ix) in self.indices.borrow().iter().enumerate() {
+            let n = ix.tree.len()?;
+            if n != heap_count {
+                problems.push(format!(
+                    "{name}: secondary index {i} has {n} entries but heap has {heap_count} records"
+                ));
+            }
+        }
+        Ok(problems)
+    }
+
     /// Locate a tuple's record id through the primary index.
     fn find_rid(&self, encoded: &[u8]) -> RelResult<Option<RecordId>> {
         let mut scan = self.primary.scan_prefix(encoded)?;

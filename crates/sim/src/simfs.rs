@@ -1,0 +1,486 @@
+//! A deterministic in-memory file system with fault injection.
+//!
+//! [`SimVfs`] implements the storage layer's [`Vfs`]/[`StorageFile`]
+//! seam entirely in memory. Every file tracks two images plus a journal:
+//!
+//! * `durable` — what survives a crash unconditionally (everything up to
+//!   the last successful `sync`);
+//! * `current` — what the running process observes (durable plus all
+//!   acknowledged writes);
+//! * `pending` — the ordered writes/truncates issued since the last
+//!   sync, i.e. data the OS may or may not have reached the disk with.
+//!
+//! [`SimVfs::power_cycle`] models the crash itself: for each file a
+//! seeded [`TestRng`] picks how many pending operations survived, in
+//! order, and whether the last survivor was torn mid-write. This is the
+//! standard crash model for journaled storage — per-file ordered
+//! prefixes, sync as the only barrier — and matches the contract
+//! documented on [`Vfs`].
+//!
+//! Fault schedules are armed on the shared handle: a hard crash at
+//! mutating operation N ([`SimVfs::set_crash_at`]), a one-shot I/O error
+//! ([`SimVfs::inject_error_at`]), the next N fsyncs failing
+//! ([`SimVfs::fail_next_syncs`]), or all reads failing
+//! ([`SimVfs::set_fail_reads`]). Mutating operations (`write_at`,
+//! `truncate`, `sync`, `replace`) consume op indices; reads do not.
+//! After a crash fires, every operation fails until `power_cycle` is
+//! called, just as a dead process can do no further I/O.
+
+use coral_storage::{StorageError, StorageFile, StorageResult, Vfs};
+use coral_term::testutil::TestRng;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+fn io_err(msg: &str) -> StorageError {
+    StorageError::Io(std::io::Error::other(msg))
+}
+
+fn crash_err() -> StorageError {
+    io_err("simulated crash: power lost")
+}
+
+/// One unsynced operation, in issue order.
+enum Pending {
+    Write { off: usize, data: Vec<u8> },
+    Truncate(usize),
+}
+
+#[derive(Default)]
+struct FileState {
+    durable: Vec<u8>,
+    current: Vec<u8>,
+    pending: Vec<Pending>,
+}
+
+struct SimState {
+    /// BTreeMap so `power_cycle` visits files in a deterministic order
+    /// (the rng draws must not depend on hash iteration).
+    files: BTreeMap<PathBuf, FileState>,
+    rng: TestRng,
+    /// Mutating operations issued so far; the next one has this index.
+    ops: u64,
+    crash_at: Option<u64>,
+    crashed: bool,
+    error_at: Option<u64>,
+    fail_syncs: u32,
+    fail_reads: bool,
+}
+
+impl SimState {
+    /// Gate a mutating operation: assign it the next op index and apply
+    /// any scheduled fault. `Ok(true)` means this op is the crash point:
+    /// the caller records the op as pending where that makes sense (a
+    /// crashing write may still partially reach the platter) and returns
+    /// [`crash_err`].
+    fn gate(&mut self) -> StorageResult<bool> {
+        if self.crashed {
+            return Err(crash_err());
+        }
+        let idx = self.ops;
+        self.ops += 1;
+        if self.error_at == Some(idx) {
+            self.error_at = None;
+            return Err(io_err("injected I/O error"));
+        }
+        if self.crash_at == Some(idx) {
+            self.crash_at = None;
+            self.crashed = true;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn check_alive(&self) -> StorageResult<()> {
+        if self.crashed {
+            Err(crash_err())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn write_into(img: &mut Vec<u8>, off: usize, data: &[u8]) {
+    let end = off + data.len();
+    if img.len() < end {
+        img.resize(end, 0);
+    }
+    img[off..end].copy_from_slice(data);
+}
+
+fn apply(img: &mut Vec<u8>, p: &Pending) {
+    match p {
+        Pending::Write { off, data } => write_into(img, *off, data),
+        Pending::Truncate(len) => img.resize(*len, 0),
+    }
+}
+
+/// The simulated file system handle. Clones share one state; pass a
+/// clone to [`StorageServer::open_with_vfs`](coral_storage::StorageServer::open_with_vfs)
+/// and keep one to arm faults and power-cycle.
+#[derive(Clone)]
+pub struct SimVfs {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimVfs {
+    /// A fresh, empty file system whose crash outcomes are driven by
+    /// `seed`. Equal seeds plus equal operation sequences give
+    /// byte-identical post-crash states.
+    pub fn new(seed: u64) -> SimVfs {
+        SimVfs {
+            state: Arc::new(Mutex::new(SimState {
+                files: BTreeMap::new(),
+                rng: TestRng::new(seed),
+                ops: 0,
+                crash_at: None,
+                crashed: false,
+                error_at: None,
+                fail_syncs: 0,
+                fail_reads: false,
+            })),
+        }
+    }
+
+    /// Mutating operations issued so far. The next one gets this index,
+    /// so `set_crash_at(ops())` crashes the very next mutation.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// Die at mutating operation `op` (0-based absolute index).
+    pub fn set_crash_at(&self, op: u64) {
+        self.state.lock().unwrap().crash_at = Some(op);
+    }
+
+    /// Fail mutating operation `op` with an I/O error, once, without
+    /// applying it and without crashing.
+    pub fn inject_error_at(&self, op: u64) {
+        self.state.lock().unwrap().error_at = Some(op);
+    }
+
+    /// Fail the next `n` syncs (durability not advanced).
+    pub fn fail_next_syncs(&self, n: u32) {
+        self.state.lock().unwrap().fail_syncs = n;
+    }
+
+    /// Make every read fail until turned off or power-cycled.
+    pub fn set_fail_reads(&self, on: bool) {
+        self.state.lock().unwrap().fail_reads = on;
+    }
+
+    /// True once a scheduled crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Disarm all fault schedules without touching file contents.
+    pub fn clear_schedules(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.crash_at = None;
+        st.error_at = None;
+        st.fail_syncs = 0;
+        st.fail_reads = false;
+    }
+
+    /// The crash proper: every file reverts to its durable image plus an
+    /// rng-chosen ordered prefix of its pending operations, the last of
+    /// which may be a torn (partial) write. Clears the crashed flag and
+    /// all schedules — the machine reboots with what the disk kept.
+    pub fn power_cycle(&self) {
+        let mut guard = self.state.lock().unwrap();
+        let st: &mut SimState = &mut guard;
+        for fs in st.files.values_mut() {
+            let mut img = std::mem::take(&mut fs.durable);
+            let cut = st.rng.gen_range(0, fs.pending.len() + 1);
+            for p in &fs.pending[..cut] {
+                apply(&mut img, p);
+            }
+            if cut < fs.pending.len() {
+                if let Pending::Write { off, data } = &fs.pending[cut] {
+                    if !data.is_empty() {
+                        let keep = st.rng.gen_range(0, data.len());
+                        write_into(&mut img, *off, &data[..keep]);
+                    }
+                }
+            }
+            fs.pending.clear();
+            fs.current = img.clone();
+            fs.durable = img;
+        }
+        st.crashed = false;
+        st.crash_at = None;
+        st.error_at = None;
+        st.fail_syncs = 0;
+        st.fail_reads = false;
+    }
+}
+
+impl Vfs for SimVfs {
+    fn create_dir_all(&self, _dir: &Path) -> StorageResult<()> {
+        self.state.lock().unwrap().check_alive()
+    }
+
+    fn open(&self, path: &Path) -> StorageResult<Box<dyn StorageFile>> {
+        let mut st = self.state.lock().unwrap();
+        st.check_alive()?;
+        st.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(SimFile {
+            path: path.to_path_buf(),
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn read_to_string(&self, path: &Path) -> StorageResult<Option<String>> {
+        let st = self.state.lock().unwrap();
+        st.check_alive()?;
+        if st.fail_reads {
+            return Err(io_err("injected read error"));
+        }
+        match st.files.get(path) {
+            None => Ok(None),
+            Some(fs) => String::from_utf8(fs.current.clone())
+                .map(Some)
+                .map_err(|_| StorageError::Corrupt(format!("{}: not UTF-8", path.display()))),
+        }
+    }
+
+    fn replace(&self, path: &Path, data: &[u8]) -> StorageResult<()> {
+        let mut st = self.state.lock().unwrap();
+        if st.gate()? {
+            // Crash during an atomic replace: the old contents stay.
+            return Err(crash_err());
+        }
+        let fs = st.files.entry(path.to_path_buf()).or_default();
+        // Atomic and immediately durable (write-temp + rename + dir sync).
+        fs.durable = data.to_vec();
+        fs.current = data.to_vec();
+        fs.pending.clear();
+        Ok(())
+    }
+}
+
+/// One open file of a [`SimVfs`].
+struct SimFile {
+    path: PathBuf,
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimFile {
+    fn with<R>(
+        &self,
+        f: impl FnOnce(&mut SimState, &PathBuf) -> StorageResult<R>,
+    ) -> StorageResult<R> {
+        let mut st = self.state.lock().unwrap();
+        f(&mut st, &self.path)
+    }
+}
+
+impl StorageFile for SimFile {
+    fn len(&mut self) -> StorageResult<u64> {
+        self.with(|st, path| {
+            st.check_alive()?;
+            Ok(st.files[path].current.len() as u64)
+        })
+    }
+
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> StorageResult<()> {
+        self.with(|st, path| {
+            st.check_alive()?;
+            if st.fail_reads {
+                return Err(io_err("injected read error"));
+            }
+            let cur = &st.files[path].current;
+            let off = off as usize;
+            let end = off
+                .checked_add(buf.len())
+                .ok_or_else(|| io_err("overflow"))?;
+            if end > cur.len() {
+                return Err(io_err("read past end of file"));
+            }
+            buf.copy_from_slice(&cur[off..end]);
+            Ok(())
+        })
+    }
+
+    fn write_at(&mut self, off: u64, data: &[u8]) -> StorageResult<()> {
+        self.with(|st, path| {
+            let crash = st.gate()?;
+            let fs = st.files.get_mut(path).expect("file opened");
+            write_into(&mut fs.current, off as usize, data);
+            fs.pending.push(Pending::Write {
+                off: off as usize,
+                data: data.to_vec(),
+            });
+            // A crashing write is recorded as pending first: it may
+            // still partially reach the disk.
+            if crash {
+                Err(crash_err())
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        self.with(|st, path| {
+            if st.gate()? {
+                return Err(crash_err());
+            }
+            if st.fail_syncs > 0 {
+                st.fail_syncs -= 1;
+                return Err(io_err("injected fsync failure"));
+            }
+            let fs = st.files.get_mut(path).expect("file opened");
+            fs.durable = fs.current.clone();
+            fs.pending.clear();
+            Ok(())
+        })
+    }
+
+    fn truncate(&mut self, len: u64) -> StorageResult<()> {
+        self.with(|st, path| {
+            let crash = st.gate()?;
+            let fs = st.files.get_mut(path).expect("file opened");
+            fs.current.resize(len as usize, 0);
+            fs.pending.push(Pending::Truncate(len as usize));
+            if crash {
+                Err(crash_err())
+            } else {
+                Ok(())
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn contents(vfs: &SimVfs, path: &str) -> Vec<u8> {
+        vfs.state.lock().unwrap().files[Path::new(path)]
+            .current
+            .clone()
+    }
+
+    #[test]
+    fn synced_data_survives_a_crash_unsynced_may_not() {
+        let vfs = SimVfs::new(7);
+        let mut f = vfs.open(Path::new("/a")).unwrap();
+        f.write_at(0, b"durable!").unwrap();
+        f.sync().unwrap();
+        f.write_at(8, b"maybe").unwrap();
+        vfs.power_cycle();
+        let got = contents(&vfs, "/a");
+        assert!(got.len() >= 8, "synced prefix lost: {got:?}");
+        assert_eq!(&got[..8], b"durable!");
+        assert!(got.len() <= 13);
+        // Whatever survived of the unsynced write is a prefix of it.
+        assert_eq!(&got[8..], &b"maybe"[..got.len() - 8]);
+    }
+
+    #[test]
+    fn crash_outcomes_are_seed_deterministic() {
+        let run = |seed| {
+            let vfs = SimVfs::new(seed);
+            let mut f = vfs.open(Path::new("/a")).unwrap();
+            for i in 0..10u8 {
+                f.write_at(u64::from(i) * 4, &[i; 4]).unwrap();
+            }
+            vfs.power_cycle();
+            contents(&vfs, "/a")
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds should (for this op pattern) pick different cuts.
+        let distinct: std::collections::HashSet<Vec<u8>> = (0..20).map(run).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn crash_point_kills_the_process_until_power_cycle() {
+        let vfs = SimVfs::new(1);
+        let mut f = vfs.open(Path::new("/a")).unwrap();
+        f.write_at(0, b"one").unwrap();
+        vfs.set_crash_at(vfs.ops());
+        assert!(f.write_at(3, b"two").is_err());
+        assert!(vfs.crashed());
+        // Everything fails while "dead", including reads and syncs.
+        let mut buf = [0u8; 1];
+        assert!(f.read_at(0, &mut buf).is_err());
+        assert!(f.sync().is_err());
+        assert!(vfs.open(Path::new("/b")).is_err());
+        vfs.power_cycle();
+        assert!(!vfs.crashed());
+        f.write_at(0, b"post").unwrap();
+        f.sync().unwrap();
+    }
+
+    #[test]
+    fn injected_error_fires_once_without_applying() {
+        let vfs = SimVfs::new(3);
+        let mut f = vfs.open(Path::new("/a")).unwrap();
+        f.write_at(0, b"base").unwrap();
+        f.sync().unwrap();
+        vfs.inject_error_at(vfs.ops());
+        assert!(f.write_at(0, b"FAIL").is_err());
+        assert!(!vfs.crashed());
+        let mut buf = [0u8; 4];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"base");
+        f.write_at(0, b"good").unwrap();
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"good");
+    }
+
+    #[test]
+    fn failed_sync_does_not_advance_durability() {
+        let vfs = SimVfs::new(9);
+        let mut f = vfs.open(Path::new("/a")).unwrap();
+        f.write_at(0, b"zzzz").unwrap();
+        vfs.fail_next_syncs(1);
+        assert!(f.sync().is_err());
+        f.sync().unwrap();
+        let mut buf = [0u8; 4];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"zzzz");
+    }
+
+    #[test]
+    fn replace_is_atomic_under_crash() {
+        let vfs = SimVfs::new(5);
+        vfs.replace(Path::new("/cat"), b"old").unwrap();
+        vfs.set_crash_at(vfs.ops());
+        assert!(vfs.replace(Path::new("/cat"), b"new").is_err());
+        vfs.power_cycle();
+        assert_eq!(
+            vfs.read_to_string(Path::new("/cat")).unwrap().unwrap(),
+            "old"
+        );
+        vfs.replace(Path::new("/cat"), b"new").unwrap();
+        assert_eq!(
+            vfs.read_to_string(Path::new("/cat")).unwrap().unwrap(),
+            "new"
+        );
+    }
+
+    #[test]
+    fn truncate_then_crash_keeps_ordered_prefix() {
+        // A truncate that survives must also keep every write before it.
+        let vfs = SimVfs::new(11);
+        let mut f = vfs.open(Path::new("/a")).unwrap();
+        f.write_at(0, &[1u8; 16]).unwrap();
+        f.sync().unwrap();
+        f.write_at(16, &[2u8; 16]).unwrap();
+        f.truncate(8).unwrap();
+        vfs.power_cycle();
+        let got = contents(&vfs, "/a");
+        // Possible survivors: nothing (16 ones), write (32), write+trunc (8).
+        assert!(
+            got.len() == 16 || got.len() == 32 || got.len() == 8 || got.len() > 16,
+            "unexpected length {}",
+            got.len()
+        );
+        assert!(got.iter().take(8).all(|&b| b == 1));
+    }
+}

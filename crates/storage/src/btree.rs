@@ -69,10 +69,36 @@ impl BTree {
     /// it if the file is empty.
     pub fn open(pool: Arc<BufferPool>, fid: FileId) -> StorageResult<BTree> {
         let t = BTree { pool, fid };
-        if t.pool.num_pages(fid)? == 0 {
-            let meta = t.pool.allocate_page(fid)?;
+        let n = t.pool.num_pages(fid)?;
+        let initialized = n > 0
+            && t.pool
+                .with_page(fid, PageId(0), |d| &d[0..8] == META_MAGIC)?;
+        if !initialized {
+            // Either a brand-new file, or one whose pages were allocated
+            // (zero-extended) by a transaction that crashed before commit.
+            // In the latter case nothing in the file was ever committed —
+            // a committed meta page would have been restored from the WAL
+            // before we got here — so the zeros can be formatted in place.
+            // Anything else on page 0 is real corruption.
+            if n > 0 {
+                let zeroed = t
+                    .pool
+                    .with_page(fid, PageId(0), |d| d.iter().all(|&b| b == 0))?;
+                if !zeroed {
+                    return Err(StorageError::Corrupt("bad B-tree meta page".into()));
+                }
+            }
+            let meta = if n == 0 {
+                t.pool.allocate_page(fid)?
+            } else {
+                PageId(0)
+            };
             debug_assert_eq!(meta, PageId(0));
-            let root = t.pool.allocate_page(fid)?;
+            let root = if n <= 1 {
+                t.pool.allocate_page(fid)?
+            } else {
+                PageId(1)
+            };
             t.write_node(
                 root,
                 &Node {
@@ -86,13 +112,6 @@ impl BTree {
                 d[8..16].copy_from_slice(&root.0.to_le_bytes());
                 d[16..24].copy_from_slice(&0u64.to_le_bytes());
             })?;
-        } else {
-            let ok = t
-                .pool
-                .with_page(fid, PageId(0), |d| &d[0..8] == META_MAGIC)?;
-            if !ok {
-                return Err(StorageError::Corrupt("bad B-tree meta page".into()));
-            }
         }
         Ok(t)
     }
@@ -129,27 +148,47 @@ impl BTree {
     fn bump_len(&self, delta: i64) -> StorageResult<()> {
         self.pool.with_page_mut(self.fid, PageId(0), |d| {
             let n = u64::from_le_bytes(d[16..24].try_into().unwrap());
-            let n = n.checked_add_signed(delta).expect("btree len underflow");
+            let n = n
+                .checked_add_signed(delta)
+                .ok_or_else(|| StorageError::Corrupt("B-tree length counter underflow".into()))?;
             d[16..24].copy_from_slice(&n.to_le_bytes());
+            Ok(())
+        })?
+    }
+
+    /// Parse one node's bytes. A page that does not parse — possible
+    /// only through external corruption, never a crash the WAL protocol
+    /// covers — yields `StorageError::Corrupt` rather than a panic, so
+    /// the request that hit it fails instead of the process.
+    fn parse_node(pid: PageId, d: &[u8]) -> StorageResult<Node> {
+        let mut copy = d.to_vec();
+        let p = SlottedPage::attach(&mut copy);
+        let corrupt = |what: &str| StorageError::Corrupt(format!("B-tree node {}: {what}", pid.0));
+        p.validate().map_err(|e| corrupt(&e))?;
+        let hdr = p.get(0).ok_or_else(|| corrupt("missing header"))?;
+        if hdr.len() < 9 {
+            return Err(corrupt("short header"));
+        }
+        let is_leaf = hdr[0] == 1;
+        let extra = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
+        let mut entries = Vec::with_capacity(p.n_slots().saturating_sub(1) as usize);
+        for i in 1..p.n_slots() {
+            let e = p.get(i).ok_or_else(|| corrupt("slot gap"))?;
+            if !is_leaf && e.len() < 8 {
+                return Err(corrupt("internal entry shorter than a child pointer"));
+            }
+            entries.push(e.to_vec());
+        }
+        Ok(Node {
+            is_leaf,
+            extra,
+            entries,
         })
     }
 
     fn read_node(&self, pid: PageId) -> StorageResult<Node> {
-        self.pool.with_page(self.fid, pid, |d| {
-            let mut copy = d.to_vec();
-            let p = SlottedPage::attach(&mut copy);
-            let hdr = p.get(0).expect("node missing header");
-            let is_leaf = hdr[0] == 1;
-            let extra = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
-            let entries = (1..p.n_slots())
-                .map(|i| p.get(i).expect("node slot gap").to_vec())
-                .collect();
-            Node {
-                is_leaf,
-                extra,
-                entries,
-            }
-        })
+        self.pool
+            .with_page(self.fid, pid, |d| Self::parse_node(pid, d))?
     }
 
     fn write_node(&self, pid: PageId, node: &Node) -> StorageResult<()> {
@@ -158,12 +197,20 @@ impl BTree {
             let mut hdr = [0u8; 9];
             hdr[0] = node.is_leaf as u8;
             hdr[1..9].copy_from_slice(&node.extra.to_le_bytes());
-            p.insert(&hdr).unwrap().unwrap();
-            for (i, e) in node.entries.iter().enumerate() {
-                let ok = p.insert_at(i as u16 + 1, e).unwrap();
-                assert!(ok, "node overflow while rewriting");
+            if p.insert(&hdr)?.is_none() {
+                return Err(StorageError::Corrupt(
+                    "B-tree node header does not fit".into(),
+                ));
             }
-        })
+            for (i, e) in node.entries.iter().enumerate() {
+                if !p.insert_at(i as u16 + 1, e)? {
+                    return Err(StorageError::Corrupt(
+                        "B-tree node overflow while rewriting".into(),
+                    ));
+                }
+            }
+            Ok(())
+        })?
     }
 
     /// Try to insert an entry at slot position `idx+1` in place; `false`
@@ -369,6 +416,149 @@ impl BTree {
         self.range(&[], None)
     }
 
+    /// Structural integrity check: walks the whole tree verifying that
+    /// every node parses, keys are strictly ordered and within their
+    /// parent's separator bounds, all leaves sit at one depth, the leaf
+    /// sibling chain matches the in-order leaf sequence, no page is
+    /// reachable twice, and the meta item counter equals the number of
+    /// items found. Read-only; returns the violations (empty = clean).
+    /// I/O errors still propagate as `Err` — a violation is a property of
+    /// the bytes, not of the disk.
+    pub fn check(&self) -> StorageResult<Vec<String>> {
+        let mut problems = Vec::new();
+        let total_pages = self.pool.num_pages(self.fid)?;
+        if total_pages == 0 {
+            problems.push("B-tree file has no meta page".into());
+            return Ok(problems);
+        }
+        let magic_ok = self
+            .pool
+            .with_page(self.fid, PageId(0), |d| &d[0..8] == META_MAGIC)?;
+        if !magic_ok {
+            problems.push("meta page magic mismatch".into());
+            return Ok(problems);
+        }
+        let root = self.root()?;
+        let mut walk = CheckWalk {
+            total_pages,
+            visited: std::collections::HashSet::new(),
+            leaves: Vec::new(),
+            items: 0,
+            leaf_depth: None,
+            problems,
+        };
+        self.check_rec(root, 1, None, None, &mut walk)?;
+        // The sibling chain must thread the leaves exactly in key order.
+        for w in walk.leaves.windows(2) {
+            let ((pid, extra), (next, _)) = (w[0], w[1]);
+            if extra != next.0 {
+                walk.problems.push(format!(
+                    "leaf {} sibling pointer {} skips in-order successor {}",
+                    pid.0, extra, next.0
+                ));
+            }
+        }
+        if let Some(&(last, extra)) = walk.leaves.last() {
+            if extra != NO_SIBLING {
+                walk.problems.push(format!(
+                    "last leaf {} has a dangling sibling {extra}",
+                    last.0
+                ));
+            }
+        }
+        let len = self.len()?;
+        if len != walk.items {
+            walk.problems.push(format!(
+                "meta item count {len} != {} items found in leaves",
+                walk.items
+            ));
+        }
+        Ok(walk.problems)
+    }
+
+    fn check_rec(
+        &self,
+        pid: PageId,
+        depth: usize,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        walk: &mut CheckWalk,
+    ) -> StorageResult<()> {
+        if pid.0 == 0 || pid.0 >= walk.total_pages {
+            walk.problems
+                .push(format!("child pointer {} outside file", pid.0));
+            return Ok(());
+        }
+        if !walk.visited.insert(pid.0) {
+            walk.problems.push(format!(
+                "page {} reachable twice (cycle or shared child)",
+                pid.0
+            ));
+            return Ok(());
+        }
+        let node = match self.read_node(pid) {
+            Ok(n) => n,
+            Err(StorageError::Corrupt(msg)) => {
+                walk.problems.push(msg);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let keys: Vec<&[u8]> = if node.is_leaf {
+            node.entries.iter().map(|e| e.as_slice()).collect()
+        } else {
+            node.entries.iter().map(|e| Node::entry_sep(e)).collect()
+        };
+        for w in keys.windows(2) {
+            if w[0] >= w[1] {
+                walk.problems
+                    .push(format!("node {}: entries out of order", pid.0));
+                break;
+            }
+        }
+        for k in &keys {
+            if lo.is_some_and(|lo| *k < lo) || hi.is_some_and(|hi| *k >= hi) {
+                walk.problems.push(format!(
+                    "node {}: entry outside parent separator bounds",
+                    pid.0
+                ));
+                break;
+            }
+        }
+        if node.is_leaf {
+            match walk.leaf_depth {
+                None => walk.leaf_depth = Some(depth),
+                Some(d) if d != depth => {
+                    walk.problems
+                        .push(format!("leaf {} at depth {depth}, expected {d}", pid.0));
+                }
+                Some(_) => {}
+            }
+            walk.items += node.entries.len() as u64;
+            walk.leaves.push((pid, node.extra));
+        } else {
+            let seps: Vec<Vec<u8>> = node
+                .entries
+                .iter()
+                .map(|e| Node::entry_sep(e).to_vec())
+                .collect();
+            let first_hi = seps.first().map(|s| s.as_slice()).or(hi);
+            self.check_rec(PageId(node.extra), depth + 1, lo, first_hi, walk)?;
+            for (i, e) in node.entries.iter().enumerate() {
+                let child_lo = Some(seps[i].as_slice());
+                let child_hi = seps.get(i + 1).map(|s| s.as_slice()).or(hi);
+                self.check_rec(
+                    PageId(Node::entry_child(e)),
+                    depth + 1,
+                    child_lo,
+                    child_hi,
+                    walk,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
     /// Depth of the tree (1 = root is a leaf); for tests and diagnostics.
     pub fn depth(&self) -> StorageResult<usize> {
         let mut pid = self.root()?;
@@ -388,6 +578,17 @@ enum InsertOutcome {
     Duplicate,
     Done,
     Split(Vec<u8>, u64),
+}
+
+/// Accumulator for [`BTree::check`]'s tree walk.
+struct CheckWalk {
+    total_pages: u64,
+    visited: std::collections::HashSet<u64>,
+    /// `(pid, sibling)` per leaf, in key order.
+    leaves: Vec<(PageId, u64)>,
+    items: u64,
+    leaf_depth: Option<usize>,
+    problems: Vec<String>,
 }
 
 /// The smallest byte string greater than every string with `prefix`
@@ -445,16 +646,10 @@ impl Iterator for BTreeRange {
                 return None;
             }
             let pid = PageId(self.next_leaf);
-            let res = self.tree_pool.with_page(self.fid, pid, |d| {
-                let mut copy = d.to_vec();
-                let p = SlottedPage::attach(&mut copy);
-                let hdr = p.get(0).expect("leaf missing header");
-                let sibling = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
-                let entries: Vec<Vec<u8>> = (1..p.n_slots())
-                    .map(|i| p.get(i).unwrap().to_vec())
-                    .collect();
-                (sibling, entries)
-            });
+            let res = self
+                .tree_pool
+                .with_page(self.fid, pid, |d| BTree::parse_node(pid, d))
+                .and_then(|r| r.map(|n| (n.extra, n.entries)));
             match res {
                 Ok((sibling, entries)) => {
                     self.next_leaf = sibling;

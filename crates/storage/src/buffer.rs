@@ -180,16 +180,20 @@ impl BufferPool {
         let idx = victim.ok_or_else(|| {
             StorageError::Corrupt("buffer pool exhausted: all frames pinned".into())
         })?;
-        // Write back the evicted page if dirty.
+        // Write back the evicted page if dirty. On an I/O error the
+        // frame's buffer is restored and the frame stays mapped and
+        // dirty, so the error costs this one request, not pool
+        // integrity (the write can be retried or the txn aborted).
         if let Some((efid, epid)) = inner.frames[idx].key {
             if inner.frames[idx].dirty {
                 let data = std::mem::take(&mut inner.frames[idx].data);
-                inner
+                let res = inner
                     .files
                     .get_mut(&efid)
-                    .ok_or(StorageError::BadFileId)?
-                    .write_page(epid, &data)?;
+                    .ok_or(StorageError::BadFileId)
+                    .and_then(|f| f.write_page(epid, &data));
                 inner.frames[idx].data = data;
+                res?;
                 inner.stats.page_writes += 1;
             }
             inner.map.remove(&(efid, epid));
@@ -198,12 +202,22 @@ impl BufferPool {
         }
         if load {
             let mut data = std::mem::take(&mut inner.frames[idx].data);
-            inner
+            let res = inner
                 .files
                 .get_mut(&fid)
-                .ok_or(StorageError::BadFileId)?
-                .read_page(pid, &mut data)?;
+                .ok_or(StorageError::BadFileId)
+                .and_then(|f| f.read_page(pid, &mut data));
             inner.frames[idx].data = data;
+            if let Err(e) = res {
+                // The old occupant is already unmapped; leaving its key
+                // on the frame would later remove a *reloaded* copy's
+                // map entry. Mark the frame free before bailing.
+                let f = &mut inner.frames[idx];
+                f.key = None;
+                f.dirty = false;
+                f.pins = 0;
+                return Err(e);
+            }
             inner.stats.page_reads += 1;
         }
         let f = &mut inner.frames[idx];
@@ -269,7 +283,31 @@ impl BufferPool {
         self.inner.lock().unwrap().txn.is_some()
     }
 
-    /// Page images as `(location, bytes)` pairs.
+    /// After-images of the pages dirtied so far by the open transaction,
+    /// *without* closing it. The commit protocol peeks the images here,
+    /// writes them to the log, and only then finalizes with
+    /// [`Self::commit_txn`] (on log success) or [`Self::abort_txn`] (on
+    /// log failure) — so a failed log write rolls the pool back instead
+    /// of leaving unlogged dirty pages free to reach disk.
+    pub fn txn_images(&self) -> StorageResult<Vec<PageImage>> {
+        let inner = self.inner.lock().unwrap();
+        let txn = inner
+            .txn
+            .as_ref()
+            .ok_or_else(|| StorageError::Corrupt("no open transaction".into()))?;
+        let mut images = Vec::with_capacity(txn.len());
+        for &(fid, pid) in txn.keys() {
+            let idx = *inner.map.get(&(fid, pid)).ok_or_else(|| {
+                StorageError::Corrupt("transaction page evicted despite pin".into())
+            })?;
+            images.push(((fid, pid), inner.frames[idx].data.clone()));
+        }
+        images.sort_by_key(|(k, _)| *k);
+        Ok(images)
+    }
+
+    /// Close the transaction, unpinning its pages. Returns the
+    /// after-images as `(location, bytes)` pairs.
     pub fn commit_txn(&self) -> StorageResult<Vec<PageImage>> {
         let mut inner = self.inner.lock().unwrap();
         let txn = inner
@@ -278,12 +316,11 @@ impl BufferPool {
             .ok_or_else(|| StorageError::Corrupt("commit without open transaction".into()))?;
         let mut images = Vec::with_capacity(txn.len());
         for ((fid, pid), _) in txn {
-            let idx = *inner
-                .map
-                .get(&(fid, pid))
-                .expect("transaction page evicted despite pin");
+            let idx = *inner.map.get(&(fid, pid)).ok_or_else(|| {
+                StorageError::Corrupt("transaction page evicted despite pin".into())
+            })?;
             images.push(((fid, pid), inner.frames[idx].data.clone()));
-            inner.frames[idx].pins -= 1;
+            inner.frames[idx].pins = inner.frames[idx].pins.saturating_sub(1);
         }
         images.sort_by_key(|(k, _)| *k);
         Ok(images)
@@ -296,14 +333,20 @@ impl BufferPool {
             .txn
             .take()
             .ok_or_else(|| StorageError::Corrupt("abort without open transaction".into()))?;
+        let mut missing = false;
         for ((fid, pid), before) in txn {
-            let idx = *inner
-                .map
-                .get(&(fid, pid))
-                .expect("transaction page evicted despite pin");
+            let Some(&idx) = inner.map.get(&(fid, pid)) else {
+                missing = true;
+                continue;
+            };
             inner.frames[idx].data = before;
-            inner.frames[idx].pins -= 1;
+            inner.frames[idx].pins = inner.frames[idx].pins.saturating_sub(1);
             inner.frames[idx].dirty = true;
+        }
+        if missing {
+            return Err(StorageError::Corrupt(
+                "transaction page evicted despite pin".into(),
+            ));
         }
         Ok(())
     }
@@ -331,12 +374,13 @@ impl BufferPool {
             if let Some((k, pid)) = inner.frames[i].key {
                 if k == fid && inner.frames[i].dirty {
                     let data = std::mem::take(&mut inner.frames[i].data);
-                    inner
+                    let res = inner
                         .files
                         .get_mut(&fid)
-                        .ok_or(StorageError::BadFileId)?
-                        .write_page(pid, &data)?;
+                        .ok_or(StorageError::BadFileId)
+                        .and_then(|f| f.write_page(pid, &data));
                     inner.frames[i].data = data;
+                    res?;
                     inner.frames[i].dirty = false;
                     inner.stats.page_writes += 1;
                 }

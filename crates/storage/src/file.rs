@@ -2,12 +2,12 @@
 //!
 //! A [`PageFile`] is a flat file of [`PAGE_SIZE`] pages addressed by
 //! [`PageId`]. All reads and writes go through the buffer pool; this
-//! module only provides the raw page I/O.
+//! module only provides the raw page I/O, routed through a
+//! [`StorageFile`] so tests can substitute a simulated disk.
 
-use crate::error::{StorageError, StorageResult};
+use crate::error::StorageResult;
 use crate::page::PAGE_SIZE;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::vfs::{StdVfs, StorageFile, Vfs};
 use std::path::{Path, PathBuf};
 
 /// Identifies an open file within the storage server.
@@ -20,32 +20,34 @@ pub struct PageId(pub u64);
 
 /// An open page file.
 pub struct PageFile {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     pages: u64,
 }
 
 impl PageFile {
-    /// Open (creating if necessary) the page file at `path`.
+    /// Open (creating if necessary) the page file at `path` on the real
+    /// file system.
     pub fn open(path: &Path) -> StorageResult<PageFile> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(StorageError::Corrupt(format!(
-                "{} has length {} not a multiple of the page size",
-                path.display(),
-                len
-            )));
+        Self::open_with(&StdVfs, path)
+    }
+
+    /// Open (creating if necessary) the page file at `path` through `vfs`.
+    ///
+    /// A trailing partial page can only be a torn append that was never
+    /// acknowledged (pages are appended zeroed and only then written), so
+    /// it is truncated away here rather than treated as corruption.
+    pub fn open_with(vfs: &dyn Vfs, path: &Path) -> StorageResult<PageFile> {
+        let mut file = vfs.open(path)?;
+        let len = file.len()?;
+        let rem = len % PAGE_SIZE as u64;
+        if rem != 0 {
+            file.truncate(len - rem)?;
         }
         Ok(PageFile {
             file,
             path: path.to_path_buf(),
-            pages: len / PAGE_SIZE as u64,
+            pages: (len - rem) / PAGE_SIZE as u64,
         })
     }
 
@@ -63,8 +65,7 @@ impl PageFile {
     pub fn allocate(&mut self) -> StorageResult<PageId> {
         let id = PageId(self.pages);
         self.file
-            .seek(SeekFrom::Start(self.pages * PAGE_SIZE as u64))?;
-        self.file.write_all(&[0u8; PAGE_SIZE])?;
+            .write_at(self.pages * PAGE_SIZE as u64, &[0u8; PAGE_SIZE])?;
         self.pages += 1;
         Ok(id)
     }
@@ -73,10 +74,9 @@ impl PageFile {
     pub fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         if id.0 >= self.pages {
-            return Err(StorageError::BadPageId);
+            return Err(crate::error::StorageError::BadPageId);
         }
-        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-        self.file.read_exact(buf)?;
+        self.file.read_at(id.0 * PAGE_SIZE as u64, buf)?;
         Ok(())
     }
 
@@ -84,23 +84,22 @@ impl PageFile {
     pub fn write_page(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         if id.0 >= self.pages {
-            return Err(StorageError::BadPageId);
+            return Err(crate::error::StorageError::BadPageId);
         }
-        self.file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-        self.file.write_all(buf)?;
+        self.file.write_at(id.0 * PAGE_SIZE as u64, buf)?;
         Ok(())
     }
 
     /// Flush file contents to stable storage.
     pub fn sync(&mut self) -> StorageResult<()> {
-        self.file.sync_data()?;
-        Ok(())
+        self.file.sync()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::StorageError;
 
     fn tmpdir() -> PathBuf {
         let d = std::env::temp_dir().join(format!(
@@ -169,6 +168,33 @@ mod tests {
             f.write_page(PageId(0), &buf),
             Err(StorageError::BadPageId)
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_page_truncated_on_open() {
+        let path = tmpdir().join("t4.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut f = PageFile::open(&path).unwrap();
+            let p = f.allocate().unwrap();
+            f.write_page(p, &vec![5u8; PAGE_SIZE]).unwrap();
+            f.sync().unwrap();
+        }
+        // Simulate a torn append: half a page of garbage at the tail.
+        {
+            use std::io::Write;
+            let mut raw = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            raw.write_all(&vec![0xEE; PAGE_SIZE / 2]).unwrap();
+        }
+        let mut f = PageFile::open(&path).unwrap();
+        assert_eq!(f.num_pages(), 1, "partial tail page dropped");
+        let mut back = vec![0u8; PAGE_SIZE];
+        f.read_page(PageId(0), &mut back).unwrap();
+        assert_eq!(back[0], 5);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -114,6 +114,23 @@ impl HeapFile {
         }
     }
 
+    /// Structural integrity check: every page's slot directory and record
+    /// extents must validate (see [`SlottedPage::validate`]). Read-only;
+    /// returns the violations (empty = clean).
+    pub fn check(&self) -> StorageResult<Vec<String>> {
+        let mut problems = Vec::new();
+        for pid in 0..self.pool.num_pages(self.fid)? {
+            let res = self.pool.with_page(self.fid, PageId(pid), |data| {
+                let mut copy = data.to_vec();
+                SlottedPage::attach(&mut copy).validate().err()
+            })?;
+            if let Some(err) = res {
+                problems.push(format!("heap page {pid}: {err}"));
+            }
+        }
+        Ok(problems)
+    }
+
     /// Scan all records. The iterator copies one page's records at a time
     /// out of the buffer pool, so the page is touched exactly once per
     /// pass (and re-reads after eviction show up in pool statistics).

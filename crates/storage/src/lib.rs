@@ -30,18 +30,22 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod check;
 pub mod error;
 pub mod file;
 pub mod heap;
 pub mod page;
 pub mod profile;
 pub mod server;
+pub mod vfs;
 pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, BufferStats};
+pub use check::CheckReport;
 pub use error::{StorageError, StorageResult};
 pub use file::{FileId, PageId};
 pub use heap::{HeapFile, RecordId};
 pub use page::{SlotId, PAGE_SIZE};
 pub use server::{StorageClient, StorageServer};
+pub use vfs::{StdVfs, StorageFile, Vfs};

@@ -91,9 +91,52 @@ impl<'a> SlottedPage<'a> {
 
     /// Number of live records.
     pub fn live_count(&self) -> usize {
-        (0..self.n_slots())
-            .filter(|&s| self.slot(s).0 != DEAD)
-            .count()
+        (0..self.n_slots()).filter_map(|s| self.get(s)).count()
+    }
+
+    /// True iff slot `s`'s directory entry lies within the page.
+    fn dir_entry_in_bounds(&self, s: SlotId) -> bool {
+        HDR + (s as usize + 1) * SLOT_BYTES <= PAGE_SIZE
+    }
+
+    /// Check structural sanity of the page without touching record
+    /// contents. Returns a description of the first violation found, if
+    /// any. Pages written by this module always validate; a failure means
+    /// the page bytes were corrupted (torn write, stray write) rather
+    /// than produced by a crash the WAL protocol covers.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_slots() as usize;
+        // An all-zero header is a page that was allocated (the file was
+        // extended with zeros) but never formatted — e.g. extended by a
+        // transaction that crashed before commit. It holds no records
+        // and is reformatted on next use, so it is not corruption.
+        if n == 0 && self.heap_start() == 0 {
+            return Ok(());
+        }
+        let dir_end = HDR + n * SLOT_BYTES;
+        if dir_end > PAGE_SIZE {
+            return Err(format!("slot directory overflows page: {n} slots"));
+        }
+        let heap = self.heap_start() as usize;
+        if heap < dir_end || heap > PAGE_SIZE {
+            return Err(format!(
+                "heap_start {heap} outside [{dir_end}, {PAGE_SIZE}]"
+            ));
+        }
+        for s in 0..n as u16 {
+            let (off, len) = self.slot(s);
+            if off == DEAD {
+                continue;
+            }
+            let (off, len) = (off as usize, len as usize);
+            if off < heap || off + len > PAGE_SIZE {
+                return Err(format!(
+                    "slot {s}: record [{off}, {}) outside heap [{heap}, {PAGE_SIZE})",
+                    off + len
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Insert a record, returning its slot. Reuses dead slots. Fails with
@@ -129,16 +172,22 @@ impl<'a> SlottedPage<'a> {
         Ok(Some(slot))
     }
 
-    /// Read the record in `slot`, if live.
+    /// Read the record in `slot`, if live. Out-of-bounds directory
+    /// entries (possible only on a corrupted page) read as dead rather
+    /// than panicking; [`Self::validate`] reports them.
     pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
-        if slot >= self.n_slots() {
+        if slot >= self.n_slots() || !self.dir_entry_in_bounds(slot) {
             return None;
         }
         let (off, len) = self.slot(slot);
         if off == DEAD {
             return None;
         }
-        Some(&self.data[off as usize..off as usize + len as usize])
+        let (off, len) = (off as usize, len as usize);
+        if off + len > PAGE_SIZE {
+            return None;
+        }
+        Some(&self.data[off..off + len])
     }
 
     /// Delete the record in `slot`. Space is reclaimed by [`Self::compact`].
@@ -345,6 +394,34 @@ mod tests {
         assert!(p.replace_at(0, b"longer-than-before").unwrap());
         assert_eq!(p.get(0), Some(&b"longer-than-before"[..]));
         assert_eq!(p.get(1), Some(&b"bbbb"[..]));
+    }
+
+    #[test]
+    fn validate_accepts_valid_and_rejects_garbage() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        p.insert(b"fine").unwrap().unwrap();
+        assert!(p.validate().is_ok());
+
+        // Garbage slot count: directory would overflow the page.
+        let mut buf = fresh();
+        buf[0..2].copy_from_slice(&0xFFF0u16.to_le_bytes());
+        let p = SlottedPage::attach(&mut buf);
+        assert!(p.validate().is_err());
+        // Reads of out-of-bounds directory entries are guarded, not panics.
+        assert_eq!(p.get(5000), None);
+        let _ = p.live_count();
+
+        // Record pointing outside the page.
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf);
+        p.insert(b"x").unwrap().unwrap();
+        let heap = u16::from_le_bytes([buf[2], buf[3]]);
+        buf[4..6].copy_from_slice(&(PAGE_SIZE as u16 - 1).to_le_bytes());
+        buf[6..8].copy_from_slice(&100u16.to_le_bytes());
+        let p = SlottedPage::attach(&mut buf);
+        assert!(p.validate().is_err(), "heap_start {heap}");
+        assert_eq!(p.get(0), None);
     }
 
     #[test]

@@ -15,10 +15,12 @@
 
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, BufferStats};
+use crate::check::CheckReport;
 use crate::error::{StorageError, StorageResult};
 use crate::file::{FileId, PageFile, PageId};
 use crate::heap::HeapFile;
 use crate::page::PAGE_SIZE;
+use crate::vfs::{StdVfs, Vfs};
 use crate::wal::Wal;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -39,6 +41,7 @@ struct ServerState {
 /// + write-ahead log.
 pub struct StorageServer {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     pool: Arc<BufferPool>,
     state: Mutex<ServerState>,
     /// Named readers-writer locks handed out to storage structures whose
@@ -48,14 +51,29 @@ pub struct StorageServer {
 
 impl StorageServer {
     /// Open (creating if necessary) a server over `dir`, with a buffer
-    /// pool of `frames` pages. Runs crash recovery.
+    /// pool of `frames` pages, on the real file system. Runs crash
+    /// recovery.
     pub fn open(dir: &Path, frames: usize) -> StorageResult<StorageClient> {
-        std::fs::create_dir_all(dir)?;
-        let catalog = Self::read_catalog(&dir.join("catalog"))?;
-        let mut wal = Wal::open(&dir.join("wal.log"))?;
+        Self::open_with_vfs(dir, frames, Arc::new(StdVfs))
+    }
+
+    /// Open a server over `dir` through `vfs`. All file access — data
+    /// pages, the write-ahead log, and the catalog — goes through the
+    /// VFS, so a simulated file system (the `coral-sim` crate) can inject
+    /// faults and crash points under every byte the server persists.
+    pub fn open_with_vfs(
+        dir: &Path,
+        frames: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> StorageResult<StorageClient> {
+        vfs.create_dir_all(dir)?;
+        let catalog = Self::read_catalog(vfs.as_ref(), &dir.join("catalog"))?;
+        let mut wal = Wal::open_with(vfs.as_ref(), &dir.join("wal.log"))?;
 
         // Recovery: replay committed after-images straight into the data
-        // files, then checkpoint.
+        // files, then checkpoint. Replay is idempotent: images are whole
+        // pages written at fixed offsets, so running it twice — e.g.
+        // after a crash mid-recovery — converges on the same state.
         let recovered = wal.recover()?;
         if !recovered.is_empty() {
             let mut files: HashMap<u32, PageFile> = HashMap::new();
@@ -63,9 +81,9 @@ impl StorageServer {
                 for (file_no, pid, image) in &txn.pages {
                     let f = match files.entry(*file_no) {
                         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(PageFile::open(&Self::file_path(dir, *file_no))?)
-                        }
+                        std::collections::hash_map::Entry::Vacant(e) => e.insert(
+                            PageFile::open_with(vfs.as_ref(), &Self::file_path(dir, *file_no))?,
+                        ),
                     };
                     while f.num_pages() <= pid.0 {
                         f.allocate()?;
@@ -83,12 +101,13 @@ impl StorageServer {
         let pool = Arc::new(BufferPool::new(frames));
         let mut next_file = 0;
         for &no in catalog.values() {
-            let pf = PageFile::open(&Self::file_path(dir, no))?;
+            let pf = PageFile::open_with(vfs.as_ref(), &Self::file_path(dir, no))?;
             pool.register_file(FileId(no), pf);
             next_file = next_file.max(no + 1);
         }
         Ok(Arc::new(StorageServer {
             dir: dir.to_path_buf(),
+            vfs,
             pool,
             state: Mutex::new(ServerState {
                 catalog,
@@ -104,28 +123,24 @@ impl StorageServer {
         dir.join(format!("f{no}.pages"))
     }
 
-    fn read_catalog(path: &Path) -> StorageResult<HashMap<String, u32>> {
+    fn read_catalog(vfs: &dyn Vfs, path: &Path) -> StorageResult<HashMap<String, u32>> {
         let mut catalog = HashMap::new();
-        match std::fs::read_to_string(path) {
-            Ok(text) => {
-                for line in text.lines() {
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    let (no, name) = line.split_once(' ').ok_or_else(|| {
-                        StorageError::Corrupt(format!("bad catalog line: {line:?}"))
-                    })?;
-                    let no: u32 = no.parse().map_err(|_| {
-                        StorageError::Corrupt(format!("bad catalog file number: {line:?}"))
-                    })?;
-                    catalog.insert(name.to_string(), no);
+        if let Some(text) = vfs.read_to_string(path)? {
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
                 }
-                Ok(catalog)
+                let (no, name) = line
+                    .split_once(' ')
+                    .ok_or_else(|| StorageError::Corrupt(format!("bad catalog line: {line:?}")))?;
+                let no: u32 = no.parse().map_err(|_| {
+                    StorageError::Corrupt(format!("bad catalog file number: {line:?}"))
+                })?;
+                catalog.insert(name.to_string(), no);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(catalog),
-            Err(e) => Err(e.into()),
         }
+        Ok(catalog)
     }
 
     fn write_catalog(&self, state: &ServerState) -> StorageResult<()> {
@@ -135,10 +150,10 @@ impl StorageServer {
             .map(|(name, no)| format!("{no} {name}"))
             .collect();
         lines.sort();
-        let tmp = self.dir.join("catalog.tmp");
-        std::fs::write(&tmp, lines.join("\n") + "\n")?;
-        std::fs::rename(&tmp, self.dir.join("catalog"))?;
-        Ok(())
+        self.vfs.replace(
+            &self.dir.join("catalog"),
+            (lines.join("\n") + "\n").as_bytes(),
+        )
     }
 
     /// The server's directory.
@@ -185,7 +200,7 @@ impl StorageServer {
         state.next_file += 1;
         state.catalog.insert(name.to_string(), no);
         self.write_catalog(&state)?;
-        let pf = PageFile::open(&Self::file_path(&self.dir, no))?;
+        let pf = PageFile::open_with(self.vfs.as_ref(), &Self::file_path(&self.dir, no))?;
         self.pool.register_file(FileId(no), pf);
         Ok(FileId(no))
     }
@@ -223,16 +238,36 @@ impl StorageServer {
         Ok(id)
     }
 
-    /// Commit the open transaction: log after-images, fsync.
+    /// Commit the open transaction: log after-images, fsync, release.
+    ///
+    /// The log write happens *before* the pool transaction is closed: if
+    /// appending to the log fails, the pool rolls back to the
+    /// before-images and the commit returns the error — the caller
+    /// observes a clean abort. (Closing the pool transaction first would
+    /// leave unlogged dirty pages unpinned and free to reach disk, a
+    /// state recovery knows nothing about.)
     pub fn commit(&self, txn: u64) -> StorageResult<()> {
-        let images = self.pool.commit_txn()?;
-        let mut state = self.state.lock().unwrap();
-        let refs: Vec<(u32, PageId, &[u8])> = images
-            .iter()
-            .map(|((fid, pid), img)| (fid.0, *pid, img.as_ref()))
-            .collect();
-        state.wal.log_commit(txn, &refs)?;
-        Ok(())
+        let images = self.pool.txn_images()?;
+        let logged = {
+            let mut state = self.state.lock().unwrap();
+            let refs: Vec<(u32, PageId, &[u8])> = images
+                .iter()
+                .map(|((fid, pid), img)| (fid.0, *pid, img.as_ref()))
+                .collect();
+            state.wal.log_commit(txn, &refs)
+        };
+        match logged {
+            Ok(()) => {
+                self.pool.commit_txn()?;
+                Ok(())
+            }
+            Err(e) => {
+                // Roll back; if even that fails, the log error still wins
+                // (the caller can only treat both as "commit failed").
+                let _ = self.pool.abort_txn();
+                Err(e)
+            }
+        }
     }
 
     /// Abort the open transaction, restoring before-images.
@@ -244,6 +279,12 @@ impl StorageServer {
     pub fn checkpoint(&self) -> StorageResult<()> {
         self.pool.flush_all()?;
         self.state.lock().unwrap().wal.checkpoint()
+    }
+
+    /// Structural integrity check over every cataloged file (see
+    /// [`crate::check`]).
+    pub fn check(&self) -> StorageResult<CheckReport> {
+        crate::check::check_server(self)
     }
 
     /// Buffer pool counters.

@@ -1,0 +1,167 @@
+//! Virtual file system: the seam between the storage engine and the disk.
+//!
+//! [`PageFile`](crate::file::PageFile) and [`Wal`](crate::wal::Wal) only
+//! need positioned reads/writes, sync, and truncate — exactly the
+//! [`StorageFile`] trait. [`Vfs`] is the factory (plus the few whole-file
+//! operations the catalog needs). Production code uses [`StdVfs`]; the
+//! `coral-sim` crate provides a deterministic in-memory implementation
+//! with fault injection (torn writes, fsync failures, hard crash points)
+//! for crash-matrix testing.
+//!
+//! The durability contract implementations must obey:
+//!
+//! * `write_at`/`truncate` affect the *current* file contents but are not
+//!   durable until a subsequent `sync` returns `Ok`.
+//! * After a crash, each file reverts to its durable contents plus an
+//!   arbitrary prefix of the unsynced operations, where the last surviving
+//!   write may itself be torn (a prefix of its bytes).
+//! * `replace` (used for the catalog) is atomic: after a crash the file
+//!   holds either the old or the new contents, never a mix.
+
+use crate::error::StorageResult;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Positioned I/O on one file. Implementations need not be thread-safe;
+/// callers serialize access (the buffer pool holds each file behind its
+/// own lock).
+pub trait StorageFile: Send {
+    /// Current length in bytes.
+    fn len(&mut self) -> StorageResult<u64>;
+    /// True iff the file is empty.
+    fn is_empty(&mut self) -> StorageResult<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Read exactly `buf.len()` bytes at `off`.
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> StorageResult<()>;
+    /// Write `data` at `off`, extending the file if needed.
+    fn write_at(&mut self, off: u64, data: &[u8]) -> StorageResult<()>;
+    /// Make all preceding writes durable.
+    fn sync(&mut self) -> StorageResult<()>;
+    /// Set the file length to `len` bytes.
+    fn truncate(&mut self, len: u64) -> StorageResult<()>;
+}
+
+/// File system operations the storage server needs beyond per-file I/O.
+pub trait Vfs: Send + Sync {
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> StorageResult<()>;
+    /// Open (creating if necessary) the file at `path`.
+    fn open(&self, path: &Path) -> StorageResult<Box<dyn StorageFile>>;
+    /// Read the whole file as UTF-8, or `None` if it does not exist.
+    fn read_to_string(&self, path: &Path) -> StorageResult<Option<String>>;
+    /// Atomically replace the contents of `path` with `data`.
+    fn replace(&self, path: &Path, data: &[u8]) -> StorageResult<()>;
+}
+
+/// The real file system.
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn create_dir_all(&self, dir: &Path) -> StorageResult<()> {
+        std::fs::create_dir_all(dir)?;
+        Ok(())
+    }
+
+    fn open(&self, path: &Path) -> StorageResult<Box<dyn StorageFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Box::new(StdFile { file }))
+    }
+
+    fn read_to_string(&self, path: &Path) -> StorageResult<Option<String>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn replace(&self, path: &Path, data: &[u8]) -> StorageResult<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+struct StdFile {
+    file: File,
+}
+
+impl StorageFile for StdFile {
+    fn len(&mut self) -> StorageResult<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> StorageResult<()> {
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_at(&mut self, off: u64, data: &[u8]) -> StorageResult<()> {
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(data)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> StorageResult<()> {
+        self.file.set_len(len)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmppath(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("coral-vfs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn std_file_positioned_io() {
+        let path = tmppath("pio.bin");
+        let vfs = StdVfs;
+        let mut f = vfs.open(&path).unwrap();
+        assert_eq!(f.len().unwrap(), 0);
+        f.write_at(0, b"hello world").unwrap();
+        f.write_at(6, b"coral").unwrap();
+        f.sync().unwrap();
+        let mut buf = [0u8; 11];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello coral");
+        f.truncate(5).unwrap();
+        assert_eq!(f.len().unwrap(), 5);
+        let mut buf = [0u8; 5];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn replace_is_whole_file() {
+        let path = tmppath("cat.txt");
+        let vfs = StdVfs;
+        assert_eq!(vfs.read_to_string(&path).unwrap(), None);
+        vfs.replace(&path, b"first version with some length")
+            .unwrap();
+        vfs.replace(&path, b"second").unwrap();
+        assert_eq!(vfs.read_to_string(&path).unwrap().unwrap(), "second");
+    }
+}

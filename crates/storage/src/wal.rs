@@ -18,13 +18,25 @@
 //! ```
 //!
 //! The checksum is a FNV-1a over kind+payload; a torn or corrupt tail
-//! record ends recovery (standard WAL semantics).
+//! record ends recovery (standard WAL semantics), and recovery truncates
+//! such a tail away so replay is idempotent.
+//!
+//! ## Failed appends
+//!
+//! An append that errors part-way leaves bytes of an *unacknowledged*
+//! record in the file. That record must never become visible to recovery:
+//! if it did, a transaction whose commit returned `Err` (and which the
+//! caller therefore rolled back) could resurrect after a crash, diverging
+//! from every state the caller ever observed. So on append failure the
+//! log truncates back to the last acknowledged record and syncs; if even
+//! that cannot be made durable the log is poisoned — further commits are
+//! refused until a successful [`Wal::checkpoint`] rebuilds the log from
+//! scratch (safe because checkpoint first makes the data files durable).
 
 use crate::error::{StorageError, StorageResult};
 use crate::file::PageId;
 use crate::page::PAGE_SIZE;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::vfs::{StdVfs, StorageFile, Vfs};
 use std::path::{Path, PathBuf};
 
 const KIND_COMMIT: u8 = 1;
@@ -50,22 +62,32 @@ pub struct RecoveredTxn {
 
 /// An append-only write-ahead log file.
 pub struct Wal {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
+    /// End offset of the last acknowledged record. Appends always go
+    /// here, overwriting any torn garbage from a failed earlier append.
+    good_len: u64,
+    /// Set when a failed append could not be durably erased; cleared by a
+    /// successful checkpoint.
+    poisoned: bool,
 }
 
 impl Wal {
-    /// Open (creating if necessary) the log at `path`.
+    /// Open (creating if necessary) the log at `path` on the real file
+    /// system.
     pub fn open(path: &Path) -> StorageResult<Wal> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        Self::open_with(&StdVfs, path)
+    }
+
+    /// Open (creating if necessary) the log at `path` through `vfs`.
+    pub fn open_with(vfs: &dyn Vfs, path: &Path) -> StorageResult<Wal> {
+        let mut file = vfs.open(path)?;
+        let good_len = file.len()?;
         Ok(Wal {
             file,
             path: path.to_path_buf(),
+            good_len,
+            poisoned: false,
         })
     }
 
@@ -75,17 +97,43 @@ impl Wal {
     }
 
     fn append(&mut self, kind: u8, payload: &[u8]) -> StorageResult<()> {
+        if self.poisoned {
+            return Err(StorageError::CorruptLog(
+                "write-ahead log poisoned by an earlier append failure; \
+                 checkpoint to recover"
+                    .into(),
+            ));
+        }
         crate::profile::bump(|c| c.wal_appends += 1);
-        self.file.seek(SeekFrom::End(0))?;
         let len = 1 + payload.len();
         let mut buf = Vec::with_capacity(4 + len + 8);
         buf.extend_from_slice(&(len as u32).to_le_bytes());
         buf.push(kind);
         buf.extend_from_slice(payload);
         buf.extend_from_slice(&fnv1a(&buf[4..]).to_le_bytes());
-        self.file.write_all(&buf)?;
-        self.file.sync_data()?;
-        Ok(())
+        let res = self
+            .file
+            .write_at(self.good_len, &buf)
+            .and_then(|()| self.file.sync());
+        match res {
+            Ok(()) => {
+                self.good_len += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Erase the unacknowledged record so it cannot be taken
+                // for committed after a crash. Only a *durable* erase
+                // counts; otherwise refuse further appends.
+                let erased = self
+                    .file
+                    .truncate(self.good_len)
+                    .and_then(|()| self.file.sync());
+                if erased.is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Append and fsync a commit record.
@@ -103,19 +151,24 @@ impl Wal {
     }
 
     /// Truncate the log and write a checkpoint marker. The caller must
-    /// have flushed the data files first.
+    /// have flushed the data files first. Clears any poison: the data
+    /// files are durable, so an empty log is a correct log.
     pub fn checkpoint(&mut self) -> StorageResult<()> {
-        self.file.set_len(0)?;
+        self.file.truncate(0)?;
+        self.good_len = 0;
+        self.poisoned = false;
         self.append(KIND_CHECKPOINT, &[])
     }
 
     /// Read the committed transactions recorded since the last
     /// checkpoint, in commit order. A torn/corrupt tail record stops the
-    /// scan (it was never acknowledged as committed).
+    /// scan (it was never acknowledged as committed) and is truncated
+    /// away, so running recovery twice — e.g. after a crash mid-recovery
+    /// — sees the same committed prefix both times.
     pub fn recover(&mut self) -> StorageResult<Vec<RecoveredTxn>> {
-        self.file.seek(SeekFrom::Start(0))?;
-        let mut data = Vec::new();
-        self.file.read_to_end(&mut data)?;
+        let total = self.file.len()?;
+        let mut data = vec![0u8; total as usize];
+        self.file.read_at(0, &mut data)?;
         let mut txns = Vec::new();
         let mut off = 0usize;
         while off + 4 <= data.len() {
@@ -128,6 +181,9 @@ impl Wal {
                 u64::from_le_bytes(data[off + 4 + len..off + 4 + len + 8].try_into().unwrap());
             if fnv1a(body) != stored {
                 break; // corrupt tail
+            }
+            if body.is_empty() {
+                break; // zero-length record: torn length prefix
             }
             match body[0] {
                 KIND_CHECKPOINT => txns.clear(),
@@ -158,6 +214,10 @@ impl Wal {
             }
             off += 4 + len + 8;
         }
+        if (off as u64) < total {
+            self.file.truncate(off as u64)?;
+        }
+        self.good_len = off as u64;
         Ok(txns)
     }
 }
@@ -205,7 +265,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_ignored() {
+    fn torn_tail_is_ignored_and_trimmed() {
         let path = {
             let mut w = wal("torn.wal");
             w.log_commit(1, &[(0, PageId(0), &image(9))]).unwrap();
@@ -219,6 +279,19 @@ mod tests {
         let txns = w.recover().unwrap();
         assert_eq!(txns.len(), 1, "only the fully written txn survives");
         assert_eq!(txns[0].txn, 1);
+        // The torn tail was truncated: a second recovery pass (crash
+        // mid-recovery) sees the identical committed prefix, and a new
+        // commit starts cleanly after record 1.
+        let len_after = std::fs::metadata(&path).unwrap().len();
+        assert!(len_after < data.len() as u64 - 100);
+        assert_eq!(w.recover().unwrap().len(), 1);
+        w.log_commit(3, &[(0, PageId(2), &image(7))]).unwrap();
+        let txns = w.recover().unwrap();
+        assert_eq!(
+            txns.iter().map(|t| t.txn).collect::<Vec<_>>(),
+            vec![1, 3],
+            "new commit appends after the trimmed tail"
+        );
     }
 
     #[test]

@@ -44,18 +44,20 @@ fn main() {
         Some("serve") => std::process::exit(serve_main(&args[1..])),
         Some("connect") => std::process::exit(connect_main(&args[1..])),
         Some("help") | Some("--help") | Some("-h") => print_usage(),
-        Some(other) => {
+        Some(other) if !other.starts_with('-') => {
             eprintln!("unknown subcommand {other:?}; try `coral --help`");
             std::process::exit(2);
         }
-        None => repl_main(),
+        _ => std::process::exit(repl_main(&args)),
     }
 }
 
 fn print_usage() {
     println!(
         "usage:\n\
-         \x20 coral                      interactive session (or pipe a script)\n\
+         \x20 coral [options]            interactive session (or pipe a script)\n\
+         \x20     --data-dir DIR         attach persistent storage under DIR\n\
+         \x20     --frames N             buffer pool pages (default 256)\n\
          \x20 coral serve [options]      serve concurrent sessions over TCP\n\
          \x20     --addr A               listen address (default 127.0.0.1:7061)\n\
          \x20     --workers N            worker threads = max connections (default 4)\n\
@@ -244,6 +246,7 @@ fn remote_meta(client: &mut Client, cmd: &str) -> bool {
             println!(
                 ":profile [on|off|json]         toggle remote profiling / last profile\n\
                  :checkpoint                    checkpoint the server's storage\n\
+                 :check                         integrity-check the server's storage\n\
                  :ping                          liveness check\n\
                  :quit                          leave"
             );
@@ -262,6 +265,10 @@ fn remote_meta(client: &mut Client, cmd: &str) -> bool {
         },
         ":checkpoint" => match client.checkpoint() {
             Ok(()) => println!("checkpointed"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":check" => match client.check() {
+            Ok(report) => print!("{report}"),
             Err(e) => eprintln!("error: {e}"),
         },
         ":ping" => match client.ping() {
@@ -285,10 +292,36 @@ fn print_query_results(query_results: Vec<Vec<coral::Answer>>) {
     }
 }
 
-fn repl_main() {
+fn repl_main(args: &[String]) -> i32 {
     let session = Session::new();
     if std::env::var_os("CORAL_PROFILE").is_some_and(|v| v != "0" && !v.is_empty()) {
         session.set_profiling(true);
+    }
+    let frames = match parse_flag(args, "--frames") {
+        Ok(f) => f.unwrap_or(256),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if let Some(dir) = flag_value(args, "--data-dir") {
+        // Attach storage and register every on-disk relation, so the
+        // REPL sees the same persistent database `coral serve` would.
+        let dir = std::path::PathBuf::from(dir);
+        let storage = match session.attach_storage(&dir, frames) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot open storage in {}: {e}", dir.display());
+                return 1;
+            }
+        };
+        for name in coral::rel::PersistentRelation::list(&storage) {
+            if let Ok(Some(arity)) = coral::rel::PersistentRelation::stored_arity(&storage, &name) {
+                if let Err(e) = session.create_persistent(&name, arity) {
+                    eprintln!("error: cannot open persistent relation {name}: {e}");
+                }
+            }
+        }
     }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
@@ -335,6 +368,7 @@ fn repl_main() {
             Err(e) => eprintln!("error: {e}"),
         }
     }
+    0
 }
 
 /// A chunk is complete when it ends with a clause terminator and any
@@ -363,9 +397,34 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                  :explain <fact>                derivation tree for a ground fact\n\
                  :rewritten <pred>/<n> <form>   dump the rewritten program\n\
                  :profile [on|off|json]         toggle profiling / last profile\n\
+                 :persist <pred>/<n>            open a persistent base relation\n\
+                 :checkpoint                    checkpoint attached storage\n\
+                 :check                         integrity-check attached storage\n\
                  :quit                          leave"
             );
         }
+        ":persist" => {
+            let Some((name, arity)) = rest.split_once('/') else {
+                eprintln!("usage: :persist <pred>/<arity>");
+                return true;
+            };
+            let Ok(arity) = arity.parse::<usize>() else {
+                eprintln!("bad arity in {rest}");
+                return true;
+            };
+            match session.create_persistent(name, arity) {
+                Ok(_) => println!("{name}/{arity} is persistent"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        ":checkpoint" => match session.checkpoint() {
+            Ok(()) => println!("checkpointed"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ":check" => match session.check_storage() {
+            Ok(report) => print!("{report}"),
+            Err(e) => eprintln!("error: {e}"),
+        },
         ":profile" | ".profile" => match rest {
             "on" => {
                 session.set_profiling(true);
