@@ -1,0 +1,104 @@
+//! E19 — parallel semi-naive fixpoint: partitioned delta evaluation.
+//!
+//! Each workload runs the identical program at 1, 2 and 4 worker
+//! threads; the only difference is `Session::set_threads`, so the
+//! timing ratio is the parallel speedup and the counter deltas in
+//! `BENCH_parallel_seminaive.json` expose the dispatch behaviour
+//! (`parallel` sections of the engine profile record chunk counts and
+//! skew). Speedup is bounded by the host's core count: on a single-core
+//! machine the 2- and 4-thread rows measure pure coordination overhead
+//! (snapshot freeze + partition + merge), which is itself a claim worth
+//! pinning — it must stay within a few percent of serial.
+//!
+//! `CORAL_BENCH_SMOKE=1` shrinks workloads and sampling so CI can run
+//! the whole group in a few seconds as a does-it-still-dispatch check.
+
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coral_bench::{count_answers, programs, workloads};
+use coral_core::session::Session;
+use coral_term::testutil::TestRng;
+use std::fmt::Write as _;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn smoke() -> bool {
+    std::env::var("CORAL_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+fn run(threads: usize, facts: &str, program: &str, query: &str) -> usize {
+    let s = Session::new();
+    s.set_threads(threads);
+    s.consult_str(facts).expect("facts consult");
+    s.consult_str(program).expect("program consult");
+    count_answers(&s, query)
+}
+
+/// A random graph over functor-wrapped nodes `n(i)`: every join and
+/// insert goes through structured-term unification, so this workload is
+/// term-heavy where the integer graphs are hash-heavy.
+fn functor_graph(v: usize, e: usize, seed: u64) -> String {
+    let mut rng = TestRng::new(seed);
+    let mut s = String::with_capacity(e * 24);
+    for i in 0..v - 1 {
+        let _ = writeln!(s, "edge(n({i}), n({})).", i + 1);
+    }
+    for _ in 0..e.saturating_sub(v - 1) {
+        let a = rng.gen_range(0, v);
+        let b = rng.gen_range(0, v);
+        let _ = writeln!(s, "edge(n({a}), n({b})).");
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_seminaive");
+    if smoke() {
+        g.sample_size(3);
+        g.warm_up_time(std::time::Duration::from_millis(50));
+        g.measurement_time(std::time::Duration::from_millis(300));
+    } else {
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_millis(1500));
+    }
+
+    // All-pairs transitive closure on a dense random digraph: big
+    // per-iteration deltas, the headline workload of the issue.
+    let (v, e) = if smoke() { (24, 96) } else { (56, 280) };
+    let tc_facts = workloads::random_graph(v, e, 11);
+    let tc_prog = programs::tc("", "ff");
+    for t in THREADS {
+        g.bench_with_input(BenchmarkId::new("tc", t), &t, |b, &t| {
+            b.iter(|| run(t, &tc_facts, &tc_prog, "path(X, Y)"))
+        });
+    }
+
+    // Same generation over a layered up/flat/down graph, exported ff so
+    // the recursive sg delta (not a magic seed) drives the joins.
+    let (layers, width) = if smoke() { (4, 8) } else { (6, 24) };
+    let sg_facts = workloads::same_gen(layers, width);
+    let sg_prog = "module sg.\nexport sg(ff).\n\
+                   sg(X, Y) :- flat(X, Y).\n\
+                   sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n\
+                   end_module.\n";
+    for t in THREADS {
+        g.bench_with_input(BenchmarkId::new("same_generation", t), &t, |b, &t| {
+            b.iter(|| run(t, &sg_facts, sg_prog, "sg(X, Y)"))
+        });
+    }
+
+    // Path over functor-wrapped nodes: unification-bound rather than
+    // hash-bound, so worker CPU dominates coordination.
+    let (fv, fe) = if smoke() { (20, 70) } else { (44, 200) };
+    let fn_facts = functor_graph(fv, fe, 13);
+    for t in THREADS {
+        g.bench_with_input(BenchmarkId::new("path_functors", t), &t, |b, &t| {
+            b.iter(|| run(t, &fn_facts, &tc_prog, "path(X, Y)"))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

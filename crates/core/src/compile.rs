@@ -102,7 +102,7 @@ pub struct SnVersion {
 }
 
 /// A compiled rule.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledRule {
     /// Head literal (aggregate terms intact; see `agg`).
     pub head: Literal,

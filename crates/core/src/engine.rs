@@ -138,6 +138,9 @@ struct EngineInner {
     base_multiset: RefCell<Vec<PredRef>>,
     /// Engine-level runtime profiling flag (profiles every module call).
     profiling: Cell<bool>,
+    /// Worker-pool size for partitioned delta evaluation (1 = serial;
+    /// seeded from `CORAL_THREADS`, overridable per engine).
+    threads: Cell<usize>,
     /// Profile of the most recently completed profiled call.
     last_profile: RefCell<Option<crate::profile::EngineProfile>>,
     /// Cooperative cancellation flag (shared with [`CancelToken`]s).
@@ -166,6 +169,7 @@ impl Engine {
                 exports: RefCell::new(HashMap::new()),
                 base_multiset: RefCell::new(Vec::new()),
                 profiling: Cell::new(false),
+                threads: Cell::new(crate::parallel::resolve_threads(None)),
                 last_profile: RefCell::new(None),
                 cancel: Arc::new(AtomicBool::new(false)),
             }),
@@ -218,6 +222,19 @@ impl Engine {
     pub fn set_profiling(&self, on: bool) {
         self.inner.profiling.set(on);
         crate::profile::set_profiling(on);
+    }
+
+    /// Set the worker-pool size for partitioned delta evaluation
+    /// (clamped to at least 1; 1 = fully serial).
+    pub fn set_threads(&self, threads: usize) {
+        self.inner
+            .threads
+            .set(crate::parallel::resolve_threads(Some(threads)));
+    }
+
+    /// The configured worker-pool size.
+    pub fn threads(&self) -> usize {
+        self.inner.threads.get()
     }
 
     /// Whether the engine-level runtime profiling flag is on.
@@ -635,7 +652,8 @@ impl Engine {
         // ("CORAL … discards all intermediate facts and subgoals computed
         // by a module at the end of a call", §5.4.2).
         let mut state = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
-            .with_strategy(Strategy::from(mdef.controls.fixpoint));
+            .with_strategy(Strategy::from(mdef.controls.fixpoint))
+            .with_threads(self.threads());
         state.seed(pattern)?;
         if mdef.controls.lazy {
             return Ok(Box::new(crate::save_module::LazyScan::new(
@@ -807,6 +825,24 @@ impl ExternalResolver for Engine {
             "{pred} is neither a base relation, an exported predicate, nor a builtin"
         )))
     }
+
+    fn parallel_source(&self, lit: &Literal) -> Option<crate::parallel::ParallelSource> {
+        use crate::parallel::ParallelSource;
+        let pred = lit.pred_ref();
+        // Mirror `candidates` precedence exactly: a module export or a
+        // non-hash (persistent, list) relation re-enters the engine, so
+        // workers cannot read it.
+        if self.module_of(pred).is_some() {
+            return None;
+        }
+        if let Some(rel) = self.inner.db.get(pred.name, pred.arity) {
+            return rel_as_hash(&rel).map(|h| ParallelSource::Snapshot(h.snapshot()));
+        }
+        if builtins::is_builtin(pred) {
+            return Some(ParallelSource::Builtin);
+        }
+        None
+    }
 }
 
 fn rel_as_hash(rel: &Rc<dyn Relation>) -> Option<&HashRelation> {
@@ -910,6 +946,24 @@ pub mod builtins {
             ("sort", 2) => sort2(pattern).map(Some),
             _ => Ok(None),
         }
+    }
+
+    /// Whether `pred` names a builtin, without evaluating it. Builtins
+    /// are pure functions of their pattern, so parallel workers may call
+    /// [`eval`] directly on any thread.
+    pub fn is_builtin(pred: PredRef) -> bool {
+        let name = pred.name.as_str();
+        matches!(
+            (name.as_str(), pred.arity),
+            ("append", 3)
+                | ("member", 2)
+                | ("length", 2)
+                | ("reverse", 2)
+                | ("nth1", 3)
+                | ("between", 3)
+                | ("sum_list", 2)
+                | ("sort", 2)
+        )
     }
 
     fn list_of(t: &Term) -> Option<Vec<Term>> {

@@ -75,6 +75,15 @@ pub trait ExternalResolver {
     fn cancelled(&self) -> bool {
         false
     }
+
+    /// A frozen, `Sync` candidate source for `lit`, if one exists: base
+    /// `HashRelation`s can be snapshotted and pure builtins evaluate on
+    /// any thread. `None` (the default) means workers cannot read this
+    /// literal, so any rule version reading it stays serial.
+    fn parallel_source(&self, lit: &Literal) -> Option<crate::parallel::ParallelSource> {
+        let _ = lit;
+        None
+    }
 }
 
 /// Per-predicate delta boundaries for the current iteration:
@@ -82,7 +91,32 @@ pub trait ExternalResolver {
 /// iteration-consistent full view is `[0, cur)`.
 pub type Ranges = HashMap<PredRef, (Mark, Mark)>;
 
-/// Everything a rule evaluation needs.
+/// Candidate sourcing for one rule evaluation. [`eval_rule`] is written
+/// against this trait so the same nested-loops join runs over live
+/// relations ([`JoinCtx`], the serial evaluator) or over frozen
+/// [`coral_rel::RelSnapshot`] views with a chunk override for the
+/// driving delta slot (the parallel evaluator's worker environment).
+pub trait RuleEnv {
+    /// Candidate tuples for a local literal at body position `pos`
+    /// under the current semi-naive version.
+    fn local_candidates(
+        &self,
+        pred: PredRef,
+        recursive: bool,
+        pos: usize,
+        version: SnVersion,
+        pattern: &[Term],
+    ) -> EvalResult<TupleIter>;
+
+    /// Candidate tuples for an external literal.
+    fn external_candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter>;
+
+    /// Full-view candidates for a negated local literal (negation reads
+    /// the whole relation; stratification keeps it stable).
+    fn negated_local(&self, pred: PredRef, pattern: &[Term]) -> EvalResult<TupleIter>;
+}
+
+/// Everything a serial rule evaluation needs.
 pub struct JoinCtx<'a> {
     /// Local relations.
     pub locals: &'a LocalRels,
@@ -92,9 +126,7 @@ pub struct JoinCtx<'a> {
     pub ranges: &'a Ranges,
 }
 
-impl JoinCtx<'_> {
-    /// The candidate iterator for a local literal at `pos` under the
-    /// current semi-naive version.
+impl RuleEnv for JoinCtx<'_> {
     fn local_candidates(
         &self,
         pred: PredRef,
@@ -102,21 +134,29 @@ impl JoinCtx<'_> {
         pos: usize,
         version: SnVersion,
         pattern: &[Term],
-    ) -> TupleIter {
+    ) -> EvalResult<TupleIter> {
         let rel = self.locals.require(pred);
         if !recursive {
-            return rel.lookup(pattern);
+            return Ok(rel.lookup(pattern));
         }
         let (prev, cur) = self
             .ranges
             .get(&pred)
             .copied()
             .unwrap_or((Mark(0), rel.current_mark()));
-        match version.delta_idx {
+        Ok(match version.delta_idx {
             Some(d) if pos == d => rel.lookup_range(pattern, prev, Some(cur)),
             Some(d) if pos < d => rel.lookup_range(pattern, Mark(0), Some(prev)),
             _ => rel.lookup_range(pattern, Mark(0), Some(cur)),
-        }
+        })
+    }
+
+    fn external_candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter> {
+        self.external.candidates(lit, pattern)
+    }
+
+    fn negated_local(&self, pred: PredRef, pattern: &[Term]) -> EvalResult<TupleIter> {
+        Ok(self.locals.require(pred).lookup(pattern))
     }
 }
 
@@ -154,7 +194,7 @@ struct Slot {
 /// solution of the body. `emit` receives the environment and the rule's
 /// frame so it can resolve the head. Returns the number of solutions.
 pub fn eval_rule(
-    ctx: &JoinCtx<'_>,
+    ctx: &dyn RuleEnv,
     rule: &CompiledRule,
     version: SnVersion,
     envs: &mut EnvSet,
@@ -190,14 +230,14 @@ pub fn eval_rule(
                             pos,
                             version,
                             &pattern,
-                        ),
+                        )?,
                         matched: false,
                     }
                 }
                 BodyElem::External { lit } => {
                     let pattern = literal_pattern(envs, lit, env);
                     SlotState::Candidates {
-                        iter: ctx.external.candidates(lit, &pattern)?,
+                        iter: ctx.external_candidates(lit, &pattern)?,
                         matched: false,
                     }
                 }
@@ -354,7 +394,7 @@ fn backtrack_from(
 
 /// Evaluate a deterministic body element (comparison or negation).
 fn advance_check(
-    ctx: &JoinCtx<'_>,
+    ctx: &dyn RuleEnv,
     rule: &CompiledRule,
     pos: usize,
     envs: &mut EnvSet,
@@ -410,9 +450,9 @@ fn advance_check(
         BodyElem::Negated { lit, local } => {
             let pattern = literal_pattern(envs, lit, env);
             let iter = if *local {
-                ctx.locals.require(lit.pred_ref()).lookup(&pattern)
+                ctx.negated_local(lit.pred_ref(), &pattern)?
             } else {
-                ctx.external.candidates(lit, &pattern)?
+                ctx.external_candidates(lit, &pattern)?
             };
             let m = envs.mark();
             let fm = envs.frame_mark();

@@ -46,6 +46,7 @@ pub mod error;
 pub mod explain;
 pub mod join;
 pub mod ordered_search;
+pub mod parallel;
 pub mod pipeline;
 pub mod profile;
 pub mod rewrite;

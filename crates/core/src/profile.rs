@@ -51,6 +51,19 @@ impl Counters {
     };
 }
 
+/// Fold a counter delta (e.g. one captured on a parallel worker thread)
+/// into this thread's counters. No-op unless collection is enabled on
+/// the calling thread. The Ordered Search high-water mark folds as a
+/// maximum, not a sum.
+pub fn add(d: Counters) {
+    bump(|c| {
+        c.join_probes += d.join_probes;
+        c.get_next_tuple += d.get_next_tuple;
+        c.os_context_pushes += d.os_context_pushes;
+        c.os_max_context_depth = c.os_max_context_depth.max(d.os_max_context_depth);
+    });
+}
+
 /// One thread's totals across every layer.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct LayerTotals {
@@ -75,6 +88,35 @@ pub struct RuleVersionStats {
     pub join_probes: u64,
 }
 
+/// Parallel-evaluation statistics for one SCC section (all zero when
+/// every rule version in the SCC ran serially).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Rule-version evaluations dispatched to the worker pool.
+    pub parallel_firings: u64,
+    /// Rule-version evaluations that fell back to serial after being
+    /// considered for the pool (small deltas, order-sensitive output).
+    pub serial_fallbacks: u64,
+    /// Largest worker count used by any dispatch.
+    pub threads: u64,
+    /// Total delta chunks dispatched.
+    pub chunks: u64,
+    /// Driving delta tuples partitioned across those chunks.
+    pub delta_tuples: u64,
+    /// Smallest chunk dispatched (skew numerator).
+    pub min_chunk: u64,
+    /// Largest chunk dispatched (skew denominator).
+    pub max_chunk: u64,
+    /// Coordinator time merging worker buffers into head relations.
+    pub merge_ns: u64,
+    /// Summed worker busy time (per-chunk evaluation wall time).
+    pub busy_ns: u64,
+    /// Coordinator wall time across parallel dispatches (partition +
+    /// evaluate + merge); `busy_ns / (threads * wall_ns)` approximates
+    /// worker utilization.
+    pub wall_ns: u64,
+}
+
 /// One SCC's fixpoint section.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SccSection {
@@ -94,6 +136,8 @@ pub struct SccSection {
     pub duplicates: u64,
     /// Wall time spent iterating this SCC.
     pub wall_ns: u64,
+    /// Parallel-evaluation statistics (zeros when fully serial).
+    pub parallel: ParallelStats,
     /// Per-rule-version breakdown.
     pub rules: Vec<RuleVersionStats>,
 }
@@ -502,6 +546,30 @@ pub(crate) fn scc_rule(
     });
 }
 
+/// Fold one parallel dispatch (or fallback decision) into the parallel
+/// stats of `(state, scc)`.
+pub(crate) fn scc_parallel(state: u64, scc: usize, d: ParallelStats) {
+    with_section(state, scc, |sec| {
+        let p = &mut sec.parallel;
+        p.parallel_firings += d.parallel_firings;
+        p.serial_fallbacks += d.serial_fallbacks;
+        p.threads = p.threads.max(d.threads);
+        p.delta_tuples += d.delta_tuples;
+        p.merge_ns += d.merge_ns;
+        p.busy_ns += d.busy_ns;
+        p.wall_ns += d.wall_ns;
+        if d.chunks > 0 {
+            p.min_chunk = if p.chunks == 0 {
+                d.min_chunk
+            } else {
+                p.min_chunk.min(d.min_chunk)
+            };
+            p.max_chunk = p.max_chunk.max(d.max_chunk);
+        }
+        p.chunks += d.chunks;
+    });
+}
+
 // ---------------------------------------------------------------------
 // Rendering and JSON.
 // ---------------------------------------------------------------------
@@ -571,6 +639,36 @@ impl EngineProfile {
                 sec.duplicates,
                 fmt_ns(sec.wall_ns)
             );
+            let p = &sec.parallel;
+            if p.parallel_firings > 0 || p.serial_fallbacks > 0 {
+                let skew = if p.max_chunk > 0 {
+                    format!("{}..{}", p.min_chunk, p.max_chunk)
+                } else {
+                    "-".into()
+                };
+                let util = if p.threads > 0 && p.wall_ns > 0 {
+                    format!(
+                        "{:.0}%",
+                        100.0 * p.busy_ns as f64 / (p.threads as f64 * p.wall_ns as f64)
+                    )
+                } else {
+                    "-".into()
+                };
+                let _ = writeln!(
+                    s,
+                    "    parallel: {} dispatches ({} threads), {} chunks over {} delta tuples \
+                     (chunk {}), merge {}, busy {} (util {}), {} serial fallbacks",
+                    p.parallel_firings,
+                    p.threads,
+                    p.chunks,
+                    p.delta_tuples,
+                    skew,
+                    fmt_ns(p.merge_ns),
+                    fmt_ns(p.busy_ns),
+                    util,
+                    p.serial_fallbacks
+                );
+            }
             for r in &sec.rules {
                 let _ = writeln!(
                     s,
@@ -614,7 +712,7 @@ impl EngineProfile {
             let _ = write!(
                 s,
                 "], \"iterations\": {}, \"rule_firings\": {}, \"solutions\": {}, \
-                 \"facts_derived\": {}, \"duplicates\": {}, \"wall_ns\": {}, \"rules\": [",
+                 \"facts_derived\": {}, \"duplicates\": {}, \"wall_ns\": {}, ",
                 sec.iterations,
                 sec.rule_firings,
                 sec.solutions,
@@ -622,6 +720,24 @@ impl EngineProfile {
                 sec.duplicates,
                 sec.wall_ns
             );
+            let _ = write!(s, "\"parallel\": {}, \"rules\": [", {
+                let p = &sec.parallel;
+                format!(
+                    "{{\"parallel_firings\": {}, \"serial_fallbacks\": {}, \"threads\": {}, \
+                     \"chunks\": {}, \"delta_tuples\": {}, \"min_chunk\": {}, \"max_chunk\": {}, \
+                     \"merge_ns\": {}, \"busy_ns\": {}, \"wall_ns\": {}}}",
+                    p.parallel_firings,
+                    p.serial_fallbacks,
+                    p.threads,
+                    p.chunks,
+                    p.delta_tuples,
+                    p.min_chunk,
+                    p.max_chunk,
+                    p.merge_ns,
+                    p.busy_ns,
+                    p.wall_ns
+                )
+            });
             for (j, r) in sec.rules.iter().enumerate() {
                 if j > 0 {
                     s.push(',');
@@ -682,6 +798,23 @@ impl EngineProfile {
                 wall_ns: json::get_u64(so, "wall_ns")?,
                 ..SccSection::default()
             };
+            // Profiles written before parallel evaluation existed have
+            // no "parallel" key; default to all-zero stats.
+            if let Ok(pv) = json::get(so, "parallel") {
+                let po = pv.as_obj().ok_or("parallel: expected an object")?;
+                sec.parallel = ParallelStats {
+                    parallel_firings: json::get_u64(po, "parallel_firings")?,
+                    serial_fallbacks: json::get_u64(po, "serial_fallbacks")?,
+                    threads: json::get_u64(po, "threads")?,
+                    chunks: json::get_u64(po, "chunks")?,
+                    delta_tuples: json::get_u64(po, "delta_tuples")?,
+                    min_chunk: json::get_u64(po, "min_chunk")?,
+                    max_chunk: json::get_u64(po, "max_chunk")?,
+                    merge_ns: json::get_u64(po, "merge_ns")?,
+                    busy_ns: json::get_u64(po, "busy_ns")?,
+                    wall_ns: json::get_u64(po, "wall_ns")?,
+                };
+            }
             for pv in json::get(so, "preds")?.as_arr().ok_or("preds: array")? {
                 sec.preds
                     .push(pv.as_str().ok_or("pred: expected a string")?.to_string());
@@ -1039,6 +1172,18 @@ mod tests {
                 facts_derived: 30,
                 duplicates: 3,
                 wall_ns: 500_000,
+                parallel: ParallelStats {
+                    parallel_firings: 4,
+                    serial_fallbacks: 1,
+                    threads: 4,
+                    chunks: 16,
+                    delta_tuples: 1000,
+                    min_chunk: 10,
+                    max_chunk: 90,
+                    merge_ns: 40_000,
+                    busy_ns: 1_600_000,
+                    wall_ns: 450_000,
+                },
                 rules: vec![RuleVersionStats {
                     label: "path_bf \"δ0\"".into(),
                     firings: 5,
@@ -1072,6 +1217,54 @@ mod tests {
         ] {
             assert!(r.contains(needle), "render missing {needle:?}:\n{r}");
         }
+    }
+
+    #[test]
+    fn render_shows_parallel_line() {
+        let r = sample().render();
+        assert!(r.contains("parallel: 4 dispatches (4 threads)"), "{r}");
+        assert!(r.contains("16 chunks over 1000 delta tuples"), "{r}");
+        assert!(r.contains("chunk 10..90"), "{r}");
+        assert!(r.contains("1 serial fallbacks"), "{r}");
+        // Fully serial sections render no parallel line.
+        let mut p = sample();
+        p.sccs[0].parallel = ParallelStats::default();
+        assert!(!p.render().contains("parallel:"), "{}", p.render());
+    }
+
+    #[test]
+    fn parallel_section_json_shape() {
+        // Golden shape: the parallel object carries exactly these keys.
+        let j = sample().to_json();
+        for key in [
+            "\"parallel\": {\"parallel_firings\": 4",
+            "\"serial_fallbacks\": 1",
+            "\"threads\": 4",
+            "\"chunks\": 16",
+            "\"delta_tuples\": 1000",
+            "\"min_chunk\": 10",
+            "\"max_chunk\": 90",
+            "\"merge_ns\": 40000",
+            "\"busy_ns\": 1600000",
+        ] {
+            assert!(j.contains(key), "json missing {key:?}:\n{j}");
+        }
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back.sccs[0].parallel, sample().sccs[0].parallel);
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_parallel_key() {
+        // A pre-parallel profile (no "parallel" key) still parses, with
+        // all-zero parallel stats.
+        let mut p = sample();
+        p.sccs[0].parallel = ParallelStats::default();
+        let j = p
+            .to_json()
+            .replace("\"parallel\": {\"parallel_firings\": 0, \"serial_fallbacks\": 0, \"threads\": 0, \"chunks\": 0, \"delta_tuples\": 0, \"min_chunk\": 0, \"max_chunk\": 0, \"merge_ns\": 0, \"busy_ns\": 0, \"wall_ns\": 0}, ", "");
+        assert!(!j.contains("\"parallel\""), "{j}");
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

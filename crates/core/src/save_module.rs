@@ -52,7 +52,8 @@ pub fn call(
             Some(s) => s,
             None => {
                 let s = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
-                    .with_strategy(Strategy::from(mdef.controls.fixpoint));
+                    .with_strategy(Strategy::from(mdef.controls.fixpoint))
+                    .with_threads(engine.threads());
                 s.assert_no_aggregates()?;
                 s
             }

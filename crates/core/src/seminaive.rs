@@ -25,15 +25,20 @@
 //! the persistent per-SCC marks, and no derivation is repeated.
 
 use crate::aggregate::eval_agg_rule;
-use crate::compile::{CompiledModule, CompiledScc, SnVersion};
+use crate::compile::{BodyElem, CompiledModule, CompiledRule, CompiledScc, SnVersion};
 use crate::error::{EvalError, EvalResult};
 use crate::join::{eval_rule, resolve_head, ExternalResolver, JoinCtx, LocalRels, Ranges};
+use crate::parallel::{
+    eval_chunk, fold_counters, partition, run_tasks, JobCtx, LocalView, ParallelSource, MIN_CHUNK,
+};
+use crate::profile::ParallelStats;
 use coral_lang::{FixpointKind, PredRef};
 use coral_rel::{AggregateSelection, DupSemantics, HashRelation, IndexSpec, Mark, Relation};
 use coral_term::bindenv::EnvSet;
 use coral_term::Tuple;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The fixpoint strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -100,6 +105,8 @@ pub struct FixpointState {
     /// Identity for the profiler's per-SCC sections (distinguishes
     /// nested module calls within one collected profile).
     profile_id: u64,
+    /// Worker-pool size for partitioned delta evaluation (1 = serial).
+    threads: usize,
     envs: EnvSet,
 }
 
@@ -155,6 +162,7 @@ impl FixpointState {
             naive_done,
             stats: FixpointStats::default(),
             profile_id: crate::profile::new_state_id(),
+            threads: 1,
             envs: EnvSet::new(),
         })
     }
@@ -162,6 +170,14 @@ impl FixpointState {
     /// Select the strategy (defaults to BSN).
     pub fn with_strategy(mut self, strategy: Strategy) -> FixpointState {
         self.strategy = strategy;
+        self
+    }
+
+    /// Set the worker-pool size for partitioned delta evaluation
+    /// (defaults to 1 = fully serial). Ordered Search callers must not
+    /// set this: their derivation order is semantically significant.
+    pub fn with_threads(mut self, threads: usize) -> FixpointState {
+        self.threads = threads.max(1);
         self
     }
 
@@ -374,23 +390,33 @@ impl FixpointState {
                 } else {
                     0
                 };
-                let head_rel = Rc::clone(self.locals.require(rule.head.pred_ref()));
-                let ctx = JoinCtx {
-                    locals: &self.locals,
-                    external,
-                    ranges,
-                };
                 let mut derived = 0u64;
                 let mut solutions = 0u64;
-                let head = rule.head.clone();
-                eval_rule(&ctx, rule, version, &mut self.envs, &mut |envs, env| {
-                    solutions += 1;
-                    let fact = resolve_head(envs, &head, env);
-                    if head_rel.insert(fact)? {
-                        derived += 1;
-                    }
-                    Ok(())
-                })?;
+                let parallel = if naive {
+                    None
+                } else {
+                    self.eval_version_parallel(scc_idx, rule, version, ranges, external)?
+                };
+                if let Some((par_solutions, par_derived)) = parallel {
+                    solutions = par_solutions;
+                    derived = par_derived;
+                } else {
+                    let head_rel = Rc::clone(self.locals.require(rule.head.pred_ref()));
+                    let ctx = JoinCtx {
+                        locals: &self.locals,
+                        external,
+                        ranges,
+                    };
+                    let head = rule.head.clone();
+                    eval_rule(&ctx, rule, version, &mut self.envs, &mut |envs, env| {
+                        solutions += 1;
+                        let fact = resolve_head(envs, &head, env);
+                        if head_rel.insert(fact)? {
+                            derived += 1;
+                        }
+                        Ok(())
+                    })?;
+                }
                 self.stats.facts_derived += derived;
                 self.stats.solutions += solutions;
                 if collecting {
@@ -409,6 +435,191 @@ impl FixpointState {
             }
         }
         Ok(())
+    }
+
+    /// Try to evaluate one delta rule version on the worker pool:
+    /// freeze every relation the rule reads, partition the driving
+    /// delta, evaluate chunks in parallel, then merge output buffers in
+    /// chunk order through the ordinary insert path. Returns `Ok(None)`
+    /// when the version must run serially: thread count 1, a small
+    /// delta, an order-sensitive head (multiset, aggregate selections),
+    /// an external literal with no frozen source, or — detected after
+    /// the fact — non-ground output under subsumption semantics.
+    fn eval_version_parallel(
+        &mut self,
+        scc_idx: usize,
+        rule: &CompiledRule,
+        version: SnVersion,
+        ranges: &Ranges,
+        external: &dyn ExternalResolver,
+    ) -> EvalResult<Option<(u64, u64)>> {
+        if self.threads < 2 {
+            return Ok(None);
+        }
+        let Some(delta_pos) = version.delta_idx else {
+            return Ok(None);
+        };
+        let BodyElem::Local {
+            lit: delta_lit,
+            recursive: true,
+        } = &rule.body[delta_pos]
+        else {
+            return Ok(None);
+        };
+        let delta_pred = delta_lit.pred_ref();
+        let Some(&(prev, cur)) = ranges.get(&delta_pred) else {
+            return Ok(None);
+        };
+        let delta_rel = Rc::clone(self.locals.require(delta_pred));
+        // Small deltas are not worth the dispatch; this is not a
+        // "fallback" in the profile's sense, just the serial fast path.
+        if delta_rel.len_range(prev, Some(cur)) < 2 * MIN_CHUNK {
+            return Ok(None);
+        }
+        let fallback = |me: &Self| {
+            crate::profile::scc_parallel(
+                me.profile_id,
+                scc_idx,
+                ParallelStats {
+                    serial_fallbacks: 1,
+                    ..ParallelStats::default()
+                },
+            );
+        };
+        // Order-sensitive heads stay serial.
+        let head_pred = rule.head.pred_ref();
+        let head_rel = Rc::clone(self.locals.require(head_pred));
+        if rule.agg.is_some()
+            || head_rel.dup_semantics() == DupSemantics::Multiset
+            || head_rel.has_aggregate_selections()
+        {
+            fallback(self);
+            return Ok(None);
+        }
+        // Classify the body: every external literal needs a frozen
+        // source; local literals freeze below.
+        let mut local_preds: Vec<PredRef> = vec![head_pred];
+        let mut externals: HashMap<PredRef, ParallelSource> = HashMap::new();
+        for e in &rule.body {
+            match e {
+                BodyElem::Local { lit, .. } => local_preds.push(lit.pred_ref()),
+                BodyElem::Negated { lit, local: true } => local_preds.push(lit.pred_ref()),
+                BodyElem::Negated { lit, local: false } | BodyElem::External { lit } => {
+                    let p = lit.pred_ref();
+                    if externals.contains_key(&p) {
+                        continue;
+                    }
+                    match external.parallel_source(lit) {
+                        Some(src) => {
+                            externals.insert(p, src);
+                        }
+                        None => {
+                            fallback(self);
+                            return Ok(None);
+                        }
+                    }
+                }
+                BodyElem::Compare { .. } => {}
+            }
+        }
+        let t_start = std::time::Instant::now();
+        let mut locals_map: HashMap<PredRef, LocalView> = HashMap::new();
+        for p in local_preds {
+            if locals_map.contains_key(&p) {
+                continue;
+            }
+            let rel = Rc::clone(self.locals.require(p));
+            let (lp, lc) = ranges
+                .get(&p)
+                .copied()
+                .unwrap_or((Mark(0), rel.current_mark()));
+            locals_map.insert(
+                p,
+                LocalView {
+                    snap: rel.snapshot(),
+                    prev: lp,
+                    cur: lc,
+                },
+            );
+        }
+        // Materialize the driving delta from its frozen view (insertion
+        // order — the order a serial delta scan would visit).
+        let delta: Vec<Tuple> = locals_map[&delta_pred].snap.scan_range(prev, Some(cur));
+        let delta_tuples = delta.len() as u64;
+        let chunks = partition(delta, self.threads);
+        let nchunks = chunks.len();
+        if nchunks < 2 {
+            return Ok(None);
+        }
+        let min_chunk = chunks.iter().map(|c| c.len()).min().unwrap_or(0) as u64;
+        let max_chunk = chunks.iter().map(|c| c.len()).max().unwrap_or(0) as u64;
+        let job = Arc::new(JobCtx {
+            rule: rule.clone(),
+            version,
+            delta_pos,
+            delta_pred,
+            delta_index_specs: delta_rel.index_specs(),
+            locals: locals_map,
+            externals,
+            head_pred,
+            profiling: crate::profile::enabled(),
+        });
+        let tasks: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let job = Arc::clone(&job);
+                move || eval_chunk(&job, chunk)
+            })
+            .collect();
+        let results = run_tasks(nchunks, tasks);
+        // Release the coordinator's snapshot handle before merging, so
+        // head-relation inserts stay on the copy-on-write fast path.
+        drop(job);
+        let mut outs = Vec::with_capacity(nchunks);
+        let mut busy_ns = 0u64;
+        for r in results {
+            let out = r?;
+            busy_ns += out.busy_ns;
+            if let Some(c) = out.counters {
+                fold_counters(c);
+            }
+            outs.push(out);
+        }
+        if outs.iter().any(|o| o.nonground) {
+            // Non-ground facts under subsumption: insertion order decides
+            // which facts subsume which, so replay the version serially.
+            fallback(self);
+            return Ok(None);
+        }
+        let merge_start = std::time::Instant::now();
+        let mut solutions = 0u64;
+        let mut derived = 0u64;
+        for out in outs {
+            solutions += out.solutions as u64;
+            for fact in out.facts {
+                if head_rel.insert(fact)? {
+                    derived += 1;
+                }
+            }
+        }
+        let merge_ns = merge_start.elapsed().as_nanos() as u64;
+        crate::profile::scc_parallel(
+            self.profile_id,
+            scc_idx,
+            ParallelStats {
+                parallel_firings: 1,
+                serial_fallbacks: 0,
+                threads: nchunks as u64,
+                chunks: nchunks as u64,
+                delta_tuples,
+                min_chunk,
+                max_chunk,
+                merge_ns,
+                busy_ns,
+                wall_ns: t_start.elapsed().as_nanos() as u64,
+            },
+        );
+        Ok(Some((solutions, derived)))
     }
 
     fn advance_marks(&mut self, scc_idx: usize, preds: &[PredRef]) {

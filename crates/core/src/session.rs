@@ -135,6 +135,17 @@ impl Session {
         self.engine.profiling()
     }
 
+    /// Set the worker-pool size for partitioned delta evaluation
+    /// (1 = serial; seeded from `CORAL_THREADS`).
+    pub fn set_threads(&self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
+    /// The configured worker-pool size.
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
     /// The profile of the most recently completed profiled query, if
     /// any. Profiles are collected when session-wide profiling is on or
     /// the queried module carries `@profile`.

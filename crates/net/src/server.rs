@@ -58,6 +58,9 @@ pub struct ServerConfig {
     /// Wall-clock budget per engine-evaluating request (consult,
     /// query, next-answer); `None` means unlimited.
     pub request_timeout: Option<Duration>,
+    /// Evaluation threads per session (partitioned delta evaluation);
+    /// `None` defers to `CORAL_THREADS` (default 1 = serial).
+    pub threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +71,7 @@ impl Default for ServerConfig {
             frames: 256,
             max_frame: DEFAULT_MAX_FRAME,
             request_timeout: None,
+            threads: None,
         }
     }
 }
@@ -329,6 +333,9 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
 
     let session = Session::new();
+    if let Some(threads) = shared.config.threads {
+        session.set_threads(threads);
+    }
     if let Some(storage) = &shared.storage {
         session.attach_storage_client(Arc::clone(storage));
         // Register every on-disk relation so all sessions see the same

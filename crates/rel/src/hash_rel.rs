@@ -35,6 +35,7 @@ use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A position in the mark sequence: the boundary *before* subsidiary
 /// relation `0.0`. `Mark(0)` precedes everything.
@@ -262,7 +263,7 @@ impl IndexDef {
     }
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct IndexData {
     buckets: HashMap<u64, Vec<u32>>,
     /// Whether any stored key used the `var` component (enables the
@@ -270,7 +271,7 @@ struct IndexData {
     has_var_keys: bool,
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct Subsidiary {
     tuples: Vec<Option<Tuple>>,
     live: usize,
@@ -283,11 +284,16 @@ struct AggGroup {
 }
 
 struct Inner {
-    subs: Vec<Subsidiary>,
-    defs: Vec<IndexDef>,
+    /// Subsidiaries are `Arc`-shared with [`RelSnapshot`]s: mutation goes
+    /// through `Arc::make_mut`, so the open (refcount-1) subsidiary is
+    /// updated in place while any subsidiary a live snapshot still holds
+    /// is copied on write — snapshots are immutable and lock-free.
+    subs: Vec<Arc<Subsidiary>>,
+    defs: Vec<Arc<IndexDef>>,
     dup: DupSemantics,
-    /// Exact-duplicate map (Set modes only).
-    seen: HashMap<Tuple, Addr>,
+    /// Exact-duplicate map (Set modes only). `Arc`-shared with snapshots
+    /// for worker-side duplicate prefiltering; mutated via `make_mut`.
+    seen: Arc<HashMap<Tuple, Addr>>,
     /// Addresses of stored non-ground tuples, for subsumption checks and
     /// conservative lookups.
     nonground: Vec<Addr>,
@@ -314,10 +320,10 @@ impl HashRelation {
         HashRelation {
             arity,
             inner: RefCell::new(Inner {
-                subs: vec![Subsidiary::default()],
+                subs: vec![Arc::new(Subsidiary::default())],
                 defs: Vec::new(),
                 dup,
-                seen: HashMap::new(),
+                seen: Arc::new(HashMap::new()),
                 nonground: Vec::new(),
                 aggsels: Vec::new(),
                 agg_state: Vec::new(),
@@ -358,11 +364,11 @@ impl HashRelation {
         }
         crate::profile::bump(|c| c.mark_advances += 1);
         let ndefs = inner.defs.len();
-        inner.subs.push(Subsidiary {
+        inner.subs.push(Arc::new(Subsidiary {
             tuples: Vec::new(),
             live: 0,
             indexes: (0..ndefs).map(|_| IndexData::default()).collect(),
-        });
+        }));
         Mark(inner.subs.len() - 1)
     }
 
@@ -408,81 +414,7 @@ impl HashRelation {
             .unwrap_or(inner.subs.len())
             .min(inner.subs.len());
         let start = from.0.min(end);
-        iter_from_vec(Self::lookup_in(&inner, pattern, start, end))
-    }
-
-    fn lookup_in(inner: &Inner, pattern: &[Term], start: usize, end: usize) -> Vec<Tuple> {
-        // Choose the widest applicable index.
-        let mut best: Option<(usize, Vec<u64>)> = None;
-        for (i, def) in inner.defs.iter().enumerate() {
-            if let Some(components) = def.components_for_query(pattern) {
-                let better = match &best {
-                    None => true,
-                    Some((b, _)) => def.width() > inner.defs[*b].width(),
-                };
-                if better {
-                    best = Some((i, components));
-                }
-            }
-        }
-        crate::profile::bump(|c| {
-            if best.is_some() {
-                c.index_probes += 1;
-            } else {
-                c.full_scans += 1;
-            }
-        });
-        let mut out = Vec::new();
-        match best {
-            Some((idx, components)) => {
-                for (si, s) in inner.subs[start..end].iter().enumerate() {
-                    let data = &s.indexes[idx];
-                    // Exact-key bucket.
-                    if let Some(poss) = data.buckets.get(&combine(&components)) {
-                        for &p in poss {
-                            if let Some(t) = &s.tuples[p as usize] {
-                                out.push(t.clone());
-                            }
-                        }
-                    }
-                    // Var-bucket combinations, only if some stored key
-                    // contains the var component.
-                    if data.has_var_keys {
-                        let k = components.len();
-                        let mut combo = components.clone();
-                        for mask in 1u32..(1 << k) {
-                            for (j, c) in combo.iter_mut().enumerate() {
-                                *c = if mask & (1 << j) != 0 {
-                                    VAR_COMPONENT
-                                } else {
-                                    components[j]
-                                };
-                            }
-                            if let Some(poss) = data.buckets.get(&combine(&combo)) {
-                                for &p in poss {
-                                    if let Some(t) = &s.tuples[p as usize] {
-                                        out.push(t.clone());
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    let _ = si;
-                }
-            }
-            None => {
-                // No applicable index: filtered scan, keeping non-ground
-                // tuples as candidates (they may unify with anything).
-                for s in &inner.subs[start..end] {
-                    for t in s.tuples.iter().flatten() {
-                        if !t.is_ground() || match_args(pattern, t.args()).is_some() {
-                            out.push(t.clone());
-                        }
-                    }
-                }
-            }
-        }
-        out
+        iter_from_vec(lookup_slice(&inner.defs, &inner.subs, pattern, start, end))
     }
 
     fn check_arity(&self, t: &Tuple) -> RelResult<()> {
@@ -498,11 +430,11 @@ impl HashRelation {
     /// Remove the tuple at `addr` from all bookkeeping (the slot becomes
     /// a tombstone; index entries are skipped lazily).
     fn delete_addr(inner: &mut Inner, addr: Addr) -> Option<Tuple> {
-        let slot = &mut inner.subs[addr.sub as usize].tuples[addr.pos as usize];
-        let tuple = slot.take()?;
-        inner.subs[addr.sub as usize].live -= 1;
+        let sub = Arc::make_mut(&mut inner.subs[addr.sub as usize]);
+        let tuple = sub.tuples[addr.pos as usize].take()?;
+        sub.live -= 1;
         inner.live -= 1;
-        inner.seen.remove(&tuple);
+        Arc::make_mut(&mut inner.seen).remove(&tuple);
         if !tuple.is_ground() {
             if let Some(i) = inner.nonground.iter().position(|a| *a == addr) {
                 inner.nonground.swap_remove(i);
@@ -521,7 +453,228 @@ impl HashRelation {
         }
         Some(tuple)
     }
+
+    /// Freeze the current contents into an immutable, `Sync`
+    /// [`RelSnapshot`]: O(#subsidiaries) `Arc` clones, no tuple copying.
+    /// Subsequent inserts/deletes/index retrofits on the relation leave
+    /// the snapshot untouched (copy-on-write through `Arc::make_mut`).
+    pub fn snapshot(&self) -> RelSnapshot {
+        let inner = self.inner.borrow();
+        RelSnapshot {
+            arity: self.arity,
+            subs: inner.subs.clone(),
+            defs: inner.defs.clone(),
+            seen: Arc::clone(&inner.seen),
+            dup: inner.dup,
+        }
+    }
+
+    /// The relation's duplicate semantics.
+    pub fn dup_semantics(&self) -> DupSemantics {
+        self.inner.borrow().dup
+    }
+
+    /// Whether any insert-time aggregate selection is attached.
+    pub fn has_aggregate_selections(&self) -> bool {
+        !self.inner.borrow().aggsels.is_empty()
+    }
+
+    /// The currently defined indices as respecifiable [`IndexSpec`]s
+    /// (used to replicate indexing onto per-worker delta chunks).
+    pub fn index_specs(&self) -> Vec<IndexSpec> {
+        self.inner
+            .borrow()
+            .defs
+            .iter()
+            .map(|d| match &**d {
+                IndexDef::Args(cols) => IndexSpec::Args(cols.clone()),
+                IndexDef::Pattern {
+                    pattern, key_vars, ..
+                } => IndexSpec::Pattern {
+                    pattern: pattern.clone(),
+                    key_vars: key_vars.clone(),
+                },
+            })
+            .collect()
+    }
 }
+
+/// Indexed candidate lookup over a slice of subsidiaries — the one code
+/// path shared by [`HashRelation`] (under its `RefCell` borrow) and
+/// [`RelSnapshot`] (lock-free), so index selection, the var-bucket
+/// enumeration and the `index_probes`/`full_scans` counters behave
+/// identically on both. Counters land in the calling thread's cells:
+/// exactly one probe or scan is counted per lookup, whether it runs on
+/// the live relation or on a frozen snapshot in a worker.
+fn lookup_slice(
+    defs: &[Arc<IndexDef>],
+    subs: &[Arc<Subsidiary>],
+    pattern: &[Term],
+    start: usize,
+    end: usize,
+) -> Vec<Tuple> {
+    // Choose the widest applicable index.
+    let mut best: Option<(usize, Vec<u64>)> = None;
+    for (i, def) in defs.iter().enumerate() {
+        if let Some(components) = def.components_for_query(pattern) {
+            let better = match &best {
+                None => true,
+                Some((b, _)) => def.width() > defs[*b].width(),
+            };
+            if better {
+                best = Some((i, components));
+            }
+        }
+    }
+    crate::profile::bump(|c| {
+        if best.is_some() {
+            c.index_probes += 1;
+        } else {
+            c.full_scans += 1;
+        }
+    });
+    let mut out = Vec::new();
+    match best {
+        Some((idx, components)) => {
+            for s in &subs[start..end] {
+                let data = &s.indexes[idx];
+                // Exact-key bucket.
+                if let Some(poss) = data.buckets.get(&combine(&components)) {
+                    for &p in poss {
+                        if let Some(t) = &s.tuples[p as usize] {
+                            out.push(t.clone());
+                        }
+                    }
+                }
+                // Var-bucket combinations, only if some stored key
+                // contains the var component.
+                if data.has_var_keys {
+                    let k = components.len();
+                    let mut combo = components.clone();
+                    for mask in 1u32..(1 << k) {
+                        for (j, c) in combo.iter_mut().enumerate() {
+                            *c = if mask & (1 << j) != 0 {
+                                VAR_COMPONENT
+                            } else {
+                                components[j]
+                            };
+                        }
+                        if let Some(poss) = data.buckets.get(&combine(&combo)) {
+                            for &p in poss {
+                                if let Some(t) = &s.tuples[p as usize] {
+                                    out.push(t.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None => {
+            // No applicable index: filtered scan, keeping non-ground
+            // tuples as candidates (they may unify with anything).
+            for s in &subs[start..end] {
+                for t in s.tuples.iter().flatten() {
+                    if !t.is_ground() || match_args(pattern, t.args()).is_some() {
+                        out.push(t.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An immutable, lock-free view of a [`HashRelation`] at one instant:
+/// the frozen subsidiary list (with per-subsidiary index data), the
+/// index definitions in effect, and the exact-duplicate map. `Send` and
+/// `Sync` — the parallel semi-naive evaluator hands clones to worker
+/// threads, which probe it without any locking while the coordinator's
+/// relation keeps evolving behind its `RefCell`.
+#[derive(Clone)]
+pub struct RelSnapshot {
+    arity: usize,
+    subs: Vec<Arc<Subsidiary>>,
+    defs: Vec<Arc<IndexDef>>,
+    seen: Arc<HashMap<Tuple, Addr>>,
+    dup: DupSemantics,
+}
+
+impl RelSnapshot {
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The boundary after everything in the snapshot (same convention as
+    /// [`HashRelation::current_mark`]).
+    pub fn end_mark(&self) -> Mark {
+        let last = self.subs.last().unwrap();
+        if last.tuples.is_empty() {
+            Mark(self.subs.len() - 1)
+        } else {
+            Mark(self.subs.len())
+        }
+    }
+
+    fn clamp(&self, from: Mark, to: Option<Mark>) -> (usize, usize) {
+        let end = to
+            .map(|m| m.0)
+            .unwrap_or(self.subs.len())
+            .min(self.subs.len());
+        (from.0.min(end), end)
+    }
+
+    /// Live tuples inserted in `[from, to)`.
+    pub fn len_range(&self, from: Mark, to: Option<Mark>) -> usize {
+        let (start, end) = self.clamp(from, to);
+        self.subs[start..end].iter().map(|s| s.live).sum()
+    }
+
+    /// Eagerly scan the union of the subsidiaries in `[from, to)`, in
+    /// insertion order (the order the serial delta scan would produce).
+    pub fn scan_range(&self, from: Mark, to: Option<Mark>) -> Vec<Tuple> {
+        let (start, end) = self.clamp(from, to);
+        let mut out = Vec::new();
+        for s in &self.subs[start..end] {
+            out.extend(s.tuples.iter().filter_map(|t| t.clone()));
+        }
+        out
+    }
+
+    /// Indexed candidate lookup restricted to `[from, to)`; counts one
+    /// `index_probes` or `full_scans` on the calling thread, exactly as
+    /// the live relation's lookup does.
+    pub fn lookup_range(&self, pattern: &[Term], from: Mark, to: Option<Mark>) -> Vec<Tuple> {
+        let (start, end) = self.clamp(from, to);
+        lookup_slice(&self.defs, &self.subs, pattern, start, end)
+    }
+
+    /// Indexed candidate lookup over the whole snapshot.
+    pub fn lookup(&self, pattern: &[Term]) -> Vec<Tuple> {
+        self.lookup_range(pattern, Mark(0), None)
+    }
+
+    /// Whether an exact variant of `tuple` was already stored when the
+    /// snapshot was taken (always `false` for multiset relations, whose
+    /// duplicate map is not maintained). Workers use this to prefilter
+    /// rederivations of old facts before the serial merge.
+    pub fn contains_exact(&self, tuple: &Tuple) -> bool {
+        self.dup != DupSemantics::Multiset && self.seen.contains_key(tuple)
+    }
+
+    /// The snapshotted relation's duplicate semantics.
+    pub fn dup_semantics(&self) -> DupSemantics {
+        self.dup
+    }
+}
+
+// The whole point of the snapshot: workers on other threads may probe it
+// concurrently. (Tuples and terms are immutable and Arc-backed.)
+const _: () = {
+    const fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<RelSnapshot>()
+};
 
 impl Relation for HashRelation {
     fn as_any(&self) -> &dyn std::any::Any {
@@ -589,7 +742,9 @@ impl Relation for HashRelation {
         for addr in evict {
             Self::delete_addr(&mut inner, addr);
         }
-        // Append to the open subsidiary.
+        // Append to the open subsidiary. `make_mut` mutates in place when
+        // the subsidiary is unshared (the common case) and copies on
+        // write when a live snapshot still holds it.
         tuple.intern_ground();
         let inner = &mut *inner;
         let sub_idx = inner.subs.len() - 1;
@@ -599,21 +754,23 @@ impl Relation for HashRelation {
             pos,
         };
         // Index maintenance on the open subsidiary.
-        let defs = &inner.defs;
-        let subs = &mut inner.subs;
-        for (i, def) in defs.iter().enumerate() {
-            if let Some(components) = def.components_for_tuple(&tuple) {
-                let has_var = components.contains(&VAR_COMPONENT);
-                let data = &mut subs[sub_idx].indexes[i];
-                data.buckets
-                    .entry(combine(&components))
-                    .or_default()
-                    .push(pos);
-                data.has_var_keys |= has_var;
+        {
+            let defs = &inner.defs;
+            let open = Arc::make_mut(&mut inner.subs[sub_idx]);
+            for (i, def) in defs.iter().enumerate() {
+                if let Some(components) = def.components_for_tuple(&tuple) {
+                    let has_var = components.contains(&VAR_COMPONENT);
+                    let data = &mut open.indexes[i];
+                    data.buckets
+                        .entry(combine(&components))
+                        .or_default()
+                        .push(pos);
+                    data.has_var_keys |= has_var;
+                }
             }
         }
         if inner.dup != DupSemantics::Multiset {
-            inner.seen.insert(tuple.clone(), addr);
+            Arc::make_mut(&mut inner.seen).insert(tuple.clone(), addr);
         }
         if !tuple.is_ground() {
             inner.nonground.push(addr);
@@ -632,8 +789,9 @@ impl Relation for HashRelation {
                     addrs: vec![addr],
                 });
         }
-        inner.subs[sub_idx].tuples.push(Some(tuple));
-        inner.subs[sub_idx].live += 1;
+        let open = Arc::make_mut(&mut inner.subs[sub_idx]);
+        open.tuples.push(Some(tuple));
+        open.live += 1;
         inner.live += 1;
         Ok(true)
     }
@@ -672,7 +830,7 @@ impl Relation for HashRelation {
     fn lookup(&self, pattern: &[Term]) -> TupleIter {
         let inner = self.inner.borrow();
         let end = inner.subs.len();
-        iter_from_vec(Self::lookup_in(&inner, pattern, 0, end))
+        iter_from_vec(lookup_slice(&inner.defs, &inner.subs, pattern, 0, end))
     }
 
     fn make_index(&self, spec: IndexSpec) -> RelResult<()> {
@@ -726,7 +884,11 @@ impl Relation for HashRelation {
             return Ok(());
         }
         // Retrofit the index onto existing subsidiaries ("indices can
-        // also be created at a later time", §2).
+        // also be created at a later time", §2). Copy-on-write: a
+        // subsidiary still held by a live snapshot is cloned rather than
+        // mutated, so the snapshot keeps seeing exactly the index set it
+        // was frozen with (its `defs` list matches its per-subsidiary
+        // index data by position).
         for s in &mut inner.subs {
             let mut data = IndexData::default();
             for (pos, t) in s.tuples.iter().enumerate() {
@@ -740,9 +902,9 @@ impl Relation for HashRelation {
                     }
                 }
             }
-            s.indexes.push(data);
+            Arc::make_mut(s).indexes.push(data);
         }
-        inner.defs.push(def);
+        inner.defs.push(Arc::new(def));
         Ok(())
     }
 
@@ -1103,6 +1265,102 @@ mod tests {
             .map(|x| x.unwrap())
             .collect();
         assert_eq!(hits, vec![t2(1, 2)]);
+    }
+
+    #[test]
+    fn snapshot_frozen_against_inserts_deletes_and_retrofit() {
+        let r = HashRelation::new(2);
+        r.make_index(IndexSpec::Args(vec![0])).unwrap();
+        r.insert(t2(1, 10)).unwrap();
+        r.insert(t2(2, 20)).unwrap();
+        let m = r.mark();
+        r.insert(t2(1, 11)).unwrap();
+        let snap = r.snapshot();
+        // Mutate the live relation in every way after the freeze.
+        r.insert(t2(1, 12)).unwrap();
+        r.delete(&t2(1, 10)).unwrap();
+        r.make_index(IndexSpec::Args(vec![1])).unwrap();
+        // The snapshot still sees exactly the freeze-time contents.
+        assert_eq!(snap.len_range(Mark(0), None), 3);
+        let hits = snap.lookup(&[Term::int(1), Term::var(0)]);
+        assert_eq!(hits.len(), 2, "snapshot: (1,10) and (1,11), not (1,12)");
+        assert!(hits.contains(&t2(1, 10)), "deleted later, frozen here");
+        // Ranged reads respect marks.
+        assert_eq!(snap.scan_range(m, None), vec![t2(1, 11)]);
+        assert_eq!(
+            snap.lookup_range(&[Term::int(1), Term::var(0)], m, None),
+            vec![t2(1, 11)]
+        );
+        // The live relation reflects all mutations (and the retrofitted
+        // index covers pre-snapshot tuples).
+        assert_eq!(r.len(), 3);
+        let live: Vec<Tuple> = r
+            .lookup(&[Term::var(0), Term::int(11)])
+            .map(|x| x.unwrap())
+            .collect();
+        assert_eq!(live, vec![t2(1, 11)]);
+    }
+
+    #[test]
+    fn snapshot_contains_exact_prefilters_old_facts() {
+        let r = HashRelation::new(2);
+        r.insert(t2(1, 1)).unwrap();
+        let snap = r.snapshot();
+        assert!(snap.contains_exact(&t2(1, 1)));
+        assert!(!snap.contains_exact(&t2(2, 2)));
+        r.insert(t2(2, 2)).unwrap();
+        assert!(!snap.contains_exact(&t2(2, 2)), "frozen duplicate map");
+        // Multiset relations never prefilter.
+        let m = HashRelation::with_semantics(2, DupSemantics::Multiset);
+        m.insert(t2(1, 1)).unwrap();
+        assert!(!m.snapshot().contains_exact(&t2(1, 1)));
+    }
+
+    #[cfg(feature = "profile")]
+    #[test]
+    fn snapshot_lookup_counts_one_probe() {
+        let r = HashRelation::new(2);
+        r.make_index(IndexSpec::Args(vec![0])).unwrap();
+        r.insert(t2(1, 10)).unwrap();
+        let snap = r.snapshot();
+        crate::profile::set_enabled(true);
+        crate::profile::reset();
+        snap.lookup(&[Term::int(1), Term::var(0)]);
+        let c = crate::profile::snapshot();
+        assert_eq!((c.index_probes, c.full_scans), (1, 0));
+        snap.lookup(&[Term::var(0), Term::var(1)]);
+        let c = crate::profile::snapshot();
+        assert_eq!((c.index_probes, c.full_scans), (1, 1));
+        // Folding a worker delta adds on top.
+        crate::profile::add(crate::profile::Counters {
+            index_probes: 5,
+            full_scans: 2,
+            mark_advances: 0,
+        });
+        let c = crate::profile::snapshot();
+        assert_eq!((c.index_probes, c.full_scans), (6, 3));
+        crate::profile::set_enabled(false);
+        crate::profile::reset();
+    }
+
+    #[test]
+    fn snapshot_index_specs_round_trip() {
+        let r = HashRelation::new(2);
+        r.make_index(IndexSpec::Args(vec![0])).unwrap();
+        r.make_index(IndexSpec::Pattern {
+            pattern: vec![Term::var(0), Term::var(1)],
+            key_vars: vec![VarId(1)],
+        })
+        .unwrap();
+        let specs = r.index_specs();
+        assert_eq!(specs.len(), 2);
+        // Respecifying them on a fresh relation is accepted and useful.
+        let chunk = HashRelation::with_semantics(2, DupSemantics::Multiset);
+        for spec in specs {
+            chunk.make_index(spec).unwrap();
+        }
+        chunk.insert(t2(3, 4)).unwrap();
+        assert_eq!(chunk.lookup(&[Term::int(3), Term::var(0)]).count(), 1);
     }
 
     #[test]

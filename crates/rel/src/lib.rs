@@ -30,7 +30,7 @@ pub mod relation;
 
 pub use database::Database;
 pub use error::{RelError, RelResult};
-pub use hash_rel::{AggSelKind, AggregateSelection, HashRelation, Mark};
+pub use hash_rel::{AggSelKind, AggregateSelection, HashRelation, Mark, RelSnapshot};
 pub use list_rel::ListRelation;
 pub use persistent::PersistentRelation;
 pub use relation::{DupSemantics, IndexSpec, Relation, TupleIter};

@@ -28,6 +28,18 @@ impl Counters {
     };
 }
 
+/// Fold a counter delta (e.g. one captured on a worker thread) into this
+/// thread's counters, so work done on frozen snapshots by the parallel
+/// evaluator is neither lost nor double-counted. No-op unless collection
+/// is enabled on the calling thread.
+pub fn add(d: Counters) {
+    bump(|c| {
+        c.index_probes += d.index_probes;
+        c.full_scans += d.full_scans;
+        c.mark_advances += d.mark_advances;
+    });
+}
+
 #[cfg(feature = "profile")]
 mod imp {
     use super::Counters;

@@ -36,6 +36,19 @@ impl Counters {
     };
 }
 
+/// Fold a counter delta (e.g. one captured on a worker thread) into this
+/// thread's counters. No-op unless collection is enabled on the calling
+/// thread.
+pub fn add(d: Counters) {
+    bump(|c| {
+        c.hashcons_hits += d.hashcons_hits;
+        c.hashcons_misses += d.hashcons_misses;
+        c.unify_attempts += d.unify_attempts;
+        c.unify_failures += d.unify_failures;
+        c.bindenv_allocs += d.bindenv_allocs;
+    });
+}
+
 #[cfg(feature = "profile")]
 mod imp {
     use super::Counters;

@@ -12,6 +12,7 @@
 //! :explain <fact>               derivation tree for a ground fact
 //! :rewritten <pred>/<n> <form>  dump the optimizer's rewritten program
 //! :profile [on|off|json]        toggle profiling / show the last profile
+//! :threads [N]                  show/set evaluation threads
 //! :quit                         leave
 //! ```
 //!
@@ -58,9 +59,11 @@ fn print_usage() {
          \x20 coral [options]            interactive session (or pipe a script)\n\
          \x20     --data-dir DIR         attach persistent storage under DIR\n\
          \x20     --frames N             buffer pool pages (default 256)\n\
+         \x20     --threads N            evaluation threads (default CORAL_THREADS or 1)\n\
          \x20 coral serve [options]      serve concurrent sessions over TCP\n\
          \x20     --addr A               listen address (default 127.0.0.1:7061)\n\
          \x20     --workers N            worker threads = max connections (default 4)\n\
+         \x20     --threads N            evaluation threads per session (default CORAL_THREADS or 1)\n\
          \x20     --data-dir DIR         persistent storage directory\n\
          \x20     --frames N             buffer pool pages (default 256)\n\
          \x20     --timeout-ms MS        per-request evaluation timeout\n\
@@ -108,6 +111,9 @@ fn serve_main(args: &[String]) -> i32 {
         }
         if let Some(ms) = parse_flag::<u64>(args, "--timeout-ms")? {
             config.request_timeout = Some(std::time::Duration::from_millis(ms));
+        }
+        if let Some(t) = parse_flag::<usize>(args, "--threads")? {
+            config.threads = Some(t);
         }
         config.data_dir = flag_value(args, "--data-dir").map(std::path::PathBuf::from);
         Ok(())
@@ -297,6 +303,14 @@ fn repl_main(args: &[String]) -> i32 {
     if std::env::var_os("CORAL_PROFILE").is_some_and(|v| v != "0" && !v.is_empty()) {
         session.set_profiling(true);
     }
+    match parse_flag(args, "--threads") {
+        Ok(Some(t)) => session.set_threads(t),
+        Ok(None) => {} // session already honors CORAL_THREADS
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    }
     let frames = match parse_flag(args, "--frames") {
         Ok(f) => f.unwrap_or(256),
         Err(e) => {
@@ -397,6 +411,7 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                  :explain <fact>                derivation tree for a ground fact\n\
                  :rewritten <pred>/<n> <form>   dump the rewritten program\n\
                  :profile [on|off|json]         toggle profiling / last profile\n\
+                 :threads [N]                   show/set evaluation threads\n\
                  :persist <pred>/<n>            open a persistent base relation\n\
                  :checkpoint                    checkpoint attached storage\n\
                  :check                         integrity-check attached storage\n\
@@ -450,6 +465,16 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                 None => println!("no profile collected (try `:profile on` then a query)"),
             },
             other => eprintln!("usage: :profile [on|off|json] (got {other:?})"),
+        },
+        ":threads" => match rest {
+            "" => println!("threads: {}", session.threads()),
+            n => match n.parse::<usize>() {
+                Ok(t) => {
+                    session.set_threads(t);
+                    println!("threads: {}", session.threads());
+                }
+                Err(_) => eprintln!("usage: :threads [N] (got {n:?})"),
+            },
         },
         ":consult" => match session.consult_file(std::path::Path::new(rest)) {
             Ok(results) => {
