@@ -12,6 +12,7 @@
 //! which answers appear depending on the callee's evaluation mode
 //! (eager, lazy, pipelined, saved, ordered search).
 
+use crate::budget::{Budget, BudgetUsage, Governor};
 use crate::compile::CompiledModule;
 use crate::error::{EvalError, EvalResult};
 use crate::join::ExternalResolver;
@@ -145,6 +146,12 @@ struct EngineInner {
     last_profile: RefCell<Option<crate::profile::EngineProfile>>,
     /// Cooperative cancellation flag (shared with [`CancelToken`]s).
     cancel: Arc<AtomicBool>,
+    /// Per-query resource budget applied to each top-level query
+    /// (seeded from `CORAL_BUDGET_*`, overridable per engine).
+    budget: Cell<Budget>,
+    /// Budget enforcer, polled at the cancellation poll sites; shared
+    /// with parallel workers via `Arc`.
+    governor: Arc<Governor>,
 }
 
 /// The CORAL engine (cheaply cloneable handle).
@@ -172,6 +179,8 @@ impl Engine {
                 threads: Cell::new(crate::parallel::resolve_threads(None)),
                 last_profile: RefCell::new(None),
                 cancel: Arc::new(AtomicBool::new(false)),
+                budget: Cell::new(Budget::from_env(Budget::unlimited())),
+                governor: Arc::new(Governor::new()),
             }),
         }
     }
@@ -188,6 +197,43 @@ impl Engine {
     /// each request so a stale flag cannot cancel fresh work).
     pub fn clear_cancel(&self) {
         self.inner.cancel.store(false, Ordering::Relaxed);
+    }
+
+    /// Set the budget applied to each subsequent top-level query
+    /// ([`Budget::unlimited`] turns the governor off).
+    pub fn set_budget(&self, budget: Budget) {
+        self.inner.budget.set(budget);
+    }
+
+    /// The configured per-query budget.
+    pub fn budget(&self) -> Budget {
+        self.inner.budget.get()
+    }
+
+    /// Arm the governor for one query under the configured budget:
+    /// capture meter baselines, zero charged counters, start the
+    /// deadline clock. [`Engine::query`] arms automatically; servers
+    /// arm at each request boundary (next to [`Engine::clear_cancel`])
+    /// so the deadline covers the whole request, and nested module
+    /// calls inside one query never re-arm.
+    pub fn arm_budget(&self) {
+        self.inner.governor.arm(&self.inner.budget.get());
+    }
+
+    /// Turn every limit off until the next [`Engine::arm_budget`] (used
+    /// around work that must not be billed to a query, e.g. consults).
+    pub fn disarm_budget(&self) {
+        self.inner.governor.disarm();
+    }
+
+    /// Live usage of the currently (or most recently) armed query.
+    pub fn budget_usage(&self) -> BudgetUsage {
+        self.inner.governor.usage()
+    }
+
+    /// The budget enforcer (shared with parallel workers).
+    pub(crate) fn governor(&self) -> Arc<Governor> {
+        Arc::clone(&self.inner.governor)
     }
 
     /// Snapshot the module catalog (loaded modules, export table,
@@ -615,10 +661,27 @@ impl Engine {
                 answers: 0,
             })),
             Err(e) => {
-                drop(collector); // restores the runtime flag
+                // The call failed (cancellation, budget kill, bad
+                // program): still publish the partial profile so the
+                // caller can see where the resources went. `finish`
+                // restores the runtime flag.
+                if let Some(c) = collector {
+                    self.store_profile(c, query, 0);
+                }
                 Err(e)
             }
         }
+    }
+
+    /// Finish `collector` and publish the result as the engine's last
+    /// profile, attaching budget usage when a budget is configured.
+    fn store_profile(&self, collector: crate::profile::Collector, query: String, answers: u64) {
+        let mut profile = collector.finish(query, answers);
+        let budget = self.budget();
+        if !budget.is_unlimited() {
+            profile.budget = crate::profile::BudgetStats::new(&budget, &self.budget_usage());
+        }
+        *self.inner.last_profile.borrow_mut() = Some(profile);
     }
 
     fn module_call_inner(
@@ -670,6 +733,7 @@ impl Engine {
     /// tuples. Query variables whose names begin with `_` are treated as
     /// existential (projection pushing, §4.1).
     pub fn query(&self, q: &Query) -> EvalResult<Box<dyn AnswerScan>> {
+        self.arm_budget();
         let pred = q.literal.pred_ref();
         let pattern = Tuple::new(q.literal.args.clone());
         let dontcare: Vec<usize> = q
@@ -775,8 +839,8 @@ struct ProfiledScan {
 impl ProfiledScan {
     fn finalize(&mut self) {
         if let Some(c) = self.collector.take() {
-            let profile = c.finish(std::mem::take(&mut self.query), self.answers);
-            *self.engine.inner.last_profile.borrow_mut() = Some(profile);
+            self.engine
+                .store_profile(c, std::mem::take(&mut self.query), self.answers);
         }
     }
 }
@@ -803,6 +867,21 @@ impl Drop for ProfiledScan {
 impl ExternalResolver for Engine {
     fn cancelled(&self) -> bool {
         self.inner.cancel.load(Ordering::Relaxed)
+    }
+
+    fn check_budget(&self) -> EvalResult<()> {
+        self.inner.governor.check()
+    }
+
+    fn charge_iteration(&self) -> EvalResult<()> {
+        self.inner.governor.charge_iteration()
+    }
+
+    fn parallel_brake(&self) -> Option<crate::parallel::Brake> {
+        Some(crate::parallel::Brake::new(
+            Arc::clone(&self.inner.cancel),
+            Arc::clone(&self.inner.governor),
+        ))
     }
 
     fn candidates(&self, lit: &Literal, pattern: &[Term]) -> EvalResult<TupleIter> {

@@ -37,6 +37,18 @@ pub enum EvalError {
     /// request timeout). Unlike [`EvalError::Interrupted`] this *does*
     /// surface to users.
     Cancelled,
+    /// The query exhausted one resource of its [`crate::Budget`] and was
+    /// stopped by the resource governor. Carries which resource ran out,
+    /// the configured limit, and the usage observed at the poll site that
+    /// fired (usage may exceed the limit by up to one poll interval).
+    BudgetExceeded {
+        /// Which budgeted resource was exhausted.
+        resource: crate::budget::BudgetResource,
+        /// The configured limit (deadline in ms, otherwise a count).
+        limit: u64,
+        /// Usage observed when the governor fired.
+        used: u64,
+    },
 }
 
 /// Result alias for engine operations.
@@ -56,6 +68,11 @@ impl fmt::Display for EvalError {
             EvalError::ModuleProtocol(m) => write!(f, "module protocol violation: {m}"),
             EvalError::Interrupted => f.write_str("evaluation interrupted"),
             EvalError::Cancelled => f.write_str("evaluation cancelled"),
+            EvalError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+            } => write!(f, "budget exceeded: {resource} limit {limit} (used {used})"),
         }
     }
 }

@@ -76,6 +76,29 @@ pub trait ExternalResolver {
         false
     }
 
+    /// Resource-governor poll, checked at the same sites as
+    /// [`ExternalResolver::cancelled`]: returns
+    /// [`crate::EvalError::BudgetExceeded`] once the active query's
+    /// [`crate::Budget`] is exhausted. The default (no governor) never
+    /// fires.
+    fn check_budget(&self) -> EvalResult<()> {
+        Ok(())
+    }
+
+    /// Charge one fixpoint iteration to the active query's budget (the
+    /// iteration limit). The default (no governor) never fires.
+    fn charge_iteration(&self) -> EvalResult<()> {
+        Ok(())
+    }
+
+    /// Stop signals (cancel flag + budget deadline) for parallel
+    /// workers to poll mid-chunk. `None` (the default) means workers
+    /// run each chunk to completion before the coordinator notices a
+    /// cancellation or an expired deadline.
+    fn parallel_brake(&self) -> Option<crate::parallel::Brake> {
+        None
+    }
+
     /// A frozen, `Sync` candidate source for `lit`, if one exists: base
     /// `HashRelation`s can be snapshotted and pure builtins evaluate on
     /// any thread. `None` (the default) means workers cannot read this

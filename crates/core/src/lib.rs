@@ -39,6 +39,7 @@
 pub mod adorn;
 pub mod aggregate;
 pub mod arith;
+pub mod budget;
 pub mod compile;
 pub mod depgraph;
 pub mod engine;
@@ -55,6 +56,7 @@ pub mod scan;
 pub mod seminaive;
 pub mod session;
 
+pub use budget::{Budget, BudgetResource, BudgetUsage};
 pub use engine::{CancelToken, Engine};
 pub use error::{EvalError, EvalResult};
 pub use scan::AnswerScan;

@@ -244,6 +244,8 @@ pub fn evaluate(
         c.os_context_pushes += 1;
         c.os_max_context_depth = c.os_max_context_depth.max(1);
     });
+    let governor = engine.governor();
+    governor.note_depth(1)?;
     let mut seen: Vec<(PredRef, Tuple)> = vec![(seed.pred, root_goal)];
     // Pending-drain watermarks.
     let pending_preds: Vec<PredRef> = cm
@@ -260,6 +262,7 @@ pub fn evaluate(
         if engine.cancelled() {
             return Err(EvalError::Cancelled);
         }
+        engine.check_budget()?;
         // Release the top node's goals into their magic relations.
         if !context[top_idx].released {
             for (mp, fact, _) in &context[top_idx].goals {
@@ -337,6 +340,7 @@ pub fn evaluate(
                     c.os_context_pushes += 1;
                     c.os_max_context_depth = c.os_max_context_depth.max(depth);
                 });
+                governor.note_depth(depth)?;
             }
             continue;
         }

@@ -42,6 +42,7 @@ use coral_term::bindenv::EnvSet;
 use coral_term::{Term, Tuple};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -50,6 +51,30 @@ pub const MIN_CHUNK: usize = 16;
 
 /// Hard cap on pool size regardless of the requested thread count.
 const MAX_WORKERS: usize = 64;
+
+/// The coordinator's stop signals, shared with every worker of a
+/// dispatch: the engine's cancel flag and its budget governor. Workers
+/// poll both between solutions so a cancelled or past-deadline query
+/// stops mid-chunk instead of running its chunk to completion (tuple
+/// and byte limits stay with the coordinator — the tuple meter is
+/// thread-local to it — and fire at the merge).
+pub struct Brake {
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) governor: Arc<crate::budget::Governor>,
+}
+
+impl Brake {
+    pub(crate) fn new(cancel: Arc<AtomicBool>, governor: Arc<crate::budget::Governor>) -> Brake {
+        Brake { cancel, governor }
+    }
+
+    fn poll(&self) -> EvalResult<()> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(EvalError::Cancelled);
+        }
+        self.governor.check_deadline()
+    }
+}
 
 /// How a worker sources candidates for an external (non-local) literal.
 pub enum ParallelSource {
@@ -86,6 +111,8 @@ pub(crate) struct JobCtx {
     pub head_pred: PredRef,
     /// Whether workers should collect profiling counter deltas.
     pub profiling: bool,
+    /// Cancellation + deadline signals polled between solutions.
+    pub brake: Option<Brake>,
 }
 
 // JobCtx is shared across worker threads via Arc.
@@ -223,7 +250,17 @@ pub(crate) fn eval_chunk(ctx: &JobCtx, chunk: Vec<Tuple>) -> EvalResult<ChunkOut
     let mut facts = Vec::new();
     let mut nonground = false;
     let mut envs = EnvSet::new();
+    let mut since_poll: u32 = 0;
     let solutions = eval_rule(&env, &ctx.rule, ctx.version, &mut envs, &mut |envs, e| {
+        // Amortized stop-signal poll: a shared atomic load every
+        // solution would serialize the workers on hot rules.
+        since_poll += 1;
+        if since_poll >= 64 {
+            since_poll = 0;
+            if let Some(brake) = &ctx.brake {
+                brake.poll()?;
+            }
+        }
         let fact = resolve_head(envs, &head, e);
         if fact.is_ground() {
             if head_view.snap.contains_exact(&fact) {

@@ -76,6 +76,7 @@ impl AnswerScan for PipelinedScan {
         let ctx = PipeCtx {
             engine: &self.engine,
             mdef: &self.mdef,
+            steps: std::cell::Cell::new(0),
         };
         let root = self.root.as_mut().unwrap();
         if root.next(&ctx, &mut self.envs)? {
@@ -100,9 +101,32 @@ impl AnswerScan for PipelinedScan {
 struct PipeCtx<'a> {
     engine: &'a Engine,
     mdef: &'a Rc<ModuleDef>,
+    /// Backtrack steps since the scan was (re)entered, for amortized
+    /// stop-signal polling.
+    steps: std::cell::Cell<u32>,
 }
 
 impl PipeCtx<'_> {
+    /// Stop-signal poll on rule-body backtrack steps. A body that
+    /// backtracks for a long time between derived answers (nested
+    /// scans whose final check keeps failing, say) would otherwise
+    /// never observe cancellation or the budget — the only other poll
+    /// sits in [`GoalNode::next`], which such a body never returns
+    /// to. Amortized: an atomic load every step would dominate the
+    /// cheap unify/undo work.
+    fn poll_step(&self) -> EvalResult<()> {
+        use crate::join::ExternalResolver as _;
+        let n = self.steps.get().wrapping_add(1);
+        self.steps.set(n);
+        if n.is_multiple_of(256) {
+            if self.engine.cancelled() {
+                return Err(EvalError::Cancelled);
+            }
+            self.engine.check_budget()?;
+        }
+        Ok(())
+    }
+
     fn is_local(&self, pred: PredRef) -> bool {
         self.mdef
             .ast
@@ -144,6 +168,7 @@ impl GoalNode {
             if ctx.engine.cancelled() {
                 return Err(crate::error::EvalError::Cancelled);
             }
+            ctx.engine.check_budget()?;
             if let Some(att) = &mut self.cur {
                 if att.next(ctx, envs)? {
                     return Ok(true);
@@ -242,6 +267,7 @@ impl RuleAttempt {
         let mut pos = if self.started { n - 1 } else { 0 };
         self.started = true;
         loop {
+            ctx.poll_step()?;
             let advanced = self.advance_item(ctx, envs, pos)?;
             if advanced {
                 if pos + 1 == n {
@@ -338,6 +364,7 @@ impl RuleAttempt {
                     unreachable!()
                 };
                 loop {
+                    ctx.poll_step()?;
                     envs.undo(*trail);
                     envs.pop_frames(*frames);
                     match iter.next() {
@@ -446,6 +473,7 @@ impl RuleAttempt {
                     let iter = ctx.engine.candidates_for(l, &pattern)?;
                     let mut hit = false;
                     for cand in iter {
+                        ctx.poll_step()?;
                         let t = cand?;
                         let m = envs.mark();
                         let fm = envs.frame_mark();

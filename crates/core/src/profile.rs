@@ -142,6 +142,47 @@ pub struct SccSection {
     pub rules: Vec<RuleVersionStats>,
 }
 
+/// Resource-governor accounting for the profiled call: per-resource
+/// usage against the armed [`crate::Budget`] limits. `armed` is false
+/// (and everything zero) when the call ran without a budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetStats {
+    /// Whether a budget was armed for the call.
+    pub armed: bool,
+    /// Used amount per resource, in [`crate::BudgetResource`] check
+    /// order (see [`BudgetStats::RESOURCES`]).
+    pub used: [u64; 5],
+    /// Limit per resource, same order; 0 = unlimited.
+    pub limits: [u64; 5],
+}
+
+impl BudgetStats {
+    /// The resource order of `used` and `limits`.
+    pub const RESOURCES: [&'static str; 5] =
+        ["deadline-ms", "tuples", "term-bytes", "iterations", "depth"];
+
+    /// Build from an armed budget and its live usage.
+    pub fn new(budget: &crate::Budget, usage: &crate::BudgetUsage) -> BudgetStats {
+        BudgetStats {
+            armed: true,
+            used: [
+                usage.elapsed_ms,
+                usage.tuples,
+                usage.term_bytes,
+                usage.iterations,
+                usage.max_depth,
+            ],
+            limits: [
+                budget.deadline_ms.unwrap_or(0),
+                budget.max_tuples.unwrap_or(0),
+                budget.max_term_bytes.unwrap_or(0),
+                budget.max_iterations.unwrap_or(0),
+                budget.max_depth.unwrap_or(0),
+            ],
+        }
+    }
+}
+
 /// The structured profile of one module call.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineProfile {
@@ -153,6 +194,8 @@ pub struct EngineProfile {
     pub answers: u64,
     /// Counter deltas for the call, per layer.
     pub totals: LayerTotals,
+    /// Budget usage against the armed limits (unarmed = all zeros).
+    pub budget: BudgetStats,
     /// Per-SCC fixpoint sections, in evaluation order.
     pub sccs: Vec<SccSection>,
 }
@@ -459,6 +502,7 @@ impl Collector {
             wall_ns,
             answers,
             totals,
+            budget: BudgetStats::default(),
             sccs,
         }
     }
@@ -627,6 +671,17 @@ impl EngineProfile {
             t.core.os_context_pushes,
             t.core.os_max_context_depth
         );
+        if self.budget.armed {
+            let _ = write!(s, "  budget:");
+            for (i, name) in BudgetStats::RESOURCES.iter().enumerate() {
+                let lim = match self.budget.limits[i] {
+                    0 => "-".into(),
+                    l => l.to_string(),
+                };
+                let _ = write!(s, " {name} {}/{lim}", self.budget.used[i]);
+            }
+            s.push('\n');
+        }
         for sec in &self.sccs {
             let _ = writeln!(
                 s,
@@ -688,6 +743,20 @@ impl EngineProfile {
         let _ = writeln!(s, "  \"query\": {},", json_string(&self.query));
         let _ = writeln!(s, "  \"wall_ns\": {},", self.wall_ns);
         let _ = writeln!(s, "  \"answers\": {},", self.answers);
+        let b = &self.budget;
+        let nums = |xs: &[u64; 5]| {
+            xs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            s,
+            "  \"budget\": {{\"armed\": {}, \"used\": [{}], \"limits\": [{}]}},",
+            b.armed as u64,
+            nums(&b.used),
+            nums(&b.limits)
+        );
         s.push_str("  \"totals\": {");
         for (i, (k, v)) in flatten_totals(&self.totals).iter().enumerate() {
             if i > 0 {
@@ -775,6 +844,24 @@ impl EngineProfile {
             answers: json::get_u64(obj, "answers")?,
             ..EngineProfile::default()
         };
+        // Profiles written before the resource governor existed have
+        // no "budget" key; default to unarmed all-zero stats.
+        if let Ok(bv) = json::get(obj, "budget") {
+            let bo = bv.as_obj().ok_or("budget: expected an object")?;
+            let mut b = BudgetStats {
+                armed: json::get_u64(bo, "armed")? != 0,
+                ..BudgetStats::default()
+            };
+            for (key, slot) in [("used", &mut b.used), ("limits", &mut b.limits)] {
+                let arr = json::get(bo, key)?
+                    .as_arr()
+                    .ok_or("budget: expected an array")?;
+                for (i, v) in arr.iter().enumerate().take(5) {
+                    slot[i] = v.as_u64().ok_or("budget: expected a number")?;
+                }
+            }
+            p.budget = b;
+        }
         let totals = json::get(obj, "totals")?
             .as_obj()
             .ok_or("totals: expected an object")?;
@@ -1163,6 +1250,11 @@ mod tests {
                     os_max_context_depth: 0,
                 },
             },
+            budget: BudgetStats {
+                armed: true,
+                used: [12, 30, 4096, 5, 0],
+                limits: [1000, 10_000, 0, 0, 0],
+            },
             sccs: vec![SccSection {
                 scc: 0,
                 preds: vec!["path_bf".into(), "m_path_bf".into()],
@@ -1263,6 +1355,36 @@ mod tests {
             .to_json()
             .replace("\"parallel\": {\"parallel_firings\": 0, \"serial_fallbacks\": 0, \"threads\": 0, \"chunks\": 0, \"delta_tuples\": 0, \"min_chunk\": 0, \"max_chunk\": 0, \"merge_ns\": 0, \"busy_ns\": 0, \"wall_ns\": 0}, ", "");
         assert!(!j.contains("\"parallel\""), "{j}");
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn render_shows_budget_sections() {
+        let r = sample().render();
+        assert!(r.contains("budget:"), "{r}");
+        assert!(r.contains("deadline-ms 12/1000"), "{r}");
+        assert!(r.contains("tuples 30/10000"), "{r}");
+        // Unlimited resources render a dash for the limit.
+        assert!(r.contains("term-bytes 4096/-"), "{r}");
+        // An unarmed profile has no budget line at all.
+        let mut p = sample();
+        p.budget = BudgetStats::default();
+        assert!(!p.render().contains("budget:"), "{}", p.render());
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_budget_key() {
+        // A pre-governor profile (no "budget" key) still parses, with
+        // unarmed all-zero stats.
+        let mut p = sample();
+        p.budget = BudgetStats::default();
+        let j = p
+            .to_json()
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"budget\""))
+            .collect::<Vec<_>>()
+            .join("\n");
         let back = EngineProfile::from_json(&j).unwrap();
         assert_eq!(back, p);
     }

@@ -327,6 +327,8 @@ impl FixpointState {
         if external.cancelled() {
             return Err(EvalError::Cancelled);
         }
+        external.check_budget()?;
+        external.charge_iteration()?;
         self.stats.iterations += 1;
         let timed = crate::profile::collecting();
         if timed {
@@ -366,6 +368,7 @@ impl FixpointState {
                 if external.cancelled() {
                     return Err(EvalError::Cancelled);
                 }
+                external.check_budget()?;
                 if !naive && version.delta_idx.is_none() {
                     if self.none_done.contains(&(scc_idx, ri)) {
                         continue;
@@ -413,6 +416,12 @@ impl FixpointState {
                         let fact = resolve_head(envs, &head, env);
                         if head_rel.insert(fact)? {
                             derived += 1;
+                            // Per-insert budget poll: fires at the same
+                            // successful-insert count as the parallel
+                            // merge loop (which replays this order), so
+                            // tuple limits are deterministic across
+                            // worker counts.
+                            external.check_budget()?;
                         }
                         Ok(())
                     })?;
@@ -563,6 +572,7 @@ impl FixpointState {
             externals,
             head_pred,
             profiling: crate::profile::enabled(),
+            brake: external.parallel_brake(),
         });
         let tasks: Vec<_> = chunks
             .into_iter()
@@ -575,15 +585,46 @@ impl FixpointState {
         // Release the coordinator's snapshot handle before merging, so
         // head-relation inserts stay on the copy-on-write fast path.
         drop(job);
+        // Drain ALL chunk results before propagating any error: a
+        // mid-dispatch kill (cancellation, budget) must still fold the
+        // successful chunks' worker counters and busy time, and must not
+        // leave later chunks' results unconsumed.
         let mut outs = Vec::with_capacity(nchunks);
         let mut busy_ns = 0u64;
+        let mut first_err: Option<EvalError> = None;
         for r in results {
-            let out = r?;
-            busy_ns += out.busy_ns;
-            if let Some(c) = out.counters {
-                fold_counters(c);
+            match r {
+                Ok(out) => {
+                    busy_ns += out.busy_ns;
+                    if let Some(c) = out.counters {
+                        fold_counters(c);
+                    }
+                    outs.push(out);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
-            outs.push(out);
+        }
+        if let Some(e) = first_err {
+            crate::profile::scc_parallel(
+                self.profile_id,
+                scc_idx,
+                ParallelStats {
+                    parallel_firings: 1,
+                    threads: nchunks as u64,
+                    chunks: nchunks as u64,
+                    delta_tuples,
+                    min_chunk,
+                    max_chunk,
+                    busy_ns,
+                    wall_ns: t_start.elapsed().as_nanos() as u64,
+                    ..ParallelStats::default()
+                },
+            );
+            return Err(e);
         }
         if outs.iter().any(|o| o.nonground) {
             // Non-ground facts under subsumption: insertion order decides
@@ -594,15 +635,27 @@ impl FixpointState {
         let merge_start = std::time::Instant::now();
         let mut solutions = 0u64;
         let mut derived = 0u64;
-        for out in outs {
-            solutions += out.solutions as u64;
-            for fact in out.facts {
-                if head_rel.insert(fact)? {
-                    derived += 1;
+        let merge = || -> EvalResult<()> {
+            for out in outs {
+                solutions += out.solutions as u64;
+                for fact in out.facts {
+                    if head_rel.insert(fact)? {
+                        derived += 1;
+                        // Same per-successful-insert poll as the serial
+                        // emit callback; the merge replays the serial
+                        // insertion order, so tuple limits fire at the
+                        // identical count regardless of worker count.
+                        external.check_budget()?;
+                    }
                 }
             }
-        }
+            Ok(())
+        };
+        let merge_result = merge();
         let merge_ns = merge_start.elapsed().as_nanos() as u64;
+        // Record the dispatch even when the merge was cut short (budget
+        // or relation error): worker busy time is real and must not
+        // vanish from the profile.
         crate::profile::scc_parallel(
             self.profile_id,
             scc_idx,
@@ -619,7 +672,16 @@ impl FixpointState {
                 wall_ns: t_start.elapsed().as_nanos() as u64,
             },
         );
-        Ok(Some((solutions, derived)))
+        match merge_result {
+            Ok(()) => Ok(Some((solutions, derived))),
+            Err(e) => {
+                // The caller only folds stats on the Ok path; keep the
+                // partial merge visible in the totals before unwinding.
+                self.stats.facts_derived += derived;
+                self.stats.solutions += solutions;
+                Err(e)
+            }
+        }
     }
 
     fn advance_marks(&mut self, scc_idx: usize, preds: &[PredRef]) {

@@ -146,6 +146,23 @@ impl Session {
         self.engine.threads()
     }
 
+    /// Set the resource budget armed for each subsequent top-level
+    /// query ([`crate::Budget::unlimited`] turns the governor off;
+    /// seeded from the `CORAL_BUDGET_*` environment variables).
+    pub fn set_budget(&self, budget: crate::Budget) {
+        self.engine.set_budget(budget);
+    }
+
+    /// The configured per-query resource budget.
+    pub fn budget(&self) -> crate::Budget {
+        self.engine.budget()
+    }
+
+    /// Resource usage of the current (or most recent) armed query.
+    pub fn budget_usage(&self) -> crate::BudgetUsage {
+        self.engine.budget_usage()
+    }
+
     /// The profile of the most recently completed profiled query, if
     /// any. Profiles are collected when session-wide profiling is on or
     /// the queried module carries `@profile`.

@@ -88,6 +88,44 @@ fn pipelined_scan_observes_cancellation_between_answers() {
     assert!(matches!(err, EvalError::Cancelled), "got: {err}");
 }
 
+/// Regression: cancellation must be observed on rule-body *backtrack
+/// steps*, not only between derived answers. This body enumerates a
+/// 100^6 cross-product of base-relation candidates and every
+/// combination fails the final goal, so the pipeline never derives a
+/// single answer — the per-answer poll in `GoalNode::next` alone would
+/// leave the query spinning for hours.
+#[test]
+fn pipelined_backtracking_without_answers_observes_cancellation() {
+    let mut program = String::new();
+    for i in 0..100 {
+        program.push_str(&format!("b({i}).\n"));
+    }
+    program.push_str("never(no).\n");
+    program.push_str(
+        "module stuckm.\n\
+         export stuck(f).\n\
+         @pipelining.\n\
+         stuck(A) :- b(A), b(B), b(C), b(D), b(E), b(F), never(F).\n\
+         end_module.\n",
+    );
+    let s = Session::new();
+    s.consult_str(&program).unwrap();
+    let timer = cancel_after(&s, Duration::from_millis(50));
+    let started = std::time::Instant::now();
+    let mut answers = s.query("stuck(A)").unwrap();
+    let err = answers.next_answer().unwrap_err();
+    assert!(matches!(err, EvalError::Cancelled), "got: {err}");
+    // Generous bound: the poll fires every 256 backtrack steps, so the
+    // query must die within moments of the token flipping, not after
+    // exhausting the 10^12-combination search space.
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "cancellation took {:?}; backtrack steps are not being polled",
+        started.elapsed()
+    );
+    timer.join().unwrap();
+}
+
 #[test]
 fn preset_cancel_fails_fast_and_clears() {
     let s = Session::new();

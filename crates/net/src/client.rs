@@ -4,19 +4,31 @@
 //! get-next-tuple laziness (§5.6) across the wire — only the batch in
 //! flight is ever materialised on either side.
 
-use crate::error::{NetError, NetResult};
+use crate::error::{ErrorCode, NetError, NetResult};
 use crate::proto::{self, Request, Response, DEFAULT_MAX_FRAME};
 use coral_core::Answer;
 use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Default number of answers pulled per `NextAnswer` round trip.
 pub const DEFAULT_BATCH: u32 = 32;
+
+/// Default cap on retries of a shed request before giving up.
+pub const DEFAULT_MAX_RETRIES: u32 = 8;
+
+/// Ceiling on a single retry backoff sleep.
+const MAX_BACKOFF_MS: u64 = 2_000;
 
 /// A blocking connection to a CORAL server.
 pub struct Client {
     stream: TcpStream,
     max_frame: u32,
+    max_retries: u32,
+    retried: u64,
+    /// xorshift state for backoff jitter (no external RNG dependency);
+    /// seeded per client so synchronized retry herds decorrelate.
+    jitter_state: u64,
 }
 
 fn unexpected(resp: Response) -> NetError {
@@ -28,9 +40,20 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> NetResult<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0)
+            ^ stream
+                .local_addr()
+                .map(|a| (a.port() as u64) << 32)
+                .unwrap_or(0);
         Ok(Client {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            max_retries: DEFAULT_MAX_RETRIES,
+            retried: 0,
+            jitter_state: seed | 1,
         })
     }
 
@@ -39,12 +62,64 @@ impl Client {
         self.max_frame = max_frame;
     }
 
-    /// One request/response round trip; a remote `Error` frame becomes
-    /// [`NetError::Remote`].
+    /// Cap retries of shed requests (0 disables the retry loop and
+    /// surfaces [`NetError::Overloaded`] on the first `Retry`).
+    pub fn set_max_retries(&mut self, max_retries: u32) {
+        self.max_retries = max_retries;
+    }
+
+    /// How many shed requests this client has retried so far.
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        // xorshift64: cheap, stateful, good enough to decorrelate
+        // retry herds.
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        x
+    }
+
+    /// Exponential backoff for retry `attempt` (1-based), seeded by the
+    /// server's hint: doubles per attempt, capped, with jitter in
+    /// `[half, full]` so synchronized clients spread out.
+    fn backoff(&mut self, attempt: u32, after_ms: u32) -> Duration {
+        let base = (after_ms as u64).max(10);
+        let exp = base
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(MAX_BACKOFF_MS);
+        let half = exp / 2;
+        Duration::from_millis(half + self.next_jitter() % (exp - half + 1))
+    }
+
+    /// One request/response exchange; a remote `Error` frame becomes
+    /// [`NetError::Remote`]. A `Retry` response (the server shed the
+    /// request under overload) is retried transparently with capped
+    /// exponential backoff and jitter; [`NetError::Overloaded`] is
+    /// returned once the retry budget is spent.
     fn call(&mut self, req: &Request) -> NetResult<Response> {
-        proto::write_frame(&mut self.stream, &req.encode())?;
-        let payload = proto::read_frame(&mut self.stream, self.max_frame)?;
-        Response::decode(&payload)?.into_result()
+        let mut attempt = 0u32;
+        loop {
+            proto::write_frame(&mut self.stream, &req.encode())?;
+            let payload = proto::read_frame(&mut self.stream, self.max_frame)?;
+            match Response::decode(&payload)?.into_result()? {
+                Response::Retry { after_ms } => {
+                    if attempt >= self.max_retries {
+                        return Err(NetError::Overloaded {
+                            retries: self.max_retries,
+                        });
+                    }
+                    attempt += 1;
+                    self.retried += 1;
+                    std::thread::sleep(self.backoff(attempt, after_ms));
+                }
+                resp => return Ok(resp),
+            }
+        }
     }
 
     /// Liveness check.
@@ -80,6 +155,8 @@ impl Client {
                 buffered: VecDeque::new(),
                 done: false,
                 failed: false,
+                truncated: None,
+                truncation_reported: false,
             }),
             other => Err(unexpected(other)),
         }
@@ -157,6 +234,18 @@ pub struct RemoteAnswers<'a> {
     buffered: VecDeque<Answer>,
     done: bool,
     failed: bool,
+    truncated: Option<String>,
+    truncation_reported: bool,
+}
+
+impl RemoteAnswers<'_> {
+    /// The truncation reason when the server's resource governor cut
+    /// the answer stream short: the answers already yielded are valid
+    /// but the set is incomplete. `None` while the stream is live or
+    /// after a clean exhaustion.
+    pub fn truncated(&self) -> Option<&str> {
+        self.truncated.as_deref()
+    }
 }
 
 impl Iterator for RemoteAnswers<'_> {
@@ -167,12 +256,32 @@ impl Iterator for RemoteAnswers<'_> {
             if let Some(a) = self.buffered.pop_front() {
                 return Some(Ok(a));
             }
+            // A truncated stream yields its partial answers first,
+            // then exactly one `BudgetExceeded` error — so a plain
+            // `collect()` cannot mistake a cut stream for a complete
+            // one, while streaming consumers still see every answer
+            // the server produced.
+            if let Some(reason) = &self.truncated {
+                if !self.truncation_reported {
+                    self.truncation_reported = true;
+                    return Some(Err(NetError::Remote {
+                        code: ErrorCode::BudgetExceeded,
+                        msg: reason.clone(),
+                    }));
+                }
+                return None;
+            }
             if self.done || self.failed {
                 return None;
             }
             match self.client.call(&Request::NextAnswer(self.batch_size)) {
-                Ok(Response::Batch { answers, done }) => {
-                    self.done = done;
+                Ok(Response::Batch {
+                    answers,
+                    done,
+                    truncated,
+                }) => {
+                    self.done = done || truncated.is_some();
+                    self.truncated = truncated;
                     self.buffered.extend(answers);
                     // Loop: either yield from the refilled buffer or,
                     // on a final empty batch, report exhaustion.

@@ -31,6 +31,9 @@ pub enum ErrorCode {
     Interrupted = 10,
     /// Evaluation cancelled (client CancelQuery or server timeout).
     Cancelled = 11,
+    /// The query exhausted its resource budget (deadline, tuples,
+    /// term bytes, iterations or context depth).
+    BudgetExceeded = 12,
     /// NextAnswer with no open query on this connection.
     NoOpenQuery = 20,
     /// Malformed request frame.
@@ -57,6 +60,7 @@ impl ErrorCode {
             9 => ModuleProtocol,
             10 => Interrupted,
             11 => Cancelled,
+            12 => BudgetExceeded,
             20 => NoOpenQuery,
             21 => Protocol,
             22 => FrameTooLarge,
@@ -80,6 +84,7 @@ impl ErrorCode {
             ModuleProtocol(_) => ErrorCode::ModuleProtocol,
             Interrupted => ErrorCode::Interrupted,
             Cancelled => ErrorCode::Cancelled,
+            BudgetExceeded { .. } => ErrorCode::BudgetExceeded,
         }
     }
 }
@@ -105,6 +110,12 @@ pub enum NetError {
         /// The rendered error message.
         msg: String,
     },
+    /// The server shed the request every time: the client's retry
+    /// budget is spent.
+    Overloaded {
+        /// How many retries were attempted before giving up.
+        retries: u32,
+    },
 }
 
 /// Result alias for network operations.
@@ -119,6 +130,9 @@ impl fmt::Display for NetError {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
             }
             NetError::Remote { code, msg } => write!(f, "server error ({code:?}): {msg}"),
+            NetError::Overloaded { retries } => {
+                write!(f, "server overloaded: request shed after {retries} retries")
+            }
         }
     }
 }
@@ -144,7 +158,7 @@ mod tests {
 
     #[test]
     fn codes_roundtrip() {
-        for v in [1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 20, 21, 22, 23] {
+        for v in [1u16, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 20, 21, 22, 23] {
             let c = ErrorCode::from_u16(v).unwrap();
             assert_eq!(c as u16, v);
         }
@@ -160,6 +174,14 @@ mod tests {
         assert_eq!(
             ErrorCode::of(&coral_core::EvalError::Unsafe("x".into())),
             ErrorCode::Unsafe
+        );
+        assert_eq!(
+            ErrorCode::of(&coral_core::EvalError::BudgetExceeded {
+                resource: coral_core::BudgetResource::Tuples,
+                limit: 10,
+                used: 10,
+            }),
+            ErrorCode::BudgetExceeded
         );
     }
 }

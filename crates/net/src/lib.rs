@@ -34,7 +34,7 @@ pub mod proto;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, RemoteAnswers, DEFAULT_BATCH};
+pub use client::{Client, RemoteAnswers, DEFAULT_BATCH, DEFAULT_MAX_RETRIES};
 pub use error::{ErrorCode, NetError, NetResult};
 pub use proto::{Request, Response, DEFAULT_MAX_FRAME};
 pub use server::{Server, ServerConfig};

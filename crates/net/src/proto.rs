@@ -28,11 +28,12 @@
 //! |--------|----------------|---------------------------------|
 //! | 0x81   | Ok             | —                               |
 //! | 0x82   | ConsultOk      | answers of embedded queries     |
-//! | 0x83   | Batch          | u8 done, answers                |
+//! | 0x83   | Batch          | u8 done, u8 marker, [reason], answers |
 //! | 0x84   | Error          | u16 code, message               |
 //! | 0x85   | Profile        | u8 present, JSON text           |
 //! | 0x86   | Pong           | —                               |
 //! | 0x87   | Report         | report text                     |
+//! | 0x88   | Retry          | u32 suggested backoff (ms)      |
 //!
 //! A `Query` is acknowledged with `Ok`; answers are then pulled with
 //! `NextAnswer`, preserving the engine's pipelined get-next-tuple
@@ -91,6 +92,11 @@ pub enum Response {
         answers: Vec<Answer>,
         /// Whether the query produced its last answer.
         done: bool,
+        /// `Some(reason)` when the answer stream was cut short by the
+        /// resource governor: the answers delivered so far are valid
+        /// but the set is incomplete. Implies `done` (the query is
+        /// closed).
+        truncated: Option<String>,
     },
     /// The request failed.
     Error {
@@ -105,6 +111,12 @@ pub enum Response {
     Pong,
     /// Rendered report text (reply to [`Request::Check`]).
     Report(String),
+    /// The server shed this request under overload; retry after the
+    /// suggested backoff. The session's state is untouched.
+    Retry {
+        /// Suggested client backoff in milliseconds.
+        after_ms: u32,
+    },
 }
 
 const OP_CONSULT: u8 = 0x01;
@@ -125,6 +137,7 @@ const OP_ERROR: u8 = 0x84;
 const OP_PROFILE: u8 = 0x85;
 const OP_PONG: u8 = 0x86;
 const OP_REPORT: u8 = 0x87;
+const OP_RETRY: u8 = 0x88;
 
 fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_be_bytes());
@@ -312,9 +325,20 @@ impl Response {
                     push_answers(&mut out, answers)?;
                 }
             }
-            Response::Batch { answers, done } => {
+            Response::Batch {
+                answers,
+                done,
+                truncated,
+            } => {
                 out.push(OP_BATCH);
                 out.push(*done as u8);
+                match truncated {
+                    Some(reason) => {
+                        out.push(1);
+                        push_str(&mut out, reason);
+                    }
+                    None => out.push(0),
+                }
                 push_answers(&mut out, answers)?;
             }
             Response::Error { code, msg } => {
@@ -337,6 +361,10 @@ impl Response {
                 out.push(OP_REPORT);
                 push_str(&mut out, text);
             }
+            Response::Retry { after_ms } => {
+                out.push(OP_RETRY);
+                push_u32(&mut out, *after_ms);
+            }
         }
         Ok(out)
     }
@@ -356,8 +384,13 @@ impl Response {
             }
             OP_BATCH => {
                 let done = c.u8()? != 0;
+                let truncated = if c.u8()? != 0 { Some(c.str()?) } else { None };
                 let answers = read_answers(&mut c)?;
-                Response::Batch { answers, done }
+                Response::Batch {
+                    answers,
+                    done,
+                    truncated,
+                }
             }
             OP_ERROR => {
                 let code = c.u16()?;
@@ -371,6 +404,7 @@ impl Response {
             }
             OP_PONG => Response::Pong,
             OP_REPORT => Response::Report(c.str()?),
+            OP_RETRY => Response::Retry { after_ms: c.u32()? },
             op => {
                 return Err(NetError::Protocol(format!(
                     "unknown response opcode {op:#04x}"
@@ -479,11 +513,20 @@ mod tests {
         rt_resp(Response::Batch {
             answers: vec![a.clone(), b.clone()],
             done: false,
+            truncated: None,
         });
         rt_resp(Response::Batch {
             answers: vec![],
             done: true,
+            truncated: None,
         });
+        rt_resp(Response::Batch {
+            answers: vec![a.clone()],
+            done: true,
+            truncated: Some("budget exceeded: tuples limit 100 (used 100)".into()),
+        });
+        rt_resp(Response::Retry { after_ms: 0 });
+        rt_resp(Response::Retry { after_ms: 250 });
         rt_resp(Response::ConsultOk(vec![vec![a], vec![], vec![b]]));
     }
 

@@ -22,13 +22,26 @@
 //!   any request that outlives `request_timeout`; the evaluation
 //!   surfaces [`EvalError::Cancelled`] and the client gets an `Error`
 //!   frame with code `Cancelled` while the connection stays usable.
+//! * **Admission control.** Engine-evaluating requests (consult,
+//!   query, next-answer) claim a slot against
+//!   `ServerConfig::max_eval_in_flight` before touching the session;
+//!   a saturated server sheds the request with [`Response::Retry`]
+//!   instead of queueing unboundedly, and the client retries with
+//!   backoff. Each connection serves one request at a time, so the
+//!   per-session concurrency cap is structurally one.
+//! * **Budgets.** `ServerConfig::budget` is installed as every
+//!   session's default [`coral_core::Budget`]; a query that exhausts
+//!   it gets a `BudgetExceeded` error frame — or, mid-stream, a final
+//!   `Batch` carrying the answers produced so far plus an explicit
+//!   truncation marker — while the connection stays usable.
 
 use crate::error::{ErrorCode, NetError, NetResult};
 use crate::proto::{self, Request, Response, DEFAULT_MAX_FRAME};
 use crate::stats::{NetStats, NetStatsSnapshot};
-use coral_core::{Answers, CancelToken, EvalError, Session};
+use coral_core::{Answers, Budget, CancelToken, EvalError, Session};
 use coral_rel::PersistentRelation;
 use coral_storage::{StorageClient, StorageServer};
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -61,6 +74,18 @@ pub struct ServerConfig {
     /// Evaluation threads per session (partitioned delta evaluation);
     /// `None` defers to `CORAL_THREADS` (default 1 = serial).
     pub threads: Option<usize>,
+    /// Default resource budget installed in every session
+    /// ([`Budget::unlimited`] by default). A query exhausting it gets
+    /// a `BudgetExceeded` error frame, or a truncated final batch if
+    /// it was already streaming answers.
+    pub budget: Budget,
+    /// Cap on engine-evaluating requests (consult, query, next-answer)
+    /// in flight across all connections. A request arriving at the cap
+    /// is shed with [`Response::Retry`] instead of queueing; `None`
+    /// leaves the worker pool as the only concurrency bound.
+    pub max_eval_in_flight: Option<usize>,
+    /// Backoff hint (milliseconds) carried by shed responses.
+    pub shed_backoff_ms: u32,
 }
 
 impl Default for ServerConfig {
@@ -72,14 +97,70 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             request_timeout: None,
             threads: None,
+            budget: Budget::unlimited(),
+            max_eval_in_flight: None,
+            shed_backoff_ms: 50,
         }
     }
 }
 
 struct WatchEntry {
-    id: u64,
     deadline: Instant,
     token: CancelToken,
+}
+
+/// Requests currently under a timeout, keyed by request id. Guard
+/// registration and removal are O(1) hash operations — with thousands
+/// of concurrent guarded requests, the previous `Vec` + retain-scan
+/// made every drop linear in the table size (quadratic in aggregate)
+/// while holding the lock the watchdog contends on.
+struct WatchTable {
+    entries: Mutex<HashMap<u64, WatchEntry>>,
+}
+
+impl WatchTable {
+    fn new() -> WatchTable {
+        WatchTable {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn insert(&self, id: u64, deadline: Instant, token: CancelToken) {
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(id, WatchEntry { deadline, token });
+    }
+
+    fn remove(&self, id: u64) {
+        // Runs during unwinding too (the request may have panicked), so
+        // tolerate a poisoned mutex instead of double-panicking.
+        self.entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+    }
+
+    /// Cancel and drop every entry whose deadline has passed; returns
+    /// how many were cancelled.
+    fn cancel_expired(&self, now: Instant) -> usize {
+        let mut entries = self.entries.lock().unwrap();
+        let before = entries.len();
+        entries.retain(|_, e| {
+            if e.deadline <= now {
+                e.token.cancel();
+                false
+            } else {
+                true
+            }
+        });
+        before - entries.len()
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
 }
 
 struct Shared {
@@ -90,28 +171,38 @@ struct Shared {
     storage: Option<StorageClient>,
     config: ServerConfig,
     next_id: AtomicU64,
-    /// Requests currently under a timeout, scanned by the watchdog.
-    watch: Mutex<Vec<WatchEntry>>,
+    /// Requests currently under a timeout, expired by the watchdog.
+    watch: WatchTable,
     /// Cancel tokens of all live connections, cancelled on shutdown.
     active: Mutex<Vec<(u64, CancelToken)>>,
+    /// Engine-evaluating requests currently in flight (admission
+    /// control).
+    eval_in_flight: AtomicU64,
 }
 
 /// Removes its watch entry when the request finishes before the
 /// deadline.
 struct TimeoutGuard<'a> {
-    shared: &'a Shared,
+    watch: &'a WatchTable,
     id: u64,
 }
 
 impl Drop for TimeoutGuard<'_> {
     fn drop(&mut self) {
-        // Runs during unwinding too (the request may have panicked), so
-        // tolerate a poisoned mutex instead of double-panicking.
-        self.shared
-            .watch
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .retain(|e| e.id != self.id);
+        self.watch.remove(self.id);
+    }
+}
+
+/// Releases an admission-control slot when the request finishes —
+/// including by unwinding, so a panicking request cannot leak eval
+/// capacity.
+struct EvalPermit<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for EvalPermit<'_> {
+    fn drop(&mut self) {
+        self.shared.eval_in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -123,12 +214,32 @@ impl Shared {
     fn timeout_guard(&self, token: CancelToken) -> Option<TimeoutGuard<'_>> {
         let timeout = self.config.request_timeout?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.watch.lock().unwrap().push(WatchEntry {
+        self.watch.insert(id, Instant::now() + timeout, token);
+        Some(TimeoutGuard {
+            watch: &self.watch,
             id,
-            deadline: Instant::now() + timeout,
-            token,
-        });
-        Some(TimeoutGuard { shared: self, id })
+        })
+    }
+
+    /// Claim an evaluation slot, or `None` when the server is
+    /// saturated and the request should be shed.
+    fn admit(&self) -> Option<EvalPermit<'_>> {
+        let prev = self.eval_in_flight.fetch_add(1, Ordering::Relaxed);
+        if let Some(cap) = self.config.max_eval_in_flight {
+            if prev as usize >= cap {
+                self.eval_in_flight.fetch_sub(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        Some(EvalPermit { shared: self })
+    }
+
+    /// The response for a shed request.
+    fn shed(&self) -> Response {
+        NetStats::add(&self.stats.shed, 1);
+        Response::Retry {
+            after_ms: self.config.shed_backoff_ms,
+        }
     }
 }
 
@@ -185,8 +296,9 @@ impl Server {
             storage,
             config,
             next_id: AtomicU64::new(0),
-            watch: Mutex::new(Vec::new()),
+            watch: WatchTable::new(),
             active: Mutex::new(Vec::new()),
+            eval_in_flight: AtomicU64::new(0),
         });
         let workers = (0..n_workers)
             .map(|i| {
@@ -284,18 +396,7 @@ fn worker_loop(shared: &Shared) {
 
 fn watchdog_loop(shared: &Shared) {
     while !shared.shutting_down() {
-        {
-            let mut watch = shared.watch.lock().unwrap();
-            let now = Instant::now();
-            watch.retain(|e| {
-                if e.deadline <= now {
-                    e.token.cancel();
-                    false
-                } else {
-                    true
-                }
-            });
-        }
+        shared.watch.cancel_expired(Instant::now());
         std::thread::sleep(WATCHDOG_TICK);
     }
 }
@@ -336,6 +437,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     if let Some(threads) = shared.config.threads {
         session.set_threads(threads);
     }
+    session.set_budget(shared.config.budget);
     if let Some(storage) = &shared.storage {
         session.attach_storage_client(Arc::clone(storage));
         // Register every on-disk relation so all sessions see the same
@@ -492,11 +594,21 @@ impl Conn<'_> {
 
     /// Run engine work under the configured request timeout. The
     /// cancel flag is cleared first so a previous cancellation cannot
-    /// leak into this request.
+    /// leak into this request. (The session's budget is armed by
+    /// `Engine::query` itself, per top-level query: NextAnswer pulls
+    /// keep charging the arm of the query they drain.)
     fn timed<T>(&self, f: impl FnOnce(&Session) -> Result<T, EvalError>) -> Result<T, EvalError> {
         self.session.engine().clear_cancel();
         let _guard = self.shared.timeout_guard(self.session.cancel_token());
         f(&self.session)
+    }
+
+    /// Map an engine error to a response, counting governor kills.
+    fn eval_error(&self, e: &EvalError) -> Response {
+        if matches!(e, EvalError::BudgetExceeded { .. }) {
+            NetStats::add(&self.shared.stats.budget_killed, 1);
+        }
+        eval_error_response(e)
     }
 
     fn dispatch(&mut self, req: Request) -> (Response, bool) {
@@ -531,6 +643,9 @@ impl Conn<'_> {
                 Err(e) => (eval_error_response(&e), false),
             },
             Request::Consult(src) => {
+                let Some(_permit) = self.shared.admit() else {
+                    return (self.shared.shed(), false);
+                };
                 self.open = None;
                 #[cfg(test)]
                 if src == tests::PANIC_PROBE {
@@ -538,20 +653,26 @@ impl Conn<'_> {
                 }
                 match self.timed(|s| s.consult_str(&src)) {
                     Ok(queries) => (Response::ConsultOk(queries), false),
-                    Err(e) => (eval_error_response(&e), false),
+                    Err(e) => (self.eval_error(&e), false),
                 }
             }
             Request::Query(src) => {
+                let Some(_permit) = self.shared.admit() else {
+                    return (self.shared.shed(), false);
+                };
                 self.open = None;
                 match self.timed(|s| s.query(&src)) {
                     Ok(answers) => {
                         self.open = Some(answers);
                         (Response::Ok, false)
                     }
-                    Err(e) => (eval_error_response(&e), false),
+                    Err(e) => (self.eval_error(&e), false),
                 }
             }
             Request::NextAnswer(k) => {
+                let Some(_permit) = self.shared.admit() else {
+                    return (self.shared.shed(), false);
+                };
                 let Some(mut answers) = self.open.take() else {
                     return (
                         net_error_response(ErrorCode::NoOpenQuery, "no open query"),
@@ -582,6 +703,22 @@ impl Conn<'_> {
                             Response::Batch {
                                 answers: batch,
                                 done,
+                                truncated: None,
+                            },
+                            false,
+                        )
+                    }
+                    // The governor cut the stream: the answers pulled
+                    // so far are valid, so deliver them with an
+                    // explicit truncation marker instead of dropping
+                    // them on the floor. The query is closed.
+                    Err(e @ EvalError::BudgetExceeded { .. }) => {
+                        NetStats::add(&self.shared.stats.budget_killed, 1);
+                        (
+                            Response::Batch {
+                                answers: batch,
+                                done: true,
+                                truncated: Some(e.to_string()),
                             },
                             false,
                         )
@@ -632,5 +769,51 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.connections_active, 0, "leaked active count: {stats}");
         assert!(stats.errors >= 3, "{stats}");
+    }
+
+    /// Guard registration and drop are O(1) hash operations: 10k
+    /// concurrent guards register and drop without quadratic
+    /// behavior (the old `Vec` + retain-scan made each drop linear in
+    /// the table size). The time bound is a loose tripwire — a
+    /// quadratic table would blow far past it in debug builds.
+    #[test]
+    fn watch_table_scales_to_10k_guards() {
+        let table = WatchTable::new();
+        let session = Session::new();
+        let token = session.cancel_token();
+        let far = Instant::now() + Duration::from_secs(3600);
+        let start = Instant::now();
+        let guards: Vec<TimeoutGuard<'_>> = (0..10_000u64)
+            .map(|id| {
+                table.insert(id, far, token.clone());
+                TimeoutGuard { watch: &table, id }
+            })
+            .collect();
+        assert_eq!(table.len(), 10_000);
+        drop(guards);
+        assert_eq!(table.len(), 0);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "10k guard register/drop took {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// The watchdog's expiry sweep cancels exactly the overdue entries
+    /// and leaves the rest registered.
+    #[test]
+    fn watch_table_expires_only_overdue_entries() {
+        let table = WatchTable::new();
+        let overdue = Session::new().cancel_token();
+        let healthy = Session::new().cancel_token();
+        let now = Instant::now();
+        table.insert(1, now - Duration::from_millis(1), overdue.clone());
+        table.insert(2, now + Duration::from_secs(3600), healthy.clone());
+        assert_eq!(table.cancel_expired(now), 1);
+        assert_eq!(table.len(), 1);
+        assert!(overdue.is_cancelled());
+        assert!(!healthy.is_cancelled());
+        table.remove(2);
+        assert_eq!(table.len(), 0);
     }
 }

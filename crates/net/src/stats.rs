@@ -14,6 +14,8 @@ pub struct NetStats {
     pub(crate) errors: AtomicU64,
     pub(crate) bytes_in: AtomicU64,
     pub(crate) bytes_out: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) budget_killed: AtomicU64,
 }
 
 /// A point-in-time copy of a server's [`NetStats`].
@@ -31,6 +33,11 @@ pub struct NetStatsSnapshot {
     pub bytes_in: u64,
     /// Payload bytes sent.
     pub bytes_out: u64,
+    /// Requests shed under overload (answered with `Retry`).
+    pub shed: u64,
+    /// Requests killed by the resource governor (`BudgetExceeded`
+    /// errors and truncated answer streams).
+    pub budget_killed: u64,
 }
 
 impl NetStats {
@@ -51,6 +58,8 @@ impl NetStats {
             errors: self.errors.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            budget_killed: self.budget_killed.load(Ordering::Relaxed),
         }
     }
 }
@@ -59,11 +68,14 @@ impl std::fmt::Display for NetStatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "connections: {} accepted, {} active; requests: {} ({} errors); bytes: {} in, {} out",
+            "connections: {} accepted, {} active; requests: {} ({} errors, {} shed, \
+             {} budget-killed); bytes: {} in, {} out",
             self.connections_accepted,
             self.connections_active,
             self.requests,
             self.errors,
+            self.shed,
+            self.budget_killed,
             self.bytes_in,
             self.bytes_out
         )

@@ -1,0 +1,278 @@
+//! Resource-governor acceptance tests over the network layer: a
+//! runaway query is killed by the server-side budget while concurrent
+//! well-behaved sessions finish untouched; a pipelined stream is
+//! truncated with partial answers plus an explicit marker; and the
+//! client's retry loop recovers from admission-control shedding.
+
+use coral_core::Session;
+use coral_net::{Client, ErrorCode, NetError, Server, ServerConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const TC_PROGRAM: &str = "edge(1, 2). edge(2, 3). edge(2, 4). edge(4, 5).\n\
+     module tc.\n\
+     export path(bf).\n\
+     path(X, Y) :- edge(X, Y).\n\
+     path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+     end_module.\n";
+
+const INF_SEMINAIVE: &str = "zero(z).\n\
+     module inf.\n\
+     export nat(f).\n\
+     nat(X) :- zero(X).\n\
+     nat(s(X)) :- nat(X).\n\
+     end_module.\n";
+
+/// Pipelined and infinite, but *slow*: every recursive answer must
+/// backtrack through a 30^3 cross-product that only succeeds on its
+/// very last candidate triple. The deadline therefore fires after a
+/// few dozen answers — long before the `s(...)` nesting could reach
+/// the wire codec's depth limit.
+fn slow_pipelined() -> String {
+    let mut p = String::from("zero(z).\nlast3(29, 29, 29).\n");
+    for i in 0..30 {
+        let _ = writeln!(p, "b({i}).");
+    }
+    p.push_str(
+        "module infp.\n\
+         export pnat(f).\n\
+         @pipelining.\n\
+         pnat(X) :- zero(X).\n\
+         pnat(s(X)) :- pnat(X), b(A), b(B), b(C), last3(A, B, C).\n\
+         end_module.\n",
+    );
+    p
+}
+
+/// A deliberately unbounded (cyclic-EDB) transitive closure blows the
+/// server's default tuple budget and comes back as a structured
+/// `BudgetExceeded` error — while three well-behaved sessions on the
+/// same server run the same-shaped workload to completion, with
+/// answers identical to an in-process session.
+#[test]
+fn budget_kill_leaves_concurrent_sessions_unharmed() {
+    // Cyclic graph: 60 nodes, two out-edges each => 3600 path tuples,
+    // far past the budget; the well-behaved queries stay tiny.
+    let mut runaway = String::new();
+    for i in 0..60 {
+        let _ = writeln!(runaway, "cedge({}, {}).", i, (i + 1) % 60);
+        let _ = writeln!(runaway, "cedge({}, {}).", i, (i + 7) % 60);
+    }
+    runaway.push_str(
+        "module ctc.\n\
+         export cpath(ff).\n\
+         cpath(X, Y) :- cedge(X, Y).\n\
+         cpath(X, Y) :- cedge(X, Z), cpath(Z, Y).\n\
+         end_module.\n",
+    );
+
+    let reference = Session::new();
+    reference.consult_str(TC_PROGRAM).unwrap();
+    let expected = reference.query_all("path(1, X)").unwrap();
+    assert!(!expected.is_empty());
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            budget: coral_core::Budget {
+                max_tuples: Some(500),
+                ..coral_core::Budget::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let well_behaved: Vec<_> = (0..3)
+        .map(|i| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.consult_str(TC_PROGRAM).unwrap();
+                for _ in 0..10 {
+                    assert_eq!(
+                        client.query_all("?- path(1, X).").unwrap(),
+                        expected,
+                        "well-behaved client {i} got wrong answers"
+                    );
+                }
+                client.quit().unwrap();
+            })
+        })
+        .collect();
+
+    let mut hog = Client::connect(addr).unwrap();
+    hog.consult_str(&runaway).unwrap();
+    match hog.query_all("?- cpath(X, Y).") {
+        Err(NetError::Remote { code, msg }) => {
+            assert_eq!(code, ErrorCode::BudgetExceeded);
+            assert!(msg.contains("tuples"), "error names the resource: {msg}");
+        }
+        other => panic!("expected remote budget kill, got {other:?}"),
+    }
+    // The hog's connection survives its kill and still serves small
+    // queries (the governor re-arms per query).
+    assert_eq!(hog.query_all("?- cedge(0, Y).").unwrap().len(), 2);
+    hog.quit().unwrap();
+
+    for t in well_behaved {
+        t.join().unwrap();
+    }
+    let stats = server.shutdown();
+    assert!(stats.budget_killed >= 1, "{stats}");
+    assert_eq!(stats.connections_active, 0, "{stats}");
+}
+
+/// A pipelined infinite stream under a wall-clock budget delivers its
+/// partial answers and then an explicit truncation marker — never a
+/// dropped connection, never a silent "complete" stream.
+#[test]
+fn truncated_stream_delivers_partial_answers_with_marker() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            budget: coral_core::Budget {
+                deadline_ms: Some(300),
+                ..coral_core::Budget::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.consult_str(&slow_pipelined()).unwrap();
+
+    let mut answers = client.query_batched("?- pnat(X).", 8).unwrap();
+    let mut pulled = 0usize;
+    let mut budget_errors = 0usize;
+    for a in answers.by_ref() {
+        match a {
+            Ok(_) => pulled += 1,
+            Err(NetError::Remote { code, msg }) => {
+                assert_eq!(code, ErrorCode::BudgetExceeded, "{msg}");
+                budget_errors += 1;
+            }
+            Err(other) => panic!("stream died instead of truncating: {other}"),
+        }
+    }
+    assert!(pulled > 0, "no partial answers before truncation");
+    assert_eq!(budget_errors, 1, "exactly one truncation error");
+    let reason = answers
+        .truncated()
+        .expect("truncation reason recorded")
+        .to_string();
+    assert!(
+        reason.contains("deadline"),
+        "reason names resource: {reason}"
+    );
+    drop(answers);
+
+    // The connection stays usable after the truncated stream.
+    client.ping().unwrap();
+    assert_eq!(client.query_all("?- zero(X).").unwrap().len(), 1);
+    client.quit().unwrap();
+    let stats = server.shutdown();
+    assert!(stats.budget_killed >= 1, "{stats}");
+}
+
+/// Admission control + client retry: with a single evaluation slot, a
+/// long-running query forces the server to shed a second client's
+/// requests with `Retry`; the client's backoff loop must recover and
+/// succeed once the slot drains, without manual intervention.
+#[test]
+fn shed_request_recovers_via_retry_backoff() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            max_eval_in_flight: Some(1),
+            shed_backoff_ms: 20,
+            budget: coral_core::Budget {
+                // The overload window: the hog occupies the only eval
+                // slot until its deadline kills it.
+                deadline_ms: Some(800),
+                ..coral_core::Budget::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut hog = Client::connect(addr).unwrap();
+    hog.consult_str(INF_SEMINAIVE).unwrap();
+    let mut patient = Client::connect(addr).unwrap();
+
+    let hog_thread = std::thread::spawn(move || {
+        // Holds the eval slot for ~800ms, then dies by budget.
+        match hog.query_all("?- nat(X).") {
+            Err(NetError::Remote { code, .. }) => {
+                assert_eq!(code, ErrorCode::BudgetExceeded)
+            }
+            other => panic!("expected budget kill of the hog, got {other:?}"),
+        }
+        hog.quit().unwrap();
+    });
+
+    // Let the hog occupy the slot, then hammer it from the second
+    // client: every request during the window is shed and retried.
+    std::thread::sleep(Duration::from_millis(150));
+    patient.consult_str("small(1). small(2).").unwrap();
+    assert_eq!(patient.query_all("?- small(X).").unwrap().len(), 2);
+    assert!(
+        patient.retried() > 0,
+        "the overload window never shed — test vacuous"
+    );
+    hog_thread.join().unwrap();
+
+    patient.quit().unwrap();
+    let stats = server.shutdown();
+    assert!(stats.shed >= 1, "{stats}");
+    assert!(stats.budget_killed >= 1, "{stats}");
+    assert_eq!(stats.connections_active, 0, "{stats}");
+}
+
+/// With retries disabled the shed surfaces as `NetError::Overloaded`
+/// instead of blocking — callers opt into fail-fast behavior.
+#[test]
+fn zero_retries_surface_overloaded_error() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            max_eval_in_flight: Some(1),
+            shed_backoff_ms: 10,
+            budget: coral_core::Budget {
+                deadline_ms: Some(700),
+                ..coral_core::Budget::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut hog = Client::connect(addr).unwrap();
+    hog.consult_str(INF_SEMINAIVE).unwrap();
+    let mut fast_fail = Client::connect(addr).unwrap();
+    fast_fail.set_max_retries(0);
+
+    let hog_thread = std::thread::spawn(move || {
+        let _ = hog.query_all("?- nat(X).");
+        hog.quit().unwrap();
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    match fast_fail.consult_str("f(1).") {
+        Err(NetError::Overloaded { retries: 0 }) => {}
+        other => panic!("expected fail-fast Overloaded, got {other:?}"),
+    }
+    hog_thread.join().unwrap();
+    // After the window the same connection succeeds without retries.
+    fast_fail.consult_str("f(1).").unwrap();
+    assert_eq!(fast_fail.query_all("?- f(X).").unwrap().len(), 1);
+    fast_fail.quit().unwrap();
+    server.shutdown();
+}

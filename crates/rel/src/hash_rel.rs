@@ -793,6 +793,7 @@ impl Relation for HashRelation {
         open.tuples.push(Some(tuple));
         open.live += 1;
         inner.live += 1;
+        crate::meter::add_tuples(1);
         Ok(true)
     }
 

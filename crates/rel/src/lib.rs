@@ -24,6 +24,7 @@ pub mod encoding;
 pub mod error;
 pub mod hash_rel;
 pub mod list_rel;
+pub mod meter;
 pub mod persistent;
 pub mod profile;
 pub mod relation;

@@ -75,6 +75,7 @@ impl Relation for ListRelation {
         }
         tuple.intern_ground();
         ts.push(tuple);
+        crate::meter::add_tuples(1);
         Ok(true)
     }
 

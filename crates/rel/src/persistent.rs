@@ -339,6 +339,7 @@ impl Relation for PersistentRelation {
             key.extend_from_slice(&rid_bytes(rid));
             ix.tree.insert(&key)?;
         }
+        crate::meter::add_tuples(1);
         Ok(true)
     }
 

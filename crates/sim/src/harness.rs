@@ -303,6 +303,110 @@ pub fn run_crash_matrix(seed: u64) -> Result<u64, String> {
     Ok(total)
 }
 
+/// The overload scenario: the killer is the resource governor, not the
+/// disk. Run the seed's workload normally until tuple-mutation number
+/// `kill_at`, at which point the per-query budget "expires" — the
+/// evaluator unwinds mid-transaction and the transaction aborts, while
+/// the process (and every later transaction) carries on. After the
+/// workload a power cycle replays the WAL, and the oracle must land on
+/// exactly the committed state: nothing from the killed transaction
+/// visible, nothing committed after it lost. Returns the number of
+/// transactions the governor killed.
+pub fn run_overload_point(seed: u64, kill_at: u64) -> Result<u64, String> {
+    let ctx = format!("seed={seed} kill_at={kill_at} (governor overload)");
+    let steps = gen_workload(seed);
+    let vfs = SimVfs::new(seed);
+    let bug = |what: &str| format!("{ctx}: fault-free {what} failed (harness bug)");
+    let srv: StorageClient = StorageServer::open_with_vfs(Path::new(DIR), FRAMES, {
+        let v: Arc<dyn coral_storage::Vfs> = Arc::new(vfs.clone());
+        v
+    })
+    .map_err(|_| bug("open"))?;
+    let txn = srv.begin().map_err(|_| bug("begin"))?;
+    let rel = PersistentRelation::open(&srv, REL, 2).map_err(|_| bug("relation open"))?;
+    srv.commit(txn).map_err(|_| bug("schema commit"))?;
+
+    let mut committed: BTreeSet<i64> = BTreeSet::new();
+    let mut mutations = 0u64;
+    let mut killed = 0u64;
+    for step in &steps {
+        match step {
+            Step::Checkpoint => srv.checkpoint().map_err(|_| bug("checkpoint"))?,
+            Step::MakeIndex => {
+                let txn = srv.begin().map_err(|_| bug("begin"))?;
+                rel.make_index(IndexSpec::Args(vec![1]))
+                    .map_err(|_| bug("index build"))?;
+                srv.commit(txn).map_err(|_| bug("index commit"))?;
+            }
+            Step::Txn(ops) => {
+                let txn = srv.begin().map_err(|_| bug("begin"))?;
+                let mut target = committed.clone();
+                let mut aborted = false;
+                for op in ops {
+                    // The budget fires once (the governor re-arms with
+                    // fresh headroom for the requests that follow).
+                    if killed == 0 && mutations == kill_at {
+                        // BudgetExceeded fires here: unwind and abort.
+                        srv.abort(txn).map_err(|_| bug("abort"))?;
+                        killed += 1;
+                        aborted = true;
+                        break;
+                    }
+                    mutations += 1;
+                    match op {
+                        Op::Insert(k) => {
+                            rel.insert(tuple_for(*k)).map_err(|_| bug("insert"))?;
+                            target.insert(*k);
+                        }
+                        Op::Delete(k) => {
+                            rel.delete(&tuple_for(*k)).map_err(|_| bug("delete"))?;
+                            target.remove(k);
+                        }
+                    }
+                }
+                if !aborted {
+                    srv.commit(txn).map_err(|_| bug("commit"))?;
+                    committed = target;
+                }
+            }
+        }
+    }
+    drop(rel);
+    drop(srv);
+    // The governor kill is graceful, so recovery has exactly one
+    // legitimate state — no commit-point ambiguity.
+    verify_recovery(&vfs, &[committed], &ctx)?;
+    Ok(killed)
+}
+
+/// Count the tuple mutations in the seed's workload — the number of
+/// distinct governor-kill points in [`run_overload_matrix`].
+pub fn count_mutations(seed: u64) -> u64 {
+    gen_workload(seed)
+        .iter()
+        .map(|s| match s {
+            Step::Txn(ops) => ops.len() as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Kill at every tuple mutation in turn; each point must abort exactly
+/// one transaction and still satisfy the recovery oracle. Returns the
+/// number of kill points.
+pub fn run_overload_matrix(seed: u64) -> Result<u64, String> {
+    let total = count_mutations(seed);
+    for kill_at in 0..total {
+        let killed = run_overload_point(seed, kill_at)?;
+        if killed != 1 {
+            return Err(format!(
+                "seed={seed} kill_at={kill_at}: expected exactly one governor kill, got {killed}"
+            ));
+        }
+    }
+    Ok(total)
+}
+
 /// Crash the workload at `crash_at`, then crash *recovery itself* at
 /// every point until a reopen gets through, and assert the oracle on the
 /// final state. Exercises WAL-replay idempotence: each aborted recovery

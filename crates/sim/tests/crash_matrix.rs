@@ -5,7 +5,9 @@
 //! failure names the seed and crash index for replay with
 //! `coral_sim::run_crash_point(seed, n)`.
 
-use coral_sim::harness::run_with_recovery_crashes;
+use coral_sim::harness::{
+    count_mutations, run_overload_matrix, run_overload_point, run_with_recovery_crashes,
+};
 use coral_sim::{count_ops, run_crash_matrix, run_crash_point};
 
 /// Fixed seed set: small enough for CI (each seed's matrix is a few
@@ -22,6 +24,32 @@ fn crash_matrix_holds_for_fixed_seeds() {
             "seed={seed}: suspiciously small matrix ({points} ops)"
         );
     }
+}
+
+/// The overload scenario: at every tuple mutation in turn, the
+/// resource governor (not the disk) kills the enclosing transaction
+/// mid-flight — the abort path, then a power cycle. The PR-3 recovery
+/// invariants must hold with the governor as the killer: no committed
+/// tuple lost, nothing from the aborted transaction visible.
+#[test]
+fn governor_overload_matrix_holds_for_fixed_seeds() {
+    for &seed in &SEEDS {
+        let points = run_overload_matrix(seed).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            points > 10,
+            "seed={seed}: suspiciously few kill points ({points} mutations)"
+        );
+    }
+}
+
+/// A kill index beyond the workload degenerates to a clean run: zero
+/// kills, full committed state recovered.
+#[test]
+fn governor_kill_beyond_workload_is_a_clean_run() {
+    let seed = SEEDS[0];
+    let total = count_mutations(seed);
+    let killed = run_overload_point(seed, total + 1000).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(killed, 0);
 }
 
 #[test]

@@ -96,6 +96,18 @@ pub(crate) fn cached_id(app: &Arc<App>) -> Option<HcId> {
     }
 }
 
+/// Approximate retained size of one table entry: the key, its heap
+/// payload, and the id it maps to. Feeds the term-bytes meter the
+/// resource governor reads; precision matters less than monotonicity.
+fn key_bytes(key: &HcKey) -> u64 {
+    let payload = match key {
+        HcKey::Big(s) => s.len(),
+        HcKey::App(_, ids) => std::mem::size_of_val::<[HcId]>(ids),
+        _ => 0,
+    };
+    (std::mem::size_of::<HcKey>() + std::mem::size_of::<HcId>() + payload) as u64
+}
+
 fn intern_key(key: HcKey) -> HcId {
     {
         let t = table().read().unwrap();
@@ -111,6 +123,7 @@ fn intern_key(key: HcKey) -> HcId {
     }
     let id = HcId(t.next);
     t.next += 1;
+    crate::meter::add_term_bytes(key_bytes(&key));
     t.map.insert(key, id);
     crate::profile::bump(|c| c.hashcons_misses += 1);
     id

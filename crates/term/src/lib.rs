@@ -28,6 +28,7 @@ pub mod adt;
 pub mod bignum;
 pub mod bindenv;
 pub mod hashcons;
+pub mod meter;
 pub mod profile;
 pub mod symbol;
 pub mod term;

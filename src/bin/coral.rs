@@ -13,6 +13,7 @@
 //! :rewritten <pred>/<n> <form>  dump the optimizer's rewritten program
 //! :profile [on|off|json]        toggle profiling / show the last profile
 //! :threads [N]                  show/set evaluation threads
+//! :budget [spec|unlimited]      show/set the per-query resource budget
 //! :quit                         leave
 //! ```
 //!
@@ -27,9 +28,16 @@
 //!
 //! ```text
 //! coral serve   [--addr A] [--workers N] [--data-dir DIR] [--frames N]
-//!               [--timeout-ms MS] [--max-frame BYTES]
+//!               [--timeout-ms MS] [--max-frame BYTES] [--deadline-ms MS]
+//!               [--max-tuples N] [--max-term-bytes N] [--max-in-flight N]
+//!               [--shed-backoff-ms MS]
 //! coral connect [--addr A]
 //! ```
+//!
+//! Per-query resource budgets (see DESIGN.md "Resource governance")
+//! come from `CORAL_BUDGET_*` variables, the `--deadline-ms`,
+//! `--max-tuples` and `--max-term-bytes` flags, or `:budget` at the
+//! REPL; `serve` applies its budget to every connection's session.
 //!
 //! `serve` runs a server until stdin closes (or a line is entered);
 //! `connect` drops into the same REPL loop backed by a remote session.
@@ -60,6 +68,9 @@ fn print_usage() {
          \x20     --data-dir DIR         attach persistent storage under DIR\n\
          \x20     --frames N             buffer pool pages (default 256)\n\
          \x20     --threads N            evaluation threads (default CORAL_THREADS or 1)\n\
+         \x20     --deadline-ms MS       per-query wall-clock budget\n\
+         \x20     --max-tuples N         per-query materialized-tuple budget\n\
+         \x20     --max-term-bytes N     per-query term-arena budget\n\
          \x20 coral serve [options]      serve concurrent sessions over TCP\n\
          \x20     --addr A               listen address (default 127.0.0.1:7061)\n\
          \x20     --workers N            worker threads = max connections (default 4)\n\
@@ -68,6 +79,11 @@ fn print_usage() {
          \x20     --frames N             buffer pool pages (default 256)\n\
          \x20     --timeout-ms MS        per-request evaluation timeout\n\
          \x20     --max-frame BYTES      request size limit (default 16 MiB)\n\
+         \x20     --deadline-ms MS       default per-query wall-clock budget\n\
+         \x20     --max-tuples N         default per-query tuple budget\n\
+         \x20     --max-term-bytes N     default per-query term-arena budget\n\
+         \x20     --max-in-flight N      admission cap on concurrent evaluations\n\
+         \x20     --shed-backoff-ms MS   retry-after hint when shedding (default 50)\n\
          \x20 coral connect [--addr A]   REPL against a running server"
     );
 }
@@ -96,6 +112,25 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Optio
     }
 }
 
+/// Apply `--deadline-ms`, `--max-tuples` and `--max-term-bytes` on top
+/// of `base` (itself already seeded from `CORAL_BUDGET_*`).
+fn budget_from_flags(
+    args: &[String],
+    base: coral::core::Budget,
+) -> Result<coral::core::Budget, String> {
+    let mut b = base;
+    if let Some(ms) = parse_flag::<u64>(args, "--deadline-ms")? {
+        b.deadline_ms = Some(ms);
+    }
+    if let Some(n) = parse_flag::<u64>(args, "--max-tuples")? {
+        b.max_tuples = Some(n);
+    }
+    if let Some(n) = parse_flag::<u64>(args, "--max-term-bytes")? {
+        b.max_term_bytes = Some(n);
+    }
+    Ok(b)
+}
+
 fn serve_main(args: &[String]) -> i32 {
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7061".into());
     let mut config = ServerConfig::default();
@@ -114,6 +149,13 @@ fn serve_main(args: &[String]) -> i32 {
         }
         if let Some(t) = parse_flag::<usize>(args, "--threads")? {
             config.threads = Some(t);
+        }
+        config.budget = budget_from_flags(args, coral::core::Budget::from_env(config.budget))?;
+        if let Some(n) = parse_flag::<usize>(args, "--max-in-flight")? {
+            config.max_eval_in_flight = Some(n);
+        }
+        if let Some(ms) = parse_flag::<u32>(args, "--shed-backoff-ms")? {
+            config.shed_backoff_ms = ms;
         }
         config.data_dir = flag_value(args, "--data-dir").map(std::path::PathBuf::from);
         Ok(())
@@ -311,6 +353,15 @@ fn repl_main(args: &[String]) -> i32 {
             return 2;
         }
     }
+    // The session's budget is already seeded from CORAL_BUDGET_*; the
+    // flags override individual resources on top of that.
+    match budget_from_flags(args, session.budget()) {
+        Ok(b) => session.set_budget(b),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    }
     let frames = match parse_flag(args, "--frames") {
         Ok(f) => f.unwrap_or(256),
         Err(e) => {
@@ -412,6 +463,8 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                  :rewritten <pred>/<n> <form>   dump the rewritten program\n\
                  :profile [on|off|json]         toggle profiling / last profile\n\
                  :threads [N]                   show/set evaluation threads\n\
+                 :budget [spec|unlimited]       show/set per-query budget\n\
+                 \x20                              (spec: deadline-ms=500 tuples=10000 ...)\n\
                  :persist <pred>/<n>            open a persistent base relation\n\
                  :checkpoint                    checkpoint attached storage\n\
                  :check                         integrity-check attached storage\n\
@@ -465,6 +518,24 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                 None => println!("no profile collected (try `:profile on` then a query)"),
             },
             other => eprintln!("usage: :profile [on|off|json] (got {other:?})"),
+        },
+        ":budget" => match rest {
+            "" => {
+                println!("budget: {}", session.budget().render());
+                let u = session.budget_usage();
+                println!(
+                    "last query: {} ms, {} tuples, {} term bytes, \
+                     {} iterations, depth {}",
+                    u.elapsed_ms, u.tuples, u.term_bytes, u.iterations, u.max_depth
+                );
+            }
+            spec => match coral::core::Budget::parse(spec) {
+                Ok(b) => {
+                    session.set_budget(b);
+                    println!("budget: {}", b.render());
+                }
+                Err(e) => eprintln!("usage: :budget [resource=limit ...|unlimited] — {e}"),
+            },
         },
         ":threads" => match rest {
             "" => println!("threads: {}", session.threads()),
