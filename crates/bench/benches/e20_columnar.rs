@@ -1,0 +1,130 @@
+//! E20 — columnar delta batches vs the legacy tuple-at-a-time hot path.
+//!
+//! Each workload runs the identical program twice; the only difference
+//! is `Session::set_columnar`, so the timing ratio is the columnar
+//! speedup and the counter deltas in `BENCH_columnar_seminaive.json`
+//! carry the claim that matters on any host: on the all-ground
+//! transitive-closure workloads the columnar rows must show ≥3× fewer
+//! `term.unify_attempts` and `term.bindenv_allocs` than the legacy rows,
+//! because ground candidates are decided by flat column equality instead
+//! of general unification with a fresh binding environment per
+//! candidate. The `core.batched_rows` / `core.vectorized_probes`
+//! counters confirm the fast path actually engaged (and stay absent from
+//! the legacy rows).
+//!
+//! `tc_left` is the headline: left-linear recursion puts the delta
+//! literal first with an all-free pattern, so the open-pattern batch
+//! drive iterates the delta columns directly. `tc_right` exercises the
+//! per-candidate ground fast path behind an index probe, `sg` a
+//! three-way join, and `path_functors` structured terms whose rows land
+//! flat in the batch (functor-typed columns still compare by pointer
+//! equality under hash-consing).
+//!
+//! `CORAL_BENCH_SMOKE=1` shrinks workloads and sampling so CI can run
+//! the whole group in a few seconds as a does-it-still-engage check.
+
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coral_bench::{count_answers, programs, workloads};
+use coral_core::session::Session;
+use coral_term::testutil::TestRng;
+use std::fmt::Write as _;
+
+const MODES: [(&str, bool); 2] = [("columnar", true), ("legacy", false)];
+
+fn smoke() -> bool {
+    std::env::var("CORAL_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+// Threads are deliberately not pinned: the session inherits
+// CORAL_THREADS (default serial), so the CI smoke matrix exercises the
+// columnar/legacy pair under both serial and parallel dispatch while
+// measurement runs stay serial.
+fn run(columnar: bool, facts: &str, program: &str, query: &str) -> usize {
+    let s = Session::new();
+    s.set_columnar(columnar);
+    s.consult_str(facts).expect("facts consult");
+    s.consult_str(program).expect("program consult");
+    count_answers(&s, query)
+}
+
+/// A random graph over functor-wrapped nodes `n(i)`: batch rows hold
+/// structured terms, exercising the ground fast path on non-primitive
+/// columns.
+fn functor_graph(v: usize, e: usize, seed: u64) -> String {
+    let mut rng = TestRng::new(seed);
+    let mut s = String::with_capacity(e * 24);
+    for i in 0..v - 1 {
+        let _ = writeln!(s, "edge(n({i}), n({})).", i + 1);
+    }
+    for _ in 0..e.saturating_sub(v - 1) {
+        let a = rng.gen_range(0, v);
+        let b = rng.gen_range(0, v);
+        let _ = writeln!(s, "edge(n({a}), n({b})).");
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("columnar_seminaive");
+    if smoke() {
+        g.sample_size(3);
+        g.warm_up_time(std::time::Duration::from_millis(50));
+        g.measurement_time(std::time::Duration::from_millis(300));
+    } else {
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_millis(1500));
+    }
+
+    // All-pairs transitive closure, left-linear: the delta literal is in
+    // body position 0 with an all-free pattern, the open-pattern batch
+    // drive's home turf. The ≥3× unify/bindenv reduction is asserted on
+    // this row by the `check_columnar` bin (`src/bin/check_columnar.rs`).
+    let (v, e) = if smoke() { (24, 96) } else { (56, 280) };
+    let tc_facts = workloads::random_graph(v, e, 11);
+    let tcl_prog = programs::tc_left("", "ff");
+    for (label, columnar) in MODES {
+        g.bench_with_input(BenchmarkId::new("tc_left", label), &columnar, |b, &m| {
+            b.iter(|| run(m, &tc_facts, &tcl_prog, "path(X, Y)"))
+        });
+    }
+
+    // Right-linear tc: the delta feeds an indexed probe, so the work is
+    // per-candidate ground fast matching rather than the batch drive.
+    let tcr_prog = programs::tc("", "ff");
+    for (label, columnar) in MODES {
+        g.bench_with_input(BenchmarkId::new("tc_right", label), &columnar, |b, &m| {
+            b.iter(|| run(m, &tc_facts, &tcr_prog, "path(X, Y)"))
+        });
+    }
+
+    // Same generation over a layered up/flat/down graph, exported ff so
+    // the recursive sg delta (not a magic seed) drives the joins.
+    let (layers, width) = if smoke() { (4, 8) } else { (6, 24) };
+    let sg_facts = workloads::same_gen(layers, width);
+    let sg_prog = "module sg.\nexport sg(ff).\n\
+                   sg(X, Y) :- flat(X, Y).\n\
+                   sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n\
+                   end_module.\n";
+    for (label, columnar) in MODES {
+        g.bench_with_input(BenchmarkId::new("sg", label), &columnar, |b, &m| {
+            b.iter(|| run(m, &sg_facts, sg_prog, "sg(X, Y)"))
+        });
+    }
+
+    // Path over functor-wrapped nodes: ground but non-primitive columns.
+    let (fv, fe) = if smoke() { (20, 70) } else { (44, 200) };
+    let fn_facts = functor_graph(fv, fe, 13);
+    for (label, columnar) in MODES {
+        g.bench_with_input(
+            BenchmarkId::new("path_functors", label),
+            &columnar,
+            |b, &m| b.iter(|| run(m, &fn_facts, &tcl_prog, "path(X, Y)")),
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

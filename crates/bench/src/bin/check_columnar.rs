@@ -1,0 +1,138 @@
+//! Check the E20 acceptance criterion against a
+//! `BENCH_columnar_seminaive.json` report: on the all-ground
+//! transitive-closure workloads the columnar rows must show at least 3×
+//! fewer `term.unify_attempts` and `term.bindenv_allocs` than the
+//! legacy rows, and the `core.batched_rows` counter must confirm the
+//! fast path engaged (and stayed out of the legacy rows).
+//!
+//! Usage: `check_columnar [path/to/BENCH_columnar_seminaive.json]`
+//! (default `BENCH_columnar_seminaive.json` in the current directory).
+//! Exits nonzero with a diagnostic when any ratio falls short. A report
+//! without counters (the `profile` feature compiled out) passes
+//! vacuously — there is nothing to check.
+
+use coral_core::profile::json::{self, Val};
+use std::process::ExitCode;
+
+/// Workloads the ≥3× reduction is asserted on. `sg` and
+/// `path_functors` are reported but not gated: the three-way join and
+/// the side-table fallback make their ratios structurally smaller.
+const GATED: [&str; 2] = ["tc_left", "tc_right"];
+const COUNTERS: [&str; 2] = ["term.unify_attempts", "term.bindenv_allocs"];
+const MIN_RATIO: f64 = 3.0;
+
+fn counter(counters: &[(String, Val)], key: &str) -> u64 {
+    json::get_u64(counters, key).unwrap_or(0)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_columnar_seminaive.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_columnar: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check_columnar: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(obj) = root.as_obj() else {
+        eprintln!("check_columnar: {path}: top level is not an object");
+        return ExitCode::FAILURE;
+    };
+    let benchmarks: Vec<&[(String, Val)]> = json::get(obj, "benchmarks")
+        .ok()
+        .and_then(Val::as_arr)
+        .map(|a| a.iter().filter_map(Val::as_obj).collect())
+        .unwrap_or_default();
+    let row = |id: &str| -> Option<&[(String, Val)]> {
+        benchmarks
+            .iter()
+            .copied()
+            .find(|b| json::get_str(b, "id").is_ok_and(|s| s == id))
+    };
+    let counters_of = |id: &str| -> Option<&[(String, Val)]> {
+        json::get(row(id)?, "counters").ok().and_then(Val::as_obj)
+    };
+
+    if benchmarks.iter().all(|b| {
+        json::get(b, "counters")
+            .ok()
+            .and_then(Val::as_obj)
+            .is_none_or(<[_]>::is_empty)
+    }) {
+        println!("check_columnar: {path} has no counters (profile feature compiled out); nothing to check");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = Vec::new();
+    let workloads: Vec<String> = benchmarks
+        .iter()
+        .filter_map(|b| json::get_str(b, "id").ok())
+        .filter_map(|id| id.strip_suffix("/columnar").map(str::to_string))
+        .collect();
+    for w in &workloads {
+        let (Some(c), Some(l)) = (
+            counters_of(&format!("{w}/columnar")),
+            counters_of(&format!("{w}/legacy")),
+        ) else {
+            failures.push(format!("{w}: missing columnar or legacy row"));
+            continue;
+        };
+        let gated = GATED.contains(&w.as_str());
+        if counter(c, "core.batched_rows") == 0 {
+            failures.push(format!("{w}: columnar row counted no batched rows"));
+        }
+        if counter(l, "core.batched_rows") != 0 {
+            failures.push(format!("{w}: legacy row counted batched rows"));
+        }
+        // Counter totals accumulate over warm-up + samples, and the two
+        // rows may run different iteration counts; normalize by
+        // `core.get_next_tuple` (one bump per answer delivered, so
+        // proportional to iterations) before comparing.
+        let (cn, ln) = (
+            counter(c, "core.get_next_tuple"),
+            counter(l, "core.get_next_tuple"),
+        );
+        for key in COUNTERS {
+            let (cv, lv) = (counter(c, key), counter(l, key));
+            let ratio = if cn > 0 && ln > 0 {
+                (lv as f64 / ln as f64) / (cv as f64 / cn as f64).max(f64::MIN_POSITIVE)
+            } else {
+                lv as f64 / (cv as f64).max(f64::MIN_POSITIVE)
+            };
+            let verdict = if !gated {
+                "reported"
+            } else if ratio >= MIN_RATIO {
+                "ok"
+            } else {
+                failures.push(format!(
+                    "{w}: {key} reduction {ratio:.2}x < {MIN_RATIO}x (legacy {lv}, columnar {cv})"
+                ));
+                "FAIL"
+            };
+            println!("{w}: {key} legacy {lv} columnar {cv} ({ratio:.2}x) {verdict}");
+        }
+    }
+    for w in GATED {
+        if !workloads.iter().any(|x| x == w) {
+            failures.push(format!("{w}: workload missing from report"));
+        }
+    }
+    if failures.is_empty() {
+        println!("check_columnar: all gated reductions >= {MIN_RATIO}x");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("check_columnar: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -241,6 +241,8 @@ mod tests {
             locals: &locals,
             external: &resolver,
             ranges: &ranges,
+            columnar: true,
+            delta_batch: None,
         };
         let mut envs = EnvSet::new();
         let rule = agg_rule(f);

@@ -142,6 +142,9 @@ struct EngineInner {
     /// Worker-pool size for partitioned delta evaluation (1 = serial;
     /// seeded from `CORAL_THREADS`, overridable per engine).
     threads: Cell<usize>,
+    /// Columnar join fast path (seeded from `CORAL_COLUMNAR`,
+    /// overridable per engine; off = legacy tuple-at-a-time joins).
+    columnar: Cell<bool>,
     /// Profile of the most recently completed profiled call.
     last_profile: RefCell<Option<crate::profile::EngineProfile>>,
     /// Cooperative cancellation flag (shared with [`CancelToken`]s).
@@ -177,6 +180,7 @@ impl Engine {
                 base_multiset: RefCell::new(Vec::new()),
                 profiling: Cell::new(false),
                 threads: Cell::new(crate::parallel::resolve_threads(None)),
+                columnar: Cell::new(crate::seminaive::resolve_columnar(None)),
                 last_profile: RefCell::new(None),
                 cancel: Arc::new(AtomicBool::new(false)),
                 budget: Cell::new(Budget::from_env(Budget::unlimited())),
@@ -281,6 +285,18 @@ impl Engine {
     /// The configured worker-pool size.
     pub fn threads(&self) -> usize {
         self.inner.threads.get()
+    }
+
+    /// Enable or disable the columnar join fast path (seeded from
+    /// `CORAL_COLUMNAR`; off = legacy tuple-at-a-time joins, kept as a
+    /// differential baseline).
+    pub fn set_columnar(&self, on: bool) {
+        self.inner.columnar.set(on);
+    }
+
+    /// Whether the columnar join fast path is on.
+    pub fn columnar(&self) -> bool {
+        self.inner.columnar.get()
     }
 
     /// Whether the engine-level runtime profiling flag is on.
@@ -716,7 +732,8 @@ impl Engine {
         // by a module at the end of a call", §5.4.2).
         let mut state = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
             .with_strategy(Strategy::from(mdef.controls.fixpoint))
-            .with_threads(self.threads());
+            .with_threads(self.threads())
+            .with_columnar(self.columnar());
         state.seed(pattern)?;
         if mdef.controls.lazy {
             return Ok(Box::new(crate::save_module::LazyScan::new(
@@ -797,6 +814,9 @@ pub(crate) fn answers_scan(state: &FixpointState, pattern: &[Term]) -> VecScan {
 }
 
 pub(crate) fn unifies_with(pattern: &[Term], t: &Tuple) -> bool {
+    if let Some(ok) = fast_unifies_with(pattern, t) {
+        return ok;
+    }
     let mut envs = coral_term::EnvSet::new();
     let pv = pattern.iter().map(|x| x.var_bound()).max().unwrap_or(0);
     let ep = envs.push_frame(pv as usize);
@@ -805,6 +825,37 @@ pub(crate) fn unifies_with(pattern: &[Term], t: &Tuple) -> bool {
         .iter()
         .zip(t.args())
         .all(|(p, a)| coral_term::unify(&mut envs, p, ep, a, et))
+}
+
+/// Frame-free filter for the dominant case: every tuple argument ground,
+/// every pattern argument either ground (decided by term equality) or a
+/// variable (bound positionally, repeated occurrences compared for
+/// consistency). Returns `None` — take the general unifier — as soon as
+/// a non-ground term appears on either side.
+fn fast_unifies_with(pattern: &[Term], t: &Tuple) -> Option<bool> {
+    let mut binds: Vec<(coral_term::VarId, &Term)> = Vec::new();
+    for (p, a) in pattern.iter().zip(t.args()) {
+        if !a.is_ground() {
+            return None;
+        }
+        match p {
+            Term::Var(v) => match binds.iter().find(|(bv, _)| bv == v) {
+                Some((_, prev)) => {
+                    if *prev != a {
+                        return Some(false);
+                    }
+                }
+                None => binds.push((*v, a)),
+            },
+            g if g.is_ground() => {
+                if g != a {
+                    return Some(false);
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(true)
 }
 
 /// A scan filtering candidates by unification with a pattern.

@@ -178,10 +178,14 @@ impl Explainer<'_> {
                 backtrack,
             };
             let ranges = Ranges::new();
+            // Explanation probes are non-delta re-joins; the columnar
+            // ground fast path is semantics-preserving, so leave it on.
             let ctx = JoinCtx {
                 locals: self.state.locals(),
                 external: self.engine,
                 ranges: &ranges,
+                columnar: true,
+                delta_batch: None,
             };
             let mut envs = EnvSet::new();
             let crule_body = &crule.body;
@@ -251,6 +255,8 @@ impl Explainer<'_> {
             locals: self.state.locals(),
             external: self.engine,
             ranges: &ranges,
+            columnar: true,
+            delta_batch: None,
         };
         let mut envs = EnvSet::new();
         let mut uses: Vec<Use> = Vec::new();

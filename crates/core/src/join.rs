@@ -18,11 +18,13 @@ use crate::arith::{compare_terms, eval_arith};
 use crate::compile::{BodyElem, CompiledRule, SnVersion};
 use crate::error::{EvalError, EvalResult};
 use coral_lang::{CmpOp, Literal, PredRef};
-use coral_rel::{HashRelation, Mark, Relation, TupleIter};
+use coral_rel::{ColumnarBatch, HashRelation, Mark, Relation, RowRef, TupleIter};
 use coral_term::bindenv::{EnvId, EnvSet, FrameMark, TrailMark};
 use coral_term::{unify, Term, Tuple};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The relations local to one module evaluation.
 #[derive(Default)]
@@ -137,6 +139,62 @@ pub trait RuleEnv {
     /// Full-view candidates for a negated local literal (negation reads
     /// the whole relation; stratification keeps it stable).
     fn negated_local(&self, pred: PredRef, pattern: &[Term]) -> EvalResult<TupleIter>;
+
+    /// Whether the columnar fast paths are enabled for this evaluation.
+    fn columnar(&self) -> bool {
+        false
+    }
+
+    /// The columnar batch driving body position `pos`, if this
+    /// evaluation has one (the semi-naive delta slot under columnar
+    /// evaluation). Only consulted when the slot's lookup pattern is
+    /// open (all distinct free variables), where a batch scan is
+    /// candidate-for-candidate identical to the relation lookup.
+    fn delta_batch(&self, pos: usize) -> Option<Arc<ColumnarBatch>> {
+        let _ = pos;
+        None
+    }
+}
+
+/// Columnar view of one rule version's driving delta `[prev, cur)`,
+/// built lazily on first use and cached across slot re-opens. The cache
+/// is sound because delta marks freeze the open subsidiary out of the
+/// range, so emitting head facts mid-rule cannot add rows to it; the one
+/// mutation that *can* reach a frozen range — aggregate-selection
+/// eviction on the head relation — is excluded by constructing the
+/// source with `cacheable = false`, which rebuilds per slot open exactly
+/// like the legacy eager lookup does.
+pub struct DeltaBatchSource {
+    rel: Rc<HashRelation>,
+    prev: Mark,
+    cur: Mark,
+    cacheable: bool,
+    cache: RefCell<Option<Arc<ColumnarBatch>>>,
+}
+
+impl DeltaBatchSource {
+    /// A batch source over `rel`'s rows in `[prev, cur)`.
+    pub fn new(rel: Rc<HashRelation>, prev: Mark, cur: Mark, cacheable: bool) -> DeltaBatchSource {
+        DeltaBatchSource {
+            rel,
+            prev,
+            cur,
+            cacheable,
+            cache: RefCell::new(None),
+        }
+    }
+
+    fn get(&self) -> Arc<ColumnarBatch> {
+        if !self.cacheable {
+            return Arc::new(self.rel.scan_range_columnar(self.prev, Some(self.cur)));
+        }
+        self.cache
+            .borrow_mut()
+            .get_or_insert_with(|| {
+                Arc::new(self.rel.scan_range_columnar(self.prev, Some(self.cur)))
+            })
+            .clone()
+    }
 }
 
 /// Everything a serial rule evaluation needs.
@@ -147,6 +205,11 @@ pub struct JoinCtx<'a> {
     pub external: &'a dyn ExternalResolver,
     /// Delta boundaries for recursive predicates this iteration.
     pub ranges: &'a Ranges,
+    /// Whether the columnar fast paths are on.
+    pub columnar: bool,
+    /// `(body position, batch source)` for the driving delta slot, when
+    /// columnar evaluation supplies one.
+    pub delta_batch: Option<(usize, DeltaBatchSource)>,
 }
 
 impl RuleEnv for JoinCtx<'_> {
@@ -181,6 +244,17 @@ impl RuleEnv for JoinCtx<'_> {
     fn negated_local(&self, pred: PredRef, pattern: &[Term]) -> EvalResult<TupleIter> {
         Ok(self.locals.require(pred).lookup(pattern))
     }
+
+    fn columnar(&self) -> bool {
+        self.columnar
+    }
+
+    fn delta_batch(&self, pos: usize) -> Option<Arc<ColumnarBatch>> {
+        match &self.delta_batch {
+            Some((d, src)) if *d == pos => Some(src.get()),
+            _ => None,
+        }
+    }
 }
 
 /// Build a self-contained lookup pattern for a literal: arguments
@@ -202,9 +276,121 @@ enum SlotState {
         /// Whether any candidate unified since the slot opened.
         matched: bool,
     },
+    /// A delta literal driven batch-at-a-time from a columnar view —
+    /// rows in the exact order the relation lookup would yield them.
+    Batch {
+        batch: Arc<ColumnarBatch>,
+        row: usize,
+        matched: bool,
+    },
     /// A deterministic check (comparison, negation) that already
     /// succeeded once.
     CheckDone,
+}
+
+/// True iff the pattern is *open*: every argument a distinct free
+/// variable (vacuously so for zero arity). `literal_pattern` numbers
+/// unbound variables in first-occurrence order, so openness is exactly
+/// `pattern[i] == Var(i)`. An open pattern selects no index (argument
+/// and pattern indices both need ground keys) and matches every tuple,
+/// so the legacy lookup is a full scan in insertion order — which is
+/// what a columnar batch scan replays, making the swap order-exact.
+fn pattern_is_open(pattern: &[Term]) -> bool {
+    pattern
+        .iter()
+        .enumerate()
+        .all(|(i, t)| matches!(t, Term::Var(v) if v.0 == i as u32))
+}
+
+/// Legacy row match: a fresh frame for the candidate's variables, then
+/// general unification argument by argument.
+fn unify_row(envs: &mut EnvSet, lit_args: &[Term], env: EnvId, t: &Tuple) -> bool {
+    let tenv = envs.push_frame(t.nvars() as usize);
+    lit_args
+        .iter()
+        .zip(t.args())
+        .all(|(a, b)| unify(envs, a, env, b, tenv))
+}
+
+/// Columnar fast path for a fully ground candidate: bind pattern
+/// variables directly and compare ground pattern arguments by term
+/// equality — exactly the decision unifying two ground terms makes —
+/// skipping the candidate frame and the unifier. Returns `None` when a
+/// pattern argument dereferences to a non-ground functor term, in which
+/// case the caller must take the general path; bindings made before the
+/// bail-out are harmless (the general unifier re-derefs them, and the
+/// per-candidate trail reset discards them).
+fn fast_match_ground(
+    envs: &mut EnvSet,
+    lit_args: &[Term],
+    env: EnvId,
+    cand: &[Term],
+) -> Option<bool> {
+    let mut ops = 0u64;
+    let r = 'row: {
+        for (a, b) in lit_args.iter().zip(cand) {
+            ops += 1;
+            let (pt, pe) = envs.deref(a, env);
+            match pt {
+                Term::Var(v) => envs.bind(pe, v, b.clone(), pe),
+                ref g if g.is_ground() => {
+                    if g != b {
+                        break 'row Some(false);
+                    }
+                }
+                _ => break 'row None,
+            }
+        }
+        Some(true)
+    };
+    crate::profile::bump(|c| {
+        c.vectorized_probes += ops;
+        match r {
+            Some(_) => c.batched_rows += 1,
+            None => c.fallback_rows += 1,
+        }
+    });
+    r
+}
+
+/// Columnar fast path for a flat batch row: bind-or-compare per column
+/// straight out of the column vectors, never reconstructing the tuple.
+/// Same contract as [`fast_match_ground`].
+fn fast_match_batch(
+    envs: &mut EnvSet,
+    lit_args: &[Term],
+    env: EnvId,
+    batch: &ColumnarBatch,
+    fast_idx: usize,
+) -> Option<bool> {
+    let mut ops = 0u64;
+    let r = 'row: {
+        for (col, a) in lit_args.iter().enumerate() {
+            ops += 1;
+            let (pt, pe) = envs.deref(a, env);
+            match pt {
+                Term::Var(v) => {
+                    let t = batch.fast_term(fast_idx, col);
+                    envs.bind(pe, v, t, pe);
+                }
+                ref g if g.is_ground() => {
+                    if !batch.fast_matches(fast_idx, col, g) {
+                        break 'row Some(false);
+                    }
+                }
+                _ => break 'row None,
+            }
+        }
+        Some(true)
+    };
+    crate::profile::bump(|c| {
+        c.vectorized_probes += ops;
+        match r {
+            Some(_) => c.batched_rows += 1,
+            None => c.fallback_rows += 1,
+        }
+    });
+    r
 }
 
 struct Slot {
@@ -227,6 +413,7 @@ pub fn eval_rule(
     let base_trail = envs.mark();
     let env = envs.push_frame(rule.nvars as usize);
     let n = rule.body.len();
+    let columnar = ctx.columnar();
     let mut solutions = 0usize;
 
     if n == 0 {
@@ -246,15 +433,27 @@ pub fn eval_rule(
             let state = match &rule.body[pos] {
                 BodyElem::Local { lit, recursive } => {
                     let pattern = literal_pattern(envs, lit, env);
-                    SlotState::Candidates {
-                        iter: ctx.local_candidates(
-                            lit.pred_ref(),
-                            *recursive,
-                            pos,
-                            version,
-                            &pattern,
-                        )?,
-                        matched: false,
+                    let batch = if *recursive && pattern_is_open(&pattern) {
+                        ctx.delta_batch(pos)
+                    } else {
+                        None
+                    };
+                    match batch {
+                        Some(batch) => SlotState::Batch {
+                            batch,
+                            row: 0,
+                            matched: false,
+                        },
+                        None => SlotState::Candidates {
+                            iter: ctx.local_candidates(
+                                lit.pred_ref(),
+                                *recursive,
+                                pos,
+                                version,
+                                &pattern,
+                            )?,
+                            matched: false,
+                        },
                     }
                 }
                 BodyElem::External { lit } => {
@@ -323,35 +522,74 @@ pub fn eval_rule(
             BodyElem::Local { lit, .. } | BodyElem::External { lit } => (&lit.args, ()),
             _ => unreachable!("check slots handled above"),
         };
-        let SlotState::Candidates { iter, matched } = &mut slot.state else {
-            unreachable!("check slots handled above")
-        };
+        let (trail, frames) = (slot.trail, slot.frames);
         let mut advanced = false;
-        loop {
-            // Reset to the slot's entry state before trying the next
-            // candidate.
-            envs.undo(slot.trail);
-            envs.pop_frames(slot.frames);
-            match iter.next() {
-                None => break,
-                Some(cand) => {
-                    crate::profile::bump(|c| c.join_probes += 1);
-                    let t: Tuple = cand?;
-                    let tenv = envs.push_frame(t.nvars() as usize);
-                    let mut ok = true;
-                    for (a, b) in lit_args.iter().zip(t.args()) {
-                        if !unify(envs, a, env, b, tenv) {
-                            ok = false;
+        match &mut slot.state {
+            SlotState::Candidates { iter, matched } => loop {
+                // Reset to the slot's entry state before trying the next
+                // candidate.
+                envs.undo(trail);
+                envs.pop_frames(frames);
+                match iter.next() {
+                    None => break,
+                    Some(cand) => {
+                        crate::profile::bump(|c| c.join_probes += 1);
+                        let t: Tuple = cand?;
+                        // Columnar fast path: a fully ground candidate
+                        // needs no frame and (usually) no unifier.
+                        let ok = if columnar && t.is_ground() {
+                            match fast_match_ground(envs, lit_args, env, t.args()) {
+                                Some(ok) => ok,
+                                None => unify_row(envs, lit_args, env, &t),
+                            }
+                        } else {
+                            if columnar {
+                                crate::profile::bump(|c| c.fallback_rows += 1);
+                            }
+                            unify_row(envs, lit_args, env, &t)
+                        };
+                        if ok {
+                            *matched = true;
+                            advanced = true;
                             break;
                         }
                     }
-                    if ok {
-                        *matched = true;
-                        advanced = true;
-                        break;
-                    }
                 }
-            }
+            },
+            SlotState::Batch {
+                batch,
+                row,
+                matched,
+            } => loop {
+                envs.undo(trail);
+                envs.pop_frames(frames);
+                if *row >= batch.len() {
+                    break;
+                }
+                let r = *row;
+                *row += 1;
+                crate::profile::bump(|c| c.join_probes += 1);
+                let ok = match batch.row_ref(r) {
+                    RowRef::Fast(fi) => match fast_match_batch(envs, lit_args, env, batch, fi) {
+                        Some(ok) => ok,
+                        None => {
+                            let t = batch.row_tuple(r);
+                            unify_row(envs, lit_args, env, &t)
+                        }
+                    },
+                    RowRef::Side(t) => {
+                        let t = t.clone();
+                        crate::profile::bump(|c| c.fallback_rows += 1);
+                        unify_row(envs, lit_args, env, &t)
+                    }
+                };
+                if ok {
+                    *matched = true;
+                    advanced = true;
+                    break;
+                }
+            },
+            SlotState::CheckDone => unreachable!("check slots handled above"),
         }
         if advanced {
             if pos + 1 == n {
@@ -366,7 +604,7 @@ pub fn eval_rule(
         }
         // Exhausted.
         let had_match = match &slots[pos].as_ref().unwrap().state {
-            SlotState::Candidates { matched, .. } => *matched,
+            SlotState::Candidates { matched, .. } | SlotState::Batch { matched, .. } => *matched,
             SlotState::CheckDone => true,
         };
         {
@@ -577,13 +815,15 @@ mod tests {
         (PredRef::new(name, arity), r)
     }
 
-    fn run(rule: &CompiledRule, resolver: &MapResolver) -> Vec<String> {
+    fn run_with(rule: &CompiledRule, resolver: &MapResolver, columnar: bool) -> Vec<String> {
         let locals = LocalRels::new();
         let ranges = Ranges::new();
         let ctx = JoinCtx {
             locals: &locals,
             external: resolver,
             ranges: &ranges,
+            columnar,
+            delta_batch: None,
         };
         let mut envs = EnvSet::new();
         let mut out = Vec::new();
@@ -600,6 +840,13 @@ mod tests {
         .unwrap();
         out.sort();
         out
+    }
+
+    /// Default run exercises the columnar ground fast path (most test
+    /// fixtures are ground facts); [`legacy_and_columnar_agree`] pins
+    /// the two modes against each other explicitly.
+    fn run(rule: &CompiledRule, resolver: &MapResolver) -> Vec<String> {
+        run_with(rule, resolver, true)
     }
 
     #[test]
@@ -666,6 +913,8 @@ mod tests {
             locals: &locals,
             external: &resolver,
             ranges: &ranges,
+            columnar: false,
+            delta_batch: None,
         };
         let mut envs = EnvSet::new();
         let err = eval_rule(
@@ -729,6 +978,8 @@ mod tests {
             locals: &locals,
             external: &resolver,
             ranges: &ranges,
+            columnar: false,
+            delta_batch: None,
         };
         // Rule t(X) :- p(X) with p recursive: delta version sees only 2.
         let rule = CompiledRule {
@@ -763,5 +1014,125 @@ mod tests {
         )
         .unwrap();
         assert_eq!(got, vec!["(2)"]);
+    }
+
+    #[test]
+    fn legacy_and_columnar_agree() {
+        // Ground candidates, arithmetic, negation, repeated variables —
+        // the two modes must produce identical solution lists.
+        for src in [
+            "t(X, Z) :- e(X, Y), e(Y, Z).",
+            "t(X, C) :- e(X, Y), C = X + Y, C >= 5.",
+            "t(X, Y) :- e(X, X), e(X, Y).",
+            "t(X, Y) :- e(X, Y), X \\= Y.",
+        ] {
+            let rule = compile_rule(src);
+            let (p, r) = rel_of("e", &[vec![1, 2], vec![2, 3], vec![2, 2], vec![4, 4]]);
+            let resolver = MapResolver {
+                rels: [(p, r)].into(),
+            };
+            assert_eq!(
+                run_with(&rule, &resolver, false),
+                run_with(&rule, &resolver, true),
+                "{src}"
+            );
+        }
+        // Non-ground and functor candidates force the general path mid
+        // stream without disturbing the fast rows around them.
+        let rule = compile_rule("t(X, Y) :- e(X, Y).");
+        let r = Rc::new(HashRelation::new(2));
+        r.insert(Tuple::ground(vec![Term::int(1), Term::int(2)]))
+            .unwrap();
+        r.insert(Tuple::new(vec![Term::var(0), Term::int(9)]))
+            .unwrap();
+        r.insert(Tuple::ground(vec![
+            Term::apps("f", vec![Term::int(3)]),
+            Term::int(4),
+        ]))
+        .unwrap();
+        r.insert(Tuple::ground(vec![Term::int(5), Term::int(6)]))
+            .unwrap();
+        let resolver = MapResolver {
+            rels: [(PredRef::new("e", 2), r)].into(),
+        };
+        let legacy = run_with(&rule, &resolver, false);
+        let columnar = run_with(&rule, &resolver, true);
+        assert_eq!(legacy, columnar);
+        assert_eq!(legacy.len(), 4);
+    }
+
+    #[test]
+    fn open_delta_slot_drives_from_the_batch() {
+        // Mixed delta: flat rows, a non-ground row and a functor row.
+        // The batch drive must replay them in insertion order, matching
+        // what the legacy range lookup emits. Multiset semantics keep
+        // every row (under subsumption the Var row would swallow the
+        // later ground ones).
+        let pred = PredRef::new("p", 1);
+        let rel = Rc::new(HashRelation::with_semantics(
+            1,
+            coral_rel::DupSemantics::Multiset,
+        ));
+        rel.insert(Tuple::ground(vec![Term::int(1)])).unwrap();
+        let m1 = rel.mark();
+        rel.insert(Tuple::ground(vec![Term::int(2)])).unwrap();
+        rel.insert(Tuple::new(vec![Term::var(0)])).unwrap();
+        rel.insert(Tuple::ground(vec![Term::apps("f", vec![Term::int(3)])]))
+            .unwrap();
+        rel.insert(Tuple::ground(vec![Term::int(4)])).unwrap();
+        let m2 = rel.mark();
+        let mut locals = LocalRels::new();
+        locals.insert(pred, Rc::clone(&rel));
+        let mut ranges = Ranges::new();
+        ranges.insert(pred, (m1, m2));
+        let resolver = MapResolver { rels: [].into() };
+        let rule = CompiledRule {
+            head: Literal {
+                pred: Symbol::intern("t"),
+                args: vec![Term::var(0)],
+            },
+            agg: None,
+            body: vec![BodyElem::Local {
+                lit: Literal {
+                    pred: Symbol::intern("p"),
+                    args: vec![Term::var(0)],
+                },
+                recursive: true,
+            }],
+            nvars: 1,
+            var_names: vec!["X".into()],
+            versions: vec![SnVersion { delta_idx: Some(0) }],
+            backtrack: vec![None],
+        };
+        let mut results = Vec::new();
+        for batched in [false, true] {
+            let delta_batch =
+                batched.then(|| (0usize, DeltaBatchSource::new(Rc::clone(&rel), m1, m2, true)));
+            let ctx = JoinCtx {
+                locals: &locals,
+                external: &resolver,
+                ranges: &ranges,
+                columnar: batched,
+                delta_batch,
+            };
+            let mut envs = EnvSet::new();
+            let mut got = Vec::new();
+            eval_rule(
+                &ctx,
+                &rule,
+                SnVersion { delta_idx: Some(0) },
+                &mut envs,
+                &mut |envs, env| {
+                    got.push(resolve_head(envs, &rule.head, env).to_string());
+                    Ok(())
+                },
+            )
+            .unwrap();
+            results.push(got);
+        }
+        // Unsorted: emission order itself must agree, and exclude the
+        // pre-mark fact.
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], vec!["(2)", "(V0)", "(f(3))", "(4)"]);
     }
 }

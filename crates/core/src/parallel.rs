@@ -37,7 +37,9 @@ use crate::error::{EvalError, EvalResult};
 use crate::join::{eval_rule, resolve_head, RuleEnv};
 use coral_lang::{Literal, PredRef};
 use coral_rel::relation::iter_from_vec;
-use coral_rel::{DupSemantics, HashRelation, IndexSpec, Mark, RelSnapshot, Relation, TupleIter};
+use coral_rel::{
+    ColumnarBatch, DupSemantics, HashRelation, IndexSpec, Mark, RelSnapshot, Relation, TupleIter,
+};
 use coral_term::bindenv::EnvSet;
 use coral_term::{Term, Tuple};
 use std::collections::HashMap;
@@ -111,6 +113,9 @@ pub(crate) struct JobCtx {
     pub head_pred: PredRef,
     /// Whether workers should collect profiling counter deltas.
     pub profiling: bool,
+    /// Whether workers run the columnar join fast path (mirrors the
+    /// coordinator's flag so k=1 and k=4 evaluate identically).
+    pub columnar: bool,
     /// Cancellation + deadline signals polled between solutions.
     pub brake: Option<Brake>,
 }
@@ -165,9 +170,24 @@ struct WorkerEnv<'a> {
     /// The chunk, replicated into a private relation carrying the
     /// driving relation's indexes.
     chunk: HashRelation,
+    /// The chunk in columnar form, handed to the join's batch drive for
+    /// open patterns at the delta slot (None on the legacy path).
+    chunk_batch: Option<Arc<ColumnarBatch>>,
 }
 
 impl RuleEnv for WorkerEnv<'_> {
+    fn columnar(&self) -> bool {
+        self.ctx.columnar
+    }
+
+    fn delta_batch(&self, pos: usize) -> Option<Arc<ColumnarBatch>> {
+        if pos == self.ctx.delta_pos {
+            self.chunk_batch.clone()
+        } else {
+            None
+        }
+    }
+
     fn local_candidates(
         &self,
         pred: PredRef,
@@ -226,7 +246,10 @@ impl RuleEnv for WorkerEnv<'_> {
 }
 
 /// Evaluate one chunk of the driving delta. Runs on a worker thread.
-pub(crate) fn eval_chunk(ctx: &JobCtx, chunk: Vec<Tuple>) -> EvalResult<ChunkOut> {
+/// Chunks travel as [`ColumnarBatch`]es: the flat columns are shared
+/// column storage, the side table carries the non-ground rows, and the
+/// replicated chunk relation below preserves batch row order.
+pub(crate) fn eval_chunk(ctx: &JobCtx, chunk: ColumnarBatch) -> EvalResult<ChunkOut> {
     let start = std::time::Instant::now();
     if ctx.profiling {
         crate::profile::set_profiling(true);
@@ -238,12 +261,15 @@ pub(crate) fn eval_chunk(ctx: &JobCtx, chunk: Vec<Tuple>) -> EvalResult<ChunkOut
         // Index specs came off a live HashRelation, so they re-apply.
         chunk_rel.make_index(spec.clone()).map_err(EvalError::Rel)?;
     }
-    for t in chunk {
-        chunk_rel.insert(t).map_err(EvalError::Rel)?;
+    for row in 0..chunk.len() {
+        chunk_rel
+            .insert(chunk.row_tuple(row))
+            .map_err(EvalError::Rel)?;
     }
     let env = WorkerEnv {
         ctx,
         chunk: chunk_rel,
+        chunk_batch: ctx.columnar.then(|| Arc::new(chunk)),
     };
     let head_view = &ctx.locals[&ctx.head_pred];
     let head = ctx.rule.head.clone();
@@ -291,22 +317,6 @@ pub(crate) fn eval_chunk(ctx: &JobCtx, chunk: Vec<Tuple>) -> EvalResult<ChunkOut
         busy_ns: start.elapsed().as_nanos() as u64,
         counters,
     })
-}
-
-/// Partition `delta` into at most `k` contiguous chunks of at least
-/// [`MIN_CHUNK`] tuples each, preserving order.
-pub(crate) fn partition(delta: Vec<Tuple>, k: usize) -> Vec<Vec<Tuple>> {
-    let n = delta.len();
-    let k = k.clamp(1, n.div_ceil(MIN_CHUNK).max(1));
-    let base = n / k;
-    let extra = n % k;
-    let mut out = Vec::with_capacity(k);
-    let mut it = delta.into_iter();
-    for i in 0..k {
-        let take = base + usize::from(i < extra);
-        out.push(it.by_ref().take(take).collect());
-    }
-    out
 }
 
 // ---------------------------------------------------------------------
@@ -426,33 +436,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn partition_preserves_order_and_balance() {
+    fn chunk_partitioning_preserves_order_and_balance() {
+        // Chunks now travel as columnar batches; the partition contract
+        // (order, balance, the MIN_CHUNK floor on chunk count) lives on
+        // [`ColumnarBatch::partition`] and is pinned here against this
+        // module's MIN_CHUNK so the dispatch math cannot drift.
         let tuples: Vec<Tuple> = (0..100)
             .map(|i| Tuple::ground(vec![Term::int(i)]))
             .collect();
-        let chunks = partition(tuples.clone(), 4);
+        let batch = ColumnarBatch::from_tuples(1, tuples.clone());
+        let chunks = batch.partition(4, MIN_CHUNK);
         assert_eq!(chunks.len(), 4);
         let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
         assert_eq!(sizes, vec![25, 25, 25, 25]);
-        let flat: Vec<Tuple> = chunks.into_iter().flatten().collect();
+        let flat: Vec<Tuple> = chunks.iter().flat_map(|c| c.to_tuples()).collect();
         assert_eq!(flat, tuples);
-    }
-
-    #[test]
-    fn partition_respects_min_chunk() {
-        let tuples: Vec<Tuple> = (0..40).map(|i| Tuple::ground(vec![Term::int(i)])).collect();
         // 40 tuples at MIN_CHUNK=16 supports at most ceil(40/16)=3 chunks.
-        let chunks = partition(tuples, 8);
-        assert_eq!(chunks.len(), 3);
-        assert!(chunks.iter().all(|c| c.len() >= 13));
-    }
-
-    #[test]
-    fn partition_single_chunk() {
-        let tuples: Vec<Tuple> = (0..5).map(|i| Tuple::ground(vec![Term::int(i)])).collect();
-        let chunks = partition(tuples.clone(), 4);
-        assert_eq!(chunks.len(), 1);
-        assert_eq!(chunks[0], tuples);
+        let small = ColumnarBatch::from_tuples(
+            1,
+            (0..40)
+                .map(|i| Tuple::ground(vec![Term::int(i)]))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(small.partition(8, MIN_CHUNK).len(), 3);
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub struct Counters {
     pub os_context_pushes: u64,
     /// Ordered Search context-stack high-water mark.
     pub os_max_context_depth: u64,
+    /// Candidate rows fully decided by columnar column operations
+    /// (no binding-environment frame, no general unification).
+    pub batched_rows: u64,
+    /// Rows routed through general unification while the columnar path
+    /// was on (side-table rows, non-ground candidates, mixed columns).
+    pub fallback_rows: u64,
+    /// Individual column compare/bind operations performed by the
+    /// columnar fast path.
+    pub vectorized_probes: u64,
 }
 
 impl Counters {
@@ -48,6 +57,9 @@ impl Counters {
         get_next_tuple: 0,
         os_context_pushes: 0,
         os_max_context_depth: 0,
+        batched_rows: 0,
+        fallback_rows: 0,
+        vectorized_probes: 0,
     };
 }
 
@@ -61,6 +73,9 @@ pub fn add(d: Counters) {
         c.get_next_tuple += d.get_next_tuple;
         c.os_context_pushes += d.os_context_pushes;
         c.os_max_context_depth = c.os_max_context_depth.max(d.os_max_context_depth);
+        c.batched_rows += d.batched_rows;
+        c.fallback_rows += d.fallback_rows;
+        c.vectorized_probes += d.vectorized_probes;
     });
 }
 
@@ -142,6 +157,18 @@ pub struct SccSection {
     pub rules: Vec<RuleVersionStats>,
 }
 
+/// Columnar-evaluation statistics for the profiled call (all zero when
+/// the legacy tuple-at-a-time path ran, e.g. `CORAL_COLUMNAR=0`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColumnarStats {
+    /// Candidate rows fully decided by column operations.
+    pub batched_rows: u64,
+    /// Rows that fell back to general unification.
+    pub fallback_rows: u64,
+    /// Individual column compare/bind operations.
+    pub vectorized_probes: u64,
+}
+
 /// Resource-governor accounting for the profiled call: per-resource
 /// usage against the armed [`crate::Budget`] limits. `armed` is false
 /// (and everything zero) when the call ran without a budget.
@@ -196,6 +223,8 @@ pub struct EngineProfile {
     pub totals: LayerTotals,
     /// Budget usage against the armed limits (unarmed = all zeros).
     pub budget: BudgetStats,
+    /// Columnar-path statistics (all zeros on the legacy path).
+    pub columnar: ColumnarStats,
     /// Per-SCC fixpoint sections, in evaluation order.
     pub sccs: Vec<SccSection>,
 }
@@ -421,6 +450,9 @@ fn flatten_totals(t: &LayerTotals) -> Vec<(String, u64)> {
             "core.os_max_context_depth".into(),
             t.core.os_max_context_depth,
         ),
+        ("core.batched_rows".into(), t.core.batched_rows),
+        ("core.fallback_rows".into(), t.core.fallback_rows),
+        ("core.vectorized_probes".into(), t.core.vectorized_probes),
     ]
 }
 
@@ -451,6 +483,9 @@ fn diff_totals(before: &LayerTotals, after: &LayerTotals) -> LayerTotals {
             os_context_pushes: d(after.core.os_context_pushes, before.core.os_context_pushes),
             // The high-water mark is not a sum; report the call's maximum.
             os_max_context_depth: after.core.os_max_context_depth,
+            batched_rows: d(after.core.batched_rows, before.core.batched_rows),
+            fallback_rows: d(after.core.fallback_rows, before.core.fallback_rows),
+            vectorized_probes: d(after.core.vectorized_probes, before.core.vectorized_probes),
         },
     }
 }
@@ -497,12 +532,18 @@ impl Collector {
         if !self.prior_enabled {
             set_profiling(false);
         }
+        let columnar = ColumnarStats {
+            batched_rows: totals.core.batched_rows,
+            fallback_rows: totals.core.fallback_rows,
+            vectorized_probes: totals.core.vectorized_probes,
+        };
         EngineProfile {
             query,
             wall_ns,
             answers,
             totals,
             budget: BudgetStats::default(),
+            columnar,
             sccs,
         }
     }
@@ -671,6 +712,14 @@ impl EngineProfile {
             t.core.os_context_pushes,
             t.core.os_max_context_depth
         );
+        let cs = &self.columnar;
+        if cs.batched_rows > 0 || cs.fallback_rows > 0 || cs.vectorized_probes > 0 {
+            let _ = writeln!(
+                s,
+                "  columnar: {} batched rows, {} fallback rows, {} vectorized probes",
+                cs.batched_rows, cs.fallback_rows, cs.vectorized_probes
+            );
+        }
         if self.budget.armed {
             let _ = write!(s, "  budget:");
             for (i, name) in BudgetStats::RESOURCES.iter().enumerate() {
@@ -756,6 +805,13 @@ impl EngineProfile {
             b.armed as u64,
             nums(&b.used),
             nums(&b.limits)
+        );
+        let cs = &self.columnar;
+        let _ = writeln!(
+            s,
+            "  \"columnar\": {{\"batched_rows\": {}, \"fallback_rows\": {}, \
+             \"vectorized_probes\": {}}},",
+            cs.batched_rows, cs.fallback_rows, cs.vectorized_probes
         );
         s.push_str("  \"totals\": {");
         for (i, (k, v)) in flatten_totals(&self.totals).iter().enumerate() {
@@ -862,6 +918,16 @@ impl EngineProfile {
             }
             p.budget = b;
         }
+        // Profiles written before columnar evaluation existed have no
+        // "columnar" key; default to all-zero stats.
+        if let Ok(cv) = json::get(obj, "columnar") {
+            let co = cv.as_obj().ok_or("columnar: expected an object")?;
+            p.columnar = ColumnarStats {
+                batched_rows: json::get_u64(co, "batched_rows")?,
+                fallback_rows: json::get_u64(co, "fallback_rows")?,
+                vectorized_probes: json::get_u64(co, "vectorized_probes")?,
+            };
+        }
         let totals = json::get(obj, "totals")?
             .as_obj()
             .ok_or("totals: expected an object")?;
@@ -953,6 +1019,9 @@ fn unflatten_totals(flat: &[(String, u64)]) -> LayerTotals {
             get_next_tuple: get("core.get_next_tuple"),
             os_context_pushes: get("core.os_context_pushes"),
             os_max_context_depth: get("core.os_max_context_depth"),
+            batched_rows: get("core.batched_rows"),
+            fallback_rows: get("core.fallback_rows"),
+            vectorized_probes: get("core.vectorized_probes"),
         },
     }
 }
@@ -989,8 +1058,10 @@ fn json_string(s: &str) -> String {
 }
 
 /// A minimal JSON reader — just enough to round-trip the profile (the
-/// workspace builds offline, so no serde).
-mod json {
+/// workspace builds offline, so no serde). Public so tooling (e.g. the
+/// bench-report checkers in `coral-bench`) can read BENCH_*.json files
+/// without a JSON dependency.
+pub mod json {
     pub enum Val {
         Num(u64),
         Str(String),
@@ -1248,12 +1319,20 @@ mod tests {
                     get_next_tuple: 43,
                     os_context_pushes: 0,
                     os_max_context_depth: 0,
+                    batched_rows: 150,
+                    fallback_rows: 7,
+                    vectorized_probes: 310,
                 },
             },
             budget: BudgetStats {
                 armed: true,
                 used: [12, 30, 4096, 5, 0],
                 limits: [1000, 10_000, 0, 0, 0],
+            },
+            columnar: ColumnarStats {
+                batched_rows: 150,
+                fallback_rows: 7,
+                vectorized_probes: 310,
             },
             sccs: vec![SccSection {
                 scc: 0,
@@ -1357,6 +1436,62 @@ mod tests {
         assert!(!j.contains("\"parallel\""), "{j}");
         let back = EngineProfile::from_json(&j).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn columnar_section_json_shape() {
+        // Golden shape: the columnar object carries exactly these keys,
+        // on its own line, even when all zero.
+        let j = sample().to_json();
+        assert!(
+            j.contains(
+                "\"columnar\": {\"batched_rows\": 150, \"fallback_rows\": 7, \
+                 \"vectorized_probes\": 310}"
+            ),
+            "{j}"
+        );
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back.columnar, sample().columnar);
+        // The per-layer counter names round-trip through totals too.
+        for key in [
+            "\"core.batched_rows\": 150",
+            "\"core.fallback_rows\": 7",
+            "\"core.vectorized_probes\": 310",
+        ] {
+            assert!(j.contains(key), "json missing {key:?}:\n{j}");
+        }
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_columnar_key() {
+        // A pre-columnar profile (no "columnar" key) still parses, with
+        // all-zero stats.
+        let mut p = sample();
+        p.columnar = ColumnarStats::default();
+        p.totals.core.batched_rows = 0;
+        p.totals.core.fallback_rows = 0;
+        p.totals.core.vectorized_probes = 0;
+        let j = p
+            .to_json()
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"columnar\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn render_shows_columnar_line() {
+        let r = sample().render();
+        assert!(
+            r.contains("columnar: 150 batched rows, 7 fallback rows, 310 vectorized probes"),
+            "{r}"
+        );
+        // A legacy-path profile renders no columnar line at all.
+        let mut p = sample();
+        p.columnar = ColumnarStats::default();
+        assert!(!p.render().contains("columnar:"), "{}", p.render());
     }
 
     #[test]

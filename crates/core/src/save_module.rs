@@ -53,7 +53,8 @@ pub fn call(
             None => {
                 let s = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
                     .with_strategy(Strategy::from(mdef.controls.fixpoint))
-                    .with_threads(engine.threads());
+                    .with_threads(engine.threads())
+                    .with_columnar(engine.columnar());
                 s.assert_no_aggregates()?;
                 s
             }

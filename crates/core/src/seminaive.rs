@@ -27,9 +27,11 @@
 use crate::aggregate::eval_agg_rule;
 use crate::compile::{BodyElem, CompiledModule, CompiledRule, CompiledScc, SnVersion};
 use crate::error::{EvalError, EvalResult};
-use crate::join::{eval_rule, resolve_head, ExternalResolver, JoinCtx, LocalRels, Ranges};
+use crate::join::{
+    eval_rule, resolve_head, DeltaBatchSource, ExternalResolver, JoinCtx, LocalRels, Ranges,
+};
 use crate::parallel::{
-    eval_chunk, fold_counters, partition, run_tasks, JobCtx, LocalView, ParallelSource, MIN_CHUNK,
+    eval_chunk, fold_counters, run_tasks, JobCtx, LocalView, ParallelSource, MIN_CHUNK,
 };
 use crate::profile::ParallelStats;
 use coral_lang::{FixpointKind, PredRef};
@@ -107,7 +109,24 @@ pub struct FixpointState {
     profile_id: u64,
     /// Worker-pool size for partitioned delta evaluation (1 = serial).
     threads: usize,
+    /// Whether joins run the columnar batch fast path (the legacy
+    /// tuple-at-a-time escape hatch is `CORAL_COLUMNAR=0`).
+    columnar: bool,
     envs: EnvSet,
+}
+
+/// Resolve a columnar-evaluation request: explicit value, else the
+/// `CORAL_COLUMNAR` environment variable (`0`/`false`/`off` disable),
+/// else on. The legacy tuple-at-a-time path is kept as a differential
+/// baseline and an escape hatch, not as a supported configuration.
+pub fn resolve_columnar(explicit: Option<bool>) -> bool {
+    explicit.unwrap_or_else(|| match std::env::var("CORAL_COLUMNAR") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    })
 }
 
 /// Label of one semi-naive rule version for the profile's per-rule rows.
@@ -163,6 +182,7 @@ impl FixpointState {
             stats: FixpointStats::default(),
             profile_id: crate::profile::new_state_id(),
             threads: 1,
+            columnar: resolve_columnar(None),
             envs: EnvSet::new(),
         })
     }
@@ -178,6 +198,13 @@ impl FixpointState {
     /// set this: their derivation order is semantically significant.
     pub fn with_threads(mut self, threads: usize) -> FixpointState {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable the columnar join fast path (defaults to
+    /// [`resolve_columnar`]`(None)`).
+    pub fn with_columnar(mut self, columnar: bool) -> FixpointState {
+        self.columnar = columnar;
         self
     }
 
@@ -405,10 +432,41 @@ impl FixpointState {
                     derived = par_derived;
                 } else {
                     let head_rel = Rc::clone(self.locals.require(rule.head.pred_ref()));
+                    // Offer the join a columnar view of the driving
+                    // delta range so open delta patterns scan flat
+                    // columns instead of tuple storage. Mid-rule head
+                    // inserts land beyond `cur` (marks freeze an open
+                    // subsidiary boundary), so the batch may be built
+                    // once — unless aggregate selections on the head's
+                    // own relation can evict inside the frozen range,
+                    // in which case it is rebuilt per slot open.
+                    let delta_batch = if self.columnar && !naive {
+                        version.delta_idx.and_then(|d| match &rule.body[d] {
+                            BodyElem::Local {
+                                lit,
+                                recursive: true,
+                            } => {
+                                let p = lit.pred_ref();
+                                let rel = Rc::clone(self.locals.require(p));
+                                let (prev, cur) = ranges
+                                    .get(&p)
+                                    .copied()
+                                    .unwrap_or((Mark(0), rel.current_mark()));
+                                let cacheable = !(p == rule.head.pred_ref()
+                                    && head_rel.has_aggregate_selections());
+                                Some((d, DeltaBatchSource::new(rel, prev, cur, cacheable)))
+                            }
+                            _ => None,
+                        })
+                    } else {
+                        None
+                    };
                     let ctx = JoinCtx {
                         locals: &self.locals,
                         external,
                         ranges,
+                        columnar: self.columnar,
+                        delta_batch,
                     };
                     let head = rule.head.clone();
                     eval_rule(&ctx, rule, version, &mut self.envs, &mut |envs, env| {
@@ -552,10 +610,14 @@ impl FixpointState {
             );
         }
         // Materialize the driving delta from its frozen view (insertion
-        // order — the order a serial delta scan would visit).
-        let delta: Vec<Tuple> = locals_map[&delta_pred].snap.scan_range(prev, Some(cur));
+        // order — the order a serial delta scan would visit) as one
+        // columnar batch; workers receive contiguous batch chunks
+        // instead of `Vec<Tuple>`, sharing the bignum pool.
+        let delta = locals_map[&delta_pred]
+            .snap
+            .scan_range_columnar(prev, Some(cur));
         let delta_tuples = delta.len() as u64;
-        let chunks = partition(delta, self.threads);
+        let chunks = delta.partition(self.threads, MIN_CHUNK);
         let nchunks = chunks.len();
         if nchunks < 2 {
             return Ok(None);
@@ -572,6 +634,7 @@ impl FixpointState {
             externals,
             head_pred,
             profiling: crate::profile::enabled(),
+            columnar: self.columnar,
             brake: external.parallel_brake(),
         });
         let tasks: Vec<_> = chunks
@@ -777,6 +840,8 @@ impl FixpointState {
                 locals: &self.locals,
                 external,
                 ranges: &ranges,
+                columnar: self.columnar,
+                delta_batch: None,
             };
             let mut derived = 0u64;
             eval_agg_rule(&ctx, rule, &mut self.envs, &mut |fact| {

@@ -52,6 +52,48 @@ impl std::fmt::Display for Answer {
     }
 }
 
+/// Extract a ground answer's named bindings without binding
+/// environments: each query variable takes the tuple argument at its
+/// position (repeated occurrences checked for equality), ground query
+/// arguments are checked by term equality. `None` means the general
+/// unification path must run — a non-ground term on either side, or a
+/// named variable the literal never mentions.
+fn fast_bindings(query: &Query, tuple: &Tuple) -> Option<Vec<(String, Term)>> {
+    let mut map: Vec<Option<&Term>> = vec![None; query.nvars as usize];
+    for (q, t) in query.literal.args.iter().zip(tuple.args()) {
+        if !t.is_ground() {
+            return None;
+        }
+        match q {
+            Term::Var(v) => {
+                let slot = &mut map[v.0 as usize];
+                match slot {
+                    Some(prev) => {
+                        if *prev != t {
+                            return None;
+                        }
+                    }
+                    None => *slot = Some(t),
+                }
+            }
+            g if g.is_ground() => {
+                if g != t {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    let mut bindings = Vec::new();
+    for (i, name) in query.var_names.iter().enumerate() {
+        if name.starts_with('_') {
+            continue;
+        }
+        bindings.push((name.clone(), (*map[i].as_ref()?).clone()));
+    }
+    Some(bindings)
+}
+
 /// A stream of answers for one query.
 pub struct Answers {
     query: Query,
@@ -64,6 +106,12 @@ impl Answers {
         let Some(tuple) = self.scan.next_answer()? else {
             return Ok(None);
         };
+        // Ground fast path: when the whole answer tuple is ground and
+        // every query argument is a variable or itself ground, bindings
+        // fall out positionally — no binding environments, no unifier.
+        if let Some(bindings) = fast_bindings(&self.query, &tuple) {
+            return Ok(Some(Answer { tuple, bindings }));
+        }
         let mut envs = EnvSet::new();
         let qe = envs.push_frame(self.query.nvars as usize);
         let te = envs.push_frame(tuple.nvars() as usize);
@@ -144,6 +192,17 @@ impl Session {
     /// The configured worker-pool size.
     pub fn threads(&self) -> usize {
         self.engine.threads()
+    }
+
+    /// Enable or disable the columnar join fast path (seeded from
+    /// `CORAL_COLUMNAR`; off = legacy tuple-at-a-time joins).
+    pub fn set_columnar(&self, on: bool) {
+        self.engine.set_columnar(on);
+    }
+
+    /// Whether the columnar join fast path is on.
+    pub fn columnar(&self) -> bool {
+        self.engine.columnar()
     }
 
     /// Set the resource budget armed for each subsequent top-level

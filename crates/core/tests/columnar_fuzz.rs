@@ -1,0 +1,260 @@
+//! Differential fuzz suite for columnar delta batches in the semi-naive
+//! hot path. Every seeded random program is evaluated three ways —
+//! columnar at `k=4`, columnar at `k=1`, and the legacy tuple-at-a-time
+//! path (`set_columnar(false)`, the `CORAL_COLUMNAR=0` escape hatch) —
+//! and all three must produce identical answer lists, *not* sorted-set
+//! equality only: answers are collected without deduplication so
+//! multiplicity and subsumption differences fail too.
+//!
+//! Non-vacuousness is asserted through the profile's columnar section:
+//! a family whose runs never count a batched row would be testing
+//! nothing, so (when the `profile` feature is compiled in) each family
+//! requires `batched_rows > 0` across its seeds, and the legacy runs
+//! must leave every columnar counter at zero.
+
+use coral_core::session::Session;
+use coral_term::testutil::TestRng;
+use std::fmt::Write as _;
+
+/// Seeds per program family (the suite's lock-down breadth).
+const SEEDS: u64 = 20;
+
+/// Consult `program`, run `query`, and return sorted answers (not
+/// deduplicated) plus the profile's `(batched_rows, fallback_rows)`.
+fn run(threads: usize, columnar: bool, program: &str, query: &str) -> (Vec<String>, (u64, u64)) {
+    let s = Session::new();
+    s.set_threads(threads);
+    s.set_columnar(columnar);
+    s.set_profiling(true);
+    s.consult_str(program)
+        .unwrap_or_else(|e| panic!("consult failed (k={threads} columnar={columnar}): {e}"));
+    let mut out: Vec<String> = s
+        .query_all(query)
+        .unwrap_or_else(|e| panic!("query {query} failed (k={threads} columnar={columnar}): {e}"))
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    out.sort();
+    let counters = s
+        .last_profile()
+        .map(|p| (p.columnar.batched_rows, p.columnar.fallback_rows))
+        .unwrap_or((0, 0));
+    (out, counters)
+}
+
+/// Assert the three evaluation modes agree on `query`; returns the
+/// columnar `k=1` run's `(batched_rows, fallback_rows)` so families can
+/// assert their runs actually exercised the batch machinery.
+fn differential(program: &str, query: &str) -> (u64, u64) {
+    let (legacy, legacy_counters) = run(1, false, program, query);
+    assert!(!legacy.is_empty(), "query {query} has answers");
+    if coral_core::profile::AVAILABLE {
+        assert_eq!(
+            legacy_counters,
+            (0, 0),
+            "legacy path must leave columnar counters untouched for {query}"
+        );
+    }
+    let (serial, counters) = run(1, true, program, query);
+    assert_eq!(
+        serial, legacy,
+        "columnar k=1 answers differ from legacy for {query} on:\n{program}"
+    );
+    let (parallel, _) = run(4, true, program, query);
+    assert_eq!(
+        parallel, legacy,
+        "columnar k=4 answers differ from legacy for {query} on:\n{program}"
+    );
+    counters
+}
+
+fn random_edges(rng: &mut TestRng, name: &str, nodes: usize, edges: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..edges {
+        let a = rng.gen_range(0, nodes);
+        let b = rng.gen_range(0, nodes);
+        let _ = writeln!(s, "{name}({a}, {b}).");
+    }
+    s
+}
+
+/// Assert a family's accumulated batched-row count is nonzero (only
+/// meaningful with the `profile` feature compiled in).
+fn assert_engaged(batched: u64, family: &str) {
+    if coral_core::profile::AVAILABLE {
+        assert!(
+            batched > 0,
+            "{family}: no run ever counted a batched row — differential vacuous"
+        );
+    }
+}
+
+#[test]
+fn transitive_closure_random_graphs() {
+    // Left-linear recursion: the delta literal sits at body position 0
+    // with an all-free pattern, so the open-pattern batch drive engages
+    // (not just the per-candidate ground fast path).
+    let mut batched = 0u64;
+    for seed in 1..=SEEDS {
+        let mut rng = TestRng::new(seed);
+        let nodes = rng.gen_range(10, 16);
+        let edges = rng.gen_range(2 * nodes, 3 * nodes);
+        let program = format!(
+            "{}\
+             module tc.\n\
+             export path(ff).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+             end_module.\n",
+            random_edges(&mut rng, "edge", nodes, edges)
+        );
+        batched += differential(&program, "path(X, Y)").0;
+    }
+    assert_engaged(batched, "tc");
+}
+
+#[test]
+fn same_generation_random() {
+    let mut batched = 0u64;
+    for seed in 100..100 + SEEDS {
+        let mut rng = TestRng::new(seed);
+        let nodes = rng.gen_range(10, 16);
+        let edges = rng.gen_range(2 * nodes, 3 * nodes);
+        // Parent edges only point "downward" so sg terminates.
+        let mut facts = String::new();
+        for _ in 0..edges {
+            let a = rng.gen_range(0, nodes - 1);
+            let b = rng.gen_range(a + 1, nodes);
+            let _ = writeln!(facts, "par({a}, {b}).");
+        }
+        let program = format!(
+            "{facts}\
+             module sg.\n\
+             export sg(ff).\n\
+             sg(X, X) :- par(X, _).\n\
+             sg(X, Y) :- par(P, X), sg(P, Q), par(Q, Y).\n\
+             end_module.\n"
+        );
+        batched += differential(&program, "sg(X, Y)").0;
+    }
+    assert_engaged(batched, "sg");
+}
+
+#[test]
+fn mutually_recursive_predicates() {
+    let mut batched = 0u64;
+    for seed in 200..200 + SEEDS {
+        let mut rng = TestRng::new(seed);
+        let nodes = rng.gen_range(8, 14);
+        let program = format!(
+            "{}{}\
+             module mr.\n\
+             export odd(ff).\n\
+             odd(X, Y) :- a(X, Y).\n\
+             odd(X, Y) :- even(X, Z), a(Z, Y).\n\
+             even(X, Y) :- odd(X, Z), b(Z, Y).\n\
+             end_module.\n",
+            random_edges(&mut rng, "a", nodes, 3 * nodes),
+            random_edges(&mut rng, "b", nodes, 3 * nodes),
+        );
+        batched += differential(&program, "odd(X, Y)").0;
+    }
+    assert_engaged(batched, "mutual recursion");
+}
+
+#[test]
+fn negation_and_builtins() {
+    let mut batched = 0u64;
+    for seed in 300..300 + SEEDS {
+        let mut rng = TestRng::new(seed);
+        let nodes = rng.gen_range(10, 16);
+        let facts = format!(
+            "{}{}",
+            random_edges(&mut rng, "edge", nodes, 3 * nodes),
+            random_edges(&mut rng, "blocked", nodes, nodes / 2),
+        );
+        let program = format!(
+            "{facts}\
+             module nb.\n\
+             export path(ff).\n\
+             path(X, Y) :- edge(X, Y), not blocked(X, Y).\n\
+             path(X, Y) :- path(X, Z), edge(Z, Y), not blocked(Z, Y), between(0, 100, X).\n\
+             end_module.\n"
+        );
+        batched += differential(&program, "path(X, Y)").0;
+    }
+    assert_engaged(batched, "negation+builtins");
+}
+
+#[test]
+fn nonground_facts_under_subsumption() {
+    // A non-ground base fact flows through the recursion: its rows land
+    // in the batch's sparse side table and must take the general-unify
+    // fallback, while the ground rows around them stay on the fast
+    // columns. Subsumption outcomes (which ground facts the non-ground
+    // one swallows) must agree across all three modes.
+    let mut batched = 0u64;
+    let mut fallback = 0u64;
+    for seed in 400..400 + SEEDS {
+        let mut rng = TestRng::new(seed);
+        let nodes = 12;
+        let mut facts = random_edges(&mut rng, "edge", nodes, 3 * nodes);
+        let hub = rng.gen_range(0, nodes);
+        let _ = writeln!(facts, "edge({hub}, W).");
+        let program = format!(
+            "{facts}\
+             module ng.\n\
+             export reach(ff).\n\
+             reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- reach(X, Z), edge(Z, Y).\n\
+             end_module.\n"
+        );
+        let (b, f) = differential(&program, "reach(X, Y)");
+        batched += b;
+        fallback += f;
+    }
+    assert_engaged(batched, "nonground");
+    if coral_core::profile::AVAILABLE {
+        assert!(
+            fallback > 0,
+            "nonground: side-table rows never took the unify fallback — \
+             the sparse boundary went untested"
+        );
+    }
+}
+
+#[test]
+fn columnar_flag_survives_reconfiguration() {
+    // `set_columnar` mid-session must not corrupt state, and flipping it
+    // between queries must not change answers.
+    let s = Session::new();
+    s.set_columnar(true);
+    assert!(s.columnar());
+    s.consult_str(
+        "edge(1, 2). edge(2, 3).\n\
+         module t. export p(ff).\n\
+         p(X, Y) :- edge(X, Y).\n\
+         p(X, Y) :- p(X, Z), edge(Z, Y).\n\
+         end_module.",
+    )
+    .unwrap();
+    let collect = |s: &Session| {
+        let mut v: Vec<String> = s
+            .query_all("p(X, Y)")
+            .unwrap()
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        v.sort();
+        v
+    };
+    let on = collect(&s);
+    s.set_columnar(false);
+    assert!(!s.columnar());
+    let off = collect(&s);
+    s.set_columnar(true);
+    let on_again = collect(&s);
+    assert_eq!(on, off);
+    assert_eq!(on, on_again);
+    assert_eq!(on, vec!["X = 1, Y = 2", "X = 1, Y = 3", "X = 2, Y = 3"]);
+}

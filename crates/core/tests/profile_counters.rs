@@ -31,6 +31,10 @@ fn profile_annotation_collects_four_layers() {
         return;
     }
     let s = Session::new();
+    // Legacy tuple-at-a-time joins: the columnar fast path decides
+    // all-ground workloads like this one without ever calling the
+    // unifier, which would leave the term-layer counters at zero.
+    s.set_columnar(false);
     s.consult_str(&TC_PROGRAM.replace("module tc.", "module tc.\n@profile."))
         .unwrap();
     assert!(!s.profiling(), "@profile must not need the session flag");

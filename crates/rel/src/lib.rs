@@ -19,6 +19,7 @@
 //!   indices and an order-preserving field encoding ([`encoding`]);
 //! * [`Database`] — the catalog mapping predicate names to relations.
 
+pub mod columnar;
 pub mod database;
 pub mod encoding;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod persistent;
 pub mod profile;
 pub mod relation;
 
+pub use columnar::{ColVal, ColumnarBatch, RowRef};
 pub use database::Database;
 pub use error::{RelError, RelResult};
 pub use hash_rel::{AggSelKind, AggregateSelection, HashRelation, Mark, RelSnapshot};

@@ -247,6 +247,18 @@ impl Term {
         }
     }
 
+    /// True iff the term is a ground *primitive* constant — an integer,
+    /// double, interned string or bignum. These are the term shapes a
+    /// columnar batch can store flat (one enum tag plus a machine word);
+    /// variables, functor terms and ADT values go to the batch's sparse
+    /// side-table. O(1) by construction: no recursion, no cache probe.
+    pub fn is_ground_primitive(&self) -> bool {
+        matches!(
+            self,
+            Term::Int(_) | Term::Double(_) | Term::Str(_) | Term::Big(_)
+        )
+    }
+
     /// Collect the distinct variables occurring in the term, in first
     /// occurrence order.
     pub fn collect_vars(&self, out: &mut Vec<VarId>) {
