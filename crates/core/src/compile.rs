@@ -202,7 +202,7 @@ fn classify_body(
 /// change `i`'s bindings — the latest earlier element sharing a variable
 /// with `i`. Elements between are skipped ("intelligent backtracking",
 /// §4.2).
-fn backtrack_points(body: &[BodyElem]) -> Vec<Option<usize>> {
+pub(crate) fn backtrack_points(body: &[BodyElem]) -> Vec<Option<usize>> {
     let var_sets: Vec<HashSet<VarId>> = body
         .iter()
         .map(|e| e.vars().into_iter().collect())
@@ -216,7 +216,7 @@ fn backtrack_points(body: &[BodyElem]) -> Vec<Option<usize>> {
         .collect()
 }
 
-fn versions_for(body: &[BodyElem]) -> Vec<SnVersion> {
+pub(crate) fn versions_for(body: &[BodyElem]) -> Vec<SnVersion> {
     let rec_positions: Vec<usize> = body
         .iter()
         .enumerate()

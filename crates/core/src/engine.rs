@@ -16,6 +16,7 @@ use crate::budget::{Budget, BudgetUsage, Governor};
 use crate::compile::CompiledModule;
 use crate::error::{EvalError, EvalResult};
 use crate::join::ExternalResolver;
+use crate::planner::StatsSource;
 use crate::rewrite::rewrite_module;
 use crate::scan::{scan_to_iter, AnswerScan, IterScan, VecScan};
 use crate::seminaive::{FixpointState, LocalSetup, Strategy};
@@ -79,6 +80,9 @@ pub struct ModuleControls {
     pub fixpoint: FixpointKind,
     /// Rewriting technique.
     pub rewrite: RewriteKind,
+    /// `rewrite` came from an explicit `@rewrite` annotation (the
+    /// cost-based optimizer only second-guesses the default).
+    pub rewrite_explicit: bool,
     /// Return answers at iteration boundaries (§5.4.3).
     pub lazy: bool,
     /// Retain state between calls (§5.4.2).
@@ -102,6 +106,7 @@ impl Default for ModuleControls {
             pipelined: false,
             fixpoint: FixpointKind::Bsn,
             rewrite: RewriteKind::SupplementaryMagic,
+            rewrite_explicit: false,
             lazy: false,
             save: false,
             ordered: false,
@@ -145,6 +150,9 @@ struct EngineInner {
     /// Columnar join fast path (seeded from `CORAL_COLUMNAR`,
     /// overridable per engine; off = legacy tuple-at-a-time joins).
     columnar: Cell<bool>,
+    /// Statistics-driven cost-based planning (seeded from `CORAL_STATS`,
+    /// overridable per engine; off = the static left-to-right heuristic).
+    stats: Cell<bool>,
     /// Profile of the most recently completed profiled call.
     last_profile: RefCell<Option<crate::profile::EngineProfile>>,
     /// Cooperative cancellation flag (shared with [`CancelToken`]s).
@@ -181,6 +189,7 @@ impl Engine {
                 profiling: Cell::new(false),
                 threads: Cell::new(crate::parallel::resolve_threads(None)),
                 columnar: Cell::new(crate::seminaive::resolve_columnar(None)),
+                stats: Cell::new(crate::seminaive::resolve_stats(None)),
                 last_profile: RefCell::new(None),
                 cancel: Arc::new(AtomicBool::new(false)),
                 budget: Cell::new(Budget::from_env(Budget::unlimited())),
@@ -299,6 +308,46 @@ impl Engine {
         self.inner.columnar.get()
     }
 
+    /// Enable or disable statistics-driven cost-based planning (seeded
+    /// from `CORAL_STATS`; off = the static left-to-right heuristic).
+    /// Compiled plans depend on the flag, so flipping it invalidates
+    /// every module's plan cache.
+    pub fn set_stats(&self, on: bool) {
+        if self.inner.stats.get() != on {
+            self.inner.stats.set(on);
+            self.invalidate_plans();
+        }
+    }
+
+    /// Whether statistics-driven cost-based planning is on.
+    pub fn stats_enabled(&self) -> bool {
+        self.inner.stats.get()
+    }
+
+    /// Refresh statistics for every base relation with a full scan
+    /// (the `ANALYZE` operation) and invalidate cached plans so the
+    /// next call is costed against the fresh numbers. Returns the
+    /// number of relations analyzed.
+    pub fn analyze(&self) -> EvalResult<usize> {
+        let mut n = 0;
+        for (name, arity) in self.inner.db.list() {
+            if let Some(rel) = self.inner.db.get(name, arity) {
+                rel.analyze()?;
+                n += 1;
+            }
+        }
+        self.invalidate_plans();
+        Ok(n)
+    }
+
+    /// Drop every module's compiled-plan cache (plans embed join orders
+    /// chosen from statistics that may have changed).
+    fn invalidate_plans(&self) {
+        for mdef in self.inner.modules.borrow().iter() {
+            mdef.compiled.borrow_mut().clear();
+        }
+    }
+
     /// Whether the engine-level runtime profiling flag is on.
     pub fn profiling(&self) -> bool {
         self.inner.profiling.get()
@@ -351,7 +400,10 @@ impl Engine {
                 Annotation::Pipelining => controls.pipelined = true,
                 Annotation::Materialize => controls.pipelined = false,
                 Annotation::Fixpoint(k) => controls.fixpoint = *k,
-                Annotation::Rewrite(k) => controls.rewrite = *k,
+                Annotation::Rewrite(k) => {
+                    controls.rewrite = *k;
+                    controls.rewrite_explicit = true;
+                }
                 Annotation::OrderedSearch => controls.ordered = true,
                 Annotation::SaveModule => controls.save = true,
                 Annotation::Lazy => controls.lazy = true,
@@ -528,8 +580,9 @@ impl Engine {
             reorder_joins: mdef.controls.reorder_joins,
         };
         let compiled = crate::compile::compile_with(rewritten, opts, &[]);
-        let cm = match compiled {
-            Ok(cm) => Rc::new(cm),
+        let mut retreated = false;
+        let mut cm = match compiled {
+            Ok(cm) => cm,
             Err(EvalError::Unstratified(_)) if !mdef.controls.ordered => {
                 // Magic rewriting can entangle an aggregate/negation
                 // stratum with the magic predicates of its consumers,
@@ -553,17 +606,54 @@ impl Engine {
                     &protected,
                     dontcare,
                 );
-                Rc::new(crate::compile::compile_with(
+                retreated = true;
+                crate::compile::compile_with(
                     rw2,
                     crate::compile::CompileOptions {
                         ordered_search: false,
                         ..opts
                     },
                     &[],
-                )?)
+                )?
             }
             Err(e) => return Err(e),
         };
+        if self.stats_enabled() && !mdef.controls.ordered {
+            let src = DbStats { db: &self.inner.db };
+            // Strategy selection: the default rewriting is a guess, so
+            // cost the factoring alternative and keep whichever module
+            // plans cheaper (ties keep supplementary magic; factoring
+            // falls back to it internally when the program's shape does
+            // not factor, making this a no-op there). An explicit
+            // `@rewrite` annotation is respected as written.
+            if !retreated
+                && !mdef.controls.rewrite_explicit
+                && matches!(mdef.controls.rewrite, RewriteKind::SupplementaryMagic)
+            {
+                let rw_fact = rewrite_module(
+                    &mdef.ast,
+                    pred,
+                    adornment,
+                    RewriteKind::Factoring,
+                    &protected,
+                    dontcare,
+                );
+                if let Ok(cm_fact) = crate::compile::compile_with(rw_fact, opts, &[]) {
+                    if crate::planner::module_cost(&cm_fact, &src)
+                        < crate::planner::module_cost(&cm, &src)
+                    {
+                        cm = cm_fact;
+                    }
+                }
+            }
+            crate::planner::plan_module(
+                &mut cm,
+                &src,
+                opts.intelligent_backtracking,
+                opts.auto_index,
+            );
+        }
+        let cm = Rc::new(cm);
         mdef.compiled.borrow_mut().insert(key, Rc::clone(&cm));
         Ok(cm)
     }
@@ -733,7 +823,8 @@ impl Engine {
         let mut state = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
             .with_strategy(Strategy::from(mdef.controls.fixpoint))
             .with_threads(self.threads())
-            .with_columnar(self.columnar());
+            .with_columnar(self.columnar())
+            .with_stats(self.stats_enabled());
         state.seed(pattern)?;
         if mdef.controls.lazy {
             return Ok(Box::new(crate::save_module::LazyScan::new(
@@ -956,6 +1047,10 @@ impl ExternalResolver for Engine {
         )))
     }
 
+    fn pred_stats(&self, pred: &PredRef) -> Option<crate::planner::PredStats> {
+        DbStats { db: &self.inner.db }.pred_stats(pred)
+    }
+
     fn parallel_source(&self, lit: &Literal) -> Option<crate::parallel::ParallelSource> {
         use crate::parallel::ParallelSource;
         let pred = lit.pred_ref();
@@ -977,6 +1072,21 @@ impl ExternalResolver for Engine {
 
 fn rel_as_hash(rel: &Rc<dyn Relation>) -> Option<&HashRelation> {
     rel.as_any().downcast_ref::<HashRelation>()
+}
+
+/// Planner statistics source over the engine's base-relation catalog.
+/// Derived predicates and relations without maintained statistics
+/// resolve to `None` (the planner's no-information default).
+struct DbStats<'a> {
+    db: &'a Database,
+}
+
+impl crate::planner::StatsSource for DbStats<'_> {
+    fn pred_stats(&self, pred: &PredRef) -> Option<crate::planner::PredStats> {
+        let rel = self.db.get(pred.name, pred.arity)?;
+        rel.stats()
+            .map(|s| crate::planner::PredStats::from_rel_stats(&s))
+    }
 }
 
 fn convert_aggsel(ann: &Annotation) -> EvalResult<(PredRef, AggregateSelection)> {

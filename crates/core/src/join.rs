@@ -109,6 +109,14 @@ pub trait ExternalResolver {
         let _ = lit;
         None
     }
+
+    /// Planner statistics for an external predicate (base relations in
+    /// the engine's catalog). `None` (the default) means unknown — the
+    /// planner assumes [`crate::planner::PredStats::unknown`].
+    fn pred_stats(&self, pred: &PredRef) -> Option<crate::planner::PredStats> {
+        let _ = pred;
+        None
+    }
 }
 
 /// Per-predicate delta boundaries for the current iteration:

@@ -49,6 +49,7 @@ pub mod join;
 pub mod ordered_search;
 pub mod parallel;
 pub mod pipeline;
+pub mod planner;
 pub mod profile;
 pub mod rewrite;
 pub mod save_module;

@@ -48,6 +48,13 @@ pub struct Counters {
     /// Individual column compare/bind operations performed by the
     /// columnar fast path.
     pub vectorized_probes: u64,
+    /// Rules whose candidate join orders the cost-based planner costed.
+    pub plan_costed: u64,
+    /// Rules the planner reordered away from source order.
+    pub plan_reordered: u64,
+    /// Mid-fixpoint replans (observed delta sizes overrode the
+    /// compile-time order between iterations).
+    pub plan_replans: u64,
 }
 
 impl Counters {
@@ -60,6 +67,9 @@ impl Counters {
         batched_rows: 0,
         fallback_rows: 0,
         vectorized_probes: 0,
+        plan_costed: 0,
+        plan_reordered: 0,
+        plan_replans: 0,
     };
 }
 
@@ -76,6 +86,9 @@ pub fn add(d: Counters) {
         c.batched_rows += d.batched_rows;
         c.fallback_rows += d.fallback_rows;
         c.vectorized_probes += d.vectorized_probes;
+        c.plan_costed += d.plan_costed;
+        c.plan_reordered += d.plan_reordered;
+        c.plan_replans += d.plan_replans;
     });
 }
 
@@ -169,6 +182,21 @@ pub struct ColumnarStats {
     pub vectorized_probes: u64,
 }
 
+/// Cost-based-planner statistics for the profiled call (all zero when
+/// planning is off, e.g. `CORAL_STATS=0`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Rules whose candidate join orders were costed.
+    pub costed: u64,
+    /// Rules reordered away from source order.
+    pub reordered: u64,
+    /// Mid-fixpoint replans driven by observed delta cardinalities.
+    pub replans: u64,
+    /// Human-readable notes on the chosen orders (`compile: …`,
+    /// `replan: …`), in the order the decisions were made.
+    pub orders: Vec<String>,
+}
+
 /// Resource-governor accounting for the profiled call: per-resource
 /// usage against the armed [`crate::Budget`] limits. `armed` is false
 /// (and everything zero) when the call ran without a budget.
@@ -225,6 +253,8 @@ pub struct EngineProfile {
     pub budget: BudgetStats,
     /// Columnar-path statistics (all zeros on the legacy path).
     pub columnar: ColumnarStats,
+    /// Cost-based-planner statistics (all zeros with planning off).
+    pub planner: PlannerStats,
     /// Per-SCC fixpoint sections, in evaluation order.
     pub sccs: Vec<SccSection>,
 }
@@ -249,6 +279,8 @@ mod imp {
         // Collector is live.
         static SECTIONS: RefCell<Option<Vec<(u64, usize, SccSection)>>> =
             const { RefCell::new(None) };
+        // Planner order notes gathered while a Collector is live.
+        static PLAN_NOTES: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
     }
 
     #[inline]
@@ -313,6 +345,18 @@ mod imp {
         })
     }
 
+    /// Record one planner order note (kept only while a Collector is
+    /// gathering sections on this thread).
+    pub(crate) fn plan_note(note: &str) {
+        if collecting() {
+            PLAN_NOTES.with(|n| n.borrow_mut().push(note.to_string()));
+        }
+    }
+
+    pub(super) fn take_plan_notes() -> Vec<String> {
+        PLAN_NOTES.with(|n| std::mem::take(&mut *n.borrow_mut()))
+    }
+
     pub(crate) fn with_section(state: u64, scc: usize, f: impl FnOnce(&mut SccSection)) {
         SECTIONS.with(|s| {
             let mut b = s.borrow_mut();
@@ -341,7 +385,7 @@ mod imp {
 }
 
 #[cfg(feature = "profile")]
-pub(crate) use imp::{bump, with_section};
+pub(crate) use imp::{bump, plan_note, with_section};
 #[cfg(feature = "profile")]
 pub use imp::{collecting, enabled, new_state_id, reset, set_enabled, snapshot};
 
@@ -382,11 +426,18 @@ mod imp_off {
     }
 
     #[inline(always)]
+    pub(crate) fn plan_note(_note: &str) {}
+
+    pub(super) fn take_plan_notes() -> Vec<String> {
+        Vec::new()
+    }
+
+    #[inline(always)]
     pub(crate) fn with_section(_state: u64, _scc: usize, _f: impl FnOnce(&mut SccSection)) {}
 }
 
 #[cfg(not(feature = "profile"))]
-pub(crate) use imp_off::{bump, with_section};
+pub(crate) use imp_off::{bump, plan_note, with_section};
 #[cfg(not(feature = "profile"))]
 pub use imp_off::{collecting, enabled, new_state_id, reset, set_enabled, snapshot};
 
@@ -453,6 +504,9 @@ fn flatten_totals(t: &LayerTotals) -> Vec<(String, u64)> {
         ("core.batched_rows".into(), t.core.batched_rows),
         ("core.fallback_rows".into(), t.core.fallback_rows),
         ("core.vectorized_probes".into(), t.core.vectorized_probes),
+        ("core.plan_costed".into(), t.core.plan_costed),
+        ("core.plan_reordered".into(), t.core.plan_reordered),
+        ("core.plan_replans".into(), t.core.plan_replans),
     ]
 }
 
@@ -486,6 +540,9 @@ fn diff_totals(before: &LayerTotals, after: &LayerTotals) -> LayerTotals {
             batched_rows: d(after.core.batched_rows, before.core.batched_rows),
             fallback_rows: d(after.core.fallback_rows, before.core.fallback_rows),
             vectorized_probes: d(after.core.vectorized_probes, before.core.vectorized_probes),
+            plan_costed: d(after.core.plan_costed, before.core.plan_costed),
+            plan_reordered: d(after.core.plan_reordered, before.core.plan_reordered),
+            plan_replans: d(after.core.plan_replans, before.core.plan_replans),
         },
     }
 }
@@ -537,6 +594,12 @@ impl Collector {
             fallback_rows: totals.core.fallback_rows,
             vectorized_probes: totals.core.vectorized_probes,
         };
+        let planner = PlannerStats {
+            costed: totals.core.plan_costed,
+            reordered: totals.core.plan_reordered,
+            replans: totals.core.plan_replans,
+            orders: imp_take_plan_notes(),
+        };
         EngineProfile {
             query,
             wall_ns,
@@ -544,6 +607,7 @@ impl Collector {
             totals,
             budget: BudgetStats::default(),
             columnar,
+            planner,
             sccs,
         }
     }
@@ -555,6 +619,7 @@ impl Drop for Collector {
             // Abandoned (an evaluation error): discard sections, restore
             // the flag.
             let _ = imp_take_sections();
+            let _ = imp_take_plan_notes();
             if !self.prior_enabled {
                 set_profiling(false);
             }
@@ -570,6 +635,10 @@ fn imp_begin_sections() -> bool {
 fn imp_take_sections() -> Vec<SccSection> {
     imp::take_sections()
 }
+#[cfg(feature = "profile")]
+fn imp_take_plan_notes() -> Vec<String> {
+    imp::take_plan_notes()
+}
 #[cfg(not(feature = "profile"))]
 fn imp_begin_sections() -> bool {
     imp_off::begin_sections()
@@ -577,6 +646,10 @@ fn imp_begin_sections() -> bool {
 #[cfg(not(feature = "profile"))]
 fn imp_take_sections() -> Vec<SccSection> {
     imp_off::take_sections()
+}
+#[cfg(not(feature = "profile"))]
+fn imp_take_plan_notes() -> Vec<String> {
+    imp_off::take_plan_notes()
 }
 
 // ---------------------------------------------------------------------
@@ -720,6 +793,17 @@ impl EngineProfile {
                 cs.batched_rows, cs.fallback_rows, cs.vectorized_probes
             );
         }
+        let ps = &self.planner;
+        if ps.costed > 0 || ps.reordered > 0 || ps.replans > 0 {
+            let _ = writeln!(
+                s,
+                "  planner: {} rules costed, {} reordered, {} replans",
+                ps.costed, ps.reordered, ps.replans
+            );
+            for o in &ps.orders {
+                let _ = writeln!(s, "    order {o}");
+            }
+        }
         if self.budget.armed {
             let _ = write!(s, "  budget:");
             for (i, name) in BudgetStats::RESOURCES.iter().enumerate() {
@@ -813,6 +897,19 @@ impl EngineProfile {
              \"vectorized_probes\": {}}},",
             cs.batched_rows, cs.fallback_rows, cs.vectorized_probes
         );
+        let ps = &self.planner;
+        let _ = write!(
+            s,
+            "  \"planner\": {{\"costed\": {}, \"reordered\": {}, \"replans\": {}, \"orders\": [",
+            ps.costed, ps.reordered, ps.replans
+        );
+        for (i, o) in ps.orders.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_string(o));
+        }
+        s.push_str("]},\n");
         s.push_str("  \"totals\": {");
         for (i, (k, v)) in flatten_totals(&self.totals).iter().enumerate() {
             if i > 0 {
@@ -928,6 +1025,22 @@ impl EngineProfile {
                 vectorized_probes: json::get_u64(co, "vectorized_probes")?,
             };
         }
+        // Profiles written before cost-based planning existed have no
+        // "planner" key; default to all-zero stats.
+        if let Ok(pv) = json::get(obj, "planner") {
+            let po = pv.as_obj().ok_or("planner: expected an object")?;
+            let mut ps = PlannerStats {
+                costed: json::get_u64(po, "costed")?,
+                reordered: json::get_u64(po, "reordered")?,
+                replans: json::get_u64(po, "replans")?,
+                orders: Vec::new(),
+            };
+            for ov in json::get(po, "orders")?.as_arr().ok_or("orders: array")? {
+                ps.orders
+                    .push(ov.as_str().ok_or("order: expected a string")?.to_string());
+            }
+            p.planner = ps;
+        }
         let totals = json::get(obj, "totals")?
             .as_obj()
             .ok_or("totals: expected an object")?;
@@ -1022,6 +1135,9 @@ fn unflatten_totals(flat: &[(String, u64)]) -> LayerTotals {
             batched_rows: get("core.batched_rows"),
             fallback_rows: get("core.fallback_rows"),
             vectorized_probes: get("core.vectorized_probes"),
+            plan_costed: get("core.plan_costed"),
+            plan_reordered: get("core.plan_reordered"),
+            plan_replans: get("core.plan_replans"),
         },
     }
 }
@@ -1322,6 +1438,9 @@ mod tests {
                     batched_rows: 150,
                     fallback_rows: 7,
                     vectorized_probes: 310,
+                    plan_costed: 6,
+                    plan_reordered: 2,
+                    plan_replans: 1,
                 },
             },
             budget: BudgetStats {
@@ -1333,6 +1452,15 @@ mod tests {
                 batched_rows: 150,
                 fallback_rows: 7,
                 vectorized_probes: 310,
+            },
+            planner: PlannerStats {
+                costed: 6,
+                reordered: 2,
+                replans: 1,
+                orders: vec![
+                    "compile: p/2 :- sel/2, big/2".into(),
+                    "replan: path_bf/2 :- path_bf/2, edge/2".into(),
+                ],
             },
             sccs: vec![SccSection {
                 scc: 0,
@@ -1522,6 +1650,72 @@ mod tests {
             .join("\n");
         let back = EngineProfile::from_json(&j).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn planner_section_json_shape() {
+        // Golden shape: the planner object carries exactly these keys,
+        // on its own line, even when all zero.
+        let j = sample().to_json();
+        assert!(
+            j.contains(
+                "\"planner\": {\"costed\": 6, \"reordered\": 2, \"replans\": 1, \"orders\": ["
+            ),
+            "{j}"
+        );
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back.planner, sample().planner);
+        // The per-layer counter names round-trip through totals too.
+        for key in [
+            "\"core.plan_costed\": 6",
+            "\"core.plan_reordered\": 2",
+            "\"core.plan_replans\": 1",
+        ] {
+            assert!(j.contains(key), "json missing {key:?}:\n{j}");
+        }
+        // All-zero planner still emits the section object.
+        let mut p = sample();
+        p.planner = PlannerStats::default();
+        assert!(
+            p.to_json().contains(
+                "\"planner\": {\"costed\": 0, \"reordered\": 0, \"replans\": 0, \"orders\": []}"
+            ),
+            "{}",
+            p.to_json()
+        );
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_planner_key() {
+        // A pre-planner profile (no "planner" key) still parses, with
+        // all-zero stats.
+        let mut p = sample();
+        p.planner = PlannerStats::default();
+        p.totals.core.plan_costed = 0;
+        p.totals.core.plan_reordered = 0;
+        p.totals.core.plan_replans = 0;
+        let j = p
+            .to_json()
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"planner\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn render_shows_planner_line() {
+        let r = sample().render();
+        assert!(
+            r.contains("planner: 6 rules costed, 2 reordered, 1 replans"),
+            "{r}"
+        );
+        assert!(r.contains("order compile: p/2 :- sel/2, big/2"), "{r}");
+        // A planning-off profile renders no planner line at all.
+        let mut p = sample();
+        p.planner = PlannerStats::default();
+        assert!(!p.render().contains("planner:"), "{}", p.render());
     }
 
     #[test]

@@ -112,7 +112,26 @@ pub struct FixpointState {
     /// Whether joins run the columnar batch fast path (the legacy
     /// tuple-at-a-time escape hatch is `CORAL_COLUMNAR=0`).
     columnar: bool,
+    /// Whether the adaptive planner re-costs delta rule orders between
+    /// fixpoint iterations (`CORAL_STATS=0` disables).
+    stats_on: bool,
+    /// Adaptive plan overrides, keyed by (SCC, rule index, version
+    /// index): a reordered copy of the rule plus the remapped delta
+    /// version, installed by [`FixpointState::maybe_replan`] when the
+    /// observed delta cardinalities make a different join order cheaper.
+    overrides: HashMap<(usize, usize, usize), Rc<PlannedVersion>>,
     envs: EnvSet,
+}
+
+/// One adaptive plan override: a rule with its body reordered for the
+/// observed statistics, and the matching semi-naive version (the delta
+/// literal's new position).
+struct PlannedVersion {
+    rule: CompiledRule,
+    version: SnVersion,
+    /// The permutation that produced `rule` (`perm[new] = old`), kept to
+    /// detect when a re-cost converges on the same order.
+    perm: Vec<usize>,
 }
 
 /// Resolve a columnar-evaluation request: explicit value, else the
@@ -121,6 +140,20 @@ pub struct FixpointState {
 /// baseline and an escape hatch, not as a supported configuration.
 pub fn resolve_columnar(explicit: Option<bool>) -> bool {
     explicit.unwrap_or_else(|| match std::env::var("CORAL_COLUMNAR") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    })
+}
+
+/// Resolve a statistics/cost-based-planning request: explicit value,
+/// else the `CORAL_STATS` environment variable (`0`/`false`/`off`
+/// disable), else on. With statistics off the engine keeps the legacy
+/// static join-order heuristic and never replans mid-fixpoint.
+pub fn resolve_stats(explicit: Option<bool>) -> bool {
+    explicit.unwrap_or_else(|| match std::env::var("CORAL_STATS") {
         Ok(v) => !matches!(
             v.trim().to_ascii_lowercase().as_str(),
             "0" | "false" | "off"
@@ -183,6 +216,8 @@ impl FixpointState {
             profile_id: crate::profile::new_state_id(),
             threads: 1,
             columnar: resolve_columnar(None),
+            stats_on: resolve_stats(None),
+            overrides: HashMap::new(),
             envs: EnvSet::new(),
         })
     }
@@ -205,6 +240,13 @@ impl FixpointState {
     /// [`resolve_columnar`]`(None)`).
     pub fn with_columnar(mut self, columnar: bool) -> FixpointState {
         self.columnar = columnar;
+        self
+    }
+
+    /// Enable or disable adaptive re-costing between fixpoint
+    /// iterations (defaults to [`resolve_stats`]`(None)`).
+    pub fn with_stats(mut self, stats_on: bool) -> FixpointState {
+        self.stats_on = stats_on;
         self
     }
 
@@ -337,6 +379,14 @@ impl FixpointState {
         self.refresh_marks(scc_idx, scc);
         while self.has_work(scc_idx, scc) {
             self.iterate_once(scc_idx, scc, external)?;
+            // Adaptive re-costing (iteration boundary only, so serial,
+            // parallel and columnar runs see identical plans): compare
+            // the observed delta cardinalities against the live relation
+            // statistics and reorder next iteration's delta joins when a
+            // cheaper order emerges.
+            if self.stats_on && scc.recursive && self.strategy != Strategy::Naive {
+                self.maybe_replan(scc_idx, scc, external);
+            }
         }
         if !self.agg_done[scc_idx] {
             self.eval_aggregates(scc_idx, scc, external)?;
@@ -385,13 +435,25 @@ impl FixpointState {
         naive: bool,
     ) -> EvalResult<()> {
         for &ri in rule_indices {
-            let rule = &scc.rules[ri];
+            let base = &scc.rules[ri];
             let versions: Vec<SnVersion> = if naive {
                 vec![SnVersion { delta_idx: None }]
             } else {
-                rule.versions.clone()
+                base.versions.clone()
             };
-            for version in versions {
+            for (vi, version) in versions.into_iter().enumerate() {
+                // Adaptive override: a reordered rule body (with the
+                // delta literal's position remapped) installed between
+                // iterations by `maybe_replan`.
+                let planned: Option<Rc<PlannedVersion>> = if naive {
+                    None
+                } else {
+                    self.overrides.get(&(scc_idx, ri, vi)).cloned()
+                };
+                let (rule, version) = match planned.as_deref() {
+                    Some(p) => (&p.rule, p.version),
+                    None => (base, version),
+                };
                 if external.cancelled() {
                     return Err(EvalError::Cancelled);
                 }
@@ -743,6 +805,105 @@ impl FixpointState {
                 self.stats.facts_derived += derived;
                 self.stats.solutions += solutions;
                 Err(e)
+            }
+        }
+    }
+
+    /// Re-cost every delta rule version of a recursive SCC against the
+    /// *observed* statistics: the live incremental statistics of the
+    /// local relations plus the actual delta cardinality of the driving
+    /// literal (in place of the compile-time estimates). When the
+    /// cheapest order differs from the one currently in effect, install
+    /// (or retire) a [`PlannedVersion`] override for the next iteration.
+    fn maybe_replan(&mut self, scc_idx: usize, scc: &CompiledScc, external: &dyn ExternalResolver) {
+        use crate::planner::{apply_order, order_body, order_label, PredStats, StatsSource};
+
+        struct LiveStats<'a> {
+            locals: &'a LocalRels,
+            local_preds: &'a [PredRef],
+            external: &'a dyn ExternalResolver,
+        }
+        impl StatsSource for LiveStats<'_> {
+            fn pred_stats(&self, pred: &PredRef) -> Option<PredStats> {
+                if self.local_preds.contains(pred) {
+                    Some(PredStats::from_rel_stats(
+                        &self.locals.require(*pred).stats()?,
+                    ))
+                } else {
+                    self.external.pred_stats(pred)
+                }
+            }
+        }
+        let chronological = |n: usize| {
+            (0..n)
+                .map(|i| i.checked_sub(1))
+                .collect::<Vec<Option<usize>>>()
+        };
+        let mut updates: Vec<((usize, usize, usize), Option<PlannedVersion>)> = Vec::new();
+        {
+            let src = LiveStats {
+                locals: &self.locals,
+                local_preds: &self.cm.local_preds,
+                external,
+            };
+            for (ri, base) in scc.rules.iter().enumerate() {
+                for (vi, version) in base.versions.iter().enumerate() {
+                    let Some(d) = version.delta_idx else { continue };
+                    let BodyElem::Local { lit, .. } = &base.body[d] else {
+                        continue;
+                    };
+                    let p = lit.pred_ref();
+                    let Some(&(prev, cur)) = self.marks.get(&(scc_idx, p)) else {
+                        continue;
+                    };
+                    let observed = self.locals.require(p).len_range(prev, Some(cur)) as f64;
+                    let mut over = HashMap::new();
+                    over.insert(d, observed);
+                    let initial = HashSet::new();
+                    let plan = order_body(&base.body, &initial, &src, &over);
+                    let key = (scc_idx, ri, vi);
+                    let cur_perm = self.overrides.get(&key).map(|p| p.perm.as_slice());
+                    if plan.is_identity() {
+                        // Converged back on the source order: retire any
+                        // override.
+                        if cur_perm.is_some() {
+                            updates.push((key, None));
+                        }
+                    } else if cur_perm != Some(plan.perm.as_slice()) {
+                        // Preserve the compile-time backtracking policy:
+                        // a chronological base vector means intelligent
+                        // backtracking was off.
+                        let ib = base.backtrack != chronological(base.body.len());
+                        let rule = apply_order(base, &plan.perm, ib);
+                        let delta_idx = plan
+                            .perm
+                            .iter()
+                            .position(|&o| o == d)
+                            .expect("delta literal survives permutation");
+                        updates.push((
+                            key,
+                            Some(PlannedVersion {
+                                rule,
+                                version: SnVersion {
+                                    delta_idx: Some(delta_idx),
+                                },
+                                perm: plan.perm,
+                            }),
+                        ));
+                    }
+                }
+            }
+        }
+        for (key, pv) in updates {
+            crate::profile::bump(|c| c.plan_replans += 1);
+            match pv {
+                Some(pv) => {
+                    crate::profile::plan_note(&format!("replan: {}", order_label(&pv.rule)));
+                    self.overrides.insert(key, Rc::new(pv));
+                }
+                None => {
+                    self.overrides.remove(&key);
+                }
             }
         }
     }

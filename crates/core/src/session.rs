@@ -205,6 +205,25 @@ impl Session {
         self.engine.columnar()
     }
 
+    /// Enable or disable statistics-driven cost-based join planning
+    /// (seeded from `CORAL_STATS`; off = the static left-to-right
+    /// heuristic). Flipping the flag invalidates cached plans.
+    pub fn set_stats(&self, on: bool) {
+        self.engine.set_stats(on);
+    }
+
+    /// Whether statistics-driven cost-based planning is on.
+    pub fn stats_enabled(&self) -> bool {
+        self.engine.stats_enabled()
+    }
+
+    /// Refresh statistics for every base relation with a full scan and
+    /// invalidate cached plans (the `:analyze` REPL command). Returns
+    /// the number of relations analyzed.
+    pub fn analyze(&self) -> crate::EvalResult<usize> {
+        self.engine.analyze()
+    }
+
     /// Set the resource budget armed for each subsequent top-level
     /// query ([`crate::Budget::unlimited`] turns the governor off;
     /// seeded from the `CORAL_BUDGET_*` environment variables).

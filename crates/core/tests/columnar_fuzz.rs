@@ -11,13 +11,15 @@
 //! nothing, so (when the `profile` feature is compiled in) each family
 //! requires `batched_rows > 0` across its seeds, and the legacy runs
 //! must leave every columnar counter at zero.
+//!
+//! The program generators live in `common/families.rs`, shared with the
+//! planner differential suite.
+
+#[path = "common/families.rs"]
+mod families;
 
 use coral_core::session::Session;
-use coral_term::testutil::TestRng;
-use std::fmt::Write as _;
-
-/// Seeds per program family (the suite's lock-down breadth).
-const SEEDS: u64 = 20;
+use families::{Case, FAMILIES, SEEDS};
 
 /// Consult `program`, run `query`, and return sorted answers (not
 /// deduplicated) plus the profile's `(batched_rows, fallback_rows)`.
@@ -68,16 +70,6 @@ fn differential(program: &str, query: &str) -> (u64, u64) {
     counters
 }
 
-fn random_edges(rng: &mut TestRng, name: &str, nodes: usize, edges: usize) -> String {
-    let mut s = String::new();
-    for _ in 0..edges {
-        let a = rng.gen_range(0, nodes);
-        let b = rng.gen_range(0, nodes);
-        let _ = writeln!(s, "{name}({a}, {b}).");
-    }
-    s
-}
-
 /// Assert a family's accumulated batched-row count is nonzero (only
 /// meaningful with the `profile` feature compiled in).
 fn assert_engaged(batched: u64, family: &str) {
@@ -89,100 +81,44 @@ fn assert_engaged(batched: u64, family: &str) {
     }
 }
 
+/// Run one family across its seed range, returning accumulated
+/// `(batched_rows, fallback_rows)`.
+fn run_family(gen: fn(u64) -> Case, base: u64) -> (u64, u64) {
+    let mut batched = 0u64;
+    let mut fallback = 0u64;
+    for seed in base..base + SEEDS {
+        let case = gen(seed);
+        let (b, f) = differential(&case.program, case.query);
+        batched += b;
+        fallback += f;
+    }
+    (batched, fallback)
+}
+
 #[test]
 fn transitive_closure_random_graphs() {
     // Left-linear recursion: the delta literal sits at body position 0
     // with an all-free pattern, so the open-pattern batch drive engages
     // (not just the per-candidate ground fast path).
-    let mut batched = 0u64;
-    for seed in 1..=SEEDS {
-        let mut rng = TestRng::new(seed);
-        let nodes = rng.gen_range(10, 16);
-        let edges = rng.gen_range(2 * nodes, 3 * nodes);
-        let program = format!(
-            "{}\
-             module tc.\n\
-             export path(ff).\n\
-             path(X, Y) :- edge(X, Y).\n\
-             path(X, Y) :- path(X, Z), edge(Z, Y).\n\
-             end_module.\n",
-            random_edges(&mut rng, "edge", nodes, edges)
-        );
-        batched += differential(&program, "path(X, Y)").0;
-    }
+    let (batched, _) = run_family(families::tc, 1);
     assert_engaged(batched, "tc");
 }
 
 #[test]
 fn same_generation_random() {
-    let mut batched = 0u64;
-    for seed in 100..100 + SEEDS {
-        let mut rng = TestRng::new(seed);
-        let nodes = rng.gen_range(10, 16);
-        let edges = rng.gen_range(2 * nodes, 3 * nodes);
-        // Parent edges only point "downward" so sg terminates.
-        let mut facts = String::new();
-        for _ in 0..edges {
-            let a = rng.gen_range(0, nodes - 1);
-            let b = rng.gen_range(a + 1, nodes);
-            let _ = writeln!(facts, "par({a}, {b}).");
-        }
-        let program = format!(
-            "{facts}\
-             module sg.\n\
-             export sg(ff).\n\
-             sg(X, X) :- par(X, _).\n\
-             sg(X, Y) :- par(P, X), sg(P, Q), par(Q, Y).\n\
-             end_module.\n"
-        );
-        batched += differential(&program, "sg(X, Y)").0;
-    }
+    let (batched, _) = run_family(families::sg, 100);
     assert_engaged(batched, "sg");
 }
 
 #[test]
 fn mutually_recursive_predicates() {
-    let mut batched = 0u64;
-    for seed in 200..200 + SEEDS {
-        let mut rng = TestRng::new(seed);
-        let nodes = rng.gen_range(8, 14);
-        let program = format!(
-            "{}{}\
-             module mr.\n\
-             export odd(ff).\n\
-             odd(X, Y) :- a(X, Y).\n\
-             odd(X, Y) :- even(X, Z), a(Z, Y).\n\
-             even(X, Y) :- odd(X, Z), b(Z, Y).\n\
-             end_module.\n",
-            random_edges(&mut rng, "a", nodes, 3 * nodes),
-            random_edges(&mut rng, "b", nodes, 3 * nodes),
-        );
-        batched += differential(&program, "odd(X, Y)").0;
-    }
+    let (batched, _) = run_family(families::mutual, 200);
     assert_engaged(batched, "mutual recursion");
 }
 
 #[test]
 fn negation_and_builtins() {
-    let mut batched = 0u64;
-    for seed in 300..300 + SEEDS {
-        let mut rng = TestRng::new(seed);
-        let nodes = rng.gen_range(10, 16);
-        let facts = format!(
-            "{}{}",
-            random_edges(&mut rng, "edge", nodes, 3 * nodes),
-            random_edges(&mut rng, "blocked", nodes, nodes / 2),
-        );
-        let program = format!(
-            "{facts}\
-             module nb.\n\
-             export path(ff).\n\
-             path(X, Y) :- edge(X, Y), not blocked(X, Y).\n\
-             path(X, Y) :- path(X, Z), edge(Z, Y), not blocked(Z, Y), between(0, 100, X).\n\
-             end_module.\n"
-        );
-        batched += differential(&program, "path(X, Y)").0;
-    }
+    let (batched, _) = run_family(families::negation, 300);
     assert_engaged(batched, "negation+builtins");
 }
 
@@ -193,26 +129,7 @@ fn nonground_facts_under_subsumption() {
     // fallback, while the ground rows around them stay on the fast
     // columns. Subsumption outcomes (which ground facts the non-ground
     // one swallows) must agree across all three modes.
-    let mut batched = 0u64;
-    let mut fallback = 0u64;
-    for seed in 400..400 + SEEDS {
-        let mut rng = TestRng::new(seed);
-        let nodes = 12;
-        let mut facts = random_edges(&mut rng, "edge", nodes, 3 * nodes);
-        let hub = rng.gen_range(0, nodes);
-        let _ = writeln!(facts, "edge({hub}, W).");
-        let program = format!(
-            "{facts}\
-             module ng.\n\
-             export reach(ff).\n\
-             reach(X, Y) :- edge(X, Y).\n\
-             reach(X, Y) :- reach(X, Z), edge(Z, Y).\n\
-             end_module.\n"
-        );
-        let (b, f) = differential(&program, "reach(X, Y)");
-        batched += b;
-        fallback += f;
-    }
+    let (batched, fallback) = run_family(families::nonground, 400);
     assert_engaged(batched, "nonground");
     if coral_core::profile::AVAILABLE {
         assert!(
@@ -257,4 +174,11 @@ fn columnar_flag_survives_reconfiguration() {
     assert_eq!(on, off);
     assert_eq!(on, on_again);
     assert_eq!(on, vec!["X = 1, Y = 2", "X = 1, Y = 3", "X = 2, Y = 3"]);
+}
+
+// FAMILIES is consumed by the planner suite; reference it here so both
+// suites stay in sync on the family list.
+#[test]
+fn family_registry_is_complete() {
+    assert_eq!(FAMILIES.len(), 5);
 }

@@ -300,6 +300,9 @@ struct Inner {
     aggsels: Vec<AggregateSelection>,
     agg_state: Vec<HashMap<Tuple, AggGroup>>,
     live: usize,
+    /// Planner statistics, maintained incrementally by `insert` /
+    /// `delete_addr` (see coral-stats).
+    stats: coral_stats::RelStats,
 }
 
 /// The in-memory hash relation (§3.2).
@@ -328,6 +331,7 @@ impl HashRelation {
                 aggsels: Vec::new(),
                 agg_state: Vec::new(),
                 live: 0,
+                stats: coral_stats::RelStats::new(arity),
             }),
         }
     }
@@ -463,6 +467,7 @@ impl HashRelation {
         let tuple = sub.tuples[addr.pos as usize].take()?;
         sub.live -= 1;
         inner.live -= 1;
+        inner.stats.on_delete(tuple.args());
         Arc::make_mut(&mut inner.seen).remove(&tuple);
         if !tuple.is_ground() {
             if let Some(i) = inner.nonground.iter().position(|a| *a == addr) {
@@ -830,6 +835,7 @@ impl Relation for HashRelation {
                     addrs: vec![addr],
                 });
         }
+        inner.stats.on_insert(tuple.args());
         let open = Arc::make_mut(&mut inner.subs[sub_idx]);
         open.tuples.push(Some(tuple));
         open.live += 1;
@@ -960,6 +966,21 @@ impl Relation for HashRelation {
             inner.defs.len(),
             inner.dup
         )
+    }
+
+    fn stats(&self) -> Option<coral_stats::RelStats> {
+        Some(self.inner.borrow().stats.clone())
+    }
+
+    fn analyze(&self) -> RelResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        let rows: Vec<Tuple> = inner
+            .subs
+            .iter()
+            .flat_map(|s| s.tuples.iter().filter_map(|t| t.clone()))
+            .collect();
+        inner.stats = coral_stats::RelStats::analyze(self.arity, rows.iter().map(|t| t.args()));
+        Ok(())
     }
 }
 

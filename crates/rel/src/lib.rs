@@ -37,3 +37,5 @@ pub use hash_rel::{AggSelKind, AggregateSelection, HashRelation, Mark, RelSnapsh
 pub use list_rel::ListRelation;
 pub use persistent::PersistentRelation;
 pub use relation::{DupSemantics, IndexSpec, Relation, TupleIter};
+
+pub use coral_stats::RelStats;

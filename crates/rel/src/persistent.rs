@@ -60,6 +60,12 @@ pub struct PersistentRelation {
     primary: BTree,
     indices: RefCell<Vec<SecondaryIndex>>,
     schema: HeapFile,
+    /// Planner statistics (see coral-stats), persisted in their own
+    /// catalog heap file (`<name>.stats`) so they survive reopen. The
+    /// on-disk record is authoritative: every handle re-reads it under
+    /// the relation lock before updating, so concurrent sessions
+    /// compose instead of clobbering each other.
+    stats_file: HeapFile,
     /// Relation-wide readers-writer lock shared (via the storage
     /// server's registry) by every handle open on this relation name,
     /// across threads and sessions. The buffer pool only locks per
@@ -84,6 +90,7 @@ impl PersistentRelation {
         let heap = server.heap(&format!("{name}.data"))?;
         let primary = server.btree(&format!("{name}.pk"))?;
         let schema = server.heap(&format!("{name}.schema"))?;
+        let stats_file = server.heap(&format!("{name}.stats"))?;
         let rel = PersistentRelation {
             name: name.to_string(),
             arity,
@@ -92,6 +99,7 @@ impl PersistentRelation {
             primary,
             indices: RefCell::new(Vec::new()),
             schema,
+            stats_file,
             lock: Arc::clone(&lock),
         };
         // Load or initialize the schema record.
@@ -260,6 +268,55 @@ impl PersistentRelation {
         Ok(problems)
     }
 
+    /// Reassemble the persisted statistics record. Records carry a
+    /// 2-byte sequence prefix because an encoded [`coral_stats::RelStats`]
+    /// can exceed one heap page and heap scan order is not insertion
+    /// order. Missing or undecodable stats yield a fresh zero state.
+    /// Caller holds the relation lock.
+    fn load_stats_locked(&self) -> coral_stats::RelStats {
+        let mut parts: Vec<(u16, Vec<u8>)> = Vec::new();
+        for rec in self.stats_file.scan() {
+            let Ok((_, bytes)) = rec else {
+                return coral_stats::RelStats::new(self.arity);
+            };
+            if bytes.len() < 2 {
+                return coral_stats::RelStats::new(self.arity);
+            }
+            let seq = u16::from_be_bytes(bytes[0..2].try_into().unwrap());
+            parts.push((seq, bytes[2..].to_vec()));
+        }
+        parts.sort_by_key(|(seq, _)| *seq);
+        let joined: Vec<u8> = parts.into_iter().flat_map(|(_, b)| b).collect();
+        coral_stats::RelStats::decode(&joined)
+            .filter(|s| s.arity() == self.arity)
+            .unwrap_or_else(|| coral_stats::RelStats::new(self.arity))
+    }
+
+    /// Rewrite the persisted statistics record. Caller holds the
+    /// relation write lock.
+    fn store_stats_locked(&self, s: &coral_stats::RelStats) -> RelResult<()> {
+        let old: Vec<(RecordId, Vec<u8>)> = self.stats_file.scan().collect::<Result<_, _>>()?;
+        for (rid, _) in old {
+            self.stats_file.delete(rid)?;
+        }
+        // Leave headroom under the 4 KiB page for slot bookkeeping.
+        const CHUNK: usize = 3000;
+        let bytes = s.encode();
+        for (i, chunk) in bytes.chunks(CHUNK).enumerate() {
+            let mut rec = Vec::with_capacity(chunk.len() + 2);
+            rec.extend_from_slice(&(i as u16).to_be_bytes());
+            rec.extend_from_slice(chunk);
+            self.stats_file.insert(&rec)?;
+        }
+        Ok(())
+    }
+
+    fn update_stats_locked(&self, f: impl FnOnce(&mut coral_stats::RelStats)) -> RelResult<()> {
+        let mut s = self.load_stats_locked();
+        f(&mut s);
+        self.store_stats_locked(&s)
+    }
+
     /// Locate a tuple's record id through the primary index.
     fn find_rid(&self, encoded: &[u8]) -> RelResult<Option<RecordId>> {
         let mut scan = self.primary.scan_prefix(encoded)?;
@@ -339,6 +396,7 @@ impl Relation for PersistentRelation {
             key.extend_from_slice(&rid_bytes(rid));
             ix.tree.insert(&key)?;
         }
+        self.update_stats_locked(|s| s.on_insert(tuple.args()))?;
         crate::meter::add_tuples(1);
         Ok(true)
     }
@@ -359,6 +417,7 @@ impl Relation for PersistentRelation {
             key.extend_from_slice(&rid_bytes(rid));
             ix.tree.delete(&key)?;
         }
+        self.update_stats_locked(|s| s.on_delete(tuple.args()))?;
         Ok(true)
     }
 
@@ -481,6 +540,22 @@ impl Relation for PersistentRelation {
             self.indices.borrow().len()
         )
     }
+
+    fn stats(&self) -> Option<coral_stats::RelStats> {
+        let _read = self.lock.read().unwrap();
+        Some(self.load_stats_locked())
+    }
+
+    fn analyze(&self) -> RelResult<()> {
+        let _write = self.lock.write().unwrap();
+        let mut s = coral_stats::RelStats::new(self.arity);
+        for rec in self.heap.scan() {
+            let (_, bytes) = rec?;
+            let tuple = crate::encoding::decode_tuple(&bytes)?;
+            s.on_insert(tuple.args());
+        }
+        self.store_stats_locked(&s)
+    }
 }
 
 #[cfg(test)]
@@ -581,6 +656,42 @@ mod tests {
             assert_eq!(hits, 1);
             // Arity mismatch on reopen is rejected.
             assert!(PersistentRelation::open(&srv, "f", 2).is_err());
+        }
+    }
+
+    #[test]
+    fn stats_maintained_and_survive_reopen() {
+        let d: PathBuf = std::env::temp_dir().join(format!(
+            "coral-persistent-test-{}-stats",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        {
+            let srv = StorageServer::open(&d, 32).unwrap();
+            let r = PersistentRelation::open(&srv, "f", 3).unwrap();
+            for i in 0..30i64 {
+                r.insert(flight(&format!("c{}", i % 5), &format!("d{i}"), i))
+                    .unwrap();
+            }
+            let s = Relation::stats(&r).unwrap();
+            assert_eq!(s.cardinality(), 30);
+            assert_eq!(s.distinct(0), 5);
+            assert_eq!(s.distinct(1), 30);
+            r.delete(&flight("c0", "d0", 0)).unwrap();
+            assert_eq!(Relation::stats(&r).unwrap().cardinality(), 29);
+            srv.checkpoint().unwrap();
+        }
+        {
+            let srv = StorageServer::open(&d, 32).unwrap();
+            let r = PersistentRelation::open(&srv, "f", 3).unwrap();
+            let s = Relation::stats(&r).unwrap();
+            assert_eq!(s.cardinality(), 29, "stats survive reopen");
+            assert_eq!(s.distinct(0), 5);
+            // ANALYZE rebuilds the same values from a full scan.
+            Relation::analyze(&r).unwrap();
+            let s2 = Relation::stats(&r).unwrap();
+            assert_eq!(s2.cardinality(), 29);
+            assert_eq!(s2.distinct(1), 29);
         }
     }
 

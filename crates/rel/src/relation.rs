@@ -98,6 +98,19 @@ pub trait Relation {
     /// A human-readable description of the implementation, for the
     /// interactive interface and EXPLAIN-style output.
     fn describe(&self) -> String;
+
+    /// A snapshot of this relation's maintained statistics, if the
+    /// implementation keeps any (see coral-stats). `None` means the
+    /// planner falls back to [`Relation::len`] alone.
+    fn stats(&self) -> Option<coral_stats::RelStats> {
+        None
+    }
+
+    /// Rebuild statistics from a full scan (the `ANALYZE` pass). A
+    /// no-op for implementations that keep none.
+    fn analyze(&self) -> RelResult<()> {
+        Ok(())
+    }
 }
 
 /// Convenience: wrap an eager tuple vector as a [`TupleIter`].

@@ -1,0 +1,494 @@
+//! coral-stats: per-relation statistics for cost-based planning.
+//!
+//! CORAL's optimizer (§4.2) chooses join orders and rewriting strategy
+//! from static heuristics. This crate supplies the missing signal: per
+//! relation, the exact tuple cardinality plus a per-column
+//! distinct-value estimate, maintained *incrementally* on every
+//! insert/delete and refreshable from a full scan (`ANALYZE`). The
+//! planner in coral-core turns these into selectivities and estimated
+//! intermediate-result sizes.
+//!
+//! Per column the estimator is two-tier:
+//!
+//! * **Exact counters** while the domain is small: a map from value
+//!   hash to live count, capped at [`EXACT_CAP`] distinct values.
+//!   Within the cap, insert/delete maintenance is exactly convergent
+//!   with a fresh `ANALYZE` scan (the property-test oracle relies on
+//!   this).
+//! * **KMV sketch** beyond the cap: the `k` minimum value hashes
+//!   ([`KMV_K`]), the classic k-minimum-values distinct estimator.
+//!   Inserts keep the sketch exact-over-inserts; deletes cannot be
+//!   subtracted from a sketch, so the column is marked stale and the
+//!   estimate becomes an upper bound until the next `ANALYZE`.
+//!
+//! Hashing uses `std::collections::hash_map::DefaultHasher` seeded by
+//! `DefaultHasher::new()`, which is zero-keyed SipHash — deterministic
+//! across processes, so persisted sketches stay meaningful on reopen.
+
+use coral_term::Term;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Maximum distinct values tracked exactly per column before degrading
+/// to the KMV sketch.
+pub const EXACT_CAP: usize = 64;
+
+/// Number of minimum hashes kept by the KMV sketch.
+pub const KMV_K: usize = 64;
+
+fn hash_term(t: &Term) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// K-minimum-values distinct sketch over 64-bit value hashes.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Kmv {
+    /// The up-to-`KMV_K` smallest distinct hashes seen, sorted
+    /// ascending.
+    mins: Vec<u64>,
+}
+
+impl Kmv {
+    fn observe(&mut self, h: u64) {
+        match self.mins.binary_search(&h) {
+            Ok(_) => {}
+            Err(pos) => {
+                if self.mins.len() < KMV_K {
+                    self.mins.insert(pos, h);
+                } else if pos < KMV_K {
+                    self.mins.insert(pos, h);
+                    self.mins.pop();
+                }
+            }
+        }
+    }
+
+    /// Estimated number of distinct values observed.
+    fn estimate(&self) -> u64 {
+        if self.mins.len() < KMV_K {
+            return self.mins.len() as u64;
+        }
+        // distinct ≈ (k − 1) / normalized k-th minimum.
+        let kth = *self.mins.last().unwrap();
+        if kth == 0 {
+            return self.mins.len() as u64;
+        }
+        let frac = (kth as f64) / (u64::MAX as f64);
+        ((KMV_K as f64 - 1.0) / frac).round() as u64
+    }
+}
+
+/// Per-column distinct-value state.
+#[derive(Debug, Clone, PartialEq)]
+struct ColStats {
+    /// Exact live counts per value hash while the domain fits
+    /// [`EXACT_CAP`]; `None` once degraded to sketch-only.
+    exact: Option<HashMap<u64, u64>>,
+    /// Sketch maintained alongside from the start, so degradation
+    /// loses no history.
+    kmv: Kmv,
+    /// Set when a delete hit a sketch-only column: the sketch can only
+    /// overestimate from here until the next `ANALYZE`.
+    stale: bool,
+}
+
+impl ColStats {
+    fn new() -> ColStats {
+        ColStats {
+            exact: Some(HashMap::new()),
+            kmv: Kmv::default(),
+            stale: false,
+        }
+    }
+
+    fn on_insert(&mut self, h: u64) {
+        self.kmv.observe(h);
+        if let Some(exact) = &mut self.exact {
+            *exact.entry(h).or_insert(0) += 1;
+            if exact.len() > EXACT_CAP {
+                self.exact = None;
+            }
+        }
+    }
+
+    fn on_delete(&mut self, h: u64) {
+        match &mut self.exact {
+            Some(exact) => {
+                if let Some(c) = exact.get_mut(&h) {
+                    *c -= 1;
+                    if *c == 0 {
+                        exact.remove(&h);
+                    }
+                }
+            }
+            None => self.stale = true,
+        }
+    }
+
+    fn distinct(&self) -> u64 {
+        match &self.exact {
+            Some(exact) => exact.len() as u64,
+            None => self.kmv.estimate(),
+        }
+    }
+}
+
+/// Incrementally maintained statistics for one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelStats {
+    arity: usize,
+    cardinality: u64,
+    cols: Vec<ColStats>,
+}
+
+impl RelStats {
+    /// Empty statistics for a relation of the given arity.
+    pub fn new(arity: usize) -> RelStats {
+        RelStats {
+            arity,
+            cardinality: 0,
+            cols: (0..arity).map(|_| ColStats::new()).collect(),
+        }
+    }
+
+    /// Build statistics from a full scan (the `ANALYZE` pass).
+    pub fn analyze<'a, I>(arity: usize, rows: I) -> RelStats
+    where
+        I: IntoIterator<Item = &'a [Term]>,
+    {
+        let mut s = RelStats::new(arity);
+        for row in rows {
+            s.on_insert(row);
+        }
+        s
+    }
+
+    /// Arity the statistics were built for.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Record one inserted tuple. Rows shorter than the arity update
+    /// only the columns present (defensive; never happens in coral-rel).
+    pub fn on_insert(&mut self, row: &[Term]) {
+        self.cardinality += 1;
+        for (col, t) in self.cols.iter_mut().zip(row.iter()) {
+            col.on_insert(hash_term(t));
+        }
+    }
+
+    /// Record one deleted tuple. Saturates at zero: statistics never go
+    /// negative even if fed a spurious delete.
+    pub fn on_delete(&mut self, row: &[Term]) {
+        self.cardinality = self.cardinality.saturating_sub(1);
+        for (col, t) in self.cols.iter_mut().zip(row.iter()) {
+            col.on_delete(hash_term(t));
+        }
+    }
+
+    /// Exact live tuple count.
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+
+    /// Estimated distinct values in column `col` (0 when out of range).
+    pub fn distinct(&self, col: usize) -> u64 {
+        let Some(c) = self.cols.get(col) else {
+            return 0;
+        };
+        // A sketch never claims more distinct values than live tuples,
+        // and never fewer than 1 while the relation is non-empty.
+        let d = c.distinct().min(self.cardinality);
+        if self.cardinality > 0 {
+            d.max(1)
+        } else {
+            0
+        }
+    }
+
+    /// True while column `col` still tracks exact counts (the
+    /// incremental-vs-ANALYZE differential oracle applies only then).
+    pub fn is_exact(&self, col: usize) -> bool {
+        self.cols.get(col).is_some_and(|c| c.exact.is_some())
+    }
+
+    /// True when any column's sketch has absorbed a delete it could not
+    /// subtract; `ANALYZE` clears this.
+    pub fn is_stale(&self) -> bool {
+        self.cols.iter().any(|c| c.stale)
+    }
+
+    /// Combined selectivity of an equality probe on `bound_cols`:
+    /// ∏ 1/distinct(c), assuming column independence (System R).
+    /// Returns 1.0 when nothing is bound.
+    pub fn selectivity(&self, bound_cols: &[usize]) -> f64 {
+        let mut s = 1.0;
+        for &c in bound_cols {
+            let d = self.distinct(c);
+            if d > 0 {
+                s /= d as f64;
+            }
+        }
+        s
+    }
+
+    /// Estimated rows produced by an equality probe on `bound_cols`.
+    pub fn estimate_rows(&self, bound_cols: &[usize]) -> f64 {
+        self.cardinality as f64 * self.selectivity(bound_cols)
+    }
+
+    /// Serialize for the storage catalog. Format (all little-endian):
+    /// `[version u8][arity u16][cardinality u64]` then per column
+    /// `[mode u8: 1 exact / 0 sketch][stale u8]`, exact payload
+    /// `[n u16][(hash u64, count u64)]*n`, then sketch payload
+    /// `[n u16][hash u64]*n`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(1u8);
+        out.extend_from_slice(&(self.arity as u16).to_le_bytes());
+        out.extend_from_slice(&self.cardinality.to_le_bytes());
+        for col in &self.cols {
+            match &col.exact {
+                Some(exact) => {
+                    out.push(1);
+                    out.push(col.stale as u8);
+                    out.extend_from_slice(&(exact.len() as u16).to_le_bytes());
+                    // Sort for a canonical encoding (HashMap order is
+                    // not deterministic).
+                    let mut entries: Vec<(u64, u64)> =
+                        exact.iter().map(|(h, c)| (*h, *c)).collect();
+                    entries.sort_unstable();
+                    for (h, c) in entries {
+                        out.extend_from_slice(&h.to_le_bytes());
+                        out.extend_from_slice(&c.to_le_bytes());
+                    }
+                }
+                None => {
+                    out.push(0);
+                    out.push(col.stale as u8);
+                }
+            }
+            out.extend_from_slice(&(col.kmv.mins.len() as u16).to_le_bytes());
+            for h in &col.kmv.mins {
+                out.extend_from_slice(&h.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`encode`](RelStats::encode). `None` on any
+    /// malformed input (wrong version, truncation).
+    pub fn decode(bytes: &[u8]) -> Option<RelStats> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.u8()? != 1 {
+            return None;
+        }
+        let arity = r.u16()? as usize;
+        let cardinality = r.u64()?;
+        let mut cols = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let mode = r.u8()?;
+            let stale = r.u8()? != 0;
+            let exact = if mode == 1 {
+                let n = r.u16()? as usize;
+                let mut m = HashMap::with_capacity(n);
+                for _ in 0..n {
+                    let h = r.u64()?;
+                    let c = r.u64()?;
+                    m.insert(h, c);
+                }
+                Some(m)
+            } else {
+                None
+            };
+            let n = r.u16()? as usize;
+            let mut mins = Vec::with_capacity(n);
+            for _ in 0..n {
+                mins.push(r.u64()?);
+            }
+            if !mins.windows(2).all(|w| w[0] < w[1]) {
+                return None;
+            }
+            cols.push(ColStats {
+                exact,
+                kmv: Kmv { mins },
+                stale,
+            });
+        }
+        if r.pos != bytes.len() {
+            return None;
+        }
+        Some(RelStats {
+            arity,
+            cardinality,
+            cols,
+        })
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_term::Term;
+
+    fn row(vals: &[i64]) -> Vec<Term> {
+        vals.iter().map(|&v| Term::int(v)).collect()
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = RelStats::new(2);
+        assert_eq!(s.cardinality(), 0);
+        assert_eq!(s.distinct(0), 0);
+        assert_eq!(s.selectivity(&[0]), 1.0);
+    }
+
+    #[test]
+    fn insert_delete_exact_roundtrip() {
+        let mut s = RelStats::new(2);
+        for i in 0..10 {
+            s.on_insert(&row(&[i % 3, i]));
+        }
+        assert_eq!(s.cardinality(), 10);
+        assert_eq!(s.distinct(0), 3);
+        assert_eq!(s.distinct(1), 10);
+        for i in 0..10 {
+            s.on_delete(&row(&[i % 3, i]));
+        }
+        assert_eq!(s.cardinality(), 0);
+        assert_eq!(s.distinct(0), 0);
+        assert!(!s.is_stale());
+    }
+
+    #[test]
+    fn degrades_to_sketch_past_cap() {
+        let mut s = RelStats::new(1);
+        for i in 0..(EXACT_CAP as i64 + 10) {
+            s.on_insert(&row(&[i]));
+        }
+        assert!(!s.is_exact(0));
+        let d = s.distinct(0);
+        let n = EXACT_CAP as u64 + 10;
+        // KMV with k=64 over ~74 values: generous tolerance.
+        assert!(d >= n / 2 && d <= n * 2, "distinct {d} for {n} values");
+    }
+
+    #[test]
+    fn sketch_estimate_in_range_large_domain() {
+        let mut s = RelStats::new(1);
+        for i in 0..10_000i64 {
+            s.on_insert(&row(&[i]));
+        }
+        let d = s.distinct(0);
+        assert!(
+            (5_000..=20_000).contains(&d),
+            "KMV estimate {d} far from 10000"
+        );
+    }
+
+    #[test]
+    fn delete_on_sketch_marks_stale_never_negative() {
+        let mut s = RelStats::new(1);
+        for i in 0..200i64 {
+            s.on_insert(&row(&[i]));
+        }
+        for i in 0..200i64 {
+            s.on_delete(&row(&[i]));
+        }
+        assert!(s.is_stale());
+        assert_eq!(s.cardinality(), 0);
+        // Extra deletes saturate.
+        s.on_delete(&row(&[0]));
+        assert_eq!(s.cardinality(), 0);
+    }
+
+    #[test]
+    fn distinct_clamped_by_cardinality() {
+        let mut s = RelStats::new(1);
+        for i in 0..200i64 {
+            s.on_insert(&row(&[i]));
+        }
+        for i in 0..199i64 {
+            s.on_delete(&row(&[i]));
+        }
+        // Sketch still remembers 200 values, but only 1 row lives.
+        assert_eq!(s.distinct(0), 1);
+    }
+
+    #[test]
+    fn selectivity_multiplies_independent_columns() {
+        let mut s = RelStats::new(2);
+        for i in 0..12 {
+            s.on_insert(&row(&[i % 3, i % 4]));
+        }
+        let sel = s.selectivity(&[0, 1]);
+        assert!((sel - 1.0 / 12.0).abs() < 1e-9, "{sel}");
+        let est = s.estimate_rows(&[0]);
+        assert!((est - 4.0).abs() < 1e-9, "{est}");
+    }
+
+    #[test]
+    fn analyze_matches_incremental_in_exact_mode() {
+        let mut inc = RelStats::new(2);
+        let rows: Vec<Vec<Term>> = (0..40).map(|i| row(&[i % 5, i % 7])).collect();
+        for r in &rows {
+            inc.on_insert(r);
+        }
+        let scan = RelStats::analyze(2, rows.iter().map(|r| r.as_slice()));
+        assert_eq!(inc.cardinality(), scan.cardinality());
+        assert_eq!(inc.distinct(0), scan.distinct(0));
+        assert_eq!(inc.distinct(1), scan.distinct(1));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut s = RelStats::new(3);
+        for i in 0..100 {
+            s.on_insert(&row(&[i % 2, i, i % 30]));
+        }
+        let bytes = s.encode();
+        let d = RelStats::decode(&bytes).expect("decode");
+        assert_eq!(d, s);
+        assert!(RelStats::decode(&bytes[..bytes.len() - 1]).is_none());
+        assert!(RelStats::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn kmv_deterministic_across_builds() {
+        // DefaultHasher::new() is zero-keyed SipHash: two independent
+        // runs over the same data agree exactly.
+        let mk = || {
+            let mut s = RelStats::new(1);
+            for i in 0..500i64 {
+                s.on_insert(&row(&[i * 7 + 3]));
+            }
+            s
+        };
+        assert_eq!(mk().encode(), mk().encode());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for incremental statistics maintenance.
+//!
+//! The oracle is differential: replay a random interleaving of inserts
+//! and deletes (deletes only ever target live rows, as coral-rel
+//! guarantees) into an incrementally maintained [`RelStats`], and at
+//! checkpoints rebuild statistics from scratch with
+//! [`RelStats::analyze`] over the live multiset. Cardinality must agree
+//! exactly always; per-column distincts must agree exactly while the
+//! column is in exact mode. Counts must never go negative (observable
+//! as cardinality/distinct staying consistent with the live multiset,
+//! and as saturation under spurious deletes).
+
+use coral_stats::{RelStats, EXACT_CAP};
+use coral_term::testutil::TestRng;
+use coral_term::Term;
+
+const ARITY: usize = 3;
+
+fn random_row(rng: &mut TestRng, domain: usize) -> Vec<Term> {
+    (0..ARITY)
+        .map(|_| Term::int(rng.gen_range(0, domain) as i64))
+        .collect()
+}
+
+/// Replay `ops` random insert/delete operations and check the
+/// differential oracle at every 16th step and at the end.
+fn run_interleaving(seed: u64, domain: usize, ops: usize) {
+    let mut rng = TestRng::new(seed);
+    let mut stats = RelStats::new(ARITY);
+    let mut live: Vec<Vec<Term>> = Vec::new();
+    for step in 0..ops {
+        let delete = !live.is_empty() && rng.gen_bool(0.4);
+        if delete {
+            let i = rng.gen_range(0, live.len());
+            let row = live.swap_remove(i);
+            stats.on_delete(&row);
+        } else {
+            let row = random_row(&mut rng, domain);
+            stats.on_insert(&row);
+            live.push(row);
+        }
+        assert_eq!(
+            stats.cardinality(),
+            live.len() as u64,
+            "seed {seed} step {step}: cardinality diverged from live multiset"
+        );
+        for c in 0..ARITY {
+            let d = stats.distinct(c);
+            assert!(
+                d <= stats.cardinality(),
+                "seed {seed} step {step} col {c}: distinct {d} exceeds cardinality"
+            );
+            if stats.cardinality() > 0 {
+                assert!(
+                    d >= 1,
+                    "seed {seed} step {step} col {c}: distinct 0 with live rows"
+                );
+            }
+        }
+        if step % 16 == 15 || step + 1 == ops {
+            let fresh = RelStats::analyze(ARITY, live.iter().map(|r| r.as_slice()));
+            assert_eq!(stats.cardinality(), fresh.cardinality());
+            for c in 0..ARITY {
+                if stats.is_exact(c) && !stats.is_stale() {
+                    assert_eq!(
+                        stats.distinct(c),
+                        fresh.distinct(c),
+                        "seed {seed} step {step} col {c}: exact-mode incremental \
+                         maintenance diverged from fresh ANALYZE"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_mode_converges_to_analyze() {
+    // Domain of 8 values per column: stays far under EXACT_CAP, so the
+    // oracle applies to every checkpoint of every seed.
+    for seed in 0..40u64 {
+        run_interleaving(seed, 8, 400);
+    }
+}
+
+#[test]
+fn sketch_mode_invariants_hold() {
+    // Domain far past EXACT_CAP: columns degrade to the KMV sketch,
+    // deletes mark them stale, and the bounds (distinct ≤ cardinality,
+    // ≥ 1 while non-empty, cardinality exact) must still hold.
+    const { assert!(10_000 > EXACT_CAP) };
+    for seed in 0..20u64 {
+        run_interleaving(seed, 10_000, 600);
+    }
+}
+
+#[test]
+fn drain_and_refill_converges() {
+    // Insert-heavy, then delete everything, then refill: the empty
+    // state must be exactly recoverable in exact mode.
+    let mut rng = TestRng::new(7);
+    let mut stats = RelStats::new(ARITY);
+    let mut live: Vec<Vec<Term>> = Vec::new();
+    for _ in 0..100 {
+        let row = random_row(&mut rng, 6);
+        stats.on_insert(&row);
+        live.push(row);
+    }
+    while let Some(row) = live.pop() {
+        stats.on_delete(&row);
+    }
+    assert_eq!(stats.cardinality(), 0);
+    for c in 0..ARITY {
+        assert_eq!(stats.distinct(c), 0);
+    }
+    assert!(!stats.is_stale());
+    for _ in 0..50 {
+        let row = random_row(&mut rng, 6);
+        stats.on_insert(&row);
+        live.push(row);
+    }
+    let fresh = RelStats::analyze(ARITY, live.iter().map(|r| r.as_slice()));
+    for c in 0..ARITY {
+        assert_eq!(stats.distinct(c), fresh.distinct(c));
+    }
+}
+
+#[test]
+fn spurious_deletes_saturate() {
+    // Deletes of rows never inserted must not underflow anything.
+    let mut stats = RelStats::new(ARITY);
+    stats.on_insert(&[Term::int(1), Term::int(2), Term::int(3)]);
+    for _ in 0..5 {
+        stats.on_delete(&[Term::int(9), Term::int(9), Term::int(9)]);
+    }
+    assert_eq!(stats.cardinality(), 0);
+    for c in 0..ARITY {
+        assert_eq!(stats.distinct(c), 0, "col {c}");
+    }
+}

@@ -463,6 +463,8 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                  :rewritten <pred>/<n> <form>   dump the rewritten program\n\
                  :profile [on|off|json]         toggle profiling / last profile\n\
                  :threads [N]                   show/set evaluation threads\n\
+                 :stats [on|off]                show/toggle cost-based planning\n\
+                 :analyze                       refresh base-relation statistics\n\
                  :budget [spec|unlimited]       show/set per-query budget\n\
                  \x20                              (spec: deadline-ms=500 tuples=10000 ...)\n\
                  :persist <pred>/<n>            open a persistent base relation\n\
@@ -546,6 +548,25 @@ fn meta_command(session: &Session, cmd: &str) -> bool {
                 }
                 Err(_) => eprintln!("usage: :threads [N] (got {n:?})"),
             },
+        },
+        ":stats" => match rest {
+            "" => println!(
+                "cost-based planning: {}",
+                if session.stats_enabled() { "on" } else { "off" }
+            ),
+            "on" => {
+                session.set_stats(true);
+                println!("cost-based planning: on");
+            }
+            "off" => {
+                session.set_stats(false);
+                println!("cost-based planning: off");
+            }
+            other => eprintln!("usage: :stats [on|off] (got {other:?})"),
+        },
+        ":analyze" => match session.analyze() {
+            Ok(n) => println!("analyzed {n} relation{}", if n == 1 { "" } else { "s" }),
+            Err(e) => eprintln!("error: {e}"),
         },
         ":consult" => match session.consult_file(std::path::Path::new(rest)) {
             Ok(results) => {

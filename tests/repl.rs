@@ -194,6 +194,62 @@ fn profile_command_golden_shape() {
     } else {
         assert!(!stdout.contains("  columnar: "), "{stdout}");
     }
+    // The planner section is always emitted in JSON (zeroed under
+    // CORAL_STATS=0), and each of its counters is an integer; the
+    // orders list is a JSON array of strings.
+    assert!(stdout.contains("\"planner\": {"), "{stdout}");
+    for key in ["costed", "reordered", "replans"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.contains(&format!("\"{key}\": ")))
+            .unwrap_or_else(|| panic!("no {key} line in {stdout}"));
+        let n = line
+            .rsplit(&format!("\"{key}\": "))
+            .next()
+            .unwrap()
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .trim();
+        n.parse::<u64>()
+            .unwrap_or_else(|e| panic!("{key} is not an integer: {e} in {line}"));
+    }
+    assert!(stdout.contains("\"orders\": ["), "{stdout}");
+    // The spawned binary inherits CORAL_STATS: with cost-based planning
+    // on (the default) the compiled module was costed, so the planner
+    // section reports at least one costed rule.
+    if coral::core::seminaive::resolve_stats(None) {
+        let planner_json = stdout
+            .split("\"planner\": {")
+            .nth(1)
+            .and_then(|s| s.split('}').next())
+            .unwrap_or_else(|| panic!("no planner object in {stdout}"));
+        let costed: u64 = planner_json
+            .split("\"costed\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(costed > 0, "stats on but no rule costed: {stdout}");
+    }
+}
+
+#[test]
+fn stats_and_analyze_commands() {
+    let (stdout, stderr) = run_script(
+        "edge(1, 2). edge(2, 3).\n\
+         :stats\n\
+         :stats off\n\
+         :stats on\n\
+         :analyze\n\
+         :quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("cost-based planning: off"), "{stdout}");
+    assert!(stdout.contains("cost-based planning: on"), "{stdout}");
+    assert!(stdout.contains("analyzed 1 relation"), "{stdout}");
 }
 
 #[test]
