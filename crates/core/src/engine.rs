@@ -21,8 +21,8 @@ use crate::rewrite::rewrite_module;
 use crate::scan::{scan_to_iter, AnswerScan, IterScan, VecScan};
 use crate::seminaive::{FixpointState, LocalSetup, Strategy};
 use coral_lang::{
-    Adornment, AggFn, Annotation, Binding, FixpointKind, Literal, Module, PredRef, Query,
-    RewriteKind, Rule,
+    Adornment, AggFn, Annotation, Binding, FixpointKind, Literal, MaintainKind, Module, PredRef,
+    Query, RewriteKind, Rule,
 };
 use coral_rel::{
     AggSelKind, AggregateSelection, Database, DupSemantics, HashRelation, IndexSpec, Relation,
@@ -98,6 +98,9 @@ pub struct ModuleControls {
     /// Collect an [`crate::profile::EngineProfile`] for calls into this
     /// module (`@profile`).
     pub profile: bool,
+    /// Incremental-maintenance strategy (`@maintain`); `None` = the
+    /// `auto` default.
+    pub maintain: Option<MaintainKind>,
 }
 
 impl Default for ModuleControls {
@@ -114,6 +117,7 @@ impl Default for ModuleControls {
             no_auto_index: false,
             reorder_joins: false,
             profile: false,
+            maintain: None,
         }
     }
 }
@@ -131,6 +135,9 @@ pub struct ModuleDef {
     compiled: RefCell<HashMap<CacheKey, Rc<CompiledModule>>>,
     /// Save-module facility: retained fixpoint states.
     pub(crate) saved: RefCell<HashMap<CacheKey, FixpointState>>,
+    /// Incrementally maintained materializations per exported predicate
+    /// (`None` = decided unmaintainable, cached).
+    pub(crate) maintained: RefCell<HashMap<PredRef, Option<crate::maintain::MaintainedState>>>,
     /// Reentrancy guard (the save-module restriction of §5.4.2, also
     /// used to detect accidental cross-module recursion cycles).
     pub(crate) active: Cell<bool>,
@@ -163,6 +170,15 @@ struct EngineInner {
     /// Budget enforcer, polled at the cancellation poll sites; shared
     /// with parallel workers via `Arc`.
     governor: Arc<Governor>,
+    /// Incremental maintenance of derived relations (seeded from
+    /// `CORAL_MAINTAIN`, overridable per engine; off = wholesale
+    /// invalidation on every base mutation).
+    maintain: Cell<bool>,
+    /// Cumulative maintenance counters (always compiled in).
+    maintain_totals: Cell<crate::maintain::MaintainTotals>,
+    /// Snapshots offered by the storage layer at attach time, consumed
+    /// when a maintained state is first needed.
+    offered_snapshots: RefCell<HashMap<String, Vec<u8>>>,
 }
 
 /// The CORAL engine (cheaply cloneable handle).
@@ -194,6 +210,9 @@ impl Engine {
                 cancel: Arc::new(AtomicBool::new(false)),
                 budget: Cell::new(Budget::from_env(Budget::unlimited())),
                 governor: Arc::new(Governor::new()),
+                maintain: Cell::new(crate::maintain::resolve_maintain(None)),
+                maintain_totals: Cell::new(crate::maintain::MaintainTotals::default()),
+                offered_snapshots: RefCell::new(HashMap::new()),
             }),
         }
     }
@@ -341,11 +360,76 @@ impl Engine {
     }
 
     /// Drop every module's compiled-plan cache (plans embed join orders
-    /// chosen from statistics that may have changed).
+    /// chosen from statistics that may have changed), along with the
+    /// maintained states built on those plans.
     fn invalidate_plans(&self) {
         for mdef in self.inner.modules.borrow().iter() {
             mdef.compiled.borrow_mut().clear();
+            mdef.maintained.borrow_mut().clear();
         }
+    }
+
+    /// Enable or disable incremental maintenance (seeded from
+    /// `CORAL_MAINTAIN`). Turning it off (or on) drops every maintained
+    /// state, restoring wholesale invalidation exactly.
+    pub fn set_maintain(&self, on: bool) {
+        if self.inner.maintain.get() != on {
+            self.inner.maintain.set(on);
+            for mdef in self.inner.modules.borrow().iter() {
+                mdef.maintained.borrow_mut().clear();
+            }
+        }
+    }
+
+    /// Whether incremental maintenance is on.
+    pub fn maintain_enabled(&self) -> bool {
+        self.inner.maintain.get()
+    }
+
+    /// Cumulative maintenance counters since the engine was created.
+    pub fn maintain_totals(&self) -> crate::maintain::MaintainTotals {
+        self.inner.maintain_totals.get()
+    }
+
+    /// Fold an update into the cumulative maintenance counters.
+    pub(crate) fn maintain_charge(&self, f: impl FnOnce(&mut crate::maintain::MaintainTotals)) {
+        let mut t = self.inner.maintain_totals.get();
+        f(&mut t);
+        self.inner.maintain_totals.set(t);
+    }
+
+    /// Offer persisted maintenance snapshots (keyed by
+    /// [`crate::maintain::snapshot_key`]) for restoration when the
+    /// corresponding states are first needed.
+    pub fn offer_maintained_snapshots(&self, snapshots: HashMap<String, Vec<u8>>) {
+        *self.inner.offered_snapshots.borrow_mut() = snapshots;
+    }
+
+    /// A previously offered snapshot for `key`, if any.
+    pub(crate) fn offered_snapshot(&self, key: &str) -> Option<Vec<u8>> {
+        self.inner.offered_snapshots.borrow().get(key).cloned()
+    }
+
+    /// Serialize every live (non-stale) maintained state for the
+    /// storage layer's maintenance catalog.
+    pub fn maintained_snapshots(&self) -> HashMap<String, Vec<u8>> {
+        let mut out = HashMap::new();
+        for mdef in self.modules_snapshot() {
+            for (pred, st) in mdef.maintained.borrow().iter() {
+                if let Some(st) = st {
+                    if let Some(bytes) = st.snapshot(self) {
+                        out.insert(crate::maintain::snapshot_key(&mdef.ast.name, *pred), bytes);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The loaded modules (cloned handles, so callers never hold the
+    /// catalog borrow while evaluating).
+    pub(crate) fn modules_snapshot(&self) -> Vec<Rc<ModuleDef>> {
+        self.inner.modules.borrow().iter().cloned().collect()
     }
 
     /// Whether the engine-level runtime profiling flag is on.
@@ -364,10 +448,30 @@ impl Engine {
         &self.inner.db
     }
 
-    /// Insert a fact into a base relation (created on first use).
+    /// Insert a fact into a base relation (created on first use). A
+    /// genuine presence transition propagates into every maintained
+    /// state reading the relation.
     pub fn add_fact(&self, pred: PredRef, tuple: Tuple) -> EvalResult<bool> {
         let rel = self.base_relation(pred);
-        Ok(rel.insert(tuple)?)
+        let changed = rel.insert(tuple.clone())?;
+        if changed {
+            crate::maintain::on_base_change(self, pred, &tuple, true);
+        }
+        Ok(changed)
+    }
+
+    /// Delete a fact from a base relation; `false` when the relation or
+    /// the tuple does not exist. A genuine removal propagates into
+    /// every maintained state reading the relation.
+    pub fn delete_fact(&self, pred: PredRef, tuple: &Tuple) -> EvalResult<bool> {
+        let Some(rel) = self.inner.db.get(pred.name, pred.arity) else {
+            return Ok(false);
+        };
+        let changed = rel.delete(tuple)?;
+        if changed {
+            crate::maintain::on_base_change(self, pred, tuple, false);
+        }
+        Ok(changed)
     }
 
     fn base_relation(&self, pred: PredRef) -> Rc<dyn Relation> {
@@ -413,6 +517,7 @@ impl Engine {
                 Annotation::NoAutoIndex => controls.no_auto_index = true,
                 Annotation::ReorderJoins => controls.reorder_joins = true,
                 Annotation::Profile => controls.profile = true,
+                Annotation::Maintain(k) => controls.maintain = Some(*k),
                 Annotation::Multiset(p) => {
                     setup.multiset.insert(*p);
                 }
@@ -457,12 +562,45 @@ impl Engine {
                 ast.name
             )));
         }
+        if matches!(controls.maintain, Some(k) if k != MaintainKind::Recompute) {
+            let conflict = if controls.pipelined {
+                Some("@pipelining")
+            } else if controls.ordered {
+                Some("@ordered_search")
+            } else if controls.save {
+                Some("@save_module")
+            } else if controls.lazy {
+                Some("@lazy")
+            } else {
+                None
+            };
+            if let Some(c) = conflict {
+                return Err(EvalError::ModuleProtocol(format!(
+                    "module {}: @maintain needs plain materialized evaluation \
+                     and cannot be combined with {c}",
+                    ast.name
+                )));
+            }
+            if has_agg_heads {
+                return Err(EvalError::ModuleProtocol(format!(
+                    "module {}: @maintain cannot be combined with head aggregation \
+                     (counts/DRed do not model group recomputation)",
+                    ast.name
+                )));
+            }
+        }
+        // A new module can change which rules feed an already-maintained
+        // export (cross-module calls), so maintained states start over.
+        for mdef in self.inner.modules.borrow().iter() {
+            mdef.maintained.borrow_mut().clear();
+        }
         let def = Rc::new(ModuleDef {
             ast,
             controls,
             setup,
             compiled: RefCell::new(HashMap::new()),
             saved: RefCell::new(HashMap::new()),
+            maintained: RefCell::new(HashMap::new()),
             active: Cell::new(false),
         });
         let idx = self.inner.modules.borrow().len();
@@ -809,6 +947,11 @@ impl Engine {
             )));
         }
         let adornment = self.choose_adornment(&mdef, pred, pattern)?;
+        // Incrementally maintained exports answer from the maintained
+        // state without re-running the fixpoint.
+        if let Some(answers) = crate::maintain::try_maintained_call(self, &mdef, pred, pattern)? {
+            return Ok(Box::new(VecScan::new(answers)));
+        }
         let cm = self.compiled_for(&mdef, pred, &adornment, dontcare)?;
         self.apply_external_indexes(&mdef, &cm);
         if mdef.controls.ordered {

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod join;
+pub mod maintain;
 pub mod ordered_search;
 pub mod parallel;
 pub mod pipeline;
@@ -60,5 +61,6 @@ pub mod session;
 pub use budget::{Budget, BudgetResource, BudgetUsage};
 pub use engine::{CancelToken, Engine};
 pub use error::{EvalError, EvalResult};
+pub use maintain::MaintainTotals;
 pub use scan::AnswerScan;
 pub use session::{Answer, Answers, Session};

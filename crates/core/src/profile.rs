@@ -55,6 +55,14 @@ pub struct Counters {
     /// Mid-fixpoint replans (observed delta sizes overrode the
     /// compile-time order between iterations).
     pub plan_replans: u64,
+    /// Base-delta propagations absorbed by maintained states.
+    pub maintain_propagated: u64,
+    /// Tuples overdeleted by the DRed deletion phase.
+    pub maintain_overdeleted: u64,
+    /// Overdeleted tuples rederived through surviving derivations.
+    pub maintain_rederived: u64,
+    /// Derivation-count adjustments applied by counting maintenance.
+    pub maintain_count_updates: u64,
 }
 
 impl Counters {
@@ -70,6 +78,10 @@ impl Counters {
         plan_costed: 0,
         plan_reordered: 0,
         plan_replans: 0,
+        maintain_propagated: 0,
+        maintain_overdeleted: 0,
+        maintain_rederived: 0,
+        maintain_count_updates: 0,
     };
 }
 
@@ -89,6 +101,10 @@ pub fn add(d: Counters) {
         c.plan_costed += d.plan_costed;
         c.plan_reordered += d.plan_reordered;
         c.plan_replans += d.plan_replans;
+        c.maintain_propagated += d.maintain_propagated;
+        c.maintain_overdeleted += d.maintain_overdeleted;
+        c.maintain_rederived += d.maintain_rederived;
+        c.maintain_count_updates += d.maintain_count_updates;
     });
 }
 
@@ -197,6 +213,21 @@ pub struct PlannerStats {
     pub orders: Vec<String>,
 }
 
+/// Incremental-maintenance statistics for the profiled call (all zero
+/// when no maintained state absorbed a base delta, e.g.
+/// `CORAL_MAINTAIN=0` or a recompute-only module).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintainStats {
+    /// Base-delta propagations absorbed by maintained states.
+    pub propagated: u64,
+    /// Tuples overdeleted by the DRed deletion phase.
+    pub overdeleted: u64,
+    /// Overdeleted tuples rederived through surviving derivations.
+    pub rederived: u64,
+    /// Derivation-count adjustments applied by counting maintenance.
+    pub count_updates: u64,
+}
+
 /// Resource-governor accounting for the profiled call: per-resource
 /// usage against the armed [`crate::Budget`] limits. `armed` is false
 /// (and everything zero) when the call ran without a budget.
@@ -255,6 +286,9 @@ pub struct EngineProfile {
     pub columnar: ColumnarStats,
     /// Cost-based-planner statistics (all zeros with planning off).
     pub planner: PlannerStats,
+    /// Incremental-maintenance statistics (all zeros when no maintained
+    /// state absorbed a base delta during the call).
+    pub maintain: MaintainStats,
     /// Per-SCC fixpoint sections, in evaluation order.
     pub sccs: Vec<SccSection>,
 }
@@ -507,6 +541,19 @@ fn flatten_totals(t: &LayerTotals) -> Vec<(String, u64)> {
         ("core.plan_costed".into(), t.core.plan_costed),
         ("core.plan_reordered".into(), t.core.plan_reordered),
         ("core.plan_replans".into(), t.core.plan_replans),
+        (
+            "core.maintain_propagated".into(),
+            t.core.maintain_propagated,
+        ),
+        (
+            "core.maintain_overdeleted".into(),
+            t.core.maintain_overdeleted,
+        ),
+        ("core.maintain_rederived".into(), t.core.maintain_rederived),
+        (
+            "core.maintain_count_updates".into(),
+            t.core.maintain_count_updates,
+        ),
     ]
 }
 
@@ -543,6 +590,22 @@ fn diff_totals(before: &LayerTotals, after: &LayerTotals) -> LayerTotals {
             plan_costed: d(after.core.plan_costed, before.core.plan_costed),
             plan_reordered: d(after.core.plan_reordered, before.core.plan_reordered),
             plan_replans: d(after.core.plan_replans, before.core.plan_replans),
+            maintain_propagated: d(
+                after.core.maintain_propagated,
+                before.core.maintain_propagated,
+            ),
+            maintain_overdeleted: d(
+                after.core.maintain_overdeleted,
+                before.core.maintain_overdeleted,
+            ),
+            maintain_rederived: d(
+                after.core.maintain_rederived,
+                before.core.maintain_rederived,
+            ),
+            maintain_count_updates: d(
+                after.core.maintain_count_updates,
+                before.core.maintain_count_updates,
+            ),
         },
     }
 }
@@ -600,6 +663,12 @@ impl Collector {
             replans: totals.core.plan_replans,
             orders: imp_take_plan_notes(),
         };
+        let maintain = MaintainStats {
+            propagated: totals.core.maintain_propagated,
+            overdeleted: totals.core.maintain_overdeleted,
+            rederived: totals.core.maintain_rederived,
+            count_updates: totals.core.maintain_count_updates,
+        };
         EngineProfile {
             query,
             wall_ns,
@@ -608,6 +677,7 @@ impl Collector {
             budget: BudgetStats::default(),
             columnar,
             planner,
+            maintain,
             sccs,
         }
     }
@@ -804,6 +874,15 @@ impl EngineProfile {
                 let _ = writeln!(s, "    order {o}");
             }
         }
+        let ms = &self.maintain;
+        if ms.propagated > 0 || ms.overdeleted > 0 || ms.rederived > 0 || ms.count_updates > 0 {
+            let _ = writeln!(
+                s,
+                "  maintain: {} propagations, {} count updates, \
+                 {} overdeleted, {} rederived",
+                ms.propagated, ms.count_updates, ms.overdeleted, ms.rederived
+            );
+        }
         if self.budget.armed {
             let _ = write!(s, "  budget:");
             for (i, name) in BudgetStats::RESOURCES.iter().enumerate() {
@@ -910,6 +989,13 @@ impl EngineProfile {
             s.push_str(&json_string(o));
         }
         s.push_str("]},\n");
+        let ms = &self.maintain;
+        let _ = writeln!(
+            s,
+            "  \"maintain\": {{\"propagated\": {}, \"overdeleted\": {}, \
+             \"rederived\": {}, \"count_updates\": {}}},",
+            ms.propagated, ms.overdeleted, ms.rederived, ms.count_updates
+        );
         s.push_str("  \"totals\": {");
         for (i, (k, v)) in flatten_totals(&self.totals).iter().enumerate() {
             if i > 0 {
@@ -1041,6 +1127,17 @@ impl EngineProfile {
             }
             p.planner = ps;
         }
+        // Profiles written before incremental maintenance existed have
+        // no "maintain" key; default to all-zero stats.
+        if let Ok(mv) = json::get(obj, "maintain") {
+            let mo = mv.as_obj().ok_or("maintain: expected an object")?;
+            p.maintain = MaintainStats {
+                propagated: json::get_u64(mo, "propagated")?,
+                overdeleted: json::get_u64(mo, "overdeleted")?,
+                rederived: json::get_u64(mo, "rederived")?,
+                count_updates: json::get_u64(mo, "count_updates")?,
+            };
+        }
         let totals = json::get(obj, "totals")?
             .as_obj()
             .ok_or("totals: expected an object")?;
@@ -1138,6 +1235,10 @@ fn unflatten_totals(flat: &[(String, u64)]) -> LayerTotals {
             plan_costed: get("core.plan_costed"),
             plan_reordered: get("core.plan_reordered"),
             plan_replans: get("core.plan_replans"),
+            maintain_propagated: get("core.maintain_propagated"),
+            maintain_overdeleted: get("core.maintain_overdeleted"),
+            maintain_rederived: get("core.maintain_rederived"),
+            maintain_count_updates: get("core.maintain_count_updates"),
         },
     }
 }
@@ -1441,6 +1542,10 @@ mod tests {
                     plan_costed: 6,
                     plan_reordered: 2,
                     plan_replans: 1,
+                    maintain_propagated: 3,
+                    maintain_overdeleted: 4,
+                    maintain_rederived: 1,
+                    maintain_count_updates: 9,
                 },
             },
             budget: BudgetStats {
@@ -1461,6 +1566,12 @@ mod tests {
                     "compile: p/2 :- sel/2, big/2".into(),
                     "replan: path_bf/2 :- path_bf/2, edge/2".into(),
                 ],
+            },
+            maintain: MaintainStats {
+                propagated: 3,
+                overdeleted: 4,
+                rederived: 1,
+                count_updates: 9,
             },
             sccs: vec![SccSection {
                 scc: 0,
@@ -1716,6 +1827,44 @@ mod tests {
         let mut p = sample();
         p.planner = PlannerStats::default();
         assert!(!p.render().contains("planner:"), "{}", p.render());
+    }
+
+    #[test]
+    fn render_shows_maintain_line() {
+        let r = sample().render();
+        assert!(
+            r.contains("maintain: 3 propagations, 9 count updates, 4 overdeleted, 1 rederived"),
+            "{r}"
+        );
+        // A call that touched no maintained state renders no line.
+        let mut p = sample();
+        p.maintain = MaintainStats::default();
+        assert!(!p.render().contains("maintain:"), "{}", p.render());
+    }
+
+    #[test]
+    fn maintain_section_json_shape() {
+        // Golden shape: the maintain object carries exactly these keys
+        // and is emitted even when all-zero.
+        let j = sample().to_json();
+        assert!(
+            j.contains(
+                "\"maintain\": {\"propagated\": 3, \"overdeleted\": 4, \
+                 \"rederived\": 1, \"count_updates\": 9}"
+            ),
+            "{j}"
+        );
+        let j0 = EngineProfile::default().to_json();
+        assert!(j0.contains("\"maintain\": {\"propagated\": 0"), "{j0}");
+        // Pre-maintenance profiles (no key) still parse, defaulting to
+        // all-zero stats.
+        let pruned: String = j
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"maintain\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let p = EngineProfile::from_json(&pruned).unwrap();
+        assert_eq!(p.maintain, MaintainStats::default());
     }
 
     #[test]

@@ -26,6 +26,9 @@ use std::cell::RefCell;
 use std::path::Path;
 use std::rc::Rc;
 
+/// Storage-server file holding the incremental-maintenance catalog.
+const MAINTAIN_CATALOG: &str = "maintain.cat";
+
 /// One answer to a query: the full answer tuple plus the bindings of the
 /// query's named variables.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +95,19 @@ fn fast_bindings(query: &Query, tuple: &Tuple) -> Option<Vec<(String, Term)>> {
         bindings.push((name.clone(), (*map[i].as_ref()?).clone()));
     }
     Some(bindings)
+}
+
+/// Parse `"edge(1, 2)"` (trailing `.` optional) into a predicate and a
+/// ground tuple for base-relation mutation.
+fn parse_ground_fact(fact: &str) -> EvalResult<(coral_lang::PredRef, Tuple)> {
+    let q = parse_query(fact)?;
+    if q.nvars > 0 || q.literal.args.iter().any(|a| !a.is_ground()) {
+        return Err(EvalError::ModuleProtocol(format!(
+            "fact must be ground: {fact}"
+        )));
+    }
+    let pred = q.literal.pred_ref();
+    Ok((pred, Tuple::new(q.literal.args)))
 }
 
 /// A stream of answers for one query.
@@ -217,6 +233,39 @@ impl Session {
         self.engine.stats_enabled()
     }
 
+    /// Enable or disable incremental maintenance of derived relations
+    /// (seeded from `CORAL_MAINTAIN`; off = wholesale invalidation and
+    /// recomputation, exactly the pre-maintenance behavior).
+    pub fn set_maintain(&self, on: bool) {
+        self.engine.set_maintain(on);
+    }
+
+    /// Whether incremental maintenance is on.
+    pub fn maintain_enabled(&self) -> bool {
+        self.engine.maintain_enabled()
+    }
+
+    /// Cumulative incremental-maintenance counters for this session.
+    pub fn maintain_totals(&self) -> crate::MaintainTotals {
+        self.engine.maintain_totals()
+    }
+
+    /// Insert one ground fact, e.g. `"edge(1, 2)"`. Returns `false` if
+    /// the fact was already present. A genuine insertion propagates
+    /// into maintained derived relations.
+    pub fn insert_fact(&self, fact: &str) -> EvalResult<bool> {
+        let (pred, tuple) = parse_ground_fact(fact)?;
+        self.engine.add_fact(pred, tuple)
+    }
+
+    /// Delete one ground fact, e.g. `"edge(1, 2)"`. Returns `false` if
+    /// the fact was not present. A genuine removal propagates into
+    /// maintained derived relations.
+    pub fn delete_fact(&self, fact: &str) -> EvalResult<bool> {
+        let (pred, tuple) = parse_ground_fact(fact)?;
+        self.engine.delete_fact(pred, &tuple)
+    }
+
     /// Refresh statistics for every base relation with a full scan and
     /// invalidate cached plans (the `:analyze` REPL command). Returns
     /// the number of relations analyzed.
@@ -314,7 +363,62 @@ impl Session {
     pub fn attach_storage(&self, dir: &Path, frames: usize) -> EvalResult<StorageClient> {
         let client = StorageServer::open(dir, frames).map_err(coral_rel::RelError::from)?;
         *self.storage.borrow_mut() = Some(std::sync::Arc::clone(&client));
+        self.load_maintain_catalog(&client);
         Ok(client)
+    }
+
+    /// Read the persisted maintenance catalog (if any) and offer its
+    /// snapshots to the engine. Any damage — a torn record, a bad seq,
+    /// an undecodable catalog — silently yields no snapshots: maintained
+    /// states then rebuild from scratch, never restore silently wrong.
+    fn load_maintain_catalog(&self, client: &StorageClient) {
+        let Ok(file) = client.heap(MAINTAIN_CATALOG) else {
+            return;
+        };
+        let mut parts: Vec<(u16, Vec<u8>)> = Vec::new();
+        for rec in file.scan() {
+            let Ok((_, bytes)) = rec else { return };
+            if bytes.len() < 2 {
+                return;
+            }
+            let seq = u16::from_be_bytes(bytes[0..2].try_into().unwrap());
+            parts.push((seq, bytes[2..].to_vec()));
+        }
+        if parts.is_empty() {
+            return;
+        }
+        parts.sort_by_key(|(seq, _)| *seq);
+        let joined: Vec<u8> = parts.into_iter().flat_map(|(_, b)| b).collect();
+        if let Some(catalog) = crate::maintain::decode_catalog(&joined) {
+            self.engine.offer_maintained_snapshots(catalog);
+        }
+    }
+
+    /// Rewrite the persisted maintenance catalog from the engine's live
+    /// maintained states (delete-all-then-insert, chunked under the
+    /// 4 KiB page like per-relation statistics).
+    fn store_maintain_catalog(&self, client: &StorageClient) -> EvalResult<()> {
+        let err = coral_rel::RelError::from;
+        let file = client.heap(MAINTAIN_CATALOG).map_err(err)?;
+        let old: Vec<(coral_storage::RecordId, Vec<u8>)> =
+            file.scan().collect::<Result<_, _>>().map_err(err)?;
+        for (rid, _) in old {
+            file.delete(rid).map_err(err)?;
+        }
+        let catalog = self.engine.maintained_snapshots();
+        if catalog.is_empty() {
+            return Ok(());
+        }
+        let bytes = crate::maintain::encode_catalog(&catalog);
+        // Leave headroom under the 4 KiB page for slot bookkeeping.
+        const CHUNK: usize = 3000;
+        for (i, chunk) in bytes.chunks(CHUNK).enumerate() {
+            let mut rec = Vec::with_capacity(chunk.len() + 2);
+            rec.extend_from_slice(&(i as u16).to_be_bytes());
+            rec.extend_from_slice(chunk);
+            file.insert(&rec).map_err(err)?;
+        }
+        Ok(())
     }
 
     /// Attach an already-open storage server through a shared client
@@ -323,6 +427,7 @@ impl Session {
     /// CORAL processes … accessing persistent data stored using the
     /// EXODUS storage manager" (§3.2).
     pub fn attach_storage_client(&self, client: StorageClient) {
+        self.load_maintain_catalog(&client);
         *self.storage.borrow_mut() = Some(client);
     }
 
@@ -361,9 +466,13 @@ impl Session {
         crate::explain::explain_fact(&self.engine, &q.literal)
     }
 
-    /// Checkpoint the attached storage (flush + truncate the log).
+    /// Checkpoint the attached storage (flush + truncate the log),
+    /// first persisting the maintenance catalog so maintained states
+    /// survive a restart.
     pub fn checkpoint(&self) -> EvalResult<()> {
-        if let Some(s) = self.storage.borrow().as_ref() {
+        let storage = self.storage.borrow().clone();
+        if let Some(s) = storage {
+            self.store_maintain_catalog(&s)?;
             s.checkpoint().map_err(coral_rel::RelError::from)?;
         }
         Ok(())

@@ -264,6 +264,29 @@ pub enum RewriteKind {
     None,
 }
 
+/// Incremental-maintenance strategy for a materialized module's derived
+/// relations (`@maintain …`). Selected per module; `Auto` consults the
+/// dependency graph (counting for non-recursive strata, delete/rederive
+/// for recursive ones) and the statistics catalog.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MaintainKind {
+    /// Pick per stratum: counting when non-recursive, DRed when
+    /// recursive, plain recompute when statistics say the base data is
+    /// too small to bother.
+    #[default]
+    Auto,
+    /// Counting maintenance: per-tuple derivation counts adjusted from
+    /// base deltas without re-running the stratum. Falls back to DRed on
+    /// recursive strata, where counts are not well defined.
+    Counting,
+    /// Delete-and-rederive: overdelete the affected cone, rederive
+    /// survivors, then propagate insertions semi-naively.
+    Dred,
+    /// No maintenance: base updates invalidate the materialized module
+    /// wholesale (the historical behavior).
+    Recompute,
+}
+
 /// The fixpoint variant for a materialized module (§4.2, §5.3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum FixpointKind {
@@ -309,6 +332,10 @@ pub enum Annotation {
     /// `@profile.` — collect an `EngineProfile` (per-layer counters and
     /// per-SCC fixpoint sections) for every call into this module.
     Profile,
+    /// `@maintain.` / `@maintain counting|dred|recompute.` — keep the
+    /// module's derived relations incrementally maintained under base
+    /// inserts and deletes instead of invalidating them wholesale.
+    Maintain(MaintainKind),
     /// `@multiset p/2.` — multiset semantics for one predicate (§4.2).
     Multiset(PredRef),
     /// `@aggregate_selection p(X,Y,P,C) (X,Y) min(C).` (§5.5.2). The

@@ -379,6 +379,28 @@ impl Parser {
                 };
                 Annotation::Multiset(PredRef::new(&pname, arity))
             }
+            "maintain" => {
+                // The strategy atom is optional: `@maintain.` alone
+                // means cost-based auto selection.
+                let kind = match self.peek() {
+                    Some(Tok::Atom(_)) => {
+                        let which = self.expect_atom()?;
+                        match which.as_str() {
+                            "auto" => MaintainKind::Auto,
+                            "counting" => MaintainKind::Counting,
+                            "dred" => MaintainKind::Dred,
+                            "recompute" => MaintainKind::Recompute,
+                            other => {
+                                return self.err(format!(
+                                    "unknown maintenance strategy {other:?} (expected auto, counting, dred or recompute)"
+                                ))
+                            }
+                        }
+                    }
+                    _ => MaintainKind::Auto,
+                };
+                Annotation::Maintain(kind)
+            }
             "aggregate_selection" => self.parse_aggregate_selection()?,
             "make_index" => self.parse_make_index()?,
             other => return self.err(format!("unknown annotation @{other}")),
@@ -860,6 +882,28 @@ end_module.
         // 'module' followed by '(' is an ordinary predicate.
         let prog = parse_program("module(a).").unwrap();
         assert_eq!(prog.facts().count(), 1);
+    }
+
+    #[test]
+    fn maintain_annotation() {
+        let prog = parse_program(
+            "module m.\n@maintain.\np(1).\nend_module.\n\
+             module n.\n@maintain counting.\np(1).\nend_module.\n\
+             module o.\n@maintain dred.\np(1).\nend_module.\n\
+             module q.\n@maintain recompute.\np(1).\nend_module.",
+        )
+        .unwrap();
+        let kinds: Vec<_> = prog.modules().map(|m| m.annotations[0].clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Annotation::Maintain(MaintainKind::Auto),
+                Annotation::Maintain(MaintainKind::Counting),
+                Annotation::Maintain(MaintainKind::Dred),
+                Annotation::Maintain(MaintainKind::Recompute),
+            ]
+        );
+        assert!(parse_program("module m. @maintain frob. end_module.").is_err());
     }
 
     #[test]

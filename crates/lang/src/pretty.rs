@@ -172,6 +172,15 @@ fn annotation_to_string(a: &Annotation) -> String {
         Annotation::NoAutoIndex => "@no_auto_index.".into(),
         Annotation::ReorderJoins => "@reorder_joins.".into(),
         Annotation::Profile => "@profile.".into(),
+        Annotation::Maintain(k) => format!(
+            "@maintain {}.",
+            match k {
+                MaintainKind::Auto => "auto",
+                MaintainKind::Counting => "counting",
+                MaintainKind::Dred => "dred",
+                MaintainKind::Recompute => "recompute",
+            }
+        ),
         Annotation::Multiset(p) => format!("@multiset {}/{}.", p.name, p.arity),
         Annotation::AggregateSelection {
             pred,

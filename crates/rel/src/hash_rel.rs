@@ -468,6 +468,7 @@ impl HashRelation {
         sub.live -= 1;
         inner.live -= 1;
         inner.stats.on_delete(tuple.args());
+        crate::meter::add_deleted(1);
         Arc::make_mut(&mut inner.seen).remove(&tuple);
         if !tuple.is_ground() {
             if let Some(i) = inner.nonground.iter().position(|a| *a == addr) {
@@ -1314,6 +1315,26 @@ mod tests {
         assert!(r.delete(&t2(1, 1)).unwrap());
         assert!(r.insert(t2(1, 1)).unwrap(), "reinsert after delete");
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn delete_fires_stats_and_meter_symmetrically() {
+        let r = HashRelation::new(2);
+        r.insert(t2(1, 1)).unwrap();
+        r.insert(t2(2, 2)).unwrap();
+        assert_eq!(r.stats().unwrap().cardinality(), 2);
+        let del = crate::meter::tuples_deleted();
+        assert!(r.delete(&t2(1, 1)).unwrap());
+        assert_eq!(
+            r.stats().unwrap().cardinality(),
+            1,
+            "stats on_delete mirrors on_insert"
+        );
+        assert_eq!(crate::meter::tuples_deleted() - del, 1);
+        // A miss neither charges the meter nor moves stats.
+        assert!(!r.delete(&t2(7, 7)).unwrap());
+        assert_eq!(r.stats().unwrap().cardinality(), 1);
+        assert_eq!(crate::meter::tuples_deleted() - del, 1);
     }
 
     #[test]

@@ -19,7 +19,13 @@
 //!   indices and an order-preserving field encoding ([`encoding`]);
 //! * [`Database`] — the catalog mapping predicate names to relations.
 
+// `Tuple` contains `Arc<App>` whose hash-consing slot is atomically
+// mutable; mutation never changes `Eq`/`Hash` (structurally-equal terms
+// always receive equal identifiers), so tuples are sound map keys.
+#![allow(clippy::mutable_key_type)]
+
 pub mod columnar;
+pub mod counts;
 pub mod database;
 pub mod encoding;
 pub mod error;
@@ -31,6 +37,7 @@ pub mod profile;
 pub mod relation;
 
 pub use columnar::{ColVal, ColumnarBatch, RowRef};
+pub use counts::{CountChange, CountStore};
 pub use database::Database;
 pub use error::{RelError, RelResult};
 pub use hash_rel::{AggSelKind, AggregateSelection, HashRelation, Mark, RelSnapshot};

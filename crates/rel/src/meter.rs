@@ -18,6 +18,7 @@ use std::cell::Cell;
 
 thread_local! {
     static TUPLES: Cell<u64> = const { Cell::new(0) };
+    static DELETED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Charge `n` successful tuple inserts to this thread's meter.
@@ -30,6 +31,22 @@ pub fn add_tuples(n: u64) {
 #[inline]
 pub fn tuples_inserted() -> u64 {
     TUPLES.with(|c| c.get())
+}
+
+/// Charge `n` successful tuple deletes to this thread's meter. Deletes
+/// are metered symmetrically with inserts so maintenance propagation is
+/// observable, but they do NOT refund the insert meter: the governor's
+/// materialization budget bounds total work, and work already done stays
+/// charged.
+#[inline]
+pub fn add_deleted(n: u64) {
+    DELETED.with(|c| c.set(c.get() + n));
+}
+
+/// Monotone total of successful deletes performed by this thread.
+#[inline]
+pub fn tuples_deleted() -> u64 {
+    DELETED.with(|c| c.get())
 }
 
 #[cfg(test)]
@@ -67,6 +84,26 @@ mod tests {
         // One row is a duplicate: exactly 3 rows land, exactly 3 charges.
         assert_eq!(r.insert_batch(&batch).unwrap(), 3);
         assert_eq!(tuples_inserted() - before, 3);
+    }
+
+    #[test]
+    fn meter_counts_successful_deletes_only() {
+        use crate::hash_rel::HashRelation;
+        use crate::relation::Relation;
+        use coral_term::{Term, Tuple};
+        let r = HashRelation::new(1);
+        r.insert(Tuple::new(vec![Term::int(1)])).unwrap();
+        r.insert(Tuple::new(vec![Term::int(2)])).unwrap();
+        let (ins, del) = (tuples_inserted(), tuples_deleted());
+        assert!(r.delete(&Tuple::new(vec![Term::int(1)])).unwrap());
+        assert!(!r.delete(&Tuple::new(vec![Term::int(1)])).unwrap());
+        assert!(!r.delete(&Tuple::new(vec![Term::int(9)])).unwrap());
+        assert_eq!(tuples_deleted() - del, 1, "only the real removal charges");
+        assert_eq!(
+            tuples_inserted(),
+            ins,
+            "deletes never touch the insert meter"
+        );
     }
 
     #[test]

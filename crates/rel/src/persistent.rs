@@ -418,6 +418,7 @@ impl Relation for PersistentRelation {
             ix.tree.delete(&key)?;
         }
         self.update_stats_locked(|s| s.on_delete(tuple.args()))?;
+        crate::meter::add_deleted(1);
         Ok(true)
     }
 
@@ -591,6 +592,26 @@ mod tests {
             all,
             vec![flight("msn", "ord", 120), flight("ord", "jfk", 250)]
         );
+    }
+
+    #[test]
+    fn delete_fires_stats_and_meter_symmetrically() {
+        let srv = server("delete-symmetry");
+        let r = PersistentRelation::open(&srv, "flights", 3).unwrap();
+        r.insert(flight("msn", "ord", 120)).unwrap();
+        r.insert(flight("ord", "jfk", 250)).unwrap();
+        assert_eq!(r.stats().unwrap().cardinality(), 2);
+        let del = crate::meter::tuples_deleted();
+        assert!(r.delete(&flight("msn", "ord", 120)).unwrap());
+        assert_eq!(
+            r.stats().unwrap().cardinality(),
+            1,
+            "persisted stats on_delete mirrors on_insert"
+        );
+        assert_eq!(crate::meter::tuples_deleted() - del, 1);
+        assert!(!r.delete(&flight("msn", "ord", 120)).unwrap(), "miss");
+        assert_eq!(r.stats().unwrap().cardinality(), 1);
+        assert_eq!(crate::meter::tuples_deleted() - del, 1);
     }
 
     #[test]

@@ -253,6 +253,72 @@ fn stats_and_analyze_commands() {
 }
 
 #[test]
+fn maintain_command_golden_shape() {
+    let (stdout, stderr) = run_script(
+        "edge(1, 2). edge(2, 3).\n\
+         module tc.\n\
+         export path(ff).\n\
+         @maintain dred.\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         end_module.\n\
+         :maintain on\n\
+         ?- path(X, Y).\n\
+         edge(3, 4).\n\
+         ?- path(X, Y).\n\
+         :maintain\n\
+         :profile on\n\
+         ?- path(X, Y).\n\
+         :profile json\n\
+         :maintain off\n\
+         :quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("incremental maintenance: on"), "{stdout}");
+    assert!(stdout.contains("incremental maintenance: off"), "{stdout}");
+    // The bare `:maintain` line reports the cumulative totals; the
+    // consulted `edge(3, 4).` was a genuine base insert into a live
+    // maintained state, so at least one propagation must have fired.
+    let totals_line = stdout
+        .lines()
+        .find(|l| l.contains("on (") && l.contains("propagations"))
+        .unwrap_or_else(|| panic!("no totals line in {stdout}"));
+    let n: u64 = totals_line
+        .split("on (")
+        .nth(1)
+        .and_then(|s| s.split(' ').next())
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|e| panic!("propagation count is not an integer: {e} in {totals_line}"));
+    assert!(n > 0, "insert did not propagate: {totals_line}");
+    for part in ["count updates", "overdeleted", "rederived", "rebuilds"] {
+        assert!(totals_line.contains(part), "missing {part}: {totals_line}");
+    }
+    // The maintained state answers the last query, so path(3, 4) (from
+    // the inserted edge) must be visible.
+    assert!(stdout.contains("X = 3, Y = 4"), "{stdout}");
+    // The profile JSON always carries the maintain section (zeroed when
+    // nothing propagated during that particular query).
+    if coral::core::profile::AVAILABLE {
+        assert!(stdout.contains("\"maintain\": {"), "{stdout}");
+        for key in ["propagated", "overdeleted", "rederived", "count_updates"] {
+            let pat = format!("\"{key}\": ");
+            let line = stdout
+                .lines()
+                .find(|l| l.contains(&pat))
+                .unwrap_or_else(|| panic!("no {key} line in {stdout}"));
+            line.rsplit(": ")
+                .next()
+                .unwrap()
+                .trim_end_matches([',', '}'])
+                .trim()
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("{key} is not an integer: {e} in {line}"));
+        }
+    }
+}
+
+#[test]
 fn profile_without_collection_reports_nothing() {
     let (stdout, stderr) = run_script("edge(1, 2).\n:profile\n:quit\n");
     assert!(stderr.is_empty(), "stderr: {stderr}");
