@@ -1,0 +1,108 @@
+//! E23 — transient hash-join tables vs per-delta-row index probing.
+//!
+//! Each workload runs the identical program twice; the only difference
+//! is `Session::set_hashjoin`, so the timing ratio is the hash-join
+//! speedup and the counter deltas in `BENCH_hashjoin.json` carry the
+//! claim that matters on any host: on the all-ground transitive-closure
+//! and same-generation workloads the hash-join rows must show ≥3× fewer
+//! `rel.index_probes` than the index rows, because the inner literal's
+//! lookups are replaced by one table build plus O(1) bucket probes per
+//! delta row. The `core.joinhash_tables_built` / `core.joinhash_probes`
+//! counters confirm the path actually engaged (and stay absent from the
+//! index rows), and `core.joinhash_bloom_skips > 0` on at least one
+//! gated workload proves the Bloom sideways-information-passing filter
+//! runs (`check_hashjoin`, `src/bin/check_hashjoin.rs`).
+//!
+//! `tc_right` is the headline: right-linear recursion probes the `edge`
+//! literal once per delta row with a bound first column — exactly the
+//! probe stream the hash table absorbs. `sg` adds a three-way join
+//! (`up`/`down` both hashed), `tc_left` bounds the *recursive* literal
+//! (tables over a moving range, rebuilt per iteration under the cost
+//! gate), and `tc_parallel` shares one build across `k=4` workers.
+//!
+//! `CORAL_BENCH_SMOKE=1` shrinks workloads and sampling so CI can run
+//! the whole group in a few seconds as a does-it-still-engage check.
+
+use coral_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coral_bench::{count_answers, programs, workloads};
+use coral_core::session::Session;
+
+const MODES: [(&str, bool); 2] = [("hashjoin", true), ("index", false)];
+
+fn smoke() -> bool {
+    std::env::var("CORAL_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+fn run(hashjoin: bool, threads: usize, facts: &str, program: &str, query: &str) -> usize {
+    let s = Session::new();
+    s.set_hashjoin(hashjoin);
+    s.set_threads(threads);
+    s.consult_str(facts).expect("facts consult");
+    s.consult_str(program).expect("program consult");
+    count_answers(&s, query)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashjoin");
+    if smoke() {
+        g.sample_size(3);
+        g.warm_up_time(std::time::Duration::from_millis(50));
+        g.measurement_time(std::time::Duration::from_millis(300));
+    } else {
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_millis(1500));
+    }
+
+    // Right-linear tc: each delta row probes `edge` with a bound first
+    // column. The ≥3× `rel.index_probes` reduction is asserted on this
+    // row by `check_hashjoin`.
+    let (v, e) = if smoke() { (24, 96) } else { (56, 280) };
+    let tc_facts = workloads::random_graph(v, e, 11);
+    let tcr_prog = programs::tc("", "ff");
+    for (label, hj) in MODES {
+        g.bench_with_input(BenchmarkId::new("tc_right", label), &hj, |b, &m| {
+            b.iter(|| run(m, 1, &tc_facts, &tcr_prog, "path(X, Y)"))
+        });
+    }
+
+    // Same generation: `up` and `down` are both probed bound per delta
+    // row — two tables per fixpoint. Also gated ≥3×.
+    let (layers, width) = if smoke() { (4, 8) } else { (6, 24) };
+    let sg_facts = workloads::same_gen(layers, width);
+    let sg_prog = "module sg.\nexport sg(ff).\n\
+                   sg(X, Y) :- flat(X, Y).\n\
+                   sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n\
+                   end_module.\n";
+    for (label, hj) in MODES {
+        g.bench_with_input(BenchmarkId::new("sg", label), &hj, |b, &m| {
+            b.iter(|| run(m, 1, &sg_facts, sg_prog, "sg(X, Y)"))
+        });
+    }
+
+    // Left-linear tc: the recursive `path` literal is probed bound, so
+    // its table covers a moving range and is evicted + cost-re-gated
+    // every iteration. Reported, not gated (the open delta drive keeps
+    // most probes on the batch path already).
+    let tcl_prog = programs::tc_left("", "ff");
+    for (label, hj) in MODES {
+        g.bench_with_input(BenchmarkId::new("tc_left", label), &hj, |b, &m| {
+            b.iter(|| run(m, 1, &tc_facts, &tcl_prog, "path(X, Y)"))
+        });
+    }
+
+    // Parallel dispatch: one table built by the coordinator, shared by
+    // every worker via Arc. Reported, not gated (worker counters fold
+    // into the same totals; the interesting signal is that the answers
+    // and table counts stay consistent under k=4).
+    for (label, hj) in MODES {
+        g.bench_with_input(BenchmarkId::new("tc_parallel", label), &hj, |b, &m| {
+            b.iter(|| run(m, 4, &tc_facts, &tcr_prog, "path(X, Y)"))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Check the E23 acceptance criterion against a `BENCH_hashjoin.json`
+//! report: on the all-ground `tc_right` and `sg` workloads the
+//! hash-join rows must show at least 3× fewer `rel.index_probes` than
+//! the index rows, the `core.joinhash_tables_built` counter must
+//! confirm the path engaged (and stayed out of the index rows), and at
+//! least one gated workload must record `core.joinhash_bloom_skips > 0`
+//! so the Bloom sideways-information-passing filter is proven live.
+//!
+//! Usage: `check_hashjoin [path/to/BENCH_hashjoin.json]` (default
+//! `BENCH_hashjoin.json` in the current directory). Exits nonzero with
+//! a diagnostic when any ratio falls short. A report without counters
+//! (the `profile` feature compiled out) passes vacuously — there is
+//! nothing to check.
+
+use coral_core::profile::json::{self, Val};
+use std::process::ExitCode;
+
+/// Workloads the ≥3× reduction is asserted on. `tc_left` and
+/// `tc_parallel` are reported but not gated: the open-pattern batch
+/// drive and worker-side chunk relations keep most of their probes off
+/// the inner-literal index path already.
+const GATED: [&str; 2] = ["tc_right", "sg"];
+const COUNTER: &str = "rel.index_probes";
+const MIN_RATIO: f64 = 3.0;
+
+fn counter(counters: &[(String, Val)], key: &str) -> u64 {
+    json::get_u64(counters, key).unwrap_or(0)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hashjoin.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_hashjoin: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check_hashjoin: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(obj) = root.as_obj() else {
+        eprintln!("check_hashjoin: {path}: top level is not an object");
+        return ExitCode::FAILURE;
+    };
+    // Reports must carry the host/configuration meta header; a
+    // meta-less file predates the header and is not comparable.
+    if json::get(obj, "meta").ok().and_then(Val::as_obj).is_none() {
+        eprintln!("check_hashjoin: {path}: missing \"meta\" header (regenerate the report)");
+        return ExitCode::FAILURE;
+    }
+    let benchmarks: Vec<&[(String, Val)]> = json::get(obj, "benchmarks")
+        .ok()
+        .and_then(Val::as_arr)
+        .map(|a| a.iter().filter_map(Val::as_obj).collect())
+        .unwrap_or_default();
+    let row = |id: &str| -> Option<&[(String, Val)]> {
+        benchmarks
+            .iter()
+            .copied()
+            .find(|b| json::get_str(b, "id").is_ok_and(|s| s == id))
+    };
+    let counters_of = |id: &str| -> Option<&[(String, Val)]> {
+        json::get(row(id)?, "counters").ok().and_then(Val::as_obj)
+    };
+
+    if benchmarks.iter().all(|b| {
+        json::get(b, "counters")
+            .ok()
+            .and_then(Val::as_obj)
+            .is_none_or(<[_]>::is_empty)
+    }) {
+        println!(
+            "check_hashjoin: {path} has no counters (profile feature compiled out); nothing to check"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = Vec::new();
+    let mut gated_bloom_skips = 0u64;
+    let workloads: Vec<String> = benchmarks
+        .iter()
+        .filter_map(|b| json::get_str(b, "id").ok())
+        .filter_map(|id| id.strip_suffix("/hashjoin").map(str::to_string))
+        .collect();
+    for w in &workloads {
+        let (Some(h), Some(ix)) = (
+            counters_of(&format!("{w}/hashjoin")),
+            counters_of(&format!("{w}/index")),
+        ) else {
+            failures.push(format!("{w}: missing hashjoin or index row"));
+            continue;
+        };
+        let gated = GATED.contains(&w.as_str());
+        if gated && counter(h, "core.joinhash_tables_built") == 0 {
+            failures.push(format!("{w}: hashjoin row built no tables"));
+        }
+        for key in [
+            "core.joinhash_tables_built",
+            "core.joinhash_probes",
+            "core.joinhash_bloom_skips",
+        ] {
+            if counter(ix, key) != 0 {
+                failures.push(format!("{w}: index row counted {key}"));
+            }
+        }
+        if gated {
+            gated_bloom_skips += counter(h, "core.joinhash_bloom_skips");
+        }
+        // Counter totals accumulate over warm-up + samples, and the two
+        // rows may run different iteration counts; normalize by
+        // `core.get_next_tuple` (one bump per answer delivered, so
+        // proportional to iterations) before comparing.
+        let (hn, ixn) = (
+            counter(h, "core.get_next_tuple"),
+            counter(ix, "core.get_next_tuple"),
+        );
+        // A fully absorbed probe stream leaves hv == 0; clamp to one
+        // probe so the ratio stays finite and readable.
+        let (hv, ixv) = (counter(h, COUNTER), counter(ix, COUNTER));
+        let ratio = if hn > 0 && ixn > 0 {
+            (ixv as f64 / ixn as f64) / (hv as f64 / hn as f64).max(1.0 / hn as f64)
+        } else {
+            ixv as f64 / (hv as f64).max(1.0)
+        };
+        let verdict = if !gated {
+            "reported"
+        } else if ratio >= MIN_RATIO {
+            "ok"
+        } else {
+            failures.push(format!(
+                "{w}: {COUNTER} reduction {ratio:.2}x < {MIN_RATIO}x (index {ixv}, hashjoin {hv})"
+            ));
+            "FAIL"
+        };
+        println!("{w}: {COUNTER} index {ixv} hashjoin {hv} ({ratio:.2}x) {verdict}");
+    }
+    for w in GATED {
+        if !workloads.iter().any(|x| x == w) {
+            failures.push(format!("{w}: workload missing from report"));
+        }
+    }
+    if gated_bloom_skips == 0 && failures.is_empty() {
+        failures.push(
+            "no gated workload recorded a Bloom-filter skip — sideways passing unexercised"
+                .to_string(),
+        );
+    }
+    if failures.is_empty() {
+        println!(
+            "check_hashjoin: all gated reductions >= {MIN_RATIO}x \
+             ({gated_bloom_skips} bloom skips on gated workloads)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("check_hashjoin: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -53,6 +53,12 @@ fn main() -> ExitCode {
         eprintln!("check_plan: {path}: top level is not an object");
         return ExitCode::FAILURE;
     };
+    // Reports must carry the host/configuration meta header; a
+    // meta-less file predates the header and is not comparable.
+    if json::get(obj, "meta").ok().and_then(Val::as_obj).is_none() {
+        eprintln!("check_plan: {path}: missing \"meta\" header (regenerate the report)");
+        return ExitCode::FAILURE;
+    }
     let benchmarks: Vec<&[(String, Val)]> = json::get(obj, "benchmarks")
         .ok()
         .and_then(Val::as_arr)

@@ -279,10 +279,12 @@ fn host_meta_json() -> String {
         Err(_) => json_string("unset"),
     };
     format!(
-        "{{\"host_cpus\": {cpus}, \"coral_threads\": {}, \"coral_columnar\": {}, \"coral_stats\": {}}}",
+        "{{\"host_cpus\": {cpus}, \"coral_threads\": {}, \"coral_columnar\": {}, \"coral_stats\": {}, \"coral_maintain\": {}, \"coral_hashjoin\": {}}}",
         env_or_unset("CORAL_THREADS"),
         env_or_unset("CORAL_COLUMNAR"),
         env_or_unset("CORAL_STATS"),
+        env_or_unset("CORAL_MAINTAIN"),
+        env_or_unset("CORAL_HASHJOIN"),
     )
 }
 

@@ -243,6 +243,7 @@ mod tests {
             ranges: &ranges,
             columnar: true,
             delta_batch: None,
+            hashjoin: None,
         };
         let mut envs = EnvSet::new();
         let rule = agg_rule(f);

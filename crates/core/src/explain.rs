@@ -186,6 +186,7 @@ impl Explainer<'_> {
                 ranges: &ranges,
                 columnar: true,
                 delta_batch: None,
+                hashjoin: None,
             };
             let mut envs = EnvSet::new();
             let crule_body = &crule.body;
@@ -257,6 +258,7 @@ impl Explainer<'_> {
             ranges: &ranges,
             columnar: true,
             delta_batch: None,
+            hashjoin: None,
         };
         let mut envs = EnvSet::new();
         let mut uses: Vec<Use> = Vec::new();

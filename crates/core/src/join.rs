@@ -18,10 +18,11 @@ use crate::arith::{compare_terms, eval_arith};
 use crate::compile::{BodyElem, CompiledRule, SnVersion};
 use crate::error::{EvalError, EvalResult};
 use coral_lang::{CmpOp, Literal, PredRef};
+use coral_rel::joinhash::{JoinHashTable, Probe};
 use coral_rel::{ColumnarBatch, HashRelation, Mark, Relation, RowRef, TupleIter};
 use coral_term::bindenv::{EnvId, EnvSet, FrameMark, TrailMark};
 use coral_term::{unify, Term, Tuple};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -162,6 +163,102 @@ pub trait RuleEnv {
         let _ = pos;
         None
     }
+
+    /// A transient hash table for the positive literal at `pos`, keyed
+    /// on exactly `key_cols` (the pattern's ground columns). `None`
+    /// keeps the slot on the index-probe path — hash joins are opt-in
+    /// per environment and cost-gated per literal.
+    fn hash_table(
+        &self,
+        lit: &Literal,
+        local: bool,
+        recursive: bool,
+        pos: usize,
+        version: SnVersion,
+        key_cols: &[usize],
+    ) -> Option<Arc<JoinHashTable>> {
+        let _ = (lit, local, recursive, pos, version, key_cols);
+        None
+    }
+}
+
+/// Key of one transient hash-join table: predicate, bound-column set,
+/// and the mark range it was built over. Relation growth moves the
+/// range, so stale entries simply stop being requested.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct TableKey {
+    pred: PredRef,
+    cols: Vec<usize>,
+    lo: usize,
+    hi: usize,
+}
+
+/// Per-fixpoint cache of transient hash-join tables, shared by every
+/// rule evaluation of one [`crate::seminaive::FixpointState`] run.
+/// Tables over relations frozen for the whole fixpoint (external base
+/// relations, locals from earlier SCCs) are built once and amortize
+/// across iterations; tables over the current SCC's own predicates are
+/// evicted at each iteration boundary ([`HashJoinState::begin_iteration`])
+/// because their ranges move, so the cost gate re-decides them with the
+/// freshly observed delta size — the same adaptive loop as the
+/// mid-fixpoint replanner.
+#[derive(Default)]
+pub struct HashJoinState {
+    cache: RefCell<HashMap<TableKey, Arc<JoinHashTable>>>,
+    /// Observed probe-side (delta) rows for the version currently being
+    /// evaluated; what the cost gate weighs builds against.
+    outer_rows: Cell<f64>,
+}
+
+impl HashJoinState {
+    /// Empty cache; the outer-rows estimate starts at the planner's
+    /// no-information default.
+    pub fn new() -> HashJoinState {
+        let s = HashJoinState::default();
+        s.outer_rows.set(crate::planner::DEFAULT_CARD);
+        s
+    }
+
+    /// Record the observed probe-side cardinality (the driving delta's
+    /// row count) before evaluating a rule version.
+    pub fn set_outer_rows(&self, rows: f64) {
+        self.outer_rows.set(rows);
+    }
+
+    /// A new fixpoint iteration began: evict tables over the recursive
+    /// predicates (`ranges` keys) — their build ranges moved.
+    pub fn begin_iteration(&self, ranges: &Ranges) {
+        self.cache
+            .borrow_mut()
+            .retain(|k, _| !ranges.contains_key(&k.pred));
+    }
+
+    /// Cached table for `key`, building it when the cost gate approves:
+    /// a build is one pass over `inner_rows()` rows, probes save ~one
+    /// index traversal per outer row, and `frozen` sources amortize the
+    /// build across the remaining fixpoint iterations.
+    fn get_or_build(
+        &self,
+        key: TableKey,
+        frozen: bool,
+        inner_rows: impl FnOnce() -> usize,
+        build: impl FnOnce() -> Vec<Tuple>,
+    ) -> Option<Arc<JoinHashTable>> {
+        if let Some(t) = self.cache.borrow().get(&key) {
+            return Some(t.clone());
+        }
+        if !crate::planner::hash_join_profitable(inner_rows() as f64, self.outer_rows.get(), frozen)
+        {
+            return None;
+        }
+        let table = Arc::new(JoinHashTable::build(key.cols.clone(), build()));
+        crate::profile::bump(|c| {
+            c.joinhash_tables_built += 1;
+            c.joinhash_build_rows += table.build_rows() as u64;
+        });
+        self.cache.borrow_mut().insert(key, table.clone());
+        Some(table)
+    }
 }
 
 /// Columnar view of one rule version's driving delta `[prev, cur)`,
@@ -218,6 +315,9 @@ pub struct JoinCtx<'a> {
     /// `(body position, batch source)` for the driving delta slot, when
     /// columnar evaluation supplies one.
     pub delta_batch: Option<(usize, DeltaBatchSource)>,
+    /// Transient hash-join table cache, when hash-join evaluation is
+    /// enabled for this fixpoint (`None` = index probes only).
+    pub hashjoin: Option<&'a HashJoinState>,
 }
 
 impl RuleEnv for JoinCtx<'_> {
@@ -263,6 +363,93 @@ impl RuleEnv for JoinCtx<'_> {
             _ => None,
         }
     }
+
+    fn hash_table(
+        &self,
+        lit: &Literal,
+        local: bool,
+        recursive: bool,
+        pos: usize,
+        version: SnVersion,
+        key_cols: &[usize],
+    ) -> Option<Arc<JoinHashTable>> {
+        let hj = self.hashjoin?;
+        let pred = lit.pred_ref();
+        if !local {
+            // External literals: only base hash relations have a frozen
+            // snapshot view (module exports and persistent relations
+            // stay on the resolver's candidate path).
+            let snap = match self.external.parallel_source(lit)? {
+                crate::parallel::ParallelSource::Snapshot(s) => s,
+                crate::parallel::ParallelSource::Builtin => return None,
+            };
+            let key = TableKey {
+                pred,
+                cols: key_cols.to_vec(),
+                lo: 0,
+                hi: snap.end_mark().0,
+            };
+            return hj.get_or_build(
+                key,
+                true,
+                || snap.len_range(Mark(0), None),
+                || snap.scan_range(Mark(0), None),
+            );
+        }
+        let rel = self.locals.require(pred);
+        // Aggregate selections evict rows in place — even from ranges a
+        // frozen mark would protect — so a cached table over such a
+        // relation can go stale mid-fixpoint. Keep those on the live
+        // index-probe path (mirrors the `cacheable` gate on
+        // [`DeltaBatchSource`]).
+        if rel.has_aggregate_selections() {
+            return None;
+        }
+        if !recursive {
+            // Locals from earlier SCCs are frozen for this fixpoint.
+            let key = TableKey {
+                pred,
+                cols: key_cols.to_vec(),
+                lo: 0,
+                hi: rel.current_mark().0,
+            };
+            return hj.get_or_build(
+                key,
+                true,
+                || rel.len(),
+                || rel.snapshot().scan_range(Mark(0), None),
+            );
+        }
+        // Recursive predicates: hash the range the semi-naive version
+        // reads at this slot. When the delta literal itself is probed
+        // with bound columns (it is *not* the leftmost driving slot —
+        // e.g. right-linear tc where the open `edge` scan drives and
+        // `path`'s delta is the inner side), its `[prev, cur)` window is
+        // frozen for the iteration and hashes like any other range; the
+        // iteration-boundary eviction discards it when the marks move.
+        let (prev, cur) = self
+            .ranges
+            .get(&pred)
+            .copied()
+            .unwrap_or((Mark(0), rel.current_mark()));
+        let (lo, hi) = match version.delta_idx {
+            Some(d) if pos == d => (prev, cur),
+            Some(d) if pos < d => (Mark(0), prev),
+            _ => (Mark(0), cur),
+        };
+        let key = TableKey {
+            pred,
+            cols: key_cols.to_vec(),
+            lo: lo.0,
+            hi: hi.0,
+        };
+        hj.get_or_build(
+            key,
+            false,
+            || rel.len_range(lo, Some(hi)),
+            || rel.snapshot().scan_range(lo, Some(hi)),
+        )
+    }
 }
 
 /// Build a self-contained lookup pattern for a literal: arguments
@@ -291,9 +478,68 @@ enum SlotState {
         row: usize,
         matched: bool,
     },
+    /// A literal probed against a transient hash table: the matching
+    /// bucket's row ids first, then the table's side list (rows
+    /// non-ground at the key columns, which hashing cannot exclude).
+    HashProbe {
+        table: Arc<JoinHashTable>,
+        bucket: Vec<u32>,
+        next: usize,
+        side: usize,
+        matched: bool,
+    },
     /// A deterministic check (comparison, negation) that already
     /// succeeded once.
     CheckDone,
+}
+
+/// Try to open the positive literal at `pos` as a hash-table probe.
+/// `None` falls back to the index-probe candidate path: a hash key needs
+/// at least one ground pattern column, an environment that sources
+/// tables for this literal, and the cost gate's approval. A Bloom-filter
+/// miss proves no hashed row can match, so the bucket comes back empty —
+/// but the table's side rows are still iterated by the advance loop,
+/// since non-ground rows are invisible to the filter.
+fn hash_probe_slot(
+    ctx: &dyn RuleEnv,
+    lit: &Literal,
+    local: bool,
+    recursive: bool,
+    pos: usize,
+    version: SnVersion,
+    pattern: &[Term],
+) -> Option<SlotState> {
+    let key_cols: Vec<usize> = pattern
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_ground())
+        .map(|(i, _)| i)
+        .collect();
+    if key_cols.is_empty() {
+        return None;
+    }
+    let table = ctx.hash_table(lit, local, recursive, pos, version, &key_cols)?;
+    let key: Vec<&Term> = key_cols.iter().map(|&c| &pattern[c]).collect();
+    let bucket = match table.probe(JoinHashTable::key_hash(&key)) {
+        Probe::Skip => {
+            crate::profile::bump(|c| {
+                c.joinhash_probes += 1;
+                c.joinhash_bloom_skips += 1;
+            });
+            Vec::new()
+        }
+        Probe::Rows(ids) => {
+            crate::profile::bump(|c| c.joinhash_probes += 1);
+            ids.to_vec()
+        }
+    };
+    Some(SlotState::HashProbe {
+        table,
+        bucket,
+        next: 0,
+        side: 0,
+        matched: false,
+    })
 }
 
 /// True iff the pattern is *open*: every argument a distinct free
@@ -452,23 +698,33 @@ pub fn eval_rule(
                             row: 0,
                             matched: false,
                         },
-                        None => SlotState::Candidates {
-                            iter: ctx.local_candidates(
-                                lit.pred_ref(),
-                                *recursive,
-                                pos,
-                                version,
-                                &pattern,
-                            )?,
-                            matched: false,
-                        },
+                        None => {
+                            match hash_probe_slot(
+                                ctx, lit, true, *recursive, pos, version, &pattern,
+                            ) {
+                                Some(state) => state,
+                                None => SlotState::Candidates {
+                                    iter: ctx.local_candidates(
+                                        lit.pred_ref(),
+                                        *recursive,
+                                        pos,
+                                        version,
+                                        &pattern,
+                                    )?,
+                                    matched: false,
+                                },
+                            }
+                        }
                     }
                 }
                 BodyElem::External { lit } => {
                     let pattern = literal_pattern(envs, lit, env);
-                    SlotState::Candidates {
-                        iter: ctx.external_candidates(lit, &pattern)?,
-                        matched: false,
+                    match hash_probe_slot(ctx, lit, false, false, pos, version, &pattern) {
+                        Some(state) => state,
+                        None => SlotState::Candidates {
+                            iter: ctx.external_candidates(lit, &pattern)?,
+                            matched: false,
+                        },
                     }
                 }
                 BodyElem::Negated { .. } | BodyElem::Compare { .. } => {
@@ -597,6 +853,45 @@ pub fn eval_rule(
                     break;
                 }
             },
+            SlotState::HashProbe {
+                table,
+                bucket,
+                next,
+                side,
+                matched,
+            } => loop {
+                envs.undo(trail);
+                envs.pop_frames(frames);
+                let t: Tuple = if *next < bucket.len() {
+                    let id = bucket[*next];
+                    *next += 1;
+                    table.row(id).clone()
+                } else if *side < table.side().len() {
+                    let i = *side;
+                    *side += 1;
+                    crate::profile::bump(|c| c.joinhash_fallback_probes += 1);
+                    table.side()[i].clone()
+                } else {
+                    break;
+                };
+                crate::profile::bump(|c| c.join_probes += 1);
+                let ok = if columnar && t.is_ground() {
+                    match fast_match_ground(envs, lit_args, env, t.args()) {
+                        Some(ok) => ok,
+                        None => unify_row(envs, lit_args, env, &t),
+                    }
+                } else {
+                    if columnar {
+                        crate::profile::bump(|c| c.fallback_rows += 1);
+                    }
+                    unify_row(envs, lit_args, env, &t)
+                };
+                if ok {
+                    *matched = true;
+                    advanced = true;
+                    break;
+                }
+            },
             SlotState::CheckDone => unreachable!("check slots handled above"),
         }
         if advanced {
@@ -612,7 +907,9 @@ pub fn eval_rule(
         }
         // Exhausted.
         let had_match = match &slots[pos].as_ref().unwrap().state {
-            SlotState::Candidates { matched, .. } | SlotState::Batch { matched, .. } => *matched,
+            SlotState::Candidates { matched, .. }
+            | SlotState::Batch { matched, .. }
+            | SlotState::HashProbe { matched, .. } => *matched,
             SlotState::CheckDone => true,
         };
         {
@@ -832,6 +1129,7 @@ mod tests {
             ranges: &ranges,
             columnar,
             delta_batch: None,
+            hashjoin: None,
         };
         let mut envs = EnvSet::new();
         let mut out = Vec::new();
@@ -923,6 +1221,7 @@ mod tests {
             ranges: &ranges,
             columnar: false,
             delta_batch: None,
+            hashjoin: None,
         };
         let mut envs = EnvSet::new();
         let err = eval_rule(
@@ -988,6 +1287,7 @@ mod tests {
             ranges: &ranges,
             columnar: false,
             delta_batch: None,
+            hashjoin: None,
         };
         // Rule t(X) :- p(X) with p recursive: delta version sees only 2.
         let rule = CompiledRule {
@@ -1122,6 +1422,7 @@ mod tests {
                 ranges: &ranges,
                 columnar: batched,
                 delta_batch,
+                hashjoin: None,
             };
             let mut envs = EnvSet::new();
             let mut got = Vec::new();

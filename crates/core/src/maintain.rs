@@ -582,6 +582,7 @@ fn eval_variant(
         ranges: &ranges,
         columnar: false,
         delta_batch: None,
+        hashjoin: None,
     };
     let mut envs = EnvSet::new();
     let head = rule.head.clone();
@@ -644,7 +645,20 @@ fn prepare(
         reorder_joins: c.reorder_joins,
     };
     // Unstratified (or otherwise uncompilable) programs recompute.
-    let cm = crate::compile::compile_with(rewritten, opts, &[]).ok()?;
+    let mut cm = crate::compile::compile_with(rewritten, opts, &[]).ok()?;
+    // Mirror the engine's compile-time planning: the maintained state
+    // must evaluate the same cost-based join orders a direct call
+    // would, or answering from it silently undoes the planner.
+    if engine.stats_enabled() {
+        crate::planner::plan_module(
+            &mut cm,
+            &crate::engine::DbStats {
+                db: engine.db().as_ref(),
+            },
+            opts.intelligent_backtracking,
+            opts.auto_index,
+        );
+    }
     // Aggregation invalidates both algebras (a count or a rederivation
     // cannot see through a group).
     if cm
@@ -753,7 +767,8 @@ impl MaintainedState {
             .with_strategy(Strategy::from(mdef.controls.fixpoint))
             .with_threads(engine.threads())
             .with_columnar(engine.columnar())
-            .with_stats(engine.stats_enabled());
+            .with_stats(engine.stats_enabled())
+            .with_hashjoin(engine.hashjoin_enabled());
         state.seed(&vec![Term::var(0); pred.arity])?;
         state.run(engine)?;
         ensure_propagation_indexes(engine, &state, &cm);

@@ -229,7 +229,8 @@ pub fn evaluate(
     pattern: &[Term],
 ) -> EvalResult<Box<dyn AnswerScan>> {
     let mut state = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
-        .with_strategy(Strategy::from(mdef.controls.fixpoint));
+        .with_strategy(Strategy::from(mdef.controls.fixpoint))
+        .with_hashjoin(engine.hashjoin_enabled());
     let seed = cm
         .rewritten
         .seed

@@ -36,6 +36,7 @@ use crate::compile::{CompiledRule, SnVersion};
 use crate::error::{EvalError, EvalResult};
 use crate::join::{eval_rule, resolve_head, RuleEnv};
 use coral_lang::{Literal, PredRef};
+use coral_rel::joinhash::JoinHashTable;
 use coral_rel::relation::iter_from_vec;
 use coral_rel::{
     ColumnarBatch, DupSemantics, HashRelation, IndexSpec, Mark, RelSnapshot, Relation, TupleIter,
@@ -116,6 +117,11 @@ pub(crate) struct JobCtx {
     /// Whether workers run the columnar join fast path (mirrors the
     /// coordinator's flag so k=1 and k=4 evaluate identically).
     pub columnar: bool,
+    /// Hash-join tables prebuilt by the coordinator (one per eligible
+    /// body position), shared read-only by every chunk of the dispatch.
+    /// Workers only take a table whose key columns match the runtime
+    /// pattern's ground columns; otherwise they keep the index probe.
+    pub hash_tables: HashMap<usize, Arc<JoinHashTable>>,
     /// Cancellation + deadline signals polled between solutions.
     pub brake: Option<Brake>,
 }
@@ -242,6 +248,24 @@ impl RuleEnv for WorkerEnv<'_> {
         // Negation reads the full relation; stratification guarantees a
         // negated local is from a lower SCC and therefore frozen.
         Ok(iter_from_vec(view.snap.lookup(pattern)))
+    }
+
+    fn hash_table(
+        &self,
+        _lit: &Literal,
+        _local: bool,
+        _recursive: bool,
+        pos: usize,
+        _version: SnVersion,
+        key_cols: &[usize],
+    ) -> Option<Arc<JoinHashTable>> {
+        // The coordinator prebuilt tables keyed on the *statically*
+        // bound columns; the runtime pattern's ground columns can be
+        // narrower when bindings are non-ground. Position identifies the
+        // literal (workers run the coordinator's exact rule body), so a
+        // key-column match is sufficient.
+        let t = self.ctx.hash_tables.get(&pos)?;
+        (t.key_cols() == key_cols).then(|| Arc::clone(t))
     }
 }
 

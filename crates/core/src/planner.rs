@@ -110,9 +110,32 @@ fn lit_of(e: &BodyElem) -> Option<&coral_lang::Literal> {
     }
 }
 
+/// One hash-table build pass costs about this many index probes' worth
+/// of work per row hashed, so building pays off once the probe side is
+/// at least `inner / HASH_BUILD_FACTOR` rows.
+pub const HASH_BUILD_FACTOR: f64 = 16.0;
+
+/// Tables over sources frozen for the whole fixpoint (external base
+/// relations, locals from earlier SCCs) are built once but probed every
+/// iteration; weigh their build cost as if the probe side were this many
+/// times larger.
+pub const HASH_FROZEN_AMORTIZATION: f64 = 16.0;
+
+/// Cost gate for hash-join builds: build one pass over `inner_rows`,
+/// save ~one index traversal per `outer_rows` probe, amortized across
+/// the fixpoint when the source is `frozen`.
+pub fn hash_join_profitable(inner_rows: f64, outer_rows: f64, frozen: bool) -> bool {
+    let amort = if frozen {
+        HASH_FROZEN_AMORTIZATION
+    } else {
+        1.0
+    };
+    outer_rows * amort >= inner_rows / HASH_BUILD_FACTOR
+}
+
 /// Argument positions whose terms are fully bound given `bound` (ground
 /// terms count as bound).
-fn bound_cols(lit: &coral_lang::Literal, bound: &HashSet<VarId>) -> Vec<usize> {
+pub fn bound_cols(lit: &coral_lang::Literal, bound: &HashSet<VarId>) -> Vec<usize> {
     lit.args
         .iter()
         .enumerate()

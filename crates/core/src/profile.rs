@@ -63,6 +63,18 @@ pub struct Counters {
     pub maintain_rederived: u64,
     /// Derivation-count adjustments applied by counting maintenance.
     pub maintain_count_updates: u64,
+    /// Transient hash-join tables built.
+    pub joinhash_tables_built: u64,
+    /// Rows ingested by those builds (hashed + side rows).
+    pub joinhash_build_rows: u64,
+    /// Probes answered from a transient hash table.
+    pub joinhash_probes: u64,
+    /// Probes the blocked Bloom filter proved empty (the bucket map was
+    /// never touched).
+    pub joinhash_bloom_skips: u64,
+    /// Side-table rows (non-ground key columns) re-checked by the
+    /// general match during hash probes.
+    pub joinhash_fallback_probes: u64,
 }
 
 impl Counters {
@@ -82,6 +94,11 @@ impl Counters {
         maintain_overdeleted: 0,
         maintain_rederived: 0,
         maintain_count_updates: 0,
+        joinhash_tables_built: 0,
+        joinhash_build_rows: 0,
+        joinhash_probes: 0,
+        joinhash_bloom_skips: 0,
+        joinhash_fallback_probes: 0,
     };
 }
 
@@ -105,6 +122,11 @@ pub fn add(d: Counters) {
         c.maintain_overdeleted += d.maintain_overdeleted;
         c.maintain_rederived += d.maintain_rederived;
         c.maintain_count_updates += d.maintain_count_updates;
+        c.joinhash_tables_built += d.joinhash_tables_built;
+        c.joinhash_build_rows += d.joinhash_build_rows;
+        c.joinhash_probes += d.joinhash_probes;
+        c.joinhash_bloom_skips += d.joinhash_bloom_skips;
+        c.joinhash_fallback_probes += d.joinhash_fallback_probes;
     });
 }
 
@@ -228,6 +250,23 @@ pub struct MaintainStats {
     pub count_updates: u64,
 }
 
+/// Vectorized hash-join statistics for the profiled call (all zero
+/// when the hash-join path never engaged, e.g. `CORAL_HASHJOIN=0` or
+/// the cost gate kept every literal on the index-probe path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinHashStats {
+    /// Transient hash tables built.
+    pub tables_built: u64,
+    /// Rows ingested by those builds (hashed + side rows).
+    pub build_rows: u64,
+    /// Probes answered from a transient hash table.
+    pub probes: u64,
+    /// Probes the blocked Bloom filter proved empty.
+    pub bloom_skips: u64,
+    /// Side-table rows re-checked by the general match during probes.
+    pub fallback_probes: u64,
+}
+
 /// Resource-governor accounting for the profiled call: per-resource
 /// usage against the armed [`crate::Budget`] limits. `armed` is false
 /// (and everything zero) when the call ran without a budget.
@@ -289,6 +328,9 @@ pub struct EngineProfile {
     /// Incremental-maintenance statistics (all zeros when no maintained
     /// state absorbed a base delta during the call).
     pub maintain: MaintainStats,
+    /// Vectorized hash-join statistics (all zeros when the hash-join
+    /// path never engaged).
+    pub joinhash: JoinHashStats,
     /// Per-SCC fixpoint sections, in evaluation order.
     pub sccs: Vec<SccSection>,
 }
@@ -554,6 +596,23 @@ fn flatten_totals(t: &LayerTotals) -> Vec<(String, u64)> {
             "core.maintain_count_updates".into(),
             t.core.maintain_count_updates,
         ),
+        (
+            "core.joinhash_tables_built".into(),
+            t.core.joinhash_tables_built,
+        ),
+        (
+            "core.joinhash_build_rows".into(),
+            t.core.joinhash_build_rows,
+        ),
+        ("core.joinhash_probes".into(), t.core.joinhash_probes),
+        (
+            "core.joinhash_bloom_skips".into(),
+            t.core.joinhash_bloom_skips,
+        ),
+        (
+            "core.joinhash_fallback_probes".into(),
+            t.core.joinhash_fallback_probes,
+        ),
     ]
 }
 
@@ -605,6 +664,23 @@ fn diff_totals(before: &LayerTotals, after: &LayerTotals) -> LayerTotals {
             maintain_count_updates: d(
                 after.core.maintain_count_updates,
                 before.core.maintain_count_updates,
+            ),
+            joinhash_tables_built: d(
+                after.core.joinhash_tables_built,
+                before.core.joinhash_tables_built,
+            ),
+            joinhash_build_rows: d(
+                after.core.joinhash_build_rows,
+                before.core.joinhash_build_rows,
+            ),
+            joinhash_probes: d(after.core.joinhash_probes, before.core.joinhash_probes),
+            joinhash_bloom_skips: d(
+                after.core.joinhash_bloom_skips,
+                before.core.joinhash_bloom_skips,
+            ),
+            joinhash_fallback_probes: d(
+                after.core.joinhash_fallback_probes,
+                before.core.joinhash_fallback_probes,
             ),
         },
     }
@@ -669,6 +745,13 @@ impl Collector {
             rederived: totals.core.maintain_rederived,
             count_updates: totals.core.maintain_count_updates,
         };
+        let joinhash = JoinHashStats {
+            tables_built: totals.core.joinhash_tables_built,
+            build_rows: totals.core.joinhash_build_rows,
+            probes: totals.core.joinhash_probes,
+            bloom_skips: totals.core.joinhash_bloom_skips,
+            fallback_probes: totals.core.joinhash_fallback_probes,
+        };
         EngineProfile {
             query,
             wall_ns,
@@ -678,6 +761,7 @@ impl Collector {
             columnar,
             planner,
             maintain,
+            joinhash,
             sccs,
         }
     }
@@ -883,6 +967,15 @@ impl EngineProfile {
                 ms.propagated, ms.count_updates, ms.overdeleted, ms.rederived
             );
         }
+        let js = &self.joinhash;
+        if js.tables_built > 0 || js.probes > 0 {
+            let _ = writeln!(
+                s,
+                "  joinhash: {} tables ({} rows), {} probes, \
+                 {} bloom skips, {} fallback probes",
+                js.tables_built, js.build_rows, js.probes, js.bloom_skips, js.fallback_probes
+            );
+        }
         if self.budget.armed {
             let _ = write!(s, "  budget:");
             for (i, name) in BudgetStats::RESOURCES.iter().enumerate() {
@@ -995,6 +1088,13 @@ impl EngineProfile {
             "  \"maintain\": {{\"propagated\": {}, \"overdeleted\": {}, \
              \"rederived\": {}, \"count_updates\": {}}},",
             ms.propagated, ms.overdeleted, ms.rederived, ms.count_updates
+        );
+        let js = &self.joinhash;
+        let _ = writeln!(
+            s,
+            "  \"joinhash\": {{\"tables_built\": {}, \"build_rows\": {}, \"probes\": {}, \
+             \"bloom_skips\": {}, \"fallback_probes\": {}}},",
+            js.tables_built, js.build_rows, js.probes, js.bloom_skips, js.fallback_probes
         );
         s.push_str("  \"totals\": {");
         for (i, (k, v)) in flatten_totals(&self.totals).iter().enumerate() {
@@ -1138,6 +1238,18 @@ impl EngineProfile {
                 count_updates: json::get_u64(mo, "count_updates")?,
             };
         }
+        // Profiles written before hash-join evaluation existed have no
+        // "joinhash" key; default to all-zero stats.
+        if let Ok(jv) = json::get(obj, "joinhash") {
+            let jo = jv.as_obj().ok_or("joinhash: expected an object")?;
+            p.joinhash = JoinHashStats {
+                tables_built: json::get_u64(jo, "tables_built")?,
+                build_rows: json::get_u64(jo, "build_rows")?,
+                probes: json::get_u64(jo, "probes")?,
+                bloom_skips: json::get_u64(jo, "bloom_skips")?,
+                fallback_probes: json::get_u64(jo, "fallback_probes")?,
+            };
+        }
         let totals = json::get(obj, "totals")?
             .as_obj()
             .ok_or("totals: expected an object")?;
@@ -1239,6 +1351,11 @@ fn unflatten_totals(flat: &[(String, u64)]) -> LayerTotals {
             maintain_overdeleted: get("core.maintain_overdeleted"),
             maintain_rederived: get("core.maintain_rederived"),
             maintain_count_updates: get("core.maintain_count_updates"),
+            joinhash_tables_built: get("core.joinhash_tables_built"),
+            joinhash_build_rows: get("core.joinhash_build_rows"),
+            joinhash_probes: get("core.joinhash_probes"),
+            joinhash_bloom_skips: get("core.joinhash_bloom_skips"),
+            joinhash_fallback_probes: get("core.joinhash_fallback_probes"),
         },
     }
 }
@@ -1546,6 +1663,11 @@ mod tests {
                     maintain_overdeleted: 4,
                     maintain_rederived: 1,
                     maintain_count_updates: 9,
+                    joinhash_tables_built: 2,
+                    joinhash_build_rows: 80,
+                    joinhash_probes: 60,
+                    joinhash_bloom_skips: 11,
+                    joinhash_fallback_probes: 5,
                 },
             },
             budget: BudgetStats {
@@ -1572,6 +1694,13 @@ mod tests {
                 overdeleted: 4,
                 rederived: 1,
                 count_updates: 9,
+            },
+            joinhash: JoinHashStats {
+                tables_built: 2,
+                build_rows: 80,
+                probes: 60,
+                bloom_skips: 11,
+                fallback_probes: 5,
             },
             sccs: vec![SccSection {
                 scc: 0,
@@ -1731,6 +1860,68 @@ mod tests {
         let mut p = sample();
         p.columnar = ColumnarStats::default();
         assert!(!p.render().contains("columnar:"), "{}", p.render());
+    }
+
+    #[test]
+    fn joinhash_section_json_shape() {
+        // Golden shape: the joinhash object carries exactly these keys,
+        // on its own line, even when all zero.
+        let j = sample().to_json();
+        assert!(
+            j.contains(
+                "\"joinhash\": {\"tables_built\": 2, \"build_rows\": 80, \"probes\": 60, \
+                 \"bloom_skips\": 11, \"fallback_probes\": 5}"
+            ),
+            "{j}"
+        );
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back.joinhash, sample().joinhash);
+        // The per-layer counter names round-trip through totals too.
+        for key in [
+            "\"core.joinhash_tables_built\": 2",
+            "\"core.joinhash_build_rows\": 80",
+            "\"core.joinhash_probes\": 60",
+            "\"core.joinhash_bloom_skips\": 11",
+            "\"core.joinhash_fallback_probes\": 5",
+        ] {
+            assert!(j.contains(key), "json missing {key:?}:\n{j}");
+        }
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_joinhash_key() {
+        // A pre-hash-join profile (no "joinhash" key) still parses,
+        // with all-zero stats.
+        let mut p = sample();
+        p.joinhash = JoinHashStats::default();
+        p.totals.core.joinhash_tables_built = 0;
+        p.totals.core.joinhash_build_rows = 0;
+        p.totals.core.joinhash_probes = 0;
+        p.totals.core.joinhash_bloom_skips = 0;
+        p.totals.core.joinhash_fallback_probes = 0;
+        let j = p
+            .to_json()
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"joinhash\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = EngineProfile::from_json(&j).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn render_shows_joinhash_line() {
+        let r = sample().render();
+        assert!(
+            r.contains(
+                "joinhash: 2 tables (80 rows), 60 probes, 11 bloom skips, 5 fallback probes"
+            ),
+            "{r}"
+        );
+        // With the hash-join path off the line is suppressed entirely.
+        let mut p = sample();
+        p.joinhash = JoinHashStats::default();
+        assert!(!p.render().contains("joinhash:"), "{}", p.render());
     }
 
     #[test]

@@ -28,7 +28,8 @@ use crate::aggregate::eval_agg_rule;
 use crate::compile::{BodyElem, CompiledModule, CompiledRule, CompiledScc, SnVersion};
 use crate::error::{EvalError, EvalResult};
 use crate::join::{
-    eval_rule, resolve_head, DeltaBatchSource, ExternalResolver, JoinCtx, LocalRels, Ranges,
+    eval_rule, resolve_head, DeltaBatchSource, ExternalResolver, HashJoinState, JoinCtx, LocalRels,
+    Ranges,
 };
 use crate::parallel::{
     eval_chunk, fold_counters, run_tasks, JobCtx, LocalView, ParallelSource, MIN_CHUNK,
@@ -115,6 +116,12 @@ pub struct FixpointState {
     /// Whether the adaptive planner re-costs delta rule orders between
     /// fixpoint iterations (`CORAL_STATS=0` disables).
     stats_on: bool,
+    /// Whether bound literals may be joined through transient hash
+    /// tables with Bloom-filter sideways passing (`CORAL_HASHJOIN=0`
+    /// restores pure index probing).
+    hashjoin: bool,
+    /// The transient hash-table cache for this fixpoint.
+    hj: HashJoinState,
     /// Adaptive plan overrides, keyed by (SCC, rule index, version
     /// index): a reordered copy of the rule plus the remapped delta
     /// version, installed by [`FixpointState::maybe_replan`] when the
@@ -154,6 +161,20 @@ pub fn resolve_columnar(explicit: Option<bool>) -> bool {
 /// static join-order heuristic and never replans mid-fixpoint.
 pub fn resolve_stats(explicit: Option<bool>) -> bool {
     explicit.unwrap_or_else(|| match std::env::var("CORAL_STATS") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    })
+}
+
+/// Resolve a hash-join request: explicit value, else the
+/// `CORAL_HASHJOIN` environment variable (`0`/`false`/`off` disable),
+/// else on. With hash joins off every bound literal goes through the
+/// relation's indices, exactly as before this optimization existed.
+pub fn resolve_hashjoin(explicit: Option<bool>) -> bool {
+    explicit.unwrap_or_else(|| match std::env::var("CORAL_HASHJOIN") {
         Ok(v) => !matches!(
             v.trim().to_ascii_lowercase().as_str(),
             "0" | "false" | "off"
@@ -217,6 +238,8 @@ impl FixpointState {
             threads: 1,
             columnar: resolve_columnar(None),
             stats_on: resolve_stats(None),
+            hashjoin: resolve_hashjoin(None),
+            hj: HashJoinState::new(),
             overrides: HashMap::new(),
             envs: EnvSet::new(),
         })
@@ -247,6 +270,13 @@ impl FixpointState {
     /// iterations (defaults to [`resolve_stats`]`(None)`).
     pub fn with_stats(mut self, stats_on: bool) -> FixpointState {
         self.stats_on = stats_on;
+        self
+    }
+
+    /// Enable or disable transient hash-join tables (defaults to
+    /// [`resolve_hashjoin`]`(None)`).
+    pub fn with_hashjoin(mut self, hashjoin: bool) -> FixpointState {
+        self.hashjoin = hashjoin;
         self
     }
 
@@ -434,6 +464,12 @@ impl FixpointState {
         external: &dyn ExternalResolver,
         naive: bool,
     ) -> EvalResult<()> {
+        if self.hashjoin {
+            // Recursive predicates' delta boundaries moved since the
+            // last sweep: evict their tables so the cost gate re-decides
+            // hash-build vs index-probe with fresh cardinalities.
+            self.hj.begin_iteration(ranges);
+        }
         for &ri in rule_indices {
             let base = &scc.rules[ri];
             let versions: Vec<SnVersion> = if naive {
@@ -464,16 +500,26 @@ impl FixpointState {
                     }
                     self.none_done.insert((scc_idx, ri));
                 }
-                // Skip delta versions whose delta is empty.
+                // Skip delta versions whose delta is empty; the observed
+                // delta cardinality doubles as the hash-join cost gate's
+                // probe-side estimate for this version.
+                let mut delta_rows = None;
                 if let Some(d) = version.delta_idx {
                     if let crate::compile::BodyElem::Local { lit, .. } = &rule.body[d] {
                         let p = lit.pred_ref();
                         if let Some(&(prev, cur)) = ranges.get(&p) {
-                            if self.locals.require(p).len_range(prev, Some(cur)) == 0 {
+                            let rows = self.locals.require(p).len_range(prev, Some(cur));
+                            if rows == 0 {
                                 continue;
                             }
+                            delta_rows = Some(rows);
                         }
                     }
+                }
+                if self.hashjoin {
+                    self.hj.set_outer_rows(
+                        delta_rows.map_or(crate::planner::DEFAULT_CARD, |r| r as f64),
+                    );
                 }
                 self.stats.rule_firings += 1;
                 let collecting = crate::profile::collecting();
@@ -529,6 +575,7 @@ impl FixpointState {
                         ranges,
                         columnar: self.columnar,
                         delta_batch,
+                        hashjoin: self.hashjoin.then_some(&self.hj),
                     };
                     let head = rule.head.clone();
                     eval_rule(&ctx, rule, version, &mut self.envs, &mut |envs, env| {
@@ -686,6 +733,54 @@ impl FixpointState {
         }
         let min_chunk = chunks.iter().map(|c| c.len()).min().unwrap_or(0) as u64;
         let max_chunk = chunks.iter().map(|c| c.len()).max().unwrap_or(0) as u64;
+        // Prebuild hash-join tables on the coordinator (through the same
+        // per-fixpoint cache the serial path uses, so frozen sources
+        // amortize across dispatches), then share each via `Arc` with
+        // every worker of the dispatch. Key columns come from the static
+        // binding walk the planner uses; workers verify the runtime
+        // pattern agrees before taking a table.
+        let mut hash_tables: HashMap<usize, Arc<coral_rel::JoinHashTable>> = HashMap::new();
+        if self.hashjoin {
+            use crate::join::RuleEnv as _;
+            let probe_ctx = JoinCtx {
+                locals: &self.locals,
+                external,
+                ranges,
+                columnar: self.columnar,
+                delta_batch: None,
+                hashjoin: Some(&self.hj),
+            };
+            let mut bound: std::collections::HashSet<coral_term::VarId> =
+                std::collections::HashSet::new();
+            for (pos, elem) in rule.body.iter().enumerate() {
+                if pos != delta_pos {
+                    match elem {
+                        BodyElem::Local { lit, recursive } => {
+                            let cols = crate::planner::bound_cols(lit, &bound);
+                            if !cols.is_empty() {
+                                if let Some(t) =
+                                    probe_ctx.hash_table(lit, true, *recursive, pos, version, &cols)
+                                {
+                                    hash_tables.insert(pos, t);
+                                }
+                            }
+                        }
+                        BodyElem::External { lit } => {
+                            let cols = crate::planner::bound_cols(lit, &bound);
+                            if !cols.is_empty() {
+                                if let Some(t) =
+                                    probe_ctx.hash_table(lit, false, false, pos, version, &cols)
+                                {
+                                    hash_tables.insert(pos, t);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                bound.extend(elem.vars());
+            }
+        }
         let job = Arc::new(JobCtx {
             rule: rule.clone(),
             version,
@@ -697,6 +792,7 @@ impl FixpointState {
             head_pred,
             profiling: crate::profile::enabled(),
             columnar: self.columnar,
+            hash_tables,
             brake: external.parallel_brake(),
         });
         let tasks: Vec<_> = chunks
@@ -1003,6 +1099,7 @@ impl FixpointState {
                 ranges: &ranges,
                 columnar: self.columnar,
                 delta_batch: None,
+                hashjoin: None,
             };
             let mut derived = 0u64;
             eval_agg_rule(&ctx, rule, &mut self.envs, &mut |fact| {

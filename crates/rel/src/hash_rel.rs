@@ -105,7 +105,7 @@ impl Hasher for FxHasher {
     }
 }
 
-fn term_key_hash(t: &Term) -> u64 {
+pub(crate) fn term_key_hash(t: &Term) -> u64 {
     let mut h = FxHasher::default();
     t.hash(&mut h);
     h.finish()
@@ -115,7 +115,7 @@ fn term_key_hash(t: &Term) -> u64 {
 /// special `var` hash value.
 const VAR_COMPONENT: u64 = 0x76_61_72_5f_76_61_72_21; // "var_var!"
 
-fn combine(components: &[u64]) -> u64 {
+pub(crate) fn combine(components: &[u64]) -> u64 {
     let mut h = FxHasher::default();
     for &c in components {
         h.write_u64(c);

@@ -30,6 +30,7 @@ pub mod database;
 pub mod encoding;
 pub mod error;
 pub mod hash_rel;
+pub mod joinhash;
 pub mod list_rel;
 pub mod meter;
 pub mod persistent;
@@ -41,6 +42,7 @@ pub use counts::{CountChange, CountStore};
 pub use database::Database;
 pub use error::{RelError, RelResult};
 pub use hash_rel::{AggSelKind, AggregateSelection, HashRelation, Mark, RelSnapshot};
+pub use joinhash::{JoinHashTable, Probe};
 pub use list_rel::ListRelation;
 pub use persistent::PersistentRelation;
 pub use relation::{DupSemantics, IndexSpec, Relation, TupleIter};

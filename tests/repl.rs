@@ -319,6 +319,55 @@ fn maintain_command_golden_shape() {
 }
 
 #[test]
+fn hashjoin_command_golden_shape() {
+    let (stdout, stderr) = run_script(
+        "edge(0, 1). edge(0, 2). edge(1, 3). edge(2, 3). edge(3, 4).\n\
+         edge(1, 4). edge(2, 4). edge(4, 5). edge(3, 5). edge(0, 5).\n\
+         module tc.\n\
+         export path(ff).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+         end_module.\n\
+         :hashjoin\n\
+         :profile on\n\
+         ?- path(X, Y).\n\
+         :profile json\n\
+         :hashjoin off\n\
+         :hashjoin on\n\
+         :quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    // Flag defaults on; toggling renders both states.
+    assert!(stdout.contains("hash-join evaluation: on"), "{stdout}");
+    assert!(stdout.contains("hash-join evaluation: off"), "{stdout}");
+    if coral::core::profile::AVAILABLE {
+        // The profile JSON always carries the joinhash section with all
+        // five counters as integers.
+        assert!(stdout.contains("\"joinhash\": {"), "{stdout}");
+        for key in [
+            "tables_built",
+            "build_rows",
+            "probes",
+            "bloom_skips",
+            "fallback_probes",
+        ] {
+            let pat = format!("\"{key}\": ");
+            let line = stdout
+                .lines()
+                .find(|l| l.contains(&pat))
+                .unwrap_or_else(|| panic!("no {key} line in {stdout}"));
+            line.rsplit(": ")
+                .next()
+                .unwrap()
+                .trim_end_matches([',', '}'])
+                .trim()
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("{key} is not an integer: {e} in {line}"));
+        }
+    }
+}
+
+#[test]
 fn profile_without_collection_reports_nothing() {
     let (stdout, stderr) = run_script("edge(1, 2).\n:profile\n:quit\n");
     assert!(stderr.is_empty(), "stderr: {stderr}");
