@@ -1,0 +1,131 @@
+//! Check the E24 acceptance criterion against a
+//! `BENCH_txn_concurrency.json` report: under MVCC, the indexed reader
+//! must keep its throughput while a writer thread bulk-loads the same
+//! relation — `reader_under_bulkload/mvcc` may take at most
+//! [`MAX_SLOWDOWN`]× the median of `reader_baseline/mvcc`. The legacy
+//! `rwlock` rows are reported for comparison but not gated (how hard
+//! the shared lock stalls readers depends on scheduling). When profile
+//! counters are present, every reader row must also show buffer-pool
+//! traffic, proving the lookups really went through storage.
+//!
+//! Usage: `check_txn [path/to/BENCH_txn_concurrency.json]` (default
+//! `BENCH_txn_concurrency.json` in the current directory). Exits
+//! nonzero with a diagnostic when the bound is exceeded.
+
+use coral_core::profile::json::{self, Val};
+use std::process::ExitCode;
+
+const MODES: [&str; 2] = ["mvcc", "rwlock"];
+
+/// Slowdown budget for the MVCC reader under load. Snapshot readers
+/// take no relation lock, so the remaining slowdown sources are shared
+/// CPU with the loader thread and buffer-pool latching — generously
+/// bounded, while a reader serialized behind a bulk load blows far past
+/// it (the loader holds the lock for whole batches).
+const MAX_SLOWDOWN: f64 = 4.0;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_txn_concurrency.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_txn: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("check_txn: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(obj) = root.as_obj() else {
+        eprintln!("check_txn: {path}: top level is not an object");
+        return ExitCode::FAILURE;
+    };
+    // Reports must carry the host/configuration meta header; a
+    // meta-less file predates the header and is not comparable.
+    if json::get(obj, "meta").ok().and_then(Val::as_obj).is_none() {
+        eprintln!("check_txn: {path}: missing \"meta\" header (regenerate the report)");
+        return ExitCode::FAILURE;
+    }
+    let benchmarks: Vec<&[(String, Val)]> = json::get(obj, "benchmarks")
+        .ok()
+        .and_then(Val::as_arr)
+        .map(|a| a.iter().filter_map(Val::as_obj).collect())
+        .unwrap_or_default();
+    let row = |id: &str| -> Option<&[(String, Val)]> {
+        benchmarks
+            .iter()
+            .copied()
+            .find(|b| json::get_str(b, "id").is_ok_and(|s| s == id))
+    };
+    let have_counters = benchmarks.iter().any(|b| {
+        json::get(b, "counters")
+            .ok()
+            .and_then(Val::as_obj)
+            .is_some_and(|c| !c.is_empty())
+    });
+
+    let mut failures = Vec::new();
+    for mode in MODES {
+        let ids = [
+            format!("reader_baseline/{mode}"),
+            format!("reader_under_bulkload/{mode}"),
+        ];
+        let mut medians = [0u64; 2];
+        for (i, id) in ids.iter().enumerate() {
+            let Some(b) = row(id) else {
+                failures.push(format!("{id}: row missing from report"));
+                continue;
+            };
+            medians[i] = json::get_u64(b, "median_ns").unwrap_or(0);
+            if medians[i] == 0 {
+                failures.push(format!("{id}: zero or missing median_ns"));
+            }
+            // Thread-local counters cover the measured (reader) thread:
+            // real lookups must have touched the buffer pool.
+            if have_counters {
+                let hits = json::get(b, "counters")
+                    .ok()
+                    .and_then(Val::as_obj)
+                    .and_then(|c| json::get_u64(c, "storage.pool_hits").ok())
+                    .unwrap_or(0);
+                if hits == 0 {
+                    failures.push(format!("{id}: no buffer-pool traffic on the reader thread"));
+                }
+            }
+        }
+        let [base, load] = medians;
+        if base == 0 || load == 0 {
+            continue;
+        }
+        let slowdown = load as f64 / base as f64;
+        let verdict = if mode != "mvcc" {
+            "reported"
+        } else if slowdown <= MAX_SLOWDOWN {
+            "ok"
+        } else {
+            failures.push(format!(
+                "{mode}: reader slowed {slowdown:.2}x under the bulk load \
+                 (budget {MAX_SLOWDOWN}x, baseline {base}ns, loaded {load}ns)"
+            ));
+            "FAIL"
+        };
+        println!(
+            "{mode}: reader baseline {base}ns, under bulk load {load}ns ({slowdown:.2}x) {verdict}"
+        );
+    }
+    if failures.is_empty() {
+        println!("check_txn: MVCC reader stays within {MAX_SLOWDOWN}x of baseline under bulk load");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("check_txn: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

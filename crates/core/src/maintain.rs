@@ -612,9 +612,38 @@ pub(crate) struct MaintainedState {
     /// Base predicates (external, non-builtin) this module reads;
     /// sorted for deterministic fingerprints.
     base_deps: Vec<PredRef>,
+    /// Per-relation mutation epochs of the *persistent* base deps, as
+    /// of the last change this state saw. Persistent relations are
+    /// shared across sessions, and another session's writes never reach
+    /// this engine's `on_base_change` — the server-side epoch counter
+    /// does advance, so any unseen interleaved write shows up as a gap
+    /// and the state is discarded rather than read (see
+    /// [`MaintainedState::propagate`] and `epochs_current`).
+    base_epochs: HashMap<PredRef, u64>,
     /// True from propagation start to completion, and permanently on
     /// any anomaly: a stale state is discarded and rebuilt, never read.
     stale: bool,
+}
+
+/// The server-side mutation epoch of `pred`'s relation, if it is a
+/// persistent relation. In-memory relations have no epoch: they are
+/// private to this engine, which sees every change directly.
+fn persistent_epoch(engine: &Engine, pred: PredRef) -> Option<u64> {
+    let rel = engine.db().get(pred.name, pred.arity)?;
+    rel.as_any()
+        .downcast_ref::<coral_rel::PersistentRelation>()
+        .map(|p| p.epoch())
+}
+
+/// Snapshot the epochs of every persistent base dependency. Taken
+/// *before* the state reads the base relations, so a write racing the
+/// build makes the recorded epoch lag the actual one — detected as a
+/// gap later, forcing a rebuild (over-discarding is safe).
+fn base_epochs_now(engine: &Engine, base_deps: &[PredRef]) -> HashMap<PredRef, u64> {
+    base_deps
+        .iter()
+        .filter_map(|p| persistent_epoch(engine, *p).map(|e| (*p, e)))
+        .collect()
 }
 
 /// The compile-time half of building a maintained state: rewrite with
@@ -763,6 +792,7 @@ impl MaintainedState {
         let Some((cm, strategies, base_deps)) = prepare(engine, mdef, pred, kind) else {
             return Ok(None);
         };
+        let base_epochs = base_epochs_now(engine, &base_deps);
         let mut state = FixpointState::new(Rc::clone(&cm), &mdef.setup)?
             .with_strategy(Strategy::from(mdef.controls.fixpoint))
             .with_threads(engine.threads())
@@ -838,6 +868,7 @@ impl MaintainedState {
             counts,
             shadow,
             base_deps,
+            base_epochs,
             stale: false,
         }))
     }
@@ -855,6 +886,20 @@ impl MaintainedState {
         if self.stale {
             return;
         }
+        // Persistent base relations are shared across sessions. This
+        // change bumped the server epoch by one; if the actual epoch
+        // advanced further, another session wrote in between and this
+        // state never saw it — discard rather than repair from a base
+        // we did not observe completely.
+        if let Some(recorded) = self.base_epochs.get_mut(&pred) {
+            match persistent_epoch(engine, pred) {
+                Some(actual) if actual == *recorded + 1 => *recorded = actual,
+                _ => {
+                    self.stale = true;
+                    return;
+                }
+            }
+        }
         self.stale = true;
         if !tuple.is_ground() {
             return;
@@ -862,6 +907,16 @@ impl MaintainedState {
         if let Ok(true) = self.propagate_inner(engine, pred, tuple, is_insert) {
             self.stale = false;
         }
+    }
+
+    /// Whether every persistent base dependency is still at the epoch
+    /// this state last saw. A lagging epoch means another session wrote
+    /// the shared relation behind our back; the state must be rebuilt
+    /// before answering.
+    pub(crate) fn epochs_current(&self, engine: &Engine) -> bool {
+        self.base_epochs
+            .iter()
+            .all(|(p, &e)| persistent_epoch(engine, *p) == Some(e))
     }
 
     /// Returns `Ok(true)` on a complete, consistent propagation;
@@ -1405,6 +1460,7 @@ impl MaintainedState {
         bytes: &[u8],
     ) -> Option<MaintainedState> {
         let (cm, strategies, base_deps) = prepare(engine, mdef, pred, kind)?;
+        let base_epochs = base_epochs_now(engine, &base_deps);
         let mut r = Reader { bytes, at: 0 };
         if r.take(5)? != SNAP_MAGIC {
             return None;
@@ -1490,6 +1546,7 @@ impl MaintainedState {
             counts,
             shadow,
             base_deps,
+            base_epochs,
             stale: false,
         })
     }
@@ -1558,7 +1615,7 @@ pub(crate) fn try_maintained_call(
     let mut map = mdef.maintained.borrow_mut();
     let needs_build = match map.get(&pred) {
         Some(None) => return Ok(None),
-        Some(Some(st)) => st.stale(),
+        Some(Some(st)) => st.stale() || !st.epochs_current(engine),
         None => true,
     };
     // `auto` must never trade a bound query's binding propagation

@@ -470,6 +470,67 @@ impl Session {
         Ok(rel)
     }
 
+    /// Begin a storage transaction covering this session's registered
+    /// persistent relations: every handle's reads and writes go through
+    /// the transaction until [`Session::end_request_txn`]. Returns
+    /// `None` (a no-op) when no storage is attached or the store runs
+    /// the legacy non-MVCC path. The network server brackets each
+    /// mutating request this way; a [`Session::is_txn_conflict`] error
+    /// anywhere in between means "abort and retry".
+    pub fn begin_request_txn(&self) -> EvalResult<Option<u64>> {
+        let Some(storage) = self.storage.borrow().clone() else {
+            return Ok(None);
+        };
+        if !storage.mvcc_enabled() {
+            return Ok(None);
+        }
+        let txn = storage.begin().map_err(coral_rel::RelError::from)?;
+        self.for_each_persistent(|p| p.set_txn(Some(txn)));
+        Ok(Some(txn))
+    }
+
+    /// Finish a transaction started by [`Session::begin_request_txn`]:
+    /// detach every persistent handle, then commit (`commit = true`) or
+    /// abort it. Commit may itself fail with a retryable conflict
+    /// (read-set validation at the group-commit barrier); the handles
+    /// are detached either way.
+    pub fn end_request_txn(&self, txn: u64, commit: bool) -> EvalResult<()> {
+        self.for_each_persistent(|p| p.set_txn(None));
+        let Some(storage) = self.storage.borrow().clone() else {
+            return Ok(());
+        };
+        let res = if commit {
+            storage.commit(txn)
+        } else {
+            storage.abort(txn)
+        };
+        res.map_err(coral_rel::RelError::from)?;
+        Ok(())
+    }
+
+    /// True when `err` is a retryable transaction conflict surfaced
+    /// from the storage layer (write-write lock conflict, wound, or
+    /// commit-time read validation failure). Callers should abort the
+    /// request transaction and retry, ideally with backoff.
+    pub fn is_txn_conflict(err: &EvalError) -> bool {
+        matches!(
+            err,
+            EvalError::Rel(coral_rel::RelError::Storage(
+                coral_storage::StorageError::TxnConflict(_)
+            ))
+        )
+    }
+
+    fn for_each_persistent(&self, f: impl Fn(&PersistentRelation)) {
+        for (name, arity) in self.engine.db().list() {
+            if let Some(rel) = self.engine.db().get(name, arity) {
+                if let Some(p) = rel.as_any().downcast_ref::<PersistentRelation>() {
+                    f(p);
+                }
+            }
+        }
+    }
+
     /// Explain why a ground fact holds: returns a well-founded
     /// derivation tree (the paper's Explanation tool), or `None` if the
     /// fact is not derivable. E.g. `session.explain_fact("path(1, 3)")`.

@@ -610,6 +610,17 @@ impl Conn<'_> {
         f(&self.session)
     }
 
+    /// The response for a lost transaction conflict: retry after the
+    /// same suggested backoff overload shedding uses. The client's
+    /// existing `Retry` handling (exponential backoff + jitter, then
+    /// replay) covers both cases.
+    fn txn_retry(&self) -> Response {
+        NetStats::add(&self.shared.stats.txn_conflicts, 1);
+        Response::Retry {
+            after_ms: self.shared.config.shed_backoff_ms,
+        }
+    }
+
     /// Map an engine error to a response, counting governor kills.
     fn eval_error(&self, e: &EvalError) -> Response {
         if matches!(e, EvalError::BudgetExceeded { .. }) {
@@ -658,9 +669,39 @@ impl Conn<'_> {
                 if src == tests::PANIC_PROBE {
                     panic!("test-injected connection panic");
                 }
-                match self.timed(|s| s.consult_str(&src)) {
-                    Ok(queries) => (Response::ConsultOk(queries), false),
-                    Err(e) => (self.eval_error(&e), false),
+                // Bracket the (potentially mutating) consult in a storage
+                // transaction. Under MVCC, concurrent sessions writing the
+                // same relation conflict retryably instead of corrupting
+                // shared structures mid-interleaving; the loser's partial
+                // writes are rolled back and the client replays the whole
+                // consult after backoff (`Response::Retry`). Non-MVCC (or
+                // storage-less) sessions get `None` and run as before.
+                let txn = match self.session.begin_request_txn() {
+                    Ok(t) => t,
+                    Err(e) => return (self.eval_error(&e), false),
+                };
+                let result = self.timed(|s| s.consult_str(&src));
+                match (txn, result) {
+                    (None, Ok(queries)) => (Response::ConsultOk(queries), false),
+                    (None, Err(e)) => (self.eval_error(&e), false),
+                    (Some(id), Ok(queries)) => match self.session.end_request_txn(id, true) {
+                        Ok(()) => (Response::ConsultOk(queries), false),
+                        Err(e) if Session::is_txn_conflict(&e) => (self.txn_retry(), false),
+                        Err(e) => (self.eval_error(&e), false),
+                    },
+                    (Some(id), Err(e)) => {
+                        // Abort: the rollback must happen even when the
+                        // error is not a conflict, or the transaction's
+                        // page locks would outlive the request.
+                        let aborted = self.session.end_request_txn(id, false);
+                        if Session::is_txn_conflict(&e) {
+                            (self.txn_retry(), false)
+                        } else if let Err(ae) = aborted {
+                            (self.eval_error(&ae), false)
+                        } else {
+                            (self.eval_error(&e), false)
+                        }
+                    }
                 }
             }
             Request::Query(src) => {

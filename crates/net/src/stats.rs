@@ -16,6 +16,7 @@ pub struct NetStats {
     pub(crate) bytes_out: AtomicU64,
     pub(crate) shed: AtomicU64,
     pub(crate) budget_killed: AtomicU64,
+    pub(crate) txn_conflicts: AtomicU64,
 }
 
 /// A point-in-time copy of a server's [`NetStats`].
@@ -38,6 +39,9 @@ pub struct NetStatsSnapshot {
     /// Requests killed by the resource governor (`BudgetExceeded`
     /// errors and truncated answer streams).
     pub budget_killed: u64,
+    /// Mutating requests that lost a storage transaction conflict and
+    /// were answered with `Retry` (the client backs off and replays).
+    pub txn_conflicts: u64,
 }
 
 impl NetStats {
@@ -60,6 +64,7 @@ impl NetStats {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             budget_killed: self.budget_killed.load(Ordering::Relaxed),
+            txn_conflicts: self.txn_conflicts.load(Ordering::Relaxed),
         }
     }
 }
@@ -69,13 +74,14 @@ impl std::fmt::Display for NetStatsSnapshot {
         write!(
             f,
             "connections: {} accepted, {} active; requests: {} ({} errors, {} shed, \
-             {} budget-killed); bytes: {} in, {} out",
+             {} budget-killed, {} txn-conflicts); bytes: {} in, {} out",
             self.connections_accepted,
             self.connections_active,
             self.requests,
             self.errors,
             self.shed,
             self.budget_killed,
+            self.txn_conflicts,
             self.bytes_in,
             self.bytes_out
         )

@@ -20,9 +20,9 @@
 use crate::encoding::{encode_cols, encode_tuple};
 use crate::error::{RelError, RelResult};
 use crate::relation::{IndexSpec, Relation, TupleIter};
-use coral_storage::{BTree, HeapFile, PageId, RecordId, StorageClient};
+use coral_storage::{BTree, HeapFile, PageId, RecordId, SnapshotGuard, StorageClient, View};
 use coral_term::{match_args, Term, Tuple};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::{Arc, RwLock};
 
 fn rid_bytes(rid: RecordId) -> [u8; 10] {
@@ -73,7 +73,42 @@ pub struct PersistentRelation {
     /// read-copy-modify-write sequences over heap + B+-trees; holding
     /// the write side across each mutation keeps concurrent server
     /// sessions from interleaving mid-split and corrupting the tree.
+    ///
+    /// Under MVCC this lock still serializes *non-transactional* (Live)
+    /// mutators of one relation; *readers* no longer take it — they pin
+    /// a snapshot instead — and transactional mutators are additionally
+    /// serialized by page write locks (every insert/delete touches the
+    /// primary tree's meta page, so two transactions mutating the same
+    /// relation always conflict and one retries).
     lock: Arc<RwLock<()>>,
+    /// The transaction this handle's operations run in (`None` = live /
+    /// autonomous). Set by the session layer around each request.
+    txn: Cell<Option<u64>>,
+    /// The schema generation (see `StorageServer::bump_schema_epoch`)
+    /// this handle last loaded its index list at, or [`RESYNC`]. Another
+    /// session creating an index advances the server-side epoch; on a
+    /// mismatch the handle re-reads the schema before using (or worse,
+    /// not updating) its cached index list.
+    schema_seen: Cell<u64>,
+}
+
+/// Sentinel for `schema_seen`: the cached index list may not reflect the
+/// committed schema, so the next operation must re-read it regardless of
+/// the epoch counter. Set whenever the list was loaded through a
+/// transaction's view — the record read there may be the transaction's
+/// own uncommitted write, which an abort would revert while the epoch
+/// stays bumped.
+const RESYNC: u64 = u64::MAX;
+
+/// Restores a relation's handle views when a scoped snapshot read ends.
+struct ViewScope<'a> {
+    rel: &'a PersistentRelation,
+}
+
+impl Drop for ViewScope<'_> {
+    fn drop(&mut self) {
+        self.rel.apply_view(self.rel.base_view());
+    }
 }
 
 impl PersistentRelation {
@@ -101,18 +136,25 @@ impl PersistentRelation {
             schema,
             stats_file,
             lock: Arc::clone(&lock),
+            txn: Cell::new(None),
+            schema_seen: Cell::new(0),
         };
         // Load or initialize the schema record.
         let existing: Vec<(RecordId, Vec<u8>)> = rel.schema.scan().collect::<Result<_, _>>()?;
         match existing.first() {
             Some((_, bytes)) => {
-                let (stored_arity, col_lists) = decode_schema(bytes)?;
+                let (stored_arity, col_lists, gen) = decode_schema(bytes)?;
                 if stored_arity != arity {
                     return Err(RelError::Arity {
                         expected: stored_arity,
                         got: arity,
                     });
                 }
+                // The epoch counter is in-memory; after a server restart
+                // it must not fall below the persisted generation or
+                // later bumps would be invisible to this handle.
+                server.seed_schema_epoch(name, gen);
+                rel.schema_seen.set(gen);
                 let mut indices = rel.indices.borrow_mut();
                 for (i, cols) in col_lists.into_iter().enumerate() {
                     let tree = server.btree(&format!("{name}.idx{i}"))?;
@@ -120,7 +162,7 @@ impl PersistentRelation {
                 }
             }
             None => {
-                rel.schema.insert(&encode_schema(arity, &[]))?;
+                rel.schema.insert(&encode_schema(arity, &[], 0))?;
             }
         }
         drop(guard);
@@ -130,6 +172,65 @@ impl PersistentRelation {
     /// The relation's catalog name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Run this handle's subsequent operations inside `txn` (`None`
+    /// detaches). The session layer brackets each mutating request with
+    /// a storage transaction and points every registered persistent
+    /// relation at it.
+    pub fn set_txn(&self, txn: Option<u64>) {
+        self.txn.set(txn);
+        self.apply_view(self.base_view());
+    }
+
+    /// The transaction this handle is attached to, if any.
+    pub fn txn(&self) -> Option<u64> {
+        self.txn.get()
+    }
+
+    /// The storage server this relation lives on.
+    pub fn server(&self) -> &StorageClient {
+        &self.server
+    }
+
+    /// This relation's mutation epoch (bumped on every applied
+    /// insert/delete by any handle; see `StorageServer::bump_epoch`).
+    pub fn epoch(&self) -> u64 {
+        self.server.epoch(&self.name)
+    }
+
+    fn base_view(&self) -> View {
+        self.txn.get().map_or(View::Live, View::Txn)
+    }
+
+    /// Point every storage handle of this relation at `view`.
+    fn apply_view(&self, view: View) {
+        self.heap.set_view(view);
+        self.primary.set_view(view);
+        self.schema.set_view(view);
+        self.stats_file.set_view(view);
+        for ix in self.indices.borrow().iter() {
+            ix.tree.set_view(view);
+        }
+    }
+
+    /// Begin a lock-free snapshot read: pin the current committed state
+    /// and point the handles at it until the scope drops. `None` when
+    /// reads should go through the base view instead (inside a
+    /// transaction, or MVCC off).
+    fn snapshot_read(&self) -> Option<(Arc<SnapshotGuard>, ViewScope<'_>)> {
+        if self.txn.get().is_some() || !self.server.mvcc_enabled() {
+            return None;
+        }
+        let guard = SnapshotGuard::pin(self.server.pool());
+        self.apply_view(View::Snapshot(guard.ts()));
+        Some((guard, ViewScope { rel: self }))
+    }
+
+    /// The shared-lock guard legacy (non-MVCC) readers hold; MVCC
+    /// readers rely on their pinned snapshot instead and never block.
+    fn legacy_read_guard(&self) -> Option<std::sync::RwLockReadGuard<'_, ()>> {
+        (!self.server.mvcc_enabled()).then(|| self.lock.read().unwrap())
     }
 
     /// The stored arity of the named relation in this store, or `None`
@@ -162,7 +263,52 @@ impl PersistentRelation {
             .collect()
     }
 
-    fn persist_schema(&self) -> RelResult<()> {
+    /// Re-read the index list from the persisted schema if another
+    /// handle changed it since this one last looked (the server-side
+    /// schema epoch advanced). Without this, a handle opened before an
+    /// index existed would keep inserting tuples that never reach the
+    /// new index — a silently incomplete index, i.e. wrong (missing)
+    /// answers for every indexed lookup afterwards. Mutators call this
+    /// under the relation write lock; lock-free MVCC readers call it
+    /// unlocked, where a torn schema read (mid-rewrite by a concurrent
+    /// `make_index`) is benign: the epoch is left unsynced and the
+    /// reader falls back to a full scan.
+    fn sync_indices(&self) -> RelResult<()> {
+        let actual = self.server.schema_epoch(&self.name);
+        let seen = self.schema_seen.get();
+        if seen != RESYNC && seen >= actual {
+            return Ok(());
+        }
+        let Some(rec) = self.schema.scan().next() else {
+            return Ok(());
+        };
+        let (_, bytes) = rec?;
+        let (_, col_lists, gen) = decode_schema(&bytes)?;
+        let view = self.heap.view();
+        let mut indices = self.indices.borrow_mut();
+        indices.clear();
+        for (i, cols) in col_lists.into_iter().enumerate() {
+            let tree = self
+                .server
+                .btree_with_view(&format!("{}.idx{i}", self.name), view)?;
+            indices.push(SecondaryIndex { cols, tree });
+        }
+        drop(indices);
+        // Record the generation of the record we could actually *see*,
+        // not the epoch counter: under MVCC the visible record may lag
+        // the bump (the bumping transaction is still in flight, or
+        // aborted), and marking it seen would freeze a stale index list
+        // exactly when it is about to change. Inside a transaction the
+        // cache is never marked clean at all — see [`RESYNC`].
+        self.schema_seen.set(if self.txn.get().is_some() {
+            RESYNC
+        } else {
+            gen
+        });
+        Ok(())
+    }
+
+    fn persist_schema(&self, gen: u64) -> RelResult<()> {
         let col_lists: Vec<Vec<usize>> = self
             .indices
             .borrow()
@@ -174,7 +320,8 @@ impl PersistentRelation {
         for (rid, _) in old {
             self.schema.delete(rid)?;
         }
-        self.schema.insert(&encode_schema(self.arity, &col_lists))?;
+        self.schema
+            .insert(&encode_schema(self.arity, &col_lists, gen))?;
         Ok(())
     }
 
@@ -196,7 +343,9 @@ impl PersistentRelation {
     /// this verifies the structures agree with each other. Read-only;
     /// returns the violations found (empty = clean).
     pub fn check(&self) -> RelResult<Vec<String>> {
-        let _read = self.lock.read().unwrap();
+        let _read = self.legacy_read_guard();
+        self.sync_indices()?;
+        let _snap = self.snapshot_read();
         let name = &self.name;
         let mut problems = Vec::new();
         let mut heap_count = 0u64;
@@ -330,7 +479,7 @@ impl PersistentRelation {
     }
 }
 
-fn encode_schema(arity: usize, col_lists: &[Vec<usize>]) -> Vec<u8> {
+fn encode_schema(arity: usize, col_lists: &[Vec<usize>], gen: u64) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&(arity as u16).to_be_bytes());
     out.extend_from_slice(&(col_lists.len() as u16).to_be_bytes());
@@ -340,10 +489,11 @@ fn encode_schema(arity: usize, col_lists: &[Vec<usize>]) -> Vec<u8> {
             out.extend_from_slice(&(c as u16).to_be_bytes());
         }
     }
+    out.extend_from_slice(&gen.to_be_bytes());
     out
 }
 
-fn decode_schema(bytes: &[u8]) -> RelResult<(usize, Vec<Vec<usize>>)> {
+fn decode_schema(bytes: &[u8]) -> RelResult<(usize, Vec<Vec<usize>>, u64)> {
     let rd = |i: usize| -> RelResult<u16> {
         bytes
             .get(i..i + 2)
@@ -364,7 +514,13 @@ fn decode_schema(bytes: &[u8]) -> RelResult<(usize, Vec<Vec<usize>>)> {
         }
         lists.push(cols);
     }
-    Ok((arity, lists))
+    // Trailing schema generation; records written before generations
+    // existed simply end here and read as generation 0.
+    let gen = bytes
+        .get(off..off + 8)
+        .map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+        .unwrap_or(0);
+    Ok((arity, lists, gen))
 }
 
 impl Relation for PersistentRelation {
@@ -377,6 +533,7 @@ impl Relation for PersistentRelation {
     }
 
     fn len(&self) -> usize {
+        let _snap = self.snapshot_read();
         self.primary.len().map(|n| n as usize).unwrap_or(0)
     }
 
@@ -384,6 +541,7 @@ impl Relation for PersistentRelation {
         self.check_arity(&tuple)?;
         let encoded = encode_tuple(&tuple)?; // rejects non-primitives
         let _write = self.lock.write().unwrap();
+        self.sync_indices()?;
         if self.find_rid(&encoded)?.is_some() {
             return Ok(false);
         }
@@ -397,6 +555,7 @@ impl Relation for PersistentRelation {
             ix.tree.insert(&key)?;
         }
         self.update_stats_locked(|s| s.on_insert(tuple.args()))?;
+        self.server.bump_epoch(&self.name);
         crate::meter::add_tuples(1);
         Ok(true)
     }
@@ -405,6 +564,7 @@ impl Relation for PersistentRelation {
         self.check_arity(tuple)?;
         let encoded = encode_tuple(tuple)?;
         let _write = self.lock.write().unwrap();
+        self.sync_indices()?;
         let Some(rid) = self.find_rid(&encoded)? else {
             return Ok(false);
         };
@@ -418,12 +578,22 @@ impl Relation for PersistentRelation {
             ix.tree.delete(&key)?;
         }
         self.update_stats_locked(|s| s.on_delete(tuple.args()))?;
+        self.server.bump_epoch(&self.name);
         crate::meter::add_deleted(1);
         Ok(true)
     }
 
     fn scan(&self) -> TupleIter {
-        let scan = self.heap.scan();
+        // MVCC: pin a snapshot and hand it to the lazy scan so it reads a
+        // stable commit point without blocking writers. Legacy: the lazy
+        // heap scan relies on per-page atomicity only, as before.
+        let scan = match self.snapshot_read() {
+            Some((guard, _scope)) => {
+                let view = View::Snapshot(guard.ts());
+                self.heap.scan_with(view, Some(guard))
+            }
+            None => self.heap.scan(),
+        };
         Box::new(scan.map(|r| match r {
             Ok((_, bytes)) => crate::encoding::decode_tuple(&bytes),
             Err(e) => Err(e.into()),
@@ -431,11 +601,15 @@ impl Relation for PersistentRelation {
     }
 
     fn lookup(&self, pattern: &[Term]) -> TupleIter {
-        // Shared lock while the indexed path walks tree + heap pages, so
-        // a concurrent writer cannot split a node out from under the
-        // descent. (The unindexed fallback returns a lazy heap scan that
-        // outlives this call; it relies on per-page atomicity only.)
-        let _read = self.lock.read().unwrap();
+        // Legacy: shared lock while the indexed path walks tree + heap
+        // pages, so a concurrent writer cannot split a node out from under
+        // the descent. MVCC: no lock — the descent reads a pinned snapshot
+        // and the indexed path materialises before the view scope drops.
+        let _read = self.legacy_read_guard();
+        if let Err(e) = self.sync_indices() {
+            return Box::new(std::iter::once(Err(e)));
+        }
+        let snap = self.snapshot_read();
         // Choose the secondary index with the most columns bound to
         // ground primitives by the pattern; else fall back to a filtered
         // heap scan.
@@ -481,7 +655,14 @@ impl Relation for PersistentRelation {
             }
             None => {
                 let pattern = pattern.to_vec();
-                let scan = self.heap.scan();
+                // The lazy fallback scan outlives this call, so it carries
+                // its own snapshot pin (MVCC) or view (legacy/txn).
+                let scan = match &snap {
+                    Some((guard, _)) => self
+                        .heap
+                        .scan_with(View::Snapshot(guard.ts()), Some(Arc::clone(guard))),
+                    None => self.heap.scan(),
+                };
                 Box::new(scan.filter_map(move |r| match r {
                     Ok((_, bytes)) => match crate::encoding::decode_tuple(&bytes) {
                         Ok(t) => {
@@ -515,8 +696,28 @@ impl Relation for PersistentRelation {
             )));
         }
         let _write = self.lock.write().unwrap();
+        self.sync_indices()?;
+        // Idempotent: an index over these columns already exists (often
+        // another session auto-indexed first). Creating a duplicate
+        // would double every write and bloat the catalog.
+        if self.indices.borrow().iter().any(|ix| ix.cols == cols) {
+            return Ok(());
+        }
+        // Touch the stats record before scanning: every transactional
+        // insert/delete writes it too, so a concurrent mutator's
+        // transaction and this build always write-conflict and one of
+        // them retries. Without the touch the pair can write-skew — a
+        // mutation invisible to the retrofit scan below (uncommitted, or
+        // committed onto a page the scan never read) commits anyway and
+        // leaves the new index silently out of step with the heap.
+        self.update_stats_locked(|_| {})?;
         let ordinal = self.indices.borrow().len();
-        let tree = self.server.btree(&format!("{}.idx{ordinal}", self.name))?;
+        // The view must be in force for the *creation*: a brand-new
+        // tree's meta initialization is a write, and inside a
+        // transaction it has to belong to that transaction.
+        let tree = self
+            .server
+            .btree_with_view(&format!("{}.idx{ordinal}", self.name), self.base_view())?;
         // Retrofit over existing tuples.
         for rec in self.heap.scan() {
             let (rid, bytes) = rec?;
@@ -528,7 +729,16 @@ impl Relation for PersistentRelation {
         self.indices
             .borrow_mut()
             .push(SecondaryIndex { cols, tree });
-        self.persist_schema()?;
+        let gen = self.server.bump_schema_epoch(&self.name);
+        self.persist_schema(gen)?;
+        // Inside a transaction the new list must not be cached: an abort
+        // reverts the persisted schema but not this handle's RefCell, and
+        // a "clean" cache would then route writes into a phantom index.
+        self.schema_seen.set(if self.txn.get().is_some() {
+            RESYNC
+        } else {
+            gen
+        });
         Ok(())
     }
 
@@ -543,7 +753,8 @@ impl Relation for PersistentRelation {
     }
 
     fn stats(&self) -> Option<coral_stats::RelStats> {
-        let _read = self.lock.read().unwrap();
+        let _read = self.legacy_read_guard();
+        let _snap = self.snapshot_read();
         Some(self.load_stats_locked())
     }
 
@@ -562,8 +773,9 @@ impl Relation for PersistentRelation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coral_storage::StorageServer;
+    use coral_storage::{StorageError, StorageServer};
     use std::path::PathBuf;
+    use std::time::Duration;
 
     fn server(name: &str) -> StorageClient {
         let d: PathBuf = std::env::temp_dir().join(format!(
@@ -572,6 +784,19 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&d);
         StorageServer::open(&d, 64).unwrap()
+    }
+
+    /// A server with MVCC pinned on, independent of `CORAL_MVCC` — for
+    /// tests of snapshot/transaction semantics that the legacy RwLock
+    /// path deliberately does not provide.
+    fn server_mvcc(name: &str) -> StorageClient {
+        let d: PathBuf = std::env::temp_dir().join(format!(
+            "coral-persistent-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        StorageServer::open_with_mode(&d, 64, std::sync::Arc::new(coral_storage::StdVfs), true)
+            .unwrap()
     }
 
     fn flight(from: &str, to: &str, cost: i64) -> Tuple {
@@ -794,6 +1019,105 @@ mod tests {
                 .unwrap();
             assert_eq!(hits.len(), 1);
         }
+    }
+
+    fn row(i: i64) -> Tuple {
+        Tuple::ground(vec![Term::int(i), Term::str(&format!("row-{i}"))])
+    }
+
+    /// A lazy scan pins the commit point it started from: tuples
+    /// committed afterwards by another handle stay invisible to it.
+    #[test]
+    fn snapshot_scan_isolated_from_concurrent_writer() {
+        let srv = server_mvcc("snapscan");
+        assert!(srv.mvcc_enabled());
+        let r = PersistentRelation::open(&srv, "f", 2).unwrap();
+        for i in 0..10 {
+            assert!(r.insert(row(i)).unwrap());
+        }
+        let scan = r.scan(); // pins a snapshot before the writer runs
+        let w = PersistentRelation::open(&srv, "f", 2).unwrap();
+        for i in 10..20 {
+            assert!(w.insert(row(i)).unwrap());
+        }
+        let seen: Vec<Tuple> = scan.collect::<RelResult<_>>().unwrap();
+        assert_eq!(seen.len(), 10, "snapshot scan ignores later commits");
+        assert!(seen
+            .iter()
+            .all(|t| matches!(t.args()[0], Term::Int(i) if i < 10)));
+        assert_eq!(r.len(), 20, "a fresh read sees everything");
+    }
+
+    #[test]
+    fn txn_writes_invisible_until_commit() {
+        let srv = server_mvcc("txnvis");
+        let r = PersistentRelation::open(&srv, "f", 2).unwrap();
+        let reader = PersistentRelation::open(&srv, "f", 2).unwrap();
+        let t = srv.begin().unwrap();
+        r.set_txn(Some(t));
+        assert!(r.insert(row(1)).unwrap());
+        assert_eq!(r.len(), 1, "a transaction sees its own writes");
+        assert_eq!(reader.len(), 0, "uncommitted writes stay private");
+        srv.commit(t).unwrap();
+        r.set_txn(None);
+        assert_eq!(reader.len(), 1, "commit publishes the write");
+    }
+
+    #[test]
+    fn txn_conflict_is_retryable_after_commit() {
+        let srv = server_mvcc("txnconf");
+        srv.set_lock_timeout(Duration::from_millis(0));
+        let r1 = PersistentRelation::open(&srv, "f", 2).unwrap();
+        let r2 = PersistentRelation::open(&srv, "f", 2).unwrap();
+        let t1 = srv.begin().unwrap();
+        r1.set_txn(Some(t1));
+        assert!(r1.insert(row(1)).unwrap());
+        let t2 = srv.begin().unwrap();
+        r2.set_txn(Some(t2));
+        let err = r2.insert(row(2)).unwrap_err();
+        assert!(
+            matches!(err, RelError::Storage(StorageError::TxnConflict(_))),
+            "concurrent writers to one relation conflict retryably: {err}"
+        );
+        srv.abort(t2).unwrap();
+        r2.set_txn(None);
+        srv.commit(t1).unwrap();
+        r1.set_txn(None);
+        // The loser retries after the winner commits and succeeds.
+        assert!(r2.insert(row(2)).unwrap());
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn aborted_txn_leaves_no_trace() {
+        let srv = server("txnabort");
+        let r = PersistentRelation::open(&srv, "f", 2).unwrap();
+        assert!(r.insert(row(1)).unwrap());
+        let t = srv.begin().unwrap();
+        r.set_txn(Some(t));
+        assert!(r.insert(row(2)).unwrap());
+        assert!(r.delete(&row(1)).unwrap());
+        srv.abort(t).unwrap();
+        r.set_txn(None);
+        let all: Vec<Tuple> = r.scan().collect::<RelResult<_>>().unwrap();
+        assert_eq!(all, vec![row(1)], "abort rolled every structure back");
+        assert_eq!(r.stats().unwrap().cardinality(), 1);
+        assert!(r.check().unwrap().is_empty());
+    }
+
+    #[test]
+    fn epochs_bump_only_on_applied_mutations() {
+        let srv = server("epochs");
+        let r = PersistentRelation::open(&srv, "f", 2).unwrap();
+        let e0 = r.epoch();
+        assert!(r.insert(row(1)).unwrap());
+        assert_eq!(r.epoch(), e0 + 1);
+        assert!(!r.insert(row(1)).unwrap());
+        assert_eq!(r.epoch(), e0 + 1, "duplicate insert does not bump");
+        assert!(r.delete(&row(1)).unwrap());
+        assert_eq!(r.epoch(), e0 + 2);
+        assert!(!r.delete(&row(1)).unwrap());
+        assert_eq!(r.epoch(), e0 + 2, "missed delete does not bump");
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   reopen (replaying the WAL), and assert that no committed tuple was
 //!   lost, no uncommitted tuple is visible, and every on-disk structure
 //!   passes its integrity check.
+//! * [`mtx`] — multi-session workloads: seeded interleavings of
+//!   concurrent transactions (insert/delete/index-build/checkpoint) over
+//!   shared relations, the crash matrix applied per committed
+//!   transaction, and a serialisability oracle that replays the
+//!   committed history serially in commit order and demands identical
+//!   final contents and statistics.
 //!
 //! Everything is seed-reproducible and runs offline with no real disk
 //! I/O. A failure report always includes the seed and the crash-point
@@ -24,7 +30,9 @@
 //! [`harness::run_crash_point`].
 
 pub mod harness;
+pub mod mtx;
 pub mod simfs;
 
 pub use harness::{count_ops, gen_workload, run_crash_matrix, run_crash_point};
+pub use mtx::{mtx_count_ops, run_mtx_crash_matrix, run_mtx_crash_point, run_mtx_oracle};
 pub use simfs::SimVfs;

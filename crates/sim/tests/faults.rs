@@ -95,6 +95,66 @@ fn double_fsync_failure_poisons_log_until_checkpoint() {
     assert_eq!(live, vec![b"after-heal".to_vec(), b"keep".to_vec()]);
 }
 
+/// The poison-until-checkpoint path under the MVCC transaction manager:
+/// a double fsync failure during a group commit poisons the log; later
+/// transactions' commits are refused with a clear error *and cleanly
+/// aborted* (no transaction leaks, no partial state), a checkpoint heals
+/// the log, and a post-heal crash recovers exactly the committed state.
+#[test]
+fn poisoned_log_aborts_mvcc_commits_until_checkpoint_then_recovers() {
+    let vfs = SimVfs::new(7);
+    {
+        let v: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let srv = StorageServer::open_with_mode(Path::new("/db"), 16, v, true).unwrap();
+        let heap = srv.heap("r.data").unwrap();
+
+        let txn = srv.begin().unwrap();
+        heap.insert(b"keep").unwrap();
+        srv.commit(txn).unwrap();
+
+        let txn = srv.begin().unwrap();
+        heap.insert(b"doomed").unwrap();
+        vfs.fail_next_syncs(2);
+        assert!(srv.commit(txn).is_err());
+
+        // Poisoned: the next transaction's commit is refused loudly and
+        // the transaction is aborted, not leaked.
+        let txn = srv.begin().unwrap();
+        heap.insert(b"refused").unwrap();
+        let err = srv.commit(txn).unwrap_err();
+        assert!(
+            err.to_string().contains("poisoned"),
+            "unexpected error: {err}"
+        );
+        let tx = srv.tx_stats();
+        assert_eq!(
+            tx.begun,
+            tx.committed + tx.aborted,
+            "transaction leaked through the poisoned log: {tx:?}"
+        );
+
+        // A checkpoint rebuilds the log and clears the poison.
+        srv.checkpoint().unwrap();
+        let txn = srv.begin().unwrap();
+        heap.insert(b"after-heal").unwrap();
+        srv.commit(txn).unwrap();
+    }
+    // Crash after the heal: recovery must replay exactly the two
+    // successful commits — nothing from the poisoned window.
+    vfs.power_cycle();
+    let v: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let srv = StorageServer::open_with_mode(Path::new("/db"), 16, v, true).unwrap();
+    let mut live: Vec<Vec<u8>> = srv
+        .heap("r.data")
+        .unwrap()
+        .scan()
+        .map(|r| r.unwrap().1)
+        .collect();
+    live.sort();
+    assert_eq!(live, vec![b"after-heal".to_vec(), b"keep".to_vec()]);
+    assert!(srv.check().unwrap().is_clean());
+}
+
 /// An injected write error (disk full, EIO) on the request path comes
 /// back as an error from the operation that hit it; the server object
 /// stays usable.

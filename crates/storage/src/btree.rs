@@ -19,13 +19,19 @@
 //! of the same tree must serialize them externally — the relation layer
 //! does so by holding the write side of
 //! [`StorageServer::named_lock`](crate::StorageServer::named_lock)
-//! across every mutation of a persistent relation.
+//! across every mutation of a persistent relation. Under MVCC,
+//! transactional mutators are additionally serialized by the page lock
+//! on the meta page (every insert/delete touches it through
+//! `bump_len`), so two transactions mutating the same tree always
+//! conflict and one retries; *readers* go through snapshot views and
+//! neither block nor take any lock.
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, SnapshotGuard};
 use crate::error::{StorageError, StorageResult};
 use crate::file::{FileId, PageId};
 use crate::page::SlottedPage;
-use std::sync::Arc;
+use crate::tx::View;
+use std::sync::{Arc, Mutex};
 
 /// Maximum item size; guarantees a node can always hold ≥ 2 items so
 /// splits make progress.
@@ -62,13 +68,30 @@ impl Node {
 pub struct BTree {
     pool: Arc<BufferPool>,
     fid: FileId,
+    /// The MVCC view every access goes through (`Live` by default; the
+    /// relation layer points it at a transaction or a snapshot).
+    view: Mutex<View>,
 }
 
 impl BTree {
     /// Open the tree in file `fid` (registered with `pool`), initializing
     /// it if the file is empty.
     pub fn open(pool: Arc<BufferPool>, fid: FileId) -> StorageResult<BTree> {
-        let t = BTree { pool, fid };
+        Self::open_with_view(pool, fid, View::Live)
+    }
+
+    /// Open the tree with its accesses — *including* the meta/root
+    /// initialization of a brand-new file — routed through `view`. A
+    /// transaction creating a tree must use this: initializing through
+    /// `Live` while other transactions are active is an ambiguous
+    /// unattributable write, and the pages would not roll back with the
+    /// transaction.
+    pub fn open_with_view(pool: Arc<BufferPool>, fid: FileId, view: View) -> StorageResult<BTree> {
+        let t = BTree {
+            pool,
+            fid,
+            view: Mutex::new(view),
+        };
         let n = t.pool.num_pages(fid)?;
         let initialized = n > 0
             && t.pool
@@ -107,7 +130,7 @@ impl BTree {
                     entries: Vec::new(),
                 },
             )?;
-            t.pool.with_page_mut(fid, PageId(0), |d| {
+            t.pool.with_page_mut_view(fid, PageId(0), t.view(), |d| {
                 d[0..8].copy_from_slice(META_MAGIC);
                 d[8..16].copy_from_slice(&root.0.to_le_bytes());
                 d[16..24].copy_from_slice(&0u64.to_le_bytes());
@@ -121,23 +144,41 @@ impl BTree {
         self.fid
     }
 
+    /// The view subsequent accesses use.
+    pub fn view(&self) -> View {
+        *self.view.lock().unwrap()
+    }
+
+    /// Route subsequent accesses through `view`.
+    pub fn set_view(&self, view: View) {
+        *self.view.lock().unwrap() = view;
+    }
+
+    /// Attach this handle to a transaction (`None` = back to `Live`).
+    pub fn set_txn(&self, txn: Option<u64>) {
+        self.set_view(txn.map_or(View::Live, View::Txn));
+    }
+
     fn root(&self) -> StorageResult<PageId> {
-        self.pool.with_page(self.fid, PageId(0), |d| {
-            PageId(u64::from_le_bytes(d[8..16].try_into().unwrap()))
-        })
+        self.pool
+            .with_page_view(self.fid, PageId(0), self.view(), |d| {
+                PageId(u64::from_le_bytes(d[8..16].try_into().unwrap()))
+            })
     }
 
     fn set_root(&self, pid: PageId) -> StorageResult<()> {
-        self.pool.with_page_mut(self.fid, PageId(0), |d| {
-            d[8..16].copy_from_slice(&pid.0.to_le_bytes());
-        })
+        self.pool
+            .with_page_mut_view(self.fid, PageId(0), self.view(), |d| {
+                d[8..16].copy_from_slice(&pid.0.to_le_bytes());
+            })
     }
 
     /// Number of items in the tree.
     pub fn len(&self) -> StorageResult<u64> {
-        self.pool.with_page(self.fid, PageId(0), |d| {
-            u64::from_le_bytes(d[16..24].try_into().unwrap())
-        })
+        self.pool
+            .with_page_view(self.fid, PageId(0), self.view(), |d| {
+                u64::from_le_bytes(d[16..24].try_into().unwrap())
+            })
     }
 
     /// True iff the tree holds no items.
@@ -146,14 +187,15 @@ impl BTree {
     }
 
     fn bump_len(&self, delta: i64) -> StorageResult<()> {
-        self.pool.with_page_mut(self.fid, PageId(0), |d| {
-            let n = u64::from_le_bytes(d[16..24].try_into().unwrap());
-            let n = n
-                .checked_add_signed(delta)
-                .ok_or_else(|| StorageError::Corrupt("B-tree length counter underflow".into()))?;
-            d[16..24].copy_from_slice(&n.to_le_bytes());
-            Ok(())
-        })?
+        self.pool
+            .with_page_mut_view(self.fid, PageId(0), self.view(), |d| {
+                let n = u64::from_le_bytes(d[16..24].try_into().unwrap());
+                let n = n.checked_add_signed(delta).ok_or_else(|| {
+                    StorageError::Corrupt("B-tree length counter underflow".into())
+                })?;
+                d[16..24].copy_from_slice(&n.to_le_bytes());
+                Ok(())
+            })?
     }
 
     /// Parse one node's bytes. A page that does not parse — possible
@@ -188,37 +230,39 @@ impl BTree {
 
     fn read_node(&self, pid: PageId) -> StorageResult<Node> {
         self.pool
-            .with_page(self.fid, pid, |d| Self::parse_node(pid, d))?
+            .with_page_view(self.fid, pid, self.view(), |d| Self::parse_node(pid, d))?
     }
 
     fn write_node(&self, pid: PageId, node: &Node) -> StorageResult<()> {
-        self.pool.with_page_mut(self.fid, pid, |d| {
-            let mut p = SlottedPage::format(d);
-            let mut hdr = [0u8; 9];
-            hdr[0] = node.is_leaf as u8;
-            hdr[1..9].copy_from_slice(&node.extra.to_le_bytes());
-            if p.insert(&hdr)?.is_none() {
-                return Err(StorageError::Corrupt(
-                    "B-tree node header does not fit".into(),
-                ));
-            }
-            for (i, e) in node.entries.iter().enumerate() {
-                if !p.insert_at(i as u16 + 1, e)? {
+        self.pool
+            .with_page_mut_view(self.fid, pid, self.view(), |d| {
+                let mut p = SlottedPage::format(d);
+                let mut hdr = [0u8; 9];
+                hdr[0] = node.is_leaf as u8;
+                hdr[1..9].copy_from_slice(&node.extra.to_le_bytes());
+                if p.insert(&hdr)?.is_none() {
                     return Err(StorageError::Corrupt(
-                        "B-tree node overflow while rewriting".into(),
+                        "B-tree node header does not fit".into(),
                     ));
                 }
-            }
-            Ok(())
-        })?
+                for (i, e) in node.entries.iter().enumerate() {
+                    if !p.insert_at(i as u16 + 1, e)? {
+                        return Err(StorageError::Corrupt(
+                            "B-tree node overflow while rewriting".into(),
+                        ));
+                    }
+                }
+                Ok(())
+            })?
     }
 
     /// Try to insert an entry at slot position `idx+1` in place; `false`
     /// if the page is full.
     fn node_insert_at(&self, pid: PageId, idx: usize, entry: &[u8]) -> StorageResult<bool> {
-        self.pool.with_page_mut(self.fid, pid, |d| {
-            SlottedPage::attach(d).insert_at(idx as u16 + 1, entry)
-        })?
+        self.pool
+            .with_page_mut_view(self.fid, pid, self.view(), |d| {
+                SlottedPage::attach(d).insert_at(idx as u16 + 1, entry)
+            })?
     }
 
     /// Insert `item`; returns `true` if it was not already present.
@@ -368,9 +412,10 @@ impl BTree {
             if node.is_leaf {
                 match node.entries.binary_search_by(|e| e.as_slice().cmp(item)) {
                     Ok(pos) => {
-                        self.pool.with_page_mut(self.fid, pid, |d| {
-                            SlottedPage::attach(d).remove_at(pos as u16 + 1);
-                        })?;
+                        self.pool
+                            .with_page_mut_view(self.fid, pid, self.view(), |d| {
+                                SlottedPage::attach(d).remove_at(pos as u16 + 1);
+                            })?;
                         self.bump_len(-1)?;
                         return Ok(true);
                     }
@@ -392,6 +437,8 @@ impl BTree {
                 let mut scan = BTreeRange {
                     tree_pool: Arc::clone(&self.pool),
                     fid: self.fid,
+                    view: self.view(),
+                    _guard: None,
                     hi: hi.map(|h| h.to_vec()),
                     buffered: node.entries,
                     pos: start,
@@ -433,7 +480,7 @@ impl BTree {
         }
         let magic_ok = self
             .pool
-            .with_page(self.fid, PageId(0), |d| &d[0..8] == META_MAGIC)?;
+            .with_page_view(self.fid, PageId(0), self.view(), |d| &d[0..8] == META_MAGIC)?;
         if !magic_ok {
             problems.push("meta page magic mismatch".into());
             return Ok(problems);
@@ -610,6 +657,9 @@ pub fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
 pub struct BTreeRange {
     tree_pool: Arc<BufferPool>,
     fid: FileId,
+    view: View,
+    /// Keeps the snapshot this scan reads through pinned.
+    _guard: Option<Arc<SnapshotGuard>>,
     hi: Option<Vec<u8>>,
     buffered: Vec<Vec<u8>>,
     pos: usize,
@@ -618,6 +668,12 @@ pub struct BTreeRange {
 }
 
 impl BTreeRange {
+    /// Hold `guard` for the iterator's lifetime (snapshot scans).
+    pub fn with_guard(mut self, guard: Arc<SnapshotGuard>) -> BTreeRange {
+        self._guard = Some(guard);
+        self
+    }
+
     /// Drop buffered entries at/after `hi` and mark done if we hit it.
     fn clip(&mut self) {
         if let Some(hi) = &self.hi {
@@ -648,7 +704,7 @@ impl Iterator for BTreeRange {
             let pid = PageId(self.next_leaf);
             let res = self
                 .tree_pool
-                .with_page(self.fid, pid, |d| BTree::parse_node(pid, d))
+                .with_page_view(self.fid, pid, self.view, |d| BTree::parse_node(pid, d))
                 .and_then(|r| r.map(|n| (n.extra, n.entries)));
             match res {
                 Ok((sibling, entries)) => {

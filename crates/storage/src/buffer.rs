@@ -14,12 +14,43 @@
 //! [`BufferPool::unpin`] exist for transactions, which pin the pages they
 //! dirty until commit (a no-steal policy that keeps the write-ahead log
 //! redo-only).
+//!
+//! ## MVCC
+//!
+//! A pool opened with [`BufferPool::new_mvcc`] layers the [`crate::tx`]
+//! concurrency manager over the frames. Every page access then carries a
+//! [`View`]:
+//!
+//! * `Live` reads the frame (newest state); a `Live` *write* is
+//!   attributed to the sole active transaction if exactly one is open
+//!   (the single-session compatibility path), is a bare versioned write
+//!   when none is, and is refused as ambiguous otherwise.
+//! * `Snapshot(ts)` serves the newest committed image at or below `ts`
+//!   from the version store, a zero page for pages born later, or the
+//!   frame when the page has no versions (then the frame *is* the
+//!   committed state — every page with an uncommitted writer has its
+//!   latest committed image in the store). Snapshot reads never block
+//!   and never take locks.
+//! * `Txn(id)` reads the transaction's own writes from the frames and
+//!   everything else as of its begin snapshot, recording the read set;
+//!   writes acquire per-page write locks (wound-or-timeout) and check
+//!   first-updater-wins, pinning dirtied frames until commit/abort.
+//!
+//! Commit is split for group commit: [`BufferPool::tx_prepare`]
+//! validates the read set and peeks the after-images (the storage
+//! server logs them), then [`BufferPool::tx_install`] assigns the commit
+//! timestamp, publishes the new versions and releases the locks — in
+//! WAL order, which is what makes commit timestamps a serialisation
+//! order.
 
 use crate::error::{StorageError, StorageResult};
 use crate::file::{FileId, PageFile, PageId};
 use crate::page::PAGE_SIZE;
-use std::collections::HashMap;
-use std::sync::Mutex;
+use crate::tx::{LockTable, MvccState, PageKey, TxStats, TxnState, View};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Buffer pool counters.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -42,6 +73,10 @@ pub type PageImage = ((FileId, PageId), Box<[u8]>);
 /// Before-images of the pages dirtied by the open transaction.
 type TxnImages = HashMap<(FileId, PageId), Box<[u8]>>;
 
+/// The image served for a page that did not exist at a snapshot's
+/// timestamp (files only grow; trailing pages read as empty).
+static ZERO_PAGE: [u8; PAGE_SIZE] = [0u8; PAGE_SIZE];
+
 struct Frame {
     key: Option<(FileId, PageId)>,
     data: Box<[u8]>,
@@ -58,19 +93,65 @@ struct Inner {
     stats: BufferStats,
     /// Before-images of pages dirtied by the active transaction, if one
     /// is open (`None` = no transaction). The single-slot design matches
-    /// the paper's single-user client (§2).
+    /// the paper's single-user client (§2); the MVCC pool replaces it
+    /// with `mvcc` and refuses this API.
     txn: Option<TxnImages>,
+    /// Multi-transaction MVCC state (`None` = legacy single-slot mode,
+    /// the `CORAL_MVCC=0` escape hatch).
+    mvcc: Option<MvccState>,
 }
 
 /// A fixed-capacity page cache over a set of registered files.
 pub struct BufferPool {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// Per-page write locks (wound-or-timeout). Lives outside `inner`:
+    /// waiting for a lock must not block other sessions' page traffic.
+    locks: LockTable,
+}
+
+/// Refcounted snapshot pin: holds a commit-timestamp snapshot alive for
+/// the lifetime of lazy iterators reading through it.
+pub struct SnapshotGuard {
+    pool: Arc<BufferPool>,
+    ts: u64,
+}
+
+impl SnapshotGuard {
+    /// Pin the current committed state; reads through
+    /// [`View::Snapshot`]`(guard.ts())` stay repeatable until dropped.
+    pub fn pin(pool: &Arc<BufferPool>) -> Arc<SnapshotGuard> {
+        Arc::new(SnapshotGuard {
+            pool: Arc::clone(pool),
+            ts: pool.pin_snapshot(),
+        })
+    }
+
+    /// The pinned commit timestamp.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+}
+
+impl Drop for SnapshotGuard {
+    fn drop(&mut self) {
+        self.pool.release_snapshot(self.ts);
+    }
 }
 
 impl BufferPool {
-    /// Create a pool with `capacity` frames (at least 1).
+    /// Create a pool with `capacity` frames (at least 1) in legacy
+    /// single-transaction mode.
     pub fn new(capacity: usize) -> BufferPool {
+        Self::build(capacity, false)
+    }
+
+    /// Create a pool with the MVCC concurrency manager enabled.
+    pub fn new_mvcc(capacity: usize) -> BufferPool {
+        Self::build(capacity, true)
+    }
+
+    fn build(capacity: usize, mvcc: bool) -> BufferPool {
         let capacity = capacity.max(1);
         let frames = (0..capacity)
             .map(|_| Frame {
@@ -89,14 +170,28 @@ impl BufferPool {
                 hand: 0,
                 stats: BufferStats::default(),
                 txn: None,
+                mvcc: mvcc.then(MvccState::default),
             }),
             capacity,
+            locks: LockTable::new(Duration::from_millis(200)),
         }
     }
 
     /// Number of frames.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// True iff the MVCC concurrency manager is enabled.
+    pub fn mvcc_enabled(&self) -> bool {
+        self.inner.lock().unwrap().mvcc.is_some()
+    }
+
+    /// Set the write-lock wait budget. Zero makes contended acquisitions
+    /// fail immediately with [`StorageError::TxnConflict`] — the
+    /// deterministic mode the simulator runs in.
+    pub fn set_lock_timeout(&self, timeout: Duration) {
+        self.locks.set_timeout(timeout);
     }
 
     /// Register an open file under `fid`.
@@ -117,6 +212,10 @@ impl BufferPool {
             }
         }
         inner.map.retain(|(k, _), _| *k != fid);
+        if let Some(m) = inner.mvcc.as_mut() {
+            m.versions.retain(|(k, _), _| *k != fid);
+            m.page_ts.retain(|(k, _), _| *k != fid);
+        }
         Ok(inner.files.remove(&fid))
     }
 
@@ -184,6 +283,8 @@ impl BufferPool {
         // frame's buffer is restored and the frame stays mapped and
         // dirty, so the error costs this one request, not pool
         // integrity (the write can be retried or the txn aborted).
+        // Transaction-dirtied pages are pinned (no-steal), so a dirty
+        // victim always holds committed bytes.
         if let Some((efid, epid)) = inner.frames[idx].key {
             if inner.frames[idx].dirty {
                 let data = std::mem::take(&mut inner.frames[idx].data);
@@ -229,22 +330,136 @@ impl BufferPool {
         Ok(idx)
     }
 
-    /// Run `body` with read access to the page. Do not nest `with_page*`
-    /// calls.
+    /// Run `body` with read access to the page through the live view.
+    /// Do not nest `with_page*` calls.
     pub fn with_page<R>(
         &self,
         fid: FileId,
         pid: PageId,
         body: impl FnOnce(&[u8]) -> R,
     ) -> StorageResult<R> {
+        self.with_page_view(fid, pid, View::Live, body)
+    }
+
+    /// Run `body` with read access to the page as seen by `view`. Do not
+    /// nest `with_page*` calls.
+    pub fn with_page_view<R>(
+        &self,
+        fid: FileId,
+        pid: PageId,
+        view: View,
+        body: impl FnOnce(&[u8]) -> R,
+    ) -> StorageResult<R> {
         let mut inner = self.inner.lock().unwrap();
+        let snapshot = match (view, inner.mvcc.as_mut()) {
+            (View::Live, _) | (_, None) => None,
+            (View::Snapshot(s), Some(_)) => Some(s),
+            (View::Txn(id), Some(m)) => {
+                let st = m.active.get_mut(&id).ok_or(StorageError::UnknownTxn(id))?;
+                if st.write_set.contains(&(fid, pid)) {
+                    None // own uncommitted write: read the frame
+                } else {
+                    st.read_set.insert((fid, pid));
+                    Some(st.snapshot)
+                }
+            }
+        };
+        if let Some(s) = snapshot {
+            let m = inner.mvcc.as_ref().unwrap();
+            let found = m
+                .versions
+                .get(&(fid, pid))
+                .map(|list| list.iter().rposition(|&(ts, _)| ts <= s));
+            match found {
+                Some(Some(i)) => {
+                    crate::profile::bump(|c| c.pool_hits += 1);
+                    let bytes = &m.versions[&(fid, pid)][i].1;
+                    return Ok(body(bytes));
+                }
+                // Versions exist but all postdate the snapshot: the page
+                // was born after it. Files only grow, so serve "empty".
+                Some(None) => return Ok(body(&ZERO_PAGE)),
+                // No versions: the frame holds committed bytes.
+                None => {}
+            }
+        }
         let idx = self.find_frame(&mut inner, fid, pid, true)?;
         Ok(body(&inner.frames[idx].data))
     }
 
-    /// Run `body` with write access to the page; the frame is marked
-    /// dirty. Do not nest `with_page*` calls.
+    /// Run `body` with write access to the page through the live view;
+    /// the frame is marked dirty. Do not nest `with_page*` calls.
     pub fn with_page_mut<R>(
+        &self,
+        fid: FileId,
+        pid: PageId,
+        body: impl FnOnce(&mut [u8]) -> R,
+    ) -> StorageResult<R> {
+        self.with_page_mut_view(fid, pid, View::Live, body)
+    }
+
+    /// Run `body` with write access to the page on behalf of `view`.
+    /// Under MVCC a transactional write acquires the page write lock
+    /// (blocking up to the lock timeout, wound-or-timeout on contention),
+    /// checks first-updater-wins against the writer's snapshot, saves the
+    /// committed before-image into the version store, and pins the frame
+    /// until commit/abort. Do not nest `with_page*` calls.
+    pub fn with_page_mut_view<R>(
+        &self,
+        fid: FileId,
+        pid: PageId,
+        view: View,
+        body: impl FnOnce(&mut [u8]) -> R,
+    ) -> StorageResult<R> {
+        // Resolve the writer first; a lock wait must not hold the pool
+        // mutex.
+        enum Mode {
+            Legacy,
+            Bare,
+            Tx(u64, u64),
+        }
+        let mode = {
+            let inner = self.inner.lock().unwrap();
+            match inner.mvcc.as_ref() {
+                None => Mode::Legacy,
+                Some(m) => match view {
+                    View::Snapshot(_) => {
+                        return Err(StorageError::Corrupt(
+                            "write through a read-only snapshot view".into(),
+                        ))
+                    }
+                    View::Txn(id) => {
+                        let st = m.active.get(&id).ok_or(StorageError::UnknownTxn(id))?;
+                        Mode::Tx(id, st.seq)
+                    }
+                    View::Live => {
+                        // Single-session compatibility: attribute to the
+                        // sole active transaction, if any.
+                        if m.active.len() == 1 {
+                            let (&id, st) = m.active.iter().next().unwrap();
+                            Mode::Tx(id, st.seq)
+                        } else if m.active.is_empty() {
+                            Mode::Bare
+                        } else {
+                            return Err(StorageError::Corrupt(
+                                "ambiguous write outside a transaction: multiple \
+                                 transactions active (use an explicit txn view)"
+                                    .into(),
+                            ));
+                        }
+                    }
+                },
+            }
+        };
+        match mode {
+            Mode::Legacy => self.with_page_mut_legacy(fid, pid, body),
+            Mode::Tx(id, seq) => self.txn_page_write(fid, pid, id, seq, body),
+            Mode::Bare => self.bare_page_write(fid, pid, body),
+        }
+    }
+
+    /// The pre-MVCC write path: single-slot transaction before-images.
+    fn with_page_mut_legacy<R>(
         &self,
         fid: FileId,
         pid: PageId,
@@ -266,11 +481,330 @@ impl BufferPool {
         Ok(body(&mut inner.frames[idx].data))
     }
 
+    /// A transactional write: lock, first-updater check, before-image,
+    /// pin, mutate.
+    fn txn_page_write<R>(
+        &self,
+        fid: FileId,
+        pid: PageId,
+        id: u64,
+        seq: u64,
+        body: impl FnOnce(&mut [u8]) -> R,
+    ) -> StorageResult<R> {
+        let key = (fid, pid);
+        // May block (wound-or-timeout); on conflict the caller aborts the
+        // transaction, which releases whatever it already holds.
+        self.locks.acquire(id, seq, key)?;
+        let mut inner = self.inner.lock().unwrap();
+        let idx = self.find_frame(&mut inner, fid, pid, true)?;
+        let Inner { frames, mvcc, .. } = &mut *inner;
+        let m = mvcc.as_mut().expect("txn write on non-MVCC pool");
+        let st = m.active.get_mut(&id).ok_or(StorageError::UnknownTxn(id))?;
+        let cur_ts = m.page_ts.get(&key).copied().unwrap_or(0);
+        if !st.write_set.contains(&key) {
+            // First-updater-wins: a commit after our snapshot beat us.
+            if cur_ts > st.snapshot {
+                m.stats.conflicts += 1;
+                return Err(StorageError::TxnConflict(format!(
+                    "page {}:{} committed at ts {cur_ts} after snapshot {}",
+                    fid.0, pid.0, st.snapshot
+                )));
+            }
+            // Publish the committed before-image so snapshot readers
+            // (and our abort path) can still see it.
+            let list = m.versions.entry(key).or_default();
+            if list.last().map(|&(ts, _)| ts) != Some(cur_ts) {
+                list.push((cur_ts, frames[idx].data.clone()));
+            }
+            st.write_set.insert(key);
+            frames[idx].pins += 1; // no-steal until commit/abort
+        }
+        frames[idx].dirty = true;
+        Ok(body(&mut frames[idx].data))
+    }
+
+    /// A write with no transaction open anywhere: applied in place. If
+    /// live snapshots exist the old image is preserved and the new state
+    /// published as a committed version, so pinned readers stay
+    /// repeatable; otherwise the page's stale versions are dropped (the
+    /// frame is the committed truth).
+    fn bare_page_write<R>(
+        &self,
+        fid: FileId,
+        pid: PageId,
+        body: impl FnOnce(&mut [u8]) -> R,
+    ) -> StorageResult<R> {
+        let key = (fid, pid);
+        let mut inner = self.inner.lock().unwrap();
+        let idx = self.find_frame(&mut inner, fid, pid, true)?;
+        let Inner { frames, mvcc, .. } = &mut *inner;
+        let m = mvcc.as_mut().expect("bare write on non-MVCC pool");
+        // A transaction may have begun since the mode was resolved.
+        if m.active.values().any(|t| t.write_set.contains(&key)) {
+            m.stats.conflicts += 1;
+            return Err(StorageError::TxnConflict(format!(
+                "unattributed write raced a transaction holding page {}:{}",
+                fid.0, pid.0
+            )));
+        }
+        if m.active.is_empty() && m.pins.is_empty() {
+            m.versions.remove(&key);
+            m.page_ts.remove(&key);
+            frames[idx].dirty = true;
+            return Ok(body(&mut frames[idx].data));
+        }
+        let cur_ts = m.page_ts.get(&key).copied().unwrap_or(0);
+        let list = m.versions.entry(key).or_default();
+        if list.last().map(|&(ts, _)| ts) != Some(cur_ts) {
+            list.push((cur_ts, frames[idx].data.clone()));
+        }
+        frames[idx].dirty = true;
+        let r = body(&mut frames[idx].data);
+        m.commit_ts += 1;
+        let ts = m.commit_ts;
+        m.versions
+            .get_mut(&key)
+            .unwrap()
+            .push((ts, frames[idx].data.clone()));
+        m.page_ts.insert(key, ts);
+        m.gc_page(key);
+        Ok(r)
+    }
+
+    // -----------------------------------------------------------------
+    // MVCC transactions.
+    // -----------------------------------------------------------------
+
+    /// Begin transaction `id` (id allocation is the server's job): its
+    /// snapshot is the current commit timestamp.
+    pub fn tx_begin(&self, id: u64) -> StorageResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let m = inner
+            .mvcc
+            .as_mut()
+            .ok_or_else(|| StorageError::Corrupt("MVCC disabled".into()))?;
+        m.next_seq += 1;
+        let st = TxnState {
+            seq: m.next_seq,
+            snapshot: m.commit_ts,
+            read_set: HashSet::new(),
+            write_set: HashSet::new(),
+        };
+        if m.active.insert(id, st).is_some() {
+            return Err(StorageError::Corrupt(format!(
+                "transaction {id} already active"
+            )));
+        }
+        m.stats.begun += 1;
+        Ok(())
+    }
+
+    /// Validate `id` for commit and peek its after-images without closing
+    /// it. Backward validation: every page read outside the write set
+    /// must still carry a commit timestamp at or below the transaction's
+    /// snapshot, and must not have been written by an earlier transaction
+    /// of the same group-commit batch (`batch_written`) — those commits
+    /// are ordered before ours but not yet installed. Locks stay held; a
+    /// conflict leaves the transaction active for [`Self::tx_abort`].
+    pub fn tx_prepare(
+        &self,
+        id: u64,
+        batch_written: &HashSet<PageKey>,
+    ) -> StorageResult<Vec<PageImage>> {
+        if self.locks.is_wounded(id) {
+            self.locks.conflicts.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::TxnConflict(format!(
+                "transaction {id} wounded by an older transaction"
+            )));
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let Inner {
+            frames, map, mvcc, ..
+        } = &mut *inner;
+        let m = mvcc
+            .as_mut()
+            .ok_or_else(|| StorageError::Corrupt("MVCC disabled".into()))?;
+        let st = m.active.get(&id).ok_or(StorageError::UnknownTxn(id))?;
+        for key in &st.read_set {
+            if st.write_set.contains(key) {
+                continue;
+            }
+            let committed_after = m.page_ts.get(key).copied().unwrap_or(0) > st.snapshot;
+            if committed_after || batch_written.contains(key) {
+                m.stats.conflicts += 1;
+                return Err(StorageError::TxnConflict(format!(
+                    "read page {}:{} modified by a transaction committing after \
+                     snapshot {}",
+                    key.0 .0, key.1 .0, st.snapshot
+                )));
+            }
+        }
+        let mut images = Vec::with_capacity(st.write_set.len());
+        for &key in &st.write_set {
+            let idx = *map.get(&key).ok_or_else(|| {
+                StorageError::Corrupt("transaction page evicted despite pin".into())
+            })?;
+            images.push((key, frames[idx].data.clone()));
+        }
+        images.sort_by_key(|(k, _)| *k);
+        Ok(images)
+    }
+
+    /// Install `id`'s writes as committed: assign the next commit
+    /// timestamp, publish the after-images as versions, unpin, release
+    /// locks. Must be called in WAL order (the group-commit leader's
+    /// ordering barrier) so commit timestamps agree with the log.
+    pub fn tx_install(&self, id: u64) -> StorageResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let Inner {
+            frames, map, mvcc, ..
+        } = &mut *inner;
+        let m = mvcc
+            .as_mut()
+            .ok_or_else(|| StorageError::Corrupt("MVCC disabled".into()))?;
+        let st = m.active.remove(&id).ok_or(StorageError::UnknownTxn(id))?;
+        m.commit_ts += 1;
+        let ts = m.commit_ts;
+        let mut pages: Vec<PageKey> = st.write_set.into_iter().collect();
+        pages.sort();
+        for &key in &pages {
+            let idx = *map.get(&key).ok_or_else(|| {
+                StorageError::Corrupt("transaction page evicted despite pin".into())
+            })?;
+            m.versions
+                .entry(key)
+                .or_default()
+                .push((ts, frames[idx].data.clone()));
+            m.page_ts.insert(key, ts);
+            frames[idx].pins = frames[idx].pins.saturating_sub(1);
+        }
+        for key in pages {
+            m.gc_page(key);
+        }
+        m.stats.committed += 1;
+        drop(inner);
+        self.locks.release_all(id);
+        Ok(())
+    }
+
+    /// Roll transaction `id` back: restore the committed before-images
+    /// into the frames, unpin, release locks.
+    pub fn tx_abort(&self, id: u64) -> StorageResult<()> {
+        let mut inner = self.inner.lock().unwrap();
+        let Inner {
+            frames, map, mvcc, ..
+        } = &mut *inner;
+        let m = mvcc
+            .as_mut()
+            .ok_or_else(|| StorageError::Corrupt("MVCC disabled".into()))?;
+        let st = m.active.remove(&id).ok_or(StorageError::UnknownTxn(id))?;
+        let mut broken = None;
+        for key in &st.write_set {
+            let (Some(&idx), Some((_, image))) =
+                (map.get(key), m.versions.get(key).and_then(|l| l.last()))
+            else {
+                broken = Some(*key);
+                continue;
+            };
+            frames[idx].data.copy_from_slice(image);
+            frames[idx].dirty = true;
+            frames[idx].pins = frames[idx].pins.saturating_sub(1);
+        }
+        m.stats.aborted += 1;
+        drop(inner);
+        self.locks.release_all(id);
+        match broken {
+            Some((fid, pid)) => Err(StorageError::Corrupt(format!(
+                "no before-image for aborted page {}:{}",
+                fid.0, pid.0
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Pin the current committed state; returns the snapshot timestamp.
+    pub fn pin_snapshot(&self) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.mvcc.as_mut() {
+            Some(m) => {
+                let ts = m.commit_ts;
+                *m.pins.entry(ts).or_insert(0) += 1;
+                m.stats.snapshots += 1;
+                ts
+            }
+            None => 0,
+        }
+    }
+
+    /// Release one pin of snapshot `ts`.
+    pub fn release_snapshot(&self, ts: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(m) = inner.mvcc.as_mut() {
+            if let Some(n) = m.pins.get_mut(&ts) {
+                *n -= 1;
+                if *n == 0 {
+                    m.pins.remove(&ts);
+                }
+            }
+        }
+    }
+
+    /// Number of active MVCC transactions.
+    pub fn active_txn_count(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .mvcc
+            .as_ref()
+            .map_or(0, |m| m.active.len())
+    }
+
+    /// The sole active transaction, if exactly one is open (the
+    /// single-session attribution target).
+    pub fn sole_active_txn(&self) -> Option<u64> {
+        let inner = self.inner.lock().unwrap();
+        let m = inner.mvcc.as_ref()?;
+        if m.active.len() == 1 {
+            m.active.keys().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Transaction counters (all zero in legacy mode and after
+    /// `CORAL_MVCC=0`).
+    pub fn tx_stats(&self) -> TxStats {
+        let inner = self.inner.lock().unwrap();
+        let mut s = inner.mvcc.as_ref().map(|m| m.stats).unwrap_or_default();
+        s.conflicts += self.locks.conflicts.load(Ordering::Relaxed);
+        s.wounds += self.locks.wounds.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Record one group-commit batch of `txns` transactions.
+    pub fn note_group_commit(&self, txns: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(m) = inner.mvcc.as_mut() {
+            m.stats.group_commits += 1;
+            m.stats.group_committed_txns += txns;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Legacy single-slot transaction (CORAL_MVCC=0).
+    // -----------------------------------------------------------------
+
     /// Open a transaction: subsequent page writes save before-images and
     /// pin their frames until [`Self::commit_txn`] or [`Self::abort_txn`].
-    /// Only one transaction may be open (the single-user model of §2).
+    /// Only one transaction may be open (the single-user model of §2);
+    /// unavailable on an MVCC pool.
     pub fn begin_txn(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock().unwrap();
+        if inner.mvcc.is_some() {
+            return Err(StorageError::Corrupt(
+                "single-slot transaction API unavailable in MVCC mode".into(),
+            ));
+        }
         if inner.txn.is_some() {
             return Err(StorageError::Corrupt("transaction already open".into()));
         }
@@ -278,7 +812,7 @@ impl BufferPool {
         Ok(())
     }
 
-    /// True iff a transaction is open.
+    /// True iff a legacy transaction is open.
     pub fn in_txn(&self) -> bool {
         self.inner.lock().unwrap().txn.is_some()
     }
@@ -370,19 +904,55 @@ impl BufferPool {
     }
 
     fn flush_file_locked(&self, inner: &mut Inner, fid: FileId) -> StorageResult<()> {
+        // Pages write-locked by active transactions hold uncommitted
+        // bytes; flush their latest *committed* image from the version
+        // store instead, leaving the frame dirty for the eventual
+        // commit/abort outcome.
+        let locked: HashSet<PageKey> = inner
+            .mvcc
+            .as_ref()
+            .map(|m| {
+                m.active
+                    .values()
+                    .flat_map(|t| t.write_set.iter().copied())
+                    .filter(|k| k.0 == fid)
+                    .collect()
+            })
+            .unwrap_or_default();
         for i in 0..inner.frames.len() {
             if let Some((k, pid)) = inner.frames[i].key {
                 if k == fid && inner.frames[i].dirty {
-                    let data = std::mem::take(&mut inner.frames[i].data);
-                    let res = inner
-                        .files
-                        .get_mut(&fid)
-                        .ok_or(StorageError::BadFileId)
-                        .and_then(|f| f.write_page(pid, &data));
-                    inner.frames[i].data = data;
-                    res?;
-                    inner.frames[i].dirty = false;
-                    inner.stats.page_writes += 1;
+                    if locked.contains(&(k, pid)) {
+                        let Inner { files, mvcc, .. } = &mut *inner;
+                        let image = mvcc
+                            .as_ref()
+                            .and_then(|m| m.versions.get(&(k, pid)))
+                            .and_then(|l| l.last())
+                            .map(|(_, img)| img)
+                            .ok_or_else(|| {
+                                StorageError::Corrupt(
+                                    "write-locked page has no committed image".into(),
+                                )
+                            })?;
+                        files
+                            .get_mut(&fid)
+                            .ok_or(StorageError::BadFileId)?
+                            .write_page(pid, image)?;
+                        inner.stats.page_writes += 1;
+                        // Frame stays dirty: it still holds the
+                        // uncommitted bytes.
+                    } else {
+                        let data = std::mem::take(&mut inner.frames[i].data);
+                        let res = inner
+                            .files
+                            .get_mut(&fid)
+                            .ok_or(StorageError::BadFileId)
+                            .and_then(|f| f.write_page(pid, &data));
+                        inner.frames[i].data = data;
+                        res?;
+                        inner.frames[i].dirty = false;
+                        inner.stats.page_writes += 1;
+                    }
                 }
             }
         }
@@ -392,13 +962,14 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Write back all dirty frames of `fid` and sync it.
+    /// Write back every dirty frame of `fid` and sync it.
     pub fn flush_file(&self, fid: FileId) -> StorageResult<()> {
         let mut inner = self.inner.lock().unwrap();
         self.flush_file_locked(&mut inner, fid)
     }
 
-    /// Write back every dirty frame and sync all files.
+    /// Write back every dirty frame and sync all files. Also sweeps the
+    /// version store down to what live snapshots still need.
     pub fn flush_all(&self) -> StorageResult<()> {
         let fids: Vec<FileId> = {
             let inner = self.inner.lock().unwrap();
@@ -406,6 +977,10 @@ impl BufferPool {
         };
         for fid in fids {
             self.flush_file(fid)?;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(m) = inner.mvcc.as_mut() {
+            m.gc_all();
         }
         Ok(())
     }
@@ -464,6 +1039,17 @@ mod tests {
         }
         pool.evict_all().unwrap();
         pool.reset_stats();
+        (pool, fid)
+    }
+
+    fn mvcc_pool(name: &str, frames: usize, pages: u64) -> (BufferPool, FileId) {
+        let pool = BufferPool::new_mvcc(frames);
+        pool.set_lock_timeout(Duration::from_millis(0));
+        let fid = FileId(0);
+        pool.register_file(fid, PageFile::open(&tmpfile(name)).unwrap());
+        for _ in 0..pages {
+            pool.allocate_page(fid).unwrap();
+        }
         (pool, fid)
     }
 
@@ -597,5 +1183,170 @@ mod tests {
             pool.allocate_page(FileId(9)),
             Err(StorageError::BadFileId)
         ));
+    }
+
+    // -------------------------- MVCC ---------------------------------
+
+    #[test]
+    fn snapshot_does_not_see_uncommitted_writes() {
+        let (pool, fid) = mvcc_pool("mv-snap.pages", 8, 2);
+        pool.with_page_mut(fid, PageId(0), |d| d[0] = 1).unwrap(); // bare
+        pool.tx_begin(1).unwrap();
+        let snap = pool.pin_snapshot();
+        pool.with_page_mut_view(fid, PageId(0), View::Txn(1), |d| d[0] = 2)
+            .unwrap();
+        // Snapshot still sees the committed value; the txn sees its own.
+        let s = pool
+            .with_page_view(fid, PageId(0), View::Snapshot(snap), |d| d[0])
+            .unwrap();
+        assert_eq!(s, 1);
+        let t = pool
+            .with_page_view(fid, PageId(0), View::Txn(1), |d| d[0])
+            .unwrap();
+        assert_eq!(t, 2);
+        pool.tx_install(1).unwrap();
+        // The pinned snapshot still reads the old image after commit.
+        let s = pool
+            .with_page_view(fid, PageId(0), View::Snapshot(snap), |d| d[0])
+            .unwrap();
+        assert_eq!(s, 1);
+        // A fresh snapshot sees the commit.
+        let snap2 = pool.pin_snapshot();
+        let s2 = pool
+            .with_page_view(fid, PageId(0), View::Snapshot(snap2), |d| d[0])
+            .unwrap();
+        assert_eq!(s2, 2);
+        pool.release_snapshot(snap);
+        pool.release_snapshot(snap2);
+    }
+
+    #[test]
+    fn abort_restores_committed_image_and_releases_locks() {
+        let (pool, fid) = mvcc_pool("mv-abort.pages", 8, 2);
+        pool.with_page_mut(fid, PageId(0), |d| d[0] = 7).unwrap();
+        pool.tx_begin(1).unwrap();
+        pool.with_page_mut_view(fid, PageId(0), View::Txn(1), |d| d[0] = 8)
+            .unwrap();
+        pool.tx_abort(1).unwrap();
+        assert_eq!(pool.with_page(fid, PageId(0), |d| d[0]).unwrap(), 7);
+        // The lock is free again.
+        pool.tx_begin(2).unwrap();
+        pool.with_page_mut_view(fid, PageId(0), View::Txn(2), |d| d[0] = 9)
+            .unwrap();
+        pool.tx_install(2).unwrap();
+        assert_eq!(pool.with_page(fid, PageId(0), |d| d[0]).unwrap(), 9);
+    }
+
+    #[test]
+    fn write_write_conflict_is_retryable() {
+        let (pool, fid) = mvcc_pool("mv-ww.pages", 8, 2);
+        pool.tx_begin(1).unwrap();
+        pool.tx_begin(2).unwrap();
+        pool.with_page_mut_view(fid, PageId(0), View::Txn(1), |d| d[0] = 1)
+            .unwrap();
+        let err = pool
+            .with_page_mut_view(fid, PageId(0), View::Txn(2), |d| d[0] = 2)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TxnConflict(_)), "{err}");
+        pool.tx_abort(2).unwrap();
+        pool.tx_install(1).unwrap();
+        let stats = pool.tx_stats();
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.aborted, 1);
+        assert!(stats.conflicts >= 1);
+    }
+
+    #[test]
+    fn first_updater_wins_after_snapshot() {
+        let (pool, fid) = mvcc_pool("mv-fuw.pages", 8, 2);
+        pool.tx_begin(1).unwrap();
+        // Txn 2 commits a write to page 0 after txn 1's snapshot.
+        pool.tx_begin(2).unwrap();
+        pool.with_page_mut_view(fid, PageId(0), View::Txn(2), |d| d[0] = 2)
+            .unwrap();
+        pool.tx_install(2).unwrap();
+        let err = pool
+            .with_page_mut_view(fid, PageId(0), View::Txn(1), |d| d[0] = 1)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TxnConflict(_)));
+        pool.tx_abort(1).unwrap();
+    }
+
+    #[test]
+    fn read_validation_catches_rw_conflict() {
+        let (pool, fid) = mvcc_pool("mv-bocc.pages", 8, 2);
+        pool.tx_begin(1).unwrap();
+        // Txn 1 reads page 0.
+        pool.with_page_view(fid, PageId(0), View::Txn(1), |_| ())
+            .unwrap();
+        // Txn 1 writes page 1 (so it has something to commit).
+        pool.with_page_mut_view(fid, PageId(1), View::Txn(1), |d| d[0] = 1)
+            .unwrap();
+        // Txn 2 writes page 0 and commits first.
+        pool.tx_begin(2).unwrap();
+        pool.with_page_mut_view(fid, PageId(0), View::Txn(2), |d| d[0] = 2)
+            .unwrap();
+        pool.tx_install(2).unwrap();
+        // Txn 1's validation must fail: its read is stale in commit order.
+        let err = pool.tx_prepare(1, &HashSet::new()).unwrap_err();
+        assert!(matches!(err, StorageError::TxnConflict(_)));
+        pool.tx_abort(1).unwrap();
+    }
+
+    #[test]
+    fn live_write_attributed_to_sole_txn() {
+        let (pool, fid) = mvcc_pool("mv-attr.pages", 8, 2);
+        pool.tx_begin(9).unwrap();
+        pool.with_page_mut(fid, PageId(0), |d| d[0] = 5).unwrap();
+        // The write joined txn 9: aborting undoes it.
+        pool.tx_abort(9).unwrap();
+        assert_eq!(pool.with_page(fid, PageId(0), |d| d[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn checkpoint_flushes_committed_image_under_active_writer() {
+        let path = tmpfile("mv-ckpt.pages");
+        let pool = BufferPool::new_mvcc(8);
+        let fid = FileId(0);
+        pool.register_file(fid, PageFile::open(&path).unwrap());
+        pool.allocate_page(fid).unwrap();
+        pool.with_page_mut(fid, PageId(0), |d| d[0] = 1).unwrap(); // committed (bare)
+        pool.tx_begin(1).unwrap();
+        pool.with_page_mut_view(fid, PageId(0), View::Txn(1), |d| d[0] = 2)
+            .unwrap();
+        pool.flush_all().unwrap();
+        // Disk has the committed value, not the uncommitted one.
+        let mut f = PageFile::open(&path).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        f.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+        // The txn's bytes survived the flush in the frame.
+        pool.tx_install(1).unwrap();
+        assert_eq!(pool.with_page(fid, PageId(0), |d| d[0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn snapshot_of_page_born_later_reads_zeros() {
+        let (pool, fid) = mvcc_pool("mv-born.pages", 8, 1);
+        let snap = pool.pin_snapshot();
+        pool.tx_begin(1).unwrap();
+        let pid = pool.allocate_page(fid).unwrap();
+        pool.with_page_mut_view(fid, pid, View::Txn(1), |d| d[0] = 9)
+            .unwrap();
+        pool.tx_install(1).unwrap();
+        let v = pool
+            .with_page_view(fid, pid, View::Snapshot(snap), |d| d[0])
+            .unwrap();
+        assert_eq!(v, 0, "page postdates the snapshot");
+        pool.release_snapshot(snap);
+    }
+
+    #[test]
+    fn legacy_pool_has_zero_tx_stats() {
+        let (pool, fid) = pool_with_file("legacy-zero.pages", 4, 1);
+        pool.with_page_mut(fid, PageId(0), |d| d[0] = 1).unwrap();
+        assert_eq!(pool.tx_stats(), TxStats::default());
+        assert!(!pool.mvcc_enabled());
+        assert!(pool.tx_begin(1).is_err());
     }
 }

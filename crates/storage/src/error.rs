@@ -20,6 +20,14 @@ pub enum StorageError {
     CorruptLog(String),
     /// A catalog/format violation.
     Corrupt(String),
+    /// A transaction lost a concurrency race (write-write conflict,
+    /// lock wait timeout, or wound by an older transaction). The
+    /// transaction was or must be aborted; the operation is safe to
+    /// retry in a fresh transaction.
+    TxnConflict(String),
+    /// A transaction id that is not currently active (never begun,
+    /// already committed, or already aborted).
+    UnknownTxn(u64),
 }
 
 /// Result alias for storage operations.
@@ -37,6 +45,8 @@ impl fmt::Display for StorageError {
             StorageError::BadFileId => f.write_str("unknown file id"),
             StorageError::CorruptLog(m) => write!(f, "corrupt write-ahead log: {m}"),
             StorageError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            StorageError::TxnConflict(m) => write!(f, "transaction conflict (retryable): {m}"),
+            StorageError::UnknownTxn(id) => write!(f, "unknown transaction id {id}"),
         }
     }
 }

@@ -7,12 +7,13 @@
 //! pool — each `get-next-tuple` request that crosses a page boundary
 //! becomes a page-level I/O request, exactly as §2 describes.
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, SnapshotGuard};
 use crate::error::{StorageError, StorageResult};
 use crate::file::{FileId, PageId};
 use crate::page::{SlotId, SlottedPage};
+use crate::tx::View;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Address of a record in a heap file.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -29,6 +30,9 @@ pub struct HeapFile {
     fid: FileId,
     /// Insertion hint: the page most recently found to have space.
     hint: AtomicU64,
+    /// The MVCC view every access goes through (`Live` by default; the
+    /// relation layer points it at a transaction or a snapshot).
+    view: Mutex<View>,
 }
 
 impl HeapFile {
@@ -38,12 +42,28 @@ impl HeapFile {
             pool,
             fid,
             hint: AtomicU64::new(0),
+            view: Mutex::new(View::Live),
         }
     }
 
     /// The underlying file id.
     pub fn file_id(&self) -> FileId {
         self.fid
+    }
+
+    /// The view subsequent accesses use.
+    pub fn view(&self) -> View {
+        *self.view.lock().unwrap()
+    }
+
+    /// Route subsequent accesses through `view`.
+    pub fn set_view(&self, view: View) {
+        *self.view.lock().unwrap() = view;
+    }
+
+    /// Attach this handle to a transaction (`None` = back to `Live`).
+    pub fn set_txn(&self, txn: Option<u64>) {
+        self.set_view(txn.map_or(View::Live, View::Txn));
     }
 
     /// Number of pages.
@@ -66,19 +86,20 @@ impl HeapFile {
                 candidates.push(PageId(pages - 1));
             }
         }
+        let view = self.view();
         for pid in candidates {
-            let slot = self
-                .pool
-                .with_page_mut(self.fid, pid, |data| SlottedPage::attach(data).insert(rec))??;
+            let slot = self.pool.with_page_mut_view(self.fid, pid, view, |data| {
+                SlottedPage::attach(data).insert(rec)
+            })??;
             if let Some(slot) = slot {
                 self.hint.store(pid.0, Ordering::Relaxed);
                 return Ok(RecordId { page: pid, slot });
             }
         }
         let pid = self.pool.allocate_page(self.fid)?;
-        let slot = self
-            .pool
-            .with_page_mut(self.fid, pid, |data| SlottedPage::format(data).insert(rec))??;
+        let slot = self.pool.with_page_mut_view(self.fid, pid, view, |data| {
+            SlottedPage::format(data).insert(rec)
+        })??;
         match slot {
             Some(slot) => {
                 self.hint.store(pid.0, Ordering::Relaxed);
@@ -94,7 +115,7 @@ impl HeapFile {
     /// Read a record by id.
     pub fn get(&self, rid: RecordId) -> StorageResult<Vec<u8>> {
         self.pool
-            .with_page(self.fid, rid.page, |data| {
+            .with_page_view(self.fid, rid.page, self.view(), |data| {
                 let mut copy = data.to_vec();
                 let page = SlottedPage::attach(&mut copy);
                 page.get(rid.slot).map(|r| r.to_vec())
@@ -104,9 +125,11 @@ impl HeapFile {
 
     /// Delete a record by id.
     pub fn delete(&self, rid: RecordId) -> StorageResult<()> {
-        let ok = self.pool.with_page_mut(self.fid, rid.page, |data| {
-            SlottedPage::attach(data).delete(rid.slot)
-        })?;
+        let ok = self
+            .pool
+            .with_page_mut_view(self.fid, rid.page, self.view(), |data| {
+                SlottedPage::attach(data).delete(rid.slot)
+            })?;
         if ok {
             Ok(())
         } else {
@@ -120,10 +143,12 @@ impl HeapFile {
     pub fn check(&self) -> StorageResult<Vec<String>> {
         let mut problems = Vec::new();
         for pid in 0..self.pool.num_pages(self.fid)? {
-            let res = self.pool.with_page(self.fid, PageId(pid), |data| {
-                let mut copy = data.to_vec();
-                SlottedPage::attach(&mut copy).validate().err()
-            })?;
+            let res = self
+                .pool
+                .with_page_view(self.fid, PageId(pid), self.view(), |data| {
+                    let mut copy = data.to_vec();
+                    SlottedPage::attach(&mut copy).validate().err()
+                })?;
             if let Some(err) = res {
                 problems.push(format!("heap page {pid}: {err}"));
             }
@@ -135,9 +160,17 @@ impl HeapFile {
     /// out of the buffer pool, so the page is touched exactly once per
     /// pass (and re-reads after eviction show up in pool statistics).
     pub fn scan(&self) -> HeapScan {
+        self.scan_with(self.view(), None)
+    }
+
+    /// Scan through an explicit view, optionally holding a snapshot pin
+    /// alive for the iterator's lifetime.
+    pub fn scan_with(&self, view: View, guard: Option<Arc<SnapshotGuard>>) -> HeapScan {
         HeapScan {
             pool: Arc::clone(&self.pool),
             fid: self.fid,
+            view,
+            _guard: guard,
             next_page: 0,
             buffered: Vec::new(),
             buf_pos: 0,
@@ -150,6 +183,9 @@ impl HeapFile {
 pub struct HeapScan {
     pool: Arc<BufferPool>,
     fid: FileId,
+    view: View,
+    /// Keeps the snapshot this scan reads through pinned.
+    _guard: Option<Arc<SnapshotGuard>>,
     next_page: u64,
     buffered: Vec<(RecordId, Vec<u8>)>,
     buf_pos: usize,
@@ -181,7 +217,7 @@ impl Iterator for HeapScan {
             }
             let pid = PageId(self.next_page);
             self.next_page += 1;
-            let res = self.pool.with_page(self.fid, pid, |data| {
+            let res = self.pool.with_page_view(self.fid, pid, self.view, |data| {
                 let mut copy = data.to_vec();
                 let page = SlottedPage::attach(&mut copy);
                 page.iter()

@@ -37,15 +37,17 @@ pub mod heap;
 pub mod page;
 pub mod profile;
 pub mod server;
+pub mod tx;
 pub mod vfs;
 pub mod wal;
 
 pub use btree::BTree;
-pub use buffer::{BufferPool, BufferStats};
+pub use buffer::{BufferPool, BufferStats, SnapshotGuard};
 pub use check::CheckReport;
 pub use error::{StorageError, StorageResult};
 pub use file::{FileId, PageId};
 pub use heap::{HeapFile, RecordId};
 pub use page::{SlotId, PAGE_SIZE};
 pub use server::{StorageClient, StorageServer};
+pub use tx::{TxStats, View};
 pub use vfs::{StdVfs, StorageFile, Vfs};
